@@ -1,0 +1,183 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Two passes:
+   1. a Bechamel timing pass — one Test.make kernel per experiment, so
+      the cost of each reproduction pipeline is itself measured and
+      regressions in the simulator/chain code are visible;
+   2. a reproduction pass — prints each experiment's table (quick
+      budgets; use `dune exec bin/repro.exe -- run all` for the full
+      budgets recorded in EXPERIMENTS.md). *)
+
+open Bechamel
+open Toolkit
+
+let uniform = Sched.Scheduler.uniform
+
+let run_spec ~seed ~n ~steps spec =
+  ignore (Sim.Executor.run ~seed ~scheduler:uniform ~n ~stop:(Steps steps) spec)
+
+(* One kernel per experiment id; kept small so Bechamel can iterate. *)
+let kernels =
+  [
+    ( "fig1:lifting-n2",
+      fun () ->
+        let ind = Chains.Scu_chain.Individual.make ~n:2 in
+        let sys = Chains.Scu_chain.System.make ~n:2 in
+        ignore
+          (Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain
+             ~f:(Chains.Scu_chain.lift ind sys) ()) );
+    ( "fig3:trace-10k-steps",
+      fun () ->
+        let c = Scu.Counter.make ~n:16 in
+        ignore
+          (Sim.Executor.run ~seed:1 ~trace:true ~scheduler:uniform ~n:16
+             ~stop:(Steps 10_000) c.spec) );
+    ( "fig4:successor-matrix",
+      fun () ->
+        let tr = Sched.Trace.create ~n:8 in
+        let g = Stats.Rng.create ~seed:3 in
+        for _ = 1 to 10_000 do
+          Sched.Trace.record tr (Stats.Rng.int g 8)
+        done;
+        ignore (Sched.Trace.successor_matrix tr) );
+    ( "fig5:counter-sim-n32",
+      fun () -> run_spec ~seed:4 ~n:32 ~steps:10_000 (Scu.Counter.make ~n:32).spec );
+    ( "thm3:theta-adversary",
+      fun () ->
+        let sched =
+          Sched.Scheduler.with_weak_fairness ~theta:0.05
+            (Sched.Scheduler.starver ~victim:0)
+        in
+        let c = Scu.Counter.make ~n:4 in
+        ignore
+          (Sim.Executor.run ~seed:5 ~scheduler:sched ~n:4 ~stop:(Steps 10_000) c.spec) );
+    ( "lem2:unbounded-n8",
+      fun () -> run_spec ~seed:6 ~n:8 ~steps:50_000 (Scu.Unbounded.make ~n:8 ()).spec );
+    ( "thm4:scu-q5-s3-n16",
+      fun () ->
+        run_spec ~seed:7 ~n:16 ~steps:10_000 (Scu.Scu_pattern.make ~n:16 ~q:5 ~s:3).spec );
+    ( "lem7:fairness-n8",
+      fun () -> run_spec ~seed:8 ~n:8 ~steps:10_000 (Scu.Counter.make ~n:8).spec );
+    ( "thm5:ballsbins-n1024",
+      fun () ->
+        let g = Ballsbins.Game.create ~n:1024 in
+        let rng = Stats.Rng.create ~seed:9 in
+        for _ = 1 to 200 do
+          ignore (Ballsbins.Game.run_phase g ~rng)
+        done );
+    ( "lem11:parallel-q5-n8",
+      fun () ->
+        run_spec ~seed:10 ~n:8 ~steps:10_000 (Scu.Parallel_code.make ~n:8 ~q:5).spec );
+    ( "lem12:aug-counter-n16",
+      fun () -> run_spec ~seed:11 ~n:16 ~steps:10_000 (Scu.Counter_aug.make ~n:16).spec );
+    ( "lift:verify-n4",
+      fun () ->
+        let ind = Chains.Scu_chain.Individual.make ~n:4 in
+        let sys = Chains.Scu_chain.System.make ~n:4 in
+        ignore
+          (Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain
+             ~f:(Chains.Scu_chain.lift ind sys) ()) );
+    ( "cor2:crashed-run",
+      fun () ->
+        let c = Scu.Counter.make ~n:8 in
+        ignore
+          (Sim.Executor.run ~seed:12
+             ~crash_plan:(Sched.Crash_plan.of_list [ (0, 4); (0, 5); (0, 6); (0, 7) ])
+             ~scheduler:uniform ~n:8 ~stop:(Steps 10_000) c.spec) );
+    ( "abl-sched:zipf-n8",
+      fun () ->
+        let c = Scu.Counter.make ~n:8 in
+        ignore
+          (Sim.Executor.run ~seed:13
+             ~scheduler:(Sched.Scheduler.zipf ~n:8 ~alpha:1.5)
+             ~n:8 ~stop:(Steps 10_000) c.spec) );
+    ( "abl-wf:helping-n8",
+      fun () -> run_spec ~seed:14 ~n:8 ~steps:10_000 (Scu.Waitfree_counter.make ~n:8).spec );
+    ( "structs:treiber-n8",
+      fun () -> run_spec ~seed:15 ~n:8 ~steps:10_000 (Scu.Treiber.make ~n:8 ()).spec );
+    ( "structs:msqueue-n8",
+      fun () -> run_spec ~seed:16 ~n:8 ~steps:10_000 (Scu.Msqueue.make ~n:8 ()).spec );
+    ( "structs:rcu-n8",
+      fun () ->
+        run_spec ~seed:17 ~n:8 ~steps:10_000
+          (Scu.Rcu.make ~n:8 ~readers:6 ~block_size:4).spec );
+    ( "abl-lock:ticket-n8",
+      fun () -> run_spec ~seed:18 ~n:8 ~steps:10_000 (Scu.Ticket_lock.make ~n:8).spec );
+    ( "abl-tas:taslock-n4",
+      fun () -> run_spec ~seed:26 ~n:4 ~steps:10_000 (Scu.Tas_lock.make ~n:4).spec );
+    ( "abl-of:obstruction-n4",
+      fun () -> run_spec ~seed:22 ~n:4 ~steps:10_000 (Scu.Obstruction_free.make ~n:4).spec );
+    ( "structs:elimination-n16",
+      fun () ->
+        run_spec ~seed:23 ~n:16 ~steps:10_000 (Scu.Elimination_stack.make ~n:16 ()).spec );
+    ( "ext-shard:k8-n32",
+      fun () ->
+        run_spec ~seed:19 ~n:32 ~steps:10_000 (Scu.Sharded_counter.make ~n:32 ~shards:8).spec );
+    ( "ext-mix:tmix-n16",
+      fun () ->
+        let sys = Chains.Scu_chain.System.make ~n:16 in
+        ignore (Markov.Mixing.mixing_time ~eps:0.01 sys.chain ~start:sys.initial) );
+    ( "ext-backup:instrumented-n8",
+      fun () ->
+        let c, _ = Scu.Counter.make_instrumented ~n:8 in
+        run_spec ~seed:20 ~n:8 ~steps:10_000 c.spec );
+    ( "ext:wf-universal-n8",
+      fun () ->
+        run_spec ~seed:21 ~n:8 ~steps:10_000
+          (Scu.Waitfree_universal.make ~n:8 ~init:[| 0 |]
+             ~apply:(fun ~proc:_ ~op_index:_ st -> [| st.(0) + 1 |]))
+            .spec );
+    ( "chain:stationary-n32",
+      (* Bypass the memoized entry point so the solve cost itself is
+         what gets timed. *)
+      fun () ->
+        let t = Chains.Scu_chain.System.make ~n:32 in
+        ignore (Markov.Stationary.solve t.chain) );
+    ( "hw:atomic-counter-2dom",
+      fun () ->
+        ignore (Runtime.Harness.counter_completion_rate ~domains:2 ~ops_per_domain:1_000) );
+  ]
+
+let tests = List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels
+
+let timing_pass () =
+  print_endline "== Timing pass (Bechamel, monotonic clock) ==";
+  print_endline "";
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let table = Stats.Table.create [ "kernel"; "time/run"; "r^2" ] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with Some [ e ] -> e | _ -> nan
+          in
+          let r2 = Option.value (Analyze.OLS.r_square ols_result) ~default:nan in
+          let pretty =
+            if time_ns >= 1e9 then Printf.sprintf "%.3f s" (time_ns /. 1e9)
+            else if time_ns >= 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
+            else Printf.sprintf "%.1f us" (time_ns /. 1e3)
+          in
+          Stats.Table.add_row table [ name; pretty; Printf.sprintf "%.4f" r2 ])
+        analyzed)
+    tests;
+  print_string (Stats.Table.to_string table);
+  print_endline ""
+
+let reproduction_pass () =
+  print_endline
+    "== Reproduction pass (quick budgets; see EXPERIMENTS.md for full runs) ==";
+  print_endline "";
+  List.iter
+    (fun e ->
+      print_string (Experiments.Exp.render ~quick:true e);
+      print_newline ())
+    Experiments.Exp.all
+
+let () =
+  timing_pass ();
+  reproduction_pass ()

@@ -1,0 +1,24 @@
+(* Quick profiling helper: stationary-solve timing for the system
+   chain at various n (dense solve vs power iteration). *)
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  Printf.printf "%-24s %8.2fs  -> %.6f\n%!" name (Unix.gettimeofday () -. t0) v
+
+let () =
+  List.iter
+    (fun n ->
+      let t = Chains.Scu_chain.System.make ~n in
+      time
+        (Printf.sprintf "solve n=%d (%d states)" n t.chain.size)
+        (fun () ->
+          let pi = Markov.Stationary.solve t.chain in
+          1. /. Markov.Stationary.success_rate t.chain ~pi
+                  ~weight:(Chains.Scu_chain.System.any_success_weight t));
+      time
+        (Printf.sprintf "power n=%d" n)
+        (fun () ->
+          let pi = Markov.Stationary.power_iteration ~tol:1e-12 t.chain in
+          1. /. Markov.Stationary.success_rate t.chain ~pi
+                  ~weight:(Chains.Scu_chain.System.any_success_weight t)))
+    [ 16; 32; 48; 64 ]

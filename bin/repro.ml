@@ -1,0 +1,94 @@
+(* Command-line experiment runner: one subcommand per paper artifact.
+
+   `repro list`           - list experiments
+   `repro run fig5`       - regenerate Figure 5's series as a table
+   `repro run all`        - everything, in paper order
+   `repro run fig5 --csv` - CSV output for plotting *)
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sample sizes (smoke run).")
+
+let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a text table.")
+
+let list_cmd =
+  let doc = "List all experiments with their paper artifacts." in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-10s %s\n" e.Experiments.Exp.id e.title)
+      Experiments.Exp.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_one ~quick ~csv (e : Experiments.Exp.t) =
+  if csv then begin
+    Printf.printf "# %s\n" e.title;
+    print_string (Stats.Table.to_csv (e.run ~quick))
+  end
+  else print_string (Experiments.Exp.render ~quick e)
+
+let out_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Also write one CSV file per experiment into $(docv).")
+
+let write_csv dir (e : Experiments.Exp.t) table =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (e.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (Stats.Table.to_csv table);
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" path
+
+let run_full ~quick ~csv ~out (e : Experiments.Exp.t) =
+  match out with
+  | None -> run_one ~quick ~csv e
+  | Some dir ->
+      (* Run once; render and persist from the same table. *)
+      let table = e.run ~quick in
+      if csv then begin
+        Printf.printf "# %s\n" e.title;
+        print_string (Stats.Table.to_csv table)
+      end
+      else begin
+        Printf.printf "== %s (%s) ==\n\n%s\nExpected shape: %s\n" e.title e.id
+          (Stats.Table.to_string table)
+          e.notes
+      end;
+      write_csv dir e table
+
+let run_cmd =
+  let doc = "Run one experiment by id, or 'all'." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id.")
+  in
+  let run id quick csv out =
+    if id = "all" then begin
+      List.iter
+        (fun e ->
+          run_full ~quick ~csv ~out e;
+          print_newline ())
+        Experiments.Exp.all;
+      `Ok ()
+    end
+    else
+      match Experiments.Exp.find id with
+      | Some e ->
+          run_full ~quick ~csv ~out e;
+          `Ok ()
+      | None ->
+          `Error
+            (false, Printf.sprintf "unknown experiment %S; try `repro list`" id)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id_arg $ quick $ csv $ out_dir))
+
+let main =
+  let doc =
+    "Reproduction harness for 'Are Lock-Free Concurrent Algorithms Practically \
+     Wait-Free?' (Alistarh, Censor-Hillel, Shavit)"
+  in
+  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

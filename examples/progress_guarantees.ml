@@ -1,0 +1,43 @@
+(* Progress guarantees in action (Theorems 3 and Lemma 2): the same
+   lock-free Treiber stack under three schedulers —
+
+   - a worst-case adversary that starves process 0: minimal progress
+     only (the victim never completes: lock-free, not wait-free);
+   - the same adversary softened with weak fairness theta > 0
+     (Definition 1): the victim now completes — bounded minimal
+     progress becomes maximal progress with probability 1 (Theorem 3);
+   - the uniform stochastic scheduler: everyone completes at the same
+     rate (Lemma 7).
+
+     dune exec examples/progress_guarantees.exe *)
+
+open Core
+
+let n = 4
+let steps = 400_000
+
+let run name scheduler =
+  let stack = Scu.Treiber.make ~n () in
+  let r = Sim.Executor.run ~seed:7 ~scheduler ~n ~stop:(Steps steps) stack.spec in
+  let m = r.metrics in
+  Printf.printf "%-28s" name;
+  for i = 0 to n - 1 do
+    Printf.printf "  p%d:%7d" i (Sim.Metrics.completions_of m i)
+  done;
+  Printf.printf "   total:%8d\n" (Sim.Metrics.total_completions m)
+
+let () =
+  Printf.printf "Operations completed per process over %d steps (n = %d):\n\n" steps n;
+  run "adversary (starves p0)" (Sched.Scheduler.starver ~victim:0);
+  run "adversary + theta=0.01"
+    (Sched.Scheduler.with_weak_fairness ~theta:0.01 (Sched.Scheduler.starver ~victim:0));
+  run "adversary + theta=0.10"
+    (Sched.Scheduler.with_weak_fairness ~theta:0.10 (Sched.Scheduler.starver ~victim:0));
+  run "uniform stochastic" Sched.Scheduler.uniform;
+  print_newline ();
+  print_endline
+    "Reading: under the pure adversary p0 starves forever (lock-freedom\n\
+     guarantees only minimal progress).  Any weak-fairness threshold\n\
+     theta > 0 restores maximal progress for p0 (Theorem 3), and under\n\
+     the uniform scheduler all processes progress equally (Lemma 7) —\n\
+     the lock-free stack is practically wait-free."

@@ -1,0 +1,45 @@
+(* Quickstart: simulate a lock-free fetch-and-increment counter under
+   the paper's uniform stochastic scheduler and compare the measured
+   latencies with the theory.
+
+     dune exec examples/quickstart.exe
+
+   What to look for in the output:
+   - the system completes one operation every ~1.2*sqrt(n) steps
+     (Theorem 5's O(sqrt n), with its small constant made explicit by
+     the exact Markov chain);
+   - each individual process completes one operation every ~n times
+     that (Lemma 7): lock-free yet perfectly fair — "practically
+     wait-free". *)
+
+open Core
+
+let () =
+  let n = 16 in
+  (* 1. Build the algorithm: a CAS-loop counter shared by n simulated
+     processes.  [Scu.Counter] is the paper's SCU(0,1) instance. *)
+  let counter = Scu.Counter.make ~n in
+
+  (* 2. Run it for a million scheduler steps under the uniform
+     stochastic scheduler.  The seed makes the run reproducible. *)
+  let result =
+    Sim.Executor.run ~seed:42 ~scheduler:Sched.Scheduler.uniform ~n
+      ~stop:(Steps 1_000_000) counter.spec
+  in
+  let m = result.metrics in
+
+  (* 3. Compare with the exact Markov-chain prediction. *)
+  let w_measured = Sim.Metrics.mean_system_latency m in
+  let w_exact = Chains.Scu_chain.System.system_latency ~n in
+  Printf.printf "processes (n)                 : %d\n" n;
+  Printf.printf "system steps simulated        : %d\n" (Sim.Metrics.time m);
+  Printf.printf "operations completed          : %d\n" (Sim.Metrics.total_completions m);
+  Printf.printf "counter value (must match)    : %d\n"
+    (Scu.Counter.value counter counter.spec.memory);
+  Printf.printf "system latency W  (measured)  : %.3f steps/op\n" w_measured;
+  Printf.printf "system latency W  (exact)     : %.3f steps/op\n" w_exact;
+  Printf.printf "2*sqrt(n) upper bound         : %.3f\n" (2. *. sqrt (float_of_int n));
+  Printf.printf "individual latency p0         : %.1f steps (n*W = %.1f)\n"
+    (Sim.Metrics.mean_individual_latency m 0)
+    (float_of_int n *. w_measured);
+  Printf.printf "fairness ratio (Lemma 7 -> 1) : %.4f\n" (Sim.Metrics.fairness_ratio m)

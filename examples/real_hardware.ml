@@ -1,0 +1,43 @@
+(* The paper's Appendix A/B methodology on real hardware (OCaml 5
+   domains + Atomic):
+
+   1. record a schedule with the atomic fetch-and-increment ticketing
+      method and print the Figure 3/4 statistics;
+   2. measure the completion rate of a real CAS counter (Figure 5's
+      y-axis) and compare with the paper's Theta(1/sqrt n) model.
+
+     dune exec examples/real_hardware.exe
+
+   Note: on a machine with fewer cores than domains the OS time-slices
+   them, so the local (Figure 4) statistics are run-biased even though
+   the long-run (Figure 3) shares are fair — see EXPERIMENTS.md. *)
+
+open Core
+
+let () =
+  let domains = 4 in
+  Printf.printf "recommended_domain_count = %d\n\n" (Domain.recommended_domain_count ());
+
+  (* Figure 3/4: schedule recording. *)
+  let trace = Runtime.Recorder.record ~domains ~steps_per_domain:25_000 in
+  Printf.printf "Recorded %d steps from %d domains.\n" (Sched.Trace.length trace) domains;
+  let shares = Sched.Trace.step_shares trace in
+  Printf.printf "Figure 3 (long-run shares)   :";
+  Array.iter (fun s -> Printf.printf " %5.1f%%" (100. *. s)) shares;
+  print_newline ();
+  let succ = Sched.Trace.next_step_distribution trace ~after:0 in
+  Printf.printf "Figure 4 (after a d0 step)   :";
+  Array.iter (fun s -> Printf.printf " %5.1f%%" (100. *. s)) succ;
+  print_newline ();
+  Printf.printf "Longest gap without d0       : %d steps\n\n"
+    (Sched.Trace.max_gap trace ~proc:0);
+
+  (* Figure 5: completion rate of the real CAS counter. *)
+  Printf.printf "Figure 5 (real completion rate, ops / shared-memory steps):\n";
+  List.iter
+    (fun d ->
+      let r = Runtime.Harness.counter_completion_rate ~domains:d ~ops_per_domain:25_000 in
+      Printf.printf "  domains=%d  rate=%.4f   (model c/sqrt(n) with c=0.5: %.4f)\n" d
+        r.completion_rate
+        (0.5 /. sqrt (float_of_int d)))
+    [ 1; 2; 3; 4 ]

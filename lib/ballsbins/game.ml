@@ -1,0 +1,56 @@
+type t = { n : int; balls : int array }
+
+type range = First | Second | Third
+
+type phase = { length : int; a_start : int; b_start : int; range : range }
+
+let create ~n =
+  if n < 1 then invalid_arg "Game.create: n must be >= 1";
+  { n; balls = Array.make n 1 }
+
+let n t = t.n
+let counts t = Array.copy t.balls
+
+let count_eq t v =
+  Array.fold_left (fun acc x -> if x = v then acc + 1 else acc) 0 t.balls
+
+let a t = count_eq t 1
+let b t = count_eq t 0
+
+let range_of ?(c = 10) ~n a =
+  if 3 * a >= n then First else if c * a >= n then Second else Third
+
+let run_phase ?c t ~rng =
+  let a_start = a t and b_start = b t in
+  let range = range_of ?c ~n:t.n a_start in
+  let rec throw len =
+    let bin = Stats.Rng.int rng t.n in
+    let v = t.balls.(bin) + 1 in
+    if v < 3 then begin
+      t.balls.(bin) <- v;
+      throw (len + 1)
+    end
+    else begin
+      (* Reset: winner back to one ball, all two-ball bins emptied. *)
+      for k = 0 to t.n - 1 do
+        if t.balls.(k) = 2 then t.balls.(k) <- 0
+      done;
+      t.balls.(bin) <- 1;
+      len + 1
+    end
+  in
+  let length = throw 0 in
+  { length; a_start; b_start; range }
+
+let run ?c t ~rng ~phases = List.init phases (fun _ -> run_phase ?c t ~rng)
+
+let mean_phase_length t ~rng ~phases =
+  let warmup = max 1 (phases / 10) in
+  for _ = 1 to warmup do
+    ignore (run_phase t ~rng)
+  done;
+  let acc = ref 0 in
+  for _ = 1 to phases do
+    acc := !acc + (run_phase t ~rng).length
+  done;
+  float_of_int !acc /. float_of_int phases

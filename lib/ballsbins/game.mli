@@ -1,0 +1,59 @@
+(** The iterated balls-into-bins game of §6.1.3.
+
+    One bin per process; every bin starts with one ball.  Each step
+    throws a ball into a uniformly random bin.  When a bin first
+    reaches three balls, the *phase* ends with a {e reset}: the
+    three-ball bin goes back to one ball and every two-ball bin is
+    emptied.
+
+    The correspondence with the scan-validate component: a bin's ball
+    count is 3 minus the steps its process still needs to complete
+    (Read = 1 ball, CCAS = 2 balls, a successful CAS = 3 balls resets
+    everyone who was about to CAS with the now-stale value to 0 balls
+    = OldCAS).  A phase is the interval between two successful CASes,
+    so the mean phase length is the system latency W.
+
+    Lemma 8 bounds the phase length by
+    O(min(n/√aᵢ, n/bᵢ^{1/3})); Lemma 9 shows the process stays in the
+    "healthy" ranges (aᵢ ≥ n/c) almost always. *)
+
+type t
+
+type range =
+  | First  (** aᵢ ∈ [n/3, n]. *)
+  | Second  (** aᵢ ∈ [n/c, n/3). *)
+  | Third  (** aᵢ ∈ [0, n/c). *)
+
+type phase = {
+  length : int;  (** Ball throws in this phase. *)
+  a_start : int;  (** Bins with one ball at the phase start. *)
+  b_start : int;  (** Bins with zero balls at the phase start. *)
+  range : range;  (** Range of [a_start]. *)
+}
+
+val create : n:int -> t
+(** All bins at one ball; requires n >= 1. *)
+
+val n : t -> int
+
+val counts : t -> int array
+(** Current ball counts (each in 0..2 between phases). *)
+
+val a : t -> int
+(** Bins with exactly one ball. *)
+
+val b : t -> int
+(** Empty bins. *)
+
+val range_of : ?c:int -> n:int -> int -> range
+(** Range classification of an [a] value; [c] defaults to 10 (the
+    paper takes c ≥ 10 in Claim 5). *)
+
+val run_phase : ?c:int -> t -> rng:Stats.Rng.t -> phase
+(** Throw until a reset fires, apply the reset, and report the phase. *)
+
+val run : ?c:int -> t -> rng:Stats.Rng.t -> phases:int -> phase list
+
+val mean_phase_length : t -> rng:Stats.Rng.t -> phases:int -> float
+(** Convenience: average phase length over [phases] phases after a
+    10%-of-phases warmup. *)

@@ -1,0 +1,20 @@
+let completion_rate_sqrt n = 1. /. sqrt n
+let completion_rate_worst_case n = 1. /. n
+
+let scu_system_latency ~q ~s ~alpha n =
+  float_of_int q +. (alpha *. float_of_int s *. sqrt n)
+
+let scu_individual_latency ~q ~s ~alpha n = n *. scu_system_latency ~q ~s ~alpha n
+
+let exact_scan_validate_latency ~n = Scu_chain.System.system_latency ~n
+
+let fitted_alpha ~ns =
+  let pts =
+    List.map
+      (fun n -> (sqrt (float_of_int n), exact_scan_validate_latency ~n))
+      ns
+  in
+  (* Fit through the origin: alpha = Σxy / Σx². *)
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0. pts in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0. pts in
+  sxy /. sxx

@@ -1,0 +1,30 @@
+(** Closed-form predictions used as the "predicted" series of the
+    paper's evaluation.
+
+    Figure 5 compares the measured completion rate of the CAS counter
+    against the model's Θ(1/√n) prediction (scaled to the first data
+    point, as in the paper) and the worst-case 1/n rate.  Theorem 4's
+    q + s√n latency shape is exposed for the parameter-sweep
+    experiments. *)
+
+val completion_rate_sqrt : float -> float
+(** 1/√n — the model's completion-rate shape for SCU(0, 1). *)
+
+val completion_rate_worst_case : float -> float
+(** 1/n — the worst-case (adversarial) completion rate: only one
+    process makes progress per n steps. *)
+
+val scu_system_latency : q:int -> s:int -> alpha:float -> float -> float
+(** q + alpha·s·√n (Theorem 4's shape with an explicit constant). *)
+
+val scu_individual_latency : q:int -> s:int -> alpha:float -> float -> float
+(** n · (q + alpha·s·√n). *)
+
+val exact_scan_validate_latency : n:int -> float
+(** The exact (non-asymptotic) stationary system latency of
+    SCU(0, 1), from the system chain — usable wherever the O(√n)
+    bound's hidden constant would be a fudge factor. *)
+
+val fitted_alpha : ns:int list -> float
+(** Least-squares fit of [exact_scan_validate_latency n ≈ alpha·√n]
+    over the given n values (the empirical constant is ≈ 1.1). *)

@@ -1,0 +1,21 @@
+(* Knuth's normalization: Q(n) = 1 + (n-1)/n + (n-1)(n-2)/n^2 + …
+   (the k = 0 term is 1).  With this normalization Q(n) equals Z(n-1)
+   exactly, and the birthday expectation is Q(n) + 1. *)
+let q n =
+  if n < 1 then invalid_arg "Ramanujan.q: n must be >= 1";
+  let nf = float_of_int n in
+  let acc = ref 1. and term = ref 1. in
+  let k = ref 1 in
+  let continue_sum = ref (n > 1) in
+  while !continue_sum do
+    term := !term *. (float_of_int (n - !k) /. nf);
+    acc := !acc +. !term;
+    incr k;
+    if !k > n - 1 || !term < 1e-300 then continue_sum := false
+  done;
+  !acc
+
+let z_value = q
+let birthday_expectation n = q n +. 1.
+let asymptotic n = sqrt (Float.pi *. float_of_int n /. 2.)
+let asymptotic_refined n = asymptotic n -. (1. /. 3.)

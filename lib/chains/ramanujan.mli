@@ -1,0 +1,28 @@
+(** Ramanujan's Q-function (paper §7.2 Remark, refs [5, 13]), in
+    Knuth's normalization:
+
+      Q(n) = 1 + (n−1)/n + (n−1)(n−2)/n² + …
+
+    Q(n) + 1 is the expected number of uniform draws from {1..n} until
+    the first repeat (birthday paradox), and Q(n) itself is exactly
+    Z(n−1) — the return time of the augmented-CAS counter's win state
+    (the chain counts steps, i.e. draws after the first).  Asymptotics
+    (Flajolet, Grabner, Kirschenhofer, Prodinger):
+    Q(n) = √(πn/2) − 1/3 + O(1/√n), the paper's √(πn/2)(1 + o(1)). *)
+
+val q : int -> float
+(** Q(n), exact summation.  Requires n >= 1. *)
+
+val z_value : int -> float
+(** Z(n−1) = Q(n): verified against the recurrence and the chain's
+    return time in the tests. *)
+
+val birthday_expectation : int -> float
+(** Expected number of uniform draws from {1..n} until the first
+    repeat: Q(n) + 1. *)
+
+val asymptotic : int -> float
+(** √(πn/2) — the leading term. *)
+
+val asymptotic_refined : int -> float
+(** √(πn/2) − 1/3: the two-term expansion. *)

@@ -1,0 +1,153 @@
+type extended_state = Read | OldCAS | CCAS
+
+let trit_of = function Read -> 0 | OldCAS -> 1 | CCAS -> 2
+let state_of = function 0 -> Read | 1 -> OldCAS | 2 -> CCAS | _ -> assert false
+
+module Individual = struct
+  type t = {
+    chain : Markov.Chain.t;
+    n : int;
+    encode : extended_state array -> int;
+    decode : int -> extended_state array;
+    initial : int;
+  }
+
+  (* States are base-3 codes over n trits; the all-OldCAS code
+     (every trit = 1) is excluded, and indices above it shift down by
+     one so state ids stay contiguous. *)
+  let make ~n =
+    if n < 1 || n > 12 then invalid_arg "Scu_chain.Individual.make: need 1 <= n <= 12";
+    let pow3 = Array.make (n + 1) 1 in
+    for k = 1 to n do
+      pow3.(k) <- pow3.(k - 1) * 3
+    done;
+    let bad = (pow3.(n) - 1) / 2 (* 111…1 in base 3 *) in
+    let size = pow3.(n) - 1 in
+    let code_of_states sts =
+      Array.fold_right (fun st acc -> (acc * 3) + trit_of st) sts 0
+    in
+    let index_of_code c =
+      if c = bad then invalid_arg "Scu_chain: the all-OldCAS state does not exist";
+      if c < bad then c else c - 1
+    in
+    let code_of_index i = if i < bad then i else i + 1 in
+    let decode i =
+      let c = ref (code_of_index i) in
+      Array.init n (fun _ ->
+          let t = !c mod 3 in
+          c := !c / 3;
+          state_of t)
+    in
+    let encode sts = index_of_code (code_of_states sts) in
+    let row i =
+      let sts = decode i in
+      let p = 1. /. float_of_int n in
+      List.init n (fun proc ->
+          let next = Array.copy sts in
+          (match sts.(proc) with
+          | Read -> next.(proc) <- CCAS
+          | OldCAS -> next.(proc) <- Read
+          | CCAS ->
+              (* A successful CAS: every other pending CCAS becomes stale. *)
+              Array.iteri
+                (fun j st -> if j <> proc && st = CCAS then next.(j) <- OldCAS)
+                sts;
+              next.(proc) <- Read);
+          (encode next, p))
+    in
+    let label i =
+      let sts = decode i in
+      String.concat ""
+        (Array.to_list
+           (Array.map (function Read -> "R" | OldCAS -> "O" | CCAS -> "C") sts))
+    in
+    let chain = Markov.Chain.create ~label ~size ~row () in
+    { chain; n; encode; decode; initial = encode (Array.make n Read) }
+
+  let success_weight t ~proc i =
+    let sts = t.decode i in
+    if sts.(proc) = CCAS then 1. /. float_of_int t.n else 0.
+
+  let any_success_weight t i =
+    let sts = t.decode i in
+    let c = Array.fold_left (fun acc st -> if st = CCAS then acc + 1 else acc) 0 sts in
+    float_of_int c /. float_of_int t.n
+end
+
+module System = struct
+  type t = {
+    chain : Markov.Chain.t;
+    n : int;
+    encode : a:int -> b:int -> int;
+    decode : int -> int * int;
+    initial : int;
+  }
+
+  let make ~n =
+    if n < 1 then invalid_arg "Scu_chain.System.make: n must be >= 1";
+    (* Enumerate (a, b) with a, b >= 0, a + b <= n, excluding (0, n). *)
+    let states = ref [] in
+    for a = n downto 0 do
+      for b = n - a downto 0 do
+        if not (a = 0 && b = n) then states := (a, b) :: !states
+      done
+    done;
+    let states = Array.of_list !states in
+    let index = Hashtbl.create (Array.length states) in
+    Array.iteri (fun i ab -> Hashtbl.replace index ab i) states;
+    let encode ~a ~b =
+      match Hashtbl.find_opt index (a, b) with
+      | Some i -> i
+      | None -> invalid_arg (Printf.sprintf "Scu_chain.System: invalid state (%d,%d)" a b)
+    in
+    let decode i = states.(i) in
+    let nf = float_of_int n in
+    let row i =
+      let a, b = states.(i) in
+      let c = n - a - b in
+      let out = ref [] in
+      if b > 0 then out := (encode ~a:(a + 1) ~b:(b - 1), float_of_int b /. nf) :: !out;
+      if a > 0 then out := (encode ~a:(a - 1) ~b, float_of_int a /. nf) :: !out;
+      (* The success transition: the winner returns to Read and all
+         other CCAS processes (c − 1 of them) fall to OldCAS:
+         (a, b) → (a+1, b + c − 1) = (a+1, n − a − 1). *)
+      if c > 0 then
+        out := (encode ~a:(a + 1) ~b:(n - a - 1), float_of_int c /. nf) :: !out;
+      !out
+    in
+    let label i =
+      let a, b = states.(i) in
+      Printf.sprintf "(%d,%d)" a b
+    in
+    let chain = Markov.Chain.create ~label ~size:(Array.length states) ~row () in
+    { chain; n; encode; decode; initial = encode ~a:n ~b:0 }
+
+  let any_success_weight t i =
+    let a, b = t.decode i in
+    float_of_int (t.n - a - b) /. float_of_int t.n
+
+  (* Latency queries recur across experiments and tests (same n), and
+     the underlying solve is O(states³); memoize by n. *)
+  let latency_cache : (int, float) Hashtbl.t = Hashtbl.create 16
+
+  let system_latency ~n =
+    match Hashtbl.find_opt latency_cache n with
+    | Some w -> w
+    | None ->
+        let t = make ~n in
+        let pi = Markov.Stationary.compute t.chain in
+        let rate =
+          Markov.Stationary.success_rate t.chain ~pi ~weight:(any_success_weight t)
+        in
+        let w = 1. /. rate in
+        Hashtbl.replace latency_cache n w;
+        w
+end
+
+let lift (ind : Individual.t) (sys : System.t) i =
+  let sts = ind.decode i in
+  let a = Array.fold_left (fun acc st -> if st = Read then acc + 1 else acc) 0 sts in
+  let b = Array.fold_left (fun acc st -> if st = OldCAS then acc + 1 else acc) 0 sts in
+  sys.encode ~a ~b
+
+let individual_latency ~n = float_of_int n *. System.system_latency ~n

@@ -1,0 +1,54 @@
+type t = {
+  id : string;
+  title : string;
+  run : quick:bool -> Stats.Table.t;
+  notes : string;
+}
+
+module type EXPERIMENT = sig
+  val id : string
+  val title : string
+  val notes : string
+  val run : quick:bool -> Stats.Table.t
+end
+
+let make (module M : EXPERIMENT) =
+  { id = M.id; title = M.title; run = M.run; notes = M.notes }
+
+let all =
+  [
+    make (module Exp_fig1);
+    make (module Exp_fig3);
+    make (module Exp_fig4);
+    make (module Exp_fig5);
+    make (module Exp_thm3);
+    make (module Exp_lem2);
+    make (module Exp_thm4);
+    make (module Exp_lem7);
+    make (module Exp_thm5);
+    make (module Exp_lem11);
+    make (module Exp_lem12);
+    make (module Exp_lift);
+    make (module Exp_cor2);
+    make (module Exp_abl_sched);
+    make (module Exp_abl_wf);
+    make (module Exp_abl_lock);
+    make (module Exp_abl_of);
+    make (module Exp_abl_tas);
+    make (module Exp_structs);
+    make (module Exp_ext_shard);
+    make (module Exp_ext_mix);
+    make (module Exp_ext_methods);
+    make (module Exp_ext_tail);
+    make (module Exp_ext_backup);
+    make (module Exp_ext_replay);
+    make (module Exp_hw);
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let render ?(quick = false) e =
+  let table = e.run ~quick in
+  Printf.sprintf "== %s (%s) ==\n\n%s\nExpected shape: %s\n" e.title e.id
+    (Stats.Table.to_string table)
+    e.notes

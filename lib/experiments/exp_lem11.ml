@@ -1,0 +1,34 @@
+(* Lemma 11: parallel code with q steps per operation has system
+   latency exactly q and individual latency exactly nq under the
+   uniform scheduler. *)
+
+let id = "lem11"
+let title = "Lemma 11: parallel code W = q, W_i = n*q"
+
+let notes = "sim columns match q and nq within sampling error; exact columns are equalities."
+
+let run ~quick =
+  let steps = if quick then 200_000 else 1_000_000 in
+  let table =
+    Stats.Table.create
+      [ "n"; "q"; "W sim"; "W exact"; "W_i sim (p0)"; "n*q" ]
+  in
+  List.iter
+    (fun (n, q) ->
+      let p = Scu.Parallel_code.make ~n ~q in
+      let m = Runs.spec_metrics ~seed:(n * 31 + q) ~n ~steps p.spec in
+      let exact =
+        if n <= 6 && q <= 6 then Runs.fmt (Chains.Parallel_chain.System.system_latency ~n ~q)
+        else Runs.fmt (float_of_int q)
+      in
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int q;
+          Runs.fmt (Sim.Metrics.mean_system_latency m);
+          exact;
+          Runs.fmt (Sim.Metrics.mean_individual_latency m 0);
+          string_of_int (n * q);
+        ])
+    [ (2, 2); (4, 3); (8, 5); (16, 10); (32, 4) ];
+  table

@@ -1,0 +1,69 @@
+(* Lemma 2 / Algorithm 1: an *unbounded* lock-free algorithm that is
+   not wait-free w.h.p. — after a failed CAS a loser spins n²·v reads
+   before retrying, while the winner (whose local v tracks the current
+   value) keeps winning.  We count, per n, how many distinct processes
+   ever complete within a fixed budget, across several seeds, plus the
+   top process's share of all completions. *)
+
+let id = "lem2"
+let title = "Lemma 2: the unbounded algorithm starves all but the winner"
+
+let notes =
+  "Distinct winners stay at ~1 as n grows (a second winner needs the \
+   leader silent for a whole n^2*v window, probability ~e^{-n}); the \
+   winner's completion share is ~100%.  With the penalty capped at 0 \
+   the same code is the bounded augmented-CAS counter and every \
+   process completes — boundedness is exactly what Theorem 3 needs."
+
+let run ~quick =
+  let seeds = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let steps = if quick then 300_000 else 2_000_000 in
+  let table =
+    Stats.Table.create
+      [
+        "n";
+        "mean winners (unbounded)";
+        "max winners";
+        "top share";
+        "winners (bounded variant)";
+      ]
+  in
+  List.iter
+    (fun n ->
+      let stats_of seed penalty_cap =
+        let u =
+          match penalty_cap with
+          | None -> Scu.Unbounded.make ~n ()
+          | Some cap -> Scu.Unbounded.make ~penalty_cap:cap ~n ()
+        in
+        let r =
+          Sim.Executor.run ~seed ~scheduler:Sched.Scheduler.uniform ~n
+            ~stop:(Steps steps) u.spec
+        in
+        let per = List.init n (fun i -> Sim.Metrics.completions_of r.metrics i) in
+        let winners = List.length (List.filter (fun c -> c > 0) per) in
+        let total = List.fold_left ( + ) 0 per in
+        let top = List.fold_left max 0 per in
+        (winners, if total = 0 then 0. else float_of_int top /. float_of_int total)
+      in
+      let unbounded = List.map (fun s -> stats_of s None) seeds in
+      let bounded_winners, _ = stats_of 1 (Some 0) in
+      let winner_counts = List.map fst unbounded in
+      let mean_winners =
+        float_of_int (List.fold_left ( + ) 0 winner_counts)
+        /. float_of_int (List.length winner_counts)
+      in
+      let mean_share =
+        List.fold_left (fun acc (_, s) -> acc +. s) 0. unbounded
+        /. float_of_int (List.length unbounded)
+      in
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          Runs.fmt mean_winners;
+          string_of_int (List.fold_left max 0 winner_counts);
+          Runs.fmt_pct mean_share;
+          string_of_int bounded_winners;
+        ])
+    [ 2; 4; 8; 12; 16 ];
+  table

@@ -1,0 +1,52 @@
+(* The class is the point: §5 lists stacks [21], queues [17], and RCU
+   [7] as SCU instances.  Measure the system latency of each simulated
+   structure across n and check they all inherit the q + s*sqrt(n)
+   shape (exponent ~0.5 in n for the contended part). *)
+
+let id = "structs"
+let title = "SCU instances: stack, queue, RCU, universal construction"
+
+let notes =
+  "Each structure's latency grows sublinearly in n (exponent well \
+   below 1, near 0.5 for the CAS-bound ones); elimination halves the \
+   stack's contention exponent (~0.28 vs ~0.58); RCU's reader- \
+   dominated workload stays nearly flat — readers are parallel code."
+
+let run ~quick =
+  let steps = if quick then 200_000 else 800_000 in
+  let ns = [ 2; 4; 8; 16; 32 ] in
+  let table =
+    Stats.Table.create
+      ([ "structure" ] @ List.map (fun n -> Printf.sprintf "W(n=%d)" n) ns @ [ "exponent" ])
+  in
+  let row name make =
+    let pts =
+      List.map
+        (fun n ->
+          let spec = make n in
+          let m = Runs.spec_metrics ~seed:(97 + n) ~n ~steps spec in
+          (float_of_int n, Sim.Metrics.mean_system_latency m))
+        ns
+    in
+    let fit = Stats.Regression.power_law pts in
+    Stats.Table.add_row table
+      ([ name ]
+      @ List.map (fun (_, w) -> Runs.fmt w) pts
+      @ [ Printf.sprintf "%.2f" fit.slope ])
+  in
+  row "cas counter (SCU(0,1))" (fun n -> (Scu.Counter.make ~n).spec);
+  row "treiber stack" (fun n -> (Scu.Treiber.make ~n ()).spec);
+  row "elimination stack" (fun n -> (Scu.Elimination_stack.make ~n ()).spec);
+  row "ms queue" (fun n -> (Scu.Msqueue.make ~n ()).spec);
+  row "rcu (3/4 readers)" (fun n ->
+      (Scu.Rcu.make ~n ~readers:(max 1 (3 * n / 4)) ~block_size:4).spec);
+  row "universal (k=4 state)" (fun n ->
+      (Scu.Universal.make ~n ~init:[| 0; 0; 0; 0 |]
+         ~apply:(fun ~proc ~op_index:_ st ->
+           let nxt = Array.copy st in
+           nxt.(0) <- st.(0) + 1;
+           nxt.(proc mod 4) <- nxt.(proc mod 4) + 1;
+           nxt))
+        .spec);
+  row "wait-free counter" (fun n -> (Scu.Waitfree_counter.make ~n).spec);
+  table

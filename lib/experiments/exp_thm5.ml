@@ -1,0 +1,54 @@
+(* Theorem 5 / Lemmas 8-9: the iterated balls-into-bins game.  Mean
+   phase length is Theta(sqrt n); phases in the third range (a < n/c)
+   are rare and exited quickly. *)
+
+let id = "thm5"
+let title = "Theorem 5: balls-into-bins phase length = Theta(sqrt n)"
+
+let notes =
+  "phase/sqrt(n) settles near ~1.8 (the exact stationary constant of \
+   the system chain, which drifts down slowly with n); third-range \
+   phases vanish as n grows; exponent fit ~0.5."
+
+let run ~quick =
+  let phases = if quick then 3_000 else 30_000 in
+  let table =
+    Stats.Table.create
+      [ "n"; "mean phase"; "phase/sqrt(n)"; "third-range %"; "exact chain W" ]
+  in
+  let pts = ref [] in
+  List.iter
+    (fun n ->
+      let g = Ballsbins.Game.create ~n in
+      let rng = Stats.Rng.create ~seed:(70 + n) in
+      (* warmup *)
+      for _ = 1 to phases / 10 do
+        ignore (Ballsbins.Game.run_phase g ~rng)
+      done;
+      let ps = Ballsbins.Game.run g ~rng ~phases in
+      let mean =
+        float_of_int (List.fold_left (fun acc p -> acc + p.Ballsbins.Game.length) 0 ps)
+        /. float_of_int phases
+      in
+      let third =
+        float_of_int
+          (List.length (List.filter (fun p -> p.Ballsbins.Game.range = Third) ps))
+        /. float_of_int phases
+      in
+      pts := (float_of_int n, mean) :: !pts;
+      let exact =
+        if n <= 64 then Runs.fmt (Chains.Scu_chain.System.system_latency ~n) else "-"
+      in
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          Runs.fmt mean;
+          Runs.fmt (mean /. sqrt (float_of_int n));
+          Runs.fmt_pct third;
+          exact;
+        ])
+    [ 16; 32; 64; 256; 1024; 4096 ];
+  let fit = Stats.Regression.power_law (List.rev !pts) in
+  Stats.Table.add_row table
+    [ "exponent fit"; Printf.sprintf "%.3f (want ~0.5)" fit.slope; ""; ""; "" ];
+  table

@@ -1,0 +1,19 @@
+let spec_metrics ?(seed = 0xFEED) ?(scheduler = Sched.Scheduler.uniform)
+    ?record_samples ?crash_plan ~n ~steps spec =
+  let r =
+    Sim.Executor.run ~seed ?record_samples ?crash_plan ~scheduler ~n ~stop:(Steps steps)
+      spec
+  in
+  r.metrics
+
+let counter_metrics ?seed ?scheduler ?record_samples ~n ~steps () =
+  let c = Scu.Counter.make ~n in
+  spec_metrics ?seed ?scheduler ?record_samples ~n ~steps c.spec
+
+let sim_trace ?(seed = 0xABBA) ?(scheduler = Sched.Scheduler.uniform) ~n ~steps () =
+  let c = Scu.Counter.make ~n in
+  let r = Sim.Executor.run ~seed ~trace:true ~scheduler ~n ~stop:(Steps steps) c.spec in
+  Option.get r.trace
+
+let fmt v = Printf.sprintf "%.4g" v
+let fmt_pct v = Printf.sprintf "%.2f%%" (100. *. v)

@@ -1,0 +1,86 @@
+type ('op, 'res, 'state) spec = {
+  initial : 'state;
+  apply : 'op -> 'state -> 'res * 'state;
+}
+
+type ('op, 'res) event = {
+  proc : int;
+  op : 'op;
+  result : 'res;
+  invoked : int;
+  returned : int;
+}
+
+let validate events =
+  List.iter
+    (fun e ->
+      if e.returned <= e.invoked then
+        invalid_arg "Checker: event with returned <= invoked")
+    events;
+  if List.length events > 62 then
+    invalid_arg "Checker: histories longer than 62 operations are not supported"
+
+(* Wing-Gong search: repeatedly pick a "minimal" pending operation
+   (one no other pending operation strictly precedes in real time),
+   check its result against the spec, and recurse.  Memoize failed
+   (remaining-set, state) pairs. *)
+let search spec events =
+  validate events;
+  let ops = Array.of_list events in
+  let n = Array.length ops in
+  if n = 0 then Some []
+  else begin
+    let full_mask = (1 lsl n) - 1 in
+    let failed = Hashtbl.create 1024 in
+    (* Keys pair the pending-set mask with the (structural) state, so
+       hash collisions cannot cause false negatives. *)
+    let rec go mask state acc =
+      if mask = 0 then Some (List.rev acc)
+      else if Hashtbl.mem failed (mask, state) then None
+      else begin
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let idx = !i in
+          incr i;
+          if mask land (1 lsl idx) <> 0 then begin
+            (* idx is minimal if no other pending op returned before
+               its invocation. *)
+            let minimal = ref true in
+            for j = 0 to n - 1 do
+              if j <> idx && mask land (1 lsl j) <> 0 then
+                if ops.(j).returned < ops.(idx).invoked then minimal := false
+            done;
+            if !minimal then begin
+              let res, state' = spec.apply ops.(idx).op state in
+              if res = ops.(idx).result then
+                match go (mask land lnot (1 lsl idx)) state' (ops.(idx) :: acc) with
+                | Some _ as found -> result := found
+                | None -> ()
+            end
+          end
+        done;
+        (match !result with
+        | None -> Hashtbl.replace failed (mask, state) ()
+        | Some _ -> ());
+        !result
+      end
+    in
+    go full_mask spec.initial []
+  end
+
+let witness = search
+let check spec events = Option.is_some (search spec events)
+
+module Clock = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let stamp t = Atomic.fetch_and_add t 1
+
+  let record t ~proc ~op f =
+    let invoked = stamp t in
+    let result = f () in
+    let returned = stamp t in
+    { proc; op; result; invoked; returned }
+end

@@ -1,0 +1,60 @@
+(** A linearizability checker (Wing–Gong style search with
+    memoization).
+
+    The paper's progress properties presuppose linearizable objects
+    ("safety properties, which guarantee their correctness", §1); this
+    module lets the test suite *check* that the runtime structures'
+    concurrent histories are linearizable against their sequential
+    specifications, instead of relying only on structural invariants.
+
+    A history is a set of completed operations, each with an
+    invocation and a response timestamp drawn from one global order
+    (e.g. an atomic ticket counter).  The history is linearizable iff
+    there is a total order of the operations, consistent with the
+    real-time order (if a returned before b was invoked, a comes
+    first), under which every operation's result matches the
+    sequential specification.
+
+    Complexity is exponential in the worst case; the checker memoizes
+    on (set of linearized ops, state) and is comfortable with
+    histories of a few dozen operations with realistic concurrency
+    (the search only branches across genuinely overlapping
+    operations). *)
+
+type ('op, 'res, 'state) spec = {
+  initial : 'state;
+  apply : 'op -> 'state -> 'res * 'state;
+      (** Sequential semantics: result and successor state. *)
+}
+
+type ('op, 'res) event = {
+  proc : int;
+  op : 'op;
+  result : 'res;
+  invoked : int;  (** Timestamp strictly before the operation ran. *)
+  returned : int;  (** Timestamp strictly after; > [invoked]. *)
+}
+
+val check : ('op, 'res, 'state) spec -> ('op, 'res) event list -> bool
+(** True iff the history is linearizable w.r.t. the spec.  Raises
+    [Invalid_argument] on malformed events ([returned <= invoked]) or
+    on histories longer than 62 operations (the memoization key is a
+    bitmask). *)
+
+val witness :
+  ('op, 'res, 'state) spec -> ('op, 'res) event list -> ('op, 'res) event list option
+(** A linearization order when one exists. *)
+
+module Clock : sig
+  type t
+
+  val create : unit -> t
+
+  val stamp : t -> int
+  (** Atomic, strictly increasing timestamps — safe to call from any
+      domain. *)
+
+  val record : t -> proc:int -> op:'op -> (unit -> 'res) -> ('op, 'res) event
+  (** [record c ~proc ~op f] stamps, runs [f], stamps again, and
+      packages the event. *)
+end

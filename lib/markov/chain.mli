@@ -1,0 +1,38 @@
+(** Finite discrete-time Markov chains.
+
+    States are integers [0 .. size-1]; the transition structure is a
+    sparse row function so that chains with millions of implicit states
+    never materialize a dense matrix unless asked to. *)
+
+type t = {
+  size : int;
+  row : int -> (int * float) list;
+      (** [row i] lists the outgoing transitions [(j, p_ij)] of state
+          [i] with positive probability.  Rows must sum to 1. *)
+  label : int -> string;  (** Human-readable state name, for debugging. *)
+}
+
+val create :
+  ?label:(int -> string) -> size:int -> row:(int -> (int * float) list) -> unit -> t
+
+val validate : ?eps:float -> t -> (unit, string) result
+(** Checks that every row has non-negative entries summing to 1 within
+    [eps] (default 1e-9), with in-range targets and no duplicates. *)
+
+val transition_prob : t -> int -> int -> float
+(** [transition_prob t i j] is [p_ij] (0 when absent). *)
+
+val dense : t -> float array array
+(** Materializes the transition matrix.  Intended for small chains. *)
+
+val step_distribution : t -> float array -> float array
+(** One application of the transition matrix to a row vector:
+    [(vP)_j = Σ_i v_i p_ij]. *)
+
+val sample_path : t -> rng:Stats.Rng.t -> start:int -> steps:int -> int array
+(** Simulates a trajectory of [steps] transitions; result has length
+    [steps + 1] beginning with [start]. *)
+
+val empirical_occupancy : t -> rng:Stats.Rng.t -> start:int -> steps:int -> float array
+(** Fraction of time spent in each state along a sampled trajectory
+    (excluding the start state so it sums over [steps] visits). *)

@@ -1,0 +1,75 @@
+let successors t i = List.filter_map (fun (j, p) -> if p > 0. then Some j else None) (t.Chain.row i)
+
+let reachable_from t start =
+  let seen = Array.make t.Chain.size false in
+  let stack = Stack.create () in
+  Stack.push start stack;
+  seen.(start) <- true;
+  while not (Stack.is_empty stack) do
+    let i = Stack.pop stack in
+    List.iter
+      (fun j ->
+        if not seen.(j) then begin
+          seen.(j) <- true;
+          Stack.push j stack
+        end)
+      (successors t i)
+  done;
+  seen
+
+let reverse_edges t =
+  let preds = Array.make t.Chain.size [] in
+  for i = 0 to t.Chain.size - 1 do
+    List.iter (fun j -> preds.(j) <- i :: preds.(j)) (successors t i)
+  done;
+  preds
+
+let strongly_connected t =
+  let fwd = reachable_from t 0 in
+  if Array.exists not fwd then false
+  else begin
+    (* Backward reachability from 0 over reversed edges. *)
+    let preds = reverse_edges t in
+    let seen = Array.make t.Chain.size false in
+    let stack = Stack.create () in
+    Stack.push 0 stack;
+    seen.(0) <- true;
+    while not (Stack.is_empty stack) do
+      let i = Stack.pop stack in
+      List.iter
+        (fun j ->
+          if not seen.(j) then begin
+            seen.(j) <- true;
+            Stack.push j stack
+          end)
+        preds.(i)
+    done;
+    not (Array.exists not seen)
+  end
+
+(* Period via BFS levels: for an irreducible chain, the period is the
+   gcd of (level(i) + 1 - level(j)) over all edges i -> j. *)
+let period t =
+  if not (strongly_connected t) then
+    invalid_arg "Ergodic.period: chain is not irreducible";
+  let level = Array.make t.Chain.size (-1) in
+  let queue = Queue.create () in
+  level.(0) <- 0;
+  Queue.push 0 queue;
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let g = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    List.iter
+      (fun j ->
+        if level.(j) = -1 then begin
+          level.(j) <- level.(i) + 1;
+          Queue.push j queue
+        end
+        else g := gcd !g (abs (level.(i) + 1 - level.(j))))
+      (successors t i)
+  done;
+  if !g = 0 then t.Chain.size (* a pure cycle longer than explored *) else !g
+
+let is_aperiodic t = period t = 1
+let is_ergodic t = strongly_connected t && is_aperiodic t

@@ -1,0 +1,18 @@
+(** Expected hitting and return times.
+
+    h_iT = expected number of steps to first reach the target set T
+    from state i.  These satisfy the linear system
+      h_iT = 0 for i ∈ T,  h_iT = 1 + Σ_j p_ij h_jT otherwise,
+    which we solve iteratively (Gauss–Seidel; the system is an
+    M-matrix so the sweep converges for chains where T is reachable
+    from everywhere). *)
+
+val hitting_times : ?tol:float -> ?max_iters:int -> Chain.t -> targets:int list -> float array
+(** Expected steps to reach [targets] from each state (0 on targets).
+    Raises [Invalid_argument] if [targets] is empty or unreachable
+    from some state (the corresponding hitting time would be ∞). *)
+
+val expected_return_time : ?tol:float -> Chain.t -> int -> float
+(** h_ii computed from hitting times: 1 + Σ_j p_ij h_j{i}.  Agrees with
+    [Stationary.expected_return_time] on ergodic chains (Theorem 1);
+    the tests verify this equality on every chain in the repository. *)

@@ -1,0 +1,73 @@
+type report = {
+  max_flow_error : float;
+  max_pi_error : float;
+  fibers : int array;
+}
+
+let verify ~base ~lifted ~f ?base_pi ?lifted_pi () =
+  let nb = base.Chain.size and nl = lifted.Chain.size in
+  let pi_base = match base_pi with Some p -> p | None -> Stationary.compute base in
+  let pi_lifted = match lifted_pi with Some p -> p | None -> Stationary.compute lifted in
+  let fibers = Array.make nb 0 in
+  for x = 0 to nl - 1 do
+    let v = f x in
+    if v < 0 || v >= nb then invalid_arg "Lifting.verify: f maps out of range";
+    fibers.(v) <- fibers.(v) + 1
+  done;
+  (* Aggregate lifted flows through f into a base-indexed table. *)
+  let collapsed = Hashtbl.create (nb * 4) in
+  for x = 0 to nl - 1 do
+    List.iter
+      (fun (y, p) ->
+        let key = (f x, f y) in
+        let q = pi_lifted.(x) *. p in
+        let prev = Option.value (Hashtbl.find_opt collapsed key) ~default:0. in
+        Hashtbl.replace collapsed key (prev +. q))
+      (lifted.Chain.row x)
+  done;
+  (* Base flows. *)
+  let base_flows = Hashtbl.create (nb * 4) in
+  for i = 0 to nb - 1 do
+    List.iter
+      (fun (j, p) ->
+        let key = (i, j) in
+        let prev = Option.value (Hashtbl.find_opt base_flows key) ~default:0. in
+        Hashtbl.replace base_flows key (prev +. (pi_base.(i) *. p)))
+      (base.Chain.row i)
+  done;
+  let max_flow_error = ref 0. in
+  let consider key q =
+    let q' = Option.value (Hashtbl.find_opt base_flows key) ~default:0. in
+    max_flow_error := Float.max !max_flow_error (Float.abs (q -. q'))
+  in
+  Hashtbl.iter consider collapsed;
+  (* Also catch base flows with no lifted counterpart. *)
+  Hashtbl.iter
+    (fun key q ->
+      if not (Hashtbl.mem collapsed key) then
+        max_flow_error := Float.max !max_flow_error (Float.abs q))
+    base_flows;
+  let max_pi_error = ref 0. in
+  let sums = Array.make nb 0. in
+  for x = 0 to nl - 1 do
+    sums.(f x) <- sums.(f x) +. pi_lifted.(x)
+  done;
+  for v = 0 to nb - 1 do
+    max_pi_error := Float.max !max_pi_error (Float.abs (sums.(v) -. pi_base.(v)))
+  done;
+  { max_flow_error = !max_flow_error; max_pi_error = !max_pi_error; fibers }
+
+let is_lifting ?(tol = 1e-8) ~base ~lifted ~f () =
+  let r = verify ~base ~lifted ~f () in
+  r.max_flow_error <= tol && r.max_pi_error <= tol
+
+let fiber_symmetric ?(tol = 1e-9) ~lifted ~f ~pi () =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  for x = 0 to lifted.Chain.size - 1 do
+    let v = f x in
+    match Hashtbl.find_opt seen v with
+    | None -> Hashtbl.add seen v pi.(x)
+    | Some p -> if Float.abs (p -. pi.(x)) > tol then ok := false
+  done;
+  !ok

@@ -1,0 +1,39 @@
+(** Markov chain lifting (paper §3, after Hayes–Sinclair / Chen–Lovász–Pak).
+
+    A chain M' on S' is a lifting of M on S when there is a map
+    f : S' → S such that the ergodic flows satisfy, for all i, j ∈ S:
+
+      Q_ij = Σ_{x ∈ f⁻¹(i), y ∈ f⁻¹(j)} Q'_xy
+
+    Lemma 1 then gives π(v) = Σ_{x ∈ f⁻¹(v)} π'(x).
+
+    This module checks the flow homomorphism numerically; the paper's
+    Lemmas 5, 10 and 13 each become a single [verify] call in the test
+    suite. *)
+
+type report = {
+  max_flow_error : float;
+      (** max_ij |Q_ij − Σ Q'_xy| over collapsed state pairs. *)
+  max_pi_error : float;
+      (** max_v |π(v) − Σ_{f(x)=v} π'(x)| (Lemma 1). *)
+  fibers : int array;  (** Number of lifted states per base state. *)
+}
+
+val verify :
+  base:Chain.t ->
+  lifted:Chain.t ->
+  f:(int -> int) ->
+  ?base_pi:float array ->
+  ?lifted_pi:float array ->
+  unit ->
+  report
+(** Computes both stationary distributions (unless supplied) and the
+    two error bounds.  [f] must map every lifted state into range. *)
+
+val is_lifting : ?tol:float -> base:Chain.t -> lifted:Chain.t -> f:(int -> int) -> unit -> bool
+(** True when both errors are below [tol] (default 1e-8). *)
+
+val fiber_symmetric :
+  ?tol:float -> lifted:Chain.t -> f:(int -> int) -> pi:float array -> unit -> bool
+(** Lemma 6: all lifted states in the same fiber carry equal stationary
+    probability. *)

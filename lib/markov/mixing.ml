@@ -1,0 +1,76 @@
+let tv_distance p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Mixing.tv_distance: length mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. q.(i))) p;
+  0.5 *. !acc
+
+(* Shared sparse one-step application, optionally lazy. *)
+let stepper ?(lazily = true) t =
+  let n = t.Chain.size in
+  let targets = Array.make n [||] and probs = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let row = t.Chain.row i in
+    targets.(i) <- Array.of_list (List.map fst row);
+    probs.(i) <- Array.of_list (List.map snd row)
+  done;
+  fun v ->
+    let out = Array.make n 0. in
+    for i = 0 to n - 1 do
+      let vi = v.(i) in
+      if vi <> 0. then begin
+        let tg = targets.(i) and pr = probs.(i) in
+        for e = 0 to Array.length tg - 1 do
+          out.(tg.(e)) <- out.(tg.(e)) +. (vi *. pr.(e))
+        done
+      end
+    done;
+    if lazily then Array.mapi (fun i x -> 0.5 *. (x +. v.(i))) out else out
+
+let distribution_at ?lazily t ~start ~t:steps =
+  if start < 0 || start >= t.Chain.size then invalid_arg "Mixing.distribution_at: bad start";
+  let step = stepper ?lazily t in
+  let v = ref (Array.init t.Chain.size (fun i -> if i = start then 1. else 0.)) in
+  for _ = 1 to steps do
+    v := step !v
+  done;
+  !v
+
+let spectral_gap ?(iters = 2_000) t =
+  let n = t.Chain.size in
+  let step = stepper ~lazily:true t in
+  let pi = Stationary.compute t in
+  (* Work on row vectors x with Σx = 0 (deflating the stationary
+     eigenvalue); the growth rate of ‖xP‖ estimates |λ₂|. *)
+  let x = ref (Array.init n (fun i -> (if i mod 2 = 0 then 1. else -1.) +. pi.(i))) in
+  let deflate v =
+    let s = Array.fold_left ( +. ) 0. v /. float_of_int n in
+    Array.map (fun a -> a -. s) v
+  in
+  let norm v = sqrt (Array.fold_left (fun acc a -> acc +. (a *. a)) 0. v) in
+  x := deflate !x;
+  let lambda = ref 0. in
+  for _ = 1 to iters do
+    let y = deflate (step !x) in
+    let ny = norm y and nx = norm !x in
+    if ny > 0. && nx > 0. then begin
+      lambda := ny /. nx;
+      (* Renormalize to avoid underflow. *)
+      x := Array.map (fun a -> a /. ny) y
+    end
+  done;
+  1. -. Float.min 1. !lambda
+
+let mixing_time ?lazily ?(eps = 0.25) ?(max_t = 1_000_000) t ~start =
+  let pi = Stationary.compute t in
+  let step = stepper ?lazily t in
+  let v = ref (Array.init t.Chain.size (fun i -> if i = start then 1. else 0.)) in
+  let rec go k =
+    if tv_distance !v pi <= eps then k
+    else if k >= max_t then max_t
+    else begin
+      v := step !v;
+      go (k + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,31 @@
+(** Convergence to stationarity.
+
+    The paper's guarantees are about "long executions" — the chain in
+    its stationary regime.  This module quantifies *how long*: the
+    total-variation mixing time from a worst-case start.  Because the
+    paper's scan-validate chains are periodic (see {!Stationary}), the
+    distances are computed for the lazy chain (I+P)/2, whose long-run
+    behaviour is the standard proxy. *)
+
+val tv_distance : float array -> float array -> float
+(** Total variation distance, ½·Σ|p_i − q_i|.  Arrays must have equal
+    length. *)
+
+val distribution_at : ?lazily:bool -> Chain.t -> start:int -> t:int -> float array
+(** Distribution after [t] steps from the point mass at [start];
+    [lazily] (default true) iterates (I+P)/2. *)
+
+val spectral_gap : ?iters:int -> Chain.t -> float
+(** Estimate of 1 − |λ₂| for the *lazy* chain, by power iteration on
+    the component orthogonal to the stationary distribution (deflated
+    iteration with the π-weighted inner product replaced by plain
+    deflation of the all-ones right eigenvector; adequate for the
+    nearly-reversible chains here).  The relaxation time 1/gap bounds
+    the mixing time up to log factors. *)
+
+val mixing_time :
+  ?lazily:bool -> ?eps:float -> ?max_t:int -> Chain.t -> start:int -> int
+(** Smallest [t] with TV(P^t(start,·), π) ≤ [eps] (default ¼, the
+    standard convention), capped at [max_t] (default 1_000_000; the
+    cap is returned if never reached).  TV to π is non-increasing in
+    [t] for the lazy chain, so the first hit is the answer. *)

@@ -1,0 +1,119 @@
+let l1_diff a b =
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. b.(i))) a;
+  !acc
+
+let power_iteration ?(max_iters = 1_000_000) ?(tol = 1e-12) t =
+  let n = t.Chain.size in
+  (* Materialize the sparse rows once: re-evaluating [t.row] per
+     iteration would allocate fresh lists millions of times. *)
+  let targets = Array.make n [||] and probs = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let row = t.Chain.row i in
+    targets.(i) <- Array.of_list (List.map fst row);
+    probs.(i) <- Array.of_list (List.map snd row)
+  done;
+  let v = ref (Array.make n (1. /. float_of_int n)) in
+  let next = ref (Array.make n 0.) in
+  let rec iterate k =
+    let cur = !v and out = !next in
+    Array.fill out 0 n 0.;
+    for i = 0 to n - 1 do
+      let vi = cur.(i) in
+      if vi <> 0. then begin
+        let tg = targets.(i) and pr = probs.(i) in
+        for e = 0 to Array.length tg - 1 do
+          out.(tg.(e)) <- out.(tg.(e)) +. (vi *. pr.(e))
+        done
+      end
+    done;
+    (* Lazy damping: iterate (I + P)/2, which has the same stationary
+       distribution but converges even for periodic chains — and the
+       paper's scan-validate chains ARE periodic (period 2): every
+       step changes exactly one process's phase, flipping a parity
+       invariant. *)
+    for i = 0 to n - 1 do
+      out.(i) <- 0.5 *. (out.(i) +. cur.(i))
+    done;
+    let delta = l1_diff out cur in
+    v := out;
+    next := cur;
+    if delta > tol && k < max_iters then iterate (k + 1)
+  in
+  iterate 0;
+  !v
+
+(* Solve pi P = pi with sum(pi) = 1: transpose to (P^T - I) pi^T = 0 and
+   replace the last equation by the normalization constraint. *)
+let solve t =
+  let n = t.Chain.size in
+  let a = Array.make_matrix n (n + 1) 0. in
+  for i = 0 to n - 1 do
+    List.iter (fun (j, p) -> a.(j).(i) <- a.(j).(i) +. p) (t.Chain.row i)
+  done;
+  for i = 0 to n - 1 do
+    a.(i).(i) <- a.(i).(i) -. 1.
+  done;
+  for j = 0 to n - 1 do
+    a.(n - 1).(j) <- 1.
+  done;
+  a.(n - 1).(n) <- 1.;
+  (* Gaussian elimination with partial pivoting on the augmented matrix. *)
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-300 then
+      invalid_arg "Stationary.solve: singular system (chain not irreducible?)";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp
+    end;
+    for r = col + 1 to n - 1 do
+      let f = a.(r).(col) /. a.(col).(col) in
+      if f <> 0. then
+        for c = col to n do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done
+    done
+  done;
+  let x = Array.make n 0. in
+  for r = n - 1 downto 0 do
+    let s = ref a.(r).(n) in
+    for c = r + 1 to n - 1 do
+      s := !s -. (a.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !s /. a.(r).(r)
+  done;
+  (* Clean tiny negative round-off and renormalize. *)
+  let x = Array.map (fun v -> if v < 0. && v > -1e-9 then 0. else v) x in
+  let total = Array.fold_left ( +. ) 0. x in
+  Array.map (fun v -> v /. total) x
+
+(* The paper's chains have second eigenvalues near 1 (slow mixing), so
+   the direct solve wins by orders of magnitude up to several thousand
+   states; power iteration is the fallback for the truly large
+   individual chains. *)
+let compute t = if t.Chain.size <= 4000 then solve t else power_iteration t
+
+let expected_return_time t i =
+  let pi = compute t in
+  1. /. pi.(i)
+
+let ergodic_flow t pi =
+  let flows = ref [] in
+  for i = t.Chain.size - 1 downto 0 do
+    List.iter
+      (fun (j, p) -> if p > 0. then flows := (i, j, pi.(i) *. p) :: !flows)
+      (t.Chain.row i)
+  done;
+  !flows
+
+let success_rate t ~pi ~weight =
+  let acc = ref 0. in
+  for i = 0 to t.Chain.size - 1 do
+    acc := !acc +. (pi.(i) *. weight i)
+  done;
+  !acc

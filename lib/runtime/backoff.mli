@@ -1,0 +1,18 @@
+(** Truncated exponential backoff for CAS retry loops on real
+    hardware.  Purely a contention-management aid; it does not change
+    any correctness property.  (The simulator does not use backoff —
+    the paper's model has no notion of it — but the runtime harness
+    exposes it as an option so its effect on the completion rate can
+    be measured.) *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+(** Defaults: 4 to 1024 spins. *)
+
+val once : t -> unit
+(** Spin for the current budget ([Domain.cpu_relax] per spin) and
+    double it, saturating at [max_spins]. *)
+
+val reset : t -> unit
+(** Back to [min_spins] (call after a successful operation). *)

@@ -1,0 +1,42 @@
+type per_domain = { operations : int; steps : int }
+
+type result = {
+  domains : int;
+  total_operations : int;
+  total_steps : int;
+  completion_rate : float;
+  per_domain : per_domain array;
+}
+
+let run ~domains ~ops_per_domain ~op =
+  if domains < 1 then invalid_arg "Harness.run: domains must be >= 1";
+  if ops_per_domain < 1 then invalid_arg "Harness.run: ops_per_domain must be >= 1";
+  let go = Atomic.make false in
+  let worker i () =
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let steps = ref 0 in
+    for _ = 1 to ops_per_domain do
+      steps := !steps + op i
+    done;
+    { operations = ops_per_domain; steps = !steps }
+  in
+  let handles = List.init domains (fun i -> Domain.spawn (worker i)) in
+  Atomic.set go true;
+  let per_domain = Array.of_list (List.map Domain.join handles) in
+  let total_operations = Array.fold_left (fun acc d -> acc + d.operations) 0 per_domain in
+  let total_steps = Array.fold_left (fun acc d -> acc + d.steps) 0 per_domain in
+  {
+    domains;
+    total_operations;
+    total_steps;
+    completion_rate = float_of_int total_operations /. float_of_int total_steps;
+    per_domain;
+  }
+
+let counter_completion_rate ~domains ~ops_per_domain =
+  let counter = Rt_counter.create () in
+  run ~domains ~ops_per_domain ~op:(fun _ ->
+      let _, steps = Rt_counter.incr_cas counter in
+      steps)

@@ -1,0 +1,36 @@
+(** Multicore measurement harness — the real-hardware side of the
+    Figure 5 experiment (Appendix B).
+
+    The *completion rate* is the number of successful operations
+    divided by the total number of shared-memory steps taken by all
+    domains (each operation reports its own step count), matching the
+    paper's definition.  On a fixed operation budget per domain there
+    is no timing involved, so the measurement is exact and
+    reproducible even on a loaded machine. *)
+
+type per_domain = {
+  operations : int;
+  steps : int;
+}
+
+type result = {
+  domains : int;
+  total_operations : int;
+  total_steps : int;
+  completion_rate : float;  (** total_operations / total_steps. *)
+  per_domain : per_domain array;
+}
+
+val run :
+  domains:int ->
+  ops_per_domain:int ->
+  op:(int -> int) ->
+  result
+(** [run ~domains ~ops_per_domain ~op] spawns [domains] domains; each
+    calls [op domain_index] exactly [ops_per_domain] times.  [op] must
+    return the number of shared steps the operation took (the
+    [Rt_counter] / [Rt_treiber] / [Rt_msqueue] operations do). *)
+
+val counter_completion_rate : domains:int -> ops_per_domain:int -> result
+(** The exact Figure 5 workload: concurrent [Rt_counter.incr_cas] on a
+    single shared counter. *)

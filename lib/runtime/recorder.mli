@@ -1,0 +1,37 @@
+(** Real schedule recording — the paper's §A.2 methodology.
+
+    "The first [method] used an atomic fetch-and-increment operation
+    (available in hardware): each process repeatedly calls this
+    operation, and records the values received.  We then sort the
+    values of each process to recover the total order of steps."
+
+    Here, each domain spins on [Atomic.fetch_and_add] over a shared
+    ticket counter, buffering its tickets locally (no shared writes
+    besides the FAA itself).  Tickets are merged afterwards into a
+    {!Sched.Trace.t} whose τ-th entry is the domain that took step τ,
+    ready for the Figure 3 / Figure 4 statistics.
+
+    Caveat recorded in EXPERIMENTS.md: on a machine with fewer cores
+    than domains (this container has one), the OS time-slices domains,
+    so the local successor distribution (Figure 4) is run-biased even
+    though long-run shares (Figure 3) remain fair — the behaviour our
+    [Scheduler.quantum] ablation models. *)
+
+val record : domains:int -> steps_per_domain:int -> Sched.Trace.t
+(** Spawns [domains] domains; each performs [steps_per_domain] FAAs.
+    The returned trace has length [domains * steps_per_domain]. *)
+
+type comparison = {
+  ticket_trace : Sched.Trace.t;  (** §A.2's first method. *)
+  timestamp_trace : Sched.Trace.t;  (** §A.2's second method. *)
+  agreement : float;
+      (** Fraction of positions on which the two recovered orders
+          agree.  The paper found the timestamp method "interferes
+          with the schedule" but otherwise matches; on coarse clocks
+          ties also reduce agreement. *)
+}
+
+val record_both : domains:int -> steps_per_domain:int -> comparison
+(** Both of §A.2's recording methods over the *same* run: each step
+    takes a ticket (fetch-and-add) and a wall-clock timestamp; the two
+    recovered total orders are compared. *)

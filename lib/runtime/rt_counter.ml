@@ -1,0 +1,19 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+let get = Atomic.get
+
+let incr_cas ?backoff t =
+  let rec attempt steps =
+    let v = Atomic.get t in
+    if Atomic.compare_and_set t v (v + 1) then (v, steps + 2)
+    else begin
+      Option.iter Backoff.once backoff;
+      attempt (steps + 2)
+    end
+  in
+  let result = attempt 0 in
+  Option.iter Backoff.reset backoff;
+  result
+
+let incr_faa t = (Atomic.fetch_and_add t 1, 1)

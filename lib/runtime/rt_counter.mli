@@ -1,0 +1,22 @@
+(** Real lock-free fetch-and-increment counters on OCaml 5 [Atomic] —
+    the hardware twin of {!Scu.Counter} / {!Scu.Counter_aug}, used by
+    the Figure 5 harness.
+
+    Every operation reports the number of shared-memory accesses it
+    performed, so the harness can compute the paper's completion rate
+    (operations / total steps) without any clock. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> int
+
+val incr_cas : ?backoff:Backoff.t -> t -> int * int
+(** Read-then-CAS loop (the paper's Appendix B algorithm).  Returns
+    [(value_obtained, steps)]: steps counts every read and every CAS
+    attempt. *)
+
+val incr_faa : t -> int * int
+(** Hardware fetch-and-add (the "augmented" primitive): always
+    [(value, 1)].  Wait-free; the baseline the recorder uses. *)

@@ -1,0 +1,62 @@
+type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+let create () =
+  let sentinel = { value = None; next = Atomic.make None } in
+  { head = Atomic.make sentinel; tail = Atomic.make sentinel }
+
+let enqueue t v =
+  let node = { value = Some v; next = Atomic.make None } in
+  let rec attempt steps =
+    let tl = Atomic.get t.tail in
+    match Atomic.get tl.next with
+    | Some n ->
+        (* Tail lags: help swing it. *)
+        ignore (Atomic.compare_and_set t.tail tl n);
+        attempt (steps + 3)
+    | None ->
+        if Atomic.compare_and_set tl.next None (Some node) then begin
+          ignore (Atomic.compare_and_set t.tail tl node);
+          steps + 4
+        end
+        else attempt (steps + 3)
+  in
+  attempt 0
+
+let dequeue t =
+  let rec attempt steps =
+    let h = Atomic.get t.head in
+    let tl = Atomic.get t.tail in
+    let next = Atomic.get h.next in
+    if h == tl then
+      match next with
+      | None -> (None, steps + 3)
+      | Some n ->
+          ignore (Atomic.compare_and_set t.tail tl n);
+          attempt (steps + 4)
+    else
+      match next with
+      | Some n ->
+          if Atomic.compare_and_set t.head h n then ((n.value, steps + 4))
+          else attempt (steps + 4)
+      | None ->
+          (* head moved under us; retry *)
+          attempt (steps + 3)
+  in
+  attempt 0
+
+let is_empty t =
+  let h = Atomic.get t.head in
+  match Atomic.get h.next with None -> true | Some _ -> false
+
+let to_list t =
+  let rec walk acc node =
+    match Atomic.get node.next with
+    | None -> List.rev acc
+    | Some n -> (
+        match n.value with
+        | Some v -> walk (v :: acc) n
+        | None -> walk acc n)
+  in
+  walk [] (Atomic.get t.head)

@@ -1,0 +1,18 @@
+(** Michael–Scott queue on OCaml 5 [Atomic]: the real-hardware twin of
+    {!Scu.Msqueue}.  Two-lock-free-pointer design with helping tail
+    swings; GC prevents ABA. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val enqueue : 'a t -> 'a -> int
+(** Returns the number of shared accesses performed. *)
+
+val dequeue : 'a t -> 'a option * int
+
+val is_empty : 'a t -> bool
+
+val to_list : 'a t -> 'a list
+(** Snapshot, head first.  Only an approximation under concurrency;
+    exact at quiescence. *)

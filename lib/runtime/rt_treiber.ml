@@ -1,0 +1,31 @@
+type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+type 'a t = 'a node Atomic.t
+
+let create () = Atomic.make Nil
+
+let push t value =
+  let rec attempt steps =
+    let top = Atomic.get t in
+    if Atomic.compare_and_set t top (Cons { value; next = top }) then steps + 2
+    else attempt (steps + 2)
+  in
+  attempt 0
+
+let pop t =
+  let rec attempt steps =
+    match Atomic.get t with
+    | Nil -> (None, steps + 1)
+    | Cons { value; next } as top ->
+        if Atomic.compare_and_set t top next then (Some value, steps + 2)
+        else attempt (steps + 2)
+  in
+  attempt 0
+
+let peek t = match Atomic.get t with Nil -> None | Cons { value; _ } -> Some value
+let is_empty t = match Atomic.get t with Nil -> true | Cons _ -> false
+
+let to_list t =
+  let rec walk acc = function Nil -> List.rev acc | Cons { value; next } -> walk (value :: acc) next in
+  walk [] (Atomic.get t)
+
+let length t = List.length (to_list t)

@@ -1,0 +1,22 @@
+(** Treiber stack on OCaml 5 [Atomic]: the real-hardware twin of
+    {!Scu.Treiber}.  Standard immutable-node implementation; OCaml's
+    GC rules out ABA (a node can't be reused while a pointer to it is
+    live). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> int
+(** Returns the number of shared accesses (1 read + 1 CAS per
+    attempt). *)
+
+val pop : 'a t -> 'a option * int
+
+val peek : 'a t -> 'a option
+val is_empty : 'a t -> bool
+
+val to_list : 'a t -> 'a list
+(** Snapshot, top first (single atomic read + pure traversal). *)
+
+val length : 'a t -> int

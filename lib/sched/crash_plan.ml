@@ -1,0 +1,28 @@
+type t = (int * int) list (* (time, proc), sorted by time, unique procs *)
+
+let none = []
+
+let of_list events =
+  let seen = Hashtbl.create 8 in
+  let dedup =
+    List.filter
+      (fun (time, proc) ->
+        match Hashtbl.find_opt seen proc with
+        | Some earlier when earlier <= time -> false
+        | _ ->
+            Hashtbl.replace seen proc time;
+            true)
+      (List.sort compare events)
+  in
+  (* After sorting, the first occurrence of each proc is its earliest. *)
+  List.sort compare dedup
+
+let crashes_at t ~time = List.filter_map (fun (tm, p) -> if tm = time then Some p else None) t
+let crashed_by t ~time = List.filter_map (fun (tm, p) -> if tm <= time then Some p else None) t
+let count t = List.length t
+
+let validate ~n t =
+  let procs = List.map snd t in
+  if List.exists (fun p -> p < 0 || p >= n) procs then Error "crash plan: process out of range"
+  else if List.length procs >= n then Error "crash plan: all processes would crash"
+  else Ok ()

@@ -1,0 +1,31 @@
+(** Crash schedules.
+
+    Definition 1's conditions 3–4: a crashed process has probability 0
+    from its crash time onward, and the possibly-active set only
+    shrinks (A_{τ+1} ⊆ A_τ).  A plan lists (time, process) crash
+    events; the executor consults it each step and removes crashed
+    processes from the alive set, which automatically satisfies both
+    conditions.  The paper allows up to n−1 crashes; [validate]
+    enforces that at least one process survives. *)
+
+type t
+
+val none : t
+(** No crashes ever. *)
+
+val of_list : (int * int) list -> t
+(** [(time, proc)] events; a process crashes at the *start* of the
+    given time step (it takes no step at that time).  Duplicate
+    processes keep the earliest crash. *)
+
+val crashes_at : t -> time:int -> int list
+(** Processes that crash exactly at [time]. *)
+
+val crashed_by : t -> time:int -> int list
+(** All processes whose crash time is <= [time]. *)
+
+val count : t -> int
+
+val validate : n:int -> t -> (unit, string) result
+(** Checks process indices are in range and fewer than [n] processes
+    crash in total. *)

@@ -1,0 +1,86 @@
+(** Schedulers, after Definition 1 of the paper.
+
+    A scheduler for [n] processes is a triple (Π_τ, A_τ, θ): at each
+    time step τ it draws the process to schedule from a distribution
+    Π_τ over the possibly-active set A_τ, and it is *stochastic* when
+    every possibly-active process has probability at least θ > 0
+    (weak fairness).  Here:
+
+    - the executor owns A_τ (the [alive] array passed to [pick]),
+      enforcing the crash and crash-containment conditions;
+    - a scheduler is a named [pick] function, possibly stateful
+      (round-robin, adversaries) and possibly randomized via the
+      supplied RNG;
+    - [theta] is the scheduler's declared weak-fairness threshold
+      (0 for pure adversaries).  [Validity] checks the declaration
+      empirically.
+
+    An adversarial scheduler is encoded exactly as the paper suggests:
+    probability 1 on the adversary's choice.  [with_weak_fairness]
+    mixes any adversary with the uniform distribution to obtain a
+    stochastic scheduler with a given θ, which is how the Theorem 3
+    experiments sweep θ. *)
+
+type t = {
+  name : string;
+  theta : float;  (** Declared weak-fairness threshold. *)
+  pick : rng:Stats.Rng.t -> alive:bool array -> time:int -> int;
+      (** Chooses an index with [alive.(i) = true].  Behaviour is
+          unspecified if no process is alive. *)
+}
+
+val uniform : t
+(** The uniform stochastic scheduler: γ_i = 1/|A_τ| (θ = 1/n when all
+    n processes are alive).  This is the scheduler under which all the
+    paper's quantitative results hold. *)
+
+val round_robin : unit -> t
+(** Deterministic cyclic scheduler (skips dead processes).  Fresh
+    internal state per call. *)
+
+val weighted : float array -> t
+(** Static weights, renormalized over the alive set.  Weights must be
+    non-negative; a process with zero weight is only scheduled if all
+    alive processes have zero weight (then uniform). *)
+
+val zipf : n:int -> alpha:float -> t
+(** Zipf-skewed weights w_i = 1/(i+1)^alpha — the `abl-sched` ablation:
+    alpha = 0 recovers uniform, larger alpha concentrates steps on low
+    process ids, breaking the uniform-scheduler assumption. *)
+
+val lottery : int array -> t
+(** Ticket-based lottery scheduling (Petrou et al., cited in §A.1 as a
+    deployed randomized scheduler); equivalent to [weighted] with
+    integer tickets. *)
+
+val starver : victim:int -> t
+(** Classic worst-case adversary against [victim]: never schedules it
+    while any other process is alive (θ = 0). *)
+
+val quantum : length:int -> t
+(** OS-like scheduler: picks a process uniformly, then runs it for
+    [length] consecutive steps before re-drawing.  Uniform in the long
+    run but locally bursty — used to probe robustness of the uniform
+    model's predictions. *)
+
+val replay : int array -> t
+(** [replay order] schedules [order.(τ mod length)] at time τ — used
+    to drive the simulator with a schedule *recorded on real hardware*
+    ({!Runtime.Recorder}), closing the loop between the paper's
+    Appendix A (what real schedules look like) and its model
+    predictions.  Falls back to uniform if the recorded process is
+    dead. *)
+
+val with_weak_fairness : theta:float -> t -> t
+(** [with_weak_fairness ~theta adv] schedules uniformly among the k
+    alive processes with probability k·theta and defers to [adv]
+    otherwise, making every alive process's probability at least
+    [theta].  Requires 0 < theta and k·theta <= 1 at every step (the
+    executor's n must satisfy n·theta <= 1). *)
+
+val pick_distribution :
+  t -> rng:Stats.Rng.t -> alive:bool array -> time:int -> trials:int -> float array
+(** Empirical estimate of Π_τ by repeated sampling (for tests and for
+    the validity checker).  Stateful schedulers are sampled on copies
+    of nothing — callers should only use this on stateless ones or
+    accept perturbation of internal state. *)

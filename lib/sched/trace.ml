@@ -1,0 +1,74 @@
+type t = { n : int; steps : Stats.Vec.Int.t }
+
+let create ~n = { n; steps = Stats.Vec.Int.create ~capacity:1024 () }
+
+let record t i =
+  if i < 0 || i >= t.n then invalid_arg "Trace.record: process id out of range";
+  Stats.Vec.Int.push t.steps i
+
+let length t = Stats.Vec.Int.length t.steps
+let n t = t.n
+
+let of_array ~n arr =
+  let t = create ~n in
+  Array.iter (record t) arr;
+  t
+
+let to_array t = Stats.Vec.Int.to_array t.steps
+
+let step_counts t =
+  let counts = Array.make t.n 0 in
+  Stats.Vec.Int.iter (fun i -> counts.(i) <- counts.(i) + 1) t.steps;
+  counts
+
+let step_shares t =
+  let counts = step_counts t in
+  let total = length t in
+  if total = 0 then Array.make t.n 0.
+  else Array.map (fun c -> float_of_int c /. float_of_int total) counts
+
+let next_step_distribution t ~after =
+  let counts = Array.make t.n 0 in
+  let total = ref 0 in
+  let len = length t in
+  for k = 0 to len - 2 do
+    if Stats.Vec.Int.get t.steps k = after then begin
+      let succ = Stats.Vec.Int.get t.steps (k + 1) in
+      counts.(succ) <- counts.(succ) + 1;
+      incr total
+    end
+  done;
+  if !total = 0 then Array.make t.n 0.
+  else Array.map (fun c -> float_of_int c /. float_of_int !total) counts
+
+let successor_matrix t =
+  Array.init t.n (fun i -> next_step_distribution t ~after:i)
+
+let run_length_counts t ~proc =
+  let tbl = Hashtbl.create 16 in
+  let current = ref 0 in
+  let flush () =
+    if !current > 0 then begin
+      let prev = Option.value (Hashtbl.find_opt tbl !current) ~default:0 in
+      Hashtbl.replace tbl !current (prev + 1);
+      current := 0
+    end
+  in
+  Stats.Vec.Int.iter
+    (fun i -> if i = proc then incr current else flush ())
+    t.steps;
+  flush ();
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let max_gap t ~proc =
+  let best = ref 0 and current = ref 0 in
+  Stats.Vec.Int.iter
+    (fun i ->
+      if i = proc then begin
+        if !current > !best then best := !current;
+        current := 0
+      end
+      else incr current)
+    t.steps;
+  if !current > !best then best := !current;
+  !best

@@ -1,0 +1,40 @@
+(** Schedule traces and the statistics behind Figures 3 and 4.
+
+    A trace is the sequence of scheduled process ids.  Figure 3 plots
+    the long-run share of steps per process; Figure 4 plots the
+    distribution of the *next* scheduled process conditioned on the
+    current step being by a given process.  Both should be close to
+    uniform under the uniform stochastic scheduler — and, per the
+    paper's Appendix A, they are close to uniform for real hardware
+    schedules too. *)
+
+type t
+
+val create : n:int -> t
+val record : t -> int -> unit
+val length : t -> int
+val n : t -> int
+
+val of_array : n:int -> int array -> t
+val to_array : t -> int array
+
+val step_counts : t -> int array
+(** Steps taken by each process. *)
+
+val step_shares : t -> float array
+(** Figure 3: fraction of all steps taken by each process. *)
+
+val next_step_distribution : t -> after:int -> float array
+(** Figure 4: empirical distribution of the process scheduled
+    immediately after a step by process [after].  All zeros if [after]
+    never appears before the end of the trace. *)
+
+val successor_matrix : t -> float array array
+(** Row [i] is [next_step_distribution ~after:i]. *)
+
+val run_length_counts : t -> proc:int -> (int * int) list
+(** Histogram of maximal consecutive-run lengths of [proc] in the
+    trace, as (length, occurrences), sorted by length. *)
+
+val max_gap : t -> proc:int -> int
+(** Longest stretch of steps not involving [proc] (starvation probe). *)

@@ -1,0 +1,35 @@
+type verdict = {
+  well_formed : bool;
+  weak_fair : bool;
+  no_dead_scheduled : bool;
+  min_alive_probability : float;
+}
+
+let check (sched : Scheduler.t) ~rng ~alive ?(time = 0) ?(trials = 100_000) () =
+  let n = Array.length alive in
+  let counts = Array.make n 0 in
+  let dead_hit = ref false in
+  for _ = 1 to trials do
+    let i = sched.pick ~rng ~alive ~time in
+    if i < 0 || i >= n || not alive.(i) then dead_hit := true
+    else counts.(i) <- counts.(i) + 1
+  done;
+  let k = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive in
+  let min_alive_probability = ref infinity in
+  Array.iteri
+    (fun i c ->
+      if alive.(i) then
+        min_alive_probability :=
+          Float.min !min_alive_probability (float_of_int c /. float_of_int trials))
+    counts;
+  let declared =
+    if Float.is_nan sched.theta then 1. /. float_of_int k else sched.theta
+  in
+  (* 3-sigma slack on a Bernoulli(declared) estimate. *)
+  let slack = 3. *. sqrt (declared *. (1. -. declared) /. float_of_int trials) in
+  {
+    well_formed = not !dead_hit;
+    weak_fair = declared <= 0. || !min_alive_probability >= declared -. slack;
+    no_dead_scheduled = not !dead_hit;
+    min_alive_probability = !min_alive_probability;
+  }

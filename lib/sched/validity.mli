@@ -1,0 +1,34 @@
+(** Empirical validation of Definition 1.
+
+    Given a scheduler and a fixed alive set, sample Π_τ and check the
+    four conditions of the paper's scheduler definition:
+
+    1. well-formedness — some alive process is always returned (the
+       sampled distribution sums to 1 by construction);
+    2. weak fairness — every alive process's empirical probability is
+       at least the declared θ (within sampling tolerance);
+    3. crashes — no dead process is ever scheduled;
+    4. crash containment — the executor's job; checked in the
+       simulator tests instead.
+
+    This makes "is this scheduler actually stochastic with the θ it
+    claims?" a unit test rather than an assumption. *)
+
+type verdict = {
+  well_formed : bool;
+  weak_fair : bool;
+  no_dead_scheduled : bool;
+  min_alive_probability : float;
+}
+
+val check :
+  Scheduler.t ->
+  rng:Stats.Rng.t ->
+  alive:bool array ->
+  ?time:int ->
+  ?trials:int ->
+  unit ->
+  verdict
+(** Default 100_000 trials at time 0.  [weak_fair] compares against the
+    scheduler's declared theta minus 3 standard errors ([nan] theta,
+    i.e. the uniform scheduler, is checked against 1/|alive|). *)

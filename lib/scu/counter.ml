@@ -1,0 +1,98 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = {
+  spec : Sim.Executor.spec;
+  register : int;
+  log : int option;
+  log_capacity : int;
+  n : int;
+}
+
+let fetch_and_increment r =
+  let rec attempt () =
+    let v = Program.read r in
+    if Program.cas r ~expected:v ~value:(v + 1) then v else attempt ()
+  in
+  attempt ()
+
+let make ~n =
+  let memory = Memory.create () in
+  let r = Memory.alloc memory ~size:1 in
+  let program (_ : Program.ctx) =
+    let rec loop () =
+      ignore (fetch_and_increment r);
+      Program.complete ();
+      loop ()
+    in
+    loop ()
+  in
+  {
+    spec = { name = "cas-counter"; memory; program };
+    register = r;
+    log = None;
+    log_capacity = 0;
+    n;
+  }
+
+let make_instrumented ~n =
+  let memory = Memory.create () in
+  let r = Memory.alloc memory ~size:1 in
+  let attempts = Stats.Vec.Int.create ~capacity:1024 () in
+  let program (_ : Program.ctx) =
+    let rec loop () =
+      let rec attempt k =
+        let v = Program.read r in
+        if Program.cas r ~expected:v ~value:(v + 1) then k else attempt (k + 1)
+      in
+      let tries = attempt 1 in
+      (* Instrumentation lives outside the simulated memory: recording
+         the attempt count is local computation and costs no steps. *)
+      Stats.Vec.Int.push attempts tries;
+      Program.complete ();
+      loop ()
+    in
+    loop ()
+  in
+  ( {
+      spec = { name = "cas-counter-instrumented"; memory; program };
+      register = r;
+      log = None;
+      log_capacity = 0;
+      n;
+    },
+    attempts )
+
+let make_logged ~n ~ops_per_process =
+  if ops_per_process <= 0 then invalid_arg "Counter.make_logged: ops must be positive";
+  let memory = Memory.create () in
+  let r = Memory.alloc memory ~size:1 in
+  (* Log slots store value+1 so that 0 means "not yet written". *)
+  let log = Memory.alloc memory ~size:(n * ops_per_process) in
+  let program (ctx : Program.ctx) =
+    for k = 0 to ops_per_process - 1 do
+      let v = fetch_and_increment r in
+      Program.write (log + (ctx.id * ops_per_process) + k) (v + 1);
+      Program.complete ()
+    done
+  in
+  {
+    spec = { name = "cas-counter-logged"; memory; program };
+    register = r;
+    log = Some log;
+    log_capacity = ops_per_process;
+    n;
+  }
+
+let logged_values t mem i =
+  match t.log with
+  | None -> invalid_arg "Counter.logged_values: counter was not built with make_logged"
+  | Some log ->
+      let out = ref [] in
+      for k = t.log_capacity - 1 downto 0 do
+        let cell = Memory.get mem (log + (i * t.log_capacity) + k) in
+        if cell <> 0 then out := (cell - 1) :: !out
+      done;
+      !out
+
+let value t mem = Memory.get mem t.register

@@ -1,0 +1,40 @@
+(** Lock-free fetch-and-increment via read + CAS — the concrete
+    SCU(0, 1) instance measured in the paper's Appendix B (Figure 5):
+    "reads the value v of a shared register R, and then attempts to
+    increment the value using a CAS(R, v, v + 1) call". *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  register : int;  (** Address of the counter register R. *)
+  log : int option;
+      (** When built with [make_logged], base address of the log area
+          recording every value obtained by every process. *)
+  log_capacity : int;
+  n : int;
+}
+
+val make : n:int -> t
+(** Pure latency-measurement variant: each operation costs exactly its
+    shared reads and CASes. *)
+
+val make_instrumented : n:int -> t * Stats.Vec.Int.t
+(** Like [make], additionally recording each completed operation's CAS
+    attempt count (1 = first try) in the returned vector.  Recording
+    is instrumentation outside the simulated memory — it costs no
+    steps.  Used by the `ext-backup` experiment to bound how often a
+    Kogan–Petrank-style wait-free backup path would trigger. *)
+
+val make_logged : n:int -> ops_per_process:int -> t
+(** Correctness-test variant: every process performs exactly
+    [ops_per_process] increments, writing each obtained value into a
+    private log slot (one extra write step per operation), then
+    terminates.  [logged_values] recovers the log. *)
+
+val logged_values : t -> Sim.Memory.t -> int -> int list
+(** [logged_values t mem i] lists the values process [i] obtained, in
+    order.  The fetch-and-increment specification demands that, across
+    all processes, these form exactly [0 .. total−1] with no
+    duplicates. *)
+
+val value : t -> Sim.Memory.t -> int
+(** Current counter value. *)

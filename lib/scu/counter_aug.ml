@@ -1,0 +1,31 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = { spec : Sim.Executor.spec; register : int; n : int }
+
+let make ~n =
+  let memory = Memory.create () in
+  let r = Memory.alloc memory ~size:1 in
+  let program (_ : Program.ctx) =
+    (* v persists across operations: after a success the process knows
+       the register holds v+1; after a failure it holds the returned
+       (current) value. *)
+    let v = ref 0 in
+    let rec operation () =
+      let old = !v in
+      let got = Program.cas_get r ~expected:old ~value:(old + 1) in
+      if got = old then begin
+        v := old + 1;
+        Program.complete ();
+        operation ()
+      end
+      else begin
+        v := got;
+        operation ()
+      end
+    in
+    operation ()
+  in
+  { spec = { name = "aug-cas-counter"; memory; program }; register = r; n }
+
+let value t mem = Memory.get mem t.register

@@ -1,0 +1,17 @@
+(** Fetch-and-increment from *augmented* CAS — paper §7, Algorithm 5.
+
+    Augmented CAS returns the register's current value, so a failed
+    attempt leaves the caller holding the *current* value: its very
+    next attempt succeeds unless someone intervenes.  The local value
+    [v] persists across operations, which is what makes the two-state
+    (Current/Stale) Markov chain of §7.1 the right model. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  register : int;
+  n : int;
+}
+
+val make : n:int -> t
+
+val value : t -> Sim.Memory.t -> int

@@ -1,0 +1,120 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = {
+  spec : Sim.Executor.spec;
+  top : int;
+  slots : int array;
+  eliminated : int;
+  n : int;
+}
+
+let empty = 0
+let taken = 1
+let parked v = v + 2
+let unpark c = c - 2
+
+let make ?slots:(slot_count = 0) ?(poll = 4) ?(push_ratio = 0.5) ~n () =
+  if not (push_ratio >= 0. && push_ratio <= 1.) then
+    invalid_arg "Elimination_stack.make: push_ratio out of [0,1]";
+  if poll < 1 then invalid_arg "Elimination_stack.make: poll must be >= 1";
+  let slot_count = if slot_count <= 0 then max 1 (n / 4) else slot_count in
+  let memory = Memory.create () in
+  let top = Memory.alloc memory ~size:1 in
+  let eliminated = Memory.alloc memory ~size:1 in
+  let slots = Array.init slot_count (fun _ -> Memory.alloc memory ~size:1) in
+  let push_stack node =
+    let t = Program.read top in
+    Program.write (node + 1) t;
+    Program.cas top ~expected:t ~value:node
+  in
+  let try_park_push (ctx : Program.ctx) v =
+    (* Returns true when the value was handed to a pop. *)
+    let slot = slots.(Stats.Rng.int ctx.rng slot_count) in
+    if not (Program.cas slot ~expected:empty ~value:(parked v)) then false
+    else begin
+      let rec wait k =
+        let c = Program.read slot in
+        if c = taken then begin
+          (* A pop grabbed it; release the slot. *)
+          Program.write slot empty;
+          true
+        end
+        else if k >= poll then
+          (* Reclaim, unless a pop slips in at the last instant. *)
+          if Program.cas slot ~expected:(parked v) ~value:empty then false
+          else begin
+            (* The CAS can only fail because the slot became taken. *)
+            Program.write slot empty;
+            true
+          end
+        else wait (k + 1)
+      in
+      wait 0
+    end
+  in
+  let try_grab_pop (ctx : Program.ctx) =
+    let slot = slots.(Stats.Rng.int ctx.rng slot_count) in
+    let c = Program.read slot in
+    if c >= 2 && Program.cas slot ~expected:c ~value:taken then begin
+      ignore (Program.faa eliminated 1);
+      Some (unpark c)
+    end
+    else None
+  in
+  let program (ctx : Program.ctx) =
+    let ops = ref 0 in
+    let rec push_loop node v =
+      if push_stack node then ()
+      else if try_park_push ctx v then ()
+      else push_loop node v
+    and pop_loop () =
+      let t = Program.read top in
+      if t = 0 then ()
+      else
+        let _v = Program.read t in
+        let next = Program.read (t + 1) in
+        if Program.cas top ~expected:t ~value:next then ()
+        else
+          match try_grab_pop ctx with
+          | Some _ -> ()
+          | None -> pop_loop ()
+    in
+    let rec loop () =
+      (if Stats.Rng.float ctx.rng 1.0 < push_ratio then begin
+         let v = (!ops * n) + ctx.id + 1 in
+         let node = Memory.alloc memory ~size:2 in
+         Program.write node v;
+         push_loop node v
+       end
+       else pop_loop ());
+      incr ops;
+      Program.complete ();
+      loop ()
+    in
+    loop ()
+  in
+  {
+    spec =
+      { name = Printf.sprintf "elimination-stack(k=%d)" slot_count; memory; program };
+    top;
+    slots;
+    eliminated;
+    n;
+  }
+
+let eliminated_pairs t mem = Memory.get mem t.eliminated
+
+let drain t mem =
+  let rec walk node acc =
+    if node = 0 then List.rev acc
+    else walk (Memory.get mem (node + 1)) (Memory.get mem node :: acc)
+  in
+  let stacked = walk (Memory.get mem t.top) [] in
+  let in_slots =
+    Array.to_list t.slots
+    |> List.filter_map (fun s ->
+           let c = Memory.get mem s in
+           if c >= 2 then Some (unpark c) else None)
+  in
+  stacked @ in_slots

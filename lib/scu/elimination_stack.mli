@@ -1,0 +1,37 @@
+(** A Treiber stack with (simplified, asymmetric) elimination backoff
+    — after Hendler, Shavit and Yerushalmi's elimination stack, the
+    classic answer to CAS contention on the top pointer, and a
+    data-structure companion to §8's question about avoiding the
+    Θ(√n) contention factor.
+
+    A push that loses its CAS parks its value in an exchange slot; a
+    pop that loses its CAS tries to grab a parked value.  A matched
+    pair eliminates without ever touching the stack (linearized as
+    push immediately followed by pop at the grab); a parked push that
+    is not rescued within a bounded poll reclaims its slot and retries
+    the stack.  The simplification relative to the original: only
+    pushes park (pops never wait), so there is no symmetric-rendezvous
+    protocol to get wrong.
+
+    Slot encoding: 0 = empty, 1 = taken marker, v + 2 = parked value
+    v (parked values are the workload's unique positive ints). *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  top : int;
+  slots : int array;  (** Exchange slot addresses. *)
+  eliminated : int;  (** Address of a counter of eliminated pairs. *)
+  n : int;
+}
+
+val make : ?slots:int -> ?poll:int -> ?push_ratio:float -> n:int -> unit -> t
+(** [slots] exchange slots (default [max 1 (n/4)]), [poll] poll steps
+    a parked push waits (default 4), mixed workload as in
+    {!Treiber.make}. *)
+
+val eliminated_pairs : t -> Sim.Memory.t -> int
+(** Number of push/pop pairs that met in a slot instead of the stack. *)
+
+val drain : t -> Sim.Memory.t -> int list
+(** Stack contents, top first; parked-but-unmatched slot values are
+    appended at the end (they are still logically in the structure). *)

@@ -1,0 +1,38 @@
+(** The Michael–Scott lock-free queue (PODC 1996, paper ref [17]) in
+    the simulator.  Slightly richer than plain SCU(q, s) — the tail
+    swing is a second, helping CAS — but its scan-validate core is the
+    same pattern, and the paper cites it as a target of the analysis.
+
+    Node layout: [value; next]; a sentinel node is allocated at
+    creation, with [head]/[tail] registers pointing at it. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  head : int;
+  tail : int;
+  enq_log : int option;
+  deq_log : int option;
+  ops_per_process : int;
+  n : int;
+}
+
+val enqueue_method : int
+(** Method id for enqueues in [Sim.Metrics] per-method statistics. *)
+
+val dequeue_method : int
+
+val make : ?enqueue_ratio:float -> n:int -> unit -> t
+(** Endless mixed workload (default 50/50); completions are tagged
+    with [enqueue_method] / [dequeue_method]. *)
+
+val make_logged : ?enqueue_ratio:float -> n:int -> ops_per_process:int -> unit -> t
+(** Bounded, logging variant; processes terminate when done. *)
+
+val contents : t -> Sim.Memory.t -> int list
+(** Queue contents, head first (direct read, not simulated). *)
+
+val enqueues : t -> Sim.Memory.t -> int -> int list
+
+type deq_result = Empty | Dequeued of int
+
+val dequeues : t -> Sim.Memory.t -> int -> deq_result list

@@ -1,0 +1,36 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = { spec : Sim.Executor.spec; register : int; flags : int; n : int }
+
+let make ~n =
+  let memory = Memory.create () in
+  let register = Memory.alloc memory ~size:1 in
+  let flags = Memory.alloc memory ~size:n in
+  let program (ctx : Program.ctx) =
+    let rec operation () =
+      let rec attempt () =
+        Program.write (flags + ctx.id) 1;
+        let interference = ref false in
+        for j = 0 to n - 1 do
+          if j <> ctx.id && Program.read (flags + j) = 1 then interference := true
+        done;
+        if !interference then begin
+          Program.write (flags + ctx.id) 0;
+          attempt ()
+        end
+        else begin
+          let v = Program.read register in
+          Program.write register (v + 1);
+          Program.write (flags + ctx.id) 0
+        end
+      in
+      attempt ();
+      Program.complete ();
+      operation ()
+    in
+    operation ()
+  in
+  { spec = { name = "obstruction-free-counter"; memory; program }; register; flags; n }
+
+let value t mem = Memory.get mem t.register

@@ -1,0 +1,33 @@
+(** An obstruction-free (but not lock-free) counter — the last cell of
+    the paper's §2.2 progress taxonomy.
+
+    Protocol (a deliberately minimal abortable-intent scheme):
+    to increment, a process raises its intent flag, scans all other
+    flags, and
+    - if anyone else's flag is up, lowers its own and retries
+      (abort on interference);
+    - otherwise increments the counter register and lowers its flag.
+
+    Any process running in isolation for 2n + 2 steps completes, so
+    the algorithm guarantees maximal progress in every uniformly
+    isolating execution — obstruction-freedom exactly as §2.2 defines
+    it.  It is NOT lock-free: under lockstep round-robin scheduling
+    every process sees someone else's flag and aborts forever (the
+    classic livelock), so there are executions where *nobody* makes
+    progress — something impossible for the CAS counter.
+
+    Under a stochastic scheduler, Theorem 3's reasoning still applies
+    (a solo run of 2n + 2 steps has probability ≥ θ^{2n+2} at every
+    point), so even this algorithm is practically wait-free — the
+    `abl-of` experiment shows the livelock and its stochastic cure. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  register : int;
+  flags : int;
+  n : int;
+}
+
+val make : n:int -> t
+
+val value : t -> Sim.Memory.t -> int

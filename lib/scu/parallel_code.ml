@@ -1,0 +1,19 @@
+module Program = Sim.Program
+module Memory = Sim.Memory
+
+type t = { spec : Sim.Executor.spec; q : int; n : int }
+
+let make ~n ~q =
+  if q < 1 then invalid_arg "Parallel_code.make: q must be >= 1";
+  let memory = Memory.create () in
+  let program (_ : Program.ctx) =
+    let rec loop () =
+      for _ = 1 to q do
+        Program.yield_noop ()
+      done;
+      Program.complete ();
+      loop ()
+    in
+    loop ()
+  in
+  { spec = { name = Printf.sprintf "parallel(q=%d)" q; memory; program }; q; n }

@@ -1,0 +1,10 @@
+(** "Parallel code" — paper §6.2, Algorithm 4: a method call that
+    completes after the process executes [q] steps regardless of what
+    other processes do.  Lemma 11: under the uniform scheduler the
+    system latency is exactly [q] and the individual latency exactly
+    [n·q]. *)
+
+type t = { spec : Sim.Executor.spec; q : int; n : int }
+
+val make : n:int -> q:int -> t
+(** Requires [q >= 1]. *)

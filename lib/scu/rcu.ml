@@ -1,0 +1,74 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = {
+  spec : Sim.Executor.spec;
+  pointer : int;
+  block_size : int;
+  readers : int;
+  torn_reads : int;
+  n : int;
+}
+
+let read_method = 0
+let update_method = 1
+
+let make ~n ~readers ~block_size =
+  if readers < 0 || readers >= n then invalid_arg "Rcu.make: need 0 <= readers < n";
+  if block_size < 1 then invalid_arg "Rcu.make: block_size must be >= 1";
+  let memory = Memory.create () in
+  let pointer = Memory.alloc memory ~size:1 in
+  let torn_reads = Memory.alloc memory ~size:1 in
+  (* Initial generation-0 block. *)
+  let first = Memory.alloc memory ~size:block_size in
+  Memory.set memory pointer first;
+  let reader_loop () =
+    let rec loop () =
+      let p = Program.read pointer in
+      let g0 = Program.read p in
+      let consistent = ref true in
+      for k = 1 to block_size - 1 do
+        if Program.read (p + k) <> g0 then consistent := false
+      done;
+      if not !consistent then Program.write torn_reads 1;
+      Program.complete_method 0;
+      loop ()
+    in
+    loop ()
+  in
+  let updater_loop () =
+    let rec loop () =
+      let rec attempt () =
+        let p = Program.read pointer in
+        (* Copy phase: read the whole block, then build the successor
+           block with generation + 1. *)
+        let g = Program.read p in
+        for k = 1 to block_size - 1 do
+          ignore (Program.read (p + k))
+        done;
+        let fresh = Memory.alloc memory ~size:block_size in
+        for k = 0 to block_size - 1 do
+          Program.write (fresh + k) (g + 1)
+        done;
+        if not (Program.cas pointer ~expected:p ~value:fresh) then attempt ()
+      in
+      attempt ();
+      Program.complete_method 1;
+      loop ()
+    in
+    loop ()
+  in
+  let program (ctx : Program.ctx) =
+    if ctx.id < readers then reader_loop () else updater_loop ()
+  in
+  {
+    spec = { name = Printf.sprintf "rcu(m=%d,r=%d)" block_size readers; memory; program };
+    pointer;
+    block_size;
+    readers;
+    torn_reads;
+    n;
+  }
+
+let generation t mem = Memory.get mem (Memory.get mem t.pointer)
+let torn t mem = Memory.get mem t.torn_reads <> 0

@@ -1,0 +1,38 @@
+(** A read-copy-update (RCU) pattern (paper ref [7]): readers traverse
+    an immutable block through a published pointer (wait-free, pure
+    "parallel code" in the paper's sense), while updaters copy the
+    block, modify it, and publish with a CAS on the pointer — an
+    SCU(Θ(m), 1) operation for block size m.
+
+    Because published blocks are immutable, every reader snapshot must
+    be internally consistent: all cells of a block carry the same
+    generation number, which the logged variant verifies. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  pointer : int;  (** Published-block pointer register. *)
+  block_size : int;
+  readers : int;  (** Process ids [0, readers) are readers. *)
+  torn_reads : int;
+      (** Address of a flag cell a reader sets if it ever observes a
+          block whose cells disagree — must remain 0. *)
+  n : int;
+}
+
+val read_method : int
+(** Method id for reader snapshots in per-method statistics. *)
+
+val update_method : int
+
+val make : n:int -> readers:int -> block_size:int -> t
+(** Requires [0 <= readers < n] (at least one updater) and
+    [block_size >= 1].  Completions are tagged with [read_method] /
+    [update_method]. *)
+
+val generation : t -> Sim.Memory.t -> int
+(** Generation number of the currently published block (= number of
+    successful updates). *)
+
+val torn : t -> Sim.Memory.t -> bool
+(** True if any reader ever saw an inconsistent snapshot (must be
+    false: publication is atomic). *)

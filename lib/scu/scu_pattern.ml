@@ -1,0 +1,53 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = {
+  spec : Sim.Executor.spec;
+  decision_register : int;
+  aux_registers : int array;
+  q : int;
+  s : int;
+  n : int;
+}
+
+let proposal ~n ~id ~op_index = (op_index * n) + id + 1
+
+let make ~n ~q ~s =
+  if q < 0 then invalid_arg "Scu_pattern.make: q must be >= 0";
+  if s < 1 then invalid_arg "Scu_pattern.make: s must be >= 1";
+  let memory = Memory.create () in
+  let r = Memory.alloc memory ~size:1 in
+  let aux = Array.init (s - 1) (fun _ -> Memory.alloc memory ~size:1) in
+  (* One private scratch cell per process for preamble writes. *)
+  let scratch = Memory.alloc memory ~size:(max n 1) in
+  let program (ctx : Program.ctx) =
+    let ops = ref 0 in
+    let rec operation () =
+      (* Preamble: q auxiliary steps.  We alternate between updating
+         the process's scratch cell and refreshing an auxiliary
+         register, exercising the "may update R_1..R_{s-1}" clause. *)
+      for k = 1 to q do
+        if Array.length aux > 0 && k mod 2 = 0 then
+          Program.write aux.((k / 2) mod Array.length aux) !ops
+        else Program.write (scratch + ctx.id) k
+      done;
+      scan_validate ();
+      incr ops;
+      Program.complete ();
+      operation ()
+    and scan_validate () =
+      let v = Program.read r in
+      Array.iter (fun a -> ignore (Program.read a)) aux;
+      let v' = proposal ~n ~id:ctx.id ~op_index:!ops in
+      if not (Program.cas r ~expected:v ~value:v') then scan_validate ()
+    in
+    operation ()
+  in
+  {
+    spec = { name = Printf.sprintf "scu(q=%d,s=%d)" q s; memory; program };
+    decision_register = r;
+    aux_registers = aux;
+    q;
+    s;
+    n;
+  }

@@ -1,0 +1,32 @@
+(** The class SCU(q, s) — paper §5, Algorithm 2.
+
+    An operation is a *preamble* of [q] steps (auxiliary work: local
+    updates, memory allocation, writes to the auxiliary registers
+    R_1 … R_{s−1}, but never to the decision register R) followed by a
+    *scan-and-validate* loop: read R and the s−1 auxiliary registers,
+    compute a proposed new state, and try to commit it with a CAS on
+    R.  Success completes the operation; failure restarts the loop.
+
+    Proposals are made unique by tagging them with a per-process
+    operation counter (the paper: "two processes never propose the
+    same value for the register R … easily enforced by adding a
+    timestamp to each request"), so the ABA problem cannot produce
+    spurious CAS successes. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  decision_register : int;  (** Address of R. *)
+  aux_registers : int array;  (** Addresses of R_1 … R_{s−1}. *)
+  q : int;
+  s : int;
+  n : int;
+}
+
+val make : n:int -> q:int -> s:int -> t
+(** Build an SCU(q, s) instance for [n] processes.  Requires [q >= 0]
+    and [s >= 1] (the scan always reads R itself at least). *)
+
+val proposal : n:int -> id:int -> op_index:int -> int
+(** The unique value process [id] proposes for its [op_index]-th
+    operation (exposed for tests: all proposals are distinct and
+    positive). *)

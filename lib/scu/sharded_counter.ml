@@ -1,0 +1,29 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = { spec : Sim.Executor.spec; shards : int array; n : int }
+
+let make ~n ~shards =
+  if shards < 1 then invalid_arg "Sharded_counter.make: shards must be >= 1";
+  let memory = Memory.create () in
+  let regs = Array.init shards (fun _ -> Memory.alloc memory ~size:1) in
+  let program (ctx : Program.ctx) =
+    let rec operation () =
+      let r = regs.(Stats.Rng.int ctx.rng shards) in
+      let rec attempt () =
+        let v = Program.read r in
+        if not (Program.cas r ~expected:v ~value:(v + 1)) then attempt ()
+      in
+      attempt ();
+      Program.complete ();
+      operation ()
+    in
+    operation ()
+  in
+  {
+    spec = { name = Printf.sprintf "sharded-counter(k=%d)" shards; memory; program };
+    shards = regs;
+    n;
+  }
+
+let value t mem = Array.fold_left (fun acc r -> acc + Memory.get mem r) 0 t.shards

@@ -1,0 +1,25 @@
+(** A sharded ("stochastic") counter — an answer to the paper's §8
+    question "whether there exist concurrent algorithms which avoid
+    the Θ(√n) contention factor in the latency".
+
+    The counter's value is split across [shards] registers; an
+    increment picks a uniformly random shard and runs the usual
+    read+CAS loop on it.  Under the uniform stochastic scheduler each
+    shard behaves like an SCU(0, 1) instance shared by ~n/k processes,
+    so the system latency drops from Θ(√n) to Θ(√(n/k)) — O(1) when
+    k = Θ(n).  The price is that reading the exact total costs a
+    k-register scan and the total is only quiescently consistent
+    (this is the classic statistics-counter trade-off, cf. Dice, Lev,
+    Moir — the paper's ref [4]). *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  shards : int array;  (** Addresses of the shard registers. *)
+  n : int;
+}
+
+val make : n:int -> shards:int -> t
+(** Requires [shards >= 1]. *)
+
+val value : t -> Sim.Memory.t -> int
+(** Sum of all shards (quiescently consistent; exact at rest). *)

@@ -1,0 +1,29 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = { spec : Sim.Executor.spec; lock : int; counter : int; n : int }
+
+let make ~n =
+  let memory = Memory.create () in
+  let lock = Memory.alloc memory ~size:1 in
+  let counter = Memory.alloc memory ~size:1 in
+  let program (ctx : Program.ctx) =
+    let rec operation () =
+      let rec acquire () =
+        if not (Program.cas lock ~expected:0 ~value:(ctx.id + 1)) then acquire ()
+      in
+      acquire ();
+      let v = Program.read counter in
+      Program.write counter (v + 1);
+      Program.write lock 0;
+      Program.complete ();
+      operation ()
+    in
+    operation ()
+  in
+  { spec = { name = "tas-lock-counter"; memory; program }; lock; counter; n }
+
+let value t mem = Memory.get mem t.counter
+
+let holder t mem =
+  match Memory.get mem t.lock with 0 -> None | h -> Some (h - 1)

@@ -1,0 +1,27 @@
+(** A test-and-set spin-lock counter — deadlock-free but NOT
+    starvation-free, completing the blocking half of §2.2.
+
+    Unlike the FIFO {!Ticket_lock}, the TAS lock is unfair: whoever's
+    CAS lands first wins, so an adversary that only schedules a victim
+    while someone else holds the lock starves it even though the
+    victim takes infinitely many steps (deadlock-freedom guarantees
+    only that *someone* completes).  The paper's abstract claims the
+    stochastic cure for this too: "deadlock-free algorithms behave as
+    if they were starvation-free" — the `abl-tas` experiment shows
+    the starvation under a lock-aware adversary and the fair shares
+    under the uniform scheduler. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  lock : int;  (** 0 = free, holder id + 1 otherwise. *)
+  counter : int;
+  n : int;
+}
+
+val make : n:int -> t
+
+val value : t -> Sim.Memory.t -> int
+
+val holder : t -> Sim.Memory.t -> int option
+(** Current lock holder, if any (for lock-aware adversaries and
+    tests). *)

@@ -1,0 +1,45 @@
+(** Treiber's lock-free stack (Treiber 1986, paper ref [21]) in the
+    simulator — a canonical member of SCU(q, s): push is a 1-step
+    preamble (initializing the node) plus a scan-validate loop on the
+    top-of-stack pointer; pop scans the top node and CASes it out.
+
+    The simulator never recycles addresses, so the classic ABA hazard
+    cannot fire; node addresses double as unique tags. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  top : int;  (** Address of the top-of-stack pointer register. *)
+  push_log : int option;
+  pop_log : int option;
+  ops_per_process : int;
+  n : int;
+}
+
+val push_method : int
+(** Method id used for pushes in [Sim.Metrics] per-method statistics. *)
+
+val pop_method : int
+
+val make : ?push_ratio:float -> n:int -> unit -> t
+(** Endless workload: each operation is a push with probability
+    [push_ratio] (default 0.5), else a pop.  Pushed values are unique
+    per (process, operation).  Completions are tagged with
+    [push_method] / [pop_method]. *)
+
+val make_logged : ?push_ratio:float -> n:int -> ops_per_process:int -> unit -> t
+(** Bounded workload that also logs, per process, every pushed value
+    and every pop result (including empty pops), for the invariant
+    checks below; processes terminate after [ops_per_process]
+    operations. *)
+
+val drain : t -> Sim.Memory.t -> int list
+(** Contents of the stack, top first, read directly (not simulated
+    steps). *)
+
+val pushes : t -> Sim.Memory.t -> int -> int list
+(** Values pushed by process [i] (logged variant only). *)
+
+type pop_result = Empty | Popped of int
+
+val pops : t -> Sim.Memory.t -> int -> pop_result list
+(** Pop results of process [i] in order (logged variant only). *)

@@ -1,0 +1,34 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = { spec : Sim.Executor.spec; register : int; n : int }
+
+let make ?(penalty_cap = max_int) ~n () =
+  let memory = Memory.create () in
+  let c = Memory.alloc memory ~size:1 in
+  let dummy = Memory.alloc memory ~size:1 in
+  let program (_ : Program.ctx) =
+    (* The local value v persists across operations (Algorithm 1
+       declares it outside the loop), so the winner of one operation
+       holds the current value and its next CAS wins unless a loser
+       sneaks in — which requires the winner to take no step for an
+       entire n²·v penalty window, probability ~e^{-n}. *)
+    let rec attempt v =
+      let got = Program.cas_get c ~expected:v ~value:(v + 1) in
+      if got = v then begin
+        Program.complete ();
+        attempt (v + 1)
+      end
+      else begin
+        (* Failed: spin for n²·v reads (v = the value just seen),
+           exactly the paper's penalty loop, then retry. *)
+        let spins = min penalty_cap (n * n * got) in
+        for _ = 1 to spins do
+          ignore (Program.read dummy)
+        done;
+        attempt got
+      end
+    in
+    attempt 0
+  in
+  { spec = { name = "unbounded-lockfree"; memory; program }; register = c; n }

@@ -1,0 +1,22 @@
+(** The unbounded lock-free algorithm of Lemma 2 (paper's Algorithm 1):
+    processes repeatedly try CAS(C, v, v+1); each *failed* attempt
+    makes the loser spin for n²·v reads before retrying, so losers
+    fall further and further behind.  The algorithm is lock-free but
+    NOT wait-free with high probability: the first winner holds the
+    current value (its local v persists across operations, as in the
+    paper's pseudocode where v is declared outside the loop), so it
+    keeps winning while everyone else starves — a loser can only
+    sneak a success if the winner takes no step during the loser's
+    entire n²·v penalty window, which has probability ~(1−1/n)^{n²}
+    ≤ e^{−n}. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  register : int;  (** The CAS object C. *)
+  n : int;
+}
+
+val make : ?penalty_cap:int -> n:int -> unit -> t
+(** [penalty_cap] (default [max_int]) truncates the n²·v spin so
+    experiments at larger n finish; the starvation effect is already
+    decisive far below the cap. *)

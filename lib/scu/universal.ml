@@ -1,0 +1,56 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type spec_fn = proc:int -> op_index:int -> int array -> int array
+
+type t = {
+  spec : Sim.Executor.spec;
+  pointer : int;
+  state_size : int;
+  n : int;
+}
+
+let make ~n ~init ~apply =
+  let state_size = Array.length init in
+  if state_size < 1 then invalid_arg "Universal.make: empty initial state";
+  let memory = Memory.create () in
+  let pointer = Memory.alloc memory ~size:1 in
+  let first = Memory.alloc_init memory init in
+  Memory.set memory pointer first;
+  let program (ctx : Program.ctx) =
+    let ops = ref 0 in
+    let rec operation () =
+      let rec attempt () =
+        let p = Program.read pointer in
+        let current = Array.init state_size (fun k -> Program.read (p + k)) in
+        let next = apply ~proc:ctx.id ~op_index:!ops current in
+        if Array.length next <> state_size then
+          invalid_arg "Universal: apply changed the state size";
+        let fresh = Memory.alloc memory ~size:state_size in
+        for k = 0 to state_size - 1 do
+          Program.write (fresh + k) next.(k)
+        done;
+        if not (Program.cas pointer ~expected:p ~value:fresh) then attempt ()
+      in
+      attempt ();
+      incr ops;
+      Program.complete ();
+      operation ()
+    in
+    operation ()
+  in
+  {
+    spec = { name = Printf.sprintf "universal(k=%d)" state_size; memory; program };
+    pointer;
+    state_size;
+    n;
+  }
+
+let state t mem =
+  let p = Memory.get mem t.pointer in
+  Array.init t.state_size (fun k -> Memory.get mem (p + k))
+
+let sequential_witness ~init ~apply ops =
+  List.fold_left
+    (fun st (proc, op_index) -> apply ~proc ~op_index st)
+    (Array.copy init) ops

@@ -1,0 +1,31 @@
+(** A lock-free universal construction (Herlihy, paper ref [9]) in the
+    SCU mold: the implemented object's state lives in an immutable
+    block reached from a pointer register; an operation scans the
+    block, computes the successor state locally, and publishes it with
+    a single CAS — "every sequential object has a lock-free
+    implementation in this class" (§1).
+
+    The object is specified by an initial state and a sequential
+    transition function. *)
+
+type spec_fn = proc:int -> op_index:int -> int array -> int array
+(** [apply ~proc ~op_index state] returns the successor state.  Must
+    be a pure function of its arguments and must return an array of
+    the same length. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  pointer : int;
+  state_size : int;
+  n : int;
+}
+
+val make : n:int -> init:int array -> apply:spec_fn -> t
+
+val state : t -> Sim.Memory.t -> int array
+(** Currently published state (direct read). *)
+
+val sequential_witness :
+  init:int array -> apply:spec_fn -> (int * int) list -> int array
+(** Replays a sequence of [(proc, op_index)] operations sequentially —
+    the linearization witness the tests compare against. *)

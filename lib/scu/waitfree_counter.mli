@@ -1,0 +1,37 @@
+(** A wait-free fetch-and-increment built with a helping mechanism —
+    the comparison point the paper's introduction motivates: wait-free
+    algorithms buy *bounded* individual progress at the price of the
+    "specialized helping mechanisms [that] significantly increase the
+    complexity (both the design complexity and time complexity)".
+
+    Construction (announce + apply-all, in the style of Herlihy's
+    wait-free universal construction):
+    - [announce.(i)] holds process i's latest request sequence number;
+    - the object state is an immutable block [value; applied_0 …
+      applied_{n−1}] reached from a pointer register;
+    - an operation announces itself, then repeatedly scans the state:
+      if its request is already applied, it returns (someone helped);
+      otherwise it builds a successor state applying *every* announced
+      but unapplied request and CASes it in.
+
+    Every successful CAS applies all requests its scan saw, so any
+    announced request is applied within two successful CASes after its
+    announcement — individual progress is bounded by the *system's*
+    progress, which is the wait-freedom argument.  The cost is a
+    Θ(n)-step scan per attempt, versus 2 steps for the lock-free
+    counter. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  pointer : int;
+  announce : int;
+  n : int;
+}
+
+val make : n:int -> t
+
+val value : t -> Sim.Memory.t -> int
+(** Current counter value: total increments applied. *)
+
+val applied : t -> Sim.Memory.t -> int array
+(** Per-process applied-request counts (their sum is [value]). *)

@@ -1,0 +1,76 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+
+type t = {
+  spec : Sim.Executor.spec;
+  pointer : int;
+  announce : int;
+  state_size : int;
+  n : int;
+}
+
+let make ~n ~init ~apply =
+  let k = Array.length init in
+  if k < 1 then invalid_arg "Waitfree_universal.make: empty initial state";
+  let memory = Memory.create () in
+  let pointer = Memory.alloc memory ~size:1 in
+  let announce = Memory.alloc memory ~size:n in
+  (* Block layout: [state; applied]. *)
+  let first = Memory.alloc memory ~size:(k + n) in
+  Array.iteri (fun j v -> Memory.set memory (first + j) v) init;
+  Memory.set memory pointer first;
+  let program (ctx : Program.ctx) =
+    let seq = ref 0 in
+    let rec operation () =
+      incr seq;
+      Program.write (announce + ctx.id) !seq;
+      let rec attempt () =
+        let p = Program.read pointer in
+        let mine = Program.read (p + k + ctx.id) in
+        if mine >= !seq then () (* helped *)
+        else begin
+          let state = ref (Array.init k (fun j -> Program.read (p + j))) in
+          let applied = Array.init n (fun j -> Program.read (p + k + j)) in
+          let announced = Array.init n (fun j -> Program.read (announce + j)) in
+          announced.(ctx.id) <- max announced.(ctx.id) !seq;
+          let applied' = Array.copy applied in
+          for j = 0 to n - 1 do
+            for s = applied.(j) to announced.(j) - 1 do
+              let next = apply ~proc:j ~op_index:s !state in
+              if Array.length next <> k then
+                invalid_arg "Waitfree_universal: apply changed the state size";
+              state := next;
+              applied'.(j) <- s + 1
+            done
+          done;
+          let fresh = Memory.alloc memory ~size:(k + n) in
+          for j = 0 to k - 1 do
+            Program.write (fresh + j) !state.(j)
+          done;
+          for j = 0 to n - 1 do
+            Program.write (fresh + k + j) applied'.(j)
+          done;
+          if not (Program.cas pointer ~expected:p ~value:fresh) then attempt ()
+        end
+      in
+      attempt ();
+      Program.complete ();
+      operation ()
+    in
+    operation ()
+  in
+  {
+    spec = { name = Printf.sprintf "waitfree-universal(k=%d)" k; memory; program };
+    pointer;
+    announce;
+    state_size = k;
+    n;
+  }
+
+let state t mem =
+  let p = Memory.get mem t.pointer in
+  Array.init t.state_size (fun j -> Memory.get mem (p + j))
+
+let applied t mem =
+  let p = Memory.get mem t.pointer in
+  Array.init t.n (fun j -> Memory.get mem (p + t.state_size + j))

@@ -1,0 +1,41 @@
+(** A wait-free universal construction — the maximal-progress
+    counterpart of {!Universal}, built from the classic announce +
+    help-all mechanism (Herlihy [9]; the "specialized helping
+    mechanisms" whose complexity the paper's introduction cites as the
+    reason practitioners avoid wait-free algorithms).
+
+    Object state lives in an immutable block
+    [state₀ … state_{k−1}; applied₀ … applied_{n−1}] reached from a
+    pointer register; [announce.(i)] carries process i's request
+    sequence number.  An operation announces itself and then scans:
+    if its request is already applied it returns, otherwise it builds
+    a successor block applying *every* announced-but-unapplied request
+    (in process order — a valid linearization) and CASes the pointer.
+
+    Safety argument, which the tests exercise: a successful CAS is
+    always based on the current block (fresh blocks are never reused,
+    so an outdated expected pointer cannot win), block cells are
+    immutable once published, and announce cells are monotone and read
+    after the block — hence every request is applied exactly once, in
+    announce order per process.
+
+    Cost: Θ(k + n) steps per attempt, against the paper's point that
+    the plain lock-free construction costs Θ(k) and is practically
+    wait-free anyway under a stochastic scheduler. *)
+
+type t = {
+  spec : Sim.Executor.spec;
+  pointer : int;
+  announce : int;
+  state_size : int;
+  n : int;
+}
+
+val make : n:int -> init:int array -> apply:Universal.spec_fn -> t
+(** Same object specification as {!Universal.make}. *)
+
+val state : t -> Sim.Memory.t -> int array
+(** Currently published object state. *)
+
+val applied : t -> Sim.Memory.t -> int array
+(** Per-process applied-request counts. *)

@@ -1,0 +1,152 @@
+type spec = { name : string; memory : Memory.t; program : Program.t }
+
+type stop =
+  | Steps of int
+  | Completions of int
+  | Per_process_completions of int
+
+type result = {
+  metrics : Metrics.t;
+  trace : Sched.Trace.t option;
+  crashed : bool array;
+  terminated : bool array;
+  stopped_early : bool;
+}
+
+(* A process is either suspended at a shared-memory operation, waiting
+   to be scheduled, or its body returned. *)
+type proc_state =
+  | Suspended of Memory.op * (int, proc_state) Effect.Deep.continuation
+  | Terminated
+
+(* Run a process body until its next [Step] effect (or return),
+   handling [Complete] and [Now] effects inline. *)
+let handler ~on_complete ~(now : unit -> int) : (unit, proc_state) Effect.Deep.handler =
+  {
+    retc = (fun () -> Terminated);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Program.Step op ->
+            Some
+              (fun (k : (a, proc_state) Effect.Deep.continuation) ->
+                Suspended (op, k))
+        | Program.Complete label ->
+            Some
+              (fun (k : (a, proc_state) Effect.Deep.continuation) ->
+                on_complete label;
+                Effect.Deep.continue k ())
+        | Program.Now ->
+            Some
+              (fun (k : (a, proc_state) Effect.Deep.continuation) ->
+                Effect.Deep.continue k (now ()))
+        | _ -> None);
+  }
+
+let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
+    ?(crash_plan = Sched.Crash_plan.none) ?(max_steps = 200_000_000) ?invariant
+    ?(invariant_interval = 1000) ~(scheduler : Sched.Scheduler.t) ~n ~stop spec =
+  if invariant_interval < 1 then
+    invalid_arg "Executor.run: invariant_interval must be >= 1";
+  if n <= 0 then invalid_arg "Executor.run: n must be positive";
+  (match Sched.Crash_plan.validate ~n crash_plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Executor.run: " ^ msg));
+  let rng = Stats.Rng.create ~seed in
+  let metrics = Metrics.create ~record_samples ~n () in
+  let tr = if trace then Some (Sched.Trace.create ~n) else None in
+  let alive = Array.make n true in
+  let crashed = Array.make n false in
+  let terminated = Array.make n false in
+  let states =
+    Array.init n (fun id ->
+        let ctx =
+          { Program.id; n; rng = Stats.Rng.split rng }
+        in
+        Effect.Deep.match_with spec.program ctx
+          (handler
+             ~on_complete:(function
+               | None -> Metrics.on_complete metrics id
+               | Some m -> Metrics.on_complete_method metrics id m)
+             ~now:(fun () -> Metrics.time metrics)))
+  in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Terminated ->
+          terminated.(i) <- true;
+          alive.(i) <- false
+      | Suspended _ -> ())
+    states;
+  let completions_target_met () =
+    match stop with
+    | Steps s -> Metrics.time metrics >= s
+    | Completions c -> Metrics.total_completions metrics >= c
+    | Per_process_completions c ->
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if (not crashed.(i)) && Metrics.completions_of metrics i < c then ok := false
+        done;
+        !ok
+  in
+  let alive_count () = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive in
+  let stopped_early = ref false in
+  let step_budget = match stop with Steps s -> min s max_steps | _ -> max_steps in
+  let continue_run = ref true in
+  while !continue_run do
+    if completions_target_met () then continue_run := false
+    else if Metrics.time metrics >= step_budget then begin
+      (match stop with Steps _ -> () | _ -> stopped_early := true);
+      continue_run := false
+    end
+    else begin
+      (* Crash events fire at the start of their time step. *)
+      let now = Metrics.time metrics in
+      List.iter
+        (fun p ->
+          if not terminated.(p) then begin
+            crashed.(p) <- true;
+            alive.(p) <- false
+          end)
+        (Sched.Crash_plan.crashes_at crash_plan ~time:now);
+      if alive_count () = 0 then begin
+        stopped_early := true;
+        continue_run := false
+      end
+      else begin
+        let i = scheduler.pick ~rng ~alive ~time:now in
+        if i < 0 || i >= n || not alive.(i) then
+          invalid_arg
+            (Printf.sprintf "Executor.run: scheduler %s picked dead process %d"
+               scheduler.name i);
+        (match states.(i) with
+        | Terminated -> assert false (* terminated processes are not alive *)
+        | Suspended (op, k) ->
+            Metrics.on_step metrics i;
+            Option.iter (fun t -> Sched.Trace.record t i) tr;
+            let value = Memory.apply spec.memory op in
+            states.(i) <- Effect.Deep.continue k value;
+            (match states.(i) with
+            | Terminated ->
+                terminated.(i) <- true;
+                alive.(i) <- false
+            | Suspended _ -> ());
+            (match invariant with
+            | Some check when Metrics.time metrics mod invariant_interval = 0 ->
+                check spec.memory ~time:(Metrics.time metrics)
+            | _ -> ()))
+      end
+    end
+  done;
+  Option.iter (fun check -> check spec.memory ~time:(Metrics.time metrics)) invariant;
+  (* Discard suspended continuations cleanly so fibers are not leaked. *)
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Suspended (_, k) -> (
+          try ignore (Effect.Deep.discontinue k Exit) with Exit | _ -> ());
+          states.(i) <- Terminated
+      | Terminated -> ())
+    states;
+  { metrics; trace = tr; crashed; terminated; stopped_early = !stopped_early }

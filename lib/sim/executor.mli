@@ -1,0 +1,62 @@
+(** The discrete-time executor: ties a scheduler (Definition 1) to a
+    set of simulated processes over a shared memory.
+
+    Semantics, matching §2.1 of the paper exactly:
+    - time is discrete; at each step the scheduler picks one alive
+      process;
+    - the picked process executes any amount of local computation plus
+      exactly one shared-memory operation, then suspends;
+    - crashed processes stop taking steps forever (crash containment
+      holds because the alive set only shrinks);
+    - a process whose body returns is *terminated*: it is removed from
+      the alive set without counting as a crash.
+
+    Determinism: a run is a pure function of (spec, scheduler state,
+    seed), which the tests rely on. *)
+
+type spec = {
+  name : string;
+  memory : Memory.t;
+  program : Program.t;  (** Body run by every process. *)
+}
+
+type stop =
+  | Steps of int  (** Run for exactly this many system steps. *)
+  | Completions of int  (** …until this many total completions. *)
+  | Per_process_completions of int
+      (** …until every (never-crashed, live) process has completed
+          this many operations — the maximal-progress stop used by the
+          Theorem 3 experiments. *)
+
+type result = {
+  metrics : Metrics.t;
+  trace : Sched.Trace.t option;
+  crashed : bool array;
+  terminated : bool array;
+  stopped_early : bool;
+      (** True when the run ended because no process was schedulable
+          or a [Completions]-type target was unreachable. *)
+}
+
+val run :
+  ?seed:int ->
+  ?trace:bool ->
+  ?record_samples:bool ->
+  ?crash_plan:Sched.Crash_plan.t ->
+  ?max_steps:int ->
+  ?invariant:(Memory.t -> time:int -> unit) ->
+  ?invariant_interval:int ->
+  scheduler:Sched.Scheduler.t ->
+  n:int ->
+  stop:stop ->
+  spec ->
+  result
+(** [max_steps] (default 200_000_000) is a safety net for
+    [Completions]-type stop conditions that might not be reached under
+    an adversarial scheduler; hitting it sets [stopped_early].
+
+    [invariant], when given, is called on the shared memory every
+    [invariant_interval] steps (default 1000) and once after the run —
+    raise from it to fail fast on a broken data-structure invariant
+    *while it is being mutated*, not just at quiescence.  The callback
+    must only inspect (its [Memory.t] is the live store). *)

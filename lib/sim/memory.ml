@@ -1,0 +1,86 @@
+type t = { mutable cells : int array; mutable used : int }
+
+type op =
+  | Read of int
+  | Write of int * int
+  | Cas of int * int * int
+  | Cas_get of int * int * int
+  | Faa of int * int
+
+let scratch = 1
+
+let create ?(capacity = 64) () =
+  (* Cell 0 is the (invalid) null pointer; cell 1 is the scratch cell
+     read by no-op steps. *)
+  { cells = Array.make (max capacity 2) 0; used = 2 }
+
+let ensure t needed =
+  if needed > Array.length t.cells then begin
+    let cap = ref (Array.length t.cells) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let bigger = Array.make !cap 0 in
+    Array.blit t.cells 0 bigger 0 t.used;
+    t.cells <- bigger
+  end
+
+let alloc t ~size =
+  if size <= 0 then invalid_arg "Memory.alloc: size must be positive";
+  let base = t.used in
+  ensure t (t.used + size);
+  t.used <- t.used + size;
+  base
+
+let alloc_init t values =
+  let base = alloc t ~size:(Array.length values) in
+  Array.blit values 0 t.cells base (Array.length values);
+  base
+
+let check t a =
+  if a < 1 || a >= t.used then
+    invalid_arg (Printf.sprintf "Memory: address %d out of bounds (used=%d)" a t.used)
+
+let apply t op =
+  match op with
+  | Read a ->
+      check t a;
+      t.cells.(a)
+  | Write (a, v) ->
+      check t a;
+      t.cells.(a) <- v;
+      v
+  | Cas (a, expected, v) ->
+      check t a;
+      if t.cells.(a) = expected then begin
+        t.cells.(a) <- v;
+        1
+      end
+      else 0
+  | Cas_get (a, expected, v) ->
+      check t a;
+      let old = t.cells.(a) in
+      if old = expected then t.cells.(a) <- v;
+      old
+  | Faa (a, d) ->
+      check t a;
+      let old = t.cells.(a) in
+      t.cells.(a) <- old + d;
+      old
+
+let get t a =
+  check t a;
+  t.cells.(a)
+
+let set t a v =
+  check t a;
+  t.cells.(a) <- v
+
+let used t = t.used
+
+let op_to_string = function
+  | Read a -> Printf.sprintf "read(%d)" a
+  | Write (a, v) -> Printf.sprintf "write(%d,%d)" a v
+  | Cas (a, e, v) -> Printf.sprintf "cas(%d,%d,%d)" a e v
+  | Cas_get (a, e, v) -> Printf.sprintf "cas_get(%d,%d,%d)" a e v
+  | Faa (a, d) -> Printf.sprintf "faa(%d,%d)" a d

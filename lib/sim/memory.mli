@@ -1,0 +1,53 @@
+(** Simulated shared memory: a flat, growable array of integer cells
+    supporting the paper's primitives — atomic read, write,
+    compare-and-swap, the *augmented* CAS of §7 (returns the register's
+    previous value), and fetch-and-add (the hardware primitive the
+    paper's schedule recorder uses).
+
+    Cells hold unboxed ints; data structures that need records
+    (Treiber stack nodes, queue nodes, universal-construction state
+    blocks) [alloc] blocks of consecutive cells and treat the base
+    index as a pointer.  Address 0 is never handed out so it can serve
+    as a null pointer. *)
+
+type t
+
+type op =
+  | Read of int  (** [Read a] returns the value at address [a]. *)
+  | Write of int * int  (** [Write (a, v)] stores [v]; returns [v]. *)
+  | Cas of int * int * int
+      (** [Cas (a, expected, v)] returns 1 on success, 0 on failure. *)
+  | Cas_get of int * int * int
+      (** Augmented CAS (paper §7): like [Cas] but returns the value
+          the register held *before* the operation — equal to
+          [expected] exactly when the CAS succeeded. *)
+  | Faa of int * int  (** [Faa (a, d)] adds [d], returns the old value. *)
+
+val create : ?capacity:int -> unit -> t
+(** A fresh memory.  All cells start at 0. *)
+
+val scratch : int
+(** A reserved always-valid cell (address 1) used for steps whose
+    content is irrelevant (preamble work, no-op yields). *)
+
+val alloc : t -> size:int -> int
+(** Reserve [size] fresh zero cells; returns the base address (always
+    >= 1). *)
+
+val alloc_init : t -> int array -> int
+(** Allocate and initialize a block from the given values. *)
+
+val apply : t -> op -> int
+(** Execute one shared-memory operation atomically (the simulator is
+    sequential, so plain execution is atomic) and return its result. *)
+
+val get : t -> int -> int
+(** Direct inspection for tests and metrics; not a simulated step. *)
+
+val set : t -> int -> int -> unit
+(** Direct initialization; not a simulated step. *)
+
+val used : t -> int
+(** Number of allocated cells (high-water mark). *)
+
+val op_to_string : op -> string

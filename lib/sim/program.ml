@@ -1,0 +1,19 @@
+type ctx = { id : int; n : int; rng : Stats.Rng.t }
+type t = ctx -> unit
+
+type _ Effect.t +=
+  | Step : Memory.op -> int Effect.t
+  | Complete : int option -> unit Effect.t
+  | Now : int Effect.t
+
+let step op = Effect.perform (Step op)
+let read a = step (Memory.Read a)
+let write a v = ignore (step (Memory.Write (a, v)))
+let cas a ~expected ~value = step (Memory.Cas (a, expected, value)) = 1
+let cas_get a ~expected ~value = step (Memory.Cas_get (a, expected, value))
+let faa a d = step (Memory.Faa (a, d))
+let complete () = Effect.perform (Complete None)
+let complete_method m = Effect.perform (Complete (Some m))
+let now () = Effect.perform Now
+
+let yield_noop () = ignore (step (Memory.Read Memory.scratch))

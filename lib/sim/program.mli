@@ -1,0 +1,60 @@
+(** Processes as effectful coroutines.
+
+    A simulated process is ordinary OCaml code that performs the
+    [Step] effect once per shared-memory operation; the executor's
+    handler suspends it there, so one scheduler decision = one shared
+    memory access, exactly the paper's step-counting model ("in a time
+    unit, a process can perform any number of local computations …
+    after which it issues a step, which consists of a single shared
+    memory operation", §2.1).
+
+    [Complete] marks a method-call boundary: it costs no step and
+    feeds the latency metrics. *)
+
+type ctx = {
+  id : int;  (** This process's index, 0-based. *)
+  n : int;  (** Total number of processes. *)
+  rng : Stats.Rng.t;  (** Private per-process randomness. *)
+}
+
+type t = ctx -> unit
+(** A process body.  Typically an infinite loop of operations; it may
+    also return after finitely many, after which the executor treats
+    the process as terminated (no longer schedulable). *)
+
+type _ Effect.t +=
+  | Step : Memory.op -> int Effect.t
+  | Complete : int option -> unit Effect.t
+        (** Operation boundary, optionally tagged with a method id
+            (push/pop, enqueue/dequeue, …) for per-method latency
+            accounting — the paper's §8 asks about objects exporting
+            several distinct methods. *)
+  | Now : int Effect.t
+        (** Current logical time (system steps so far).  Free:
+            instrumentation, not a simulated step. *)
+
+val step : Memory.op -> int
+(** Issue one shared-memory operation and suspend until scheduled. *)
+
+val read : int -> int
+val write : int -> int -> unit
+val cas : int -> expected:int -> value:int -> bool
+val cas_get : int -> expected:int -> value:int -> int
+val faa : int -> int -> int
+
+val complete : unit -> unit
+(** Mark the end of a method call (free; see module doc). *)
+
+val complete_method : int -> unit
+(** Like {!complete}, additionally tagging the completed call with a
+    method id for {!Metrics} per-method statistics. *)
+
+val now : unit -> int
+(** Logical time (zero-cost): used to timestamp operation invocations
+    and responses when extracting linearizability-checkable histories
+    from a simulation. *)
+
+val yield_noop : unit -> unit
+(** Burn one step on a harmless read of the null cell — used to model
+    preamble work whose content does not matter (the [q] "parallel
+    code" steps of Algorithm 4 and the SCU preamble). *)

@@ -1,0 +1,60 @@
+let statistic ~observed ~expected =
+  let k = Array.length observed in
+  if k = 0 || Array.length expected <> k then
+    invalid_arg "Chi_square.statistic: mismatched or empty arrays";
+  let acc = ref 0. in
+  for i = 0 to k - 1 do
+    let e = expected.(i) in
+    if not (e > 0.) then invalid_arg "Chi_square.statistic: non-positive expected count";
+    let d = float_of_int observed.(i) -. e in
+    acc := !acc +. (d *. d /. e)
+  done;
+  !acc
+
+let uniform_statistic observed =
+  let k = Array.length observed in
+  let total = Array.fold_left ( + ) 0 observed in
+  let expected = Array.make k (float_of_int total /. float_of_int k) in
+  statistic ~observed ~expected
+
+(* Inverse of the standard normal CDF (Acklam's rational approximation,
+   good to ~1e-9 over (0,1)). *)
+let normal_quantile p =
+  if not (p > 0. && p < 1.) then invalid_arg "normal_quantile: p out of (0,1)";
+  let a = [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+             1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |] in
+  let b = [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+             6.680131188771972e+01; -1.328068155288572e+01 |] in
+  let c = [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+             -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |] in
+  let d = [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+             3.754408661907416e+00 |] in
+  let p_low = 0.02425 in
+  if p < p_low then
+    let q = sqrt (-2. *. log p) in
+    (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+  else if p <= 1. -. p_low then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.)
+  else
+    let q = sqrt (-2. *. log (1. -. p)) in
+    -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+       /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.))
+
+let critical_value ~df ~alpha =
+  if df < 1 then invalid_arg "Chi_square.critical_value: df must be >= 1";
+  if not (alpha > 0. && alpha < 1.) then
+    invalid_arg "Chi_square.critical_value: alpha out of (0,1)";
+  (* Wilson–Hilferty: chi2_df ≈ df * (1 - 2/(9 df) + z * sqrt(2/(9 df)))^3 *)
+  let dff = float_of_int df in
+  let z = normal_quantile (1. -. alpha) in
+  let t = 1. -. (2. /. (9. *. dff)) +. (z *. sqrt (2. /. (9. *. dff))) in
+  dff *. t *. t *. t
+
+let test_uniform ?(alpha = 0.01) observed =
+  let stat = uniform_statistic observed in
+  stat <= critical_value ~df:(Array.length observed - 1) ~alpha

@@ -1,0 +1,23 @@
+(** Pearson chi-square goodness-of-fit test against a uniform (or given)
+    distribution.
+
+    Used to quantify how close a recorded schedule is to the uniform
+    stochastic scheduler (Figures 3 and 4): we report the chi-square
+    statistic of the per-process step counts against [1/n] and compare
+    it with an approximate critical value. *)
+
+val statistic : observed:int array -> expected:float array -> float
+(** Σ (o_i − e_i)² / e_i.  Arrays must have equal, non-zero length and
+    every expected count must be positive. *)
+
+val uniform_statistic : int array -> float
+(** Statistic against the uniform distribution over the same indices. *)
+
+val critical_value : df:int -> alpha:float -> float
+(** Approximate upper critical value of the chi-square distribution
+    with [df] degrees of freedom, via the Wilson–Hilferty cube-root
+    normal approximation.  [alpha] is the tail mass (e.g. 0.01). *)
+
+val test_uniform : ?alpha:float -> int array -> bool
+(** [test_uniform counts] is [true] when the uniformity hypothesis is
+    NOT rejected at level [alpha] (default 0.01). *)

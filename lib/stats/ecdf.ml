@@ -1,0 +1,42 @@
+type t = float array
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Ecdf.of_array: empty sample";
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let size = Array.length
+
+let quantile t p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Ecdf.quantile: p out of [0,1]";
+  let n = Array.length t in
+  if n = 1 then t.(0)
+  else
+    let pos = p *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor pos) in
+    if i >= n - 1 then t.(n - 1)
+    else
+      let frac = pos -. float_of_int i in
+      t.(i) +. (frac *. (t.(i + 1) -. t.(i)))
+
+let median t = quantile t 0.5
+
+let cdf t x =
+  (* Binary search for the rightmost index with value <= x. *)
+  let n = Array.length t in
+  if x < t.(0) then 0.
+  else if x >= t.(n - 1) then 1.
+  else
+    let rec search lo hi =
+      (* invariant: t.(lo) <= x < t.(hi) *)
+      if hi - lo <= 1 then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if t.(mid) <= x then search mid hi else search lo mid
+    in
+    float_of_int (search 0 (n - 1)) /. float_of_int n
+
+let minimum t = t.(0)
+let maximum t = t.(Array.length t - 1)
+let values t = Array.copy t

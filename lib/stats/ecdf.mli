@@ -1,0 +1,27 @@
+(** Empirical distribution of a finite sample: quantiles and CDF.
+
+    Latency-tail comparisons (wait-free vs lock-free, the `abl-wf`
+    experiment) are phrased in terms of these quantiles. *)
+
+type t
+
+val of_array : float array -> t
+(** Copies and sorts the sample.  Raises [Invalid_argument] on an empty
+    array. *)
+
+val size : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [\[0, 1\]], with linear interpolation
+    between order statistics. *)
+
+val median : t -> float
+
+val cdf : t -> float -> float
+(** [cdf t x] is the fraction of the sample that is [<= x]. *)
+
+val minimum : t -> float
+val maximum : t -> float
+
+val values : t -> float array
+(** The sorted sample (a copy). *)

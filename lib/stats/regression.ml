@@ -1,0 +1,37 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0. pts in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0. pts in
+  let mx = sx /. nf and my = sy /. nf in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. ((x -. mx) *. (x -. mx))) 0. pts in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0. pts in
+  let syy = List.fold_left (fun acc (_, y) -> acc +. ((y -. my) *. (y -. my))) 0. pts in
+  if sxx = 0. then invalid_arg "Regression.linear: x values are all equal";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if syy = 0. then 1. else sxy *. sxy /. (sxx *. syy) in
+  { slope; intercept; r2 }
+
+let power_law pts =
+  let logged =
+    List.map
+      (fun (x, y) ->
+        if not (x > 0. && y > 0.) then
+          invalid_arg "Regression.power_law: coordinates must be positive";
+        (log x, log y))
+      pts
+  in
+  linear logged
+
+let scale_to_first ~model pts =
+  match pts with
+  | [] -> invalid_arg "Regression.scale_to_first: no points"
+  | (x0, y0) :: _ ->
+      let m0 = model x0 in
+      if m0 = 0. then invalid_arg "Regression.scale_to_first: model is zero at first point";
+      let c = y0 /. m0 in
+      fun x -> c *. model x

@@ -1,0 +1,27 @@
+(** Least-squares line fitting.
+
+    The latency-shape experiments check the paper's asymptotic claims
+    by fitting exponents: a log-log fit of system latency against the
+    process count [n] should give slope ~0.5 for the scan-validate
+    component (Theorem 5) and slope ~1 for the individual/system ratio
+    (Lemma 7). *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** Coefficient of determination. *)
+}
+
+val linear : (float * float) list -> fit
+(** Ordinary least squares on (x, y) pairs.  Requires at least two
+    distinct x values. *)
+
+val power_law : (float * float) list -> fit
+(** Fits [y = exp(intercept) * x^slope] by linear regression in log-log
+    space.  All coordinates must be positive. *)
+
+val scale_to_first : model:(float -> float) -> (float * float) list -> (float -> float)
+(** [scale_to_first ~model pts] rescales [model] so that it passes
+    through the first data point — the paper does exactly this for the
+    Θ(1/√n) prediction in Figure 5 ("we scaled the prediction to the
+    first data point"). *)

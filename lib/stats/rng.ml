@@ -1,0 +1,84 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = bits64 g in
+  { state = seed }
+
+(* 62 uniform bits: always non-negative as a native OCaml int. *)
+let bits_nonneg g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max = max_int - (max_int mod bound) in
+  let rec draw () =
+    let v = bits_nonneg g in
+    if v >= max then draw () else v mod bound
+  in
+  draw ()
+
+let float g bound =
+  if not (bound > 0.) || Float.is_nan bound then
+    invalid_arg "Rng.float: bound must be positive";
+  (* 53 uniform mantissa bits. *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (v /. 9007199254740992.0)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let exponential g ~mean =
+  if not (mean > 0.) then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float g 1.0 in
+  -.mean *. log u
+
+let geometric g ~p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Rng.geometric: p out of range";
+  if p = 1. then 1
+  else
+    let u = 1.0 -. float g 1.0 in
+    1 + int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let pick_weighted g w =
+  let total = Array.fold_left (fun acc x ->
+      if x < 0. then invalid_arg "Rng.pick_weighted: negative weight";
+      acc +. x) 0. w
+  in
+  if not (total > 0.) then invalid_arg "Rng.pick_weighted: zero total weight";
+  let target = float g total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let perm g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a

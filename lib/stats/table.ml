@@ -1,0 +1,47 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let width t = List.length t.headers
+
+let add_row t row =
+  let n = List.length row and w = width t in
+  if n > w then invalid_arg "Table.add_row: row wider than header";
+  let row = if n < w then row @ List.init (w - n) (fun _ -> "") else row in
+  t.rows <- t.rows @ [ row ]
+
+let add_floats t ?label floats =
+  let cells = List.map (Printf.sprintf "%.4g") floats in
+  add_row t (match label with None -> cells | Some l -> l :: cells)
+
+let column_widths t =
+  let all = t.headers :: t.rows in
+  List.mapi
+    (fun i _ ->
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+    t.headers
+
+let render_row widths row =
+  String.concat "  "
+    (List.map2 (fun w cell -> Printf.sprintf "%*s" w cell) widths row)
+
+let to_string t =
+  let widths = column_widths t in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let lines =
+    render_row widths t.headers :: sep :: List.map (render_row widths) t.rows
+  in
+  String.concat "\n" lines ^ "\n"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let quote cell =
+  if String.contains cell ',' || String.contains cell '"' then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line t.headers :: List.map line t.rows) ^ "\n"

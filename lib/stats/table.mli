@@ -1,0 +1,24 @@
+(** Aligned text tables.
+
+    Every experiment prints its results as one of these, mirroring the
+    rows/series of the paper's figures so `EXPERIMENTS.md` can quote
+    them verbatim. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val add_floats : t -> ?label:string -> float list -> unit
+(** Convenience: formats each float with %.4g; [label] becomes the
+    first cell when provided. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val to_csv : t -> string
+(** Comma-separated rendering (cells containing commas are quoted). *)

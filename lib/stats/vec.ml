@@ -1,0 +1,57 @@
+module Int = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create ?(capacity = 16) () = { data = Array.make (max capacity 1) 0; len = 0 }
+
+  let push t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Vec.Int.get: index out of bounds";
+    t.data.(i)
+
+  let length t = t.len
+  let to_array t = Array.sub t.data 0 t.len
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.data.(i)
+    done
+
+  let clear t = t.len <- 0
+end
+
+module Float = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create ?(capacity = 16) () = { data = Array.make (max capacity 1) 0.; len = 0 }
+
+  let push t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Vec.Float.get: index out of bounds";
+    t.data.(i)
+
+  let length t = t.len
+  let to_array t = Array.sub t.data 0 t.len
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.data.(i)
+    done
+
+  let clear t = t.len <- 0
+end

@@ -1,0 +1,28 @@
+(** Growable integer and float vectors (OCaml 5.1 has no [Dynarray]).
+
+    Schedule traces and latency-sample buffers can reach 10⁷+ entries,
+    so these are flat, unboxed arrays with amortized-O(1) push. *)
+
+module Int : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val push : t -> int -> unit
+  val get : t -> int -> int
+  val length : t -> int
+  val to_array : t -> int array
+  val iter : (int -> unit) -> t -> unit
+  val clear : t -> unit
+end
+
+module Float : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val push : t -> float -> unit
+  val get : t -> int -> float
+  val length : t -> int
+  val to_array : t -> float array
+  val iter : (float -> unit) -> t -> unit
+  val clear : t -> unit
+end

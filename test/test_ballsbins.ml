@@ -1,0 +1,144 @@
+(* Tests for the iterated balls-into-bins game (§6.1.3): structural
+   invariants, reset semantics, Lemma 8 phase-length scaling, and
+   Lemma 9 range dynamics. *)
+
+open Core
+
+let rng () = Stats.Rng.create ~seed:2024
+
+let test_initial_state () =
+  let g = Ballsbins.Game.create ~n:5 in
+  Alcotest.(check int) "a = n" 5 (Ballsbins.Game.a g);
+  Alcotest.(check int) "b = 0" 0 (Ballsbins.Game.b g);
+  Alcotest.(check bool) "all one ball" true
+    (Ballsbins.Game.counts g = Array.make 5 1)
+
+let test_phase_start_invariant () =
+  (* At every phase start, no bin holds two or more balls, so
+     a + b = n. *)
+  let n = 16 in
+  let g = Ballsbins.Game.create ~n in
+  let r = rng () in
+  for _ = 1 to 500 do
+    let phase = Ballsbins.Game.run_phase g ~rng:r in
+    Alcotest.(check int) "a+b = n at start" n (phase.a_start + phase.b_start);
+    let counts = Ballsbins.Game.counts g in
+    Array.iter
+      (fun c -> Alcotest.(check bool) "post-reset balls in {0,1}" true (c = 0 || c = 1))
+      counts;
+    Alcotest.(check bool) "phase has positive length" true (phase.length >= 1)
+  done
+
+let test_n1_phase_length () =
+  (* One bin: the phase needs exactly 2 throws (1 ball -> 3 balls). *)
+  let g = Ballsbins.Game.create ~n:1 in
+  let p = Ballsbins.Game.run_phase g ~rng:(rng ()) in
+  Alcotest.(check int) "n=1 phase = 2 throws" 2 p.length;
+  Alcotest.(check int) "winner back to one ball" 1 (Ballsbins.Game.counts g).(0)
+
+let test_range_classification () =
+  Alcotest.(check bool) "a=n is First" true
+    (Ballsbins.Game.range_of ~n:30 30 = Ballsbins.Game.First);
+  Alcotest.(check bool) "a=n/3 is First" true
+    (Ballsbins.Game.range_of ~n:30 10 = Ballsbins.Game.First);
+  Alcotest.(check bool) "a just below n/3 is Second" true
+    (Ballsbins.Game.range_of ~n:30 9 = Ballsbins.Game.Second);
+  Alcotest.(check bool) "a=n/c is Second" true
+    (Ballsbins.Game.range_of ~n:30 3 = Ballsbins.Game.Second);
+  Alcotest.(check bool) "a below n/c is Third" true
+    (Ballsbins.Game.range_of ~n:30 2 = Ballsbins.Game.Third);
+  Alcotest.(check bool) "custom c" true
+    (Ballsbins.Game.range_of ~c:5 ~n:30 5 = Ballsbins.Game.Third)
+
+let test_phase_length_sqrt_scaling () =
+  (* Lemma 8 / Theorem 5: mean phase length grows like sqrt(n). *)
+  let mean n =
+    let g = Ballsbins.Game.create ~n in
+    Ballsbins.Game.mean_phase_length g ~rng:(rng ()) ~phases:3_000
+  in
+  let pts =
+    List.map (fun n -> (float_of_int n, mean n)) [ 64; 128; 256; 512; 1024; 2048 ]
+  in
+  let fit = Stats.Regression.power_law pts in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponent ~0.5 (got %.3f)" fit.slope)
+    true
+    (fit.slope > 0.42 && fit.slope < 0.58);
+  (* Constant check: W <= 2 sqrt n over the measured range. *)
+  List.iter
+    (fun (n, w) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase(%g) = %.2f <= 2 sqrt n" n w)
+        true
+        (w <= 2. *. sqrt n))
+    pts
+
+let test_third_range_rare_lemma9 () =
+  (* Lemma 9: phases in the third range are rare in steady state. *)
+  let n = 512 in
+  let g = Ballsbins.Game.create ~n in
+  let r = rng () in
+  (* warmup *)
+  for _ = 1 to 500 do
+    ignore (Ballsbins.Game.run_phase g ~rng:r)
+  done;
+  let phases = Ballsbins.Game.run g ~rng:r ~phases:5_000 in
+  let third =
+    List.length (List.filter (fun p -> p.Ballsbins.Game.range = Third) phases)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "third range fraction %.4f small" (float_of_int third /. 5000.))
+    true
+    (float_of_int third /. 5000. < 0.01)
+
+let test_matches_scu_system_chain () =
+  (* The game is the system chain in disguise: its mean phase length
+     should match the exact stationary system latency W(n) from
+     Chains.Scu_chain. *)
+  List.iter
+    (fun n ->
+      let exact = Chains.Scu_chain.System.system_latency ~n in
+      let g = Ballsbins.Game.create ~n in
+      let sim = Ballsbins.Game.mean_phase_length g ~rng:(rng ()) ~phases:60_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: game %.3f vs chain %.3f" n sim exact)
+        true
+        (Float.abs (sim -. exact) /. exact < 0.03))
+    [ 2; 4; 8 ]
+
+let prop_reset_conserves_bins =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"phase never changes the number of bins" ~count:50
+       QCheck2.Gen.(pair (int_range 1 64) (int_range 0 100000))
+       (fun (n, seed) ->
+         let g = Ballsbins.Game.create ~n in
+         let r = Stats.Rng.create ~seed in
+         ignore (Ballsbins.Game.run_phase g ~rng:r);
+         Array.length (Ballsbins.Game.counts g) = n
+         && Ballsbins.Game.a g + Ballsbins.Game.b g = n))
+
+let test_create_validation () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Game.create: n must be >= 1")
+    (fun () -> ignore (Ballsbins.Game.create ~n:0))
+
+let () =
+  Alcotest.run "ballsbins"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "phase-start invariant" `Quick test_phase_start_invariant;
+          Alcotest.test_case "n=1 exact" `Quick test_n1_phase_length;
+          Alcotest.test_case "range classification" `Quick test_range_classification;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          prop_reset_conserves_bins;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "sqrt n phases (Lemma 8)" `Slow
+            test_phase_length_sqrt_scaling;
+          Alcotest.test_case "third range rare (Lemma 9)" `Quick
+            test_third_range_rare_lemma9;
+          Alcotest.test_case "matches SCU system chain" `Slow test_matches_scu_system_chain;
+        ] );
+    ]

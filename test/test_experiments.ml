@@ -1,0 +1,55 @@
+(* Smoke tests over the experiment catalogue: ids are unique and
+   findable, and every experiment produces a renderable, non-trivial
+   table in quick mode.  This is the cheap guarantee that
+   `bin/repro.exe run all` and the bench harness's reproduction pass
+   cannot bit-rot silently. *)
+
+let test_ids_unique () =
+  let ids = List.map (fun e -> e.Experiments.Exp.id) Experiments.Exp.all in
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check int) "no duplicate ids" (List.length ids) (List.length sorted)
+
+let test_find () =
+  Alcotest.(check bool) "fig5 findable" true
+    (Option.is_some (Experiments.Exp.find "fig5"));
+  Alcotest.(check bool) "unknown id" true (Option.is_none (Experiments.Exp.find "nope"))
+
+let test_expected_catalogue () =
+  let ids = List.map (fun e -> e.Experiments.Exp.id) Experiments.Exp.all in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Printf.sprintf "%s present" id) true (List.mem id ids))
+    [
+      "fig1"; "fig3"; "fig4"; "fig5"; "thm3"; "lem2"; "thm4"; "lem7"; "thm5";
+      "lem11"; "lem12"; "lift"; "cor2"; "abl-sched"; "abl-wf"; "abl-lock";
+      "abl-of"; "abl-tas"; "structs"; "ext-shard"; "ext-mix"; "ext-methods";
+      "ext-tail"; "ext-backup"; "ext-replay"; "hw";
+    ]
+
+let run_all_quick () =
+  List.iter
+    (fun e ->
+      let rendered = Experiments.Exp.render ~quick:true e in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s renders non-trivially" e.Experiments.Exp.id)
+        true
+        (String.length rendered > 100);
+      (* The rendered output embeds the title and at least one data row
+         beyond the header/separator. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has rows" e.id)
+        true
+        (List.length (String.split_on_char '\n' rendered) > 5))
+    Experiments.Exp.all
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "catalogue",
+        [
+          Alcotest.test_case "unique ids" `Quick test_ids_unique;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "expected ids" `Quick test_expected_catalogue;
+        ] );
+      ("smoke", [ Alcotest.test_case "all experiments run (quick)" `Slow run_all_quick ]);
+    ]

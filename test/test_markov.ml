@@ -1,0 +1,309 @@
+(* Tests for the Markov chain library: stationary distributions (two
+   independent algorithms must agree), hitting/return time duality
+   (Theorem 1), ergodicity checks, and the lifting verifier. *)
+
+open Core
+
+let prop name ?(count = 50) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+(* A simple two-state chain with known stationary distribution:
+   P = [[1-a, a], [b, 1-b]], pi = (b, a) / (a+b). *)
+let two_state a b =
+  Markov.Chain.create ~size:2
+    ~row:(fun i -> if i = 0 then [ (0, 1. -. a); (1, a) ] else [ (0, b); (1, 1. -. b) ])
+    ()
+
+(* Random walk on a cycle of size k with lazy self-loops. *)
+let lazy_cycle k =
+  Markov.Chain.create ~size:k
+    ~row:(fun i -> [ (i, 0.5); ((i + 1) mod k, 0.25); ((i + k - 1) mod k, 0.25) ])
+    ()
+
+let test_validate_good () =
+  match Markov.Chain.validate (two_state 0.3 0.6) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid chain: %s" e
+
+let test_validate_bad_sum () =
+  let bad = Markov.Chain.create ~size:1 ~row:(fun _ -> [ (0, 0.9) ]) () in
+  match Markov.Chain.validate bad with
+  | Ok () -> Alcotest.fail "should reject row not summing to 1"
+  | Error _ -> ()
+
+let test_validate_duplicate () =
+  let bad = Markov.Chain.create ~size:2 ~row:(fun _ -> [ (0, 0.5); (0, 0.5) ]) () in
+  match Markov.Chain.validate bad with
+  | Ok () -> Alcotest.fail "should reject duplicate targets"
+  | Error _ -> ()
+
+let test_two_state_stationary () =
+  let a = 0.3 and b = 0.6 in
+  let chain = two_state a b in
+  let expected0 = b /. (a +. b) in
+  let by_solve = Markov.Stationary.solve chain in
+  let by_power = Markov.Stationary.power_iteration chain in
+  Alcotest.(check (float 1e-9)) "solve pi0" expected0 by_solve.(0);
+  Alcotest.(check (float 1e-9)) "power pi0" expected0 by_power.(0);
+  Alcotest.(check (float 1e-9)) "normalized" 1. (by_solve.(0) +. by_solve.(1))
+
+let test_cycle_stationary_uniform () =
+  let chain = lazy_cycle 7 in
+  let pi = Markov.Stationary.compute chain in
+  Array.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "uniform on cycle" (1. /. 7.) p)
+    pi
+
+let test_return_time_theorem1 () =
+  (* Theorem 1: h_jj = 1 / pi_j, via two independent computations. *)
+  let chain = two_state 0.25 0.4 in
+  let pi = Markov.Stationary.compute chain in
+  for j = 0 to 1 do
+    let by_hitting = Markov.Hitting.expected_return_time chain j in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "return time state %d" j)
+      (1. /. pi.(j))
+      by_hitting
+  done
+
+let test_hitting_times_gambler () =
+  (* Symmetric walk on 0..4 with absorbing-ish target {0}: classic
+     expected hitting times from i are i * (2*4 - i) for reflecting at
+     4... instead verify against the linear system directly for a
+     small concrete chain. *)
+  let chain =
+    Markov.Chain.create ~size:3
+      ~row:(fun i ->
+        match i with
+        | 0 -> [ (0, 1.) ]
+        | 1 -> [ (0, 0.5); (2, 0.5) ]
+        | 2 -> [ (1, 1.) ]
+        | _ -> assert false)
+      ()
+  in
+  let h = Markov.Hitting.hitting_times chain ~targets:[ 0 ] in
+  (* h1 = 1 + 0.5*h2, h2 = 1 + h1 => h1 = 3? solve: h1 = 1 + .5(1+h1)
+     => .5 h1 = 1.5 => h1 = 3, h2 = 4. *)
+  Alcotest.(check (float 1e-6)) "h0" 0. h.(0);
+  Alcotest.(check (float 1e-6)) "h1" 3. h.(1);
+  Alcotest.(check (float 1e-6)) "h2" 4. h.(2)
+
+let test_ergodicity_checks () =
+  Alcotest.(check bool) "lazy cycle ergodic" true (Markov.Ergodic.is_ergodic (lazy_cycle 5));
+  (* A pure 2-cycle is periodic. *)
+  let flip =
+    Markov.Chain.create ~size:2 ~row:(fun i -> [ (1 - i, 1.) ]) ()
+  in
+  Alcotest.(check bool) "2-cycle irreducible" true (Markov.Ergodic.strongly_connected flip);
+  Alcotest.(check int) "2-cycle period" 2 (Markov.Ergodic.period flip);
+  Alcotest.(check bool) "2-cycle not ergodic" false (Markov.Ergodic.is_ergodic flip);
+  (* Disconnected chain. *)
+  let discon = Markov.Chain.create ~size:2 ~row:(fun i -> [ (i, 1.) ]) () in
+  Alcotest.(check bool) "disconnected" false (Markov.Ergodic.strongly_connected discon)
+
+let test_step_distribution () =
+  let chain = two_state 0.5 0.5 in
+  let v = Markov.Chain.step_distribution chain [| 1.; 0. |] in
+  Alcotest.(check (float 1e-12)) "mass moved" 0.5 v.(1)
+
+let test_sample_path_occupancy () =
+  let chain = two_state 0.3 0.6 in
+  let rng = Stats.Rng.create ~seed:11 in
+  let occ = Markov.Chain.empirical_occupancy chain ~rng ~start:0 ~steps:200_000 in
+  let pi = Markov.Stationary.compute chain in
+  Alcotest.(check bool) "occupancy ~ stationary" true (Float.abs (occ.(0) -. pi.(0)) < 0.01)
+
+(* A trivially correct lifting: duplicate every state of a base chain.
+   Lifted state 2i and 2i+1 both map to i; transitions split evenly. *)
+let test_lifting_duplicate () =
+  let base = two_state 0.3 0.6 in
+  let lifted =
+    Markov.Chain.create ~size:4
+      ~row:(fun x ->
+        let i = x / 2 in
+        List.concat_map
+          (fun (j, p) -> [ ((2 * j), p /. 2.); ((2 * j) + 1, p /. 2.) ])
+          (base.Markov.Chain.row i))
+      ()
+  in
+  let f x = x / 2 in
+  let report = Markov.Lifting.verify ~base ~lifted ~f () in
+  Alcotest.(check bool) "flow error small" true (report.max_flow_error < 1e-9);
+  Alcotest.(check bool) "pi error small" true (report.max_pi_error < 1e-9);
+  Alcotest.(check bool) "fibers counted" true (report.fibers = [| 2; 2 |]);
+  Alcotest.(check bool) "is_lifting" true
+    (Markov.Lifting.is_lifting ~base ~lifted ~f ());
+  let pi = Markov.Stationary.compute lifted in
+  Alcotest.(check bool) "fiber symmetric" true
+    (Markov.Lifting.fiber_symmetric ~lifted ~f ~pi ())
+
+let test_lifting_rejects_wrong_map () =
+  let base = two_state 0.3 0.6 in
+  let lifted = two_state 0.3 0.6 in
+  (* Map both states to state 0: flows cannot match. *)
+  let f _ = 0 in
+  Alcotest.(check bool) "rejected" false
+    (Markov.Lifting.is_lifting ~base ~lifted ~f ())
+
+let prop_power_vs_solve =
+  (* On random ergodic 4-state chains, the two stationary algorithms
+     agree. *)
+  prop "power iteration agrees with solver"
+    QCheck2.Gen.(array_size (return 16) (float_range 0.05 1.))
+    (fun raw ->
+      let row i =
+        let weights = Array.sub raw (4 * i) 4 in
+        let total = Array.fold_left ( +. ) 0. weights in
+        List.init 4 (fun j -> (j, weights.(j) /. total))
+      in
+      let chain = Markov.Chain.create ~size:4 ~row () in
+      let a = Markov.Stationary.solve chain in
+      let b = Markov.Stationary.power_iteration chain in
+      let ok = ref true in
+      for i = 0 to 3 do
+        if Float.abs (a.(i) -. b.(i)) > 1e-8 then ok := false
+      done;
+      !ok)
+
+let prop_stationary_fixed_point =
+  prop "pi is a fixed point of P"
+    QCheck2.Gen.(array_size (return 9) (float_range 0.05 1.))
+    (fun raw ->
+      let row i =
+        let weights = Array.sub raw (3 * i) 3 in
+        let total = Array.fold_left ( +. ) 0. weights in
+        List.init 3 (fun j -> (j, weights.(j) /. total))
+      in
+      let chain = Markov.Chain.create ~size:3 ~row () in
+      let pi = Markov.Stationary.compute chain in
+      let pi' = Markov.Chain.step_distribution chain pi in
+      let ok = ref true in
+      for i = 0 to 2 do
+        if Float.abs (pi.(i) -. pi'.(i)) > 1e-9 then ok := false
+      done;
+      !ok)
+
+(* -- Mixing --------------------------------------------------------- *)
+
+let test_tv_distance () =
+  Alcotest.(check (float 1e-12)) "identical" 0. (Markov.Mixing.tv_distance [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
+  Alcotest.(check (float 1e-12)) "disjoint" 1. (Markov.Mixing.tv_distance [| 1.; 0. |] [| 0.; 1. |]);
+  Alcotest.(check (float 1e-12)) "half" 0.5 (Markov.Mixing.tv_distance [| 1.; 0. |] [| 0.5; 0.5 |])
+
+let test_distribution_at () =
+  let chain = two_state 0.5 0.5 in
+  (* Non-lazy single step from state 0: (0.5, 0.5). *)
+  let d = Markov.Mixing.distribution_at ~lazily:false chain ~start:0 ~t:1 in
+  Alcotest.(check (float 1e-12)) "one step" 0.5 d.(1);
+  (* t = 0 is the point mass. *)
+  let d0 = Markov.Mixing.distribution_at chain ~start:1 ~t:0 in
+  Alcotest.(check (float 1e-12)) "point mass" 1. d0.(1)
+
+let test_mixing_time_monotone_in_eps () =
+  let chain = lazy_cycle 9 in
+  let coarse = Markov.Mixing.mixing_time ~eps:0.25 chain ~start:0 in
+  let fine = Markov.Mixing.mixing_time ~eps:0.01 chain ~start:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "t(0.01)=%d >= t(0.25)=%d" fine coarse)
+    true (fine >= coarse);
+  (* After the mixing time, TV really is below eps. *)
+  let pi = Markov.Stationary.compute chain in
+  let d = Markov.Mixing.distribution_at chain ~start:0 ~t:fine in
+  Alcotest.(check bool) "TV below target" true (Markov.Mixing.tv_distance d pi <= 0.01)
+
+let test_hitting_unreachable_rejected () =
+  (* State 1 is absorbing, so {0} is unreachable from it. *)
+  let chain =
+    Markov.Chain.create ~size:2
+      ~row:(fun i -> if i = 0 then [ (1, 1.) ] else [ (1, 1.) ])
+      ()
+  in
+  Alcotest.check_raises "unreachable target"
+    (Invalid_argument "Hitting.hitting_times: target set unreachable from some state")
+    (fun () -> ignore (Markov.Hitting.hitting_times chain ~targets:[ 0 ]))
+
+let test_sample_path_validation () =
+  let chain = two_state 0.5 0.5 in
+  Alcotest.check_raises "bad start" (Invalid_argument "Chain.sample_path: bad start")
+    (fun () ->
+      ignore
+        (Markov.Chain.sample_path chain ~rng:(Stats.Rng.create ~seed:0) ~start:9 ~steps:1))
+
+let test_lazy_cycle_aperiodic () =
+  Alcotest.(check int) "self-loops give period 1" 1
+    (Markov.Ergodic.period (lazy_cycle 6))
+
+let test_spectral_gap_two_state () =
+  (* Two-state chain with a = b = p: eigenvalues 1 and 1 - 2p; the
+     lazy chain's second eigenvalue is (1 + (1-2p))/2 = 1 - p, so the
+     gap is exactly p. *)
+  let p = 0.3 in
+  let gap = Markov.Mixing.spectral_gap (two_state p p) in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap ~ p (got %.4f)" gap)
+    true
+    (Float.abs (gap -. p) < 1e-6)
+
+let test_spectral_gap_bounds_mixing () =
+  (* Relaxation time and mixing time agree within the standard log
+     factor. *)
+  let chain = lazy_cycle 12 in
+  let gap = Markov.Mixing.spectral_gap chain in
+  let tmix = Markov.Mixing.mixing_time ~eps:0.25 chain ~start:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1/gap=%.1f vs t_mix=%d compatible" (1. /. gap) tmix)
+    true
+    (float_of_int tmix >= 0.3 /. gap && float_of_int tmix <= 20. /. gap)
+
+let test_mixing_handles_periodic_chain () =
+  (* A pure 2-cycle never mixes without laziness; the lazy walk does. *)
+  let flip = Markov.Chain.create ~size:2 ~row:(fun i -> [ (1 - i, 1.) ]) () in
+  let t = Markov.Mixing.mixing_time ~eps:0.01 flip ~start:0 in
+  Alcotest.(check bool) (Printf.sprintf "lazy walk mixes (t=%d)" t) true (t < 100)
+
+let () =
+  Alcotest.run "markov"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "validate good" `Quick test_validate_good;
+          Alcotest.test_case "validate bad sum" `Quick test_validate_bad_sum;
+          Alcotest.test_case "validate duplicate" `Quick test_validate_duplicate;
+          Alcotest.test_case "step distribution" `Quick test_step_distribution;
+          Alcotest.test_case "sampled occupancy" `Quick test_sample_path_occupancy;
+        ] );
+      ( "stationary",
+        [
+          Alcotest.test_case "two-state closed form" `Quick test_two_state_stationary;
+          Alcotest.test_case "cycle uniform" `Quick test_cycle_stationary_uniform;
+          prop_power_vs_solve;
+          prop_stationary_fixed_point;
+        ] );
+      ( "hitting",
+        [
+          Alcotest.test_case "return time = 1/pi (Thm 1)" `Quick test_return_time_theorem1;
+          Alcotest.test_case "hitting linear system" `Quick test_hitting_times_gambler;
+          Alcotest.test_case "unreachable rejected" `Quick test_hitting_unreachable_rejected;
+          Alcotest.test_case "sample path validation" `Quick test_sample_path_validation;
+        ] );
+      ( "ergodic",
+        [
+          Alcotest.test_case "checks" `Quick test_ergodicity_checks;
+          Alcotest.test_case "lazy cycle aperiodic" `Quick test_lazy_cycle_aperiodic;
+        ] );
+      ( "lifting",
+        [
+          Alcotest.test_case "duplicate lifting verified" `Quick test_lifting_duplicate;
+          Alcotest.test_case "wrong map rejected" `Quick test_lifting_rejects_wrong_map;
+        ] );
+      ( "mixing",
+        [
+          Alcotest.test_case "tv distance" `Quick test_tv_distance;
+          Alcotest.test_case "distribution at t" `Quick test_distribution_at;
+          Alcotest.test_case "mixing time monotone" `Quick test_mixing_time_monotone_in_eps;
+          Alcotest.test_case "periodic chain (lazy)" `Quick
+            test_mixing_handles_periodic_chain;
+          Alcotest.test_case "spectral gap exact" `Quick test_spectral_gap_two_state;
+          Alcotest.test_case "gap bounds mixing" `Quick test_spectral_gap_bounds_mixing;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* Tests for the real-multicore substrate.  Domain counts stay small:
+   correctness must hold on any machine, including this container's
+   single hardware thread (preemptive OS scheduling still interleaves
+   domains arbitrarily). *)
+
+open Core
+
+let domains = 3
+
+(* -- Counter ---------------------------------------------------------- *)
+
+let test_counter_sequential () =
+  let c = Runtime.Rt_counter.create () in
+  let v0, s0 = Runtime.Rt_counter.incr_cas c in
+  Alcotest.(check int) "first value" 0 v0;
+  Alcotest.(check int) "uncontended steps" 2 s0;
+  let v1, s1 = Runtime.Rt_counter.incr_faa c in
+  Alcotest.(check int) "faa old value" 1 v1;
+  Alcotest.(check int) "faa one step" 1 s1;
+  Alcotest.(check int) "final" 2 (Runtime.Rt_counter.get c)
+
+let test_counter_concurrent_permutation () =
+  let c = Runtime.Rt_counter.create () in
+  let per = 2_000 in
+  let go = Atomic.make false in
+  let worker () =
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    Array.init per (fun _ -> fst (Runtime.Rt_counter.incr_cas c))
+  in
+  let handles = List.init domains (fun _ -> Domain.spawn worker) in
+  Atomic.set go true;
+  let results = List.map Domain.join handles in
+  Alcotest.(check int) "final value" (domains * per) (Runtime.Rt_counter.get c);
+  let all = Array.concat results in
+  Array.sort compare all;
+  Alcotest.(check bool) "values are a permutation" true
+    (all = Array.init (domains * per) (fun i -> i));
+  (* Each domain's own values are strictly increasing. *)
+  List.iter
+    (fun mine ->
+      let ok = ref true in
+      Array.iteri (fun i v -> if i > 0 && v <= mine.(i - 1) then ok := false) mine;
+      Alcotest.(check bool) "per-domain monotone" true !ok)
+    results
+
+let test_counter_with_backoff () =
+  let c = Runtime.Rt_counter.create () in
+  let b = Runtime.Backoff.create ~min_spins:1 ~max_spins:8 () in
+  for _ = 1 to 100 do
+    ignore (Runtime.Rt_counter.incr_cas ~backoff:b c)
+  done;
+  Alcotest.(check int) "backoff does not change semantics" 100 (Runtime.Rt_counter.get c)
+
+(* -- Treiber stack ----------------------------------------------------- *)
+
+let test_stack_sequential () =
+  let s = Runtime.Rt_treiber.create () in
+  Alcotest.(check bool) "empty" true (Runtime.Rt_treiber.is_empty s);
+  ignore (Runtime.Rt_treiber.push s 1);
+  ignore (Runtime.Rt_treiber.push s 2);
+  Alcotest.(check (option int)) "peek" (Some 2) (Runtime.Rt_treiber.peek s);
+  Alcotest.(check (list int)) "to_list" [ 2; 1 ] (Runtime.Rt_treiber.to_list s);
+  let v, _ = Runtime.Rt_treiber.pop s in
+  Alcotest.(check (option int)) "LIFO pop" (Some 2) v;
+  Alcotest.(check int) "length" 1 (Runtime.Rt_treiber.length s)
+
+let test_stack_concurrent_conservation () =
+  let s = Runtime.Rt_treiber.create () in
+  let per = 1_000 in
+  let go = Atomic.make false in
+  let worker d () =
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let popped = ref [] in
+    for k = 0 to per - 1 do
+      ignore (Runtime.Rt_treiber.push s ((k * domains) + d));
+      if k mod 2 = 1 then
+        match Runtime.Rt_treiber.pop s with
+        | Some v, _ -> popped := v :: !popped
+        | None, _ -> ()
+    done;
+    !popped
+  in
+  let handles = List.init domains (fun d -> Domain.spawn (worker d)) in
+  Atomic.set go true;
+  let popped = List.concat_map Domain.join handles in
+  let remaining = Runtime.Rt_treiber.to_list s in
+  let seen = popped @ remaining in
+  Alcotest.(check int) "conservation: pushed = popped + remaining"
+    (domains * per) (List.length seen);
+  let sorted = List.sort compare seen in
+  let rec no_dup = function
+    | a :: (b :: _ as rest) -> a <> b && no_dup rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "no element duplicated or lost" true (no_dup sorted)
+
+(* -- MS queue ----------------------------------------------------------- *)
+
+let test_queue_sequential () =
+  let q = Runtime.Rt_msqueue.create () in
+  Alcotest.(check bool) "empty" true (Runtime.Rt_msqueue.is_empty q);
+  ignore (Runtime.Rt_msqueue.enqueue q 1);
+  ignore (Runtime.Rt_msqueue.enqueue q 2);
+  ignore (Runtime.Rt_msqueue.enqueue q 3);
+  Alcotest.(check (list int)) "fifo contents" [ 1; 2; 3 ] (Runtime.Rt_msqueue.to_list q);
+  let v1, _ = Runtime.Rt_msqueue.dequeue q in
+  let v2, _ = Runtime.Rt_msqueue.dequeue q in
+  Alcotest.(check (option int)) "first out" (Some 1) v1;
+  Alcotest.(check (option int)) "second out" (Some 2) v2;
+  let v3, _ = Runtime.Rt_msqueue.dequeue q in
+  let v4, _ = Runtime.Rt_msqueue.dequeue q in
+  Alcotest.(check (option int)) "third out" (Some 3) v3;
+  Alcotest.(check (option int)) "then empty" None v4
+
+let test_queue_concurrent_per_producer_fifo () =
+  let q = Runtime.Rt_msqueue.create () in
+  let per = 1_000 in
+  let go = Atomic.make false in
+  (* Two producers; values k*2 + d, so producer = v mod 2. *)
+  let producer d () =
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    for k = 0 to per - 1 do
+      ignore (Runtime.Rt_msqueue.enqueue q ((k * 2) + d))
+    done
+  in
+  let consumer () =
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    let out = ref [] in
+    let misses = ref 0 in
+    while !misses < 10_000 && List.length !out < per do
+      match Runtime.Rt_msqueue.dequeue q with
+      | Some v, _ -> out := v :: !out
+      | None, _ -> incr misses
+    done;
+    List.rev !out
+  in
+  let producers = List.init 2 (fun d -> Domain.spawn (producer d)) in
+  let consumer_h = Domain.spawn consumer in
+  Atomic.set go true;
+  List.iter Domain.join producers;
+  let consumed = Domain.join consumer_h in
+  (* Drain the rest sequentially. *)
+  let rec drain acc =
+    match Runtime.Rt_msqueue.dequeue q with
+    | Some v, _ -> drain (v :: acc)
+    | None, _ -> List.rev acc
+  in
+  let rest = drain [] in
+  let all = consumed @ rest in
+  Alcotest.(check int) "nothing lost" (2 * per) (List.length all);
+  (* Per-producer FIFO: each producer's subsequence is increasing. *)
+  List.iter
+    (fun d ->
+      let mine = List.filter (fun v -> v mod 2 = d) all in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "producer %d order preserved" d)
+        true (increasing mine))
+    [ 0; 1 ]
+
+(* -- Recorder (Figures 3/4 methodology) --------------------------------- *)
+
+let test_recorder_total_order () =
+  let tr = Runtime.Recorder.record ~domains:3 ~steps_per_domain:2_000 in
+  Alcotest.(check int) "trace length" 6_000 (Sched.Trace.length tr);
+  let counts = Sched.Trace.step_counts tr in
+  Array.iter (fun c -> Alcotest.(check int) "each domain's steps all present" 2_000 c) counts
+
+let test_recorder_long_run_shares_fair () =
+  (* Figure 3's claim on this machine: long-run shares are equal even
+     though local order may be bursty. *)
+  let tr = Runtime.Recorder.record ~domains:2 ~steps_per_domain:20_000 in
+  let shares = Sched.Trace.step_shares tr in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "share = 1/2 exactly (fixed quota)" true
+        (Float.abs (s -. 0.5) < 1e-9))
+    shares
+
+(* -- Harness -------------------------------------------------------------- *)
+
+let test_harness_counts () =
+  let r = Runtime.Harness.counter_completion_rate ~domains:2 ~ops_per_domain:5_000 in
+  Alcotest.(check int) "operations" 10_000 r.total_operations;
+  Alcotest.(check bool) "steps >= 2 per op" true (r.total_steps >= 2 * r.total_operations);
+  Alcotest.(check bool) "rate in (0, 0.5]" true
+    (r.completion_rate > 0. && r.completion_rate <= 0.5)
+
+let test_harness_custom_op () =
+  let r =
+    Runtime.Harness.run ~domains:2 ~ops_per_domain:100 ~op:(fun _ -> 7)
+  in
+  Alcotest.(check int) "steps accumulated" 1_400 r.total_steps;
+  Alcotest.(check (float 1e-9)) "rate" (200. /. 1400.) r.completion_rate
+
+let test_recorder_both_methods_agree () =
+  (* Both of the paper's §A.2 methods over one run: identical per-
+     domain step counts, and a high positional agreement between the
+     recovered orders (ties in the wall clock can break a few). *)
+  let c = Runtime.Recorder.record_both ~domains:2 ~steps_per_domain:3_000 in
+  Alcotest.(check int) "ticket trace length" 6_000
+    (Sched.Trace.length c.ticket_trace);
+  Alcotest.(check bool) "same step counts" true
+    (Sched.Trace.step_counts c.ticket_trace = Sched.Trace.step_counts c.timestamp_trace);
+  Alcotest.(check bool)
+    (Printf.sprintf "orders mostly agree (%.3f)" c.agreement)
+    true (c.agreement > 0.9)
+
+let test_arg_validation () =
+  Alcotest.check_raises "backoff"
+    (Invalid_argument "Backoff.create: need 1 <= min_spins <= max_spins") (fun () ->
+      ignore (Runtime.Backoff.create ~min_spins:8 ~max_spins:4 ()));
+  Alcotest.check_raises "recorder domains"
+    (Invalid_argument "Recorder.record: domains must be >= 1") (fun () ->
+      ignore (Runtime.Recorder.record ~domains:0 ~steps_per_domain:1));
+  Alcotest.check_raises "harness domains"
+    (Invalid_argument "Harness.run: domains must be >= 1") (fun () ->
+      ignore (Runtime.Harness.run ~domains:0 ~ops_per_domain:1 ~op:(fun _ -> 1)))
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "sequential" `Quick test_counter_sequential;
+          Alcotest.test_case "concurrent permutation" `Quick
+            test_counter_concurrent_permutation;
+          Alcotest.test_case "backoff" `Quick test_counter_with_backoff;
+        ] );
+      ( "treiber",
+        [
+          Alcotest.test_case "sequential" `Quick test_stack_sequential;
+          Alcotest.test_case "concurrent conservation" `Quick
+            test_stack_concurrent_conservation;
+        ] );
+      ( "msqueue",
+        [
+          Alcotest.test_case "sequential" `Quick test_queue_sequential;
+          Alcotest.test_case "concurrent per-producer FIFO" `Quick
+            test_queue_concurrent_per_producer_fifo;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "total order" `Quick test_recorder_total_order;
+          Alcotest.test_case "long-run shares" `Quick test_recorder_long_run_shares_fair;
+          Alcotest.test_case "both §A.2 methods agree" `Quick
+            test_recorder_both_methods_agree;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "counter rate" `Quick test_harness_counts;
+          Alcotest.test_case "custom op" `Quick test_harness_custom_op;
+        ] );
+      ("validation", [ Alcotest.test_case "argument guards" `Quick test_arg_validation ]);
+    ]

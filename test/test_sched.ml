@@ -1,0 +1,303 @@
+(* Tests for the scheduler zoo: Definition 1 conditions, the Figure
+   3/4 trace statistics, and crash plans. *)
+
+open Core
+
+let prop name ?(count = 100) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+let rng () = Stats.Rng.create ~seed:99
+let all_alive n = Array.make n true
+
+(* -- Scheduler distributions -------------------------------------- *)
+
+let test_uniform_distribution () =
+  let n = 8 in
+  let d =
+    Sched.Scheduler.pick_distribution Sched.Scheduler.uniform ~rng:(rng ())
+      ~alive:(all_alive n) ~time:0 ~trials:100_000
+  in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "each ~1/8" true (Float.abs (p -. 0.125) < 0.01))
+    d
+
+let test_uniform_skips_dead () =
+  let alive = [| true; false; true; false |] in
+  let d =
+    Sched.Scheduler.pick_distribution Sched.Scheduler.uniform ~rng:(rng ()) ~alive
+      ~time:0 ~trials:50_000
+  in
+  Alcotest.(check (float 0.)) "dead p1" 0. d.(1);
+  Alcotest.(check (float 0.)) "dead p3" 0. d.(3);
+  Alcotest.(check bool) "alive split evenly" true (Float.abs (d.(0) -. 0.5) < 0.02)
+
+let test_round_robin_cycles () =
+  let s = Sched.Scheduler.round_robin () in
+  let picks =
+    List.init 6 (fun t -> s.pick ~rng:(rng ()) ~alive:(all_alive 3) ~time:t)
+  in
+  Alcotest.(check (list int)) "cycle" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_round_robin_skips_dead () =
+  let s = Sched.Scheduler.round_robin () in
+  let alive = [| true; false; true |] in
+  let picks = List.init 4 (fun t -> s.pick ~rng:(rng ()) ~alive ~time:t) in
+  Alcotest.(check (list int)) "skips p1" [ 0; 2; 0; 2 ] picks
+
+let test_zipf_skew () =
+  let n = 4 in
+  let s = Sched.Scheduler.zipf ~n ~alpha:1.0 in
+  let d =
+    Sched.Scheduler.pick_distribution s ~rng:(rng ()) ~alive:(all_alive n) ~time:0
+      ~trials:100_000
+  in
+  (* Weights 1, 1/2, 1/3, 1/4; total = 25/12; p0 = 12/25 = 0.48. *)
+  Alcotest.(check bool) "p0 ~0.48" true (Float.abs (d.(0) -. 0.48) < 0.01);
+  Alcotest.(check bool) "monotone" true (d.(0) > d.(1) && d.(1) > d.(2) && d.(2) > d.(3))
+
+let test_zipf_zero_alpha_is_uniform () =
+  let n = 5 in
+  let s = Sched.Scheduler.zipf ~n ~alpha:0. in
+  let d =
+    Sched.Scheduler.pick_distribution s ~rng:(rng ()) ~alive:(all_alive n) ~time:0
+      ~trials:100_000
+  in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "uniform" true (Float.abs (p -. 0.2) < 0.01))
+    d
+
+let test_starver_never_picks_victim () =
+  let s = Sched.Scheduler.starver ~victim:1 in
+  for t = 0 to 999 do
+    let i = s.pick ~rng:(rng ()) ~alive:(all_alive 4) ~time:t in
+    Alcotest.(check bool) "victim starved" true (i <> 1)
+  done
+
+let test_starver_picks_victim_when_alone () =
+  let s = Sched.Scheduler.starver ~victim:0 in
+  let alive = [| true; false; false |] in
+  Alcotest.(check int) "only victim left" 0 (s.pick ~rng:(rng ()) ~alive ~time:0)
+
+let test_weak_fairness_restores_theta () =
+  let adv = Sched.Scheduler.starver ~victim:2 in
+  let theta = 0.05 in
+  let s = Sched.Scheduler.with_weak_fairness ~theta adv in
+  let v =
+    Sched.Validity.check s ~rng:(rng ()) ~alive:(all_alive 4) ~trials:200_000 ()
+  in
+  Alcotest.(check bool) "well formed" true v.well_formed;
+  Alcotest.(check bool) "weak fair at declared theta" true v.weak_fair;
+  Alcotest.(check bool) "victim prob >= theta" true
+    (v.min_alive_probability >= theta -. 0.01)
+
+let test_weak_fairness_rejects_overload () =
+  let adv = Sched.Scheduler.starver ~victim:0 in
+  let s = Sched.Scheduler.with_weak_fairness ~theta:0.3 adv in
+  Alcotest.check_raises "k*theta > 1"
+    (Invalid_argument "Scheduler.with_weak_fairness: k * theta exceeds 1") (fun () ->
+      ignore (s.pick ~rng:(rng ()) ~alive:(all_alive 4) ~time:0))
+
+let test_validity_flags_starver () =
+  let s = Sched.Scheduler.starver ~victim:0 in
+  let v =
+    Sched.Validity.check s ~rng:(rng ()) ~alive:(all_alive 3) ~trials:10_000 ()
+  in
+  (* Declared theta = 0, so weak fairness trivially holds, but the
+     victim's empirical probability is 0. *)
+  Alcotest.(check (float 0.)) "victim never scheduled" 0. v.min_alive_probability
+
+let test_quantum_long_run_fair () =
+  let s = Sched.Scheduler.quantum ~length:10 in
+  let n = 4 in
+  let counts = Array.make n 0 in
+  let r = rng () in
+  for t = 0 to 99_999 do
+    let i = s.pick ~rng:r ~alive:(all_alive n) ~time:t in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "long-run fair" true
+        (Float.abs ((float_of_int c /. 100_000.) -. 0.25) < 0.02))
+    counts
+
+let prop_lottery_nonzero_tickets_only =
+  prop "lottery only picks positive-ticket processes"
+    QCheck2.Gen.(pair (int_range 0 1000) (array_size (return 5) (int_range 0 10)))
+    (fun (seed, tickets) ->
+      QCheck2.assume (Array.exists (fun t -> t > 0) tickets);
+      let s = Sched.Scheduler.lottery tickets in
+      let g = Stats.Rng.create ~seed in
+      let i = s.pick ~rng:g ~alive:(all_alive 5) ~time:0 in
+      tickets.(i) > 0)
+
+let test_quantum_survives_crash_of_current () =
+  (* If the process holding the quantum dies, the scheduler must
+     re-draw among the living instead of returning the corpse. *)
+  let s = Sched.Scheduler.quantum ~length:100 in
+  let alive = [| true; true; true |] in
+  let r = rng () in
+  let first = s.pick ~rng:r ~alive ~time:0 in
+  alive.(first) <- false;
+  for t = 1 to 50 do
+    let i = s.pick ~rng:r ~alive ~time:t in
+    Alcotest.(check bool) "never picks the dead current" true (i <> first)
+  done
+
+let test_weighted_rejects_negative () =
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Scheduler.weighted: negative weight") (fun () ->
+      ignore (Sched.Scheduler.weighted [| 1.; -1. |]))
+
+let test_weak_fairness_rejects_nonpositive_theta () =
+  Alcotest.check_raises "theta = 0"
+    (Invalid_argument "Scheduler.with_weak_fairness: theta must be > 0") (fun () ->
+      ignore (Sched.Scheduler.with_weak_fairness ~theta:0. Sched.Scheduler.uniform))
+
+let test_replay_follows_recording () =
+  let order = [| 2; 0; 1; 1; 2 |] in
+  let s = Sched.Scheduler.replay order in
+  let alive = all_alive 3 in
+  for t = 0 to 9 do
+    Alcotest.(check int)
+      (Printf.sprintf "step %d" t)
+      order.(t mod 5)
+      (s.pick ~rng:(rng ()) ~alive ~time:t)
+  done
+
+let test_replay_skips_dead () =
+  let s = Sched.Scheduler.replay [| 0; 0; 0 |] in
+  let alive = [| false; true; true |] in
+  for t = 0 to 5 do
+    let i = s.pick ~rng:(rng ()) ~alive ~time:t in
+    Alcotest.(check bool) "falls back to a living process" true (i <> 0)
+  done
+
+let test_replay_rejects_empty () =
+  Alcotest.check_raises "empty schedule"
+    (Invalid_argument "Scheduler.replay: empty schedule") (fun () ->
+      ignore (Sched.Scheduler.replay [||]))
+
+let test_quantum_rejects_bad_length () =
+  Alcotest.check_raises "length 0"
+    (Invalid_argument "Scheduler.quantum: length must be >= 1") (fun () ->
+      ignore (Sched.Scheduler.quantum ~length:0))
+
+(* -- Traces (Figures 3 and 4) -------------------------------------- *)
+
+let test_trace_step_shares () =
+  let t = Sched.Trace.of_array ~n:3 [| 0; 1; 2; 0; 0; 1 |] in
+  let shares = Sched.Trace.step_shares t in
+  Alcotest.(check (float 1e-9)) "p0 share" 0.5 shares.(0);
+  Alcotest.(check (float 1e-9)) "p1 share" (1. /. 3.) shares.(1);
+  Alcotest.(check (float 1e-9)) "p2 share" (1. /. 6.) shares.(2)
+
+let test_trace_successors () =
+  let t = Sched.Trace.of_array ~n:2 [| 0; 1; 0; 0; 1 |] in
+  (* After p0: successors are 1, 0, 1 -> p1 twice, p0 once.  The final
+     p1 has no successor. *)
+  let d = Sched.Trace.next_step_distribution t ~after:0 in
+  Alcotest.(check (float 1e-9)) "to p0" (1. /. 3.) d.(0);
+  Alcotest.(check (float 1e-9)) "to p1" (2. /. 3.) d.(1)
+
+let test_trace_uniform_successors_uniform () =
+  let n = 6 in
+  let tr = Sched.Trace.create ~n in
+  let g = rng () in
+  for _ = 1 to 300_000 do
+    Sched.Trace.record tr (Stats.Rng.int g n)
+  done;
+  let m = Sched.Trace.successor_matrix tr in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "succ[%d][%d] ~ 1/n" i j)
+            true
+            (Float.abs (p -. (1. /. float_of_int n)) < 0.02))
+        row)
+    m
+
+let test_trace_run_lengths () =
+  let t = Sched.Trace.of_array ~n:2 [| 0; 0; 1; 0; 1; 1; 1 |] in
+  Alcotest.(check (list (pair int int))) "runs of p0" [ (1, 1); (2, 1) ]
+    (Sched.Trace.run_length_counts t ~proc:0);
+  Alcotest.(check (list (pair int int))) "runs of p1" [ (1, 1); (3, 1) ]
+    (Sched.Trace.run_length_counts t ~proc:1)
+
+let test_trace_max_gap () =
+  let t = Sched.Trace.of_array ~n:3 [| 0; 1; 2; 2; 1; 0; 1 |] in
+  Alcotest.(check int) "gap p0" 4 (Sched.Trace.max_gap t ~proc:0);
+  (* p2's last step is at index 3; the trailing gap 4..6 has length 3. *)
+  Alcotest.(check int) "gap p2" 3 (Sched.Trace.max_gap t ~proc:2)
+
+(* -- Crash plans ---------------------------------------------------- *)
+
+let test_crash_plan_dedup () =
+  let p = Sched.Crash_plan.of_list [ (10, 1); (5, 1); (7, 2) ] in
+  Alcotest.(check int) "count" 2 (Sched.Crash_plan.count p);
+  Alcotest.(check (list int)) "p1 crashes at its earliest time" [ 1 ]
+    (Sched.Crash_plan.crashes_at p ~time:5);
+  Alcotest.(check (list int)) "crashed_by 7" [ 1; 2 ]
+    (List.sort compare (Sched.Crash_plan.crashed_by p ~time:7))
+
+let test_crash_plan_validation () =
+  (match Sched.Crash_plan.validate ~n:3 (Sched.Crash_plan.of_list [ (1, 0); (2, 1) ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "n-1 crashes should be fine: %s" e);
+  (match Sched.Crash_plan.validate ~n:2 (Sched.Crash_plan.of_list [ (1, 0); (2, 1) ]) with
+  | Ok () -> Alcotest.fail "all-crash should be rejected"
+  | Error _ -> ());
+  match Sched.Crash_plan.validate ~n:2 (Sched.Crash_plan.of_list [ (1, 5) ]) with
+  | Ok () -> Alcotest.fail "out-of-range process"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "schedulers",
+        [
+          Alcotest.test_case "uniform distribution" `Quick test_uniform_distribution;
+          Alcotest.test_case "uniform skips dead" `Quick test_uniform_skips_dead;
+          Alcotest.test_case "round robin cycles" `Quick test_round_robin_cycles;
+          Alcotest.test_case "round robin skips dead" `Quick test_round_robin_skips_dead;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "zipf alpha=0 uniform" `Quick test_zipf_zero_alpha_is_uniform;
+          Alcotest.test_case "starver starves" `Quick test_starver_never_picks_victim;
+          Alcotest.test_case "starver fallback" `Quick test_starver_picks_victim_when_alone;
+          Alcotest.test_case "quantum long-run fair" `Quick test_quantum_long_run_fair;
+          Alcotest.test_case "quantum survives crash" `Quick
+            test_quantum_survives_crash_of_current;
+          Alcotest.test_case "weighted validation" `Quick test_weighted_rejects_negative;
+          Alcotest.test_case "weak-fairness validation" `Quick
+            test_weak_fairness_rejects_nonpositive_theta;
+          Alcotest.test_case "quantum validation" `Quick test_quantum_rejects_bad_length;
+          Alcotest.test_case "replay follows recording" `Quick test_replay_follows_recording;
+          Alcotest.test_case "replay skips dead" `Quick test_replay_skips_dead;
+          Alcotest.test_case "replay validation" `Quick test_replay_rejects_empty;
+          prop_lottery_nonzero_tickets_only;
+        ] );
+      ( "weak fairness (Def 1)",
+        [
+          Alcotest.test_case "theta restored over adversary" `Quick
+            test_weak_fairness_restores_theta;
+          Alcotest.test_case "k*theta > 1 rejected" `Quick
+            test_weak_fairness_rejects_overload;
+          Alcotest.test_case "validity flags starver" `Quick test_validity_flags_starver;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "step shares (Fig 3)" `Quick test_trace_step_shares;
+          Alcotest.test_case "successors (Fig 4)" `Quick test_trace_successors;
+          Alcotest.test_case "uniform successors uniform" `Quick
+            test_trace_uniform_successors_uniform;
+          Alcotest.test_case "run lengths" `Quick test_trace_run_lengths;
+          Alcotest.test_case "max gap" `Quick test_trace_max_gap;
+        ] );
+      ( "crash plans",
+        [
+          Alcotest.test_case "dedup earliest" `Quick test_crash_plan_dedup;
+          Alcotest.test_case "validation" `Quick test_crash_plan_validation;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+(* Unit and property tests for the statistics substrate. *)
+
+open Core
+
+let prop name ?(count = 200) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
+
+(* -- Rng ----------------------------------------------------------- *)
+
+let test_rng_reproducible () =
+  let a = Stats.Rng.create ~seed:7 and b = Stats.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Stats.Rng.bits64 a) (Stats.Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Stats.Rng.create ~seed:7 and b = Stats.Rng.create ~seed:8 in
+  Alcotest.(check bool) "different streams" true
+    (Stats.Rng.bits64 a <> Stats.Rng.bits64 b)
+
+let test_rng_int_range () =
+  let g = Stats.Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    let v = Stats.Rng.int g 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Stats.Rng.int g 0))
+
+let test_rng_int_uniform () =
+  let g = Stats.Rng.create ~seed:2 in
+  let counts = Array.make 10 0 in
+  let trials = 200_000 in
+  for _ = 1 to trials do
+    let v = Stats.Rng.int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "chi-square uniformity" true (Stats.Chi_square.test_uniform counts)
+
+let test_rng_float_range () =
+  let g = Stats.Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Stats.Rng.float g 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let g = Stats.Rng.create ~seed:4 in
+  let a = Stats.Rng.split g in
+  let b = Stats.Rng.split g in
+  Alcotest.(check bool) "children differ" true
+    (Stats.Rng.bits64 a <> Stats.Rng.bits64 b)
+
+let test_rng_weighted () =
+  let g = Stats.Rng.create ~seed:5 in
+  let w = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let i = Stats.Rng.pick_weighted g w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never chosen" 0 counts.(1);
+  let share2 = float_of_int counts.(2) /. float_of_int trials in
+  Alcotest.(check bool) "weight-3 share ~0.75" true (Float.abs (share2 -. 0.75) < 0.01)
+
+let test_rng_geometric_mean () =
+  let g = Stats.Rng.create ~seed:6 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (float_of_int (Stats.Rng.geometric g ~p:0.25))
+  done;
+  (* Mean of geometric(p) = 1/p = 4. *)
+  Alcotest.(check bool) "geometric mean ~4" true
+    (Float.abs (Stats.Summary.mean s -. 4.) < 0.1)
+
+let test_rng_perm () =
+  let g = Stats.Rng.create ~seed:8 in
+  let p = Stats.Rng.perm g 20 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is a permutation" true (sorted = Array.init 20 (fun i -> i))
+
+let prop_rng_int_in_bounds =
+  prop "rng int always within bounds"
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 0 10000))
+    (fun (bound, seed) ->
+      let g = Stats.Rng.create ~seed in
+      let v = Stats.Rng.int g bound in
+      v >= 0 && v < bound)
+
+(* -- Summary ------------------------------------------------------- *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.of_array [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "variance" (5. /. 3.) (Stats.Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 10. (Stats.Summary.total s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Stats.Summary.mean s))
+
+let prop_summary_merge =
+  prop "merge equals concatenation"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 50) (float_range (-100.) 100.))
+        (list_size (int_range 1 50) (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      let a = Stats.Summary.of_array (Array.of_list xs) in
+      let b = Stats.Summary.of_array (Array.of_list ys) in
+      let merged = Stats.Summary.merge a b in
+      let whole = Stats.Summary.of_array (Array.of_list (xs @ ys)) in
+      let close u v = Float.abs (u -. v) < 1e-6 *. (1. +. Float.abs v) in
+      Stats.Summary.count merged = Stats.Summary.count whole
+      && close (Stats.Summary.mean merged) (Stats.Summary.mean whole)
+      && (List.length xs + List.length ys < 2
+         || close (Stats.Summary.variance merged) (Stats.Summary.variance whole)))
+
+(* -- Histogram ----------------------------------------------------- *)
+
+let test_histogram_bins () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.; 1.9; 2.; 5.; 9.99; -1.; 10.; 42. ];
+  Alcotest.(check (list int))
+    "counts" [ 2; 1; 1; 0; 1 ]
+    (Array.to_list (Stats.Histogram.counts h));
+  Alcotest.(check int) "underflow" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Stats.Histogram.overflow h);
+  Alcotest.(check int) "total" 8 (Stats.Histogram.total h)
+
+let prop_histogram_total =
+  prop "every observation lands somewhere"
+    QCheck2.Gen.(list_size (int_range 0 200) (float_range (-50.) 50.))
+    (fun xs ->
+      let h = Stats.Histogram.create ~lo:(-10.) ~hi:10. ~bins:7 in
+      List.iter (Stats.Histogram.add h) xs;
+      Stats.Histogram.total h = List.length xs)
+
+(* -- Ecdf ---------------------------------------------------------- *)
+
+let test_ecdf_quantiles () =
+  let e = Stats.Ecdf.of_array [| 3.; 1.; 2.; 4. |] in
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Ecdf.quantile e 0.);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.Ecdf.quantile e 1.);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.Ecdf.median e);
+  Alcotest.(check (float 1e-9)) "cdf mid" 0.5 (Stats.Ecdf.cdf e 2.5);
+  Alcotest.(check (float 1e-9)) "cdf below" 0. (Stats.Ecdf.cdf e 0.5);
+  Alcotest.(check (float 1e-9)) "cdf above" 1. (Stats.Ecdf.cdf e 9.)
+
+let prop_ecdf_monotone =
+  prop "quantile is monotone"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 100) (float_range (-100.) 100.))
+        (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (xs, (p1, p2)) ->
+      let e = Stats.Ecdf.of_array (Array.of_list xs) in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.Ecdf.quantile e lo <= Stats.Ecdf.quantile e hi +. 1e-12)
+
+(* -- Regression ---------------------------------------------------- *)
+
+let test_regression_exact_line () =
+  let pts = [ (1., 5.); (2., 7.); (3., 9.); (4., 11.) ] in
+  let fit = Stats.Regression.linear pts in
+  Alcotest.(check (float 1e-9)) "slope" 2. fit.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 3. fit.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1. fit.r2
+
+let test_regression_power_law () =
+  (* y = 3 * x^0.5 *)
+  let pts =
+    List.init 10 (fun i ->
+        let x = float_of_int (i + 1) in
+        (x, 3. *. sqrt x))
+  in
+  let fit = Stats.Regression.power_law pts in
+  Alcotest.(check (float 1e-9)) "exponent" 0.5 fit.slope;
+  Alcotest.(check (float 1e-6)) "prefactor" 3. (exp fit.intercept)
+
+let test_scale_to_first () =
+  let model = sqrt in
+  let scaled = Stats.Regression.scale_to_first ~model [ (4., 10.); (9., 0.) ] in
+  Alcotest.(check (float 1e-9)) "passes through first point" 10. (scaled 4.);
+  Alcotest.(check (float 1e-9)) "scales elsewhere" 15. (scaled 9.)
+
+(* -- Chi-square ---------------------------------------------------- *)
+
+let test_chi_square_detects_bias () =
+  let uniform = [| 1000; 1010; 990; 1005; 995 |] in
+  let biased = [| 2500; 500; 500; 500; 1000 |] in
+  Alcotest.(check bool) "accepts uniform" true (Stats.Chi_square.test_uniform uniform);
+  Alcotest.(check bool) "rejects biased" false (Stats.Chi_square.test_uniform biased)
+
+let test_chi_square_critical_values () =
+  (* Known value: chi2(0.05, df=10) = 18.31. *)
+  let v = Stats.Chi_square.critical_value ~df:10 ~alpha:0.05 in
+  Alcotest.(check bool) "df=10 alpha=.05 ~18.31" true (Float.abs (v -. 18.31) < 0.2)
+
+(* -- Table --------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Stats.Table.create [ "n"; "W" ] in
+  Stats.Table.add_row t [ "2"; "1.5" ];
+  Stats.Table.add_floats t ~label:"4" [ 2.25 ];
+  let s = Stats.Table.to_string t in
+  Alcotest.(check bool) "mentions header" true
+    (String.length s > 0 && String.index_opt s 'W' <> None && String.index_opt s '4' <> None);
+  let csv = Stats.Table.to_csv t in
+  Alcotest.(check bool) "csv has rows" true
+    (List.length (String.split_on_char '\n' csv) >= 3)
+
+let test_table_rejects_wide_row () =
+  let t = Stats.Table.create [ "a" ] in
+  Alcotest.check_raises "wide row" (Invalid_argument "Table.add_row: row wider than header")
+    (fun () -> Stats.Table.add_row t [ "1"; "2" ])
+
+let test_rng_copy_identical () =
+  let g = Stats.Rng.create ~seed:33 in
+  ignore (Stats.Rng.bits64 g);
+  let h = Stats.Rng.copy g in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy tracks original" (Stats.Rng.bits64 g) (Stats.Rng.bits64 h)
+  done
+
+let test_rng_exponential_mean () =
+  let g = Stats.Rng.create ~seed:34 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Stats.Rng.exponential g ~mean:3.)
+  done;
+  Alcotest.(check bool) "exponential mean ~3" true
+    (Float.abs (Stats.Summary.mean s -. 3.) < 0.1)
+
+let test_table_pads_short_rows () =
+  let t = Stats.Table.create [ "a"; "b"; "c" ] in
+  Stats.Table.add_row t [ "1" ];
+  let csv = Stats.Table.to_csv t in
+  Alcotest.(check bool) "padded" true
+    (List.exists (fun line -> line = "1,,") (String.split_on_char '\n' csv))
+
+let test_histogram_edges () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+  Alcotest.(check (option int)) "lower edge in bin 0" (Some 0) (Stats.Histogram.bin_of h 0.);
+  Alcotest.(check (option int)) "midpoint in bin 1" (Some 1) (Stats.Histogram.bin_of h 0.5);
+  Alcotest.(check (option int)) "upper edge excluded" None (Stats.Histogram.bin_of h 1.)
+
+(* -- Vec ----------------------------------------------------------- *)
+
+let test_vec_growth () =
+  let v = Stats.Vec.Int.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Stats.Vec.Int.push v i
+  done;
+  Alcotest.(check int) "length" 1000 (Stats.Vec.Int.length v);
+  Alcotest.(check int) "get" 500 (Stats.Vec.Int.get v 500);
+  Alcotest.(check bool) "to_array" true
+    (Stats.Vec.Int.to_array v = Array.init 1000 (fun i -> i))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "reproducible" `Quick test_rng_reproducible;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int uniform (chi2)" `Quick test_rng_int_uniform;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "weighted pick" `Quick test_rng_weighted;
+          Alcotest.test_case "geometric mean" `Quick test_rng_geometric_mean;
+          Alcotest.test_case "perm" `Quick test_rng_perm;
+          Alcotest.test_case "copy identical" `Quick test_rng_copy_identical;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          prop_rng_int_in_bounds;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "basic moments" `Quick test_summary_basic;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          prop_summary_merge;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_bins;
+          Alcotest.test_case "edges" `Quick test_histogram_edges;
+          prop_histogram_total;
+        ] );
+      ( "ecdf",
+        [ Alcotest.test_case "quantiles" `Quick test_ecdf_quantiles; prop_ecdf_monotone ] );
+      ( "regression",
+        [
+          Alcotest.test_case "exact line" `Quick test_regression_exact_line;
+          Alcotest.test_case "power law" `Quick test_regression_power_law;
+          Alcotest.test_case "scale to first" `Quick test_scale_to_first;
+        ] );
+      ( "chi-square",
+        [
+          Alcotest.test_case "detects bias" `Quick test_chi_square_detects_bias;
+          Alcotest.test_case "critical values" `Quick test_chi_square_critical_values;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "rejects wide row" `Quick test_table_rejects_wide_row;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+        ] );
+      ("vec", [ Alcotest.test_case "growth" `Quick test_vec_growth ]);
+    ]
