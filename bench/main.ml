@@ -1,9 +1,11 @@
 (* Benchmark harness: regenerates every table and figure of the paper.
 
    Two passes:
-   1. a Bechamel timing pass — one Test.make kernel per experiment, so
-      the cost of each reproduction pipeline is itself measured and
-      regressions in the simulator/chain code are visible;
+   1. a Bechamel timing pass — the kernels are the experiments' own
+      cells (the first cell of each quick plan), so the cost of each
+      reproduction pipeline is itself measured from the same registry
+      the CLI runs, and regressions in the simulator/chain code are
+      visible without maintaining a parallel list of ad-hoc kernels;
    2. a reproduction pass — prints each experiment's table (quick
       budgets; use `dune exec bin/repro.exe -- run all` for the full
       budgets recorded in EXPERIMENTS.md). *)
@@ -11,132 +13,26 @@
 open Bechamel
 open Toolkit
 
-let uniform = Sched.Scheduler.uniform
+let budget = Experiments.Exp.budget ~quick:true ()
 
-let run_spec ~seed ~n ~steps spec =
-  ignore (Sim.Executor.run ~seed ~scheduler:uniform ~n ~stop:(Steps steps) spec)
-
-(* One kernel per experiment id; kept small so Bechamel can iterate. *)
+(* One kernel per experiment: its first cell under the quick budget,
+   named id:label.  Cells are pure thunks, exactly what Test.make
+   wants. *)
 let kernels =
-  [
-    ( "fig1:lifting-n2",
-      fun () ->
-        let ind = Chains.Scu_chain.Individual.make ~n:2 in
-        let sys = Chains.Scu_chain.System.make ~n:2 in
-        ignore
-          (Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain
-             ~f:(Chains.Scu_chain.lift ind sys) ()) );
-    ( "fig3:trace-10k-steps",
-      fun () ->
-        let c = Scu.Counter.make ~n:16 in
-        ignore
-          (Sim.Executor.run ~seed:1 ~trace:true ~scheduler:uniform ~n:16
-             ~stop:(Steps 10_000) c.spec) );
-    ( "fig4:successor-matrix",
-      fun () ->
-        let tr = Sched.Trace.create ~n:8 in
-        let g = Stats.Rng.create ~seed:3 in
-        for _ = 1 to 10_000 do
-          Sched.Trace.record tr (Stats.Rng.int g 8)
-        done;
-        ignore (Sched.Trace.successor_matrix tr) );
-    ( "fig5:counter-sim-n32",
-      fun () -> run_spec ~seed:4 ~n:32 ~steps:10_000 (Scu.Counter.make ~n:32).spec );
-    ( "thm3:theta-adversary",
-      fun () ->
-        let sched =
-          Sched.Scheduler.with_weak_fairness ~theta:0.05
-            (Sched.Scheduler.starver ~victim:0)
-        in
-        let c = Scu.Counter.make ~n:4 in
-        ignore
-          (Sim.Executor.run ~seed:5 ~scheduler:sched ~n:4 ~stop:(Steps 10_000) c.spec) );
-    ( "lem2:unbounded-n8",
-      fun () -> run_spec ~seed:6 ~n:8 ~steps:50_000 (Scu.Unbounded.make ~n:8 ()).spec );
-    ( "thm4:scu-q5-s3-n16",
-      fun () ->
-        run_spec ~seed:7 ~n:16 ~steps:10_000 (Scu.Scu_pattern.make ~n:16 ~q:5 ~s:3).spec );
-    ( "lem7:fairness-n8",
-      fun () -> run_spec ~seed:8 ~n:8 ~steps:10_000 (Scu.Counter.make ~n:8).spec );
-    ( "thm5:ballsbins-n1024",
-      fun () ->
-        let g = Ballsbins.Game.create ~n:1024 in
-        let rng = Stats.Rng.create ~seed:9 in
-        for _ = 1 to 200 do
-          ignore (Ballsbins.Game.run_phase g ~rng)
-        done );
-    ( "lem11:parallel-q5-n8",
-      fun () ->
-        run_spec ~seed:10 ~n:8 ~steps:10_000 (Scu.Parallel_code.make ~n:8 ~q:5).spec );
-    ( "lem12:aug-counter-n16",
-      fun () -> run_spec ~seed:11 ~n:16 ~steps:10_000 (Scu.Counter_aug.make ~n:16).spec );
-    ( "lift:verify-n4",
-      fun () ->
-        let ind = Chains.Scu_chain.Individual.make ~n:4 in
-        let sys = Chains.Scu_chain.System.make ~n:4 in
-        ignore
-          (Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain
-             ~f:(Chains.Scu_chain.lift ind sys) ()) );
-    ( "cor2:crashed-run",
-      fun () ->
-        let c = Scu.Counter.make ~n:8 in
-        ignore
-          (Sim.Executor.run ~seed:12
-             ~crash_plan:(Sched.Crash_plan.of_list [ (0, 4); (0, 5); (0, 6); (0, 7) ])
-             ~scheduler:uniform ~n:8 ~stop:(Steps 10_000) c.spec) );
-    ( "abl-sched:zipf-n8",
-      fun () ->
-        let c = Scu.Counter.make ~n:8 in
-        ignore
-          (Sim.Executor.run ~seed:13
-             ~scheduler:(Sched.Scheduler.zipf ~n:8 ~alpha:1.5)
-             ~n:8 ~stop:(Steps 10_000) c.spec) );
-    ( "abl-wf:helping-n8",
-      fun () -> run_spec ~seed:14 ~n:8 ~steps:10_000 (Scu.Waitfree_counter.make ~n:8).spec );
-    ( "structs:treiber-n8",
-      fun () -> run_spec ~seed:15 ~n:8 ~steps:10_000 (Scu.Treiber.make ~n:8 ()).spec );
-    ( "structs:msqueue-n8",
-      fun () -> run_spec ~seed:16 ~n:8 ~steps:10_000 (Scu.Msqueue.make ~n:8 ()).spec );
-    ( "structs:rcu-n8",
-      fun () ->
-        run_spec ~seed:17 ~n:8 ~steps:10_000
-          (Scu.Rcu.make ~n:8 ~readers:6 ~block_size:4).spec );
-    ( "abl-lock:ticket-n8",
-      fun () -> run_spec ~seed:18 ~n:8 ~steps:10_000 (Scu.Ticket_lock.make ~n:8).spec );
-    ( "abl-tas:taslock-n4",
-      fun () -> run_spec ~seed:26 ~n:4 ~steps:10_000 (Scu.Tas_lock.make ~n:4).spec );
-    ( "abl-of:obstruction-n4",
-      fun () -> run_spec ~seed:22 ~n:4 ~steps:10_000 (Scu.Obstruction_free.make ~n:4).spec );
-    ( "structs:elimination-n16",
-      fun () ->
-        run_spec ~seed:23 ~n:16 ~steps:10_000 (Scu.Elimination_stack.make ~n:16 ()).spec );
-    ( "ext-shard:k8-n32",
-      fun () ->
-        run_spec ~seed:19 ~n:32 ~steps:10_000 (Scu.Sharded_counter.make ~n:32 ~shards:8).spec );
-    ( "ext-mix:tmix-n16",
-      fun () ->
-        let sys = Chains.Scu_chain.System.make ~n:16 in
-        ignore (Markov.Mixing.mixing_time ~eps:0.01 sys.chain ~start:sys.initial) );
-    ( "ext-backup:instrumented-n8",
-      fun () ->
-        let c, _ = Scu.Counter.make_instrumented ~n:8 in
-        run_spec ~seed:20 ~n:8 ~steps:10_000 c.spec );
-    ( "ext:wf-universal-n8",
-      fun () ->
-        run_spec ~seed:21 ~n:8 ~steps:10_000
-          (Scu.Waitfree_universal.make ~n:8 ~init:[| 0 |]
-             ~apply:(fun ~proc:_ ~op_index:_ st -> [| st.(0) + 1 |]))
-            .spec );
-    ( "chain:stationary-n32",
-      (* Bypass the memoized entry point so the solve cost itself is
-         what gets timed. *)
-      fun () ->
-        let t = Chains.Scu_chain.System.make ~n:32 in
-        ignore (Markov.Stationary.solve t.chain) );
-    ( "hw:atomic-counter-2dom",
-      fun () ->
-        ignore (Runtime.Harness.counter_completion_rate ~domains:2 ~ops_per_domain:1_000) );
-  ]
+  List.concat_map
+    (fun (e : Experiments.Exp.t) ->
+      match Experiments.Plan.thunks (e.plan budget) with
+      | [] -> []
+      | (label, work) :: _ -> [ (e.id ^ ":" ^ label, work) ])
+    Experiments.Exp.all
+  @ [
+      ( "chain:stationary-n32",
+        (* Bypass the memoized entry point so the solve cost itself is
+           what gets timed. *)
+        fun () ->
+          let t = Chains.Scu_chain.System.make ~n:32 in
+          ignore (Markov.Stationary.solve t.chain) );
+    ]
 
 let tests = List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels
 

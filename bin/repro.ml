@@ -1,9 +1,13 @@
 (* Command-line experiment runner: one subcommand per paper artifact.
 
-   `repro list`           - list experiments
-   `repro run fig5`       - regenerate Figure 5's series as a table
-   `repro run all`        - everything, in paper order
-   `repro run fig5 --csv` - CSV output for plotting *)
+   `repro list`                - list experiments
+   `repro run fig5`            - regenerate Figure 5's series as a table
+   `repro run fig5 thm4 lem7`  - several experiments, in the order given
+   `repro run all`             - everything, in paper order
+   `repro run fig5 --csv`      - CSV output for plotting
+   `repro run all -j 8`        - fan cells out over 8 worker domains
+   `repro run all --seed 7`    - re-derive every cell's RNG seed from 7
+   `repro run all --cache`     - serve/persist cell results in results/cache *)
 
 open Cmdliner
 
@@ -11,6 +15,40 @@ let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sample sizes (smoke run).")
 
 let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a text table.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int Experiments.Exp.default_seed
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Base RNG seed threaded into every experiment; the default (0) \
+           reproduces the repository's historical tables.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.default_size ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the cell pool (default: this machine's cores). \
+           $(b,-j 1) runs every cell in the calling domain, in order — the \
+           reference sequential behaviour.")
+
+let cache_flag =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Serve cell results from results/cache/ when present and persist \
+           fresh ones (keyed by experiment, cell, budget and seed).")
+
+let progress_flag =
+  Arg.(
+    value & flag
+    & info [ "no-progress" ] ~doc:"Suppress the per-cell progress lines on stderr.")
+
+let cache_dir = "results/cache"
 
 let list_cmd =
   let doc = "List all experiments with their paper artifacts." in
@@ -21,68 +59,110 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_one ~quick ~csv (e : Experiments.Exp.t) =
-  if csv then begin
-    Printf.printf "# %s\n" e.title;
-    print_string (Stats.Table.to_csv (e.run ~quick))
-  end
-  else print_string (Experiments.Exp.render ~quick e)
-
-let out_dir =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "out" ] ~docv:"DIR" ~doc:"Also write one CSV file per experiment into $(docv).")
+let mkdir_p dir =
+  let rec go d =
+    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
 
 let write_csv dir (e : Experiments.Exp.t) table =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   let path = Filename.concat dir (e.id ^ ".csv") in
   let oc = open_out path in
   output_string oc (Stats.Table.to_csv table);
   close_out oc;
   Printf.eprintf "wrote %s\n%!" path
 
-let run_full ~quick ~csv ~out (e : Experiments.Exp.t) =
-  match out with
-  | None -> run_one ~quick ~csv e
-  | Some dir ->
-      (* Run once; render and persist from the same table. *)
-      let table = e.run ~quick in
-      if csv then begin
-        Printf.printf "# %s\n" e.title;
-        print_string (Stats.Table.to_csv table)
-      end
-      else begin
-        Printf.printf "== %s (%s) ==\n\n%s\nExpected shape: %s\n" e.title e.id
-          (Stats.Table.to_string table)
-          e.notes
-      end;
-      write_csv dir e table
+(* A Plan runner backed by the domain pool, with optional per-cell
+   progress lines ([on_done] is serialized under the pool lock, so
+   printing is safe). *)
+let pool_runner ~progress pool =
+  {
+    Experiments.Plan.map =
+      (fun ~exp_id ~budget:_ cells ->
+        let labels =
+          Array.of_list (List.map (fun c -> c.Experiments.Plan.label) cells)
+        in
+        let total = Array.length labels in
+        let finished = ref 0 in
+        let on_done ~index ~elapsed =
+          if progress then begin
+            incr finished;
+            Printf.eprintf "  [%s] %s: %.2fs (%d/%d)\n%!" exp_id labels.(index)
+              elapsed !finished total
+          end
+        in
+        Pool.run ~on_done pool
+          (List.map (fun c () -> c.Experiments.Plan.work ()) cells));
+  }
+
+(* Run each experiment exactly once, then feed every sink (stdout as
+   text or CSV, plus the optional per-experiment CSV file). *)
+let run_experiment ~runner ~budget ~jobs ~csv ~out (e : Experiments.Exp.t) =
+  let t0 = Unix.gettimeofday () in
+  let table = Experiments.Exp.table ~runner ~budget e in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.eprintf "[%s] %d cells in %.2fs (j=%d)\n%!" e.id
+    (Experiments.Plan.cell_count (e.plan budget))
+    dt jobs;
+  if csv then begin
+    Printf.printf "# %s\n" e.title;
+    print_string (Stats.Table.to_csv table)
+  end
+  else print_string (Experiments.Exp.render_table e table);
+  Option.iter (fun dir -> write_csv dir e table) out
+
+let out_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:
+          "Also write one CSV file per experiment into $(docv) (created, with \
+           parents, if missing).")
 
 let run_cmd =
-  let doc = "Run one experiment by id, or 'all'." in
-  let id_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id.")
+  let doc = "Run experiments by id ('all' for the full catalogue)." in
+  let ids_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (or 'all'), run in the order given.")
   in
-  let run id quick csv out =
-    if id = "all" then begin
-      List.iter
-        (fun e ->
-          run_full ~quick ~csv ~out e;
-          print_newline ())
-        Experiments.Exp.all;
-      `Ok ()
-    end
+  let run ids quick seed jobs cache no_progress csv out =
+    if jobs < 1 then `Error (false, "-j must be at least 1")
     else
-      match Experiments.Exp.find id with
-      | Some e ->
-          run_full ~quick ~csv ~out e;
+      match Experiments.Exp.select ids with
+      | Error msg -> `Error (false, msg ^ "; try `repro list`")
+      | Ok exps ->
+          let budget = Experiments.Exp.budget ~quick ~seed () in
+          let progress = not no_progress in
+          let t0 = Unix.gettimeofday () in
+          Pool.with_pool ~size:jobs (fun pool ->
+              let runner = pool_runner ~progress pool in
+              let runner =
+                if cache then Experiments.Cache.runner ~dir:cache_dir ~inner:runner
+                else runner
+              in
+              List.iter
+                (fun e ->
+                  run_experiment ~runner ~budget ~jobs ~csv ~out e;
+                  print_newline ())
+                exps);
+          Printf.eprintf "total: %d experiment(s) in %.2fs (j=%d)\n%!"
+            (List.length exps)
+            (Unix.gettimeofday () -. t0)
+            jobs;
           `Ok ()
-      | None ->
-          `Error
-            (false, Printf.sprintf "unknown experiment %S; try `repro list`" id)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ id_arg $ quick $ csv $ out_dir))
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ ids_arg $ quick $ seed_arg $ jobs_arg $ cache_flag
+       $ progress_flag $ csv $ out_dir))
 
 let main =
   let doc =

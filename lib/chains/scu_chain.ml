@@ -127,11 +127,19 @@ module System = struct
     float_of_int (t.n - a - b) /. float_of_int t.n
 
   (* Latency queries recur across experiments and tests (same n), and
-     the underlying solve is O(states³); memoize by n. *)
+     the underlying solve is O(states³); memoize by n.  The table is
+     shared by every experiment cell, and cells run concurrently on
+     the Domain pool, so accesses are serialized; the solve itself
+     runs outside the lock (two domains racing on a fresh n compute
+     the same value twice, which is harmless). *)
   let latency_cache : (int, float) Hashtbl.t = Hashtbl.create 16
+  let latency_lock = Mutex.create ()
 
   let system_latency ~n =
-    match Hashtbl.find_opt latency_cache n with
+    let cached =
+      Mutex.protect latency_lock (fun () -> Hashtbl.find_opt latency_cache n)
+    in
+    match cached with
     | Some w -> w
     | None ->
         let t = make ~n in
@@ -140,7 +148,7 @@ module System = struct
           Markov.Stationary.success_rate t.chain ~pi ~weight:(any_success_weight t)
         in
         let w = 1. /. rate in
-        Hashtbl.replace latency_cache n w;
+        Mutex.protect latency_lock (fun () -> Hashtbl.replace latency_cache n w);
         w
 end
 

@@ -1,0 +1,82 @@
+(* Results are stored one file per cell under
+   <dir>/<exp id>/<md5 of key>.bin; the file holds the full key string
+   followed by the Marshal'd payload, so a hash collision or a stale
+   entry written by a different code revision is detected and treated
+   as a miss rather than deserialized blindly. *)
+
+let version = "cell-cache-1"
+
+let key ~exp_id ~(budget : Plan.budget) ~label =
+  String.concat "\x00"
+    [
+      version;
+      exp_id;
+      label;
+      (if budget.quick then "quick" else "full");
+      string_of_int budget.seed;
+    ]
+
+let path ~dir ~exp_id k =
+  Filename.concat (Filename.concat dir exp_id) (Digest.to_hex (Digest.string k) ^ ".bin")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let load file k =
+  if not (Sys.file_exists file) then None
+  else
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let stored : string = Marshal.from_channel ic in
+          if stored <> k then None else Some (Marshal.from_channel ic))
+    with _ -> None
+
+let store file k payload =
+  mkdir_p (Filename.dirname file);
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Marshal.to_channel oc k [];
+      Marshal.to_channel oc payload []);
+  Sys.rename tmp file
+
+let runner ~dir ~(inner : Plan.runner) =
+  {
+    Plan.map =
+      (fun ~exp_id ~budget cells ->
+        let keyed =
+          List.map
+            (fun (c : _ Plan.cell) ->
+              let k = key ~exp_id ~budget ~label:c.label in
+              let file = path ~dir ~exp_id k in
+              (c, k, file, load file k))
+            cells
+        in
+        let misses =
+          List.filter_map
+            (fun (c, _, _, hit) -> if Option.is_none hit then Some c else None)
+            keyed
+        in
+        let fresh = inner.Plan.map ~exp_id ~budget misses in
+        let fresh = ref fresh in
+        List.map
+          (fun (_, k, file, hit) ->
+            match hit with
+            | Some payload -> payload
+            | None -> (
+                match !fresh with
+                | payload :: rest ->
+                    fresh := rest;
+                    (try store file k payload with Sys_error _ -> ());
+                    payload
+                | [] -> invalid_arg "Cache.runner: inner runner dropped results"))
+          keyed)
+  }

@@ -1,0 +1,21 @@
+(** Optional on-disk cell-result cache.
+
+    Payloads are keyed by (cache version, experiment id, cell label,
+    quick/full, seed) and stored with [Marshal] under
+    [<dir>/<exp id>/<md5>.bin].  Because cells are pure functions of
+    their budget, a hit is byte-equivalent to re-running the cell —
+    with one caveat: cells that measure {e real hardware}
+    ([Runtime.Harness] / [Runtime.Recorder]) are measurements, not
+    functions, so caching additionally pins their values, which is
+    exactly what makes repeated [-j N] runs byte-identical.
+
+    The cache is versioned but not self-describing: payload shapes are
+    experiment-private OCaml values, so bump {!version} (or delete
+    [results/cache/]) when changing any cell's payload type. *)
+
+val version : string
+
+val runner : dir:string -> inner:Plan.runner -> Plan.runner
+(** A runner that serves hits from [dir] and delegates the misses — in
+    cell order — to [inner], persisting fresh results as they return.
+    I/O errors degrade to cache misses (reads) or skipped writes. *)

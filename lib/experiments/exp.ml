@@ -1,7 +1,7 @@
 type t = {
   id : string;
   title : string;
-  run : quick:bool -> Stats.Table.t;
+  plan : Plan.budget -> Plan.t;
   notes : string;
 }
 
@@ -9,11 +9,11 @@ module type EXPERIMENT = sig
   val id : string
   val title : string
   val notes : string
-  val run : quick:bool -> Stats.Table.t
+  val plan : Plan.budget -> Plan.t
 end
 
 let make (module M : EXPERIMENT) =
-  { id = M.id; title = M.title; run = M.run; notes = M.notes }
+  { id = M.id; title = M.title; plan = M.plan; notes = M.notes }
 
 let all =
   [
@@ -47,8 +47,41 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let render ?(quick = false) e =
-  let table = e.run ~quick in
+let select ids =
+  match
+    List.find_opt (fun id -> id <> "all" && Option.is_none (find id)) ids
+  with
+  | Some bad -> Error (Printf.sprintf "unknown experiment %S" bad)
+  | None ->
+      let expanded =
+        List.concat_map
+          (fun id -> if id = "all" then all else Option.to_list (find id))
+          ids
+      in
+      (* Dedupe, first occurrence wins, so `repro run fig5 all` runs
+         fig5 first and everything else once. *)
+      let seen = Hashtbl.create 32 in
+      Ok
+        (List.filter
+           (fun e ->
+             if Hashtbl.mem seen e.id then false
+             else begin
+               Hashtbl.add seen e.id ();
+               true
+             end)
+           expanded)
+
+let default_seed = 0
+let budget ?(quick = false) ?(seed = default_seed) () = { Plan.quick; seed }
+
+let table ?runner ?budget:(b = budget ()) e =
+  Plan.table ?runner ~exp_id:e.id ~budget:b (e.plan b)
+
+let run ?seed ~quick e = table ~budget:(budget ~quick ?seed ()) e
+
+let render_table e tbl =
   Printf.sprintf "== %s (%s) ==\n\n%s\nExpected shape: %s\n" e.title e.id
-    (Stats.Table.to_string table)
+    (Stats.Table.to_string tbl)
     e.notes
+
+let render ?(quick = false) ?seed e = render_table e (run ?seed ~quick e)

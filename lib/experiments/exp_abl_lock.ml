@@ -17,42 +17,47 @@ let notes =
    ticket-lock counter's post-crash completions stop (0 or a handful \
    before the dead process's ticket comes up)."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 8 in
   let steps = if quick then 200_000 else 800_000 in
   let crash_at = steps / 2 in
-  let table =
-    Stats.Table.create
-      [ "algorithm"; "crash plan"; "ops in 1st half"; "ops in 2nd half"; "2nd-half rate" ]
-  in
   let completions_upto budget ~crashed make_spec =
     let crash_plan =
       if crashed then Sched.Crash_plan.of_list [ (crash_at, 0) ]
       else Sched.Crash_plan.none
     in
     let r =
-      Sim.Executor.run ~seed:61 ~crash_plan ~scheduler:Sched.Scheduler.uniform ~n
-        ~stop:(Steps budget) (make_spec ())
+      Sim.Executor.run ~seed:(seed + 61) ~crash_plan
+        ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps budget) (make_spec ())
     in
     Sim.Metrics.total_completions r.metrics
   in
-  let run_case name make_spec crashed =
-    (* Two deterministic runs with the same seed: to the midpoint, and
-       to the end; the difference is the second-half progress. *)
-    let half = completions_upto crash_at ~crashed make_spec in
-    let full = completions_upto steps ~crashed make_spec in
-    let after = full - half in
-    Stats.Table.add_row table
-      [
-        name;
-        (if crashed then Printf.sprintf "p0 at t=%d" crash_at else "none");
-        string_of_int half;
-        string_of_int after;
-        Runs.fmt (float_of_int after /. float_of_int (steps - crash_at));
-      ]
+  let case name make_spec crashed =
+    let label =
+      Printf.sprintf "%s%s" name (if crashed then ":crash" else ":no-crash")
+    in
+    Plan.cell label (fun () ->
+        (* Two deterministic runs with the same seed: to the midpoint, and
+           to the end; the difference is the second-half progress. *)
+        let half = completions_upto crash_at ~crashed make_spec in
+        let full = completions_upto steps ~crashed make_spec in
+        let after = full - half in
+        [
+          [
+            name;
+            (if crashed then Printf.sprintf "p0 at t=%d" crash_at else "none");
+            string_of_int half;
+            string_of_int after;
+            Runs.fmt (float_of_int after /. float_of_int (steps - crash_at));
+          ];
+        ])
   in
-  run_case "lock-free CAS counter" (fun () -> (Scu.Counter.make ~n).spec) false;
-  run_case "lock-free CAS counter" (fun () -> (Scu.Counter.make ~n).spec) true;
-  run_case "ticket-lock counter" (fun () -> (Scu.Ticket_lock.make ~n).spec) false;
-  run_case "ticket-lock counter" (fun () -> (Scu.Ticket_lock.make ~n).spec) true;
-  table
+  Plan.of_rows
+    ~headers:
+      [ "algorithm"; "crash plan"; "ops in 1st half"; "ops in 2nd half"; "2nd-half rate" ]
+    [
+      case "lock-free CAS counter" (fun () -> (Scu.Counter.make ~n).spec) false;
+      case "lock-free CAS counter" (fun () -> (Scu.Counter.make ~n).spec) true;
+      case "ticket-lock counter" (fun () -> (Scu.Ticket_lock.make ~n).spec) false;
+      case "ticket-lock counter" (fun () -> (Scu.Ticket_lock.make ~n).spec) true;
+    ]

@@ -17,35 +17,37 @@ let notes =
    uniform and theta-adversary: progress with a contention-inflated \
    latency.  The lock-free counter column never reads 0."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 4 in
   let steps = if quick then 100_000 else 500_000 in
-  let table =
-    Stats.Table.create
-      [ "scheduler"; "OF counter ops"; "OF value"; "lock-free counter ops" ]
+  let cell name make_sched =
+    Plan.cell name (fun () ->
+        let ofc = Scu.Obstruction_free.make ~n in
+        let r1 =
+          Sim.Executor.run ~seed:(seed + 67) ~scheduler:(make_sched ()) ~n
+            ~stop:(Steps steps) ofc.spec
+        in
+        let lf = Scu.Counter.make ~n in
+        let r2 =
+          Sim.Executor.run ~seed:(seed + 67) ~scheduler:(make_sched ()) ~n
+            ~stop:(Steps steps) lf.spec
+        in
+        [
+          [
+            name;
+            string_of_int (Sim.Metrics.total_completions r1.metrics);
+            string_of_int (Scu.Obstruction_free.value ofc ofc.spec.memory);
+            string_of_int (Sim.Metrics.total_completions r2.metrics);
+          ];
+        ])
   in
-  let row name make_sched =
-    let ofc = Scu.Obstruction_free.make ~n in
-    let r1 =
-      Sim.Executor.run ~seed:67 ~scheduler:(make_sched ()) ~n ~stop:(Steps steps)
-        ofc.spec
-    in
-    let lf = Scu.Counter.make ~n in
-    let r2 =
-      Sim.Executor.run ~seed:67 ~scheduler:(make_sched ()) ~n ~stop:(Steps steps)
-        lf.spec
-    in
-    Stats.Table.add_row table
-      [
-        name;
-        string_of_int (Sim.Metrics.total_completions r1.metrics);
-        string_of_int (Scu.Obstruction_free.value ofc ofc.spec.memory);
-        string_of_int (Sim.Metrics.total_completions r2.metrics);
-      ]
-  in
-  row "round-robin (lockstep)" (fun () -> Sched.Scheduler.round_robin ());
-  row "quantum(2n+2)" (fun () -> Sched.Scheduler.quantum ~length:((2 * n) + 2));
-  row "uniform" (fun () -> Sched.Scheduler.uniform);
-  row "starver+theta=0.05" (fun () ->
-      Sched.Scheduler.with_weak_fairness ~theta:0.05 (Sched.Scheduler.starver ~victim:0));
-  table
+  Plan.of_rows
+    ~headers:[ "scheduler"; "OF counter ops"; "OF value"; "lock-free counter ops" ]
+    [
+      cell "round-robin (lockstep)" (fun () -> Sched.Scheduler.round_robin ());
+      cell "quantum(2n+2)" (fun () -> Sched.Scheduler.quantum ~length:((2 * n) + 2));
+      cell "uniform" (fun () -> Sched.Scheduler.uniform);
+      cell "starver+theta=0.05" (fun () ->
+          Sched.Scheduler.with_weak_fairness ~theta:0.05
+            (Sched.Scheduler.starver ~victim:0));
+    ]

@@ -14,31 +14,37 @@ let notes =
    minimal progress is robust, maximal-progress *fairness* is what \
    uniformity buys."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 8 in
   let steps = if quick then 300_000 else 1_200_000 in
-  let table =
-    Stats.Table.create
-      [ "alpha"; "W system"; "W_i p1 (favored)"; "W_i p8 (starved)"; "spread (max/min)/n-norm" ]
-  in
-  List.iter
-    (fun alpha ->
-      let c = Scu.Counter.make ~n in
-      let m =
-        Runs.spec_metrics ~seed:93 ~scheduler:(Sched.Scheduler.zipf ~n ~alpha) ~n ~steps
-          c.spec
-      in
-      let wi = List.init n (fun i -> Sim.Metrics.mean_individual_latency m i) in
-      let w = Sim.Metrics.mean_system_latency m in
-      let mn = List.fold_left Float.min infinity wi in
-      let mx = List.fold_left Float.max neg_infinity wi in
-      Stats.Table.add_row table
+  let cell_of alpha =
+    Plan.cell (Printf.sprintf "alpha=%g" alpha) (fun () ->
+        let c = Scu.Counter.make ~n in
+        let m =
+          Runs.spec_metrics ~seed:(seed + 93)
+            ~scheduler:(Sched.Scheduler.zipf ~n ~alpha) ~n ~steps c.spec
+        in
+        let wi = List.init n (fun i -> Sim.Metrics.mean_individual_latency m i) in
+        let w = Sim.Metrics.mean_system_latency m in
+        let mn = List.fold_left Float.min infinity wi in
+        let mx = List.fold_left Float.max neg_infinity wi in
         [
-          Runs.fmt alpha;
-          Runs.fmt w;
-          Runs.fmt (List.nth wi 0);
-          Runs.fmt (List.nth wi (n - 1));
-          Runs.fmt (mx /. mn);
+          [
+            Runs.fmt alpha;
+            Runs.fmt w;
+            Runs.fmt (List.nth wi 0);
+            Runs.fmt (List.nth wi (n - 1));
+            Runs.fmt (mx /. mn);
+          ];
         ])
-    [ 0.; 0.5; 1.0; 1.5; 2.0 ];
-  table
+  in
+  Plan.of_rows
+    ~headers:
+      [
+        "alpha";
+        "W system";
+        "W_i p1 (favored)";
+        "W_i p8 (starved)";
+        "spread (max/min)/n-norm";
+      ]
+    (List.map cell_of [ 0.; 0.5; 1.0; 1.5; 2.0 ])

@@ -45,35 +45,39 @@ let lock_aware_adversary (t : Scu.Tas_lock.t) ~victim =
             else victim);
   }
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 4 in
   let steps = if quick then 200_000 else 800_000 in
-  let table =
-    Stats.Table.create
-      [ "scheduler"; "victim ops"; "victim steps"; "others ops (mean)"; "counter" ]
+  let cell name make_sched =
+    Plan.cell name (fun () ->
+        let t = Scu.Tas_lock.make ~n in
+        let r =
+          Sim.Executor.run ~seed:(seed + 29) ~scheduler:(make_sched t) ~n
+            ~stop:(Steps steps) t.spec
+        in
+        let others =
+          float_of_int
+            (List.fold_left ( + ) 0
+               (List.init (n - 1) (fun i ->
+                    Sim.Metrics.completions_of r.metrics (i + 1))))
+          /. float_of_int (n - 1)
+        in
+        [
+          [
+            name;
+            string_of_int (Sim.Metrics.completions_of r.metrics 0);
+            string_of_int (Sim.Metrics.steps_of r.metrics 0);
+            Runs.fmt others;
+            string_of_int (Scu.Tas_lock.value t t.spec.memory);
+          ];
+        ])
   in
-  let row name make_sched =
-    let t = Scu.Tas_lock.make ~n in
-    let r =
-      Sim.Executor.run ~seed:29 ~scheduler:(make_sched t) ~n ~stop:(Steps steps) t.spec
-    in
-    let others =
-      float_of_int
-        (List.fold_left ( + ) 0
-           (List.init (n - 1) (fun i -> Sim.Metrics.completions_of r.metrics (i + 1))))
-      /. float_of_int (n - 1)
-    in
-    Stats.Table.add_row table
-      [
-        name;
-        string_of_int (Sim.Metrics.completions_of r.metrics 0);
-        string_of_int (Sim.Metrics.steps_of r.metrics 0);
-        Runs.fmt others;
-        string_of_int (Scu.Tas_lock.value t t.spec.memory);
-      ]
-  in
-  row "lock-aware adversary" (fun t -> lock_aware_adversary t ~victim:0);
-  row "adversary + theta=0.05" (fun t ->
-      Sched.Scheduler.with_weak_fairness ~theta:0.05 (lock_aware_adversary t ~victim:0));
-  row "uniform" (fun _ -> Sched.Scheduler.uniform);
-  table
+  Plan.of_rows
+    ~headers:[ "scheduler"; "victim ops"; "victim steps"; "others ops (mean)"; "counter" ]
+    [
+      cell "lock-aware adversary" (fun t -> lock_aware_adversary t ~victim:0);
+      cell "adversary + theta=0.05" (fun t ->
+          Sched.Scheduler.with_weak_fairness ~theta:0.05
+            (lock_aware_adversary t ~victim:0));
+      cell "uniform" (fun _ -> Sched.Scheduler.uniform);
+    ]

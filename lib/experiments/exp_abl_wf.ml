@@ -16,11 +16,40 @@ let notes =
    gap blows up; the wait-free victim stays bounded — what \
    wait-freedom actually buys."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 8 in
   let steps = if quick then 300_000 else 1_200_000 in
-  let table =
-    Stats.Table.create
+  (* Stateful adversary schedulers are constructed inside each cell. *)
+  let cell name make_spec make_sched =
+    Plan.cell name (fun () ->
+        let m =
+          Runs.spec_metrics ~seed:(seed + 95) ~scheduler:(make_sched ())
+            ~record_samples:true ~n ~steps (make_spec ())
+        in
+        let samples = Sim.Metrics.individual_samples m 0 in
+        let p99, mx =
+          if Array.length samples = 0 then (nan, nan)
+          else
+            let e = Stats.Ecdf.of_array samples in
+            (Stats.Ecdf.quantile e 0.99, Stats.Ecdf.maximum e)
+        in
+        [
+          [
+            name;
+            Runs.fmt (Sim.Metrics.mean_system_latency m);
+            string_of_int (Sim.Metrics.completions_of m 0);
+            Runs.fmt (Sim.Metrics.mean_individual_latency m 0);
+            Runs.fmt p99;
+            Runs.fmt mx;
+          ];
+        ])
+  in
+  let adversary () =
+    Sched.Scheduler.with_weak_fairness ~theta:0.02 (Sched.Scheduler.starver ~victim:0)
+  in
+  let uniform () = Sched.Scheduler.uniform in
+  Plan.of_rows
+    ~headers:
       [
         "algorithm / scheduler";
         "W system";
@@ -29,31 +58,13 @@ let run ~quick =
         "victim p99 W_i";
         "victim max W_i";
       ]
-  in
-  let adversary () =
-    Sched.Scheduler.with_weak_fairness ~theta:0.02 (Sched.Scheduler.starver ~victim:0)
-  in
-  let row name spec sched =
-    let m = Runs.spec_metrics ~seed:95 ~scheduler:sched ~record_samples:true ~n ~steps spec in
-    let samples = Sim.Metrics.individual_samples m 0 in
-    let p99, mx =
-      if Array.length samples = 0 then (nan, nan)
-      else
-        let e = Stats.Ecdf.of_array samples in
-        (Stats.Ecdf.quantile e 0.99, Stats.Ecdf.maximum e)
-    in
-    Stats.Table.add_row table
-      [
-        name;
-        Runs.fmt (Sim.Metrics.mean_system_latency m);
-        string_of_int (Sim.Metrics.completions_of m 0);
-        Runs.fmt (Sim.Metrics.mean_individual_latency m 0);
-        Runs.fmt p99;
-        Runs.fmt mx;
-      ]
-  in
-  row "lock-free / uniform" (Scu.Counter.make ~n).spec Sched.Scheduler.uniform;
-  row "wait-free / uniform" (Scu.Waitfree_counter.make ~n).spec Sched.Scheduler.uniform;
-  row "lock-free / adversary(theta=.02)" (Scu.Counter.make ~n).spec (adversary ());
-  row "wait-free / adversary(theta=.02)" (Scu.Waitfree_counter.make ~n).spec (adversary ());
-  table
+    [
+      cell "lock-free / uniform" (fun () -> (Scu.Counter.make ~n).spec) uniform;
+      cell "wait-free / uniform" (fun () -> (Scu.Waitfree_counter.make ~n).spec) uniform;
+      cell "lock-free / adversary(theta=.02)"
+        (fun () -> (Scu.Counter.make ~n).spec)
+        adversary;
+      cell "wait-free / adversary(theta=.02)"
+        (fun () -> (Scu.Waitfree_counter.make ~n).spec)
+        adversary;
+    ]

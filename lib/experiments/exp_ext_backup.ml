@@ -22,40 +22,44 @@ let notes =
    scales like W(n) ~ sqrt n: R = 16 suffices for <1e-5 at n = 4 and \
    ~1e-3..4e-2 at n = 16..32; R = 32 pushes even n = 32 to ~1e-3."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let steps = if quick then 400_000 else 2_000_000 in
   let thresholds = [ 1; 2; 4; 8; 16; 32 ] in
-  let table =
-    Stats.Table.create
+  let cell_of n =
+    Plan.cell (Printf.sprintf "n=%d" n) (fun () ->
+        let counter, attempts = Scu.Counter.make_instrumented ~n in
+        let _ = Runs.spec_metrics ~seed:(seed + 88 + n) ~n ~steps counter.spec in
+        let data = Stats.Vec.Int.to_array attempts in
+        let ops = Array.length data in
+        let total_attempts = Array.fold_left ( + ) 0 data in
+        let mean = float_of_int total_attempts /. float_of_int ops in
+        (* Each attempt = 2 steps; ops/attempts gives the per-attempt
+           success probability; the chain predicts it as 2/W. *)
+        let p_fail_measured =
+          1. -. (float_of_int ops /. float_of_int total_attempts)
+        in
+        let p_fail_predicted =
+          1. -. (2. /. Chains.Scu_chain.System.system_latency ~n)
+        in
+        let exceed r =
+          let c =
+            Array.fold_left (fun acc a -> if a > r then acc + 1 else acc) 0 data
+          in
+          float_of_int c /. float_of_int ops
+        in
+        [
+          [
+            string_of_int n;
+            string_of_int ops;
+            Runs.fmt mean;
+            Runs.fmt p_fail_measured;
+            Runs.fmt p_fail_predicted;
+          ]
+          @ List.map (fun r -> Runs.fmt (exceed r)) thresholds;
+        ])
+  in
+  Plan.of_rows
+    ~headers:
       ([ "n"; "ops"; "mean attempts"; "p_fail measured"; "p_fail predicted" ]
       @ List.map (fun r -> Printf.sprintf "P(>%d)" r) thresholds)
-  in
-  List.iter
-    (fun n ->
-      let counter, attempts = Scu.Counter.make_instrumented ~n in
-      let _ = Runs.spec_metrics ~seed:(88 + n) ~n ~steps counter.spec in
-      let data = Stats.Vec.Int.to_array attempts in
-      let ops = Array.length data in
-      let total_attempts = Array.fold_left ( + ) 0 data in
-      let mean = float_of_int total_attempts /. float_of_int ops in
-      (* Each attempt = 2 steps; ops/attempts gives the per-attempt
-         success probability; the chain predicts it as 2/W. *)
-      let p_fail_measured = 1. -. (float_of_int ops /. float_of_int total_attempts) in
-      let p_fail_predicted =
-        1. -. (2. /. Chains.Scu_chain.System.system_latency ~n)
-      in
-      let exceed r =
-        let c = Array.fold_left (fun acc a -> if a > r then acc + 1 else acc) 0 data in
-        float_of_int c /. float_of_int ops
-      in
-      Stats.Table.add_row table
-        ([
-           string_of_int n;
-           string_of_int ops;
-           Runs.fmt mean;
-           Runs.fmt p_fail_measured;
-           Runs.fmt p_fail_predicted;
-         ]
-        @ List.map (fun r -> Runs.fmt (exceed r)) thresholds))
-    [ 4; 8; 16; 32 ];
-  table
+    (List.map cell_of [ 4; 8; 16; 32 ])

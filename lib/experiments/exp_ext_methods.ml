@@ -14,38 +14,43 @@ let notes =
    reads are parallel code (cheap, wait-free), updates pay the \
    CAS-contention latency of the writer subset."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 8 in
   let steps = if quick then 200_000 else 800_000 in
-  let table =
-    Stats.Table.create
-      [ "object"; "method"; "completions"; "method latency W_m"; "share" ]
+  (* One cell per object; each cell yields one row per method. *)
+  let cell label name make_spec (labels : (int * string) list) =
+    Plan.cell label (fun () ->
+        let m = Runs.spec_metrics ~seed:(seed + 71) ~n ~steps (make_spec ()) in
+        let total = Sim.Metrics.total_completions m in
+        List.map
+          (fun (mid, mname) ->
+            let counts = Sim.Metrics.method_completions m ~method_:mid in
+            let count = Array.fold_left ( + ) 0 counts in
+            let w =
+              Stats.Summary.mean (Sim.Metrics.method_system_latency m ~method_:mid)
+            in
+            [
+              name;
+              mname;
+              string_of_int count;
+              Runs.fmt w;
+              Runs.fmt_pct (float_of_int count /. float_of_int total);
+            ])
+          labels)
   in
-  let report name spec (labels : (int * string) list) =
-    let m = Runs.spec_metrics ~seed:71 ~n ~steps spec in
-    let total = Sim.Metrics.total_completions m in
-    List.iter
-      (fun (mid, mname) ->
-        let counts = Sim.Metrics.method_completions m ~method_:mid in
-        let count = Array.fold_left ( + ) 0 counts in
-        let w = Stats.Summary.mean (Sim.Metrics.method_system_latency m ~method_:mid) in
-        Stats.Table.add_row table
-          [
-            name;
-            mname;
-            string_of_int count;
-            Runs.fmt w;
-            Runs.fmt_pct (float_of_int count /. float_of_int total);
-          ])
-      labels
-  in
-  report "treiber stack"
-    (Scu.Treiber.make ~n ()).spec
-    [ (Scu.Treiber.push_method, "push"); (Scu.Treiber.pop_method, "pop") ];
-  report "ms queue"
-    (Scu.Msqueue.make ~n ()).spec
-    [ (Scu.Msqueue.enqueue_method, "enqueue"); (Scu.Msqueue.dequeue_method, "dequeue") ];
-  report "rcu (6 readers / 2 updaters)"
-    (Scu.Rcu.make ~n ~readers:6 ~block_size:4).spec
-    [ (Scu.Rcu.read_method, "read"); (Scu.Rcu.update_method, "update") ];
-  table
+  Plan.of_rows
+    ~headers:[ "object"; "method"; "completions"; "method latency W_m"; "share" ]
+    [
+      cell "stack" "treiber stack"
+        (fun () -> (Scu.Treiber.make ~n ()).spec)
+        [ (Scu.Treiber.push_method, "push"); (Scu.Treiber.pop_method, "pop") ];
+      cell "queue" "ms queue"
+        (fun () -> (Scu.Msqueue.make ~n ()).spec)
+        [
+          (Scu.Msqueue.enqueue_method, "enqueue");
+          (Scu.Msqueue.dequeue_method, "dequeue");
+        ];
+      cell "rcu" "rcu (6 readers / 2 updaters)"
+        (fun () -> (Scu.Rcu.make ~n ~readers:6 ~block_size:4).spec)
+        [ (Scu.Rcu.read_method, "read"); (Scu.Rcu.update_method, "update") ];
+    ]

@@ -16,9 +16,28 @@ let notes =
    as theory demands.  (Computed on the lazy chain: the original is \
    periodic, see DESIGN.md.)"
 
-let run ~quick =
-  let table =
-    Stats.Table.create
+let plan { Plan.quick; seed = _ } =
+  let cell_of n =
+    Plan.cell (Printf.sprintf "n=%d" n) (fun () ->
+        let sys = Chains.Scu_chain.System.make ~n in
+        let coarse = Markov.Mixing.mixing_time sys.chain ~start:sys.initial in
+        let fine = Markov.Mixing.mixing_time ~eps:0.01 sys.chain ~start:sys.initial in
+        let gap = Markov.Mixing.spectral_gap sys.chain in
+        [
+          [
+            string_of_int n;
+            string_of_int sys.chain.size;
+            string_of_int coarse;
+            string_of_int fine;
+            Runs.fmt (float_of_int fine /. float_of_int n);
+            Runs.fmt gap;
+            Runs.fmt (1. /. gap);
+          ];
+        ])
+  in
+  let ns = if quick then [ 4; 8; 16; 32 ] else [ 4; 8; 16; 32; 48; 64 ] in
+  Plan.of_rows
+    ~headers:
       [
         "n";
         "states";
@@ -28,23 +47,4 @@ let run ~quick =
         "spectral gap";
         "1/gap";
       ]
-  in
-  let ns = if quick then [ 4; 8; 16; 32 ] else [ 4; 8; 16; 32; 48; 64 ] in
-  List.iter
-    (fun n ->
-      let sys = Chains.Scu_chain.System.make ~n in
-      let coarse = Markov.Mixing.mixing_time sys.chain ~start:sys.initial in
-      let fine = Markov.Mixing.mixing_time ~eps:0.01 sys.chain ~start:sys.initial in
-      let gap = Markov.Mixing.spectral_gap sys.chain in
-      Stats.Table.add_row table
-        [
-          string_of_int n;
-          string_of_int sys.chain.size;
-          string_of_int coarse;
-          string_of_int fine;
-          Runs.fmt (float_of_int fine /. float_of_int n);
-          Runs.fmt gap;
-          Runs.fmt (1. /. gap);
-        ])
-    ns;
-  table
+    (List.map cell_of ns)

@@ -21,34 +21,50 @@ let notes =
    local order is not (Figure 4) — rate depends on local structure, \
    fairness on long-run structure."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let domains = 4 in
   let steps_per_domain = if quick then 25_000 else 250_000 in
-  let recorded = Runtime.Recorder.record ~domains ~steps_per_domain in
-  let order = Sched.Trace.to_array recorded in
-  let total = Array.length order in
-  let rate scheduler =
+  (* The recorder emits exactly domains * steps_per_domain scheduler
+     steps, so the model cells can compute the step budget without
+     depending on the recording cell. *)
+  let total = domains * steps_per_domain in
+  let rate scheduler stop =
     let c = Scu.Counter.make ~n:domains in
     let r =
-      Sim.Executor.run ~seed:73 ~scheduler ~n:domains ~stop:(Steps total) c.spec
+      Sim.Executor.run ~seed:(seed + 73) ~scheduler ~n:domains ~stop:(Steps stop)
+        c.spec
     in
     Sim.Metrics.completion_rate r.metrics
   in
-  let table = Stats.Table.create [ "scheduler"; "completion rate"; "source" ] in
-  Stats.Table.add_row table
+  Plan.of_rows ~headers:[ "scheduler"; "completion rate"; "source" ]
     [
-      "replayed real schedule";
-      Runs.fmt (rate (Sched.Scheduler.replay order));
-      Printf.sprintf "%d recorded steps" total;
-    ];
-  Stats.Table.add_row table
-    [ "quantum(32) sim"; Runs.fmt (rate (Sched.Scheduler.quantum ~length:32)); "model" ];
-  Stats.Table.add_row table
-    [ "uniform sim"; Runs.fmt (rate Sched.Scheduler.uniform); "model" ];
-  Stats.Table.add_row table
-    [
-      "uniform exact chain";
-      Runs.fmt (1. /. Chains.Scu_chain.System.system_latency ~n:domains);
-      "theory";
-    ];
-  table
+      Plan.cell "replayed" (fun () ->
+          let recorded = Runtime.Recorder.record ~domains ~steps_per_domain in
+          let order = Sched.Trace.to_array recorded in
+          let recorded_total = Array.length order in
+          [
+            [
+              "replayed real schedule";
+              Runs.fmt (rate (Sched.Scheduler.replay order) recorded_total);
+              Printf.sprintf "%d recorded steps" recorded_total;
+            ];
+          ]);
+      Plan.cell "quantum" (fun () ->
+          [
+            [
+              "quantum(32) sim";
+              Runs.fmt (rate (Sched.Scheduler.quantum ~length:32) total);
+              "model";
+            ];
+          ]);
+      Plan.cell "uniform" (fun () ->
+          [ [ "uniform sim"; Runs.fmt (rate Sched.Scheduler.uniform total); "model" ] ]);
+      Plan.cell "chain" (fun () ->
+          [
+            [
+              "uniform exact chain";
+              Runs.fmt (1. /. Chains.Scu_chain.System.system_latency ~n:domains);
+              "theory";
+            ];
+          ]);
+    ]

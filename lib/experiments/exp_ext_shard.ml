@@ -13,31 +13,30 @@ let notes =
    percent of the floor.  Predicted column = exact chain W(ceil(n/k)) \
    — sharding composes the SCU analysis with itself."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 32 in
   let steps = if quick then 200_000 else 1_000_000 in
-  let table =
-    Stats.Table.create
-      [ "shards k"; "W measured"; "W(n/k) chain prediction"; "value conserved" ]
-  in
-  List.iter
-    (fun k ->
-      let c = Scu.Sharded_counter.make ~n ~shards:k in
-      let r =
-        Sim.Executor.run ~seed:(500 + k) ~scheduler:Sched.Scheduler.uniform ~n
-          ~stop:(Steps steps) c.spec
-      in
-      let w = Sim.Metrics.mean_system_latency r.metrics in
-      let contenders = (n + k - 1) / k in
-      let predicted = Chains.Scu_chain.System.system_latency ~n:contenders in
-      Stats.Table.add_row table
+  let cell_of k =
+    Plan.cell (Printf.sprintf "k=%d" k) (fun () ->
+        let c = Scu.Sharded_counter.make ~n ~shards:k in
+        let r =
+          Sim.Executor.run ~seed:(seed + 500 + k) ~scheduler:Sched.Scheduler.uniform
+            ~n ~stop:(Steps steps) c.spec
+        in
+        let w = Sim.Metrics.mean_system_latency r.metrics in
+        let contenders = (n + k - 1) / k in
+        let predicted = Chains.Scu_chain.System.system_latency ~n:contenders in
         [
-          string_of_int k;
-          Runs.fmt w;
-          Runs.fmt predicted;
-          string_of_bool
-            (Scu.Sharded_counter.value c c.spec.memory
-            = Sim.Metrics.total_completions r.metrics);
+          [
+            string_of_int k;
+            Runs.fmt w;
+            Runs.fmt predicted;
+            string_of_bool
+              (Scu.Sharded_counter.value c c.spec.memory
+              = Sim.Metrics.total_completions r.metrics);
+          ];
         ])
-    [ 1; 2; 4; 8; 16; 32 ];
-  table
+  in
+  Plan.of_rows
+    ~headers:[ "shards k"; "W measured"; "W(n/k) chain prediction"; "value conserved" ]
+    (List.map cell_of [ 1; 2; 4; 8; 16; 32 ])

@@ -18,39 +18,42 @@ let notes =
    long-run uniformity, not lock-freedom itself, is what keeps tails \
    short."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 8 in
   let steps = if quick then 300_000 else 1_500_000 in
-  let table =
-    Stats.Table.create
-      [ "scheduler"; "mean"; "p50"; "p90"; "p99"; "p99.9"; "max"; "p99.9/p50" ]
+  (* Stateful schedulers (quantum) are built inside the cell closure. *)
+  let cell name make_sched =
+    Plan.cell name (fun () ->
+        let stack = Scu.Treiber.make ~n () in
+        let m =
+          Runs.spec_metrics ~seed:(seed + 83) ~scheduler:(make_sched ())
+            ~record_samples:true ~n ~steps stack.spec
+        in
+        (* Pool every process's individual gaps (the per-op latency a user
+           of any thread observes). *)
+        let samples =
+          Array.concat (List.init n (fun i -> Sim.Metrics.individual_samples m i))
+        in
+        let e = Stats.Ecdf.of_array samples in
+        let q p = Stats.Ecdf.quantile e p in
+        [
+          [
+            name;
+            Runs.fmt (Stats.Summary.mean (Stats.Summary.of_array samples));
+            Runs.fmt (q 0.5);
+            Runs.fmt (q 0.9);
+            Runs.fmt (q 0.99);
+            Runs.fmt (q 0.999);
+            Runs.fmt (Stats.Ecdf.maximum e);
+            Runs.fmt (q 0.999 /. q 0.5);
+          ];
+        ])
   in
-  let row name scheduler =
-    let stack = Scu.Treiber.make ~n () in
-    let m =
-      Runs.spec_metrics ~seed:83 ~scheduler ~record_samples:true ~n ~steps stack.spec
-    in
-    (* Pool every process's individual gaps (the per-op latency a user
-       of any thread observes). *)
-    let samples =
-      Array.concat (List.init n (fun i -> Sim.Metrics.individual_samples m i))
-    in
-    let e = Stats.Ecdf.of_array samples in
-    let q p = Stats.Ecdf.quantile e p in
-    Stats.Table.add_row table
-      [
-        name;
-        Runs.fmt (Stats.Summary.mean (Stats.Summary.of_array samples));
-        Runs.fmt (q 0.5);
-        Runs.fmt (q 0.9);
-        Runs.fmt (q 0.99);
-        Runs.fmt (q 0.999);
-        Runs.fmt (Stats.Ecdf.maximum e);
-        Runs.fmt (q 0.999 /. q 0.5);
-      ]
-  in
-  row "uniform" Sched.Scheduler.uniform;
-  row "quantum(8)" (Sched.Scheduler.quantum ~length:8);
-  row "zipf(0.5)" (Sched.Scheduler.zipf ~n ~alpha:0.5);
-  row "zipf(1.5)" (Sched.Scheduler.zipf ~n ~alpha:1.5);
-  table
+  Plan.of_rows
+    ~headers:[ "scheduler"; "mean"; "p50"; "p90"; "p99"; "p99.9"; "max"; "p99.9/p50" ]
+    [
+      cell "uniform" (fun () -> Sched.Scheduler.uniform);
+      cell "quantum(8)" (fun () -> Sched.Scheduler.quantum ~length:8);
+      cell "zipf(0.5)" (fun () -> Sched.Scheduler.zipf ~n ~alpha:0.5);
+      cell "zipf(1.5)" (fun () -> Sched.Scheduler.zipf ~n ~alpha:1.5);
+    ]

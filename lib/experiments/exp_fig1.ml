@@ -10,33 +10,39 @@ let notes =
   "Each system state's stationary probability must equal the sum over \
    its fiber (Lemma 1/4); flow error and pi error must be ~0."
 
-let run ~quick:_ =
-  let ind = Chains.Scu_chain.Individual.make ~n:2 in
-  let sys = Chains.Scu_chain.System.make ~n:2 in
-  let f = Chains.Scu_chain.lift ind sys in
-  let pi_ind = Markov.Stationary.compute ind.chain in
-  let pi_sys = Markov.Stationary.compute sys.chain in
-  let table =
-    Stats.Table.create
-      [ "individual state"; "pi'"; "f(state)"; "pi(f)"; "fiber sum" ]
-  in
-  let fiber_sum = Array.make sys.chain.size 0. in
-  for x = 0 to ind.chain.size - 1 do
-    fiber_sum.(f x) <- fiber_sum.(f x) +. pi_ind.(x)
-  done;
-  for x = 0 to ind.chain.size - 1 do
-    let v = f x in
-    Stats.Table.add_row table
-      [
-        ind.chain.label x;
-        Runs.fmt pi_ind.(x);
-        sys.chain.label v;
-        Runs.fmt pi_sys.(v);
-        Runs.fmt fiber_sum.(v);
-      ]
-  done;
-  let report = Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain ~f () in
-  Stats.Table.add_row table
-    [ "max flow error"; Runs.fmt report.max_flow_error; ""; ""; "" ];
-  Stats.Table.add_row table [ "max pi error"; Runs.fmt report.max_pi_error; ""; ""; "" ];
-  table
+(* Fully deterministic (no RNG, fixed n = 2): one cell carrying the
+   whole lifting computation. *)
+let plan (_ : Plan.budget) =
+  Plan.of_rows
+    ~headers:[ "individual state"; "pi'"; "f(state)"; "pi(f)"; "fiber sum" ]
+    [
+      Plan.cell "lifting-n2" (fun () ->
+          let ind = Chains.Scu_chain.Individual.make ~n:2 in
+          let sys = Chains.Scu_chain.System.make ~n:2 in
+          let f = Chains.Scu_chain.lift ind sys in
+          let pi_ind = Markov.Stationary.compute ind.chain in
+          let pi_sys = Markov.Stationary.compute sys.chain in
+          let fiber_sum = Array.make sys.chain.size 0. in
+          for x = 0 to ind.chain.size - 1 do
+            fiber_sum.(f x) <- fiber_sum.(f x) +. pi_ind.(x)
+          done;
+          let state_rows =
+            List.init ind.chain.size (fun x ->
+                let v = f x in
+                [
+                  ind.chain.label x;
+                  Runs.fmt pi_ind.(x);
+                  sys.chain.label v;
+                  Runs.fmt pi_sys.(v);
+                  Runs.fmt fiber_sum.(v);
+                ])
+          in
+          let report =
+            Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain ~f ()
+          in
+          state_rows
+          @ [
+              [ "max flow error"; Runs.fmt report.max_flow_error; ""; ""; "" ];
+              [ "max pi error"; Runs.fmt report.max_pi_error; ""; ""; "" ];
+            ]);
+    ]

@@ -14,41 +14,57 @@ let notes =
    construction of the fixed per-domain quota; the interesting check \
    is the chi-square statistic of the simulated schedulers."
 
-let run ~quick =
+(* One cell per trace source (two simulated schedulers, one hardware
+   recording); the share and chi-square rows combine all three, so
+   they are built in assemble. *)
+let plan { Plan.quick; seed } =
   let n = 16 in
   let steps = if quick then 100_000 else 1_000_000 in
-  let tr_uniform = Runs.sim_trace ~n ~steps () in
-  let tr_quantum =
-    Runs.sim_trace ~scheduler:(Sched.Scheduler.quantum ~length:8) ~n ~steps ()
-  in
   let domains = 4 in
-  let tr_real =
-    Runtime.Recorder.record ~domains ~steps_per_domain:(if quick then 5_000 else 50_000)
-  in
-  let su = Sched.Trace.step_shares tr_uniform in
-  let sq = Sched.Trace.step_shares tr_quantum in
-  let sr = Sched.Trace.step_shares tr_real in
-  let table =
-    Stats.Table.create
-      [ "process"; "uniform sim"; "quantum sim"; "real (4 domains)" ]
-  in
-  for i = 0 to n - 1 do
-    Stats.Table.add_row table
+  Plan.make
+    ~headers:[ "process"; "uniform sim"; "quantum sim"; "real (4 domains)" ]
+    ~cells:
       [
-        Printf.sprintf "p%d" (i + 1);
-        Runs.fmt_pct su.(i);
-        Runs.fmt_pct sq.(i);
-        (if i < domains then Runs.fmt_pct sr.(i) else "-");
+        Plan.cell "trace:uniform" (fun () ->
+            Runs.sim_trace ~seed:(seed + 0xABBA) ~n ~steps ());
+        Plan.cell "trace:quantum" (fun () ->
+            Runs.sim_trace ~seed:(seed + 0xABBA)
+              ~scheduler:(Sched.Scheduler.quantum ~length:8) ~n ~steps ());
+        Plan.cell "trace:real" (fun () ->
+            Runtime.Recorder.record ~domains
+              ~steps_per_domain:(if quick then 5_000 else 50_000));
       ]
-  done;
-  let chi tr = Stats.Chi_square.uniform_statistic (Sched.Trace.step_counts tr) in
-  Stats.Table.add_row table
-    [ "chi2 vs uniform"; Runs.fmt (chi tr_uniform); Runs.fmt (chi tr_quantum); Runs.fmt (chi tr_real) ];
-  Stats.Table.add_row table
-    [
-      "chi2 critical (1%)";
-      Runs.fmt (Stats.Chi_square.critical_value ~df:(n - 1) ~alpha:0.01);
-      "";
-      Runs.fmt (Stats.Chi_square.critical_value ~df:(domains - 1) ~alpha:0.01);
-    ];
-  table
+    ~assemble:(fun traces ->
+      let tr_uniform, tr_quantum, tr_real =
+        match traces with
+        | [ u; q; r ] -> (u, q, r)
+        | _ -> invalid_arg "fig3: expected three traces"
+      in
+      let su = Sched.Trace.step_shares tr_uniform in
+      let sq = Sched.Trace.step_shares tr_quantum in
+      let sr = Sched.Trace.step_shares tr_real in
+      let shares =
+        List.init n (fun i ->
+            [
+              Printf.sprintf "p%d" (i + 1);
+              Runs.fmt_pct su.(i);
+              Runs.fmt_pct sq.(i);
+              (if i < domains then Runs.fmt_pct sr.(i) else "-");
+            ])
+      in
+      let chi tr = Stats.Chi_square.uniform_statistic (Sched.Trace.step_counts tr) in
+      shares
+      @ [
+          [
+            "chi2 vs uniform";
+            Runs.fmt (chi tr_uniform);
+            Runs.fmt (chi tr_quantum);
+            Runs.fmt (chi tr_real);
+          ];
+          [
+            "chi2 critical (1%)";
+            Runs.fmt (Stats.Chi_square.critical_value ~df:(n - 1) ~alpha:0.01);
+            "";
+            Runs.fmt (Stats.Chi_square.critical_value ~df:(domains - 1) ~alpha:0.01);
+          ];
+        ])

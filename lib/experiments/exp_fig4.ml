@@ -16,31 +16,39 @@ let notes =
    recording: strongly self-biased (the paper's multi-socket machine \
    showed a flat profile; a 1-core container cannot)."
 
-let run ~quick =
+(* Cells mirror fig3's: each trace source is one cell, and each cell
+   reduces its trace to the conditional next-step distribution so the
+   payload stays small. *)
+let plan { Plan.quick; seed } =
   let n = 8 in
   let steps = if quick then 200_000 else 1_000_000 in
-  let tr_uniform = Runs.sim_trace ~seed:21 ~n ~steps () in
-  let tr_quantum =
-    Runs.sim_trace ~seed:22 ~scheduler:(Sched.Scheduler.quantum ~length:8) ~n ~steps ()
-  in
   let domains = 4 in
-  let tr_real =
-    Runtime.Recorder.record ~domains ~steps_per_domain:(if quick then 5_000 else 50_000)
-  in
-  let du = Sched.Trace.next_step_distribution tr_uniform ~after:0 in
-  let dq = Sched.Trace.next_step_distribution tr_quantum ~after:0 in
-  let dr = Sched.Trace.next_step_distribution tr_real ~after:0 in
-  let table =
-    Stats.Table.create
-      [ "next process"; "uniform sim"; "quantum sim"; "real (4 domains)" ]
-  in
-  for i = 0 to n - 1 do
-    Stats.Table.add_row table
+  let dist tr = Sched.Trace.next_step_distribution tr ~after:0 in
+  Plan.make
+    ~headers:[ "next process"; "uniform sim"; "quantum sim"; "real (4 domains)" ]
+    ~cells:
       [
-        Printf.sprintf "p%d" (i + 1);
-        Runs.fmt_pct du.(i);
-        Runs.fmt_pct dq.(i);
-        (if i < domains then Runs.fmt_pct dr.(i) else "-");
+        Plan.cell "dist:uniform" (fun () ->
+            dist (Runs.sim_trace ~seed:(seed + 21) ~n ~steps ()));
+        Plan.cell "dist:quantum" (fun () ->
+            dist
+              (Runs.sim_trace ~seed:(seed + 22)
+                 ~scheduler:(Sched.Scheduler.quantum ~length:8) ~n ~steps ()));
+        Plan.cell "dist:real" (fun () ->
+            dist
+              (Runtime.Recorder.record ~domains
+                 ~steps_per_domain:(if quick then 5_000 else 50_000)));
       ]
-  done;
-  table
+    ~assemble:(fun dists ->
+      let du, dq, dr =
+        match dists with
+        | [ u; q; r ] -> (u, q, r)
+        | _ -> invalid_arg "fig4: expected three distributions"
+      in
+      List.init n (fun i ->
+          [
+            Printf.sprintf "p%d" (i + 1);
+            Runs.fmt_pct du.(i);
+            Runs.fmt_pct dq.(i);
+            (if i < domains then Runs.fmt_pct dr.(i) else "-");
+          ]))

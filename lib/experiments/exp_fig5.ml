@@ -17,27 +17,40 @@ let notes =
 
 let ns = [ 1; 2; 4; 8; 12; 16; 24; 32; 48; 64 ]
 
-let run ~quick =
+(* One simulation cell per thread count plus one hardware cell per
+   small thread count.  The predicted/worst-case columns scale their
+   model to the first measured point and the footer fits an exponent
+   across the whole sweep, so rows are built in assemble from the raw
+   per-cell rates. *)
+type payload =
+  | Sim of float * float  (* (n, measured completion rate) *)
+  | Hw of int * string  (* (n, formatted hardware rate) *)
+
+let hw_ns = List.filter (fun n -> n <= 4) ns
+
+let plan { Plan.quick; seed } =
   let steps = if quick then 150_000 else 1_500_000 in
-  let measured =
+  let sim_cells =
     List.map
       (fun n ->
-        let m = Runs.counter_metrics ~seed:(40 + n) ~n ~steps () in
-        (float_of_int n, Sim.Metrics.completion_rate m))
+        Plan.cell (Printf.sprintf "sim:n=%d" n) (fun () ->
+            let m = Runs.counter_metrics ~seed:(seed + 40 + n) ~n ~steps () in
+            Sim (float_of_int n, Sim.Metrics.completion_rate m)))
       ns
   in
-  let predicted =
-    Stats.Regression.scale_to_first
-      ~model:(fun n -> Chains.Predict.completion_rate_sqrt n)
-      measured
+  let hw_cells =
+    List.map
+      (fun n ->
+        Plan.cell (Printf.sprintf "hw:n=%d" n) (fun () ->
+            let r =
+              Runtime.Harness.counter_completion_rate ~domains:n
+                ~ops_per_domain:(if quick then 2_000 else 20_000)
+            in
+            Hw (n, Runs.fmt r.completion_rate)))
+      hw_ns
   in
-  let worst =
-    Stats.Regression.scale_to_first
-      ~model:(fun n -> Chains.Predict.completion_rate_worst_case n)
-      measured
-  in
-  let table =
-    Stats.Table.create
+  Plan.make
+    ~headers:
       [
         "threads";
         "measured (sim)";
@@ -46,35 +59,58 @@ let run ~quick =
         "worst case c/n";
         "real 1-core hw";
       ]
-  in
-  List.iter
-    (fun (nf, rate) ->
-      let n = int_of_float nf in
-      let exact =
-        if n <= 64 then Runs.fmt (1. /. Chains.Scu_chain.System.system_latency ~n)
-        else "-"
+    ~cells:(sim_cells @ hw_cells)
+    ~assemble:(fun payloads ->
+      let measured =
+        List.filter_map (function Sim (n, r) -> Some (n, r) | Hw _ -> None) payloads
       in
-      let real =
-        if n <= 4 then
-          let r =
-            Runtime.Harness.counter_completion_rate ~domains:n
-              ~ops_per_domain:(if quick then 2_000 else 20_000)
-          in
-          Runs.fmt r.completion_rate
-        else "-"
+      let hw =
+        List.filter_map (function Hw (n, r) -> Some (n, r) | Sim _ -> None) payloads
       in
-      Stats.Table.add_row table
-        [
-          string_of_int n;
-          Runs.fmt rate;
-          Runs.fmt (predicted nf);
-          exact;
-          Runs.fmt (worst nf);
-          real;
+      let predicted =
+        Stats.Regression.scale_to_first
+          ~model:(fun n -> Chains.Predict.completion_rate_sqrt n)
+          measured
+      in
+      let worst =
+        Stats.Regression.scale_to_first
+          ~model:(fun n -> Chains.Predict.completion_rate_worst_case n)
+          measured
+      in
+      let data_rows =
+        List.map
+          (fun (nf, rate) ->
+            let n = int_of_float nf in
+            let exact =
+              if n <= 64 then
+                Runs.fmt (1. /. Chains.Scu_chain.System.system_latency ~n)
+              else "-"
+            in
+            let real =
+              match List.assoc_opt n hw with Some r -> r | None -> "-"
+            in
+            [
+              string_of_int n;
+              Runs.fmt rate;
+              Runs.fmt (predicted nf);
+              exact;
+              Runs.fmt (worst nf);
+              real;
+            ])
+          measured
+      in
+      (* Fit the measured exponent: the paper's claim is rate ~ n^-0.5. *)
+      let fit =
+        Stats.Regression.power_law (List.filter (fun (n, _) -> n >= 4.) measured)
+      in
+      data_rows
+      @ [
+          [
+            "fitted exponent";
+            Printf.sprintf "%.3f (want ~-0.5)" fit.slope;
+            "";
+            "";
+            "";
+            "";
+          ];
         ])
-    measured;
-  (* Fit the measured exponent: the paper's claim is rate ~ n^-0.5. *)
-  let fit = Stats.Regression.power_law (List.filter (fun (n, _) -> n >= 4.) measured) in
-  Stats.Table.add_row table
-    [ "fitted exponent"; Printf.sprintf "%.3f (want ~-0.5)" fit.slope; ""; ""; ""; "" ];
-  table

@@ -17,41 +17,47 @@ let notes =
    count on one core (see EXPERIMENTS.md caveat); on a multicore \
    machine the CAS-based rows would bend like Figure 5."
 
-let run ~quick =
+let plan { Plan.quick; seed = _ } =
   let ops = if quick then 5_000 else 50_000 in
   let domain_counts = [ 1; 2; 4 ] in
-  let table =
-    Stats.Table.create
+  (* Hardware cells spawn their own domains; they are kept whole per
+     structure (one cell = one row) so a pool running cells in
+     parallel never nests Harness domain sets within one cell. *)
+  let cell label name make_op =
+    Plan.cell label (fun () ->
+        let rates =
+          List.map
+            (fun domains ->
+              let op = make_op () in
+              let r = Runtime.Harness.run ~domains ~ops_per_domain:ops ~op in
+              Runs.fmt r.completion_rate)
+            domain_counts
+        in
+        [ name :: rates ])
+  in
+  Plan.of_rows
+    ~headers:
       ([ "structure" ]
       @ List.map (fun d -> Printf.sprintf "rate (%d domains)" d) domain_counts)
-  in
-  let row name make_op =
-    let rates =
-      List.map
-        (fun domains ->
-          let op = make_op () in
-          let r = Runtime.Harness.run ~domains ~ops_per_domain:ops ~op in
-          Runs.fmt r.completion_rate)
-        domain_counts
-    in
-    Stats.Table.add_row table (name :: rates)
-  in
-  row "faa counter (wait-free)" (fun () ->
-      let c = Runtime.Rt_counter.create () in
-      fun _ -> snd (Runtime.Rt_counter.incr_faa c));
-  row "cas counter" (fun () ->
-      let c = Runtime.Rt_counter.create () in
-      fun _ -> snd (Runtime.Rt_counter.incr_cas c));
-  row "treiber stack (push/pop)" (fun () ->
-      let s = Runtime.Rt_treiber.create () in
-      let toggle = Atomic.make 0 in
-      fun _ ->
-        if Atomic.fetch_and_add toggle 1 land 1 = 0 then Runtime.Rt_treiber.push s 1
-        else snd (Runtime.Rt_treiber.pop s));
-  row "ms queue (enq/deq)" (fun () ->
-      let q = Runtime.Rt_msqueue.create () in
-      let toggle = Atomic.make 0 in
-      fun _ ->
-        if Atomic.fetch_and_add toggle 1 land 1 = 0 then Runtime.Rt_msqueue.enqueue q 1
-        else snd (Runtime.Rt_msqueue.dequeue q));
-  table
+    [
+      cell "faa" "faa counter (wait-free)" (fun () ->
+          let c = Runtime.Rt_counter.create () in
+          fun _ -> snd (Runtime.Rt_counter.incr_faa c));
+      cell "cas" "cas counter" (fun () ->
+          let c = Runtime.Rt_counter.create () in
+          fun _ -> snd (Runtime.Rt_counter.incr_cas c));
+      cell "stack" "treiber stack (push/pop)" (fun () ->
+          let s = Runtime.Rt_treiber.create () in
+          let toggle = Atomic.make 0 in
+          fun _ ->
+            if Atomic.fetch_and_add toggle 1 land 1 = 0 then
+              Runtime.Rt_treiber.push s 1
+            else snd (Runtime.Rt_treiber.pop s));
+      cell "queue" "ms queue (enq/deq)" (fun () ->
+          let q = Runtime.Rt_msqueue.create () in
+          let toggle = Atomic.make 0 in
+          fun _ ->
+            if Atomic.fetch_and_add toggle 1 land 1 = 0 then
+              Runtime.Rt_msqueue.enqueue q 1
+            else snd (Runtime.Rt_msqueue.dequeue q));
+    ]

@@ -4,4 +4,4 @@
 val id : string
 val title : string
 val notes : string
-val run : quick:bool -> Stats.Table.t
+val plan : Plan.budget -> Plan.t

@@ -7,28 +7,28 @@ let title = "Lemma 11: parallel code W = q, W_i = n*q"
 
 let notes = "sim columns match q and nq within sampling error; exact columns are equalities."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let steps = if quick then 200_000 else 1_000_000 in
-  let table =
-    Stats.Table.create
-      [ "n"; "q"; "W sim"; "W exact"; "W_i sim (p0)"; "n*q" ]
-  in
-  List.iter
-    (fun (n, q) ->
-      let p = Scu.Parallel_code.make ~n ~q in
-      let m = Runs.spec_metrics ~seed:(n * 31 + q) ~n ~steps p.spec in
-      let exact =
-        if n <= 6 && q <= 6 then Runs.fmt (Chains.Parallel_chain.System.system_latency ~n ~q)
-        else Runs.fmt (float_of_int q)
-      in
-      Stats.Table.add_row table
+  let cell_of (n, q) =
+    Plan.cell (Printf.sprintf "n=%d,q=%d" n q) (fun () ->
+        let p = Scu.Parallel_code.make ~n ~q in
+        let m = Runs.spec_metrics ~seed:(seed + (n * 31) + q) ~n ~steps p.spec in
+        let exact =
+          if n <= 6 && q <= 6 then
+            Runs.fmt (Chains.Parallel_chain.System.system_latency ~n ~q)
+          else Runs.fmt (float_of_int q)
+        in
         [
-          string_of_int n;
-          string_of_int q;
-          Runs.fmt (Sim.Metrics.mean_system_latency m);
-          exact;
-          Runs.fmt (Sim.Metrics.mean_individual_latency m 0);
-          string_of_int (n * q);
+          [
+            string_of_int n;
+            string_of_int q;
+            Runs.fmt (Sim.Metrics.mean_system_latency m);
+            exact;
+            Runs.fmt (Sim.Metrics.mean_individual_latency m 0);
+            string_of_int (n * q);
+          ];
         ])
-    [ (2, 2); (4, 3); (8, 5); (16, 10); (32, 4) ];
-  table
+  in
+  Plan.of_rows
+    ~headers:[ "n"; "q"; "W sim"; "W exact"; "W_i sim (p0)"; "n*q" ]
+    (List.map cell_of [ (2, 2); (4, 3); (8, 5); (16, 10); (32, 4) ])

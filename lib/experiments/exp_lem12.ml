@@ -11,29 +11,29 @@ let notes =
   "sim = chain = recurrence (within noise); all below 2 sqrt n; ratio \
    to sqrt(pi n/2) -> 1."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let steps = if quick then 200_000 else 1_000_000 in
-  let table =
-    Stats.Table.create
-      [ "n"; "W sim"; "W chain"; "Z(n-1)"; "sqrt(pi n/2)"; "2 sqrt n"; "ratio to asym" ]
-  in
-  List.iter
-    (fun n ->
-      let c = Scu.Counter_aug.make ~n in
-      let m = Runs.spec_metrics ~seed:(80 + n) ~n ~steps c.spec in
-      let w_sim = Sim.Metrics.mean_system_latency m in
-      let w_chain = Chains.Counter_chain.Global.return_time_v1 ~n in
-      let z = (Chains.Counter_chain.z_recurrence ~n).(n - 1) in
-      let asym = Chains.Ramanujan.asymptotic n in
-      Stats.Table.add_row table
+  let cell_of n =
+    Plan.cell (Printf.sprintf "n=%d" n) (fun () ->
+        let c = Scu.Counter_aug.make ~n in
+        let m = Runs.spec_metrics ~seed:(seed + 80 + n) ~n ~steps c.spec in
+        let w_sim = Sim.Metrics.mean_system_latency m in
+        let w_chain = Chains.Counter_chain.Global.return_time_v1 ~n in
+        let z = (Chains.Counter_chain.z_recurrence ~n).(n - 1) in
+        let asym = Chains.Ramanujan.asymptotic n in
         [
-          string_of_int n;
-          Runs.fmt w_sim;
-          Runs.fmt w_chain;
-          Runs.fmt z;
-          Runs.fmt asym;
-          Runs.fmt (2. *. sqrt (float_of_int n));
-          Runs.fmt (z /. asym);
+          [
+            string_of_int n;
+            Runs.fmt w_sim;
+            Runs.fmt w_chain;
+            Runs.fmt z;
+            Runs.fmt asym;
+            Runs.fmt (2. *. sqrt (float_of_int n));
+            Runs.fmt (z /. asym);
+          ];
         ])
-    [ 2; 4; 8; 16; 32; 64 ];
-  table
+  in
+  Plan.of_rows
+    ~headers:
+      [ "n"; "W sim"; "W chain"; "Z(n-1)"; "sqrt(pi n/2)"; "2 sqrt n"; "ratio to asym" ]
+    (List.map cell_of [ 2; 4; 8; 16; 32; 64 ])

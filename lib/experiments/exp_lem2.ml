@@ -15,21 +15,14 @@ let notes =
    the same code is the bounded augmented-CAS counter and every \
    process completes — boundedness is exactly what Theorem 3 needs."
 
-let run ~quick =
-  let seeds = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
-  let steps = if quick then 300_000 else 2_000_000 in
-  let table =
-    Stats.Table.create
-      [
-        "n";
-        "mean winners (unbounded)";
-        "max winners";
-        "top share";
-        "winners (bounded variant)";
-      ]
+let plan { Plan.quick; seed = base } =
+  let seeds =
+    List.map (fun s -> base + s)
+      (if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ])
   in
-  List.iter
-    (fun n ->
+  let steps = if quick then 300_000 else 2_000_000 in
+  let cell_of n =
+    Plan.cell (Printf.sprintf "n=%d" n) (fun () ->
       let stats_of seed penalty_cap =
         let u =
           match penalty_cap with
@@ -47,7 +40,7 @@ let run ~quick =
         (winners, if total = 0 then 0. else float_of_int top /. float_of_int total)
       in
       let unbounded = List.map (fun s -> stats_of s None) seeds in
-      let bounded_winners, _ = stats_of 1 (Some 0) in
+      let bounded_winners, _ = stats_of (base + 1) (Some 0) in
       let winner_counts = List.map fst unbounded in
       let mean_winners =
         float_of_int (List.fold_left ( + ) 0 winner_counts)
@@ -57,13 +50,23 @@ let run ~quick =
         List.fold_left (fun acc (_, s) -> acc +. s) 0. unbounded
         /. float_of_int (List.length unbounded)
       in
-      Stats.Table.add_row table
+      [
         [
           string_of_int n;
           Runs.fmt mean_winners;
           string_of_int (List.fold_left max 0 winner_counts);
           Runs.fmt_pct mean_share;
           string_of_int bounded_winners;
-        ])
-    [ 2; 4; 8; 12; 16 ];
-  table
+        ];
+      ])
+  in
+  Plan.of_rows
+    ~headers:
+      [
+        "n";
+        "mean winners (unbounded)";
+        "max winners";
+        "top share";
+        "winners (bounded variant)";
+      ]
+    (List.map cell_of [ 2; 4; 8; 12; 16 ])

@@ -11,21 +11,11 @@ let notes =
   "All ratio columns should be ~1.0; exact chain columns are 1.0 to \
    numerical precision."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let steps = if quick then 300_000 else 1_500_000 in
-  let table =
-    Stats.Table.create
-      [
-        "n";
-        "sim ratio (mean)";
-        "sim ratio (min proc)";
-        "sim ratio (max proc)";
-        "exact chain ratio";
-      ]
-  in
-  List.iter
-    (fun n ->
-      let m = Runs.counter_metrics ~seed:(60 + n) ~n ~steps () in
+  let cell_of n =
+    Plan.cell (Printf.sprintf "n=%d" n) (fun () ->
+      let m = Runs.counter_metrics ~seed:(seed + 60 + n) ~n ~steps () in
       let w = Sim.Metrics.mean_system_latency m in
       let ratios =
         List.init n (fun i ->
@@ -44,13 +34,23 @@ let run ~quick =
           Runs.fmt (1. /. rate0 /. (float_of_int n *. w_exact))
         else "-"
       in
-      Stats.Table.add_row table
+      [
         [
           string_of_int n;
           Runs.fmt mean;
           Runs.fmt (List.fold_left Float.min infinity ratios);
           Runs.fmt (List.fold_left Float.max neg_infinity ratios);
           exact;
-        ])
-    [ 2; 4; 8; 16; 32 ];
-  table
+        ];
+      ])
+  in
+  Plan.of_rows
+    ~headers:
+      [
+        "n";
+        "sim ratio (mean)";
+        "sim ratio (min proc)";
+        "sim ratio (max proc)";
+        "exact chain ratio";
+      ]
+    (List.map cell_of [ 2; 4; 8; 16; 32 ])

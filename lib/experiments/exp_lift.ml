@@ -9,63 +9,70 @@ let notes =
   "flow and pi errors are numerical zeros for every family and every \
    n; state counts match the paper's formulas (3^n - 1, q^n, 2^n - 1)."
 
-let run ~quick =
-  let table =
-    Stats.Table.create
-      [ "family"; "n (or n,q)"; "lifted states"; "base states"; "flow err"; "pi err" ]
-  in
+(* Deterministic numerics: each (family, size) verification is one
+   cell producing its own row. *)
+let plan { Plan.quick; seed = _ } =
   let scu n =
-    let ind = Chains.Scu_chain.Individual.make ~n in
-    let sys = Chains.Scu_chain.System.make ~n in
-    let r =
-      Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain
-        ~f:(Chains.Scu_chain.lift ind sys) ()
-    in
-    Stats.Table.add_row table
-      [
-        "scu (Lemma 5)";
-        string_of_int n;
-        string_of_int ind.chain.size;
-        string_of_int sys.chain.size;
-        Runs.fmt r.max_flow_error;
-        Runs.fmt r.max_pi_error;
-      ]
+    Plan.cell (Printf.sprintf "scu:n=%d" n) (fun () ->
+        let ind = Chains.Scu_chain.Individual.make ~n in
+        let sys = Chains.Scu_chain.System.make ~n in
+        let r =
+          Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain
+            ~f:(Chains.Scu_chain.lift ind sys) ()
+        in
+        [
+          [
+            "scu (Lemma 5)";
+            string_of_int n;
+            string_of_int ind.chain.size;
+            string_of_int sys.chain.size;
+            Runs.fmt r.max_flow_error;
+            Runs.fmt r.max_pi_error;
+          ];
+        ])
   in
   let parallel (n, q) =
-    let ind = Chains.Parallel_chain.Individual.make ~n ~q in
-    let sys = Chains.Parallel_chain.System.make ~n ~q in
-    let r =
-      Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain
-        ~f:(Chains.Parallel_chain.lift ind sys) ()
-    in
-    Stats.Table.add_row table
-      [
-        "parallel (Lemma 10)";
-        Printf.sprintf "%d,%d" n q;
-        string_of_int ind.chain.size;
-        string_of_int sys.chain.size;
-        Runs.fmt r.max_flow_error;
-        Runs.fmt r.max_pi_error;
-      ]
+    Plan.cell (Printf.sprintf "parallel:n=%d,q=%d" n q) (fun () ->
+        let ind = Chains.Parallel_chain.Individual.make ~n ~q in
+        let sys = Chains.Parallel_chain.System.make ~n ~q in
+        let r =
+          Markov.Lifting.verify ~base:sys.chain ~lifted:ind.chain
+            ~f:(Chains.Parallel_chain.lift ind sys) ()
+        in
+        [
+          [
+            "parallel (Lemma 10)";
+            Printf.sprintf "%d,%d" n q;
+            string_of_int ind.chain.size;
+            string_of_int sys.chain.size;
+            Runs.fmt r.max_flow_error;
+            Runs.fmt r.max_pi_error;
+          ];
+        ])
   in
   let counter n =
-    let ind = Chains.Counter_chain.Individual.make ~n in
-    let glob = Chains.Counter_chain.Global.make ~n in
-    let r =
-      Markov.Lifting.verify ~base:glob.chain ~lifted:ind.chain
-        ~f:(Chains.Counter_chain.lift ind) ()
-    in
-    Stats.Table.add_row table
-      [
-        "counter (Lemma 13)";
-        string_of_int n;
-        string_of_int ind.chain.size;
-        string_of_int glob.chain.size;
-        Runs.fmt r.max_flow_error;
-        Runs.fmt r.max_pi_error;
-      ]
+    Plan.cell (Printf.sprintf "counter:n=%d" n) (fun () ->
+        let ind = Chains.Counter_chain.Individual.make ~n in
+        let glob = Chains.Counter_chain.Global.make ~n in
+        let r =
+          Markov.Lifting.verify ~base:glob.chain ~lifted:ind.chain
+            ~f:(Chains.Counter_chain.lift ind) ()
+        in
+        [
+          [
+            "counter (Lemma 13)";
+            string_of_int n;
+            string_of_int ind.chain.size;
+            string_of_int glob.chain.size;
+            Runs.fmt r.max_flow_error;
+            Runs.fmt r.max_pi_error;
+          ];
+        ])
   in
-  List.iter scu (if quick then [ 2; 3; 4 ] else [ 2; 3; 4; 5; 6; 7 ]);
-  List.iter parallel (if quick then [ (2, 2); (3, 3) ] else [ (2, 2); (3, 3); (4, 3); (2, 7) ]);
-  List.iter counter (if quick then [ 2; 4 ] else [ 2; 4; 6; 8; 10 ]);
-  table
+  Plan.of_rows
+    ~headers:
+      [ "family"; "n (or n,q)"; "lifted states"; "base states"; "flow err"; "pi err" ]
+    (List.map scu (if quick then [ 2; 3; 4 ] else [ 2; 3; 4; 5; 6; 7 ])
+    @ List.map parallel
+        (if quick then [ (2, 2); (3, 3) ] else [ (2, 2); (3, 3); (4, 3); (2, 7) ])
+    @ List.map counter (if quick then [ 2; 4 ] else [ 2; 4; 6; 8; 10 ]))

@@ -12,41 +12,65 @@ let notes =
    stack's contention exponent (~0.28 vs ~0.58); RCU's reader- \
    dominated workload stays nearly flat — readers are parallel code."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let steps = if quick then 200_000 else 800_000 in
   let ns = [ 2; 4; 8; 16; 32 ] in
-  let table =
-    Stats.Table.create
-      ([ "structure" ] @ List.map (fun n -> Printf.sprintf "W(n=%d)" n) ns @ [ "exponent" ])
+  let structures =
+    [
+      ("cas counter (SCU(0,1))", fun n -> (Scu.Counter.make ~n).spec);
+      ("treiber stack", fun n -> (Scu.Treiber.make ~n ()).spec);
+      ("elimination stack", fun n -> (Scu.Elimination_stack.make ~n ()).spec);
+      ("ms queue", fun n -> (Scu.Msqueue.make ~n ()).spec);
+      ( "rcu (3/4 readers)",
+        fun n -> (Scu.Rcu.make ~n ~readers:(max 1 (3 * n / 4)) ~block_size:4).spec );
+      ( "universal (k=4 state)",
+        fun n ->
+          (Scu.Universal.make ~n ~init:[| 0; 0; 0; 0 |]
+             ~apply:(fun ~proc ~op_index:_ st ->
+               let nxt = Array.copy st in
+               nxt.(0) <- st.(0) + 1;
+               nxt.(proc mod 4) <- nxt.(proc mod 4) + 1;
+               nxt))
+            .spec );
+      ("wait-free counter", fun n -> (Scu.Waitfree_counter.make ~n).spec);
+    ]
   in
-  let row name make =
-    let pts =
-      List.map
-        (fun n ->
-          let spec = make n in
-          let m = Runs.spec_metrics ~seed:(97 + n) ~n ~steps spec in
-          (float_of_int n, Sim.Metrics.mean_system_latency m))
-        ns
+  (* One cell per (structure, n); assemble regroups the flat payload
+     list into one row (plus power-law fit) per structure. *)
+  let cells =
+    List.concat_map
+      (fun (name, make) ->
+        List.map
+          (fun n ->
+            Plan.cell
+              (Printf.sprintf "%s:n=%d" (List.hd (String.split_on_char ' ' name)) n)
+              (fun () ->
+                let spec = make n in
+                let m = Runs.spec_metrics ~seed:(seed + 97 + n) ~n ~steps spec in
+                (float_of_int n, Sim.Metrics.mean_system_latency m)))
+          ns)
+      structures
+  in
+  let assemble payloads =
+    let width = List.length ns in
+    let rec chunk = function
+      | [] -> []
+      | rest ->
+          let pts = List.filteri (fun i _ -> i < width) rest in
+          let tail = List.filteri (fun i _ -> i >= width) rest in
+          pts :: chunk tail
     in
-    let fit = Stats.Regression.power_law pts in
-    Stats.Table.add_row table
-      ([ name ]
-      @ List.map (fun (_, w) -> Runs.fmt w) pts
-      @ [ Printf.sprintf "%.2f" fit.slope ])
+    List.map2
+      (fun (name, _) pts ->
+        let fit = Stats.Regression.power_law pts in
+        [ name ]
+        @ List.map (fun (_, w) -> Runs.fmt w) pts
+        @ [ Printf.sprintf "%.2f" fit.slope ])
+      structures (chunk payloads)
   in
-  row "cas counter (SCU(0,1))" (fun n -> (Scu.Counter.make ~n).spec);
-  row "treiber stack" (fun n -> (Scu.Treiber.make ~n ()).spec);
-  row "elimination stack" (fun n -> (Scu.Elimination_stack.make ~n ()).spec);
-  row "ms queue" (fun n -> (Scu.Msqueue.make ~n ()).spec);
-  row "rcu (3/4 readers)" (fun n ->
-      (Scu.Rcu.make ~n ~readers:(max 1 (3 * n / 4)) ~block_size:4).spec);
-  row "universal (k=4 state)" (fun n ->
-      (Scu.Universal.make ~n ~init:[| 0; 0; 0; 0 |]
-         ~apply:(fun ~proc ~op_index:_ st ->
-           let nxt = Array.copy st in
-           nxt.(0) <- st.(0) + 1;
-           nxt.(proc mod 4) <- nxt.(proc mod 4) + 1;
-           nxt))
-        .spec);
-  row "wait-free counter" (fun n -> (Scu.Waitfree_counter.make ~n).spec);
-  table
+  Plan.make
+    ~headers:
+      ([ "structure" ]
+      @ List.map (fun n -> Printf.sprintf "W(n=%d)" n) ns
+      @ [ "exponent" ])
+    ~cells ~assemble

@@ -17,21 +17,9 @@ let notes =
    read+CAS completes the counter's operation), and shrinks as theta \
    grows."
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let n = 4 in
   let steps = if quick then 150_000 else 1_000_000 in
-  let table =
-    Stats.Table.create
-      [
-        "theta";
-        "victim ops";
-        "victim mean gap";
-        "bound (1/theta)^2";
-        "victim max gap";
-        "others ops (mean)";
-        "system W";
-      ]
-  in
   let row theta =
     let sched =
       if theta = 0. then Sched.Scheduler.starver ~victim:0
@@ -39,7 +27,8 @@ let run ~quick =
     in
     let c = Scu.Counter.make ~n in
     let m =
-      Runs.spec_metrics ~seed:51 ~scheduler:sched ~record_samples:true ~n ~steps c.spec
+      Runs.spec_metrics ~seed:(seed + 51) ~scheduler:sched ~record_samples:true ~n
+        ~steps c.spec
     in
     let victim = Sim.Metrics.completions_of m 0 in
     let gaps = Sim.Metrics.individual_latency m 0 in
@@ -54,7 +43,7 @@ let run ~quick =
       /. float_of_int (n - 1)
     in
     let show v = if Float.is_nan v then "inf" else Runs.fmt v in
-    Stats.Table.add_row table
+    [
       [
         Runs.fmt theta;
         string_of_int victim;
@@ -63,7 +52,21 @@ let run ~quick =
         show max_gap;
         Runs.fmt others;
         Runs.fmt (Sim.Metrics.mean_system_latency m);
-      ]
+      ];
+    ]
   in
-  List.iter row [ 0.; 0.001; 0.01; 0.05; 0.1; 0.25 ];
-  table
+  Plan.of_rows
+    ~headers:
+      [
+        "theta";
+        "victim ops";
+        "victim mean gap";
+        "bound (1/theta)^2";
+        "victim max gap";
+        "others ops (mean)";
+        "system W";
+      ]
+    (List.map
+       (fun theta ->
+         Plan.cell (Printf.sprintf "theta=%g" theta) (fun () -> row theta))
+       [ 0.; 0.001; 0.01; 0.05; 0.1; 0.25 ])

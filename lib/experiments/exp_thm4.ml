@@ -28,57 +28,63 @@ let notes =
 
 let ns = [ 4; 8; 16; 32; 64 ]
 
-let measure ~steps ~q ~s n =
-  let p = Scu.Scu_pattern.make ~n ~q ~s in
-  let m = Runs.spec_metrics ~seed:((q * 100) + (s * 10) + n) ~n ~steps p.spec in
-  m
+(* Each (q, s) pair is one table row; the q = 0 rows double as the
+   baselines for the additivity column, so every (q, s, n) point is
+   one cell, measured exactly once. *)
+let grid = [ (0, 1); (0, 3); (5, 1); (5, 3); (20, 1); (20, 3) ]
 
-let run ~quick =
+let plan { Plan.quick; seed } =
   let steps = if quick then 200_000 else 1_000_000 in
-  let table =
-    Stats.Table.create
+  let points =
+    List.concat_map (fun (q, s) -> List.map (fun n -> (q, s, n)) ns) grid
+  in
+  let cells =
+    List.map
+      (fun (q, s, n) ->
+        Plan.cell (Printf.sprintf "q=%d,s=%d,n=%d" q s n) (fun () ->
+            let p = Scu.Scu_pattern.make ~n ~q ~s in
+            let m =
+              Runs.spec_metrics
+                ~seed:(seed + (q * 100) + (s * 10) + n)
+                ~n ~steps p.spec
+            in
+            let w = Sim.Metrics.mean_system_latency m in
+            let wi = Sim.Metrics.mean_individual_latency m 0 in
+            (w, wi /. (float_of_int n *. w))))
+      points
+  in
+  Plan.make
+    ~headers:
       ([ "q"; "s" ]
       @ List.map (fun n -> Printf.sprintf "W(n=%d)" n) ns
       @ [ "exp(W-q)"; "mean W-W(q=0)"; "mean Wi/(nW)" ])
-  in
-  (* Baselines at q = 0 for the additivity check. *)
-  let base = Hashtbl.create 16 in
-  List.iter
-    (fun s ->
-      List.iter
-        (fun n ->
-          let m = measure ~steps ~q:0 ~s n in
-          Hashtbl.replace base (s, n) (Sim.Metrics.mean_system_latency m))
-        ns)
-    [ 1; 3 ];
-  List.iter
-    (fun (q, s) ->
-      let ws =
-        List.map
-          (fun n ->
-            let m = measure ~steps ~q ~s n in
-            let w = Sim.Metrics.mean_system_latency m in
-            let wi = Sim.Metrics.mean_individual_latency m 0 in
-            (n, w, wi /. (float_of_int n *. w)))
-          ns
-      in
-      let fit =
-        Stats.Regression.power_law
-          (List.map (fun (n, w, _) -> (float_of_int n, Float.max 1e-9 (w -. float_of_int q))) ws)
-      in
-      let q_shift =
-        List.fold_left
-          (fun acc (n, w, _) -> acc +. (w -. Hashtbl.find base (s, n)))
-          0. ws
-        /. float_of_int (List.length ws)
-      in
-      let fairness =
-        List.fold_left (fun acc (_, _, r) -> acc +. r) 0. ws
-        /. float_of_int (List.length ws)
-      in
-      Stats.Table.add_row table
-        ([ string_of_int q; string_of_int s ]
-        @ List.map (fun (_, w, _) -> Runs.fmt w) ws
-        @ [ Printf.sprintf "%.2f" fit.slope; Runs.fmt q_shift; Runs.fmt fairness ]))
-    [ (0, 1); (0, 3); (5, 1); (5, 3); (20, 1); (20, 3) ];
-  table
+    ~cells
+    ~assemble:(fun payloads ->
+      let by_point = List.combine points payloads in
+      let w_of q s n = fst (List.assoc (q, s, n) by_point) in
+      List.map
+        (fun (q, s) ->
+          let ws =
+            List.map
+              (fun n -> (n, w_of q s n, snd (List.assoc (q, s, n) by_point)))
+              ns
+          in
+          let fit =
+            Stats.Regression.power_law
+              (List.map
+                 (fun (n, w, _) ->
+                   (float_of_int n, Float.max 1e-9 (w -. float_of_int q)))
+                 ws)
+          in
+          let q_shift =
+            List.fold_left (fun acc (n, w, _) -> acc +. (w -. w_of 0 s n)) 0. ws
+            /. float_of_int (List.length ws)
+          in
+          let fairness =
+            List.fold_left (fun acc (_, _, r) -> acc +. r) 0. ws
+            /. float_of_int (List.length ws)
+          in
+          [ string_of_int q; string_of_int s ]
+          @ List.map (fun (_, w, _) -> Runs.fmt w) ws
+          @ [ Printf.sprintf "%.2f" fit.slope; Runs.fmt q_shift; Runs.fmt fairness ])
+        grid)

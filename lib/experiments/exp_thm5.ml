@@ -10,45 +10,59 @@ let notes =
    the system chain, which drifts down slowly with n); third-range \
    phases vanish as n grows; exponent fit ~0.5."
 
-let run ~quick =
+(* One cell per n; the footer fits the exponent across all of them,
+   so the mean phase lengths travel in the payload. *)
+let plan { Plan.quick; seed } =
   let phases = if quick then 3_000 else 30_000 in
-  let table =
-    Stats.Table.create
-      [ "n"; "mean phase"; "phase/sqrt(n)"; "third-range %"; "exact chain W" ]
+  let ns = [ 16; 32; 64; 256; 1024; 4096 ] in
+  let cells =
+    List.map
+      (fun n ->
+        Plan.cell (Printf.sprintf "n=%d" n) (fun () ->
+            let g = Ballsbins.Game.create ~n in
+            let rng = Stats.Rng.create ~seed:(seed + 70 + n) in
+            (* warmup *)
+            for _ = 1 to phases / 10 do
+              ignore (Ballsbins.Game.run_phase g ~rng)
+            done;
+            let ps = Ballsbins.Game.run g ~rng ~phases in
+            let mean =
+              float_of_int
+                (List.fold_left (fun acc p -> acc + p.Ballsbins.Game.length) 0 ps)
+              /. float_of_int phases
+            in
+            let third =
+              float_of_int
+                (List.length
+                   (List.filter (fun p -> p.Ballsbins.Game.range = Third) ps))
+              /. float_of_int phases
+            in
+            (n, mean, third)))
+      ns
   in
-  let pts = ref [] in
-  List.iter
-    (fun n ->
-      let g = Ballsbins.Game.create ~n in
-      let rng = Stats.Rng.create ~seed:(70 + n) in
-      (* warmup *)
-      for _ = 1 to phases / 10 do
-        ignore (Ballsbins.Game.run_phase g ~rng)
-      done;
-      let ps = Ballsbins.Game.run g ~rng ~phases in
-      let mean =
-        float_of_int (List.fold_left (fun acc p -> acc + p.Ballsbins.Game.length) 0 ps)
-        /. float_of_int phases
+  Plan.make
+    ~headers:[ "n"; "mean phase"; "phase/sqrt(n)"; "third-range %"; "exact chain W" ]
+    ~cells
+    ~assemble:(fun payloads ->
+      let data_rows =
+        List.map
+          (fun (n, mean, third) ->
+            let exact =
+              if n <= 64 then Runs.fmt (Chains.Scu_chain.System.system_latency ~n)
+              else "-"
+            in
+            [
+              string_of_int n;
+              Runs.fmt mean;
+              Runs.fmt (mean /. sqrt (float_of_int n));
+              Runs.fmt_pct third;
+              exact;
+            ])
+          payloads
       in
-      let third =
-        float_of_int
-          (List.length (List.filter (fun p -> p.Ballsbins.Game.range = Third) ps))
-        /. float_of_int phases
+      let fit =
+        Stats.Regression.power_law
+          (List.map (fun (n, mean, _) -> (float_of_int n, mean)) payloads)
       in
-      pts := (float_of_int n, mean) :: !pts;
-      let exact =
-        if n <= 64 then Runs.fmt (Chains.Scu_chain.System.system_latency ~n) else "-"
-      in
-      Stats.Table.add_row table
-        [
-          string_of_int n;
-          Runs.fmt mean;
-          Runs.fmt (mean /. sqrt (float_of_int n));
-          Runs.fmt_pct third;
-          exact;
-        ])
-    [ 16; 32; 64; 256; 1024; 4096 ];
-  let fit = Stats.Regression.power_law (List.rev !pts) in
-  Stats.Table.add_row table
-    [ "exponent fit"; Printf.sprintf "%.3f (want ~0.5)" fit.slope; ""; ""; "" ];
-  table
+      data_rows
+      @ [ [ "exponent fit"; Printf.sprintf "%.3f (want ~0.5)" fit.slope; ""; ""; "" ] ])

@@ -1,0 +1,33 @@
+type budget = { quick : bool; seed : int }
+type row = string list
+type 'a cell = { label : string; work : unit -> 'a }
+
+type t =
+  | T : {
+      headers : row;
+      cells : 'a cell list;
+      assemble : 'a list -> row list;
+    }
+      -> t
+
+let cell label work = { label; work }
+let make ~headers ~cells ~assemble = T { headers; cells; assemble }
+let of_rows ~headers cells = T { headers; cells; assemble = List.concat }
+let labels (T p) = List.map (fun c -> c.label) p.cells
+let cell_count (T p) = List.length p.cells
+
+let thunks (T p) =
+  List.map (fun c -> (c.label, fun () -> ignore (c.work ()))) p.cells
+
+type runner = {
+  map : 'a. exp_id:string -> budget:budget -> 'a cell list -> 'a list;
+}
+
+let sequential =
+  { map = (fun ~exp_id:_ ~budget:_ cells -> List.map (fun c -> c.work ()) cells) }
+
+let table ?(runner = sequential) ~exp_id ~budget (T p) =
+  let payloads = runner.map ~exp_id ~budget p.cells in
+  let tbl = Stats.Table.create p.headers in
+  List.iter (Stats.Table.add_row tbl) (p.assemble payloads);
+  tbl

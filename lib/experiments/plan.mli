@@ -1,0 +1,72 @@
+(** Cell-based experiment plans.
+
+    Every experiment decomposes its work into independently runnable
+    {e cells}: a labelled, pure closure whose only inputs are the
+    {!budget} captured at plan-construction time (sample sizes and the
+    base RNG seed).  Cells share no mutable state, so a driver may run
+    them sequentially, fan them out across Domains, or serve them from
+    an on-disk cache — the assembled table is identical in every case,
+    because payloads are reassembled in cell (list) order.
+
+    The payload type of a cell is experiment-private: most cells yield
+    their own table rows directly ({!of_rows}), while experiments with
+    cross-cell aggregation (scaling a prediction to the first data
+    point, power-law fits over a sweep, baseline columns) return raw
+    measurements and build all rows in [assemble]. *)
+
+type budget = {
+  quick : bool;  (** Smaller sample sizes (smoke run). *)
+  seed : int;
+      (** Base seed; every cell derives its own RNG seed from it by a
+          fixed per-cell offset, so [seed = 0] reproduces the
+          historical hard-coded seeds exactly. *)
+}
+
+type row = string list
+
+type 'a cell = {
+  label : string;  (** Unique within one plan; part of the cache key. *)
+  work : unit -> 'a;  (** Pure: depends only on the captured budget. *)
+}
+
+type t =
+  | T : {
+      headers : row;
+      cells : 'a cell list;
+      assemble : 'a list -> row list;
+          (** Receives the payloads in cell order; returns every data
+              and footer row of the final table, in order. *)
+    }
+      -> t
+
+val cell : string -> (unit -> 'a) -> 'a cell
+
+val make :
+  headers:row -> cells:'a cell list -> assemble:('a list -> row list) -> t
+
+val of_rows : headers:row -> row list cell list -> t
+(** The common case: each cell contributes exactly its own rows and
+    [assemble] is [List.concat]. *)
+
+val labels : t -> string list
+val cell_count : t -> int
+
+val thunks : t -> (string * (unit -> unit)) list
+(** Label and fire-and-forget closure of every cell; used by the bench
+    harness to time cells without caring about payload types. *)
+
+type runner = {
+  map : 'a. exp_id:string -> budget:budget -> 'a cell list -> 'a list;
+}
+(** How to execute a batch of cells.  Implementations must return the
+    payloads in the same order as the cells (the Domain-pool runner in
+    [bin/repro] indexes jobs and reassembles; the cache runner fills
+    hits in place and delegates misses). *)
+
+val sequential : runner
+(** Runs every cell in the calling domain, in order — the reference
+    semantics every other runner must reproduce bit-for-bit. *)
+
+val table : ?runner:runner -> exp_id:string -> budget:budget -> t -> Stats.Table.t
+(** Execute the cells with [runner] (default {!sequential}) and
+    assemble the final table. *)

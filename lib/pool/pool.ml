@@ -1,0 +1,109 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  feed : Condition.t;  (* signalled when a job is queued or on shutdown *)
+  jobs : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_size () = max 1 (Domain.recommended_domain_count ())
+let size t = t.size
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.jobs && t.live do
+    Condition.wait t.feed t.mutex
+  done;
+  if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* shutdown *)
+  else begin
+    let job = Queue.pop t.jobs in
+    Mutex.unlock t.mutex;
+    job ();
+    worker t
+  end
+
+let create ?size:(n = default_size ()) () =
+  if n < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    {
+      size = n;
+      mutex = Mutex.create ();
+      feed = Condition.create ();
+      jobs = Queue.create ();
+      live = true;
+      workers = [||];
+    }
+  in
+  (* A pool of size 1 runs jobs in the caller's domain — exactly the
+     sequential semantics, with no domain spawned at all. *)
+  if n > 1 then t.workers <- Array.init n (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_live = t.live in
+  t.live <- false;
+  Condition.broadcast t.feed;
+  Mutex.unlock t.mutex;
+  if was_live then Array.iter Domain.join t.workers
+
+let now () = Unix.gettimeofday ()
+
+let run ?on_done t fs =
+  let fs = Array.of_list fs in
+  let n = Array.length fs in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let finish i dt =
+    match on_done with Some f -> (try f ~index:i ~elapsed:dt with _ -> ()) | None -> ()
+  in
+  if t.size = 1 then
+    Array.iteri
+      (fun i f ->
+        let t0 = now () in
+        (try results.(i) <- Some (f ())
+         with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        finish i (now () -. t0))
+      fs
+  else begin
+    let remaining = ref n in
+    let drained = Condition.create () in
+    Mutex.lock t.mutex;
+    if not t.live then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    Array.iteri
+      (fun i f ->
+        Queue.push
+          (fun () ->
+            let t0 = now () in
+            (try results.(i) <- Some (f ())
+             with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+            let dt = now () -. t0 in
+            Mutex.lock t.mutex;
+            finish i dt;
+            decr remaining;
+            if !remaining = 0 then Condition.signal drained;
+            Mutex.unlock t.mutex)
+          t.jobs)
+      fs;
+    Condition.broadcast t.feed;
+    while !remaining > 0 do
+      Condition.wait drained t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  Array.to_list (Array.map Option.get results)
+
+let map ?on_done t f xs = run ?on_done t (List.map (fun x () -> f x) xs)
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

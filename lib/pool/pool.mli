@@ -1,0 +1,56 @@
+(** Fixed-size Domain pool with a FIFO work queue and deterministic
+    result ordering.
+
+    [run] submits an indexed batch of jobs; workers pull jobs in
+    submission order (which worker runs which job is scheduling-
+    dependent), results are written into per-index slots and returned
+    in submission order.  Jobs must therefore be pure — or at least
+    independent — for the output to be execution-order independent;
+    the experiment cells of {!Experiments.Plan} are designed to be
+    exactly that.
+
+    A pool of size 1 spawns no domains and runs every job in the
+    caller's domain, in order: byte-for-byte the sequential
+    behaviour, which makes `-j 1` the reference the parallel runs are
+    checked against. *)
+
+type t
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count ()], i.e. the machine's cores. *)
+
+val create : ?size:int -> unit -> t
+(** Spawns [size] worker domains (default {!default_size}; size 1
+    spawns none).  Raises [Invalid_argument] for [size < 1]. *)
+
+val size : t -> int
+
+val run :
+  ?on_done:(index:int -> elapsed:float -> unit) ->
+  t ->
+  (unit -> 'a) list ->
+  'a list
+(** Execute the jobs, return their results in submission order.
+    [on_done] fires once per job with its index and wall-clock
+    seconds, serialized under the pool lock (safe to print from).  If
+    any job raised, the whole batch still runs to completion, then the
+    first-submitted failure is re-raised with its backtrace.  Raises
+    [Invalid_argument] after {!shutdown}.  Must not be called from
+    inside a job of the same pool (workers would deadlock waiting on
+    themselves). *)
+
+val map :
+  ?on_done:(index:int -> elapsed:float -> unit) ->
+  t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** [map t f xs = run t (List.map (fun x () -> f x) xs)]. *)
+
+val shutdown : t -> unit
+(** Drains nothing: pending batches must have completed ([run] blocks
+    until its batch is done, so this only matters for misuse).  Joins
+    every worker; idempotent. *)
+
+val with_pool : ?size:int -> (t -> 'b) -> 'b
+(** [create], run the callback, always [shutdown]. *)

@@ -38,7 +38,8 @@ let to_string t =
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
 let quote cell =
-  if String.contains cell ',' || String.contains cell '"' then
+  let needs_quoting = function ',' | '"' | '\n' | '\r' -> true | _ -> false in
+  if String.exists needs_quoting cell then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
   else cell
 

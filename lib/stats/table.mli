@@ -21,4 +21,6 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val to_csv : t -> string
-(** Comma-separated rendering (cells containing commas are quoted). *)
+(** Comma-separated rendering.  Cells containing commas, double
+    quotes, or CR/LF are quoted with embedded quotes doubled (RFC
+    4180), so labels like ["zipf, α=1.5"] round-trip. *)

@@ -26,6 +26,81 @@ let test_expected_catalogue () =
       "ext-tail"; "ext-backup"; "ext-replay"; "hw";
     ]
 
+let test_select () =
+  let ids sel = List.map (fun e -> e.Experiments.Exp.id) sel in
+  (match Experiments.Exp.select [ "fig5"; "thm4"; "fig5"; "lem7" ] with
+  | Ok sel ->
+      Alcotest.(check (list string))
+        "duplicates collapse, order kept" [ "fig5"; "thm4"; "lem7" ] (ids sel)
+  | Error e -> Alcotest.fail e);
+  (match Experiments.Exp.select [ "all" ] with
+  | Ok sel ->
+      Alcotest.(check int)
+        "all expands to the catalogue"
+        (List.length Experiments.Exp.all)
+        (List.length sel)
+  | Error e -> Alcotest.fail e);
+  match Experiments.Exp.select [ "fig1"; "nope" ] with
+  | Ok _ -> Alcotest.fail "unknown id accepted"
+  | Error msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "error names the id" true (contains msg "nope")
+
+let test_cell_labels_unique () =
+  let budget = Experiments.Exp.budget ~quick:true () in
+  List.iter
+    (fun (e : Experiments.Exp.t) ->
+      let labels = Experiments.Plan.labels (e.plan budget) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has cells" e.id)
+        true (labels <> []);
+      Alcotest.(check int)
+        (Printf.sprintf "%s labels unique" e.id)
+        (List.length labels)
+        (List.length (List.sort_uniq compare labels)))
+    Experiments.Exp.all
+
+(* Byte-identical tables whatever the runner, checked on cheap
+   experiments whose cells are pure functions of the budget (the
+   hardware-measuring ones — fig4, fig5, ext-replay, hw — are
+   measurements and excluded by design; see EXPERIMENTS.md). *)
+let deterministic_subset = [ "fig1"; "lem11"; "cor2"; "abl-of"; "ext-shard" ]
+
+let pool_runner pool =
+  {
+    Experiments.Plan.map =
+      (fun ~exp_id:_ ~budget:_ cells ->
+        Pool.run pool
+          (List.map (fun c () -> c.Experiments.Plan.work ()) cells));
+  }
+
+let test_pool_matches_sequential () =
+  let budget = Experiments.Exp.budget ~quick:true () in
+  Pool.with_pool ~size:4 (fun pool ->
+      List.iter
+        (fun id ->
+          let e = Option.get (Experiments.Exp.find id) in
+          let seq = Experiments.Exp.table ~budget e in
+          let par = Experiments.Exp.table ~runner:(pool_runner pool) ~budget e in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: pool table = sequential table" id)
+            (Stats.Table.to_string seq)
+            (Stats.Table.to_string par))
+        deterministic_subset)
+
+let test_seed_threads_through () =
+  let e = Option.get (Experiments.Exp.find "lem11") in
+  let at seed =
+    Stats.Table.to_string
+      (Experiments.Exp.table ~budget:(Experiments.Exp.budget ~quick:true ~seed ()) e)
+  in
+  Alcotest.(check string) "seed 0 is reproducible" (at 0) (at 0);
+  Alcotest.(check bool) "seed changes the samples" true (at 0 <> at 12345)
+
 let run_all_quick () =
   List.iter
     (fun e ->
@@ -50,6 +125,14 @@ let () =
           Alcotest.test_case "unique ids" `Quick test_ids_unique;
           Alcotest.test_case "find" `Quick test_find;
           Alcotest.test_case "expected ids" `Quick test_expected_catalogue;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "cell labels unique" `Quick test_cell_labels_unique;
+        ] );
+      ( "cells",
+        [
+          Alcotest.test_case "pool matches sequential" `Slow
+            test_pool_matches_sequential;
+          Alcotest.test_case "seed threads through" `Slow test_seed_threads_through;
         ] );
       ("smoke", [ Alcotest.test_case "all experiments run (quick)" `Slow run_all_quick ]);
     ]

@@ -1,0 +1,122 @@
+(* Tests for the Domain pool: deterministic result ordering whatever
+   the pool size, error propagation, and reuse across batches — the
+   properties `repro run -j N` relies on for byte-identical tables. *)
+
+let squares n = List.init n (fun i -> fun () -> i * i)
+
+let test_sequential_order () =
+  Pool.with_pool ~size:1 (fun p ->
+      Alcotest.(check (list int))
+        "size-1 pool returns results in submission order"
+        (List.init 40 (fun i -> i * i))
+        (Pool.run p (squares 40)))
+
+let test_parallel_order () =
+  Pool.with_pool ~size:4 (fun p ->
+      Alcotest.(check (list int))
+        "size-4 pool returns results in submission order"
+        (List.init 100 (fun i -> i * i))
+        (Pool.run p (squares 100)))
+
+let test_sizes_agree () =
+  (* Jobs with deliberately skewed durations: completion order differs
+     from submission order, results must not. *)
+  let jobs =
+    List.init 16 (fun i ->
+        fun () ->
+        let spin = if i mod 4 = 0 then 200_000 else 100 in
+        let acc = ref i in
+        for _ = 1 to spin do
+          acc := (!acc * 31) land 0xFFFF
+        done;
+        (i, !acc))
+  in
+  let seq = Pool.with_pool ~size:1 (fun p -> Pool.run p jobs) in
+  let par = Pool.with_pool ~size:4 (fun p -> Pool.run p jobs) in
+  Alcotest.(check bool) "-j1 and -j4 agree" true (seq = par)
+
+let test_map () =
+  Pool.with_pool ~size:3 (fun p ->
+      Alcotest.(check (list int))
+        "map preserves order" [ 2; 4; 6; 8 ]
+        (Pool.map p (fun x -> 2 * x) [ 1; 2; 3; 4 ]))
+
+let test_multiple_batches () =
+  Pool.with_pool ~size:2 (fun p ->
+      for k = 1 to 5 do
+        Alcotest.(check (list int))
+          "batch k" (List.init 10 (fun i -> i + k))
+          (Pool.run p (List.init 10 (fun i -> fun () -> i + k)))
+      done)
+
+let test_on_done_fires_per_job () =
+  Pool.with_pool ~size:2 (fun p ->
+      let seen = ref [] in
+      let _ =
+        Pool.run
+          ~on_done:(fun ~index ~elapsed:_ -> seen := index :: !seen)
+          p (squares 12)
+      in
+      Alcotest.(check (list int))
+        "every index reported exactly once"
+        (List.init 12 Fun.id)
+        (List.sort compare !seen))
+
+exception Boom of int
+
+let test_error_propagates () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun p ->
+          let jobs =
+            List.init 8 (fun i ->
+                fun () -> if i = 3 || i = 6 then raise (Boom i) else i)
+          in
+          Alcotest.check_raises
+            (Printf.sprintf "first failure re-raised (size %d)" size)
+            (Boom 3)
+            (fun () -> ignore (Pool.run p jobs));
+          (* The pool survives a failed batch. *)
+          Alcotest.(check (list int))
+            "pool usable after failure" [ 0; 1; 2 ]
+            (Pool.run p (List.init 3 (fun i -> fun () -> i)))))
+    [ 1; 4 ]
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~size:3 () in
+  Alcotest.(check int) "size" 3 (Pool.size p);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool is shut down") (fun () ->
+      ignore (Pool.run p (squares 2)))
+
+let test_invalid_size () =
+  Alcotest.check_raises "size 0 rejected"
+    (Invalid_argument "Pool.create: size must be >= 1") (fun () ->
+      ignore (Pool.create ~size:0 ()))
+
+let test_empty_batch () =
+  Pool.with_pool ~size:2 (fun p ->
+      Alcotest.(check (list int)) "empty batch" [] (Pool.run p []))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "sequential order" `Quick test_sequential_order;
+          Alcotest.test_case "parallel order" `Quick test_parallel_order;
+          Alcotest.test_case "j1 = j4 on skewed jobs" `Quick test_sizes_agree;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "batch reuse" `Quick test_multiple_batches;
+          Alcotest.test_case "on_done coverage" `Quick test_on_done_fires_per_job;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "error propagation" `Quick test_error_propagates;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "invalid size" `Quick test_invalid_size;
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+        ] );
+    ]

@@ -244,6 +244,23 @@ let test_table_pads_short_rows () =
   Alcotest.(check bool) "padded" true
     (List.exists (fun line -> line = "1,,") (String.split_on_char '\n' csv))
 
+let test_table_csv_quoting () =
+  let t = Stats.Table.create [ "label"; "value" ] in
+  Stats.Table.add_row t [ "plain"; "1" ];
+  Stats.Table.add_row t [ "a,b"; "with \"quotes\"" ];
+  Stats.Table.add_row t [ "line\nbreak"; "cr\rhere" ];
+  let lines = String.split_on_char '\n' (Stats.Table.to_csv t) in
+  Alcotest.(check bool) "plain cells unquoted" true (List.mem "plain,1" lines);
+  Alcotest.(check bool)
+    "comma and quote cells escaped per RFC 4180" true
+    (List.mem "\"a,b\",\"with \"\"quotes\"\"\"" lines);
+  (* The embedded newline splits the physical line but stays inside one
+     quoted field. *)
+  Alcotest.(check bool) "newline cell opens quoted field" true
+    (List.mem "\"line" lines);
+  Alcotest.(check bool) "newline cell closes quoted field" true
+    (List.mem "break\",\"cr\rhere\"" lines)
+
 let test_histogram_edges () =
   let h = Stats.Histogram.create ~lo:0. ~hi:1. ~bins:2 in
   Alcotest.(check (option int)) "lower edge in bin 0" (Some 0) (Stats.Histogram.bin_of h 0.);
@@ -310,6 +327,7 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "rejects wide row" `Quick test_table_rejects_wide_row;
           Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "csv quoting" `Quick test_table_csv_quoting;
         ] );
       ("vec", [ Alcotest.test_case "growth" `Quick test_vec_growth ]);
     ]
