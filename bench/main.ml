@@ -43,6 +43,7 @@ let timing_pass () =
   let instances = Instance.[ monotonic_clock ] in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let table = Stats.Table.create [ "kernel"; "time/run"; "r^2" ] in
+  let timings = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
@@ -58,11 +59,44 @@ let timing_pass () =
             else if time_ns >= 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
             else Printf.sprintf "%.1f us" (time_ns /. 1e3)
           in
+          timings := (name, time_ns /. 1e9) :: !timings;
           Stats.Table.add_row table [ name; pretty; Printf.sprintf "%.4f" r2 ])
         analyzed)
     tests;
   print_string (Stats.Table.to_string table);
-  print_endline ""
+  print_endline "";
+  List.rev !timings
+
+(* `bench.exe --json FILE` additionally dumps the timing pass through
+   the shared bench-JSON schema, one pseudo-experiment per kernel
+   (Bechamel's per-run OLS estimate, not a plain wall-clock, hence the
+   separate "bechamel:" id prefix). *)
+let json_out () =
+  let rec find = function
+    | "--json" :: file :: _ -> Some file
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let write_json file timings =
+  let experiments =
+    List.map
+      (fun (name, seconds) ->
+        {
+          Telemetry.Bench.id = "bechamel:" ^ name;
+          title = "Bechamel kernel " ^ name;
+          cells = [ { Telemetry.Bench.label = "time/run"; seconds } ];
+          total = seconds;
+        })
+      timings
+  in
+  let doc =
+    Telemetry.Bench.make ~quick:true ~seed:Experiments.Exp.default_seed ~repeat:1
+      experiments
+  in
+  Telemetry.Bench.write ~file doc;
+  Printf.eprintf "bench json: %s\n%!" file
 
 let reproduction_pass () =
   print_endline
@@ -75,5 +109,6 @@ let reproduction_pass () =
     Experiments.Exp.all
 
 let () =
-  timing_pass ();
+  let timings = timing_pass () in
+  Option.iter (fun file -> write_json file timings) (json_out ());
   reproduction_pass ()

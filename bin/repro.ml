@@ -7,7 +7,12 @@
    `repro run fig5 --csv`      - CSV output for plotting
    `repro run all -j 8`        - fan cells out over 8 worker domains
    `repro run all --seed 7`    - re-derive every cell's RNG seed from 7
-   `repro run all --cache`     - serve/persist cell results in results/cache *)
+   `repro run all --cache`     - serve/persist cell results in results/cache
+   `repro bench`               - time every quick cell, write BENCH_<date>.json
+
+   Every `run` also writes a JSON manifest (per-cell timings, worker
+   ids, cache hit/miss, pool skew) under results/runs/ — tables on
+   stdout are unaffected, so -j1 and -jN stay byte-identical. *)
 
 open Cmdliner
 
@@ -48,7 +53,14 @@ let progress_flag =
     value & flag
     & info [ "no-progress" ] ~doc:"Suppress the per-cell progress lines on stderr.")
 
+let no_manifest_flag =
+  Arg.(
+    value & flag
+    & info [ "no-manifest" ]
+        ~doc:"Do not write the per-run JSON manifest under results/runs/.")
+
 let cache_dir = "results/cache"
+let runs_dir = Filename.concat "results" "runs"
 
 let list_cmd =
   let doc = "List all experiments with their paper artifacts." in
@@ -79,8 +91,13 @@ let write_csv dir (e : Experiments.Exp.t) table =
 
 (* A Plan runner backed by the domain pool, with optional per-cell
    progress lines ([on_done] is serialized under the pool lock, so
-   printing is safe). *)
-let pool_runner ~progress pool =
+   printing is safe) and per-cell manifest records.  Misses reach the
+   pool, so their cache status is Miss when the cache layer sits above
+   us and Off otherwise; hits are recorded by the cache layer itself. *)
+let pool_runner ~progress ~manifest ~cache_enabled pool =
+  let cache_status =
+    if cache_enabled then Telemetry.Manifest.Miss else Telemetry.Manifest.Off
+  in
   {
     Experiments.Plan.map =
       (fun ~exp_id ~budget:_ cells ->
@@ -89,11 +106,13 @@ let pool_runner ~progress pool =
         in
         let total = Array.length labels in
         let finished = ref 0 in
-        let on_done ~index ~elapsed =
+        let on_done ~index ~worker ~waited ~elapsed =
+          Telemetry.Manifest.record_cell manifest ~exp_id ~label:labels.(index)
+            ~worker ~waited ~elapsed ~cache:cache_status;
           if progress then begin
             incr finished;
-            Printf.eprintf "  [%s] %s: %.2fs (%d/%d)\n%!" exp_id labels.(index)
-              elapsed !finished total
+            Printf.eprintf "  [%s] %s: %.2fs w%d (%d/%d)\n%!" exp_id
+              labels.(index) elapsed worker !finished total
           end
         in
         Pool.run ~on_done pool
@@ -102,10 +121,12 @@ let pool_runner ~progress pool =
 
 (* Run each experiment exactly once, then feed every sink (stdout as
    text or CSV, plus the optional per-experiment CSV file). *)
-let run_experiment ~runner ~budget ~jobs ~csv ~out (e : Experiments.Exp.t) =
+let run_experiment ~runner ~manifest ~budget ~jobs ~csv ~out
+    (e : Experiments.Exp.t) =
   let t0 = Unix.gettimeofday () in
   let table = Experiments.Exp.table ~runner ~budget e in
   let dt = Unix.gettimeofday () -. t0 in
+  Telemetry.Manifest.record_experiment manifest ~id:e.id ~title:e.title ~elapsed:dt;
   Printf.eprintf "[%s] %d cells in %.2fs (j=%d)\n%!" e.id
     (Experiments.Plan.cell_count (e.plan budget))
     dt jobs;
@@ -132,7 +153,7 @@ let run_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"ID" ~doc:"Experiment ids (or 'all'), run in the order given.")
   in
-  let run ids quick seed jobs cache no_progress csv out =
+  let run ids quick seed jobs cache no_progress no_manifest csv out =
     if jobs < 1 then `Error (false, "-j must be at least 1")
     else
       match Experiments.Exp.select ids with
@@ -140,35 +161,163 @@ let run_cmd =
       | Ok exps ->
           let budget = Experiments.Exp.budget ~quick ~seed () in
           let progress = not no_progress in
+          let manifest =
+            Telemetry.Manifest.create
+              ~command:(List.tl (Array.to_list Sys.argv))
+              ~quick ~seed ~jobs ~cache_enabled:cache ()
+          in
+          let cache_stats = Experiments.Cache.create_stats () in
           let t0 = Unix.gettimeofday () in
           Pool.with_pool ~size:jobs (fun pool ->
-              let runner = pool_runner ~progress pool in
               let runner =
-                if cache then Experiments.Cache.runner ~dir:cache_dir ~inner:runner
+                pool_runner ~progress ~manifest ~cache_enabled:cache pool
+              in
+              let runner =
+                if cache then
+                  Experiments.Cache.runner ~stats:cache_stats
+                    ~on_hit:(fun ~exp_id ~label ->
+                      Telemetry.Manifest.record_cell manifest ~exp_id ~label
+                        ~worker:(-1) ~waited:0. ~elapsed:0.
+                        ~cache:Telemetry.Manifest.Hit)
+                    ~dir:cache_dir ~inner:runner ()
                 else runner
               in
               List.iter
                 (fun e ->
-                  run_experiment ~runner ~budget ~jobs ~csv ~out e;
+                  run_experiment ~runner ~manifest ~budget ~jobs ~csv ~out e;
                   print_newline ())
-                exps);
+                exps;
+              let m = Pool.metrics pool in
+              Telemetry.Manifest.set_pool manifest
+                ~queue_wait_total:m.Pool.queue_wait_total
+                (List.map
+                   (fun (w : Pool.worker_metrics) ->
+                     {
+                       Telemetry.Manifest.worker = w.worker;
+                       jobs = w.jobs;
+                       busy = w.busy;
+                     })
+                   m.Pool.workers));
+          let dt = Unix.gettimeofday () -. t0 in
+          Telemetry.Manifest.set_elapsed manifest dt;
+          if cache then begin
+            Telemetry.Manifest.set_cache_counters manifest
+              ~hits:cache_stats.hits ~misses:cache_stats.misses
+              ~stores:cache_stats.stores;
+            Printf.eprintf "cache: %d hit(s), %d miss(es), %d store(s)\n%!"
+              cache_stats.hits cache_stats.misses cache_stats.stores
+          end;
           Printf.eprintf "total: %d experiment(s) in %.2fs (j=%d)\n%!"
-            (List.length exps)
-            (Unix.gettimeofday () -. t0)
-            jobs;
+            (List.length exps) dt jobs;
+          if not no_manifest then begin
+            match Telemetry.Manifest.write ~dir:runs_dir manifest with
+            | path -> Printf.eprintf "manifest: %s\n%!" path
+            | exception Sys_error msg ->
+                Printf.eprintf "manifest: skipped (%s)\n%!" msg
+          end;
           `Ok ()
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
         (const run $ ids_arg $ quick $ seed_arg $ jobs_arg $ cache_flag
-       $ progress_flag $ csv $ out_dir))
+       $ progress_flag $ no_manifest_flag $ csv $ out_dir))
+
+(* `repro bench`: time every cell of the selected experiments'
+   plans sequentially (parallel timing would measure contention, not
+   the cells) and write one BENCH_<date>.json trajectory point. *)
+let bench_cmd =
+  let doc =
+    "Time the experiment cells and write a machine-readable BENCH JSON \
+     (the repository's perf trajectory; see EXPERIMENTS.md)."
+  in
+  let ids_arg =
+    Arg.(
+      value & pos_all string [ "all" ]
+      & info [] ~docv:"ID" ~doc:"Experiment ids to bench (default: all).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Output path (default: BENCH_<date>.json in the current directory).")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Run every cell $(docv) times and record the minimum (default 1).")
+  in
+  let full_flag =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Bench the full budgets instead of the quick ones (slow).")
+  in
+  let run ids seed repeat full out =
+    if repeat < 1 then `Error (false, "--repeat must be at least 1")
+    else
+      match Experiments.Exp.select ids with
+      | Error msg -> `Error (false, msg ^ "; try `repro list`")
+      | Ok exps ->
+          let budget = Experiments.Exp.budget ~quick:(not full) ~seed () in
+          let time_cell work =
+            let best = ref infinity in
+            for _ = 1 to repeat do
+              let t0 = Unix.gettimeofday () in
+              work ();
+              let dt = Unix.gettimeofday () -. t0 in
+              if dt < !best then best := dt
+            done;
+            !best
+          in
+          let experiments =
+            List.map
+              (fun (e : Experiments.Exp.t) ->
+                let cells =
+                  List.map
+                    (fun (label, work) ->
+                      let seconds = time_cell work in
+                      Printf.eprintf "  [%s] %s: %.3fs\n%!" e.id label seconds;
+                      { Telemetry.Bench.label; seconds })
+                    (Experiments.Plan.thunks (e.plan budget))
+                in
+                let total =
+                  List.fold_left
+                    (fun acc (c : Telemetry.Bench.cell) -> acc +. c.seconds)
+                    0. cells
+                in
+                Printf.eprintf "[%s] %d cell(s), %.2fs\n%!" e.id
+                  (List.length cells) total;
+                { Telemetry.Bench.id = e.id; title = e.title; cells; total })
+              exps
+          in
+          let doc =
+            Telemetry.Bench.make ~quick:(not full) ~seed ~repeat experiments
+          in
+          let file =
+            match out with
+            | Some f -> f
+            | None -> Telemetry.Bench.default_filename doc
+          in
+          (match Telemetry.Bench.write ~file doc with
+          | () ->
+              Printf.eprintf "bench: %d experiment(s), %.2fs total -> %s\n%!"
+                (List.length experiments)
+                (Telemetry.Bench.total doc)
+                file;
+              `Ok ()
+          | exception Sys_error msg -> `Error (false, "cannot write bench JSON: " ^ msg))
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(ret (const run $ ids_arg $ seed_arg $ repeat_arg $ full_flag $ out_arg))
 
 let main =
   let doc =
     "Reproduction harness for 'Are Lock-Free Concurrent Algorithms Practically \
      Wait-Free?' (Alistarh, Censor-Hillel, Shavit)"
   in
-  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd ]
+  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval main)

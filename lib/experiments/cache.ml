@@ -6,6 +6,10 @@
 
 let version = "cell-cache-1"
 
+type stats = { mutable hits : int; mutable misses : int; mutable stores : int }
+
+let create_stats () = { hits = 0; misses = 0; stores = 0 }
+
 let key ~exp_id ~(budget : Plan.budget) ~label =
   String.concat "\x00"
     [
@@ -37,18 +41,33 @@ let load file k =
           if stored <> k then None else Some (Marshal.from_channel ic))
     with _ -> None
 
+(* Temp names must be unique per writer: concurrent repro processes
+   (and, within one process, future concurrent stores) may flush the
+   same cell at once, and a shared <file>.tmp would interleave their
+   writes before the rename.  PID separates processes, the counter
+   separates writers within one. *)
+let tmp_counter = Atomic.make 0
+
 let store file k payload =
   mkdir_p (Filename.dirname file);
-  let tmp = file ^ ".tmp" in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
   let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      Marshal.to_channel oc k [];
-      Marshal.to_channel oc payload []);
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         Marshal.to_channel oc k [];
+         Marshal.to_channel oc payload [])
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   Sys.rename tmp file
 
-let runner ~dir ~(inner : Plan.runner) =
+let runner ?stats ?on_hit ~dir ~(inner : Plan.runner) () =
+  let count f = match stats with Some s -> f s | None -> () in
   {
     Plan.map =
       (fun ~exp_id ~budget cells ->
@@ -57,7 +76,13 @@ let runner ~dir ~(inner : Plan.runner) =
             (fun (c : _ Plan.cell) ->
               let k = key ~exp_id ~budget ~label:c.label in
               let file = path ~dir ~exp_id k in
-              (c, k, file, load file k))
+              let hit = load file k in
+              (match hit with
+              | Some _ ->
+                  count (fun s -> s.hits <- s.hits + 1);
+                  Option.iter (fun f -> f ~exp_id ~label:c.label) on_hit
+              | None -> count (fun s -> s.misses <- s.misses + 1));
+              (c, k, file, hit))
             cells
         in
         let misses =
@@ -75,7 +100,10 @@ let runner ~dir ~(inner : Plan.runner) =
                 match !fresh with
                 | payload :: rest ->
                     fresh := rest;
-                    (try store file k payload with Sys_error _ -> ());
+                    (try
+                       store file k payload;
+                       count (fun s -> s.stores <- s.stores + 1)
+                     with Sys_error _ -> ());
                     payload
                 | [] -> invalid_arg "Cache.runner: inner runner dropped results"))
           keyed)

@@ -9,13 +9,35 @@
     functions, so caching additionally pins their values, which is
     exactly what makes repeated [-j N] runs byte-identical.
 
+    Writes go through a per-writer unique temp file ([<file>.<pid>.<k>.tmp])
+    renamed into place, so concurrent [repro] processes sharing one
+    cache directory cannot corrupt each other's in-flight entries —
+    last rename wins, and both writers produce the same bytes anyway.
+
     The cache is versioned but not self-describing: payload shapes are
     experiment-private OCaml values, so bump {!version} (or delete
     [results/cache/]) when changing any cell's payload type. *)
 
 val version : string
 
-val runner : dir:string -> inner:Plan.runner -> Plan.runner
+type stats = { mutable hits : int; mutable misses : int; mutable stores : int }
+(** Counters for one runner's lifetime: [hits] + [misses] = cells
+    requested, [stores] = fresh results persisted ([stores <= misses];
+    they differ only when a write failed and degraded to a skip). *)
+
+val create_stats : unit -> stats
+
+val runner :
+  ?stats:stats ->
+  ?on_hit:(exp_id:string -> label:string -> unit) ->
+  dir:string ->
+  inner:Plan.runner ->
+  unit ->
+  Plan.runner
 (** A runner that serves hits from [dir] and delegates the misses — in
     cell order — to [inner], persisting fresh results as they return.
-    I/O errors degrade to cache misses (reads) or skipped writes. *)
+    I/O errors degrade to cache misses (reads) or skipped writes.
+    [stats] is bumped as cells are looked up and stored; [on_hit]
+    fires per served cell (misses are observable downstream by
+    [inner], e.g. a pool runner's [on_done]).  Both run in the calling
+    domain. *)

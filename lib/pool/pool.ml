@@ -1,16 +1,37 @@
+(* Queued jobs carry their enqueue timestamp so the worker that pops
+   them can account queue-wait time, and receive the popping worker's
+   index so per-worker metrics and the on_done callback can attribute
+   the work. *)
+type job = { enqueued : float; run : worker:int -> waited:float -> unit }
+
+type worker_metrics = { worker : int; jobs : int; busy : float }
+
+type metrics = {
+  workers : worker_metrics list;
+  jobs_total : int;
+  busy_total : float;
+  queue_wait_total : float;
+}
+
 type t = {
   size : int;
   mutex : Mutex.t;
   feed : Condition.t;  (* signalled when a job is queued or on shutdown *)
-  jobs : (unit -> unit) Queue.t;
+  jobs : job Queue.t;
   mutable live : bool;
   mutable workers : unit Domain.t array;
+  (* Telemetry, all guarded by [mutex].  Worker 0 of a size-1 pool is
+     the caller's domain. *)
+  jobs_done : int array;
+  busy : float array;
+  mutable wait_total : float;
 }
 
 let default_size () = max 1 (Domain.recommended_domain_count ())
 let size t = t.size
+let now () = Unix.gettimeofday ()
 
-let rec worker t =
+let rec worker t i =
   Mutex.lock t.mutex;
   while Queue.is_empty t.jobs && t.live do
     Condition.wait t.feed t.mutex
@@ -18,9 +39,11 @@ let rec worker t =
   if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* shutdown *)
   else begin
     let job = Queue.pop t.jobs in
+    let waited = now () -. job.enqueued in
+    t.wait_total <- t.wait_total +. waited;
     Mutex.unlock t.mutex;
-    job ();
-    worker t
+    job.run ~worker:i ~waited;
+    worker t i
   end
 
 let create ?size:(n = default_size ()) () =
@@ -33,11 +56,14 @@ let create ?size:(n = default_size ()) () =
       jobs = Queue.create ();
       live = true;
       workers = [||];
+      jobs_done = Array.make n 0;
+      busy = Array.make n 0.;
+      wait_total = 0.;
     }
   in
   (* A pool of size 1 runs jobs in the caller's domain — exactly the
      sequential semantics, with no domain spawned at all. *)
-  if n > 1 then t.workers <- Array.init n (fun _ -> Domain.spawn (fun () -> worker t));
+  if n > 1 then t.workers <- Array.init n (fun i -> Domain.spawn (fun () -> worker t i));
   t
 
 let shutdown t =
@@ -48,24 +74,56 @@ let shutdown t =
   Mutex.unlock t.mutex;
   if was_live then Array.iter Domain.join t.workers
 
-let now () = Unix.gettimeofday ()
+let metrics t =
+  Mutex.lock t.mutex;
+  let workers =
+    List.init t.size (fun i ->
+        { worker = i; jobs = t.jobs_done.(i); busy = t.busy.(i) })
+  in
+  let queue_wait_total = t.wait_total in
+  Mutex.unlock t.mutex;
+  {
+    workers;
+    jobs_total =
+      List.fold_left (fun acc (w : worker_metrics) -> acc + w.jobs) 0 workers;
+    busy_total =
+      List.fold_left (fun acc (w : worker_metrics) -> acc +. w.busy) 0. workers;
+    queue_wait_total;
+  }
 
 let run ?on_done t fs =
   let fs = Array.of_list fs in
   let n = Array.length fs in
   let results = Array.make n None in
   let errors = Array.make n None in
-  let finish i dt =
-    match on_done with Some f -> (try f ~index:i ~elapsed:dt with _ -> ()) | None -> ()
+  let finish i ~worker ~waited dt =
+    match on_done with
+    | Some f -> ( try f ~index:i ~worker ~waited ~elapsed:dt with _ -> ())
+    | None -> ()
   in
-  if t.size = 1 then
+  (* Busy/job accounting shared by both execution paths; caller must
+     hold [t.mutex]. *)
+  let account ~worker dt =
+    t.jobs_done.(worker) <- t.jobs_done.(worker) + 1;
+    t.busy.(worker) <- t.busy.(worker) +. dt
+  in
+  if t.size = 1 then begin
+    Mutex.lock t.mutex;
+    let live = t.live in
+    Mutex.unlock t.mutex;
+    if not live then invalid_arg "Pool.run: pool is shut down";
     Array.iteri
       (fun i f ->
         let t0 = now () in
         (try results.(i) <- Some (f ())
          with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-        finish i (now () -. t0))
+        let dt = now () -. t0 in
+        Mutex.lock t.mutex;
+        account ~worker:0 dt;
+        Mutex.unlock t.mutex;
+        finish i ~worker:0 ~waited:0. dt)
       fs
+  end
   else begin
     let remaining = ref n in
     let drained = Condition.create () in
@@ -74,19 +132,25 @@ let run ?on_done t fs =
       Mutex.unlock t.mutex;
       invalid_arg "Pool.run: pool is shut down"
     end;
+    let submitted = now () in
     Array.iteri
       (fun i f ->
         Queue.push
-          (fun () ->
-            let t0 = now () in
-            (try results.(i) <- Some (f ())
-             with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-            let dt = now () -. t0 in
-            Mutex.lock t.mutex;
-            finish i dt;
-            decr remaining;
-            if !remaining = 0 then Condition.signal drained;
-            Mutex.unlock t.mutex)
+          {
+            enqueued = submitted;
+            run =
+              (fun ~worker ~waited ->
+                let t0 = now () in
+                (try results.(i) <- Some (f ())
+                 with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+                let dt = now () -. t0 in
+                Mutex.lock t.mutex;
+                account ~worker dt;
+                finish i ~worker ~waited dt;
+                decr remaining;
+                if !remaining = 0 then Condition.signal drained;
+                Mutex.unlock t.mutex);
+          }
           t.jobs)
       fs;
     Condition.broadcast t.feed;

@@ -25,22 +25,46 @@ val create : ?size:int -> unit -> t
 
 val size : t -> int
 
+type worker_metrics = {
+  worker : int;  (** Worker index; 0 is the caller's domain at size 1. *)
+  jobs : int;  (** Jobs completed by this worker since [create]. *)
+  busy : float;  (** Wall-clock seconds spent inside job bodies. *)
+}
+
+type metrics = {
+  workers : worker_metrics list;  (** One entry per worker, in index order. *)
+  jobs_total : int;
+  busy_total : float;
+  queue_wait_total : float;
+      (** Seconds jobs spent queued before a worker picked them up,
+          summed over all jobs; always 0 at size 1 (jobs never queue). *)
+}
+
+val metrics : t -> metrics
+(** Cumulative since [create], across batches.  Scheduling skew shows
+    up as unequal [jobs]/[busy] across workers; a large
+    [queue_wait_total] relative to [busy_total] means the pool is
+    undersized for the batch.  Must not be called from inside an
+    [on_done] callback (it takes the pool lock the callback already
+    holds). *)
+
 val run :
-  ?on_done:(index:int -> elapsed:float -> unit) ->
+  ?on_done:(index:int -> worker:int -> waited:float -> elapsed:float -> unit) ->
   t ->
   (unit -> 'a) list ->
   'a list
 (** Execute the jobs, return their results in submission order.
-    [on_done] fires once per job with its index and wall-clock
-    seconds, serialized under the pool lock (safe to print from).  If
-    any job raised, the whole batch still runs to completion, then the
+    [on_done] fires once per job with its index, the worker that ran
+    it, its queue-wait and its wall-clock seconds, serialized under
+    the pool lock (safe to print from, but see {!metrics}).  If any
+    job raised, the whole batch still runs to completion, then the
     first-submitted failure is re-raised with its backtrace.  Raises
-    [Invalid_argument] after {!shutdown}.  Must not be called from
-    inside a job of the same pool (workers would deadlock waiting on
-    themselves). *)
+    [Invalid_argument] after {!shutdown} — at every pool size,
+    including 1.  Must not be called from inside a job of the same
+    pool (workers would deadlock waiting on themselves). *)
 
 val map :
-  ?on_done:(index:int -> elapsed:float -> unit) ->
+  ?on_done:(index:int -> worker:int -> waited:float -> elapsed:float -> unit) ->
   t ->
   ('a -> 'b) ->
   'a list ->

@@ -42,7 +42,14 @@ let record_both ~domains ~steps_per_domain =
         (fun k s -> stamped.((domain * steps_per_domain) + k) <- (s, domain, k))
         stamps)
     results;
-  Array.sort compare stamped;
+  Array.sort
+    (fun (s1, d1, k1) (s2, d2, k2) ->
+      let c = Float.compare s1 s2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare d1 d2 in
+        if c <> 0 then c else Int.compare k1 k2)
+    stamped;
   let by_stamp = Array.map (fun (_, domain, _) -> domain) stamped in
   (* Agreement: fraction of positions where the two recovered orders
      name the same domain. *)

@@ -2,8 +2,12 @@ type t = float array
 
 let of_array a =
   if Array.length a = 0 then invalid_arg "Ecdf.of_array: empty sample";
+  if Array.exists Float.is_nan a then invalid_arg "Ecdf.of_array: NaN in sample";
   let b = Array.copy a in
-  Array.sort compare b;
+  (* Float.compare, not polymorphic compare: the latter boxes every
+     element and totally-orders NaN inconsistently with the (<=)
+     comparisons in [cdf]/[quantile]. *)
+  Array.sort Float.compare b;
   b
 
 let size = Array.length

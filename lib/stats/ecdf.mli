@@ -6,8 +6,10 @@
 type t
 
 val of_array : float array -> t
-(** Copies and sorts the sample.  Raises [Invalid_argument] on an empty
-    array. *)
+(** Copies and sorts the sample ([Float.compare]).  Raises
+    [Invalid_argument] on an empty array or if any element is NaN —
+    quantiles of a sample containing NaN are meaningless, and a NaN
+    would otherwise silently poison the order statistics. *)
 
 val size : t -> int
 

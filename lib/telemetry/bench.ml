@@ -1,0 +1,74 @@
+type cell = { label : string; seconds : float }
+
+type experiment = { id : string; title : string; cells : cell list; total : float }
+
+type t = {
+  date : string;
+  version : string;
+  quick : bool;
+  seed : int;
+  repeat : int;
+  experiments : experiment list;
+}
+
+let schema = "repro-bench/1"
+
+let date_of now =
+  let tm = Unix.localtime now in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let default_filename t = Printf.sprintf "BENCH_%s.json" t.date
+
+let make ?now ?version ~quick ~seed ~repeat experiments =
+  {
+    date = date_of (match now with Some f -> f | None -> Unix.gettimeofday ());
+    version =
+      (match version with Some v -> v | None -> Manifest.git_describe ());
+    quick;
+    seed;
+    repeat;
+    experiments;
+  }
+
+let total t = List.fold_left (fun acc e -> acc +. e.total) 0. t.experiments
+
+let to_json t =
+  let cell c =
+    Json.Obj [ ("label", Json.Str c.label); ("seconds", Json.Float c.seconds) ]
+  in
+  let experiment e =
+    Json.Obj
+      [
+        ("id", Json.Str e.id);
+        ("title", Json.Str e.title);
+        ("total_s", Json.Float e.total);
+        ("cells", Json.List (List.map cell e.cells));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("date", Json.Str t.date);
+      ("version", Json.Str t.version);
+      ("budget", Json.Obj [ ("quick", Json.Bool t.quick); ("seed", Json.Int t.seed) ]);
+      ("repeat", Json.Int t.repeat);
+      ("total_s", Json.Float (total t));
+      ("experiments", Json.List (List.map experiment t.experiments));
+    ]
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write ~file t =
+  let dir = Filename.dirname file in
+  if dir <> "." then mkdir_p dir;
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')

@@ -1,0 +1,47 @@
+(** Minimal JSON tree, emitter and parser — no external dependencies.
+
+    The telemetry layer writes run manifests and bench trajectories as
+    JSON so external tooling (CI, plotting scripts) can consume them;
+    the parser exists so the test suite and the CLI can validate their
+    own output without adding a JSON package to the build.
+
+    Scope: the full JSON value grammar, UTF-8 text, [\uXXXX] escapes
+    for the basic multilingual plane (surrogate pairs are decoded
+    pairwise).  Numbers are emitted with enough digits to round-trip a
+    [float]; non-finite floats have no JSON representation and are
+    emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?compact:bool -> t -> string
+(** Serialize.  Default is pretty-printed (two-space indent, one
+    key/element per line) — manifests are meant to be read by humans
+    too; [~compact:true] emits a single line. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error).  Errors carry a byte offset and a short
+    description. *)
+
+val parse_exn : string -> t
+(** [parse], raising [Failure] on malformed input. *)
+
+(** Accessors for tests and validation: all return [None] on a type
+    mismatch rather than raising. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)]: first binding of [key]. *)
+
+val to_list : t -> t list option
+val to_str : t -> string option
+val to_float : t -> float option
+(** [Int] values coerce to float; [Float] values pass through. *)
+
+val to_int : t -> int option

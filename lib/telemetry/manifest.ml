@@ -1,0 +1,199 @@
+type cache_status = Hit | Miss | Off
+
+type cell = {
+  exp_id : string;
+  label : string;
+  worker : int;
+  waited : float;
+  elapsed : float;
+  cache : cache_status;
+}
+
+type worker_stat = { worker : int; jobs : int; busy : float }
+
+type experiment = { id : string; title : string; elapsed : float }
+
+type t = {
+  mutex : Mutex.t;
+  started : float;
+  command : string list;
+  version : string;
+  quick : bool;
+  seed : int;
+  jobs : int;
+  cache_enabled : bool;
+  mutable cells_rev : cell list;
+  mutable experiments_rev : experiment list;
+  mutable pool_workers : worker_stat list;
+  mutable queue_wait_total : float;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_stores : int;
+  mutable total_elapsed : float;
+}
+
+let schema = "repro-run-manifest/1"
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let create ?now ?version ~command ~quick ~seed ~jobs ~cache_enabled () =
+  {
+    mutex = Mutex.create ();
+    started = (match now with Some f -> f | None -> Unix.gettimeofday ());
+    command;
+    version = (match version with Some v -> v | None -> git_describe ());
+    quick;
+    seed;
+    jobs;
+    cache_enabled;
+    cells_rev = [];
+    experiments_rev = [];
+    pool_workers = [];
+    queue_wait_total = 0.;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_stores = 0;
+    total_elapsed = 0.;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record_cell t ~exp_id ~label ~worker ~waited ~elapsed ~cache =
+  locked t (fun () ->
+      t.cells_rev <- { exp_id; label; worker; waited; elapsed; cache } :: t.cells_rev)
+
+let record_experiment t ~id ~title ~elapsed =
+  locked t (fun () -> t.experiments_rev <- { id; title; elapsed } :: t.experiments_rev)
+
+let set_pool t ~queue_wait_total workers =
+  locked t (fun () ->
+      t.pool_workers <- workers;
+      t.queue_wait_total <- queue_wait_total)
+
+let set_cache_counters t ~hits ~misses ~stores =
+  locked t (fun () ->
+      t.cache_hits <- hits;
+      t.cache_misses <- misses;
+      t.cache_stores <- stores)
+
+let set_elapsed t dt = locked t (fun () -> t.total_elapsed <- dt)
+let cells t = locked t (fun () -> List.rev t.cells_rev)
+
+(* <YYYYMMDD-HHMMSS>-<ids>-p<pid>: sortable by start time, readable,
+   and collision-free across concurrent runs on one machine. *)
+let run_id t =
+  let tm = Unix.localtime t.started in
+  let stamp =
+    Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let ids =
+    locked t (fun () -> List.rev_map (fun e -> e.id) t.experiments_rev)
+  in
+  let slug =
+    match ids with
+    | [] -> "run"
+    | ids ->
+        let joined = String.concat "+" ids in
+        let sanitized =
+          String.map
+            (fun c ->
+              match c with
+              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '+' -> c
+              | _ -> '_')
+            joined
+        in
+        if String.length sanitized <= 48 then sanitized
+        else String.sub sanitized 0 48
+  in
+  Printf.sprintf "%s-%s-p%d" stamp slug (Unix.getpid ())
+
+let cache_status_str = function Hit -> "hit" | Miss -> "miss" | Off -> "off"
+
+let to_json t =
+  let cell c =
+    Json.Obj
+      [
+        ("exp", Json.Str c.exp_id);
+        ("label", Json.Str c.label);
+        ("worker", Json.Int c.worker);
+        ("queue_wait_s", Json.Float c.waited);
+        ("elapsed_s", Json.Float c.elapsed);
+        ("cache", Json.Str (cache_status_str c.cache));
+      ]
+  in
+  let experiment (e : experiment) =
+    Json.Obj
+      [
+        ("id", Json.Str e.id);
+        ("title", Json.Str e.title);
+        ("elapsed_s", Json.Float e.elapsed);
+      ]
+  in
+  let worker (w : worker_stat) =
+    Json.Obj
+      [
+        ("worker", Json.Int w.worker);
+        ("jobs", Json.Int w.jobs);
+        ("busy_s", Json.Float w.busy);
+      ]
+  in
+  let id = run_id t in
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("schema", Json.Str schema);
+          ("run_id", Json.Str id);
+          ("started_unix", Json.Float t.started);
+          ("command", Json.List (List.map (fun a -> Json.Str a) t.command));
+          ("version", Json.Str t.version);
+          ( "budget",
+            Json.Obj [ ("quick", Json.Bool t.quick); ("seed", Json.Int t.seed) ]
+          );
+          ("jobs", Json.Int t.jobs);
+          ( "pool",
+            Json.Obj
+              [
+                ("queue_wait_total_s", Json.Float t.queue_wait_total);
+                ("workers", Json.List (List.map worker t.pool_workers));
+              ] );
+          ( "cache",
+            Json.Obj
+              [
+                ("enabled", Json.Bool t.cache_enabled);
+                ("hits", Json.Int t.cache_hits);
+                ("misses", Json.Int t.cache_misses);
+                ("stores", Json.Int t.cache_stores);
+              ] );
+          ( "experiments",
+            Json.List (List.rev_map experiment t.experiments_rev) );
+          ("cells", Json.List (List.rev_map cell t.cells_rev));
+          ("total_elapsed_s", Json.Float t.total_elapsed);
+        ])
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write ?(dir = Filename.concat "results" "runs") t =
+  mkdir_p dir;
+  let path = Filename.concat dir (run_id t ^ ".json") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n');
+  path

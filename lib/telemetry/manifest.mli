@@ -1,0 +1,84 @@
+(** Per-run manifests: what ran, where, and how long each piece took.
+
+    A manifest is the observability record of one driver invocation
+    (one [repro run ...]): the budget and seed, the worker-pool shape,
+    one entry per executed cell (label, wall-clock, worker id,
+    queue-wait, cache hit/miss), per-experiment totals, pool
+    scheduling-skew metrics and cache counters.  It is accumulated
+    in-memory while experiments run — recording is mutex-protected, so
+    pool [on_done] callbacks may feed it from worker domains — and
+    written once at the end as pretty-printed JSON under
+    [results/runs/<timestamp>-<ids>-p<pid>.json].
+
+    The manifest never touches stdout: tables stay byte-identical with
+    telemetry enabled, which is what keeps the [-j 1] vs [-j N]
+    determinism check meaningful. *)
+
+type cache_status = Hit | Miss | Off
+
+type cell = {
+  exp_id : string;
+  label : string;
+  worker : int;  (** Worker domain index; [-1] for cache hits (no worker ran). *)
+  waited : float;  (** Seconds between submission and execution start. *)
+  elapsed : float;  (** Wall-clock seconds of the cell body; 0 for hits. *)
+  cache : cache_status;
+}
+
+type worker_stat = { worker : int; jobs : int; busy : float }
+
+type t
+
+val schema : string
+(** Embedded as the manifest's ["schema"] field; bump on layout
+    changes so downstream tooling can dispatch. *)
+
+val git_describe : unit -> string
+(** [git describe --always --dirty] of the working tree, or
+    ["unknown"] when git (or the repository) is unavailable.  Never
+    raises. *)
+
+val create :
+  ?now:float ->
+  ?version:string ->
+  command:string list ->
+  quick:bool ->
+  seed:int ->
+  jobs:int ->
+  cache_enabled:bool ->
+  unit ->
+  t
+(** [now] defaults to the wall clock, [version] to {!git_describe}
+    (pass it explicitly in tests to avoid spawning git). *)
+
+val record_cell :
+  t ->
+  exp_id:string ->
+  label:string ->
+  worker:int ->
+  waited:float ->
+  elapsed:float ->
+  cache:cache_status ->
+  unit
+(** Thread-safe; call order defines the manifest's cell order. *)
+
+val record_experiment : t -> id:string -> title:string -> elapsed:float -> unit
+
+val set_pool : t -> queue_wait_total:float -> worker_stat list -> unit
+val set_cache_counters : t -> hits:int -> misses:int -> stores:int -> unit
+val set_elapsed : t -> float -> unit
+(** Total wall-clock of the whole run. *)
+
+val cells : t -> cell list
+(** Recorded cells, in recording order. *)
+
+val run_id : t -> string
+(** [<YYYYMMDD-HHMMSS>-<experiment ids>-p<pid>], derived from the
+    creation time and the experiments recorded so far; stable once all
+    experiments are recorded. *)
+
+val to_json : t -> Json.t
+
+val write : ?dir:string -> t -> string
+(** Serialize under [dir] (default ["results/runs"], created with
+    parents if missing) as [<run_id>.json]; returns the path. *)

@@ -52,15 +52,51 @@ let test_multiple_batches () =
 let test_on_done_fires_per_job () =
   Pool.with_pool ~size:2 (fun p ->
       let seen = ref [] in
+      let workers = ref [] in
       let _ =
         Pool.run
-          ~on_done:(fun ~index ~elapsed:_ -> seen := index :: !seen)
+          ~on_done:(fun ~index ~worker ~waited ~elapsed:_ ->
+            seen := index :: !seen;
+            workers := worker :: !workers;
+            Alcotest.(check bool) "waited >= 0" true (waited >= 0.))
           p (squares 12)
       in
       Alcotest.(check (list int))
         "every index reported exactly once"
         (List.init 12 Fun.id)
-        (List.sort compare !seen))
+        (List.sort compare !seen);
+      Alcotest.(check bool)
+        "worker ids within pool size" true
+        (List.for_all (fun w -> w >= 0 && w < 2) !workers))
+
+let test_metrics_account_all_jobs () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun p ->
+          let _ = Pool.run p (squares 23) in
+          let _ = Pool.run p (squares 10) in
+          let m = Pool.metrics p in
+          Alcotest.(check int)
+            (Printf.sprintf "one stat per worker (size %d)" size)
+            size
+            (List.length m.Pool.workers);
+          Alcotest.(check int)
+            (Printf.sprintf "per-worker jobs sum to total (size %d)" size)
+            33 m.Pool.jobs_total;
+          Alcotest.(check int)
+            (Printf.sprintf "jobs_total matches the per-worker sum (size %d)" size)
+            m.Pool.jobs_total
+            (List.fold_left
+               (fun acc (w : Pool.worker_metrics) -> acc + w.jobs)
+               0 m.Pool.workers);
+          Alcotest.(check bool)
+            (Printf.sprintf "busy and wait non-negative (size %d)" size)
+            true
+            (m.Pool.busy_total >= 0. && m.Pool.queue_wait_total >= 0.
+            && List.for_all
+                 (fun (w : Pool.worker_metrics) -> w.busy >= 0.)
+                 m.Pool.workers)))
+    [ 1; 4 ]
 
 exception Boom of int
 
@@ -83,13 +119,19 @@ let test_error_propagates () =
     [ 1; 4 ]
 
 let test_shutdown_idempotent () =
-  let p = Pool.create ~size:3 () in
-  Alcotest.(check int) "size" 3 (Pool.size p);
-  Pool.shutdown p;
-  Pool.shutdown p;
-  Alcotest.check_raises "run after shutdown"
-    (Invalid_argument "Pool.run: pool is shut down") (fun () ->
-      ignore (Pool.run p (squares 2)))
+  (* Both execution paths must refuse work after shutdown: the size-1
+     path used to skip the liveness check and silently run the jobs. *)
+  List.iter
+    (fun size ->
+      let p = Pool.create ~size () in
+      Alcotest.(check int) "size" size (Pool.size p);
+      Pool.shutdown p;
+      Pool.shutdown p;
+      Alcotest.check_raises
+        (Printf.sprintf "run after shutdown (size %d)" size)
+        (Invalid_argument "Pool.run: pool is shut down") (fun () ->
+          ignore (Pool.run p (squares 2))))
+    [ 1; 3 ]
 
 let test_invalid_size () =
   Alcotest.check_raises "size 0 rejected"
@@ -111,6 +153,8 @@ let () =
           Alcotest.test_case "map" `Quick test_map;
           Alcotest.test_case "batch reuse" `Quick test_multiple_batches;
           Alcotest.test_case "on_done coverage" `Quick test_on_done_fires_per_job;
+          Alcotest.test_case "metrics account all jobs" `Quick
+            test_metrics_account_all_jobs;
         ] );
       ( "lifecycle",
         [

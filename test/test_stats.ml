@@ -152,6 +152,18 @@ let test_ecdf_quantiles () =
   Alcotest.(check (float 1e-9)) "cdf below" 0. (Stats.Ecdf.cdf e 0.5);
   Alcotest.(check (float 1e-9)) "cdf above" 1. (Stats.Ecdf.cdf e 9.)
 
+let test_ecdf_rejects_nan () =
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Ecdf.of_array: NaN in sample") (fun () ->
+      ignore (Stats.Ecdf.of_array [| 1.; nan; 3. |]))
+
+let test_ecdf_negative_zero_order () =
+  (* Float.compare orders -0. before 0.; polymorphic compare agreed,
+     but this pins the behaviour now that the comparator is explicit. *)
+  let e = Stats.Ecdf.of_array [| 0.; -0.; 1. |] in
+  Alcotest.(check (float 0.)) "min is -0." (-0.) (Stats.Ecdf.minimum e);
+  Alcotest.(check (float 1e-9)) "max" 1. (Stats.Ecdf.maximum e)
+
 let prop_ecdf_monotone =
   prop "quantile is monotone"
     QCheck2.Gen.(
@@ -310,7 +322,12 @@ let () =
           prop_histogram_total;
         ] );
       ( "ecdf",
-        [ Alcotest.test_case "quantiles" `Quick test_ecdf_quantiles; prop_ecdf_monotone ] );
+        [
+          Alcotest.test_case "quantiles" `Quick test_ecdf_quantiles;
+          Alcotest.test_case "rejects NaN" `Quick test_ecdf_rejects_nan;
+          Alcotest.test_case "-0./0. ordering" `Quick test_ecdf_negative_zero_order;
+          prop_ecdf_monotone;
+        ] );
       ( "regression",
         [
           Alcotest.test_case "exact line" `Quick test_regression_exact_line;

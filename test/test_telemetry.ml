@@ -1,0 +1,352 @@
+(* Telemetry layer tests: the hand-rolled JSON round-trips (including
+   escapes), run manifests are well-formed JSON that preserve the cell
+   records, cache counters match an exercised hit/miss/store sequence,
+   and a corrupt cache file degrades to a miss instead of an error. *)
+
+module Json = Telemetry.Json
+module Manifest = Telemetry.Manifest
+module Bench = Telemetry.Bench
+
+(* ---------------------------------------------------------------- *)
+(* JSON emitter / parser                                            *)
+(* ---------------------------------------------------------------- *)
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("count", Json.Int (-42));
+      ("pi", Json.Float 3.14159);
+      ("tricky", Json.Str "quote \" backslash \\ newline \n tab \t done");
+      ("unicode", Json.Str "α=1.5, β→∞");
+      ("nested", Json.List [ Json.Int 1; Json.List []; Json.Obj [ ("k", Json.Str "v") ] ]);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun compact ->
+      match Json.parse (Json.to_string ~compact sample) with
+      | Ok v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip (compact=%b)" compact)
+            true (v = sample)
+      | Error msg -> Alcotest.fail msg)
+    [ true; false ]
+
+let test_json_float_precision () =
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+          Alcotest.(check (float 0.)) (Printf.sprintf "%h survives" f) f f'
+      | Ok _ -> Alcotest.fail "float did not parse back as a float"
+      | Error msg -> Alcotest.fail msg)
+    [ 0.1; 1. /. 3.; 1e-300; 6.02e23; -0.75 ]
+
+let test_json_nonfinite_degrade () =
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float nan));
+  Alcotest.(check string)
+    "inf -> null" "null"
+    (Json.to_string (Json.Float infinity))
+
+let test_json_escapes_parse () =
+  (match Json.parse {|"a\u0041\n\u00e9\ud83d\ude00"|} with
+  | Ok (Json.Str s) ->
+      Alcotest.(check string) "escape decoding" "aA\n\xc3\xa9\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" bad)
+      | Error _ -> ())
+    [ "{"; "tru"; "[1,]"; "{\"a\":1,}"; "1 2"; "\"unterminated"; "\"\\ud800\"" ]
+
+(* ---------------------------------------------------------------- *)
+(* Manifests                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let build_manifest () =
+  let m =
+    Manifest.create ~now:1754400000. ~version:"test-version"
+      ~command:[ "run"; "fig5"; "--quick" ] ~quick:true ~seed:0 ~jobs:2
+      ~cache_enabled:true ()
+  in
+  Manifest.record_cell m ~exp_id:"fig5" ~label:"n=2, \"quoted\"" ~worker:0
+    ~waited:0.001 ~elapsed:0.25 ~cache:Manifest.Miss;
+  Manifest.record_cell m ~exp_id:"fig5" ~label:"n=4" ~worker:1 ~waited:0.002
+    ~elapsed:0.5 ~cache:Manifest.Hit;
+  Manifest.record_experiment m ~id:"fig5" ~title:"Figure 5" ~elapsed:0.8;
+  Manifest.set_pool m ~queue_wait_total:0.003
+    [
+      { Manifest.worker = 0; jobs = 1; busy = 0.25 };
+      { Manifest.worker = 1; jobs = 1; busy = 0.5 };
+    ];
+  Manifest.set_cache_counters m ~hits:1 ~misses:1 ~stores:1;
+  Manifest.set_elapsed m 0.9;
+  m
+
+let test_manifest_roundtrip () =
+  let m = build_manifest () in
+  let json =
+    match Json.parse (Json.to_string (Manifest.to_json m)) with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail msg
+  in
+  let str path v =
+    Option.bind (Json.member path v) Json.to_str |> Option.get
+  in
+  Alcotest.(check string) "schema" Manifest.schema (str "schema" json);
+  Alcotest.(check string) "version" "test-version" (str "version" json);
+  let cells = Option.bind (Json.member "cells" json) Json.to_list |> Option.get in
+  Alcotest.(check (list string))
+    "cell labels round-trip in order"
+    [ "n=2, \"quoted\""; "n=4" ]
+    (List.map (str "label") cells);
+  Alcotest.(check (list string))
+    "cache flags round-trip" [ "miss"; "hit" ]
+    (List.map (str "cache") cells);
+  let workers_of c = Option.bind (Json.member "worker" c) Json.to_int in
+  Alcotest.(check (list int))
+    "worker ids round-trip" [ 0; 1 ]
+    (List.filter_map workers_of cells);
+  let pool = Json.member "pool" json |> Option.get in
+  let stats = Option.bind (Json.member "workers" pool) Json.to_list |> Option.get in
+  let jobs =
+    List.fold_left
+      (fun acc w -> acc + Option.get (Option.bind (Json.member "jobs" w) Json.to_int))
+      0 stats
+  in
+  Alcotest.(check int) "pool worker jobs sum to cell count" (List.length cells) jobs
+
+let test_manifest_run_id () =
+  let m = build_manifest () in
+  let id = Manifest.run_id m in
+  Alcotest.(check bool) "run id names the experiment" true
+    (let rec contains i =
+       i + 4 <= String.length id && (String.sub id i 4 = "fig5" || contains (i + 1))
+     in
+     contains 0);
+  Alcotest.(check bool) "run id carries a pid suffix" true
+    (String.length id > 2 && String.contains id 'p')
+
+let test_manifest_write () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "telemetry-test-%d-runs" (Unix.getpid ()))
+  in
+  let m = build_manifest () in
+  let path = Manifest.write ~dir m in
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  (match Json.parse contents with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("written manifest is not valid JSON: " ^ msg));
+  Alcotest.(check bool) "written under dir" true (Filename.dirname path = dir);
+  Sys.remove path
+
+(* Pool on_done feeding a manifest: every executed job shows up as one
+   cell record, attributed to a real worker. *)
+let test_manifest_from_pool () =
+  let m =
+    Manifest.create ~now:0. ~version:"test" ~command:[] ~quick:true ~seed:0
+      ~jobs:3 ~cache_enabled:false ()
+  in
+  let jobs = List.init 17 (fun i -> fun () -> i * i) in
+  let labels = Array.init 17 (Printf.sprintf "cell-%d") in
+  Pool.with_pool ~size:3 (fun p ->
+      ignore
+        (Pool.run
+           ~on_done:(fun ~index ~worker ~waited ~elapsed ->
+             Manifest.record_cell m ~exp_id:"t" ~label:labels.(index) ~worker
+               ~waited ~elapsed ~cache:Manifest.Off)
+           p jobs));
+  let cells = Manifest.cells m in
+  Alcotest.(check int) "one record per job" 17 (List.length cells);
+  Alcotest.(check (list string))
+    "all labels present"
+    (Array.to_list labels)
+    (List.sort
+       (fun a b ->
+         compare
+           (int_of_string (String.sub a 5 (String.length a - 5)))
+           (int_of_string (String.sub b 5 (String.length b - 5))))
+       (List.map (fun c -> c.Manifest.label) cells));
+  Alcotest.(check bool) "workers in range" true
+    (List.for_all
+       (fun (c : Manifest.cell) -> c.worker >= 0 && c.worker < 3)
+       cells)
+
+(* ---------------------------------------------------------------- *)
+(* Bench documents                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let test_bench_json () =
+  let doc =
+    Bench.make ~now:1754400000. ~version:"test-version" ~quick:true ~seed:0
+      ~repeat:3
+      [
+        {
+          Bench.id = "fig1";
+          title = "Figure 1";
+          cells =
+            [
+              { Bench.label = "a"; seconds = 0.5 };
+              { Bench.label = "b"; seconds = 0.25 };
+            ];
+          total = 0.75;
+        };
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "total sums experiments" 0.75 (Bench.total doc);
+  Alcotest.(check bool) "default filename is dated" true
+    (String.length (Bench.default_filename doc) = String.length "BENCH_YYYY-MM-DD.json");
+  match Json.parse (Json.to_string (Bench.to_json doc)) with
+  | Error msg -> Alcotest.fail msg
+  | Ok json ->
+      Alcotest.(check string)
+        "schema" Bench.schema
+        (Option.bind (Json.member "schema" json) Json.to_str |> Option.get);
+      let exps =
+        Option.bind (Json.member "experiments" json) Json.to_list |> Option.get
+      in
+      let cells =
+        Option.bind (Json.member "cells" (List.hd exps)) Json.to_list |> Option.get
+      in
+      Alcotest.(check (list string))
+        "cell labels" [ "a"; "b" ]
+        (List.map
+           (fun c -> Option.bind (Json.member "label" c) Json.to_str |> Option.get)
+           cells)
+
+(* ---------------------------------------------------------------- *)
+(* Cache counters and corruption                                    *)
+(* ---------------------------------------------------------------- *)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "telemetry-test-cache-%d-%d" (Unix.getpid ()) !counter)
+    in
+    dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let budget = { Experiments.Plan.quick = true; seed = 0 }
+
+let seq_inner =
+  {
+    Experiments.Plan.map =
+      (fun ~exp_id:_ ~budget:_ cells ->
+        List.map (fun c -> c.Experiments.Plan.work ()) cells);
+  }
+
+let cells_returning a b =
+  [ Experiments.Plan.cell "a" (fun () -> a); Experiments.Plan.cell "b" (fun () -> b) ]
+
+let test_cache_counters_and_corruption () =
+  let dir = fresh_dir () in
+  let stats = Experiments.Cache.create_stats () in
+  let hits = ref [] in
+  let runner =
+    Experiments.Cache.runner ~stats
+      ~on_hit:(fun ~exp_id:_ ~label -> hits := label :: !hits)
+      ~dir ~inner:seq_inner ()
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      (* Cold cache: two misses, two stores. *)
+      let r1 = runner.map ~exp_id:"exp" ~budget (cells_returning 1 2) in
+      Alcotest.(check (list int)) "cold results" [ 1; 2 ] r1;
+      Alcotest.(check int) "no hits yet" 0 stats.hits;
+      Alcotest.(check int) "two misses" 2 stats.misses;
+      Alcotest.(check int) "two stores" 2 stats.stores;
+      (* Warm cache: the cells would fail if executed — results must
+         come from disk, and on_hit must fire per cell. *)
+      let poison =
+        [
+          Experiments.Plan.cell "a" (fun () : int -> Alcotest.fail "cell a ran");
+          Experiments.Plan.cell "b" (fun () : int -> Alcotest.fail "cell b ran");
+        ]
+      in
+      let r2 = runner.map ~exp_id:"exp" ~budget poison in
+      Alcotest.(check (list int)) "warm results served from disk" [ 1; 2 ] r2;
+      Alcotest.(check int) "two hits" 2 stats.hits;
+      Alcotest.(check int) "misses unchanged" 2 stats.misses;
+      Alcotest.(check (list string))
+        "on_hit fired per served cell" [ "a"; "b" ]
+        (List.sort compare !hits);
+      (* Corrupt every stored entry: the next lookup must degrade to a
+         miss, recompute, and repair the cache. *)
+      let exp_dir = Filename.concat dir "exp" in
+      Array.iter
+        (fun f ->
+          let oc = open_out_bin (Filename.concat exp_dir f) in
+          output_string oc "not a marshalled cache entry";
+          close_out oc)
+        (Sys.readdir exp_dir);
+      let r3 = runner.map ~exp_id:"exp" ~budget (cells_returning 10 20) in
+      Alcotest.(check (list int)) "corrupt entries recomputed" [ 10; 20 ] r3;
+      Alcotest.(check int) "corruption counted as misses" 4 stats.misses;
+      Alcotest.(check int) "repaired entries stored" 4 stats.stores;
+      (* And the repair is effective: hits again. *)
+      let r4 = runner.map ~exp_id:"exp" ~budget poison in
+      Alcotest.(check (list int)) "repaired results" [ 10; 20 ] r4;
+      Alcotest.(check int) "hits after repair" 4 stats.hits)
+
+(* Distinct budgets and experiment ids must not collide in the cache. *)
+let test_cache_keying () =
+  let dir = fresh_dir () in
+  let stats = Experiments.Cache.create_stats () in
+  let runner = Experiments.Cache.runner ~stats ~dir ~inner:seq_inner () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let r1 = runner.map ~exp_id:"e1" ~budget (cells_returning 1 2) in
+      let other = { Experiments.Plan.quick = true; seed = 9 } in
+      let r2 = runner.map ~exp_id:"e1" ~budget:other (cells_returning 3 4) in
+      let r3 = runner.map ~exp_id:"e2" ~budget (cells_returning 5 6) in
+      Alcotest.(check (list int)) "seed 0" [ 1; 2 ] r1;
+      Alcotest.(check (list int)) "seed 9 is a different key" [ 3; 4 ] r2;
+      Alcotest.(check (list int)) "exp id is part of the key" [ 5; 6 ] r3;
+      Alcotest.(check int) "no false hits" 0 stats.hits)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float precision" `Quick test_json_float_precision;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_degrade;
+          Alcotest.test_case "escapes and rejects" `Quick test_json_escapes_parse;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "run id" `Quick test_manifest_run_id;
+          Alcotest.test_case "write" `Quick test_manifest_write;
+          Alcotest.test_case "pool feed" `Quick test_manifest_from_pool;
+        ] );
+      ("bench", [ Alcotest.test_case "bench json" `Quick test_bench_json ]);
+      ( "cache",
+        [
+          Alcotest.test_case "counters + corruption" `Quick
+            test_cache_counters_and_corruption;
+          Alcotest.test_case "keying" `Quick test_cache_keying;
+        ] );
+    ]
