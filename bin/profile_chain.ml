@@ -1,9 +1,9 @@
 (* Quick profiling helper: stationary-solve timing for the system
    chain at various n (dense solve vs power iteration). *)
 let time name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pool.monotonic_now () in
   let v = f () in
-  Printf.printf "%-24s %8.2fs  -> %.6f\n%!" name (Unix.gettimeofday () -. t0) v
+  Printf.printf "%-24s %8.2fs  -> %.6f\n%!" name (Pool.monotonic_now () -. t0) v
 
 let () =
   List.iter

@@ -8,13 +8,22 @@
    `repro run all -j 8`        - fan cells out over 8 worker domains
    `repro run all --seed 7`    - re-derive every cell's RNG seed from 7
    `repro run all --cache`     - serve/persist cell results in results/cache
+   `repro run all --timeout 60`        - abandon a wedged cell after 60s/attempt
+   `repro run fig1 --fault lifting-n2:1` - make that cell fail once (CI drill)
+   `repro run --resume results/runs/X.json` - finish a killed sweep
    `repro bench`               - time every quick cell, write BENCH_<date>.json
 
-   Every `run` also writes a JSON manifest (per-cell timings, worker
-   ids, cache hit/miss, pool skew) under results/runs/ — tables on
-   stdout are unaffected, so -j1 and -jN stay byte-identical. *)
+   Every `run` also journals a JSON manifest (per-cell timings, worker
+   ids, attempt counts, cache hit/miss, pool skew) under results/runs/,
+   rewritten atomically after every cell so a killed run loses at most
+   one cell — `--resume` reads it back.  Tables on stdout are
+   unaffected, so -j1, -jN and resumed runs stay byte-identical. *)
 
 open Cmdliner
+
+(* All elapsed-time measurement is monotonic: the wall clock steps
+   under NTP and can produce negative durations in manifests. *)
+let now = Pool.monotonic_now
 
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sample sizes (smoke run).")
@@ -59,6 +68,60 @@ let no_manifest_flag =
     & info [ "no-manifest" ]
         ~doc:"Do not write the per-run JSON manifest under results/runs/.")
 
+let retries_arg =
+  Arg.(
+    value
+    & opt int Experiments.Retry.default.Experiments.Retry.max_attempts
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Attempts per cell before giving up (at least 1; 1 disables retry). \
+           The default of 2 recovers any single failure, after which the \
+           whole sweep still completes and the manifest records the attempt \
+           counts.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-attempt wall-clock limit for one cell.  A cell still running \
+           after $(docv) seconds is abandoned (its domain cannot be killed \
+           and leaks until it returns), the attempt counts as failed and the \
+           retry policy applies.  Default: no limit.")
+
+let no_backoff_flag =
+  Arg.(
+    value & flag
+    & info [ "no-backoff" ]
+        ~doc:
+          "Retry immediately instead of sleeping a jittered exponential \
+           delay between attempts.")
+
+let fault_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "fault" ] ~docv:"LABEL:K"
+        ~doc:
+          "Fault injection for drills and CI: make the cell whose label is \
+           LABEL (or EXP/LABEL to disambiguate) raise on its first K \
+           attempts.  Repeatable.  When absent, the $(b,REPRO_FAULT) \
+           environment variable provides a single spec.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume" ] ~docv:"MANIFEST"
+        ~doc:
+          "Resume the run recorded in $(docv) (a results/runs/ manifest, \
+           possibly from a killed sweep): re-run its experiment ids with its \
+           budget and seed, with the cache enabled so cells the manifest \
+           records as completed are served from results/cache/ instead of \
+           re-executing (a recorded cell missing from the cache is simply \
+           re-executed).  Explicit ids on the command line override the \
+           manifest's.")
+
 let cache_dir = "results/cache"
 let runs_dir = Filename.concat "results" "runs"
 
@@ -71,71 +134,133 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let mkdir_p dir =
-  let rec go d =
-    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
-    else begin
-      go (Filename.dirname d);
-      try Sys.mkdir d 0o755 with Sys_error _ -> ()
-    end
-  in
-  go dir
-
 let write_csv dir (e : Experiments.Exp.t) table =
-  mkdir_p dir;
   let path = Filename.concat dir (e.id ^ ".csv") in
   let oc = open_out path in
   output_string oc (Stats.Table.to_csv table);
   close_out oc;
   Printf.eprintf "wrote %s\n%!" path
 
-(* A Plan runner backed by the domain pool, with optional per-cell
-   progress lines ([on_done] is serialized under the pool lock, so
-   printing is safe) and per-cell manifest records.  Misses reach the
-   pool, so their cache status is Miss when the cache layer sits above
-   us and Off otherwise; hits are recorded by the cache layer itself. *)
-let pool_runner ~progress ~manifest ~cache_enabled pool =
+(* A Plan runner backed by the domain pool, with per-cell retry under
+   [policy] (fault injection included), optional progress lines and
+   journalled manifest records.  Each cell's job runs the retry loop
+   on its worker, stashes the attempt count/failure for the [on_done]
+   callback (same domain, so no race), and surfaces a permanent
+   failure as [Retry.Cell_failed] — [Pool.try_run] turns that into the
+   cell's own [Error] without disturbing the rest of the batch, and
+   the first one is re-raised to the per-experiment driver only after
+   every cell has run and been recorded.  Misses reach the pool, so
+   their cache status is Miss when the cache layer sits above us and
+   Off otherwise; hits are recorded by the cache layer itself. *)
+let pool_runner ~progress ~manifest ~cache_enabled ~policy pool =
   let cache_status =
     if cache_enabled then Telemetry.Manifest.Miss else Telemetry.Manifest.Off
   in
   {
     Experiments.Plan.map =
-      (fun ~exp_id ~budget:_ cells ->
+      (fun ~exp_id ~budget cells ->
         let labels =
           Array.of_list (List.map (fun c -> c.Experiments.Plan.label) cells)
         in
         let total = Array.length labels in
+        let attempts = Array.make total 1 in
+        let failures = Array.make total None in
         let finished = ref 0 in
         let on_done ~index ~worker ~waited ~elapsed =
-          Telemetry.Manifest.record_cell manifest ~exp_id ~label:labels.(index)
-            ~worker ~waited ~elapsed ~cache:cache_status;
+          let status =
+            match failures.(index) with
+            | None -> Telemetry.Manifest.Completed
+            | Some err ->
+                Telemetry.Manifest.Failed
+                  (Experiments.Retry.error_message err)
+          in
+          Telemetry.Manifest.record_cell manifest ~exp_id
+            ~label:labels.(index) ~worker ~waited ~elapsed
+            ~attempts:attempts.(index) ~status ~cache:cache_status;
           if progress then begin
             incr finished;
-            Printf.eprintf "  [%s] %s: %.2fs w%d (%d/%d)\n%!" exp_id
-              labels.(index) elapsed worker !finished total
+            let retry_note =
+              if attempts.(index) > 1 then
+                Printf.sprintf " [%d attempts]" attempts.(index)
+              else ""
+            in
+            let fail_note = if failures.(index) <> None then " FAILED" else "" in
+            Printf.eprintf "  [%s] %s: %.2fs w%d%s%s (%d/%d)\n%!" exp_id
+              labels.(index) elapsed worker retry_note fail_note !finished
+              total
           end
         in
-        Pool.run ~on_done pool
-          (List.map (fun c () -> c.Experiments.Plan.work ()) cells));
+        let job i (c : _ Experiments.Plan.cell) () =
+          let jitter =
+            Random.State.make
+              [|
+                budget.Experiments.Plan.seed;
+                Hashtbl.hash exp_id;
+                Hashtbl.hash c.Experiments.Plan.label;
+              |]
+          in
+          let fault ~attempt =
+            Experiments.Retry.inject ~exp_id ~label:c.Experiments.Plan.label
+              ~attempt
+          in
+          let result, n =
+            Experiments.Retry.run ~jitter ~fault policy
+              c.Experiments.Plan.work
+          in
+          attempts.(i) <- n;
+          match result with
+          | Ok v -> v
+          | Error err ->
+              failures.(i) <- Some err;
+              raise
+                (Experiments.Retry.Cell_failed
+                   {
+                     exp_id;
+                     label = c.Experiments.Plan.label;
+                     attempts = n;
+                     reason = Experiments.Retry.error_message err;
+                   })
+        in
+        List.map
+          (function
+            | Ok v -> v
+            | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+          (Pool.try_run ~on_done pool (List.mapi job cells)));
   }
 
 (* Run each experiment exactly once, then feed every sink (stdout as
-   text or CSV, plus the optional per-experiment CSV file). *)
+   text or CSV, plus the optional per-experiment CSV file).  A cell
+   that exhausted its retry policy surfaces here as [Cell_failed]: the
+   experiment's table cannot be assembled, so it reports to stderr and
+   the sweep moves on — returns [false] so the driver can exit
+   non-zero once everything has run. *)
 let run_experiment ~runner ~manifest ~budget ~jobs ~csv ~out
     (e : Experiments.Exp.t) =
-  let t0 = Unix.gettimeofday () in
-  let table = Experiments.Exp.table ~runner ~budget e in
-  let dt = Unix.gettimeofday () -. t0 in
-  Telemetry.Manifest.record_experiment manifest ~id:e.id ~title:e.title ~elapsed:dt;
-  Printf.eprintf "[%s] %d cells in %.2fs (j=%d)\n%!" e.id
-    (Experiments.Plan.cell_count (e.plan budget))
-    dt jobs;
-  if csv then begin
-    Printf.printf "# %s\n" e.title;
-    print_string (Stats.Table.to_csv table)
-  end
-  else print_string (Experiments.Exp.render_table e table);
-  Option.iter (fun dir -> write_csv dir e table) out
+  let t0 = now () in
+  match Experiments.Exp.table ~runner ~budget e with
+  | table ->
+      let dt = now () -. t0 in
+      Telemetry.Manifest.record_experiment manifest ~id:e.id ~title:e.title
+        ~elapsed:dt;
+      Printf.eprintf "[%s] %d cells in %.2fs (j=%d)\n%!" e.id
+        (Experiments.Plan.cell_count (e.plan budget))
+        dt jobs;
+      if csv then begin
+        Printf.printf "# %s\n" e.title;
+        print_string (Stats.Table.to_csv table)
+      end
+      else print_string (Experiments.Exp.render_table e table);
+      Option.iter (fun dir -> write_csv dir e table) out;
+      print_newline ();
+      true
+  | exception Experiments.Retry.Cell_failed f ->
+      let dt = now () -. t0 in
+      Telemetry.Manifest.record_experiment manifest ~id:e.id ~title:e.title
+        ~elapsed:dt;
+      Printf.eprintf "[%s] FAILED in %.2fs: cell %s gave up after %d \
+                      attempt(s): %s\n%!"
+        e.id dt f.label f.attempts f.reason;
+      false
 
 let out_dir =
   Arg.(
@@ -150,78 +275,187 @@ let run_cmd =
   let doc = "Run experiments by id ('all' for the full catalogue)." in
   let ids_arg =
     Arg.(
-      non_empty & pos_all string []
-      & info [] ~docv:"ID" ~doc:"Experiment ids (or 'all'), run in the order given.")
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:
+            "Experiment ids (or 'all'), run in the order given; optional \
+             when --resume supplies them.")
   in
-  let run ids quick seed jobs cache no_progress no_manifest csv out =
-    if jobs < 1 then `Error (false, "-j must be at least 1")
-    else
-      match Experiments.Exp.select ids with
-      | Error msg -> `Error (false, msg ^ "; try `repro list`")
-      | Ok exps ->
-          let budget = Experiments.Exp.budget ~quick ~seed () in
-          let progress = not no_progress in
-          let manifest =
-            Telemetry.Manifest.create
-              ~command:(List.tl (Array.to_list Sys.argv))
-              ~quick ~seed ~jobs ~cache_enabled:cache ()
-          in
-          let cache_stats = Experiments.Cache.create_stats () in
-          let t0 = Unix.gettimeofday () in
-          Pool.with_pool ~size:jobs (fun pool ->
-              let runner =
-                pool_runner ~progress ~manifest ~cache_enabled:cache pool
-              in
-              let runner =
-                if cache then
-                  Experiments.Cache.runner ~stats:cache_stats
-                    ~on_hit:(fun ~exp_id ~label ->
-                      Telemetry.Manifest.record_cell manifest ~exp_id ~label
-                        ~worker:(-1) ~waited:0. ~elapsed:0.
-                        ~cache:Telemetry.Manifest.Hit)
-                    ~dir:cache_dir ~inner:runner ()
-                else runner
-              in
-              List.iter
-                (fun e ->
-                  run_experiment ~runner ~manifest ~budget ~jobs ~csv ~out e;
-                  print_newline ())
-                exps;
-              let m = Pool.metrics pool in
-              Telemetry.Manifest.set_pool manifest
-                ~queue_wait_total:m.Pool.queue_wait_total
-                (List.map
-                   (fun (w : Pool.worker_metrics) ->
-                     {
-                       Telemetry.Manifest.worker = w.worker;
-                       jobs = w.jobs;
-                       busy = w.busy;
-                     })
-                   m.Pool.workers));
-          let dt = Unix.gettimeofday () -. t0 in
-          Telemetry.Manifest.set_elapsed manifest dt;
-          if cache then begin
-            Telemetry.Manifest.set_cache_counters manifest
-              ~hits:cache_stats.hits ~misses:cache_stats.misses
-              ~stores:cache_stats.stores;
-            Printf.eprintf "cache: %d hit(s), %d miss(es), %d store(s)\n%!"
-              cache_stats.hits cache_stats.misses cache_stats.stores
-          end;
-          Printf.eprintf "total: %d experiment(s) in %.2fs (j=%d)\n%!"
-            (List.length exps) dt jobs;
-          if not no_manifest then begin
-            match Telemetry.Manifest.write ~dir:runs_dir manifest with
-            | path -> Printf.eprintf "manifest: %s\n%!" path
-            | exception Sys_error msg ->
-                Printf.eprintf "manifest: skipped (%s)\n%!" msg
-          end;
-          `Ok ()
+  let run ids quick seed jobs cache no_progress no_manifest retries timeout
+      no_backoff faults resume csv out =
+    let resumed =
+      match resume with
+      | None -> Ok None
+      | Some file ->
+          Result.map Option.some (Telemetry.Manifest.load_resume file)
+    in
+    match resumed with
+    | Error msg -> `Error (false, "--resume: " ^ msg)
+    | Ok resumed -> (
+        let ids =
+          match (ids, resumed) with
+          | [], Some r -> r.Telemetry.Manifest.resume_ids
+          | ids, _ -> ids
+        in
+        let quick, seed =
+          match resumed with
+          | Some r ->
+              (r.Telemetry.Manifest.resume_quick, r.Telemetry.Manifest.resume_seed)
+          | None -> (quick, seed)
+        in
+        let cache = cache || resumed <> None in
+        let fault_specs =
+          match faults with
+          | _ :: _ -> faults
+          | [] -> (
+              match Sys.getenv_opt "REPRO_FAULT" with
+              | Some s when s <> "" -> [ s ]
+              | _ -> [])
+        in
+        if ids = [] then `Error (true, "no experiment ids given")
+        else if jobs < 1 then `Error (false, "-j must be at least 1")
+        else if retries < 1 then `Error (false, "--retries must be at least 1")
+        else if (match timeout with Some s -> not (s > 0.) | None -> false)
+        then `Error (false, "--timeout must be positive")
+        else
+          match
+            try
+              Experiments.Retry.install_faults fault_specs;
+              Option.iter Telemetry.Fsutil.mkdir_p out;
+              None
+            with
+            | Invalid_argument msg | Sys_error msg -> Some msg
+          with
+          | Some msg -> `Error (false, msg)
+          | None -> (
+              match Experiments.Exp.select ids with
+              | Error msg -> `Error (false, msg ^ "; try `repro list`")
+              | Ok exps ->
+                  let policy =
+                    {
+                      Experiments.Retry.max_attempts = retries;
+                      timeout_s = timeout;
+                      backoff = not no_backoff;
+                    }
+                  in
+                  let budget = Experiments.Exp.budget ~quick ~seed () in
+                  let progress = not no_progress in
+                  let manifest =
+                    Telemetry.Manifest.create
+                      ~command:(List.tl (Array.to_list Sys.argv))
+                      ~ids:(List.map (fun e -> e.Experiments.Exp.id) exps)
+                      ~quick ~seed ~jobs ~cache_enabled:cache ()
+                  in
+                  (* Journal from the start: the manifest file exists —
+                     and stays valid JSON — from before the first cell
+                     to after the last, so a killed run can always be
+                     resumed from it. *)
+                  let journalled =
+                    if no_manifest then false
+                    else
+                      match
+                        Telemetry.Manifest.enable_journal manifest
+                          ~dir:runs_dir
+                      with
+                      | (_ : string) -> true
+                      | exception Sys_error msg ->
+                          Printf.eprintf "manifest: journal disabled (%s)\n%!"
+                            msg;
+                          false
+                  in
+                  (match resumed with
+                  | Some r ->
+                      Printf.eprintf
+                        "resume: %d cell(s) recorded complete; serving them \
+                         from the cache\n\
+                         %!"
+                        (List.length r.Telemetry.Manifest.completed)
+                  | None -> ());
+                  let cache_stats = Experiments.Cache.create_stats () in
+                  let t0 = now () in
+                  let ok_count = ref 0 in
+                  let failed = ref [] in
+                  Pool.with_pool ~size:jobs (fun pool ->
+                      let runner =
+                        pool_runner ~progress ~manifest ~cache_enabled:cache
+                          ~policy pool
+                      in
+                      let runner =
+                        if cache then
+                          Experiments.Cache.runner ~stats:cache_stats
+                            ~on_hit:(fun ~exp_id ~label ->
+                              Telemetry.Manifest.record_cell manifest ~exp_id
+                                ~label ~worker:(-1) ~waited:0. ~elapsed:0.
+                                ~cache:Telemetry.Manifest.Hit)
+                            ~dir:cache_dir ~inner:runner ()
+                        else runner
+                      in
+                      List.iter
+                        (fun e ->
+                          if
+                            run_experiment ~runner ~manifest ~budget ~jobs
+                              ~csv ~out e
+                          then incr ok_count
+                          else failed := e.Experiments.Exp.id :: !failed)
+                        exps;
+                      let m = Pool.metrics pool in
+                      Telemetry.Manifest.set_pool manifest
+                        ~trapped:m.Pool.trapped
+                        ~queue_wait_total:m.Pool.queue_wait_total
+                        (List.map
+                           (fun (w : Pool.worker_metrics) ->
+                             {
+                               Telemetry.Manifest.worker = w.worker;
+                               jobs = w.jobs;
+                               busy = w.busy;
+                             })
+                           m.Pool.workers));
+                  let dt = now () -. t0 in
+                  Telemetry.Manifest.set_elapsed manifest dt;
+                  if cache then begin
+                    Telemetry.Manifest.set_cache_counters manifest
+                      ~hits:cache_stats.hits ~misses:cache_stats.misses
+                      ~stores:cache_stats.stores;
+                    Printf.eprintf "cache: %d hit(s), %d miss(es), %d store(s)\n%!"
+                      cache_stats.hits cache_stats.misses cache_stats.stores
+                  end;
+                  (match resumed with
+                  | Some r ->
+                      let recorded =
+                        List.length r.Telemetry.Manifest.completed
+                      in
+                      if cache_stats.hits < recorded then
+                        Printf.eprintf
+                          "resume: %d recorded cell(s) were missing from the \
+                           cache and re-executed\n\
+                           %!"
+                          (recorded - cache_stats.hits)
+                  | None -> ());
+                  Printf.eprintf "total: %d experiment(s) in %.2fs (j=%d)\n%!"
+                    (List.length exps) dt jobs;
+                  if not no_manifest then begin
+                    match Telemetry.Manifest.write ~dir:runs_dir manifest with
+                    | path ->
+                        Printf.eprintf "manifest: %s%s\n%!" path
+                          (if journalled then " (journalled per cell)" else "")
+                    | exception Sys_error msg ->
+                        Printf.eprintf "manifest: skipped (%s)\n%!" msg
+                  end;
+                  if !failed <> [] then begin
+                    Printf.eprintf
+                      "FAILED: %d of %d experiment(s) had a cell give up: %s\n%!"
+                      (List.length !failed) (List.length exps)
+                      (String.concat ", " (List.rev !failed));
+                    exit 1
+                  end;
+                  `Ok ()))
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       ret
         (const run $ ids_arg $ quick $ seed_arg $ jobs_arg $ cache_flag
-       $ progress_flag $ no_manifest_flag $ csv $ out_dir))
+       $ progress_flag $ no_manifest_flag $ retries_arg $ timeout_arg
+       $ no_backoff_flag $ fault_arg $ resume_arg $ csv $ out_dir))
 
 (* `repro bench`: time every cell of the selected experiments'
    plans sequentially (parallel timing would measure contention, not
@@ -265,9 +499,9 @@ let bench_cmd =
           let time_cell work =
             let best = ref infinity in
             for _ = 1 to repeat do
-              let t0 = Unix.gettimeofday () in
+              let t0 = now () in
               work ();
-              let dt = Unix.gettimeofday () -. t0 in
+              let dt = now () -. t0 in
               if dt < !best then best := dt
             done;
             !best

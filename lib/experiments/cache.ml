@@ -23,12 +23,6 @@ let key ~exp_id ~(budget : Plan.budget) ~label =
 let path ~dir ~exp_id k =
   Filename.concat (Filename.concat dir exp_id) (Digest.to_hex (Digest.string k) ^ ".bin")
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
-  end
-
 let load file k =
   if not (Sys.file_exists file) then None
   else
@@ -49,7 +43,7 @@ let load file k =
 let tmp_counter = Atomic.make 0
 
 let store file k payload =
-  mkdir_p (Filename.dirname file);
+  Telemetry.Fsutil.mkdir_p (Filename.dirname file);
   let tmp =
     Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ())
       (Atomic.fetch_and_add tmp_counter 1)

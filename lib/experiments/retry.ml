@@ -1,0 +1,156 @@
+(* Bounded per-cell recovery: each attempt may raise or exceed a
+   wall-clock limit, failures are retried up to a policy's bound with
+   jittered exponential delays (Runtime.Backoff mapped to sleep time),
+   and a deterministic fault-injection registry lets the CLI and CI
+   exercise every path on demand. *)
+
+type error =
+  | Raised of exn * Printexc.raw_backtrace
+  | Timed_out of float
+
+type policy = { max_attempts : int; timeout_s : float option; backoff : bool }
+
+let default = { max_attempts = 2; timeout_s = None; backoff = true }
+
+exception Injected_fault of string * int
+exception
+  Cell_failed of {
+    exp_id : string;
+    label : string;
+    attempts : int;
+    reason : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault (spec, attempt) ->
+        Some
+          (Printf.sprintf "injected fault %S (attempt %d)" spec attempt)
+    | Cell_failed f ->
+        Some
+          (Printf.sprintf "cell %s/%s failed after %d attempt(s): %s" f.exp_id
+             f.label f.attempts f.reason)
+    | _ -> None)
+
+let error_message = function
+  | Raised (e, _) -> Printexc.to_string e
+  | Timed_out limit -> Printf.sprintf "timed out after %gs" limit
+
+(* ------------------------------------------------------------------ *)
+(* Timeout                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* OCaml domains cannot be killed, so a bounded attempt runs in a
+   fresh monitor domain while this one polls its result slot with a
+   doubling sleep (0.5ms .. 10ms — coarse enough to be cheap, fine
+   enough that short timeouts stay accurate).  On timeout the monitor
+   is abandoned: it leaks until its closure returns (or the process
+   exits), which is the price of guaranteeing the caller gets control
+   back.  Timeouts are therefore for recovering a sweep, not for
+   routinely cancelling work. *)
+let with_timeout ~timeout_s work =
+  let slot = Atomic.make None in
+  let monitor =
+    Domain.spawn (fun () ->
+        let r =
+          try Ok (work ())
+          with e -> Error (Raised (e, Printexc.get_raw_backtrace ()))
+        in
+        Atomic.set slot (Some r))
+  in
+  let deadline = Pool.monotonic_now () +. timeout_s in
+  let rec wait pause =
+    match Atomic.get slot with
+    | Some r ->
+        Domain.join monitor;
+        r
+    | None when Pool.monotonic_now () >= deadline -> Error (Timed_out timeout_s)
+    | None ->
+        Unix.sleepf pause;
+        wait (Float.min 0.01 (pause *. 2.))
+  in
+  wait 0.0005
+
+(* ------------------------------------------------------------------ *)
+(* Retry loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?jitter ?(fault = fun ~attempt:_ -> ()) policy work =
+  if policy.max_attempts < 1 then
+    invalid_arg "Retry.run: max_attempts must be >= 1";
+  (match policy.timeout_s with
+  | Some s when not (s > 0.) -> invalid_arg "Retry.run: timeout_s must be > 0"
+  | _ -> ());
+  let b = Runtime.Backoff.create () in
+  let attempt_once attempt =
+    try
+      fault ~attempt;
+      match policy.timeout_s with
+      | None -> Ok (work ())
+      | Some timeout_s -> with_timeout ~timeout_s work
+    with e -> Error (Raised (e, Printexc.get_raw_backtrace ()))
+  in
+  let rec go attempt =
+    match attempt_once attempt with
+    | Ok v -> (Ok v, attempt)
+    | Error e when attempt >= policy.max_attempts -> (Error e, attempt)
+    | Error _ ->
+        if policy.backoff then Unix.sleepf (Runtime.Backoff.seconds ?jitter b);
+        go (attempt + 1)
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed by exact cell label or "exp_id/label"; the counter is the
+   number of injected failures remaining.  Guarded by a mutex: cells
+   run on pool worker domains, and injection must stay deterministic —
+   keying by label (not by execution order) makes the same cells fail
+   whatever -j is. *)
+let faults : (string, int ref) Hashtbl.t = Hashtbl.create 7
+let faults_mutex = Mutex.create ()
+
+let parse_fault_spec spec =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "bad fault spec %S (expected LABEL:K or EXP/LABEL:K)"
+         spec)
+  in
+  match String.rindex_opt spec ':' with
+  | None -> fail ()
+  | Some i -> (
+      let key = String.sub spec 0 i in
+      let count = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt count with
+      | Some k when k >= 1 && key <> "" -> (key, k)
+      | _ -> fail ())
+
+let install_faults specs =
+  let parsed = List.map parse_fault_spec specs in
+  Mutex.lock faults_mutex;
+  Hashtbl.reset faults;
+  List.iter (fun (key, k) -> Hashtbl.replace faults key (ref k)) parsed;
+  Mutex.unlock faults_mutex
+
+let clear_faults () =
+  Mutex.lock faults_mutex;
+  Hashtbl.reset faults;
+  Mutex.unlock faults_mutex
+
+let inject ~exp_id ~label ~attempt =
+  Mutex.lock faults_mutex;
+  let hit =
+    List.find_map
+      (fun key ->
+        match Hashtbl.find_opt faults key with
+        | Some r when !r > 0 -> Some (key, r)
+        | _ -> None)
+      [ exp_id ^ "/" ^ label; label ]
+  in
+  (match hit with Some (_, r) -> decr r | None -> ());
+  Mutex.unlock faults_mutex;
+  match hit with
+  | Some (key, _) -> raise (Injected_fault (key, attempt))
+  | None -> ()

@@ -1,0 +1,92 @@
+(** Bounded per-cell retry with timeout, jittered backoff and
+    deterministic fault injection.
+
+    The paper's scheduler model is crash-tolerant by construction (the
+    possibly-active set of Definition 1 exists to absorb crashed
+    processes); this module gives the experiment engine the same
+    property: a cell that raises or wedges costs one bounded recovery,
+    never the sweep.  Every failed attempt is retried up to
+    [max_attempts] with a delay from {!Runtime.Backoff.seconds}
+    (truncated exponential, jittered from a caller-seeded state so
+    delays are reproducible), and the final outcome — payload or
+    error, plus the attempt count — always returns to the caller.
+
+    None of this touches stdout or a cell's RNG, so the engine's
+    byte-identical [-j 1] vs [-j N] guarantee survives retries. *)
+
+type error =
+  | Raised of exn * Printexc.raw_backtrace
+      (** The attempt raised (including injected faults). *)
+  | Timed_out of float  (** The attempt exceeded this many seconds. *)
+
+type policy = {
+  max_attempts : int;  (** Total attempts, >= 1; 1 means no retry. *)
+  timeout_s : float option;
+      (** Per-attempt wall-clock limit.  [None] (the default) runs the
+          work in the calling domain with no limit; [Some s] runs each
+          attempt in a fresh monitor domain and abandons it after [s]
+          seconds — OCaml domains cannot be killed, so a timed-out
+          attempt leaks its domain until the closure returns.  A
+          timeout is a recovery bound for wedged cells, not a
+          cancellation mechanism. *)
+  backoff : bool;  (** Sleep a jittered exponential delay between attempts. *)
+}
+
+val default : policy
+(** [{ max_attempts = 2; timeout_s = None; backoff = true }]: any
+    single failure is recovered once, matching the paper's
+    single-crash robustness arguments. *)
+
+exception Injected_fault of string * int
+(** [(matched spec key, attempt)] — raised by {!inject} when the fault
+    registry says this attempt should fail. *)
+
+exception
+  Cell_failed of {
+    exp_id : string;
+    label : string;
+    attempts : int;
+    reason : string;
+  }
+(** Raised by drivers (not by this module) once a cell has exhausted
+    its policy, so the failure can cross the [Plan.runner] interface
+    carrying enough context for the manifest and the report. *)
+
+val error_message : error -> string
+
+val run :
+  ?jitter:Random.State.t ->
+  ?fault:(attempt:int -> unit) ->
+  policy ->
+  (unit -> 'a) ->
+  ('a, error) result * int
+(** Execute the work under the policy; never raises for a failing
+    workload (policy misuse — [max_attempts < 1], a non-positive
+    timeout — still raises [Invalid_argument]).  Returns the first
+    successful payload or the last attempt's error, paired with the
+    number of attempts actually made.  [fault] runs at the start of
+    every attempt (1-based) and may raise to fail it — the
+    fault-injection hook; {!inject} is the registry-backed one.
+    [jitter] seeds the backoff delays (see
+    {!Runtime.Backoff.seconds}). *)
+
+(** {2 Fault-injection registry}
+
+    A process-global table of cells that must fail their next [K]
+    attempts, fed by the CLI's [--fault LABEL:K] flags (or the
+    [REPRO_FAULT] environment variable) so CI can exercise the
+    recovery paths deterministically: keys are exact cell labels or
+    ["exp_id/label"], matched whatever worker domain runs the cell and
+    whatever order cells execute in. *)
+
+val install_faults : string list -> unit
+(** Parse and install fault specs (["LABEL:K"] or ["EXP/LABEL:K"],
+    [K >= 1] failures), replacing the current registry.  Raises
+    [Invalid_argument] on a malformed spec. *)
+
+val clear_faults : unit -> unit
+
+val inject : exp_id:string -> label:string -> attempt:int -> unit
+(** Raise {!Injected_fault} (consuming one remaining failure) if the
+    registry has failures left for ["exp_id/label"] or ["label"];
+    otherwise do nothing.  Thread-safe. *)

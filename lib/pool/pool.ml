@@ -11,7 +11,10 @@ type metrics = {
   jobs_total : int;
   busy_total : float;
   queue_wait_total : float;
+  trapped : int;
 }
+
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
 
 type t = {
   size : int;
@@ -25,11 +28,13 @@ type t = {
   jobs_done : int array;
   busy : float array;
   mutable wait_total : float;
+  mutable trapped : int;
 }
+
+external monotonic_now : unit -> float = "repro_monotonic_now"
 
 let default_size () = max 1 (Domain.recommended_domain_count ())
 let size t = t.size
-let now () = Unix.gettimeofday ()
 
 let rec worker t i =
   Mutex.lock t.mutex;
@@ -39,10 +44,22 @@ let rec worker t i =
   if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* shutdown *)
   else begin
     let job = Queue.pop t.jobs in
-    let waited = now () -. job.enqueued in
+    let waited = monotonic_now () -. job.enqueued in
     t.wait_total <- t.wait_total +. waited;
     Mutex.unlock t.mutex;
-    job.run ~worker:i ~waited;
+    (* Supervision backstop: a job whose closure leaks an exception
+       must not take the worker domain down with it — a dead worker
+       shrinks the pool silently and, if the job never reported
+       completion, leaves [try_run] waiting forever.  The closures
+       built by [try_run] are exception-proof by construction (and
+       release the pool mutex before anything that can raise), so a
+       trap here means a bug in the pool itself; it is counted so
+       {!metrics} can surface it. *)
+    (try job.run ~worker:i ~waited
+     with _ ->
+       Mutex.lock t.mutex;
+       t.trapped <- t.trapped + 1;
+       Mutex.unlock t.mutex);
     worker t i
   end
 
@@ -59,6 +76,7 @@ let create ?size:(n = default_size ()) () =
       jobs_done = Array.make n 0;
       busy = Array.make n 0.;
       wait_total = 0.;
+      trapped = 0;
     }
   in
   (* A pool of size 1 runs jobs in the caller's domain — exactly the
@@ -81,6 +99,7 @@ let metrics t =
         { worker = i; jobs = t.jobs_done.(i); busy = t.busy.(i) })
   in
   let queue_wait_total = t.wait_total in
+  let trapped = t.trapped in
   Mutex.unlock t.mutex;
   {
     workers;
@@ -89,13 +108,13 @@ let metrics t =
     busy_total =
       List.fold_left (fun acc (w : worker_metrics) -> acc +. w.busy) 0. workers;
     queue_wait_total;
+    trapped;
   }
 
-let run ?on_done t fs =
+let try_run ?on_done t fs =
   let fs = Array.of_list fs in
   let n = Array.length fs in
-  let results = Array.make n None in
-  let errors = Array.make n None in
+  let outcomes = Array.make n None in
   let finish i ~worker ~waited dt =
     match on_done with
     | Some f -> ( try f ~index:i ~worker ~waited ~elapsed:dt with _ -> ())
@@ -107,6 +126,10 @@ let run ?on_done t fs =
     t.jobs_done.(worker) <- t.jobs_done.(worker) + 1;
     t.busy.(worker) <- t.busy.(worker) +. dt
   in
+  let execute i f =
+    try outcomes.(i) <- Some (Ok (f ()))
+    with e -> outcomes.(i) <- Some (Error (e, Printexc.get_raw_backtrace ()))
+  in
   if t.size = 1 then begin
     Mutex.lock t.mutex;
     let live = t.live in
@@ -114,10 +137,9 @@ let run ?on_done t fs =
     if not live then invalid_arg "Pool.run: pool is shut down";
     Array.iteri
       (fun i f ->
-        let t0 = now () in
-        (try results.(i) <- Some (f ())
-         with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-        let dt = now () -. t0 in
+        let t0 = monotonic_now () in
+        execute i f;
+        let dt = monotonic_now () -. t0 in
         Mutex.lock t.mutex;
         account ~worker:0 dt;
         Mutex.unlock t.mutex;
@@ -132,7 +154,7 @@ let run ?on_done t fs =
       Mutex.unlock t.mutex;
       invalid_arg "Pool.run: pool is shut down"
     end;
-    let submitted = now () in
+    let submitted = monotonic_now () in
     Array.iteri
       (fun i f ->
         Queue.push
@@ -140,13 +162,19 @@ let run ?on_done t fs =
             enqueued = submitted;
             run =
               (fun ~worker ~waited ->
-                let t0 = now () in
-                (try results.(i) <- Some (f ())
-                 with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-                let dt = now () -. t0 in
+                let t0 = monotonic_now () in
+                execute i f;
+                let dt = monotonic_now () -. t0 in
                 Mutex.lock t.mutex;
-                account ~worker dt;
-                finish i ~worker ~waited dt;
+                (* [remaining]/[drained] is what keeps the caller from
+                   waiting forever, so nothing between the lock and
+                   the decrement may raise: the job body was caught by
+                   [execute], and accounting/callback failures must
+                   not prevent the batch from draining. *)
+                (try
+                   account ~worker dt;
+                   finish i ~worker ~waited dt
+                 with _ -> ());
                 decr remaining;
                 if !remaining = 0 then Condition.signal drained;
                 Mutex.unlock t.mutex);
@@ -159,12 +187,16 @@ let run ?on_done t fs =
     done;
     Mutex.unlock t.mutex
   end;
-  Array.iter
+  Array.to_list (Array.map Option.get outcomes)
+
+let run ?on_done t fs =
+  let outcomes = try_run ?on_done t fs in
+  List.iter
     (function
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ())
-    errors;
-  Array.to_list (Array.map Option.get results)
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Ok _ -> ())
+    outcomes;
+  List.map (function Ok v -> v | Error _ -> assert false) outcomes
 
 let map ?on_done t f xs = run ?on_done t (List.map (fun x () -> f x) xs)
 

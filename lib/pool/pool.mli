@@ -16,6 +16,13 @@
 
 type t
 
+val monotonic_now : unit -> float
+(** Seconds on [CLOCK_MONOTONIC] (arbitrary epoch — only differences
+    are meaningful).  All of the pool's own timing goes through this,
+    and every other component measuring a duration should too:
+    [Unix.gettimeofday] steps under NTP adjustments and can make
+    durations negative. *)
+
 val default_size : unit -> int
 (** [Domain.recommended_domain_count ()], i.e. the machine's cores. *)
 
@@ -38,6 +45,11 @@ type metrics = {
   queue_wait_total : float;
       (** Seconds jobs spent queued before a worker picked them up,
           summed over all jobs; always 0 at size 1 (jobs never queue). *)
+  trapped : int;
+      (** Exceptions the worker loop's supervision backstop caught
+          escaping a job closure.  The closures built by {!try_run}
+          are exception-proof, so any non-zero value indicates a pool
+          bug — the worker survived it, but it should be reported. *)
 }
 
 val metrics : t -> metrics
@@ -48,20 +60,36 @@ val metrics : t -> metrics
     [on_done] callback (it takes the pool lock the callback already
     holds). *)
 
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+(** Per-job result: [Ok payload], or the exception (with backtrace)
+    the job body raised. *)
+
+val try_run :
+  ?on_done:(index:int -> worker:int -> waited:float -> elapsed:float -> unit) ->
+  t ->
+  (unit -> 'a) list ->
+  'a outcome list
+(** Execute the jobs, return one {!outcome} per job in submission
+    order.  This is the supervised entry point: a job that raises is
+    recorded as its own [Error] — it cannot kill a worker domain, leak
+    the pool mutex, or stop the remaining jobs — and [try_run] always
+    returns once every job has run (it never hangs on a failed job).
+    [on_done] fires once per job (also for failed ones) with its
+    index, the worker that ran it, its queue-wait and its wall-clock
+    seconds, serialized under the pool lock (safe to print from, but
+    see {!metrics}); a raising [on_done] is swallowed.  Raises
+    [Invalid_argument] after {!shutdown} — at every pool size,
+    including 1.  Must not be called from inside a job of the same
+    pool (workers would deadlock waiting on themselves). *)
+
 val run :
   ?on_done:(index:int -> worker:int -> waited:float -> elapsed:float -> unit) ->
   t ->
   (unit -> 'a) list ->
   'a list
-(** Execute the jobs, return their results in submission order.
-    [on_done] fires once per job with its index, the worker that ran
-    it, its queue-wait and its wall-clock seconds, serialized under
-    the pool lock (safe to print from, but see {!metrics}).  If any
-    job raised, the whole batch still runs to completion, then the
-    first-submitted failure is re-raised with its backtrace.  Raises
-    [Invalid_argument] after {!shutdown} — at every pool size,
-    including 1.  Must not be called from inside a job of the same
-    pool (workers would deadlock waiting on themselves). *)
+(** {!try_run}, then either return all payloads in submission order
+    or — if any job raised — re-raise the first-submitted failure
+    with its backtrace (the whole batch still ran to completion). *)
 
 val map :
   ?on_done:(index:int -> worker:int -> waited:float -> elapsed:float -> unit) ->

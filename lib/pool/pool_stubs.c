@@ -1,0 +1,20 @@
+/* Monotonic clock for the pool's timing telemetry.
+
+   Unix.gettimeofday follows the wall clock, which steps under NTP
+   adjustments and can make elapsed/queue-wait durations negative; the
+   OCaml Unix library exposes no monotonic clock, so this stub wraps
+   clock_gettime(CLOCK_MONOTONIC), which only moves forward.  The
+   epoch is arbitrary (typically boot time): only differences between
+   two readings are meaningful. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value repro_monotonic_now(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + 1e-9 * (double) ts.tv_nsec);
+}

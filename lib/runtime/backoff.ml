@@ -12,3 +12,15 @@ let once t =
   t.current <- min t.max_spins (t.current * 2)
 
 let reset t = t.current <- t.min_spins
+
+(* One millisecond per spin unit maps the default 4..1024 budget to
+   4ms..~1s — retry-loop territory rather than cache-miss territory. *)
+let seconds ?jitter t =
+  let base = 1e-3 *. float_of_int t.current in
+  let scale =
+    match jitter with
+    | None -> 1.0
+    | Some st -> 0.5 +. Random.State.float st 1.0
+  in
+  t.current <- min t.max_spins (t.current * 2);
+  base *. scale

@@ -16,3 +16,13 @@ val once : t -> unit
 
 val reset : t -> unit
 (** Back to [min_spins] (call after a successful operation). *)
+
+val seconds : ?jitter:Random.State.t -> t -> float
+(** The current budget as a sleep duration (1 ms per spin unit, so the
+    defaults give 4 ms, 8 ms, … saturating near 1 s) and double it —
+    the same truncated-exponential schedule as {!once}, mapped to time
+    scales where sleeping beats spinning (e.g. the experiment engine's
+    per-cell retry delays).  [jitter] scales each delay by a uniform
+    factor in [0.5, 1.5) drawn from the given state, so a caller that
+    seeds the state deterministically gets reproducible delays while
+    distinct callers still decorrelate. *)

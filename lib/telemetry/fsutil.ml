@@ -1,0 +1,38 @@
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" then ()
+  else if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      raise (Sys_error (dir ^ ": exists but is not a directory"))
+  end
+  else begin
+    mkdir_p (Filename.dirname dir);
+    (* Another process may create [dir] between the existence check
+       and the mkdir; only that race is benign.  Every other failure
+       (EACCES, ENOTDIR, read-only fs, ...) propagates — swallowing it
+       here would let a run proceed and fail much later with a
+       confusing write error. *)
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when (try Sys.is_directory dir with Sys_error _ -> false)
+    -> ()
+  end
+
+(* Temp names must be unique per writer: concurrent processes (and
+   concurrent writers within one process) may flush the same path at
+   once, and a shared <path>.tmp would interleave their writes before
+   the rename. *)
+let tmp_counter = Atomic.make 0
+
+let write_atomic path contents =
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc contents)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

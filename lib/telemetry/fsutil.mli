@@ -1,0 +1,18 @@
+(** Filesystem helpers shared by everything that persists telemetry or
+    cached results (manifests, bench JSON, the cell cache, the CLI's
+    [--out] directory). *)
+
+val mkdir_p : string -> unit
+(** Create [dir] and any missing parents ([0o755]).  A component that
+    already exists as a directory is fine (including one created
+    concurrently by another process); everything else — a component
+    that exists but is not a directory, EACCES, a read-only
+    filesystem, ... — raises [Sys_error] immediately, rather than
+    letting the caller proceed and fail later with a confusing
+    write error. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents]: write to a per-writer unique temp
+    file next to [path] and rename it into place, so readers (and a
+    process killed mid-write) never observe a half-written file.
+    Raises [Sys_error] on I/O failure; the temp file is removed. *)

@@ -45,3 +45,5 @@ val to_float : t -> float option
 (** [Int] values coerce to float; [Float] values pass through. *)
 
 val to_int : t -> int option
+
+val to_bool : t -> bool option

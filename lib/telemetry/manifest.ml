@@ -1,4 +1,5 @@
 type cache_status = Hit | Miss | Off
+type cell_status = Completed | Failed of string
 
 type cell = {
   exp_id : string;
@@ -6,6 +7,8 @@ type cell = {
   worker : int;
   waited : float;
   elapsed : float;
+  attempts : int;
+  status : cell_status;
   cache : cache_status;
 }
 
@@ -18,6 +21,7 @@ type t = {
   started : float;
   command : string list;
   version : string;
+  ids : string list;
   quick : bool;
   seed : int;
   jobs : int;
@@ -26,13 +30,15 @@ type t = {
   mutable experiments_rev : experiment list;
   mutable pool_workers : worker_stat list;
   mutable queue_wait_total : float;
+  mutable pool_trapped : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_stores : int;
   mutable total_elapsed : float;
+  mutable journal : string option;
 }
 
-let schema = "repro-run-manifest/1"
+let schema = "repro-run-manifest/2"
 
 let git_describe () =
   try
@@ -43,12 +49,14 @@ let git_describe () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let create ?now ?version ~command ~quick ~seed ~jobs ~cache_enabled () =
+let create ?now ?version ?(ids = []) ~command ~quick ~seed ~jobs ~cache_enabled
+    () =
   {
     mutex = Mutex.create ();
     started = (match now with Some f -> f | None -> Unix.gettimeofday ());
     command;
     version = (match version with Some v -> v | None -> git_describe ());
+    ids;
     quick;
     seed;
     jobs;
@@ -57,40 +65,32 @@ let create ?now ?version ~command ~quick ~seed ~jobs ~cache_enabled () =
     experiments_rev = [];
     pool_workers = [];
     queue_wait_total = 0.;
+    pool_trapped = 0;
     cache_hits = 0;
     cache_misses = 0;
     cache_stores = 0;
     total_elapsed = 0.;
+    journal = None;
   }
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let record_cell t ~exp_id ~label ~worker ~waited ~elapsed ~cache =
-  locked t (fun () ->
-      t.cells_rev <- { exp_id; label; worker; waited; elapsed; cache } :: t.cells_rev)
-
-let record_experiment t ~id ~title ~elapsed =
-  locked t (fun () -> t.experiments_rev <- { id; title; elapsed } :: t.experiments_rev)
-
-let set_pool t ~queue_wait_total workers =
-  locked t (fun () ->
-      t.pool_workers <- workers;
-      t.queue_wait_total <- queue_wait_total)
-
-let set_cache_counters t ~hits ~misses ~stores =
-  locked t (fun () ->
-      t.cache_hits <- hits;
-      t.cache_misses <- misses;
-      t.cache_stores <- stores)
-
-let set_elapsed t dt = locked t (fun () -> t.total_elapsed <- dt)
-let cells t = locked t (fun () -> List.rev t.cells_rev)
+(* Durations come from callers' clocks.  Timing is monotonic
+   ([Pool.monotonic_now]) throughout the engine, but a caller still on
+   the wall clock — or a buggy one — could hand us negative or
+   non-finite values, which would poison downstream tooling; clamp at
+   record time so the written manifest only ever carries valid
+   durations. *)
+let duration x = if Float.is_nan x || x < 0. then 0. else x
 
 (* <YYYYMMDD-HHMMSS>-<ids>-p<pid>: sortable by start time, readable,
-   and collision-free across concurrent runs on one machine. *)
-let run_id t =
+   and collision-free across concurrent runs on one machine.  Prefers
+   the planned ids handed to [create] (stable from the start, which
+   journal mode needs for its filename) and falls back to the
+   experiments recorded so far. *)
+let run_id_locked t =
   let tm = Unix.localtime t.started in
   let stamp =
     Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
@@ -98,7 +98,8 @@ let run_id t =
       tm.Unix.tm_sec
   in
   let ids =
-    locked t (fun () -> List.rev_map (fun e -> e.id) t.experiments_rev)
+    if t.ids <> [] then t.ids
+    else List.rev_map (fun e -> e.id) t.experiments_rev
   in
   let slug =
     match ids with
@@ -118,19 +119,27 @@ let run_id t =
   in
   Printf.sprintf "%s-%s-p%d" stamp slug (Unix.getpid ())
 
+let run_id t = locked t (fun () -> run_id_locked t)
 let cache_status_str = function Hit -> "hit" | Miss -> "miss" | Off -> "off"
 
-let to_json t =
+let to_json_locked t =
   let cell c =
     Json.Obj
-      [
-        ("exp", Json.Str c.exp_id);
-        ("label", Json.Str c.label);
-        ("worker", Json.Int c.worker);
-        ("queue_wait_s", Json.Float c.waited);
-        ("elapsed_s", Json.Float c.elapsed);
-        ("cache", Json.Str (cache_status_str c.cache));
-      ]
+      ([
+         ("exp", Json.Str c.exp_id);
+         ("label", Json.Str c.label);
+         ("worker", Json.Int c.worker);
+         ("queue_wait_s", Json.Float c.waited);
+         ("elapsed_s", Json.Float c.elapsed);
+         ("attempts", Json.Int c.attempts);
+         ( "status",
+           Json.Str (match c.status with Completed -> "ok" | Failed _ -> "failed")
+         );
+         ("cache", Json.Str (cache_status_str c.cache));
+       ]
+      @ match c.status with
+        | Completed -> []
+        | Failed msg -> [ ("error", Json.Str msg) ])
   in
   let experiment (e : experiment) =
     Json.Obj
@@ -148,52 +157,199 @@ let to_json t =
         ("busy_s", Json.Float w.busy);
       ]
   in
-  let id = run_id t in
-  locked t (fun () ->
-      Json.Obj
-        [
-          ("schema", Json.Str schema);
-          ("run_id", Json.Str id);
-          ("started_unix", Json.Float t.started);
-          ("command", Json.List (List.map (fun a -> Json.Str a) t.command));
-          ("version", Json.Str t.version);
-          ( "budget",
-            Json.Obj [ ("quick", Json.Bool t.quick); ("seed", Json.Int t.seed) ]
-          );
-          ("jobs", Json.Int t.jobs);
-          ( "pool",
-            Json.Obj
-              [
-                ("queue_wait_total_s", Json.Float t.queue_wait_total);
-                ("workers", Json.List (List.map worker t.pool_workers));
-              ] );
-          ( "cache",
-            Json.Obj
-              [
-                ("enabled", Json.Bool t.cache_enabled);
-                ("hits", Json.Int t.cache_hits);
-                ("misses", Json.Int t.cache_misses);
-                ("stores", Json.Int t.cache_stores);
-              ] );
-          ( "experiments",
-            Json.List (List.rev_map experiment t.experiments_rev) );
-          ("cells", Json.List (List.rev_map cell t.cells_rev));
-          ("total_elapsed_s", Json.Float t.total_elapsed);
-        ])
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("run_id", Json.Str (run_id_locked t));
+      ("started_unix", Json.Float t.started);
+      ("command", Json.List (List.map (fun a -> Json.Str a) t.command));
+      ("version", Json.Str t.version);
+      ("ids", Json.List (List.map (fun id -> Json.Str id) t.ids));
+      ( "budget",
+        Json.Obj [ ("quick", Json.Bool t.quick); ("seed", Json.Int t.seed) ] );
+      ("jobs", Json.Int t.jobs);
+      ( "pool",
+        Json.Obj
+          [
+            ("queue_wait_total_s", Json.Float t.queue_wait_total);
+            ("trapped", Json.Int t.pool_trapped);
+            ("workers", Json.List (List.map worker t.pool_workers));
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("enabled", Json.Bool t.cache_enabled);
+            ("hits", Json.Int t.cache_hits);
+            ("misses", Json.Int t.cache_misses);
+            ("stores", Json.Int t.cache_stores);
+          ] );
+      ("experiments", Json.List (List.rev_map experiment t.experiments_rev));
+      ("cells", Json.List (List.rev_map cell t.cells_rev));
+      ("total_elapsed_s", Json.Float t.total_elapsed);
+    ]
 
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
-  end
+let to_json t = locked t (fun () -> to_json_locked t)
+
+(* Journal mode: re-serialize the whole manifest after every mutation,
+   atomically, so a killed process leaves a valid JSON file that is at
+   most one cell behind.  Manifests are small (tens of cells), so the
+   rewrite is cheap.  Mid-run flush failures degrade to a skipped
+   update — the in-memory manifest is intact and the next mutation (or
+   the final [write]) retries; [strict] makes the failure visible at
+   the points that report it. *)
+let flush_locked ?(strict = false) t =
+  match t.journal with
+  | None -> ()
+  | Some path -> (
+      try Fsutil.write_atomic path (Json.to_string (to_json_locked t) ^ "\n")
+      with Sys_error _ when not strict -> ())
+
+let enable_journal t ~dir =
+  Fsutil.mkdir_p dir;
+  locked t (fun () ->
+      let path = Filename.concat dir (run_id_locked t ^ ".json") in
+      t.journal <- Some path;
+      flush_locked ~strict:true t;
+      path)
+
+let record_cell ?(attempts = 1) ?(status = Completed) t ~exp_id ~label ~worker
+    ~waited ~elapsed ~cache =
+  locked t (fun () ->
+      t.cells_rev <-
+        {
+          exp_id;
+          label;
+          worker;
+          waited = duration waited;
+          elapsed = duration elapsed;
+          attempts = max 1 attempts;
+          status;
+          cache;
+        }
+        :: t.cells_rev;
+      flush_locked t)
+
+let record_experiment t ~id ~title ~elapsed =
+  locked t (fun () ->
+      t.experiments_rev <-
+        { id; title; elapsed = duration elapsed } :: t.experiments_rev;
+      flush_locked t)
+
+let set_pool t ?(trapped = 0) ~queue_wait_total workers =
+  locked t (fun () ->
+      t.pool_workers <-
+        List.map (fun w -> { w with busy = duration w.busy }) workers;
+      t.queue_wait_total <- duration queue_wait_total;
+      t.pool_trapped <- trapped;
+      flush_locked t)
+
+let set_cache_counters t ~hits ~misses ~stores =
+  locked t (fun () ->
+      t.cache_hits <- hits;
+      t.cache_misses <- misses;
+      t.cache_stores <- stores;
+      flush_locked t)
+
+let set_elapsed t dt =
+  locked t (fun () ->
+      t.total_elapsed <- duration dt;
+      flush_locked t)
+
+let cells t = locked t (fun () -> List.rev t.cells_rev)
 
 let write ?(dir = Filename.concat "results" "runs") t =
-  mkdir_p dir;
-  let path = Filename.concat dir (run_id t ^ ".json") in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Json.to_string (to_json t));
-      output_char oc '\n');
-  path
+  match locked t (fun () -> t.journal) with
+  | Some path ->
+      locked t (fun () -> flush_locked ~strict:true t);
+      path
+  | None ->
+      Fsutil.mkdir_p dir;
+      let path = Filename.concat dir (run_id t ^ ".json") in
+      Fsutil.write_atomic path (Json.to_string (to_json t) ^ "\n");
+      path
+
+(* ------------------------------------------------------------------ *)
+(* Resume                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type resume = {
+  resume_ids : string list;
+  resume_quick : bool;
+  resume_seed : int;
+  completed : (string * string) list;
+}
+
+let load_resume path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Json.parse contents with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok json ->
+          let schema_ok =
+            match Option.bind (Json.member "schema" json) Json.to_str with
+            | Some s ->
+                String.length s >= 18 && String.sub s 0 18 = "repro-run-manifest"
+            | None -> false
+          in
+          if not schema_ok then
+            Error (path ^ ": not a run manifest (missing/unknown schema)")
+          else
+            let resume_ids =
+              match Option.bind (Json.member "ids" json) Json.to_list with
+              | Some l when l <> [] -> List.filter_map Json.to_str l
+              | _ -> (
+                  (* Schema 1 manifests carry no planned-ids field;
+                     fall back to the experiments that completed. *)
+                  match
+                    Option.bind (Json.member "experiments" json) Json.to_list
+                  with
+                  | Some l ->
+                      List.filter_map
+                        (fun e -> Option.bind (Json.member "id" e) Json.to_str)
+                        l
+                  | None -> [])
+            in
+            let resume_quick, resume_seed =
+              match Json.member "budget" json with
+              | Some b ->
+                  ( Option.value ~default:false
+                      (Option.bind (Json.member "quick" b) Json.to_bool),
+                    Option.value ~default:0
+                      (Option.bind (Json.member "seed" b) Json.to_int) )
+              | None -> (false, 0)
+            in
+            let completed =
+              match Option.bind (Json.member "cells" json) Json.to_list with
+              | Some cells ->
+                  List.sort_uniq compare
+                    (List.filter_map
+                       (fun c ->
+                         let ok =
+                           match
+                             Option.bind (Json.member "status" c) Json.to_str
+                           with
+                           | Some "ok" -> true
+                           | Some _ -> false
+                           (* Schema 1 recorded only completed cells. *)
+                           | None -> true
+                         in
+                         if not ok then None
+                         else
+                           match
+                             ( Option.bind (Json.member "exp" c) Json.to_str,
+                               Option.bind (Json.member "label" c) Json.to_str )
+                           with
+                           | Some e, Some l -> Some (e, l)
+                           | _ -> None)
+                       cells)
+              | None -> []
+            in
+            if resume_ids = [] then
+              Error (path ^ ": manifest names no experiments to resume")
+            else Ok { resume_ids; resume_quick; resume_seed; completed })

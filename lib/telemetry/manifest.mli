@@ -3,12 +3,18 @@
     A manifest is the observability record of one driver invocation
     (one [repro run ...]): the budget and seed, the worker-pool shape,
     one entry per executed cell (label, wall-clock, worker id,
-    queue-wait, cache hit/miss), per-experiment totals, pool
-    scheduling-skew metrics and cache counters.  It is accumulated
-    in-memory while experiments run — recording is mutex-protected, so
-    pool [on_done] callbacks may feed it from worker domains — and
-    written once at the end as pretty-printed JSON under
+    queue-wait, attempt count, ok/failed status, cache hit/miss),
+    per-experiment totals, pool scheduling-skew metrics and cache
+    counters.  It is accumulated in-memory while experiments run —
+    recording is mutex-protected, so pool [on_done] callbacks may feed
+    it from worker domains — and written as pretty-printed JSON under
     [results/runs/<timestamp>-<ids>-p<pid>.json].
+
+    Two write disciplines: the classic one-shot {!write} at the end of
+    the run, or {e journal mode} ({!enable_journal}), which rewrites
+    the file atomically after every recorded cell so a killed process
+    leaves a valid manifest at most one cell behind — the input
+    {!load_resume} needs for [repro run --resume].
 
     The manifest never touches stdout: tables stay byte-identical with
     telemetry enabled, which is what keeps the [-j 1] vs [-j N]
@@ -16,12 +22,18 @@
 
 type cache_status = Hit | Miss | Off
 
+type cell_status =
+  | Completed
+  | Failed of string  (** The cell gave up; the string is the reason. *)
+
 type cell = {
   exp_id : string;
   label : string;
   worker : int;  (** Worker domain index; [-1] for cache hits (no worker ran). *)
   waited : float;  (** Seconds between submission and execution start. *)
   elapsed : float;  (** Wall-clock seconds of the cell body; 0 for hits. *)
+  attempts : int;  (** Executions it took, >= 1 (see [Experiments.Retry]). *)
+  status : cell_status;
   cache : cache_status;
 }
 
@@ -31,7 +43,9 @@ type t
 
 val schema : string
 (** Embedded as the manifest's ["schema"] field; bump on layout
-    changes so downstream tooling can dispatch. *)
+    changes so downstream tooling can dispatch.  Currently
+    ["repro-run-manifest/2"] (2 added [ids], per-cell
+    [attempts]/[status]/[error] and pool [trapped]). *)
 
 val git_describe : unit -> string
 (** [git describe --always --dirty] of the working tree, or
@@ -41,6 +55,7 @@ val git_describe : unit -> string
 val create :
   ?now:float ->
   ?version:string ->
+  ?ids:string list ->
   command:string list ->
   quick:bool ->
   seed:int ->
@@ -49,9 +64,14 @@ val create :
   unit ->
   t
 (** [now] defaults to the wall clock, [version] to {!git_describe}
-    (pass it explicitly in tests to avoid spawning git). *)
+    (pass it explicitly in tests to avoid spawning git).  [ids] is the
+    planned experiment list: it fixes {!run_id} from the start (which
+    journal mode needs for a stable filename) and is what [--resume]
+    replays when the run died before finishing. *)
 
 val record_cell :
+  ?attempts:int ->
+  ?status:cell_status ->
   t ->
   exp_id:string ->
   label:string ->
@@ -60,12 +80,21 @@ val record_cell :
   elapsed:float ->
   cache:cache_status ->
   unit
-(** Thread-safe; call order defines the manifest's cell order. *)
+(** Thread-safe; call order defines the manifest's cell order.
+    [attempts] defaults to 1 and [status] to [Completed].  Durations
+    are clamped to [0] if negative or non-finite — validation lives
+    here so the written manifest never carries a nonsense duration
+    whatever clock the caller used. *)
 
 val record_experiment : t -> id:string -> title:string -> elapsed:float -> unit
 
-val set_pool : t -> queue_wait_total:float -> worker_stat list -> unit
+val set_pool :
+  t -> ?trapped:int -> queue_wait_total:float -> worker_stat list -> unit
+(** [trapped] is {!Pool.metrics}' supervision-backstop counter
+    (default 0). *)
+
 val set_cache_counters : t -> hits:int -> misses:int -> stores:int -> unit
+
 val set_elapsed : t -> float -> unit
 (** Total wall-clock of the whole run. *)
 
@@ -74,11 +103,41 @@ val cells : t -> cell list
 
 val run_id : t -> string
 (** [<YYYYMMDD-HHMMSS>-<experiment ids>-p<pid>], derived from the
-    creation time and the experiments recorded so far; stable once all
-    experiments are recorded. *)
+    creation time and the planned [ids] (or, when none were given, the
+    experiments recorded so far). *)
 
 val to_json : t -> Json.t
 
+val enable_journal : t -> dir:string -> string
+(** Switch to journal mode: create [dir] (with parents), write the
+    manifest to [<dir>/<run_id>.json] now, and rewrite that file —
+    atomically, via a temp file and rename — after every subsequent
+    mutation.  Returns the journal path.  Raises [Sys_error] if the
+    directory or the initial write fails; once journaling, a failed
+    mid-run rewrite degrades to a skipped update (the next mutation or
+    {!write} retries). *)
+
 val write : ?dir:string -> t -> string
-(** Serialize under [dir] (default ["results/runs"], created with
-    parents if missing) as [<run_id>.json]; returns the path. *)
+(** One-shot mode: serialize under [dir] (default ["results/runs"],
+    created with parents if missing) as [<run_id>.json]; returns the
+    path.  In journal mode: flush once more and return the journal
+    path ([dir] is ignored — the file already lives where
+    {!enable_journal} put it). *)
+
+type resume = {
+  resume_ids : string list;  (** Planned experiment ids of the dead run. *)
+  resume_quick : bool;
+  resume_seed : int;
+  completed : (string * string) list;
+      (** [(exp_id, label)] of every cell recorded as completed
+          (deduplicated).  Cells recorded as failed are deliberately
+          absent: resuming re-executes them. *)
+}
+
+val load_resume : string -> (resume, string) result
+(** Read a (possibly mid-sweep) manifest back for [--resume].  Accepts
+    schema 1 manifests too (no status field: every recorded cell
+    counts as completed; no ids field: the completed experiments stand
+    in).  Returns [Error] with a human-readable reason on unreadable
+    files, malformed JSON, a non-manifest document, or a manifest
+    naming no experiments. *)

@@ -1,0 +1,256 @@
+(* End-to-end recovery tests against the built repro executable: fault
+   injection recovered inside a run (exit 0, stdout byte-identical to
+   an undisturbed run), permanent give-ups surfacing as exit 1 without
+   hanging the sweep, and --resume completing a manifest truncated
+   mid-sweep with byte-identical stdout.
+
+   Each case gets its own scratch working directory because repro
+   writes results/ relative to the cwd.  The test binary itself runs
+   from _build/default/test, so the driver under test is
+   ../bin/repro.exe (declared as a dune dep). *)
+
+module Json = Telemetry.Json
+
+let repro =
+  Filename.concat (Filename.dirname (Sys.getcwd ())) "bin/repro.exe"
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_scratch_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro-cli-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run [repro <args>] with [dir] as cwd; returns (exit code, stdout,
+   stderr).  [env] prefixes shell variable assignments. *)
+let run ?(env = []) dir args =
+  let env_s =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s=%s " k (Filename.quote v)) env)
+  in
+  let code =
+    Sys.command
+      (Printf.sprintf "cd %s && %s%s %s >stdout.txt 2>stderr.txt"
+         (Filename.quote dir) env_s (Filename.quote repro) args)
+  in
+  ( code,
+    read_file (Filename.concat dir "stdout.txt"),
+    read_file (Filename.concat dir "stderr.txt") )
+
+let manifest_path dir =
+  let runs = Filename.concat (Filename.concat dir "results") "runs" in
+  match Sys.readdir runs with
+  | [| f |] -> Filename.concat runs f
+  | files ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one manifest under %s, found %d" runs
+           (Array.length files))
+
+let parse_manifest path =
+  match Json.parse (read_file path) with
+  | Ok v -> v
+  | Error msg -> Alcotest.fail (path ^ ": " ^ msg)
+
+let manifest_cells json =
+  Option.bind (Json.member "cells" json) Json.to_list |> Option.get
+
+let cell_field f cell = Option.bind (Json.member f cell) Json.to_str
+let cell_attempts cell =
+  Option.bind (Json.member "attempts" cell) Json.to_int |> Option.get
+
+(* The reference stdout of an undisturbed quick fig1 run, computed
+   once: both the fault-recovery and the REPRO_FAULT cases must
+   reproduce it byte for byte. *)
+let golden_fig1 =
+  lazy
+    (with_scratch_dir (fun dir ->
+         let code, out, err = run dir "run fig1 --quick --no-progress" in
+         if code <> 0 then Alcotest.fail ("golden run failed: " ^ err);
+         out))
+
+let test_fault_recovery () =
+  with_scratch_dir (fun dir ->
+      let code, out, err =
+        run dir
+          "run fig1 --quick --no-progress --fault lifting-n2:1 --no-backoff"
+      in
+      Alcotest.(check int) ("faulted run exits 0; stderr: " ^ err) 0 code;
+      Alcotest.(check string)
+        "stdout byte-identical to the undisturbed run"
+        (Lazy.force golden_fig1) out;
+      let cells = manifest_cells (parse_manifest (manifest_path dir)) in
+      let retried =
+        List.filter (fun c -> cell_attempts c = 2) cells
+      in
+      Alcotest.(check int) "exactly one cell needed a retry" 1
+        (List.length retried);
+      Alcotest.(check (option string))
+        "the faulted cell is the retried one" (Some "lifting-n2")
+        (cell_field "label" (List.hd retried));
+      Alcotest.(check bool) "every cell ended ok" true
+        (List.for_all (fun c -> cell_field "status" c = Some "ok") cells))
+
+let test_env_fault () =
+  (* REPRO_FAULT is the flag-less channel CI uses. *)
+  with_scratch_dir (fun dir ->
+      let code, out, _ =
+        run dir
+          ~env:[ ("REPRO_FAULT", "lifting-n2:1") ]
+          "run fig1 --quick --no-progress --no-backoff"
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check string)
+        "stdout byte-identical under REPRO_FAULT"
+        (Lazy.force golden_fig1) out;
+      let cells = manifest_cells (parse_manifest (manifest_path dir)) in
+      Alcotest.(check bool) "env fault actually fired" true
+        (List.exists (fun c -> cell_attempts c = 2) cells))
+
+let test_permanent_failure () =
+  (* A cell that out-faults its retry budget: the run must not hang,
+     must finish the other experiment, record the failure in the
+     manifest, and exit 1. *)
+  with_scratch_dir (fun dir ->
+      let code, out, err =
+        run dir
+          "run fig1 lem11 --quick --no-progress --fault lifting-n2:9 \
+           --retries 2 --no-backoff"
+      in
+      Alcotest.(check int) "gave-up run exits 1" 1 code;
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "the healthy experiment still printed" true
+        (contains out "lem11");
+      Alcotest.(check bool) "stderr names the give-up" true
+        (contains err "gave up");
+      let cells = manifest_cells (parse_manifest (manifest_path dir)) in
+      let failed =
+        List.filter (fun c -> cell_field "status" c = Some "failed") cells
+      in
+      Alcotest.(check int) "one failed cell recorded" 1 (List.length failed);
+      Alcotest.(check (option string))
+        "it is the faulted cell" (Some "lifting-n2")
+        (cell_field "label" (List.hd failed));
+      Alcotest.(check int) "it burned its full retry budget" 2
+        (cell_attempts (List.hd failed)))
+
+let test_resume_truncated_manifest () =
+  (* Simulate a sweep killed mid-run: complete fig1+lem11 with the
+     cache on, then hand --resume a manifest stripped back to the
+     fig1 cells (as if the process died before lem11) with lem11's
+     cache gone.  The resumed run must re-execute exactly the missing
+     part and reproduce the full stdout byte for byte. *)
+  with_scratch_dir (fun dir ->
+      let code, full_out, err =
+        run dir "run fig1 lem11 --quick --cache -j1 --no-progress"
+      in
+      Alcotest.(check int) ("full run exits 0; stderr: " ^ err) 0 code;
+      let manifest = manifest_path dir in
+      let truncated =
+        match parse_manifest manifest with
+        | Json.Obj fields ->
+            Json.Obj
+              (List.map
+                 (function
+                   | "cells", Json.List cells ->
+                       ( "cells",
+                         Json.List
+                           (List.filter
+                              (fun c -> cell_field "exp" c = Some "fig1")
+                              cells) )
+                   | "experiments", Json.List exps ->
+                       ( "experiments",
+                         Json.List
+                           (List.filter
+                              (fun e -> cell_field "id" e = Some "fig1")
+                              exps) )
+                   | field -> field)
+                 fields)
+        | _ -> Alcotest.fail "manifest is not an object"
+      in
+      let truncated_path = Filename.concat dir "truncated.json" in
+      Telemetry.Fsutil.write_atomic truncated_path (Json.to_string truncated);
+      (* Kill the state the dead part would have left behind. *)
+      rm_rf (List.fold_left Filename.concat dir [ "results"; "cache"; "lem11" ]);
+      rm_rf (List.fold_left Filename.concat dir [ "results"; "runs" ]);
+      let code, resumed_out, err =
+        run dir "run --resume truncated.json -j1 --no-progress"
+      in
+      Alcotest.(check int) ("resume exits 0; stderr: " ^ err) 0 code;
+      Alcotest.(check string)
+        "resumed stdout byte-identical to the uninterrupted run" full_out
+        resumed_out;
+      (* The completed fig1 cell was served from the cache, not rerun. *)
+      let cells = manifest_cells (parse_manifest (manifest_path dir)) in
+      let fig1_cells =
+        List.filter (fun c -> cell_field "exp" c = Some "fig1") cells
+      in
+      Alcotest.(check bool) "completed cells served as cache hits" true
+        (fig1_cells <> []
+        && List.for_all (fun c -> cell_field "cache" c = Some "hit") fig1_cells))
+
+let test_out_under_file_fails_fast () =
+  (* --out beneath a path component that is a plain file: the CLI must
+     refuse before running any experiment, not fail on the first CSV
+     write after minutes of work. *)
+  with_scratch_dir (fun dir ->
+      let file = Filename.concat dir "occupied" in
+      let oc = open_out file in
+      output_string oc "plain file";
+      close_out oc;
+      let code, out, _ =
+        run dir "run fig1 --quick --no-progress --out occupied/csv"
+      in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0);
+      Alcotest.(check string) "no experiment ran (empty stdout)" "" out)
+
+let test_bad_fault_spec_rejected () =
+  with_scratch_dir (fun dir ->
+      let code, out, _ =
+        run dir "run fig1 --quick --no-progress --fault nonsense"
+      in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0);
+      Alcotest.(check string) "no experiment ran" "" out)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "recovery",
+        [
+          Alcotest.test_case "fault recovered, stdout identical" `Quick
+            test_fault_recovery;
+          Alcotest.test_case "REPRO_FAULT env" `Quick test_env_fault;
+          Alcotest.test_case "permanent give-up exits 1" `Quick
+            test_permanent_failure;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "truncated manifest, stdout identical" `Quick
+            test_resume_truncated_manifest;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "--out under a file fails fast" `Quick
+            test_out_under_file_fails_fast;
+          Alcotest.test_case "bad fault spec rejected" `Quick
+            test_bad_fault_spec_rejected;
+        ] );
+    ]

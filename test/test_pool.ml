@@ -118,6 +118,86 @@ let test_error_propagates () =
             (Pool.run p (List.init 3 (fun i -> fun () -> i)))))
     [ 1; 4 ]
 
+let test_try_run_outcomes () =
+  (* The supervised entry point: per-job Ok/Error in submission order,
+     at both the size-1 (caller's domain) and multi-worker paths. *)
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun p ->
+          let jobs =
+            List.init 8 (fun i ->
+                fun () -> if i mod 3 = 0 then raise (Boom i) else i * 10)
+          in
+          let outcomes = Pool.try_run p jobs in
+          Alcotest.(check int)
+            (Printf.sprintf "one outcome per job (size %d)" size)
+            8 (List.length outcomes);
+          List.iteri
+            (fun i o ->
+              match (o : int Pool.outcome) with
+              | Ok v ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "job %d should have failed" i)
+                    true
+                    (i mod 3 <> 0);
+                  Alcotest.(check int) "payload" (i * 10) v
+              | Error (Boom j, _) -> Alcotest.(check int) "failing index" i j
+              | Error (e, _) -> raise e)
+            outcomes;
+          (* The batch with failures left the pool fully serviceable. *)
+          Alcotest.(check (list int))
+            (Printf.sprintf "pool serviceable after failures (size %d)" size)
+            [ 0; 1; 2; 3 ]
+            (Pool.run p (List.init 4 (fun i -> fun () -> i)));
+          (* Failures were caught by try_run's own closures, not by the
+             worker loop's backstop. *)
+          Alcotest.(check int)
+            (Printf.sprintf "supervision backstop untouched (size %d)" size)
+            0 (Pool.metrics p).Pool.trapped))
+    [ 1; 4 ]
+
+let test_try_run_on_done_covers_failures () =
+  (* on_done must fire for failed jobs too — the manifest records every
+     cell — and a raising on_done must not kill the batch. *)
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun p ->
+          let seen = ref [] in
+          let jobs =
+            List.init 10 (fun i -> fun () -> if i = 4 then raise (Boom i) else i)
+          in
+          let outcomes =
+            Pool.try_run
+              ~on_done:(fun ~index ~worker:_ ~waited:_ ~elapsed:_ ->
+                seen := index :: !seen;
+                if index = 7 then failwith "on_done bug")
+              p jobs
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "on_done fired for all jobs incl. failed (size %d)"
+               size)
+            (List.init 10 Fun.id)
+            (List.sort compare !seen);
+          Alcotest.(check int)
+            (Printf.sprintf "all outcomes returned (size %d)" size)
+            10 (List.length outcomes);
+          Alcotest.(check bool)
+            (Printf.sprintf "job 4 is the only Error (size %d)" size)
+            true
+            (List.for_all2
+               (fun i o -> Result.is_error o = (i = 4))
+               (List.init 10 Fun.id) outcomes)))
+    [ 1; 4 ]
+
+let test_monotonic_now () =
+  let a = Pool.monotonic_now () in
+  let b = Pool.monotonic_now () in
+  Alcotest.(check bool) "monotonic clock never steps back" true (b >= a);
+  Unix.sleepf 0.01;
+  let c = Pool.monotonic_now () in
+  Alcotest.(check bool) "monotonic clock advances across a sleep" true
+    (c -. a >= 0.005)
+
 let test_shutdown_idempotent () =
   (* Both execution paths must refuse work after shutdown: the size-1
      path used to skip the liveness check and silently run the jobs. *)
@@ -155,6 +235,14 @@ let () =
           Alcotest.test_case "on_done coverage" `Quick test_on_done_fires_per_job;
           Alcotest.test_case "metrics account all jobs" `Quick
             test_metrics_account_all_jobs;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "try_run per-job outcomes" `Quick
+            test_try_run_outcomes;
+          Alcotest.test_case "on_done covers failures" `Quick
+            test_try_run_on_done_covers_failures;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_now;
         ] );
       ( "lifecycle",
         [

@@ -1,0 +1,280 @@
+(* Recovery-path tests: the per-cell retry loop (attempt counting,
+   fault-injected failures recovered on attempt k, exhausted policies,
+   timeouts on wedged work), the deterministic fault registry the CLI
+   and CI drive, and the jittered backoff schedule the delays come
+   from. *)
+
+module Retry = Experiments.Retry
+
+let error =
+  Alcotest.testable
+    (fun ppf e -> Format.pp_print_string ppf (Retry.error_message e))
+    ( = )
+
+exception Flaky of int
+
+(* ---------------------------------------------------------------- *)
+(* Retry loop                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let no_retry = { Retry.max_attempts = 1; timeout_s = None; backoff = false }
+
+let test_first_try_success () =
+  let calls = ref 0 in
+  let r, attempts =
+    Retry.run Retry.default (fun () ->
+        incr calls;
+        42)
+  in
+  Alcotest.(check (result int error)) "payload" (Ok 42) r;
+  Alcotest.(check int) "one attempt" 1 attempts;
+  Alcotest.(check int) "work ran once" 1 !calls
+
+let succeeds_on k =
+  let calls = ref 0 in
+  fun () ->
+    incr calls;
+    if !calls < k then raise (Flaky !calls) else !calls
+
+let test_recovers_on_attempt_k () =
+  (* A cell that fails its first k-1 attempts must come back Ok on
+     attempt k when the policy allows k attempts. *)
+  List.iter
+    (fun k ->
+      let policy = { Retry.max_attempts = k; timeout_s = None; backoff = false } in
+      let r, attempts = Retry.run policy (succeeds_on k) in
+      Alcotest.(check (result int error))
+        (Printf.sprintf "payload on attempt %d" k)
+        (Ok k) r;
+      Alcotest.(check int) (Printf.sprintf "attempts = %d" k) k attempts)
+    [ 1; 2; 3; 5 ]
+
+let test_gives_up_after_max_attempts () =
+  let calls = ref 0 in
+  let policy = { Retry.max_attempts = 3; timeout_s = None; backoff = false } in
+  let r, attempts =
+    Retry.run policy (fun () ->
+        incr calls;
+        raise (Flaky !calls))
+  in
+  (match r with
+  | Error (Retry.Raised (Flaky n, _)) ->
+      Alcotest.(check int) "last attempt's exception" 3 n
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Retry.error_message e)
+  | Ok _ -> Alcotest.fail "flaky work cannot succeed");
+  Alcotest.(check int) "attempts = max_attempts" 3 attempts;
+  Alcotest.(check int) "work ran max_attempts times" 3 !calls
+
+let test_fault_hook_fails_attempts () =
+  (* The ?fault hook is what the driver wires the registry into: it
+     runs before the work and may raise to fail the attempt without
+     the work itself ever running. *)
+  let work_runs = ref 0 in
+  let policy = { Retry.max_attempts = 3; timeout_s = None; backoff = false } in
+  let r, attempts =
+    Retry.run policy
+      ~fault:(fun ~attempt -> if attempt <= 2 then failwith "injected")
+      (fun () ->
+        incr work_runs;
+        "done")
+  in
+  Alcotest.(check (result string error)) "recovered" (Ok "done") r;
+  Alcotest.(check int) "attempts" 3 attempts;
+  Alcotest.(check int) "work only ran on the clean attempt" 1 !work_runs
+
+let test_timeout_wedged_cell () =
+  (* A wedged cell: each attempt sleeps far past the limit, so the
+     policy times out both attempts and reports Timed_out. *)
+  let policy =
+    { Retry.max_attempts = 2; timeout_s = Some 0.03; backoff = false }
+  in
+  let t0 = Pool.monotonic_now () in
+  let r, attempts = Retry.run policy (fun () -> Unix.sleepf 0.3) in
+  let dt = Pool.monotonic_now () -. t0 in
+  Alcotest.(check (result unit error))
+    "timed out" (Error (Retry.Timed_out 0.03)) r;
+  Alcotest.(check int) "both attempts made" 2 attempts;
+  Alcotest.(check bool)
+    (Printf.sprintf "caller got control back quickly (%.3fs)" dt)
+    true (dt < 0.25)
+
+let test_timeout_fast_cell_unaffected () =
+  let policy =
+    { Retry.max_attempts = 2; timeout_s = Some 5.0; backoff = false }
+  in
+  let r, attempts = Retry.run policy (fun () -> 7) in
+  Alcotest.(check (result int error)) "fast cell passes through" (Ok 7) r;
+  Alcotest.(check int) "one attempt" 1 attempts
+
+let test_timeout_then_recovery () =
+  (* First attempt wedges, second is fast: the retry absorbs the
+     timeout, exactly the single-failure recovery the default policy
+     promises. *)
+  let calls = ref 0 in
+  let policy =
+    { Retry.max_attempts = 2; timeout_s = Some 0.05; backoff = false }
+  in
+  let r, attempts =
+    Retry.run policy (fun () ->
+        incr calls;
+        if !calls = 1 then Unix.sleepf 0.3;
+        !calls)
+  in
+  (match r with
+  | Ok n -> Alcotest.(check int) "second attempt's payload" 2 n
+  | Error e -> Alcotest.fail (Retry.error_message e));
+  Alcotest.(check int) "attempts" 2 attempts
+
+let test_policy_validation () =
+  Alcotest.check_raises "max_attempts 0 rejected"
+    (Invalid_argument "Retry.run: max_attempts must be >= 1") (fun () ->
+      ignore (Retry.run { no_retry with max_attempts = 0 } (fun () -> ())));
+  Alcotest.check_raises "non-positive timeout rejected"
+    (Invalid_argument "Retry.run: timeout_s must be > 0") (fun () ->
+      ignore (Retry.run { no_retry with timeout_s = Some 0. } (fun () -> ())))
+
+(* ---------------------------------------------------------------- *)
+(* Fault registry                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let with_faults specs f =
+  Retry.install_faults specs;
+  Fun.protect ~finally:Retry.clear_faults f
+
+let injects ~exp_id ~label ~attempt =
+  match Retry.inject ~exp_id ~label ~attempt with
+  | () -> false
+  | exception Retry.Injected_fault _ -> true
+
+let test_registry_label_key () =
+  with_faults [ "cell-a:2" ] (fun () ->
+      Alcotest.(check bool) "first failure" true
+        (injects ~exp_id:"e" ~label:"cell-a" ~attempt:1);
+      Alcotest.(check bool) "second failure" true
+        (injects ~exp_id:"other-exp" ~label:"cell-a" ~attempt:2);
+      Alcotest.(check bool) "budget of 2 is spent" false
+        (injects ~exp_id:"e" ~label:"cell-a" ~attempt:3);
+      Alcotest.(check bool) "other labels unaffected" false
+        (injects ~exp_id:"e" ~label:"cell-b" ~attempt:1))
+
+let test_registry_scoped_key () =
+  with_faults [ "e1/cell:1" ] (fun () ->
+      Alcotest.(check bool) "wrong experiment does not match" false
+        (injects ~exp_id:"e2" ~label:"cell" ~attempt:1);
+      Alcotest.(check bool) "scoped key matches its experiment" true
+        (injects ~exp_id:"e1" ~label:"cell" ~attempt:1);
+      Alcotest.(check bool) "spent" false
+        (injects ~exp_id:"e1" ~label:"cell" ~attempt:2))
+
+let test_registry_clear_and_replace () =
+  Retry.install_faults [ "a:5" ];
+  Retry.install_faults [ "b:1" ];
+  Alcotest.(check bool) "install replaces the registry" false
+    (injects ~exp_id:"e" ~label:"a" ~attempt:1);
+  Alcotest.(check bool) "new spec active" true
+    (injects ~exp_id:"e" ~label:"b" ~attempt:1);
+  Retry.install_faults [ "c:1" ];
+  Retry.clear_faults ();
+  Alcotest.(check bool) "clear empties the registry" false
+    (injects ~exp_id:"e" ~label:"c" ~attempt:1)
+
+let test_registry_bad_specs () =
+  List.iter
+    (fun spec ->
+      match Retry.install_faults [ spec ] with
+      | () -> Alcotest.fail (Printf.sprintf "accepted malformed spec %S" spec)
+      | exception Invalid_argument _ -> ())
+    [ "bad"; "cell:"; "cell:0"; "cell:-1"; ":3"; "cell:x"; "" ];
+  (* A malformed spec must not half-install the batch. *)
+  (match Retry.install_faults [ "good:1"; "bad" ] with
+  | () -> Alcotest.fail "batch with a malformed spec accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "nothing installed from the failed batch" false
+    (injects ~exp_id:"e" ~label:"good" ~attempt:1)
+
+let test_registry_drives_retry () =
+  (* End-to-end through Retry.run, the way bin/repro wires it: the
+     registry fails attempt 1, the retry recovers on attempt 2. *)
+  with_faults [ "lifting-n2:1" ] (fun () ->
+      let policy =
+        { Retry.max_attempts = 2; timeout_s = None; backoff = false }
+      in
+      let fault ~attempt =
+        Retry.inject ~exp_id:"fig1" ~label:"lifting-n2" ~attempt
+      in
+      let r, attempts = Retry.run policy ~fault (fun () -> "payload") in
+      Alcotest.(check (result string error)) "recovered" (Ok "payload") r;
+      Alcotest.(check int) "attempts" 2 attempts)
+
+(* ---------------------------------------------------------------- *)
+(* Backoff delays                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let test_backoff_seconds_schedule () =
+  (* Unjittered: 1 ms per spin unit, doubling, truncated at max. *)
+  let b = Runtime.Backoff.create ~min_spins:4 ~max_spins:16 () in
+  let delays = List.init 4 (fun _ -> Runtime.Backoff.seconds b) in
+  Alcotest.(check (list (float 1e-9)))
+    "doubling then truncated"
+    [ 0.004; 0.008; 0.016; 0.016 ]
+    delays
+
+let test_backoff_seconds_jitter () =
+  let take n st =
+    let b = Runtime.Backoff.create ~min_spins:4 ~max_spins:1024 () in
+    List.init n (fun _ -> Runtime.Backoff.seconds ~jitter:st b)
+  in
+  let d1 = take 6 (Random.State.make [| 11 |]) in
+  let d2 = take 6 (Random.State.make [| 11 |]) in
+  Alcotest.(check (list (float 1e-12))) "same seed, same delays" d1 d2;
+  let bases = [ 0.004; 0.008; 0.016; 0.032; 0.064; 0.128 ] in
+  List.iter2
+    (fun d base ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jittered delay %.6f within [0.5, 1.5) of %.3f" d base)
+        true
+        (d >= 0.5 *. base && d < 1.5 *. base))
+    d1 bases;
+  let d3 = take 6 (Random.State.make [| 12 |]) in
+  Alcotest.(check bool) "different seeds decorrelate" true (d1 <> d3)
+
+let () =
+  Alcotest.run "retry"
+    [
+      ( "loop",
+        [
+          Alcotest.test_case "first-try success" `Quick test_first_try_success;
+          Alcotest.test_case "recovers on attempt k" `Quick
+            test_recovers_on_attempt_k;
+          Alcotest.test_case "gives up after max attempts" `Quick
+            test_gives_up_after_max_attempts;
+          Alcotest.test_case "fault hook" `Quick test_fault_hook_fails_attempts;
+          Alcotest.test_case "policy validation" `Quick test_policy_validation;
+        ] );
+      ( "timeout",
+        [
+          Alcotest.test_case "wedged cell times out" `Quick
+            test_timeout_wedged_cell;
+          Alcotest.test_case "fast cell unaffected" `Quick
+            test_timeout_fast_cell_unaffected;
+          Alcotest.test_case "timeout then recovery" `Quick
+            test_timeout_then_recovery;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "label key" `Quick test_registry_label_key;
+          Alcotest.test_case "exp/label key" `Quick test_registry_scoped_key;
+          Alcotest.test_case "clear and replace" `Quick
+            test_registry_clear_and_replace;
+          Alcotest.test_case "malformed specs" `Quick test_registry_bad_specs;
+          Alcotest.test_case "registry drives retry" `Quick
+            test_registry_drives_retry;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "seconds schedule" `Quick
+            test_backoff_seconds_schedule;
+          Alcotest.test_case "jitter determinism and range" `Quick
+            test_backoff_seconds_jitter;
+        ] );
+    ]

@@ -181,6 +181,265 @@ let test_manifest_from_pool () =
        (fun (c : Manifest.cell) -> c.worker >= 0 && c.worker < 3)
        cells)
 
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path =
+  match Json.parse (read_file path) with
+  | Ok v -> v
+  | Error msg -> Alcotest.fail (path ^ ": " ^ msg)
+
+let test_manifest_v2_fields () =
+  (* Schema 2 additions: planned ids at the top level, per-cell
+     attempts/status (plus error for failed cells), pool trapped. *)
+  let m =
+    Manifest.create ~now:1754400000. ~version:"test" ~ids:[ "fig5"; "lem11" ]
+      ~command:[ "run"; "fig5"; "lem11" ] ~quick:true ~seed:0 ~jobs:2
+      ~cache_enabled:false ()
+  in
+  Manifest.record_cell m ~exp_id:"fig5" ~label:"ok-cell" ~worker:0 ~waited:0.
+    ~elapsed:0.1 ~cache:Manifest.Off;
+  Manifest.record_cell ~attempts:3 m ~exp_id:"fig5" ~label:"flaky-cell"
+    ~worker:1 ~waited:0. ~elapsed:0.2 ~cache:Manifest.Off;
+  Manifest.record_cell ~attempts:2 ~status:(Manifest.Failed "boom") m
+    ~exp_id:"lem11" ~label:"dead-cell" ~worker:0 ~waited:0. ~elapsed:0.3
+    ~cache:Manifest.Off;
+  Manifest.set_pool m ~trapped:1 ~queue_wait_total:0.
+    [ { Manifest.worker = 0; jobs = 2; busy = 0.4 } ];
+  let json =
+    match Json.parse (Json.to_string (Manifest.to_json m)) with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check string) "schema is v2" "repro-run-manifest/2" Manifest.schema;
+  let strs path v =
+    Option.bind (Json.member path v) Json.to_list
+    |> Option.get
+    |> List.filter_map Json.to_str
+  in
+  Alcotest.(check (list string))
+    "planned ids serialized" [ "fig5"; "lem11" ] (strs "ids" json);
+  let cells = Option.bind (Json.member "cells" json) Json.to_list |> Option.get in
+  let int_of path c = Option.bind (Json.member path c) Json.to_int |> Option.get in
+  let str_of path c = Option.bind (Json.member path c) Json.to_str |> Option.get in
+  Alcotest.(check (list int))
+    "attempts per cell" [ 1; 3; 2 ]
+    (List.map (int_of "attempts") cells);
+  Alcotest.(check (list string))
+    "status per cell" [ "ok"; "ok"; "failed" ]
+    (List.map (str_of "status") cells);
+  Alcotest.(check (list string))
+    "error only on failed cells" [ "boom" ]
+    (List.filter_map (fun c -> Option.bind (Json.member "error" c) Json.to_str) cells);
+  let pool = Json.member "pool" json |> Option.get in
+  Alcotest.(check int) "trapped serialized" 1 (int_of "trapped" pool)
+
+let test_manifest_duration_clamping () =
+  (* A stepping wall clock (or a bug) can hand the manifest a negative
+     or NaN duration; validation lives at record time so the written
+     JSON never carries one. *)
+  let m =
+    Manifest.create ~now:0. ~version:"test" ~command:[] ~quick:true ~seed:0
+      ~jobs:1 ~cache_enabled:false ()
+  in
+  Manifest.record_cell m ~exp_id:"e" ~label:"negative" ~worker:0 ~waited:(-3.)
+    ~elapsed:(-0.5) ~cache:Manifest.Off;
+  Manifest.record_cell m ~exp_id:"e" ~label:"nan" ~worker:0 ~waited:Float.nan
+    ~elapsed:Float.nan ~cache:Manifest.Off;
+  Manifest.record_experiment m ~id:"e" ~title:"E" ~elapsed:(-1.);
+  Manifest.set_elapsed m Float.neg_infinity;
+  List.iter
+    (fun (c : Manifest.cell) ->
+      Alcotest.(check (float 0.)) (c.label ^ " waited clamped") 0. c.waited;
+      Alcotest.(check (float 0.)) (c.label ^ " elapsed clamped") 0. c.elapsed)
+    (Manifest.cells m);
+  (* And the serialized document carries no negative duration either. *)
+  let s = Json.to_string (Manifest.to_json m) in
+  Alcotest.(check bool) "no negative durations serialized" false
+    (let rec mem i =
+       i + 2 <= String.length s && (String.sub s i 2 = "-1" || mem (i + 1))
+     in
+     mem 0)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "telemetry-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
+
+let journal_manifest ?(ids = [ "fig5" ]) () =
+  Manifest.create ~now:1754400000. ~version:"test" ~ids
+    ~command:[ "run" ] ~quick:true ~seed:7 ~jobs:1 ~cache_enabled:true ()
+
+let test_manifest_journal_incremental () =
+  (* Journal mode is what --resume reads back: the on-disk file must be
+     valid and current after every recorded cell, not only at write. *)
+  with_temp_dir (fun dir ->
+      let m = journal_manifest () in
+      let path = Manifest.enable_journal m ~dir in
+      Alcotest.(check bool) "journal file exists immediately" true
+        (Sys.file_exists path);
+      Alcotest.(check string) "named after the run id"
+        (Manifest.run_id m ^ ".json")
+        (Filename.basename path);
+      let cells_on_disk () =
+        Option.bind (Json.member "cells" (parse_file path)) Json.to_list
+        |> Option.get |> List.length
+      in
+      Alcotest.(check int) "no cells yet" 0 (cells_on_disk ());
+      Manifest.record_cell m ~exp_id:"fig5" ~label:"c1" ~worker:0 ~waited:0.
+        ~elapsed:0.1 ~cache:Manifest.Miss;
+      Alcotest.(check int) "first cell on disk" 1 (cells_on_disk ());
+      Manifest.record_cell ~attempts:2 ~status:(Manifest.Failed "x") m
+        ~exp_id:"fig5" ~label:"c2" ~worker:0 ~waited:0. ~elapsed:0.1
+        ~cache:Manifest.Miss;
+      Alcotest.(check int) "second cell on disk" 2 (cells_on_disk ());
+      let final = Manifest.write m in
+      Alcotest.(check string) "write returns the journal path" path final)
+
+let test_load_resume_journal () =
+  with_temp_dir (fun dir ->
+      let m = journal_manifest ~ids:[ "fig5"; "lem11" ] () in
+      let path = Manifest.enable_journal m ~dir in
+      Manifest.record_cell m ~exp_id:"fig5" ~label:"done" ~worker:0 ~waited:0.
+        ~elapsed:0.1 ~cache:Manifest.Miss;
+      Manifest.record_cell m ~exp_id:"fig5" ~label:"done-twice" ~worker:0
+        ~waited:0. ~elapsed:0. ~cache:Manifest.Hit;
+      Manifest.record_cell ~attempts:2 ~status:(Manifest.Failed "gave up") m
+        ~exp_id:"fig5" ~label:"failed" ~worker:0 ~waited:0. ~elapsed:0.1
+        ~cache:Manifest.Miss;
+      (* The process "dies" here: lem11 never ran.  Resume must replay
+         the planned ids, keep the budget, and only skip completed
+         cells — failed ones re-execute. *)
+      match Manifest.load_resume path with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+          Alcotest.(check (list string))
+            "planned ids replayed" [ "fig5"; "lem11" ] r.Manifest.resume_ids;
+          Alcotest.(check bool) "quick budget kept" true r.Manifest.resume_quick;
+          Alcotest.(check int) "seed kept" 7 r.Manifest.resume_seed;
+          Alcotest.(check (list (pair string string)))
+            "completed excludes the failed cell"
+            [ ("fig5", "done"); ("fig5", "done-twice") ]
+            (List.sort compare r.Manifest.completed))
+
+let test_load_resume_v1_fallback () =
+  (* A schema-1 manifest (pre-journal): no ids, no per-cell status.
+     Every recorded cell counts as completed and the recorded
+     experiments stand in for the plan. *)
+  with_temp_dir (fun dir ->
+      Telemetry.Fsutil.mkdir_p dir;
+      let path = Filename.concat dir "v1.json" in
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.Str "repro-run-manifest/1");
+            ("budget", Json.Obj [ ("quick", Json.Bool false); ("seed", Json.Int 3) ]);
+            ( "cells",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("exp", Json.Str "fig5");
+                      ("label", Json.Str "n=2");
+                      ("worker", Json.Int 0);
+                    ];
+                ] );
+            ( "experiments",
+              Json.List [ Json.Obj [ ("id", Json.Str "fig5") ] ] );
+          ]
+      in
+      Telemetry.Fsutil.write_atomic path (Json.to_string doc);
+      match Manifest.load_resume path with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+          Alcotest.(check (list string))
+            "experiments stand in for ids" [ "fig5" ] r.Manifest.resume_ids;
+          Alcotest.(check bool) "full budget" false r.Manifest.resume_quick;
+          Alcotest.(check int) "seed" 3 r.Manifest.resume_seed;
+          Alcotest.(check (list (pair string string)))
+            "status-less cells count as completed"
+            [ ("fig5", "n=2") ]
+            r.Manifest.completed)
+
+let test_load_resume_rejects_garbage () =
+  with_temp_dir (fun dir ->
+      Telemetry.Fsutil.mkdir_p dir;
+      let write name contents =
+        let p = Filename.concat dir name in
+        Telemetry.Fsutil.write_atomic p contents;
+        p
+      in
+      let expect_error name contents =
+        match Manifest.load_resume (write name contents) with
+        | Ok _ -> Alcotest.fail (name ^ " accepted")
+        | Error _ -> ()
+      in
+      expect_error "not-json.json" "definitely not json {";
+      expect_error "wrong-schema.json" {|{"schema": "bench/1"}|};
+      expect_error "no-experiments.json"
+        {|{"schema": "repro-run-manifest/2", "quick": true, "seed": 0}|};
+      match Manifest.load_resume (Filename.concat dir "missing.json") with
+      | Ok _ -> Alcotest.fail "missing file accepted"
+      | Error _ -> ())
+
+(* ---------------------------------------------------------------- *)
+(* Fsutil                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let test_mkdir_p () =
+  with_temp_dir (fun dir ->
+      let deep = List.fold_left Filename.concat dir [ "a"; "b"; "c" ] in
+      Telemetry.Fsutil.mkdir_p deep;
+      Alcotest.(check bool) "creates missing parents" true (Sys.is_directory deep);
+      (* Idempotent: the whole path already existing is not an error. *)
+      Telemetry.Fsutil.mkdir_p deep;
+      Alcotest.(check bool) "idempotent" true (Sys.is_directory deep))
+
+let test_mkdir_p_fails_fast () =
+  (* The bug this guards against: an mkdir_p that swallowed every
+     EEXIST-looking error would "succeed" through a path component
+     that is a plain file, and the caller would fail later, far from
+     the cause, on the first write. *)
+  with_temp_dir (fun dir ->
+      Telemetry.Fsutil.mkdir_p dir;
+      let file = Filename.concat dir "occupied" in
+      let oc = open_out file in
+      output_string oc "a file, not a directory";
+      close_out oc;
+      let check_raises name path =
+        match Telemetry.Fsutil.mkdir_p path with
+        | () -> Alcotest.fail (name ^ ": expected Sys_error")
+        | exception Sys_error _ -> ()
+      in
+      check_raises "target is a file" file;
+      check_raises "parent is a file" (Filename.concat file "child"))
+
+let test_write_atomic () =
+  with_temp_dir (fun dir ->
+      Telemetry.Fsutil.mkdir_p dir;
+      let path = Filename.concat dir "doc.json" in
+      Telemetry.Fsutil.write_atomic path "first";
+      Alcotest.(check string) "written" "first" (read_file path);
+      Telemetry.Fsutil.write_atomic path "second, longer contents";
+      Alcotest.(check string) "overwritten atomically" "second, longer contents"
+        (read_file path);
+      Alcotest.(check (list string))
+        "no temp files left behind" [ "doc.json" ]
+        (Array.to_list (Sys.readdir dir)))
+
 (* ---------------------------------------------------------------- *)
 (* Bench documents                                                  *)
 (* ---------------------------------------------------------------- *)
@@ -237,13 +496,6 @@ let fresh_dir =
         (Printf.sprintf "telemetry-test-cache-%d-%d" (Unix.getpid ()) !counter)
     in
     dir
-
-let rec rm_rf path =
-  if Sys.is_directory path then begin
-    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
-    Sys.rmdir path
-  end
-  else Sys.remove path
 
 let budget = { Experiments.Plan.quick = true; seed = 0 }
 
@@ -341,6 +593,25 @@ let () =
           Alcotest.test_case "run id" `Quick test_manifest_run_id;
           Alcotest.test_case "write" `Quick test_manifest_write;
           Alcotest.test_case "pool feed" `Quick test_manifest_from_pool;
+          Alcotest.test_case "v2 fields" `Quick test_manifest_v2_fields;
+          Alcotest.test_case "duration clamping" `Quick
+            test_manifest_duration_clamping;
+          Alcotest.test_case "journal incremental" `Quick
+            test_manifest_journal_incremental;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "journal round-trip" `Quick test_load_resume_journal;
+          Alcotest.test_case "schema 1 fallback" `Quick
+            test_load_resume_v1_fallback;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_load_resume_rejects_garbage;
+        ] );
+      ( "fsutil",
+        [
+          Alcotest.test_case "mkdir_p" `Quick test_mkdir_p;
+          Alcotest.test_case "mkdir_p fails fast" `Quick test_mkdir_p_fails_fast;
+          Alcotest.test_case "write_atomic" `Quick test_write_atomic;
         ] );
       ("bench", [ Alcotest.test_case "bench json" `Quick test_bench_json ]);
       ( "cache",
