@@ -547,11 +547,323 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(ret (const run $ ids_arg $ seed_arg $ repeat_arg $ full_flag $ out_arg))
 
+(* `repro check`: schedule exploration (bounded exhaustive
+   interleavings), schedule fuzzing (random + adversarial, with
+   shrinking) and statistical conformance gates, over the structures
+   packaged in Scu.Checkable.  Any reported schedule replays
+   byte-for-byte with --replay. *)
+let check_cmd =
+  let doc =
+    "Check the runtime structures: explore interleavings exhaustively, fuzz \
+     schedules with shrinking, and gate the Markov-chain predictions \
+     statistically."
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "explore,fuzz,conform"
+      & info [ "mode" ] ~docv:"MODES"
+          ~doc:
+            "Comma-separated subset of $(b,explore), $(b,fuzz), $(b,conform) \
+             (default: all three).")
+  in
+  let structures_arg =
+    Arg.(
+      value & opt string "stock"
+      & info [ "structures" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated structure names, or $(b,stock) (all correct \
+             structures, the default) or $(b,all) (including the seeded-bug \
+             variants, for --expect-bug drills).")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "n"; "procs" ] ~docv:"N"
+          ~doc:"Processes per explored/fuzzed run (default 3).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "ops" ] ~docv:"K"
+          ~doc:
+            "Operations per process (default 2; n*ops is capped at 62 by the \
+             linearizability checker).")
+  in
+  let long_flag =
+    Arg.(
+      value & flag
+      & info [ "long" ]
+          ~doc:
+            "Long budgets: more explorer nodes, more fuzz trials, tighter \
+             conformance tolerances (the scheduled-CI configuration).")
+  in
+  let expect_bug_flag =
+    Arg.(
+      value & flag
+      & info [ "expect-bug" ]
+          ~doc:
+            "Invert the exit status: succeed only if at least one violation \
+             was found (drill mode for the seeded-bug variants).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Replay one comma-separated schedule (as printed by a violation \
+             report) against the single structure named in --structures and \
+             print its verdict.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mix-seed" ] ~docv:"N"
+          ~doc:
+            "Operation-mix seed for --replay (violation reports state the one \
+             they used; default: the deterministic role-based mix).")
+  in
+  let crash_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "crash" ] ~docv:"T:P[,T:P...]"
+          ~doc:"Crash plan for --replay: process P crashes at time T.")
+  in
+  let tail_arg =
+    Arg.(
+      value & opt string "stop"
+      & info [ "tail" ] ~docv:"MODE"
+          ~doc:
+            "What --replay does after the schedule runs out: $(b,stop) (the \
+             explorer's frontier semantics, default) or $(b,round-robin) \
+             (run to completion, the fuzzer's semantics).")
+  in
+  let check_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write each violation as a replayable report file into $(docv) \
+             (created if missing) — the scheduled-CI artifact directory.")
+  in
+  let parse_structures s =
+    match s with
+    | "stock" -> Ok Scu.Checkable.stock
+    | "all" -> Ok Scu.Checkable.all
+    | names -> (
+        try
+          Ok
+            (List.map Scu.Checkable.find
+               (List.filter
+                  (fun x -> x <> "")
+                  (String.split_on_char ',' names)))
+        with Invalid_argument msg -> Error msg)
+  in
+  let parse_crash s =
+    if s = "" then Ok []
+    else
+      try
+        Ok
+          (List.map
+             (fun part ->
+               match String.split_on_char ':' part with
+               | [ t; p ] -> (int_of_string t, int_of_string p)
+               | _ -> failwith part)
+             (String.split_on_char ',' s))
+      with _ -> Error ("bad --crash spec: " ^ s)
+  in
+  let run mode structures n ops seed long expect_bug replay mix crash tail out
+      =
+    let modes = String.split_on_char ',' mode in
+    let bad_modes =
+      List.filter
+        (fun m -> not (List.mem m [ "explore"; "fuzz"; "conform" ]))
+        modes
+    in
+    match (parse_structures structures, parse_crash crash) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok _, _ when bad_modes <> [] ->
+        `Error (false, "unknown --mode: " ^ String.concat "," bad_modes)
+    | Ok _, _ when n < 1 || ops < 1 || n * ops > 62 ->
+        `Error (false, "need n >= 1, ops >= 1 and n*ops <= 62")
+    | Ok structs, Ok crash_events -> (
+        let violations = ref 0 in
+        let gates_failed = ref 0 in
+        let artifact_id = ref 0 in
+        let write_artifact ~structure ~source ~mix_seed ~tail ~crash_plan
+            ~verdict schedule =
+          Option.iter
+            (fun dir ->
+              Telemetry.Fsutil.mkdir_p dir;
+              incr artifact_id;
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "%s-%s-%d.txt" structure source !artifact_id)
+              in
+              let oc = open_out path in
+              Printf.fprintf oc
+                "structure: %s\nsource: %s\nn: %d\nops: %d\nmix-seed: %s\n\
+                 crash: %s\ntail: %s\nschedule: %s\n\n%s\n"
+                structure source n ops
+                (match mix_seed with
+                | None -> "-"
+                | Some s -> string_of_int s)
+                (String.concat ","
+                   (List.map
+                      (fun (t, p) -> Printf.sprintf "%d:%d" t p)
+                      crash_plan))
+                tail
+                (Sched.Scheduler.replay_to_string schedule)
+                verdict;
+              close_out oc;
+              Printf.eprintf "wrote %s\n%!" path)
+            out
+        in
+        let report_violation ~structure ~source ~mix_seed ~tail ~crash_plan
+            ~verdict schedule =
+          incr violations;
+          Printf.printf "VIOLATION [%s/%s]\n  schedule: %s\n  %s\n" structure
+            source
+            (Sched.Scheduler.replay_to_string schedule)
+            verdict;
+          Printf.printf
+            "  replay: repro check --structures %s -n %d --ops %d --replay %s \
+             --tail %s%s\n"
+            structure n ops
+            (Sched.Scheduler.replay_to_string schedule)
+            tail
+            (match mix_seed with
+            | None -> ""
+            | Some s -> Printf.sprintf " --mix-seed %d" s);
+          write_artifact ~structure ~source ~mix_seed ~tail ~crash_plan
+            ~verdict schedule
+        in
+        match replay with
+        | Some sched_string -> (
+            match structs with
+            | [ structure ] ->
+                let schedule =
+                  Sched.Scheduler.replay_of_string sched_string
+                in
+                let tail_mode =
+                  if tail = "round-robin" then Check.Schedule.Round_robin
+                  else Check.Schedule.Stop
+                in
+                let outcome =
+                  Check.Schedule.run
+                    ~crash_plan:(Sched.Crash_plan.of_list crash_events)
+                    ?mix_seed:mix ~structure ~n ~ops ~tail:tail_mode schedule
+                in
+                Printf.printf "%s: %s\n  effective schedule: %s\n"
+                  structure.Scu.Checkable.name
+                  (Check.Schedule.verdict_to_string outcome.verdict)
+                  (Sched.Scheduler.replay_to_string outcome.executed);
+                let bad = Check.Schedule.is_bad outcome.verdict in
+                if bad = expect_bug then `Ok ()
+                else exit 1
+            | _ -> `Error (false, "--replay needs exactly one --structures name"))
+        | None ->
+            if List.mem "explore" modes then begin
+              let config =
+                if long then
+                  {
+                    Check.Explore.default with
+                    max_nodes = 500_000;
+                    max_depth = 128;
+                  }
+                else Check.Explore.default
+              in
+              List.iter
+                (fun (s : Scu.Checkable.t) ->
+                  let t0 = now () in
+                  let r = Check.Explore.explore ~config ~structure:s ~n ~ops () in
+                  Printf.printf
+                    "[explore] %-14s nodes=%d terminals=%d pruned=%d+%d \
+                     violations=%d exhausted=%b (%.2fs)\n"
+                    s.name r.nodes r.terminals r.pruned_by_state
+                    r.pruned_by_sleep
+                    (List.length r.violations)
+                    r.exhausted (now () -. t0);
+                  List.iteri
+                    (fun i (v : Check.Explore.violation) ->
+                      if i < 3 then
+                        report_violation ~structure:s.name ~source:"explore"
+                          ~mix_seed:None ~tail:"stop" ~crash_plan:[]
+                          ~verdict:(Check.Schedule.verdict_to_string v.verdict)
+                          v.schedule
+                      else incr violations)
+                    r.violations)
+                structs
+            end;
+            if List.mem "fuzz" modes then begin
+              let config =
+                let d = Check.Fuzz.default in
+                if long then
+                  { d with trials = 3_000; sched_trials = 16; seed }
+                else { d with seed }
+              in
+              List.iter
+                (fun (s : Scu.Checkable.t) ->
+                  let t0 = now () in
+                  let r = Check.Fuzz.fuzz ~config ~structure:s ~n ~ops () in
+                  Printf.printf "[fuzz]    %-14s trials=%d failures=%d (%.2fs)\n"
+                    s.name r.trials
+                    (List.length r.failures)
+                    (now () -. t0);
+                  if r.failures <> [] then
+                    Printf.printf "  seed: %d (re-run with --seed %d)\n" seed
+                      seed;
+                  List.iter
+                    (fun (f : Check.Fuzz.failure) ->
+                      report_violation ~structure:f.structure ~source:f.source
+                        ~mix_seed:f.mix_seed
+                        ~tail:
+                          (if f.source = "qcheck" then "round-robin"
+                           else "stop")
+                        ~crash_plan:f.crash_plan ~verdict:f.verdict f.schedule)
+                    r.failures)
+                structs
+            end;
+            if List.mem "conform" modes then begin
+              let t0 = now () in
+              let r = Check.Conform.run ~long_budget:long ~seed () in
+              List.iter
+                (fun (g : Check.Conform.gate) ->
+                  if not g.passed then incr gates_failed;
+                  Printf.printf "[conform] %s %-24s %s\n"
+                    (if g.passed then "PASS" else "FAIL")
+                    g.name g.detail)
+                r.gates;
+              Printf.printf "[conform] %s in %.1fs (seed %d)\n"
+                (if r.passed then "all gates passed" else "GATES FAILED")
+                (now () -. t0) seed
+            end;
+            let ok =
+              if expect_bug then !violations > 0
+              else !violations = 0 && !gates_failed = 0
+            in
+            Printf.printf "check: %d violation(s), %d failed gate(s)%s\n"
+              !violations !gates_failed
+              (if expect_bug then " (expecting a bug)" else "");
+            if ok then `Ok () else exit 1)
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const run $ mode_arg $ structures_arg $ n_arg $ ops_arg $ seed_arg
+       $ long_flag $ expect_bug_flag $ replay_arg $ mix_arg $ crash_arg
+       $ tail_arg $ check_out_arg))
+
 let main =
   let doc =
     "Reproduction harness for 'Are Lock-Free Concurrent Algorithms Practically \
      Wait-Free?' (Alistarh, Censor-Hillel, Shavit)"
   in
-  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; bench_cmd ]
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; bench_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

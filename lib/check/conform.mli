@@ -1,0 +1,41 @@
+(** Statistical conformance gates: the repository's Markov-chain
+    predictions re-run against fresh simulations as pass/fail checks.
+
+    Gates (smoke or long budgets):
+    - [counter-latency] — simulated CAS-counter system latency vs the
+      exact SCU(0,1) chain (Appendix B / Figure 5);
+    - [lem7-fairness] — individual/system latency ratio = 1 (Lemma 7);
+    - [lem11-parallel] — parallel code W = q (Lemma 11);
+    - [thm5-phase-length] — balls-into-bins mean phase length vs the
+      SCU system chain (Theorem 5);
+    - [chi2-uniform-pass] / [chi2-zipf-reject] — scheduling-trace
+      uniformity plus a power check that the test rejects a zipf
+      adversary (Figures 3/4);
+    - [ks-stability] — two-sample KS distance between the halves of
+      one run's latency samples (stationarity);
+    - [validity-*] — Definition 1 scheduler contracts, including the
+      exact 1/k time-averaged round-robin verdict;
+    - [linearizable-*] — fuzz smoke over every stock structure;
+    - [detector-power] — the same fuzz budget must catch the seeded
+      [treiber-nocas] bug.
+
+    Thresholds sit several standard errors out so the smoke budgets
+    are deterministic-in-practice for CI. *)
+
+type gate = { name : string; passed : bool; detail : string }
+type report = { gates : gate list; passed : bool }
+
+type budget = {
+  steps : int;
+  phases : int;
+  fuzz_trials : int;
+  rel_tol : float;
+  ks_tol : float;
+}
+
+val smoke : budget
+val long : budget
+
+val run : ?long_budget:bool -> seed:int -> unit -> report
+(** All gates under the smoke (default) or long budget.  Every run is
+    a pure function of [seed]. *)

@@ -1,0 +1,121 @@
+(* Bounded exhaustive interleaving enumeration.
+
+   OCaml 5 effect continuations are one-shot, so the explorer cannot
+   snapshot-and-backtrack a running simulation; instead every DFS node
+   re-executes its schedule prefix from scratch through the executor's
+   [choose] hook (stateless search a la Verisoft).  A node's frontier
+   — enabled processes, their pending shared-memory operations, the
+   memory snapshot — comes straight from the replayed run's result.
+
+   Two prunings keep the tree tractable:
+   - sleep sets (DPOR-lite): after exploring the child that schedules
+     process i, later siblings need not re-explore orderings that
+     merely commute with it — j stays asleep under i exactly when
+     their pending operations are independent (different cells, or
+     both reads);
+   - state hashing: a frontier whose (memory, per-process pending op,
+     per-process completed count) was already expanded is not expanded
+     again.  Program positions are determined by completed counts
+     because Checkable workloads are deterministic straight-line
+     operation sequences.
+
+   Both prunings are exact for the stock (correct) structures; for
+   bug hunting they are heuristics that preserve at least one witness
+   of any lost-update interleaving in practice, and both can be
+   switched off for a truly brute-force sweep. *)
+
+module Checkable = Scu.Checkable
+
+type config = {
+  max_nodes : int;
+  max_depth : int;
+  prune_states : bool;
+  sleep_sets : bool;
+}
+
+let default = { max_nodes = 20_000; max_depth = 64; prune_states = true; sleep_sets = true }
+
+type violation = { schedule : int array; verdict : Schedule.verdict }
+
+type report = {
+  nodes : int;
+  terminals : int;
+  violations : violation list;
+  pruned_by_state : int;
+  pruned_by_sleep : int;
+  exhausted : bool;
+}
+
+let addr = function
+  | Sim.Memory.Read a
+  | Write (a, _)
+  | Cas (a, _, _)
+  | Cas_get (a, _, _)
+  | Faa (a, _) ->
+      a
+
+let is_read = function Sim.Memory.Read _ -> true | _ -> false
+let independent a b = addr a <> addr b || (is_read a && is_read b)
+
+let explore ?(config = default) ?mix_seed ~structure ~n ~ops () =
+  let seen = Hashtbl.create 4096 in
+  let nodes = ref 0 in
+  let terminals = ref 0 in
+  let pruned_state = ref 0 in
+  let pruned_sleep = ref 0 in
+  let budget_hit = ref false in
+  let violations = ref [] in
+  let rec visit prefix depth sleep =
+    if !nodes >= config.max_nodes then budget_hit := true
+    else begin
+      incr nodes;
+      let out =
+        Schedule.run ?mix_seed ~structure ~n ~ops ~tail:Stop
+          (Array.of_list (List.rev prefix))
+      in
+      if Schedule.is_bad out.verdict then
+        (* A violation leaf: every extension stays violating, so do
+           not expand — record the (already minimal-depth-first)
+           witness schedule instead. *)
+        violations :=
+          { schedule = out.executed; verdict = out.verdict } :: !violations
+      else if out.terminal then incr terminals
+      else if depth >= config.max_depth then budget_hit := true
+      else begin
+        let key = (out.state, out.pending, out.completed) in
+        if config.prune_states && Hashtbl.mem seen key then incr pruned_state
+        else begin
+          if config.prune_states then Hashtbl.add seen key ();
+          let sleep = ref (List.filter (fun j -> out.enabled.(j)) sleep) in
+          for i = 0 to n - 1 do
+            if out.enabled.(i) then
+              if config.sleep_sets && List.mem i !sleep then
+                incr pruned_sleep
+              else begin
+                let child_sleep =
+                  if not config.sleep_sets then []
+                  else
+                    List.filter
+                      (fun j ->
+                        match (out.pending.(j), out.pending.(i)) with
+                        | Some oj, Some oi -> independent oj oi
+                        | _ -> false)
+                      !sleep
+                in
+                visit (i :: prefix) (depth + 1) child_sleep;
+                sleep := i :: !sleep
+              end
+          done
+        end
+      end
+    end
+  in
+  visit [] 0 [];
+  {
+    nodes = !nodes;
+    terminals = !terminals;
+    violations = List.rev !violations;
+    pruned_by_state = !pruned_state;
+    pruned_by_sleep = !pruned_sleep;
+    exhausted = not !budget_hit;
+  }

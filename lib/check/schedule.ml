@@ -1,0 +1,197 @@
+(* Deterministic replay of an explicit schedule against a Checkable
+   instance, plus the verdict machinery shared by the explorer and the
+   fuzzer.  A schedule is an array of process indices; entries naming a
+   non-runnable process are normalized to the next runnable one in
+   cyclic order, so *every* int array is a valid schedule and shrinking
+   never has to maintain validity. *)
+
+module Checkable = Scu.Checkable
+module Checker = Linearize.Checker
+
+type tail = Stop | Round_robin
+
+type verdict =
+  | Linearizable
+  | Unchecked
+  | Nonlinearizable of (Checkable.op, Checkable.res) Checker.event list
+  | Invariant_violation of string
+
+type outcome = {
+  verdict : verdict;
+  executed : int array;
+  enabled : bool array;
+  pending : Sim.Memory.op option array;
+  state : int array;
+  completed : int array;
+  terminal : bool;
+}
+
+(* Far beyond any doubled simulation stamp, far below overflow. *)
+let open_window = max_int / 2
+
+(* Soundness of the partial-history rule: an in-flight Add may or may
+   not have taken effect; giving it an open response window lets the
+   checker place it wherever needed — including dead last, where an
+   extra add can never invalidate earlier results.  An in-flight Take
+   or Incr has an unknowable result that *can* constrain the rest of
+   the history (a take may have removed an element some completed
+   operation's result depends on), so its presence makes the history
+   unjudgeable: Unchecked, never a false alarm. *)
+let history inst =
+  let completed = inst.Checkable.events () in
+  let flight = inst.Checkable.in_flight () in
+  let unknowable =
+    List.exists
+      (fun (_, op, _) ->
+        match op with Checkable.Add _ -> false | Take | Incr -> true)
+      flight
+  in
+  if unknowable then None
+  else
+    Some
+      (completed
+      @ List.map
+          (fun (proc, op, invoked) ->
+            {
+              Checker.proc;
+              op;
+              result = Checkable.Done;
+              invoked;
+              returned = open_window;
+            })
+          flight)
+
+let verdict_of inst =
+  match history inst with
+  | None -> Unchecked
+  | Some evs ->
+      if inst.Checkable.check evs then Linearizable else Nonlinearizable evs
+
+let is_bad = function
+  | Nonlinearizable _ | Invariant_violation _ -> true
+  | Linearizable | Unchecked -> false
+
+let verdict_to_string = function
+  | Linearizable -> "linearizable"
+  | Unchecked -> "unchecked (unknowable in-flight operation)"
+  | Invariant_violation msg -> "invariant violation: " ^ msg
+  | Nonlinearizable evs ->
+      Printf.sprintf "non-linearizable history:\n  %s"
+        (String.concat "\n  " (List.map Checkable.event_to_string evs))
+
+let run ?(crash_plan = Sched.Crash_plan.none) ?mix_seed ~structure ~n ~ops
+    ~tail schedule =
+  if n <= 0 then invalid_arg "Schedule.run: n must be positive";
+  if n * ops > 62 then
+    invalid_arg
+      "Schedule.run: n * ops must be <= 62 (linearizability checker limit)";
+  let inst = structure.Checkable.make ~n ~ops ?mix_seed () in
+  let k = ref 0 in
+  let rr = ref 0 in
+  let executed = ref [] in
+  let choose ~alive ~time:_ =
+    let pick_from j =
+      let rec go c j =
+        if c >= n then None
+        else if alive.(j) then Some j
+        else go (c + 1) ((j + 1) mod n)
+      in
+      go 0 (((j mod n) + n) mod n)
+    in
+    let sel =
+      if !k < Array.length schedule then pick_from schedule.(!k)
+      else
+        match tail with
+        | Stop -> None
+        | Round_robin -> (
+            match pick_from !rr with
+            | Some i ->
+                rr := (i + 1) mod n;
+                Some i
+            | None -> None)
+    in
+    incr k;
+    (match sel with Some i -> executed := i :: !executed | None -> ());
+    sel
+  in
+  (* Bounded programs terminate under any schedule: every CAS failure
+     is caused by some other process completing a step, so the budget
+     is a generous linear headroom, not a tuning knob. *)
+  let budget = Array.length schedule + (200 * n * (ops + 1)) + 64 in
+  let failure = ref None in
+  let result =
+    try
+      Some
+        (Sim.Executor.run ~seed:0 ~crash_plan ~max_steps:(budget + 1)
+           ~invariant:inst.invariant ~invariant_interval:1 ~choose
+           ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps budget)
+           inst.spec)
+    with Failure msg ->
+      failure := Some msg;
+      None
+  in
+  let executed = Array.of_list (List.rev !executed) in
+  let completed = Array.make n 0 in
+  List.iter
+    (fun (e : (_, _) Checker.event) ->
+      completed.(e.proc) <- completed.(e.proc) + 1)
+    (inst.events ());
+  match (result, !failure) with
+  | None, Some msg ->
+      {
+        verdict = Invariant_violation msg;
+        executed;
+        enabled = Array.make n false;
+        pending = Array.make n None;
+        state = Sim.Memory.snapshot inst.spec.memory;
+        completed;
+        terminal = true;
+      }
+  | Some r, _ ->
+      let enabled =
+        Array.init n (fun i -> r.pending.(i) <> None && not r.crashed.(i))
+      in
+      {
+        verdict = verdict_of inst;
+        executed;
+        enabled;
+        pending = r.pending;
+        state = Sim.Memory.snapshot inst.spec.memory;
+        completed;
+        terminal = not (Array.exists Fun.id enabled);
+      }
+  | None, None -> assert false
+
+(* Greedy delta-debugging: remove ever-smaller chunks while the
+   predicate keeps failing.  Terminates because every acceptance
+   strictly shrinks the array and the chunk size halves otherwise. *)
+let ddmin ~fails schedule =
+  let cur = ref schedule in
+  let chunk = ref (max 1 (Array.length schedule / 2)) in
+  let finished = ref false in
+  while not !finished do
+    let removed_any = ref false in
+    let i = ref 0 in
+    while !i < Array.length !cur do
+      let len = Array.length !cur in
+      let c = min !chunk (len - !i) in
+      let candidate =
+        Array.append (Array.sub !cur 0 !i)
+          (Array.sub !cur (!i + c) (len - !i - c))
+      in
+      if Array.length candidate < len && fails candidate then begin
+        cur := candidate;
+        removed_any := true
+      end
+      else i := !i + c
+    done;
+    if !chunk = 1 then finished := not !removed_any
+    else if not !removed_any then chunk := max 1 (!chunk / 2)
+  done;
+  !cur
+
+let shrink ?crash_plan ?mix_seed ~structure ~n ~ops ~tail schedule =
+  let fails s =
+    is_bad (run ?crash_plan ?mix_seed ~structure ~n ~ops ~tail s).verdict
+  in
+  if not (fails schedule) then schedule else ddmin ~fails schedule

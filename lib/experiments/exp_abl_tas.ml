@@ -27,6 +27,7 @@ let lock_aware_adversary (t : Scu.Tas_lock.t) ~victim =
   {
     Sched.Scheduler.name = "lock-aware";
     theta = 0.;
+    stateful = true;
     pick =
       (fun ~rng ~alive ~time ->
         match Scu.Tas_lock.holder t t.spec.memory with

@@ -72,6 +72,62 @@ let search spec events =
 let witness = search
 let check spec events = Option.is_some (search spec events)
 
+(* Independent brute-force oracle: enumerate the real-time-consistent
+   permutations directly (an operation may be placed next iff no
+   still-unplaced operation returned before its invocation) and replay
+   the spec along each.  No memoization, no bitmask keys — sharing no
+   machinery with [search] is the point: the test suite
+   cross-validates the two on random small histories. *)
+let check_brute spec events =
+  validate events;
+  let ops = Array.of_list events in
+  let n = Array.length ops in
+  if n > 9 then
+    invalid_arg "Checker.check_brute: factorial search capped at 9 operations";
+  let used = Array.make n false in
+  let rec place k state =
+    k = n
+    || begin
+         let found = ref false in
+         let i = ref 0 in
+         while (not !found) && !i < n do
+           let idx = !i in
+           incr i;
+           if not used.(idx) then begin
+             let ok = ref true in
+             for j = 0 to n - 1 do
+               if
+                 (not used.(j)) && j <> idx
+                 && ops.(j).returned < ops.(idx).invoked
+               then ok := false
+             done;
+             if !ok then begin
+               let res, state' = spec.apply ops.(idx).op state in
+               if res = ops.(idx).result then begin
+                 used.(idx) <- true;
+                 if place (k + 1) state' then found := true;
+                 used.(idx) <- false
+               end
+             end
+           end
+         done;
+         !found
+       end
+  in
+  place 0 spec.initial
+
+(* Simulated-time events.  The simulator's discrete clock advances
+   once per shared-memory step, so distinct operations on the same
+   step boundary would collide; doubling makes room for a strict
+   "invoked after the previous return, returned after the last step"
+   ordering: invoked = 2*now+1, returned = 2*now.  [f] must advance
+   simulated time at least once or validation rejects the event. *)
+let record_with ~now ~proc ~op f =
+  let invoked = (2 * now ()) + 1 in
+  let result = f () in
+  let returned = 2 * now () in
+  { proc; op; result; invoked; returned }
+
 module Clock = struct
   type t = int Atomic.t
 

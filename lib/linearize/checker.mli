@@ -45,6 +45,22 @@ val witness :
   ('op, 'res, 'state) spec -> ('op, 'res) event list -> ('op, 'res) event list option
 (** A linearization order when one exists. *)
 
+val check_brute : ('op, 'res, 'state) spec -> ('op, 'res) event list -> bool
+(** Independent factorial-time oracle: enumerates real-time-consistent
+    permutations directly, with no memoization and no machinery shared
+    with [check].  Exists so tests can cross-validate the two on random
+    small histories.  Raises [Invalid_argument] beyond 9 operations. *)
+
+val record_with :
+  now:(unit -> int) -> proc:int -> op:'op -> (unit -> 'res) -> ('op, 'res) event
+(** [record_with ~now ~proc ~op f] builds an event from a discrete
+    simulated clock: [invoked = 2*now()+1] before running [f],
+    [returned = 2*now()] after.  The doubling keeps invocation and
+    response stamps strict even though many operations can share a
+    simulator step boundary; [f] must advance simulated time at least
+    once, otherwise the event is malformed ([returned <= invoked]) and
+    the checkers reject it. *)
+
 module Clock : sig
   type t
 

@@ -1,6 +1,7 @@
 type t = {
   name : string;
   theta : float;
+  stateful : bool;
   pick : rng:Stats.Rng.t -> alive:bool array -> time:int -> int;
 }
 
@@ -24,6 +25,7 @@ let uniform =
   {
     name = "uniform";
     theta = nan (* 1/|A|, depends on alive count; executor treats nan as uniform *);
+    stateful = false;
     pick = (fun ~rng ~alive ~time:_ -> pick_uniform rng alive);
   }
 
@@ -32,6 +34,7 @@ let round_robin () =
   {
     name = "round-robin";
     theta = 0.;
+    stateful = true;
     pick =
       (fun ~rng:_ ~alive ~time:_ ->
         let n = Array.length alive in
@@ -51,6 +54,7 @@ let weighted w =
   {
     name = "weighted";
     theta = 0.;
+    stateful = false;
     pick =
       (fun ~rng ~alive ~time:_ ->
         let masked =
@@ -74,6 +78,7 @@ let starver ~victim =
   {
     name = Printf.sprintf "starver(p%d)" victim;
     theta = 0.;
+    stateful = true;
     pick =
       (fun ~rng ~alive ~time ->
         let others = Array.mapi (fun i a -> a && i <> victim) alive in
@@ -88,6 +93,7 @@ let quantum ~length =
   {
     name = Printf.sprintf "quantum(%d)" length;
     theta = 0. (* locally adversarial within a quantum *);
+    stateful = true;
     pick =
       (fun ~rng ~alive ~time:_ ->
         if !remaining > 0 && !current >= 0 && alive.(!current) then begin
@@ -106,6 +112,7 @@ let with_weak_fairness ~theta adv =
   {
     name = Printf.sprintf "%s+theta(%.4g)" adv.name theta;
     theta;
+    stateful = adv.stateful;
     pick =
       (fun ~rng ~alive ~time ->
         let k = alive_count alive in
@@ -121,6 +128,7 @@ let replay order =
   {
     name = "replay";
     theta = 0.;
+    stateful = false (* time-indexed, not self-advancing *);
     pick =
       (fun ~rng ~alive ~time ->
         (* Past the recording's end, wrap around; skip dead processes
@@ -132,7 +140,27 @@ let replay order =
         else pick_uniform rng alive);
   }
 
-let pick_distribution t ~rng ~alive ~time ~trials =
+let replay_to_string order =
+  String.concat "," (Array.to_list (Array.map string_of_int order))
+
+let replay_of_string s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  let parts = List.filter (fun p -> String.trim p <> "") parts in
+  if parts = [] then invalid_arg "Scheduler.replay_of_string: empty schedule";
+  Array.of_list
+    (List.map
+       (fun p ->
+         match int_of_string_opt (String.trim p) with
+         | Some i when i >= 0 -> i
+         | _ ->
+             invalid_arg
+               (Printf.sprintf
+                  "Scheduler.replay_of_string: bad process id %S (want \
+                   comma-separated non-negative ints)"
+                  p))
+       parts)
+
+let sample_counts t ~rng ~alive ~time ~trials =
   let n = Array.length alive in
   let counts = Array.make n 0 in
   for _ = 1 to trials do
@@ -140,3 +168,22 @@ let pick_distribution t ~rng ~alive ~time ~trials =
     counts.(i) <- counts.(i) + 1
   done;
   Array.map (fun c -> float_of_int c /. float_of_int trials) counts
+
+let pick_distribution t ~rng ~alive ~time ~trials =
+  if t.stateful then
+    invalid_arg
+      (Printf.sprintf
+         "Scheduler.pick_distribution: %s is stateful; repeated sampling would \
+          perturb its internal state (use time_average_distribution)"
+         t.name);
+  sample_counts t ~rng ~alive ~time ~trials
+
+let time_average_distribution t ~rng ~alive ~trials =
+  let k = alive_count alive in
+  if k = 0 then invalid_arg "Scheduler.time_average_distribution: no alive process";
+  (* Round the trial count up to a multiple of the alive count so that
+     deterministic cyclic schedulers (round-robin) produce an *exact*
+     time-averaged distribution instead of one that depends on where
+     the cycle was cut off. *)
+  let trials = trials + ((k - (trials mod k)) mod k) in
+  sample_counts t ~rng ~alive ~time:0 ~trials

@@ -24,6 +24,12 @@
 type t = {
   name : string;
   theta : float;  (** Declared weak-fairness threshold. *)
+  stateful : bool;
+      (** True when [pick] mutates internal state other than the
+          supplied RNG (round-robin position, quantum remainder…), so
+          that out-of-band sampling of the same instance would perturb
+          a run using it.  [pick_distribution] refuses stateful
+          schedulers. *)
   pick : rng:Stats.Rng.t -> alive:bool array -> time:int -> int;
       (** Chooses an index with [alive.(i) = true].  Behaviour is
           unspecified if no process is alive. *)
@@ -78,9 +84,32 @@ val with_weak_fairness : theta:float -> t -> t
     [theta].  Requires 0 < theta and k·theta <= 1 at every step (the
     executor's n must satisfy n·theta <= 1). *)
 
+val replay_to_string : int array -> string
+(** Serialize a replay schedule as comma-separated process ids
+    (["1,0,0,1"]) — the format `repro check` prints for a minimal
+    failing schedule and accepts back via [replay_of_string], so any
+    reported interleaving bug is replayable byte-for-byte. *)
+
+val replay_of_string : string -> int array
+(** Inverse of {!replay_to_string}.  Raises [Invalid_argument] on an
+    empty schedule or anything that is not a comma-separated list of
+    non-negative integers. *)
+
 val pick_distribution :
   t -> rng:Stats.Rng.t -> alive:bool array -> time:int -> trials:int -> float array
 (** Empirical estimate of Π_τ by repeated sampling (for tests and for
-    the validity checker).  Stateful schedulers are sampled on copies
-    of nothing — callers should only use this on stateless ones or
-    accept perturbation of internal state. *)
+    the validity checker).  Raises [Invalid_argument] on a [stateful]
+    scheduler: repeatedly sampling one would silently perturb the
+    instance's internal state (and the sampled distribution would be a
+    time average, not Π_τ).  Use {!time_average_distribution} for
+    those. *)
+
+val time_average_distribution :
+  t -> rng:Stats.Rng.t -> alive:bool array -> trials:int -> float array
+(** Empirical *time-averaged* distribution of a scheduler over a fixed
+    alive set: the fraction of [trials] consecutive picks (at time 0)
+    that went to each process.  This is the meaningful notion for
+    stateful schedulers — for [round_robin] it is exactly uniform over
+    the alive set because the trial count is rounded up to a multiple
+    of the alive count.  Advances the scheduler's state; pass a fresh
+    instance if the instance is also used elsewhere. *)

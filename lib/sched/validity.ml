@@ -7,6 +7,16 @@ type verdict = {
 
 let check (sched : Scheduler.t) ~rng ~alive ?(time = 0) ?(trials = 100_000) () =
   let n = Array.length alive in
+  let k = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive in
+  (* For stateful schedulers the sampled quantity is the *time-averaged*
+     distribution (each pick advances the scheduler); round the trial
+     count up to a multiple of the alive count so deterministic cyclic
+     schedulers (round-robin) yield an exact, cut-point-independent
+     verdict instead of one that depends on trials mod k. *)
+  let trials =
+    if sched.stateful && k > 0 then trials + ((k - (trials mod k)) mod k)
+    else trials
+  in
   let counts = Array.make n 0 in
   let dead_hit = ref false in
   for _ = 1 to trials do
@@ -14,7 +24,6 @@ let check (sched : Scheduler.t) ~rng ~alive ?(time = 0) ?(trials = 100_000) () =
     if i < 0 || i >= n || not alive.(i) then dead_hit := true
     else counts.(i) <- counts.(i) + 1
   done;
-  let k = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive in
   let min_alive_probability = ref infinity in
   Array.iteri
     (fun i c ->

@@ -31,4 +31,12 @@ val check :
   verdict
 (** Default 100_000 trials at time 0.  [weak_fair] compares against the
     scheduler's declared theta minus 3 standard errors ([nan] theta,
-    i.e. the uniform scheduler, is checked against 1/|alive|). *)
+    i.e. the uniform scheduler, is checked against 1/|alive|).
+
+    For a [stateful] scheduler the sampled quantity is its
+    *time-averaged* distribution (each trial advances the scheduler's
+    state), and the trial count is rounded up to a multiple of the
+    alive count so deterministic cyclic schedulers get an exact,
+    well-defined verdict: [round_robin] reports
+    [min_alive_probability = 1/k] exactly.  The instance's state is
+    advanced — pass a fresh instance if it is also driving a run. *)

@@ -1,0 +1,332 @@
+(* Check-harness adapters: each structure packaged with a history
+   recorder, its sequential specification, and a structural invariant,
+   plus deliberately broken variants (the scan-validate CAS replaced by
+   a blind write) that the `repro check` explorer must catch. *)
+
+module Memory = Sim.Memory
+module Program = Sim.Program
+module Checker = Linearize.Checker
+
+type op = Add of int | Take | Incr
+type res = Done | Took of int | Took_empty | Got of int
+
+let op_to_string = function
+  | Add v -> Printf.sprintf "add(%d)" v
+  | Take -> "take"
+  | Incr -> "incr"
+
+let res_to_string = function
+  | Done -> "()"
+  | Took v -> Printf.sprintf "got %d" v
+  | Took_empty -> "empty"
+  | Got v -> string_of_int v
+
+let event_to_string (e : (op, res) Checker.event) =
+  Printf.sprintf "p%d %s -> %s [%d,%d]" e.proc (op_to_string e.op)
+    (res_to_string e.result) e.invoked e.returned
+
+(* Sequential specifications.  States are monomorphic per structure;
+   the [instance] record hides them behind check closures. *)
+
+let counter_spec : (op, res, int) Checker.spec =
+  {
+    initial = 0;
+    apply =
+      (fun o s ->
+        match o with
+        | Incr -> (Got s, s + 1)
+        | Add _ | Take -> invalid_arg "Checkable: stack/queue op on counter");
+  }
+
+let stack_spec : (op, res, int list) Checker.spec =
+  {
+    initial = [];
+    apply =
+      (fun o s ->
+        match o with
+        | Add v -> (Done, v :: s)
+        | Take -> ( match s with [] -> (Took_empty, []) | v :: r -> (Took v, r))
+        | Incr -> invalid_arg "Checkable: counter op on stack");
+  }
+
+let queue_spec : (op, res, int list) Checker.spec =
+  {
+    initial = [];
+    apply =
+      (fun o s ->
+        match o with
+        | Add v -> (Done, s @ [ v ])
+        | Take -> ( match s with [] -> (Took_empty, []) | v :: r -> (Took v, r))
+        | Incr -> invalid_arg "Checkable: counter op on queue");
+  }
+
+(* History recording: instrumentation outside the simulated memory, so
+   it costs no steps.  Timestamps use the doubled-clock convention of
+   [Checker.record_with]; the per-process slot tracks the operation a
+   suspended process is inside of when a run stops at a frontier. *)
+
+type recorder = {
+  mutable completed : (op, res) Checker.event list;  (* newest first *)
+  slots : (op * int) option array;
+}
+
+let make_recorder n = { completed = []; slots = Array.make n None }
+
+let recording rc ~proc ~op f =
+  let invoked = (2 * Program.now ()) + 1 in
+  rc.slots.(proc) <- Some (op, invoked);
+  let result = f () in
+  let returned = 2 * Program.now () in
+  rc.slots.(proc) <- None;
+  rc.completed <- { Checker.proc; op; result; invoked; returned } :: rc.completed;
+  result
+
+type instance = {
+  spec : Sim.Executor.spec;
+  events : unit -> (op, res) Checker.event list;
+  in_flight : unit -> (int * op * int) list;
+  check : (op, res) Checker.event list -> bool;
+  invariant : Memory.t -> time:int -> unit;
+}
+
+let events_of rc () = List.rev rc.completed
+
+let in_flight_of rc () =
+  let out = ref [] in
+  Array.iteri
+    (fun proc slot ->
+      match slot with
+      | Some (op, invoked) -> out := (proc, op, invoked) :: !out
+      | None -> ())
+    rc.slots;
+  List.rev !out
+
+(* Invariants (read the live memory directly; raise to flag corruption). *)
+
+let counter_invariant register =
+  let last = ref 0 in
+  fun mem ~time:_ ->
+    let v = Memory.get mem register in
+    if v < !last then
+      failwith
+        (Printf.sprintf "counter went backwards: %d after %d" v !last);
+    last := v
+
+let chain_invariant ~what ~start ~bound mem ~time:_ =
+  let rec walk node hops =
+    if node <> 0 then
+      if hops > bound then
+        failwith (what ^ ": node chain exceeds bound (cycle or corruption)")
+      else walk (Memory.get mem (node + 1)) (hops + 1)
+  in
+  walk (start mem) 0
+
+(* Per-process operation plans.  Deterministic by construction so that
+   under the explorer the schedule is the *only* source of
+   nondeterminism: by default even processes add and odd ones take
+   (the contention pattern that exposes the seeded bugs at n = 2);
+   [mix_seed] switches to a seeded random mix for fuzz variety. *)
+
+let unique_value ~n ~id ~k = (k * n) + id + 1
+
+let plan ~n ~ops ~mix_seed =
+  Array.init n (fun id ->
+      match mix_seed with
+      | None ->
+          Array.init ops (fun k ->
+              if n = 1 || id mod 2 = 0 then Add (unique_value ~n ~id ~k)
+              else Take)
+      | Some seed ->
+          let rng = Stats.Rng.create ~seed:(seed + (7919 * (id + 1))) in
+          Array.init ops (fun k ->
+              if Stats.Rng.bool rng then Add (unique_value ~n ~id ~k)
+              else Take))
+
+(* Builders. *)
+
+let counter_make ~variant ~n ~ops ?mix_seed:_ () =
+  let memory = Memory.create () in
+  let r = Memory.alloc memory ~size:1 in
+  let rc = make_recorder n in
+  let fai () =
+    match variant with
+    | `Faa -> Program.faa r 1
+    | `Cas -> Counter.fetch_and_increment r
+    | `Nocas ->
+        (* Seeded bug: the validate is gone, so two overlapping
+           increments can read the same value (lost update). *)
+        let v = Program.read r in
+        Program.write r (v + 1);
+        v
+  in
+  let program (ctx : Program.ctx) =
+    for _ = 1 to ops do
+      ignore (recording rc ~proc:ctx.id ~op:Incr (fun () -> Got (fai ())));
+      Program.complete ()
+    done
+  in
+  let name =
+    match variant with
+    | `Faa -> "faa-counter"
+    | `Cas -> "cas-counter"
+    | `Nocas -> "counter-nocas"
+  in
+  {
+    spec = { Sim.Executor.name; memory; program };
+    events = events_of rc;
+    in_flight = in_flight_of rc;
+    check = (fun evs -> Checker.check counter_spec evs);
+    invariant = counter_invariant r;
+  }
+
+let treiber_make ~broken ~n ~ops ?mix_seed () =
+  let memory = Memory.create () in
+  let top = Memory.alloc memory ~size:1 in
+  let rc = make_recorder n in
+  let plans = plan ~n ~ops ~mix_seed in
+  let pop () =
+    if broken then begin
+      (* Seeded bug: pop publishes with a blind write instead of
+         CAS-validating against the observed top, losing concurrent
+         pushes and enabling double pops. *)
+      let t = Program.read top in
+      if t = 0 then Treiber.Empty
+      else
+        let v = Program.read t in
+        let next = Program.read (t + 1) in
+        Program.write top next;
+        Popped v
+    end
+    else Treiber.pop_op ~top
+  in
+  let program (ctx : Program.ctx) =
+    Array.iter
+      (fun o ->
+        (match o with
+        | Add v ->
+            ignore
+              (recording rc ~proc:ctx.id ~op:o (fun () ->
+                   Treiber.push_op ~memory ~top v;
+                   Done))
+        | Take ->
+            ignore
+              (recording rc ~proc:ctx.id ~op:o (fun () ->
+                   match pop () with
+                   | Treiber.Empty -> Took_empty
+                   | Popped v -> Took v))
+        | Incr -> assert false);
+        Program.complete ())
+      plans.(ctx.id)
+  in
+  {
+    spec =
+      {
+        Sim.Executor.name = (if broken then "treiber-nocas" else "treiber");
+        memory;
+        program;
+      };
+    events = events_of rc;
+    in_flight = in_flight_of rc;
+    check = (fun evs -> Checker.check stack_spec evs);
+    invariant =
+      chain_invariant ~what:"treiber"
+        ~start:(fun mem -> Memory.get mem top)
+        ~bound:(n * ops);
+  }
+
+let msqueue_make ~broken ~n ~ops ?mix_seed () =
+  let memory = Memory.create () in
+  let sentinel = Memory.alloc memory ~size:2 in
+  let head = Memory.alloc_init memory [| sentinel |] in
+  let tail = Memory.alloc_init memory [| sentinel |] in
+  let rc = make_recorder n in
+  let plans = plan ~n ~ops ~mix_seed in
+  let deq () =
+    if broken then begin
+      (* Seeded bug: the head swing is a blind write, so two
+         overlapping dequeues can both take the same node. *)
+      let rec attempt () =
+        let h = Program.read head in
+        let t = Program.read tail in
+        let next = Program.read (h + 1) in
+        if h = t then
+          if next = 0 then Msqueue.Empty
+          else begin
+            ignore (Program.cas tail ~expected:t ~value:next);
+            attempt ()
+          end
+        else begin
+          let v = Program.read next in
+          Program.write head next;
+          Dequeued v
+        end
+      in
+      attempt ()
+    end
+    else Msqueue.dequeue_op ~head ~tail
+  in
+  let program (ctx : Program.ctx) =
+    Array.iter
+      (fun o ->
+        (match o with
+        | Add v ->
+            ignore
+              (recording rc ~proc:ctx.id ~op:o (fun () ->
+                   Msqueue.enqueue_op ~memory ~tail v;
+                   Done))
+        | Take ->
+            ignore
+              (recording rc ~proc:ctx.id ~op:o (fun () ->
+                   match deq () with
+                   | Msqueue.Empty -> Took_empty
+                   | Dequeued v -> Took v))
+        | Incr -> assert false);
+        Program.complete ())
+      plans.(ctx.id)
+  in
+  {
+    spec =
+      {
+        Sim.Executor.name = (if broken then "msqueue-nocas" else "msqueue");
+        memory;
+        program;
+      };
+    events = events_of rc;
+    in_flight = in_flight_of rc;
+    check = (fun evs -> Checker.check queue_spec evs);
+    invariant =
+      chain_invariant ~what:"msqueue"
+        ~start:(fun mem -> Memory.get mem head)
+        ~bound:((n * ops) + 1);
+  }
+
+type t = {
+  name : string;
+  buggy : bool;
+  make : n:int -> ops:int -> ?mix_seed:int -> unit -> instance;
+}
+
+let all =
+  [
+    { name = "cas-counter"; buggy = false; make = counter_make ~variant:`Cas };
+    { name = "faa-counter"; buggy = false; make = counter_make ~variant:`Faa };
+    { name = "treiber"; buggy = false; make = treiber_make ~broken:false };
+    { name = "msqueue"; buggy = false; make = msqueue_make ~broken:false };
+    {
+      name = "counter-nocas";
+      buggy = true;
+      make = counter_make ~variant:`Nocas;
+    };
+    { name = "treiber-nocas"; buggy = true; make = treiber_make ~broken:true };
+    { name = "msqueue-nocas"; buggy = true; make = msqueue_make ~broken:true };
+  ]
+
+let stock = List.filter (fun t -> not t.buggy) all
+
+let find name =
+  match List.find_opt (fun t -> t.name = name) all with
+  | Some t -> t
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Checkable.find: unknown structure %S (known: %s)" name
+           (String.concat ", " (List.map (fun t -> t.name) all)))

@@ -1,0 +1,68 @@
+(** Structures packaged for the `repro check` engine.
+
+    Each entry bundles a bounded, deterministic workload over one of
+    the runtime structures with everything the schedule explorer and
+    fuzzer need to judge a run: a recorded operation history (in the
+    {!Linearize.Checker} event format, doubled-clock timestamps), the
+    structure's sequential specification as a check closure, and a
+    structural invariant for the executor's [invariant] hook.
+
+    The list includes deliberately broken variants ([buggy = true])
+    whose scan-validate CAS is replaced by a blind write — the
+    canonical lost-update bugs the checker is expected to catch:
+    duplicate counter values, lost pushes / double pops, double
+    dequeues. *)
+
+type op = Add of int | Take | Incr
+(** [Add]/[Take] are push/pop (stack) or enqueue/dequeue (queue);
+    [Incr] is fetch-and-increment.  Added values are unique per
+    (process, operation index). *)
+
+type res = Done | Took of int | Took_empty | Got of int
+
+val op_to_string : op -> string
+val res_to_string : res -> string
+val event_to_string : (op, res) Linearize.Checker.event -> string
+
+val counter_spec : (op, res, int) Linearize.Checker.spec
+val stack_spec : (op, res, int list) Linearize.Checker.spec
+
+val queue_spec : (op, res, int list) Linearize.Checker.spec
+(** Sequential specifications, exposed so tests can cross-validate the
+    check closures below against {!Linearize.Checker.check_brute}. *)
+
+type instance = {
+  spec : Sim.Executor.spec;
+      (** Run this.  Build a fresh instance per run — the history
+          recorder lives in the closure. *)
+  events : unit -> (op, res) Linearize.Checker.event list;
+      (** Operations completed so far, in completion order. *)
+  in_flight : unit -> (int * op * int) list;
+      (** [(proc, op, invoked)] for each operation a suspended process
+          is currently inside of — what a run stopped at a frontier or
+          step budget leaves unfinished. *)
+  check : (op, res) Linearize.Checker.event list -> bool;
+      (** Linearizability against this structure's sequential spec. *)
+  invariant : Sim.Memory.t -> time:int -> unit;
+      (** Structural invariant for the executor's [invariant] hook
+          (counter monotonicity, node-chain boundedness); raises on
+          corruption. *)
+}
+
+type t = {
+  name : string;
+  buggy : bool;
+  make : n:int -> ops:int -> ?mix_seed:int -> unit -> instance;
+      (** Bounded workload: every process performs [ops] operations
+          and terminates.  Deterministic for a given [mix_seed] (or
+          its role-based default: even processes add, odd take), so
+          the schedule is the only nondeterminism. *)
+}
+
+val all : t list
+
+val stock : t list
+(** The non-buggy structures. *)
+
+val find : string -> t
+(** Raises [Invalid_argument] with the known names on a miss. *)

@@ -13,6 +13,11 @@ type t = {
   n : int;
 }
 
+val fetch_and_increment : int -> int
+(** The bare read + CAS retry loop on a register address, for reuse by
+    the conformance-check harness ({!Checkable}).  Must run inside a
+    simulated process (performs {!Sim.Program} effects). *)
+
 val make : n:int -> t
 (** Pure latency-measurement variant: each operation costs exactly its
     shared reads and CASes. *)

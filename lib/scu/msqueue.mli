@@ -36,3 +36,11 @@ val enqueues : t -> Sim.Memory.t -> int -> int list
 type deq_result = Empty | Dequeued of int
 
 val dequeues : t -> Sim.Memory.t -> int -> deq_result list
+
+val enqueue_op : memory:Sim.Memory.t -> tail:int -> int -> unit
+(** One enqueue (alloc, link CAS, tail swing with helping), exposed for
+    the conformance-check harness ({!Checkable}).  Must run inside a
+    simulated process (performs {!Sim.Program} effects). *)
+
+val dequeue_op : head:int -> tail:int -> deq_result
+(** One dequeue, same caveats as {!enqueue_op}. *)

@@ -43,3 +43,11 @@ type pop_result = Empty | Popped of int
 
 val pops : t -> Sim.Memory.t -> int -> pop_result list
 (** Pop results of process [i] in order (logged variant only). *)
+
+val push_op : memory:Sim.Memory.t -> top:int -> int -> unit
+(** One push (alloc, init, scan-validate CAS loop), exposed for the
+    conformance-check harness ({!Checkable}).  Must run inside a
+    simulated process (performs {!Sim.Program} effects). *)
+
+val pop_op : top:int -> pop_result
+(** One pop, same caveats as {!push_op}. *)

@@ -11,6 +11,7 @@ type result = {
   crashed : bool array;
   terminated : bool array;
   stopped_early : bool;
+  pending : Memory.op option array;
 }
 
 (* A process is either suspended at a shared-memory operation, waiting
@@ -46,7 +47,8 @@ let handler ~on_complete ~(now : unit -> int) : (unit, proc_state) Effect.Deep.h
 
 let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
     ?(crash_plan = Sched.Crash_plan.none) ?(max_steps = 200_000_000) ?invariant
-    ?(invariant_interval = 1000) ~(scheduler : Sched.Scheduler.t) ~n ~stop spec =
+    ?(invariant_interval = 1000) ?choose ~(scheduler : Sched.Scheduler.t) ~n
+    ~stop spec =
   if invariant_interval < 1 then
     invalid_arg "Executor.run: invariant_interval must be >= 1";
   if n <= 0 then invalid_arg "Executor.run: n must be positive";
@@ -115,7 +117,19 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
         continue_run := false
       end
       else begin
-        let i = scheduler.pick ~rng ~alive ~time:now in
+        let picked =
+          match choose with
+          | Some f -> f ~alive ~time:now
+          | None -> Some (scheduler.pick ~rng ~alive ~time:now)
+        in
+        match picked with
+        | None ->
+            (* The choice callback declined to continue: stop here so
+               the caller (the schedule explorer) can inspect the
+               frontier state. *)
+            stopped_early := true;
+            continue_run := false
+        | Some i ->
         if i < 0 || i >= n || not alive.(i) then
           invalid_arg
             (Printf.sprintf "Executor.run: scheduler %s picked dead process %d"
@@ -140,6 +154,11 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
     end
   done;
   Option.iter (fun check -> check spec.memory ~time:(Metrics.time metrics)) invariant;
+  let pending =
+    Array.map
+      (function Suspended (op, _) -> Some op | Terminated -> None)
+      states
+  in
   (* Discard suspended continuations cleanly so fibers are not leaked. *)
   Array.iteri
     (fun i s ->
@@ -149,4 +168,4 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
           states.(i) <- Terminated
       | Terminated -> ())
     states;
-  { metrics; trace = tr; crashed; terminated; stopped_early = !stopped_early }
+  { metrics; trace = tr; crashed; terminated; stopped_early = !stopped_early; pending }

@@ -34,8 +34,15 @@ type result = {
   crashed : bool array;
   terminated : bool array;
   stopped_early : bool;
-      (** True when the run ended because no process was schedulable
-          or a [Completions]-type target was unreachable. *)
+      (** True when the run ended because no process was schedulable,
+          a [Completions]-type target was unreachable, or [choose]
+          returned [None]. *)
+  pending : Memory.op option array;
+      (** Each process's next shared-memory operation at the moment
+          the run stopped ([None] once its body returned).  Crashed
+          processes keep the operation they were suspended at.  The
+          schedule explorer uses this to compute enabled transitions
+          and operation independence at a frontier. *)
 }
 
 val run :
@@ -46,6 +53,7 @@ val run :
   ?max_steps:int ->
   ?invariant:(Memory.t -> time:int -> unit) ->
   ?invariant_interval:int ->
+  ?choose:(alive:bool array -> time:int -> int option) ->
   scheduler:Sched.Scheduler.t ->
   n:int ->
   stop:stop ->
@@ -59,4 +67,12 @@ val run :
     [invariant_interval] steps (default 1000) and once after the run —
     raise from it to fail fast on a broken data-structure invariant
     *while it is being mutated*, not just at quiescence.  The callback
-    must only inspect (its [Memory.t] is the live store). *)
+    must only inspect (its [Memory.t] is the live store).
+
+    [choose], when given, takes precedence over [scheduler] at every
+    step: it receives the live alive set (do not mutate it) and the
+    current time, and must return [Some i] with [alive.(i)] to
+    schedule process [i], or [None] to stop the run immediately
+    (setting [stopped_early]).  This is the choice-point hook that
+    lets the `repro check` explorer drive every scheduling decision
+    deterministically and stop at an arbitrary frontier. *)

@@ -78,6 +78,8 @@ let set t a v =
 
 let used t = t.used
 
+let snapshot t = Array.sub t.cells 0 t.used
+
 let op_to_string = function
   | Read a -> Printf.sprintf "read(%d)" a
   | Write (a, v) -> Printf.sprintf "write(%d,%d)" a v

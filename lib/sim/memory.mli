@@ -50,4 +50,9 @@ val set : t -> int -> int -> unit
 val used : t -> int
 (** Number of allocated cells (high-water mark). *)
 
+val snapshot : t -> int array
+(** Copy of all allocated cells (indices 0 to [used t - 1]) — the
+    complete shared state, used by the schedule explorer to hash and
+    compare interleaving states.  Not a simulated step. *)
+
 val op_to_string : op -> string

@@ -41,6 +41,18 @@ let cdf t x =
     in
     float_of_int (search 0 (n - 1)) /. float_of_int n
 
+let ks_distance a b =
+  (* Both CDFs are right-continuous step functions that are constant
+     between pooled sample points, so the supremum of |F_a - F_b| over
+     the reals is attained at one of the sample points of either. *)
+  let d = ref 0. in
+  let scan t =
+    Array.iter (fun x -> d := Float.max !d (Float.abs (cdf a x -. cdf b x))) t
+  in
+  scan a;
+  scan b;
+  !d
+
 let minimum t = t.(0)
 let maximum t = t.(Array.length t - 1)
 let values t = Array.copy t

@@ -22,6 +22,13 @@ val median : t -> float
 val cdf : t -> float -> float
 (** [cdf t x] is the fraction of the sample that is [<= x]. *)
 
+val ks_distance : t -> t -> float
+(** Two-sample Kolmogorov–Smirnov statistic: [sup_x |cdf a x - cdf b x|],
+    evaluated over the pooled sample points (where the supremum of two
+    step functions is attained).  0 for identical samples, at most 1.
+    The conformance gates use it to flag drift between predicted and
+    simulated latency distributions. *)
+
 val minimum : t -> float
 val maximum : t -> float
 

@@ -46,3 +46,67 @@ let quote cell =
 let to_csv t =
   let line row = String.concat "," (List.map quote row) in
   String.concat "\n" (line t.headers :: List.map line t.rows) ^ "\n"
+
+let headers t = t.headers
+let rows t = t.rows
+
+let of_csv s =
+  (* Single-pass state machine: quoted cells may contain embedded
+     newlines, so splitting on lines first would be wrong. *)
+  let n = String.length s in
+  let parsed = ref [] in
+  let row = ref [] in
+  let buf = Buffer.create 16 in
+  let end_cell () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let end_row () =
+    end_cell ();
+    parsed := List.rev !row :: !parsed;
+    row := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = s.[!i] in
+    if !in_quotes then begin
+      (if c = '"' then
+         if !i + 1 < n && s.[!i + 1] = '"' then begin
+           Buffer.add_char buf '"';
+           incr i
+         end
+         else in_quotes := false
+       else Buffer.add_char buf c);
+      incr i
+    end
+    else
+      match c with
+      | '"' ->
+          in_quotes := true;
+          incr i
+      | ',' ->
+          end_cell ();
+          incr i
+      | '\r' when !i + 1 < n && s.[!i + 1] = '\n' ->
+          end_row ();
+          i := !i + 2
+      | '\n' ->
+          end_row ();
+          incr i
+      | ch ->
+          Buffer.add_char buf ch;
+          incr i
+  done;
+  if !in_quotes then invalid_arg "Table.of_csv: unterminated quoted cell";
+  if Buffer.length buf > 0 || !row <> [] then end_row ();
+  match List.rev !parsed with
+  | [] -> invalid_arg "Table.of_csv: no header row"
+  | headers :: rest ->
+      let w = List.length headers in
+      List.iter
+        (fun r ->
+          if List.length r <> w then
+            invalid_arg "Table.of_csv: row width differs from header")
+        rest;
+      { headers; rows = rest }

@@ -24,3 +24,13 @@ val to_csv : t -> string
 (** Comma-separated rendering.  Cells containing commas, double
     quotes, or CR/LF are quoted with embedded quotes doubled (RFC
     4180), so labels like ["zipf, α=1.5"] round-trip. *)
+
+val of_csv : string -> t
+(** Inverse of [to_csv]: the first record becomes the header, the rest
+    the rows.  Handles RFC 4180 quoting (embedded commas, doubled
+    quotes, newlines inside quoted cells) and CRLF line endings.
+    Raises [Invalid_argument] on an unterminated quoted cell, an empty
+    input, or a row whose width differs from the header. *)
+
+val headers : t -> string list
+val rows : t -> string list list

@@ -1,0 +1,170 @@
+(* QCheck property tests over the statistics substrate and the
+   linearizability checkers: ECDF order-statistics laws, RFC 4180 CSV
+   round-trips, chi-square sanity, and cross-validation of the
+   memoized Wing–Gong search against the factorial brute-force
+   oracle.  All randomness flows from Test_util.seed
+   (REPRO_TEST_SEED). *)
+
+open Core
+
+let gen_sample =
+  QCheck2.Gen.(
+    map Array.of_list
+      (list_size (int_range 1 60) (float_bound_inclusive 1000.)))
+
+(* -- ECDF ----------------------------------------------------------- *)
+
+let prop_cdf_monotone =
+  Test_util.prop "ecdf cdf monotone, bounded"
+    QCheck2.Gen.(
+      triple gen_sample (float_bound_inclusive 1000.)
+        (float_bound_inclusive 1000.))
+    (fun (sample, x, y) ->
+      let e = Stats.Ecdf.of_array sample in
+      let lo = Float.min x y and hi = Float.max x y in
+      let cl = Stats.Ecdf.cdf e lo and ch = Stats.Ecdf.cdf e hi in
+      0. <= cl && cl <= ch && ch <= 1.)
+
+let prop_quantile_bounds =
+  Test_util.prop "ecdf quantile within sample range, monotone"
+    QCheck2.Gen.(
+      triple gen_sample (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+    (fun (sample, p, q) ->
+      let e = Stats.Ecdf.of_array sample in
+      let plo = Float.min p q and phi = Float.max p q in
+      let qlo = Stats.Ecdf.quantile e plo and qhi = Stats.Ecdf.quantile e phi in
+      Stats.Ecdf.minimum e <= qlo && qlo <= qhi && qhi <= Stats.Ecdf.maximum e)
+
+let prop_ks_laws =
+  Test_util.prop "ks distance: 0 on self, symmetric, in [0,1]"
+    QCheck2.Gen.(pair gen_sample gen_sample)
+    (fun (a, b) ->
+      let ea = Stats.Ecdf.of_array a and eb = Stats.Ecdf.of_array b in
+      let d = Stats.Ecdf.ks_distance ea eb in
+      Stats.Ecdf.ks_distance ea ea = 0.
+      && Float.abs (d -. Stats.Ecdf.ks_distance eb ea) < 1e-12
+      && 0. <= d && d <= 1.)
+
+(* -- Table CSV round-trip ------------------------------------------- *)
+
+let gen_cell =
+  (* Cells exercising every RFC 4180 hazard: commas, double quotes,
+     CR/LF, embedded newlines, leading/trailing spaces. *)
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'z'; '0'; ','; '"'; '\n'; '\r'; ' ' ])
+      (int_range 0 6))
+
+let gen_table =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 4) gen_cell)
+      (list_size (int_range 0 5) (list_size (int_range 0 4) gen_cell)))
+
+let prop_csv_roundtrip =
+  Test_util.prop "table to_csv/of_csv round-trip" gen_table
+    ~print:(fun (h, rows) ->
+      String.concat "|" h ^ " / "
+      ^ String.concat ";" (List.map (String.concat "|") rows))
+    (fun (headers, row_data) ->
+      let t = Stats.Table.create headers in
+      List.iter
+        (fun r ->
+          (* add_row rejects rows wider than the header. *)
+          let r =
+            if List.length r > List.length headers then
+              List.filteri (fun i _ -> i < List.length headers) r
+            else r
+          in
+          Stats.Table.add_row t r)
+        row_data;
+      let t' = Stats.Table.of_csv (Stats.Table.to_csv t) in
+      Stats.Table.headers t' = Stats.Table.headers t
+      && Stats.Table.rows t' = Stats.Table.rows t)
+
+(* -- Chi-square ----------------------------------------------------- *)
+
+let gen_counts =
+  QCheck2.Gen.(
+    map Array.of_list (list_size (int_range 2 10) (int_range 0 50)))
+
+let prop_chi2_nonneg =
+  Test_util.prop "chi-square statistic non-negative" gen_counts (fun counts ->
+      Stats.Chi_square.uniform_statistic counts >= 0.)
+
+let prop_chi2_zero_iff_equal =
+  Test_util.prop "chi-square zero iff observed matches expected"
+    QCheck2.Gen.(pair (int_range 2 10) (int_range 1 50))
+    (fun (k, c) ->
+      (* Exactly uniform counts give statistic 0; perturbing one bin
+         (preserving the total) makes it strictly positive. *)
+      let flat = Array.make k c in
+      let bumped = Array.copy flat in
+      bumped.(0) <- c + 1;
+      bumped.(1) <- c - 1;
+      Stats.Chi_square.uniform_statistic flat = 0.
+      && Stats.Chi_square.uniform_statistic bumped > 0.)
+
+(* -- check vs check_brute cross-validation -------------------------- *)
+
+(* Well-formed random stack histories: ops are dealt to 3 processes
+   and timed with per-process clocks, so intervals are sequential
+   within each process and overlap freely across processes.  Results
+   are chosen adversarially at random, so roughly half the histories
+   are non-linearizable — both checkers must agree either way. *)
+let gen_history =
+  QCheck2.Gen.(
+    list_size (int_range 0 6)
+      (tup4 (int_range 0 2)
+         (oneof
+            [
+              map (fun v -> `Add v) (int_range 1 4);
+              return `Take_got_1;
+              return `Take_got_2;
+              return `Take_empty;
+            ])
+         (int_range 0 3) (int_range 0 3)))
+
+let history_of_plan plan =
+  let clock = Array.make 3 0 in
+  List.map
+    (fun (proc, kind, gap1, gap2) ->
+      let op, result =
+        match kind with
+        | `Add v -> (Scu.Checkable.Add v, Scu.Checkable.Done)
+        | `Take_got_1 -> (Scu.Checkable.Take, Scu.Checkable.Took 1)
+        | `Take_got_2 -> (Scu.Checkable.Take, Scu.Checkable.Took 2)
+        | `Take_empty -> (Scu.Checkable.Take, Scu.Checkable.Took_empty)
+      in
+      let invoked = clock.(proc) + gap1 in
+      let returned = invoked + 1 + gap2 in
+      clock.(proc) <- returned + 1;
+      { Linearize.Checker.proc; op; result; invoked; returned })
+    plan
+
+let prop_check_agrees_with_brute =
+  Test_util.prop "memoized checker agrees with brute-force oracle" ~count:500
+    gen_history
+    ~print:(fun plan ->
+      String.concat "; "
+        (List.map Scu.Checkable.event_to_string (history_of_plan plan)))
+    (fun plan ->
+      let h = history_of_plan plan in
+      Linearize.Checker.check Scu.Checkable.stack_spec h
+      = Linearize.Checker.check_brute Scu.Checkable.stack_spec h)
+
+let prop_queue_check_agrees_with_brute =
+  Test_util.prop "checker/oracle agreement (FIFO spec)" ~count:500 gen_history
+    (fun plan ->
+      let h = history_of_plan plan in
+      Linearize.Checker.check Scu.Checkable.queue_spec h
+      = Linearize.Checker.check_brute Scu.Checkable.queue_spec h)
+
+let () =
+  Alcotest.run "props"
+    [
+      ("ecdf", [ prop_cdf_monotone; prop_quantile_bounds; prop_ks_laws ]);
+      ("table", [ prop_csv_roundtrip ]);
+      ("chi-square", [ prop_chi2_nonneg; prop_chi2_zero_iff_equal ]);
+      ( "linearize oracle",
+        [ prop_check_agrees_with_brute; prop_queue_check_agrees_with_brute ] );
+    ]

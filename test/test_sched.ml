@@ -253,6 +253,58 @@ let test_crash_plan_validation () =
   | Ok () -> Alcotest.fail "out-of-range process"
   | Error _ -> ()
 
+(* -- Distribution probes vs stateful schedulers --------------------- *)
+
+let test_pick_distribution_refuses_stateful () =
+  (* Sampling a stateful scheduler's pick repeatedly would advance its
+     state between samples, so the probe must refuse rather than
+     silently return Π_τ averaged over perturbed states. *)
+  let s = Sched.Scheduler.round_robin () in
+  Alcotest.(check bool) "round_robin declares stateful" true s.stateful;
+  Alcotest.check_raises "stateful refused"
+    (Invalid_argument
+       "Scheduler.pick_distribution: round-robin is stateful; repeated \
+        sampling would perturb its internal state (use \
+        time_average_distribution)")
+    (fun () ->
+      ignore
+        (Sched.Scheduler.pick_distribution s ~rng:(rng ()) ~alive:(all_alive 3)
+           ~time:0 ~trials:100))
+
+let test_time_average_round_robin_exact () =
+  (* Trial counts are rounded up to a multiple of the alive count, so
+     the deterministic cycle averages to exactly 1/k — including with
+     a dead process in the ring. *)
+  let alive = [| true; true; false; true |] in
+  let d =
+    Sched.Scheduler.time_average_distribution
+      (Sched.Scheduler.round_robin ())
+      ~rng:(rng ()) ~alive ~trials:1000
+  in
+  Alcotest.(check (float 0.)) "dead p2 never" 0. d.(2);
+  Array.iteri
+    (fun i p ->
+      if alive.(i) then
+        Alcotest.(check bool)
+          (Printf.sprintf "p%d exactly 1/3" i)
+          true
+          (Float.abs (p -. (1. /. 3.)) < 1e-9))
+    d
+
+let test_replay_string_roundtrip () =
+  let order = [| 0; 3; 1; 1; 0; 2; 7; 0 |] in
+  Alcotest.(check (array int))
+    "of_string (to_string x) = x" order
+    (Sched.Scheduler.replay_of_string (Sched.Scheduler.replay_to_string order));
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Scheduler.replay_of_string: empty schedule") (fun () ->
+      ignore (Sched.Scheduler.replay_of_string "  "));
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (Sched.Scheduler.replay_of_string "1,x,2");
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "sched"
     [
@@ -299,5 +351,14 @@ let () =
         [
           Alcotest.test_case "dedup earliest" `Quick test_crash_plan_dedup;
           Alcotest.test_case "validation" `Quick test_crash_plan_validation;
+        ] );
+      ( "distribution probes",
+        [
+          Alcotest.test_case "stateful refused" `Quick
+            test_pick_distribution_refuses_stateful;
+          Alcotest.test_case "round-robin time average exact" `Quick
+            test_time_average_round_robin_exact;
+          Alcotest.test_case "replay string round-trip" `Quick
+            test_replay_string_roundtrip;
         ] );
     ]

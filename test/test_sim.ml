@@ -214,6 +214,7 @@ let test_scheduler_cannot_pick_dead () =
     {
       Sched.Scheduler.name = "evil";
       theta = 0.;
+      stateful = false;
       pick = (fun ~rng:_ ~alive:_ ~time:_ -> 1);
     }
   in

@@ -1,0 +1,45 @@
+(* Seed plumbing shared by the randomized tests.
+
+   Every QCheck property and every seeded unit test in this suite
+   derives its randomness from one master seed, taken from the
+   REPRO_TEST_SEED environment variable (default 421).  A failing
+   property prints that seed in its error message, so any failure is
+   re-runnable exactly:
+
+     REPRO_TEST_SEED=<printed seed> dune runtest *)
+
+let seed =
+  match Sys.getenv_opt "REPRO_TEST_SEED" with
+  | None | Some "" -> 421
+  | Some s -> (
+      try int_of_string (String.trim s)
+      with _ -> invalid_arg "REPRO_TEST_SEED must be an integer")
+
+(* A fresh deterministic RNG per call site; [salt] decorrelates
+   different tests that share the master seed. *)
+let rng ?(salt = 0) () = Stats.Rng.create ~seed:(seed + (7919 * salt))
+
+let std_rng ?(salt = 0) () = Random.State.make [| seed; salt |]
+
+(* Run a QCheck2 property deterministically under the master seed and
+   fail through Alcotest with a replayable message.  We drive
+   [check_cell ~rand] ourselves rather than going through
+   [QCheck_alcotest.to_alcotest] so the seed is ours to choose and to
+   print. *)
+let prop ?(count = 200) ?print name gen law =
+  Alcotest.test_case name `Quick (fun () ->
+      let cell = QCheck2.Test.make_cell ~count ~name ?print gen law in
+      let res = QCheck2.Test.check_cell ~rand:(std_rng ()) cell in
+      let fail fmt = Alcotest.failf ("%s: " ^^ fmt ^^ " (REPRO_TEST_SEED=%d)") name in
+      match QCheck2.TestResult.get_state res with
+      | QCheck2.TestResult.Success -> ()
+      | QCheck2.TestResult.Failed { instances } ->
+          let c = List.hd instances in
+          fail "counterexample %s after %d shrink steps"
+            (match print with
+            | Some p -> p c.QCheck2.TestResult.instance
+            | None -> "<no printer>")
+            c.QCheck2.TestResult.shrink_steps seed
+      | QCheck2.TestResult.Failed_other { msg } -> fail "%s" msg seed
+      | QCheck2.TestResult.Error { exn; _ } ->
+          fail "raised %s" (Printexc.to_string exn) seed)
