@@ -547,6 +547,69 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(ret (const run $ ids_arg $ seed_arg $ repeat_arg $ full_flag $ out_arg))
 
+(* Arguments shared by `repro check` and `repro chaos`. *)
+
+let structures_arg =
+  Arg.(
+    value & opt string "stock"
+    & info [ "structures" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated structure names, or $(b,stock) (all correct \
+           structures, the default) or $(b,all) (including the seeded-bug \
+           variants, for --expect-bug drills).")
+
+let n_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "n"; "procs" ] ~docv:"N"
+        ~doc:"Processes per explored/fuzzed run (default 3).")
+
+let ops_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "ops" ] ~docv:"K"
+        ~doc:
+          "Operations per process (default 2; n*ops is capped at 62 by the \
+           linearizability checker).")
+
+let expect_bug_flag =
+  Arg.(
+    value & flag
+    & info [ "expect-bug" ]
+        ~doc:
+          "Invert the exit status: succeed only if at least one violation \
+           was found (drill mode for the seeded-bug variants).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"SCHEDULE"
+        ~doc:
+          "Replay one comma-separated schedule (as printed by a violation \
+           report) against the single structure named in --structures and \
+           print its verdict.")
+
+let mix_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mix-seed" ] ~docv:"N"
+        ~doc:
+          "Operation-mix seed for --replay (violation reports state the one \
+           they used; default: the deterministic role-based mix).")
+
+let parse_structures s =
+  match s with
+  | "stock" -> Ok Scu.Checkable.stock
+  | "all" -> Ok Scu.Checkable.all
+  | names -> (
+      try
+        Ok
+          (List.map Scu.Checkable.find
+             (List.filter (fun x -> x <> "") (String.split_on_char ',' names)))
+      with Invalid_argument msg -> Error msg)
+
 (* `repro check`: schedule exploration (bounded exhaustive
    interleavings), schedule fuzzing (random + adversarial, with
    shrinking) and statistical conformance gates, over the structures
@@ -567,29 +630,6 @@ let check_cmd =
             "Comma-separated subset of $(b,explore), $(b,fuzz), $(b,conform) \
              (default: all three).")
   in
-  let structures_arg =
-    Arg.(
-      value & opt string "stock"
-      & info [ "structures" ] ~docv:"NAMES"
-          ~doc:
-            "Comma-separated structure names, or $(b,stock) (all correct \
-             structures, the default) or $(b,all) (including the seeded-bug \
-             variants, for --expect-bug drills).")
-  in
-  let n_arg =
-    Arg.(
-      value & opt int 3
-      & info [ "n"; "procs" ] ~docv:"N"
-          ~doc:"Processes per explored/fuzzed run (default 3).")
-  in
-  let ops_arg =
-    Arg.(
-      value & opt int 2
-      & info [ "ops" ] ~docv:"K"
-          ~doc:
-            "Operations per process (default 2; n*ops is capped at 62 by the \
-             linearizability checker).")
-  in
   let long_flag =
     Arg.(
       value & flag
@@ -597,33 +637,6 @@ let check_cmd =
           ~doc:
             "Long budgets: more explorer nodes, more fuzz trials, tighter \
              conformance tolerances (the scheduled-CI configuration).")
-  in
-  let expect_bug_flag =
-    Arg.(
-      value & flag
-      & info [ "expect-bug" ]
-          ~doc:
-            "Invert the exit status: succeed only if at least one violation \
-             was found (drill mode for the seeded-bug variants).")
-  in
-  let replay_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "replay" ] ~docv:"SCHEDULE"
-          ~doc:
-            "Replay one comma-separated schedule (as printed by a violation \
-             report) against the single structure named in --structures and \
-             print its verdict.")
-  in
-  let mix_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "mix-seed" ] ~docv:"N"
-          ~doc:
-            "Operation-mix seed for --replay (violation reports state the one \
-             they used; default: the deterministic role-based mix).")
   in
   let crash_arg =
     Arg.(
@@ -648,19 +661,6 @@ let check_cmd =
           ~doc:
             "Write each violation as a replayable report file into $(docv) \
              (created if missing) — the scheduled-CI artifact directory.")
-  in
-  let parse_structures s =
-    match s with
-    | "stock" -> Ok Scu.Checkable.stock
-    | "all" -> Ok Scu.Checkable.all
-    | names -> (
-        try
-          Ok
-            (List.map Scu.Checkable.find
-               (List.filter
-                  (fun x -> x <> "")
-                  (String.split_on_char ',' names)))
-        with Invalid_argument msg -> Error msg)
   in
   let parse_crash s =
     if s = "" then Ok []
@@ -690,6 +690,11 @@ let check_cmd =
     | Ok _, _ when n < 1 || ops < 1 || n * ops > 62 ->
         `Error (false, "need n >= 1, ops >= 1 and n*ops <= 62")
     | Ok structs, Ok crash_events -> (
+        match
+          Sched.Crash_plan.validate ~n (Sched.Crash_plan.of_list crash_events)
+        with
+        | Error msg -> `Error (false, "--crash: " ^ msg)
+        | Ok () ->
         let violations = ref 0 in
         let gates_failed = ref 0 in
         let artifact_id = ref 0 in
@@ -857,6 +862,206 @@ let check_cmd =
        $ long_flag $ expect_bug_flag $ replay_arg $ mix_arg $ crash_arg
        $ tail_arg $ check_out_arg))
 
+(* `repro chaos`: the chaos layer's CLI.  Phase 1 fuzzes the checkable
+   structures under randomly instantiated fault plans (crash–recovery,
+   stall windows, spurious CAS failure) with two-axis shrinking; phase
+   2 renders the graceful-degradation sweep (experiment `chaos`, with
+   its fault-free thm4/cor2 anchor rows).  Stdout carries only
+   deterministic content — violation reports and tables — so two runs
+   with the same --seed and --faults are byte-identical; timings and
+   file paths go to stderr.  Exit 1 on any violation (inverted by
+   --expect-bug). *)
+let chaos_cmd =
+  let doc =
+    "Chaos drills: fuzz the structures under random fault plans \
+     (crash-recovery, stalls, spurious CAS failure) and run the \
+     graceful-degradation sweep."
+  in
+  let faults_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Fault spec: comma-separated explicit events $(b,crash@T:P), \
+             $(b,restart@T:P), $(b,stall@T:P+D), $(b,casfail:P=R) (P may be \
+             $(b,*)) and/or rates $(b,crash~R), $(b,recover~R), \
+             $(b,stall~R:D), $(b,casfail~R); $(b,none) is the empty spec.  \
+             Default: the mixed drill \
+             crash~0.01,recover~0.05,stall~0.01:5,casfail~0.1.")
+  in
+  let trials_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Fuzz trials per structure (default 60, or 15 with --quick).")
+  in
+  let no_sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "no-sweep" ]
+          ~doc:
+            "Skip the graceful-degradation sweep (experiment `chaos`) after \
+             the fuzz phase.")
+  in
+  let chaos_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write each violation as a replayable report file into $(docv) \
+             (created if missing) — the CI artifact directory.")
+  in
+  let run faults structures n ops seed trials quick expect_bug no_sweep
+      no_manifest replay mix out =
+    let spec_result =
+      if faults = "" then Ok Check.Chaos.default_spec
+      else Sched.Fault_plan.parse_spec faults
+    in
+    let trials =
+      match trials with
+      | Some t -> t
+      | None ->
+          if quick then Check.Chaos.default.trials / 4
+          else Check.Chaos.default.trials
+    in
+    match (parse_structures structures, spec_result) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok _, _ when n < 1 || ops < 1 || n * ops > 62 ->
+        `Error (false, "need n >= 1, ops >= 1 and n*ops <= 62")
+    | Ok _, _ when trials < 1 -> `Error (false, "--trials must be at least 1")
+    | Ok structs, Ok spec -> (
+        match Sched.Fault_plan.validate ~n spec.Sched.Fault_plan.base with
+        | Error msg -> `Error (false, "--faults: " ^ msg)
+        | Ok () -> (
+            match replay with
+            | Some sched_string -> (
+                match structs with
+                | [ structure ] ->
+                    if spec.Sched.Fault_plan.rates <> Sched.Fault_plan.zero_rates
+                    then
+                      `Error
+                        ( false,
+                          "--replay needs an explicit fault plan (events and \
+                           casfail:P=R entries only, no ~rates)" )
+                    else begin
+                      let schedule =
+                        Sched.Scheduler.replay_of_string sched_string
+                      in
+                      let outcome =
+                        Check.Schedule.run
+                          ~fault_plan:spec.Sched.Fault_plan.base ?mix_seed:mix
+                          ~structure ~n ~ops ~tail:Check.Schedule.Round_robin
+                          schedule
+                      in
+                      Printf.printf "%s: %s\n  effective schedule: %s\n"
+                        structure.Scu.Checkable.name
+                        (Check.Schedule.verdict_to_string outcome.verdict)
+                        (Sched.Scheduler.replay_to_string outcome.executed);
+                      if Check.Schedule.is_bad outcome.verdict = expect_bug then
+                        `Ok ()
+                      else exit 1
+                    end
+                | _ ->
+                    `Error (false, "--replay needs exactly one --structures name"))
+            | None ->
+                let config = { Check.Chaos.default with trials; seed } in
+                let violations = ref 0 in
+                let artifact_id = ref 0 in
+                let manifest =
+                  Telemetry.Manifest.create
+                    ~command:(List.tl (Array.to_list Sys.argv))
+                    ~ids:(if no_sweep then [] else [ "chaos" ])
+                    ~quick ~seed ~jobs:1 ~cache_enabled:false ()
+                in
+                Telemetry.Manifest.set_faults manifest
+                  (Sched.Fault_plan.spec_to_string spec);
+                let spec_of (f : Check.Chaos.failure) =
+                  if f.fault_spec = "" then "none" else f.fault_spec
+                in
+                let write_artifact (f : Check.Chaos.failure) =
+                  Option.iter
+                    (fun dir ->
+                      Telemetry.Fsutil.mkdir_p dir;
+                      incr artifact_id;
+                      let path =
+                        Filename.concat dir
+                          (Printf.sprintf "%s-chaos-%d.txt" f.structure
+                             !artifact_id)
+                      in
+                      let oc = open_out path in
+                      Printf.fprintf oc
+                        "structure: %s\nsource: chaos\nn: %d\nops: %d\n\
+                         mix-seed: %d\nfaults: %s\ntail: round-robin\n\
+                         schedule: %s\n\n%s\n"
+                        f.structure n ops f.mix_seed (spec_of f) f.replay
+                        f.verdict;
+                      close_out oc;
+                      Printf.eprintf "wrote %s\n%!" path)
+                    out
+                in
+                let t0 = now () in
+                List.iter
+                  (fun (s : Scu.Checkable.t) ->
+                    let t1 = now () in
+                    let r =
+                      Check.Chaos.run ~config ~spec ~structure:s ~n ~ops ()
+                    in
+                    Printf.printf "[chaos]   %-14s trials=%d failures=%d\n"
+                      s.name r.trials
+                      (List.length r.failures);
+                    Printf.eprintf "  [chaos] %s: %.2fs\n%!" s.name
+                      (now () -. t1);
+                    List.iter
+                      (fun (f : Check.Chaos.failure) ->
+                        incr violations;
+                        Printf.printf
+                          "VIOLATION [%s/chaos]\n  schedule: %s\n  faults: %s\n\
+                          \  %s\n"
+                          f.structure f.replay (spec_of f) f.verdict;
+                        Printf.printf
+                          "  replay: repro chaos --structures %s -n %d --ops \
+                           %d --replay %s --faults %s --mix-seed %d --no-sweep\n"
+                          f.structure n ops f.replay (spec_of f) f.mix_seed;
+                        write_artifact f)
+                      r.failures)
+                  structs;
+                if not no_sweep then begin
+                  match Experiments.Exp.find "chaos" with
+                  | None -> ()
+                  | Some e ->
+                      let budget = Experiments.Exp.budget ~quick ~seed () in
+                      let t1 = now () in
+                      let table = Experiments.Exp.table ~budget e in
+                      Telemetry.Manifest.record_experiment manifest ~id:e.id
+                        ~title:e.title ~elapsed:(now () -. t1);
+                      print_string (Experiments.Exp.render_table e table);
+                      print_newline ()
+                end;
+                Telemetry.Manifest.set_elapsed manifest (now () -. t0);
+                if not no_manifest then begin
+                  match Telemetry.Manifest.write ~dir:runs_dir manifest with
+                  | path -> Printf.eprintf "manifest: %s\n%!" path
+                  | exception Sys_error msg ->
+                      Printf.eprintf "manifest: skipped (%s)\n%!" msg
+                end;
+                let ok =
+                  if expect_bug then !violations > 0 else !violations = 0
+                in
+                Printf.printf "chaos: %d violation(s) across %d structure(s)%s\n"
+                  !violations (List.length structs)
+                  (if expect_bug then " (expecting a bug)" else "");
+                if ok then `Ok () else exit 1))
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      ret
+        (const run $ faults_arg $ structures_arg $ n_arg $ ops_arg $ seed_arg
+       $ trials_arg $ quick $ expect_bug_flag $ no_sweep_flag
+       $ no_manifest_flag $ replay_arg $ mix_arg $ chaos_out_arg))
+
 let main =
   let doc =
     "Reproduction harness for 'Are Lock-Free Concurrent Algorithms Practically \
@@ -864,6 +1069,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; bench_cmd; check_cmd ]
+    [ list_cmd; run_cmd; bench_cmd; check_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

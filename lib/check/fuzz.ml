@@ -20,6 +20,7 @@ type config = {
   sched_steps : int;
   seed : int;
   crashes : bool;
+  faults : bool;
 }
 
 let default =
@@ -30,6 +31,7 @@ let default =
     sched_steps = 2_000;
     seed = 0xC0FFEE;
     crashes = true;
+    faults = false;
   }
 
 type failure = {
@@ -38,6 +40,7 @@ type failure = {
   schedule : int array;
   replay : string;
   crash_plan : (int * int) list;
+  fault_spec : string;
   mix_seed : int option;
   verdict : string;
 }
@@ -63,13 +66,15 @@ let sanitize_crashes ~n events =
       end)
     events
 
-let mk_failure ~structure ~source ~crash_events ~mix_seed ~verdict schedule =
+let mk_failure ?(fault_spec = "") ~structure ~source ~crash_events ~mix_seed
+    ~verdict schedule =
   {
     structure = structure.Checkable.name;
     source;
     schedule;
     replay = Sched.Scheduler.replay_to_string schedule;
     crash_plan = crash_events;
+    fault_spec;
     mix_seed;
     verdict;
   }
@@ -178,12 +183,41 @@ let scheduler_source ~structure ~n ~ops ~config =
     (adversaries ~n);
   List.rev !failures
 
+(* Chaos pass: delegate to {!Chaos} with its default mixed fault spec
+   and adapt its failures to this module's report shape. *)
+let chaos_source ~structure ~n ~ops ~config =
+  if not config.faults then ([], 0)
+  else begin
+    let chaos_config = { Chaos.default with seed = config.seed } in
+    let report =
+      Chaos.run ~config:chaos_config ~spec:Chaos.default_spec ~structure ~n
+        ~ops ()
+    in
+    ( List.map
+        (fun (f : Chaos.failure) ->
+          {
+            structure = f.structure;
+            source = "chaos";
+            schedule = f.schedule;
+            replay = f.replay;
+            crash_plan = [];
+            fault_spec = f.fault_spec;
+            mix_seed = Some f.mix_seed;
+            verdict = f.verdict;
+          })
+        report.failures,
+      report.trials )
+  end
+
 let fuzz ?(config = default) ~structure ~n ~ops () =
   let qc = qcheck_source ~structure ~n ~ops ~config in
   let sc = scheduler_source ~structure ~n ~ops ~config in
+  let ch, chaos_trials = chaos_source ~structure ~n ~ops ~config in
   {
     structure = structure.Checkable.name;
     trials =
-      config.trials + (config.sched_trials * List.length (adversaries ~n));
-    failures = qc @ sc;
+      config.trials
+      + (config.sched_trials * List.length (adversaries ~n))
+      + chaos_trials;
+    failures = qc @ sc @ ch;
   }

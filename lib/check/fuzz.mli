@@ -16,16 +16,23 @@ type config = {
   sched_steps : int;  (** Step budget of scheduler-driven runs. *)
   seed : int;  (** Master seed; all randomness derives from it. *)
   crashes : bool;  (** Also generate crash plans (n >= 2). *)
+  faults : bool;
+      (** Also run a {!Chaos} pass (random fault plans with
+          crash–recovery, stalls, spurious CAS) under
+          {!Chaos.default_spec}.  Off by default. *)
 }
 
 val default : config
 
 type failure = {
   structure : string;
-  source : string;  (** ["qcheck"] or the adversary's name. *)
+  source : string;  (** ["qcheck"], ["chaos"], or the adversary's name. *)
   schedule : int array;  (** Minimal failing schedule. *)
   replay : string;  (** {!Sched.Scheduler.replay_to_string} form. *)
   crash_plan : (int * int) list;
+  fault_spec : string;
+      (** Shrunk fault plan in [--faults] grammar ([""] for non-chaos
+          sources). *)
   mix_seed : int option;
   verdict : string;
 }

@@ -36,14 +36,22 @@ let open_window = max_int / 2
    or Incr has an unknowable result that *can* constrain the rest of
    the history (a take may have removed an element some completed
    operation's result depends on), so its presence makes the history
-   unjudgeable: Unchecked, never a false alarm. *)
+   unjudgeable: Unchecked, never a false alarm.
+
+   A *marked* in-flight operation is the exception to both rules: the
+   structure has recorded that it already linearized with a known
+   result (the MS-queue enqueue past its link CAS), so it is included
+   with that result and an open window regardless of its kind. *)
 let history inst =
   let completed = inst.Checkable.events () in
   let flight = inst.Checkable.in_flight () in
   let unknowable =
     List.exists
-      (fun (_, op, _) ->
-        match op with Checkable.Add _ -> false | Take | Incr -> true)
+      (fun (proc, op, _) ->
+        match (op, inst.Checkable.marked proc) with
+        | _, Some _ -> false
+        | Checkable.Add _, None -> false
+        | (Take | Incr), None -> true)
       flight
   in
   if unknowable then None
@@ -52,13 +60,12 @@ let history inst =
       (completed
       @ List.map
           (fun (proc, op, invoked) ->
-            {
-              Checker.proc;
-              op;
-              result = Checkable.Done;
-              invoked;
-              returned = open_window;
-            })
+            let result =
+              match inst.Checkable.marked proc with
+              | Some r -> r
+              | None -> Checkable.Done
+            in
+            { Checker.proc; op; result; invoked; returned = open_window })
           flight)
 
 let verdict_of inst =
@@ -79,8 +86,9 @@ let verdict_to_string = function
       Printf.sprintf "non-linearizable history:\n  %s"
         (String.concat "\n  " (List.map Checkable.event_to_string evs))
 
-let run ?(crash_plan = Sched.Crash_plan.none) ?mix_seed ~structure ~n ~ops
-    ~tail schedule =
+let run ?(crash_plan = Sched.Crash_plan.none)
+    ?(fault_plan = Sched.Fault_plan.none) ?mix_seed ~structure ~n ~ops ~tail
+    schedule =
   if n <= 0 then invalid_arg "Schedule.run: n must be positive";
   if n * ops > 62 then
     invalid_arg
@@ -116,16 +124,25 @@ let run ?(crash_plan = Sched.Crash_plan.none) ?mix_seed ~structure ~n ~ops
   in
   (* Bounded programs terminate under any schedule: every CAS failure
      is caused by some other process completing a step, so the budget
-     is a generous linear headroom, not a tuning knob. *)
-  let budget = Array.length schedule + (200 * n * (ops + 1)) + 64 in
+     is a generous linear headroom, not a tuning knob.  Faults stretch
+     it predictably: each restart can re-run a process's whole plan,
+     each stall burns its window in idle ticks, and spurious CAS rates
+     (validated < 1) multiply retry chains by a bounded factor. *)
+  let budget =
+    let base = Array.length schedule + (200 * n * (ops + 1)) + 64 in
+    let restart_factor = 1 + Sched.Fault_plan.restart_count fault_plan in
+    let spurious_factor = if Sched.Fault_plan.has_spurious fault_plan then 4 else 1 in
+    (base * restart_factor * spurious_factor)
+    + Sched.Fault_plan.stall_total fault_plan
+  in
   let failure = ref None in
   let result =
     try
       Some
-        (Sim.Executor.run ~seed:0 ~crash_plan ~max_steps:(budget + 1)
-           ~invariant:inst.invariant ~invariant_interval:1 ~choose
-           ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps budget)
-           inst.spec)
+        (Sim.Executor.run ~seed:0 ~crash_plan ~fault_plan
+           ~max_steps:(budget + 1) ~invariant:inst.invariant
+           ~invariant_interval:1 ~choose ~scheduler:Sched.Scheduler.uniform ~n
+           ~stop:(Steps budget) inst.spec)
     with Failure msg ->
       failure := Some msg;
       None
@@ -190,8 +207,9 @@ let ddmin ~fails schedule =
   done;
   !cur
 
-let shrink ?crash_plan ?mix_seed ~structure ~n ~ops ~tail schedule =
+let shrink ?crash_plan ?fault_plan ?mix_seed ~structure ~n ~ops ~tail schedule =
   let fails s =
-    is_bad (run ?crash_plan ?mix_seed ~structure ~n ~ops ~tail s).verdict
+    is_bad
+      (run ?crash_plan ?fault_plan ?mix_seed ~structure ~n ~ops ~tail s).verdict
   in
   if not (fails schedule) then schedule else ddmin ~fails schedule

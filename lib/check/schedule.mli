@@ -45,6 +45,7 @@ type outcome = {
 
 val run :
   ?crash_plan:Sched.Crash_plan.t ->
+  ?fault_plan:Sched.Fault_plan.t ->
   ?mix_seed:int ->
   structure:Scu.Checkable.t ->
   n:int ->
@@ -54,26 +55,37 @@ val run :
   outcome
 (** Replay one schedule against a fresh instance.  Runs the
     structure's invariant hook every step.  Raises [Invalid_argument]
-    when [n * ops > 62] (the linearizability checker's limit). *)
+    when [n * ops > 62] (the linearizability checker's limit).
+
+    [fault_plan] adds crash–recovery, stalls, and spurious CAS
+    failures on top of [crash_plan]; the step budget is stretched to
+    cover restart re-runs, stall windows, and bounded retry chains, so
+    fault runs with a [Round_robin] tail still drive every surviving
+    process to completion. *)
 
 val verdict_of : Scu.Checkable.instance -> verdict
 (** Judge an instance in whatever state its run left it: the completed
     history plus the sound partial-history rule (in-flight adds get an
     open response window — placeable last, never a false alarm;
-    in-flight takes/incrs make the history [Unchecked]). *)
+    in-flight takes/incrs make the history [Unchecked]).  A *marked*
+    in-flight operation — one the structure recorded as already
+    linearized with a known result ({!Scu.Checkable.instance.marked})
+    — is included with that result instead, whatever its kind. *)
 
 val is_bad : verdict -> bool
 (** True for [Nonlinearizable] and [Invariant_violation]. *)
 
 val verdict_to_string : verdict -> string
 
-val ddmin : fails:(int array -> bool) -> int array -> int array
+val ddmin : fails:('a array -> bool) -> 'a array -> 'a array
 (** Greedy delta-debugging on arrays: removes ever-smaller chunks
     while [fails] holds.  The result still satisfies [fails] and is
-    1-minimal up to the greedy strategy. *)
+    1-minimal up to the greedy strategy.  Polymorphic: schedules are
+    [int array]s, the chaos harness also shrinks fault-event arrays. *)
 
 val shrink :
   ?crash_plan:Sched.Crash_plan.t ->
+  ?fault_plan:Sched.Fault_plan.t ->
   ?mix_seed:int ->
   structure:Scu.Checkable.t ->
   n:int ->

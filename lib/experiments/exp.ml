@@ -42,6 +42,7 @@ let all =
     make (module Exp_ext_tail);
     make (module Exp_ext_backup);
     make (module Exp_ext_replay);
+    make (module Exp_chaos);
     make (module Exp_hw);
   ]
 

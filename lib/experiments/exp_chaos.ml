@@ -1,0 +1,146 @@
+(* Chaos / graceful degradation: system latency under the fault plans
+   of the chaos layer (crash–recovery, stall windows, spurious CAS
+   failure), anchored to two fault-free baselines.
+
+   The anchors are exact replicas of existing cells: the first row
+   re-measures Theorem 4's SCU(0,1) point at n = 16 with an empty
+   fault plan (byte-identical numbers to exp_thm4), the second re-runs
+   Corollary 2's (n=16, k=8) crashed run with the crash plan expressed
+   as a fault plan (byte-identical to exp_cor2 — the executor's
+   crash-only fault path is the old crash-plan path).  The remaining
+   rows degrade gracefully and predictably:
+
+   - permanent crashes track Corollary 2: latency follows the
+     surviving k, not n;
+   - crash + mid-run recovery interpolates between W(k) and W(n);
+   - stall windows add idle time but leave the completion/step ratio
+     of the survivors intact;
+   - spurious CAS failure at rate r inflates latency, bounded by
+     roughly 1/(1 - r): each slot win is kept with probability 1 - r,
+     and only the CAS share of a method's steps is retried. *)
+
+module Fault_plan = Sched.Fault_plan
+
+let id = "chaos"
+let title = "Chaos: graceful degradation under crash-recovery and memory faults"
+
+let notes =
+  "Rows 1-2 reproduce thm4's SCU(0,1) n=16 cell and cor2's (16,8) \
+   crashed run byte-for-byte (empty fault plan == no fault plan; \
+   crash-only fault plan == crash plan).  Crash rows track exact W(k) \
+   for the surviving k; crash+recover lands between W(8) and W(16); \
+   stalls leave compl/1k near the fault-free row; casfail~r inflates W, \
+   bounded by ~1/(1-r) (only the CAS share of steps is retried)."
+
+let scu_exact ~n = Chains.Scu_chain.System.system_latency ~n
+
+let row ~faults ~n ~(r : Sim.Executor.result) ~exact =
+  [
+    faults;
+    string_of_int n;
+    Runs.fmt (Sim.Metrics.mean_system_latency r.metrics);
+    Runs.fmt exact;
+    Runs.fmt (1000. *. Sim.Metrics.completion_rate r.metrics);
+    string_of_int (Array.fold_left ( + ) 0 r.restarts);
+    string_of_int r.spurious_cas;
+  ]
+
+let counter_run ~seed ~n ~steps plan =
+  let c = Scu.Counter.make ~n in
+  Sim.Executor.run ~seed ~fault_plan:plan ~scheduler:Sched.Scheduler.uniform ~n
+    ~stop:(Steps steps) c.spec
+
+(* (time, proc) pairs crashing processes k..n-1 at time 0 — the exact
+   shape exp_cor2 builds its crash plan from. *)
+let crash_events ~n ~k = List.init (n - k) (fun i -> (0, k + i))
+
+let plan { Plan.quick; seed } =
+  let n = 16 in
+  let thm4_steps = if quick then 200_000 else 1_000_000 in
+  let cor2_steps = if quick then 300_000 else 1_200_000 in
+  let crash_plan_of ~k = Fault_plan.of_crash_events (crash_events ~n ~k) in
+  let cells =
+    [
+      (* Anchor 1: thm4's (q=0, s=1, n=16) cell, empty fault plan. *)
+      Plan.cell "baseline-thm4" (fun () ->
+          let p = Scu.Scu_pattern.make ~n ~q:0 ~s:1 in
+          (* thm4's per-cell seed formula at (q=0, s=1, n). *)
+          let r =
+            Sim.Executor.run
+              ~seed:(seed + (0 * 100) + (1 * 10) + n)
+              ~fault_plan:Fault_plan.none ~scheduler:Sched.Scheduler.uniform ~n
+              ~stop:(Steps thm4_steps) p.spec
+          in
+          [ row ~faults:"none (= thm4 n=16)" ~n ~r ~exact:(scu_exact ~n) ]);
+      (* Anchor 2: cor2's (n=16, k=8) crashed run, crash plan expressed
+         as a fault plan. *)
+      Plan.cell "baseline-cor2" (fun () ->
+          let r =
+            counter_run ~seed:(seed + 91) ~n ~steps:cor2_steps
+              (crash_plan_of ~k:8)
+          in
+          [ row ~faults:"crash 8..15@0 (= cor2)" ~n ~r ~exact:(scu_exact ~n:8) ]);
+      Plan.cell "crash-k12" (fun () ->
+          let r =
+            counter_run ~seed:(seed + 91) ~n ~steps:cor2_steps
+              (crash_plan_of ~k:12)
+          in
+          [ row ~faults:"crash 12..15@0" ~n ~r ~exact:(scu_exact ~n:12) ]);
+      Plan.cell "crash-k4" (fun () ->
+          let r =
+            counter_run ~seed:(seed + 91) ~n ~steps:cor2_steps
+              (crash_plan_of ~k:4)
+          in
+          [ row ~faults:"crash 4..15@0" ~n ~r ~exact:(scu_exact ~n:4) ]);
+      (* Crash half the processes at 0, restart them all mid-run: the
+         measured W mixes the W(8) phase and the W(16) phase. *)
+      Plan.cell "crash-recover" (fun () ->
+          let half = cor2_steps / 2 in
+          let events =
+            List.map (fun (t, p) -> (t, Fault_plan.Crash p))
+              (crash_events ~n ~k:8)
+            @ List.init 8 (fun i -> (half, Fault_plan.Restart (8 + i)))
+          in
+          let r =
+            counter_run ~seed:(seed + 91) ~n ~steps:cor2_steps
+              (Fault_plan.make events)
+          in
+          [ row ~faults:"crash 8..15@0 + restart@T/2" ~n ~r
+              ~exact:(scu_exact ~n);
+          ]);
+      (* Deterministic stall storm: every quarter of the run, half the
+         processes stall for 200 steps. *)
+      Plan.cell "stall" (fun () ->
+          let events =
+            List.concat_map
+              (fun quarter ->
+                let t = quarter * cor2_steps / 4 in
+                List.init 8 (fun p -> (t, Fault_plan.Stall (p, 200))))
+              [ 1; 2; 3 ]
+          in
+          let r =
+            counter_run ~seed:(seed + 91) ~n ~steps:cor2_steps
+              (Fault_plan.make events)
+          in
+          [ row ~faults:"stall 8x200@T/4,T/2,3T/4" ~n ~r ~exact:(scu_exact ~n) ]);
+      Plan.cell "casfail-0.1" (fun () ->
+          let r =
+            counter_run ~seed:(seed + 91) ~n ~steps:cor2_steps
+              (Fault_plan.make ~spurious:[ (None, 0.1) ] [])
+          in
+          [ row ~faults:"casfail~0.1" ~n ~r ~exact:(scu_exact ~n) ]);
+      Plan.cell "casfail-0.3" (fun () ->
+          let r =
+            counter_run ~seed:(seed + 91) ~n ~steps:cor2_steps
+              (Fault_plan.make ~spurious:[ (None, 0.3) ] [])
+          in
+          [ row ~faults:"casfail~0.3" ~n ~r ~exact:(scu_exact ~n) ]);
+    ]
+  in
+  Plan.of_rows
+    ~headers:
+      [
+        "faults"; "n"; "W measured"; "exact W (fault-free)"; "compl/1k steps";
+        "restarts"; "spurious";
+      ]
+    cells

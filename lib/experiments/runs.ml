@@ -1,8 +1,8 @@
 let spec_metrics ?(seed = 0xFEED) ?(scheduler = Sched.Scheduler.uniform)
-    ?record_samples ?crash_plan ~n ~steps spec =
+    ?record_samples ?crash_plan ?fault_plan ~n ~steps spec =
   let r =
-    Sim.Executor.run ~seed ?record_samples ?crash_plan ~scheduler ~n ~stop:(Steps steps)
-      spec
+    Sim.Executor.run ~seed ?record_samples ?crash_plan ?fault_plan ~scheduler
+      ~n ~stop:(Steps steps) spec
   in
   r.metrics
 

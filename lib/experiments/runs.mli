@@ -15,6 +15,7 @@ val spec_metrics :
   ?scheduler:Sched.Scheduler.t ->
   ?record_samples:bool ->
   ?crash_plan:Sched.Crash_plan.t ->
+  ?fault_plan:Sched.Fault_plan.t ->
   n:int ->
   steps:int ->
   Sim.Executor.spec ->

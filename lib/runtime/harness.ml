@@ -6,33 +6,56 @@ type result = {
   total_steps : int;
   completion_rate : float;
   per_domain : per_domain array;
+  failures : (int * string) list;
 }
 
 let run ~domains ~ops_per_domain ~op =
   if domains < 1 then invalid_arg "Harness.run: domains must be >= 1";
   if ops_per_domain < 1 then invalid_arg "Harness.run: ops_per_domain must be >= 1";
   let go = Atomic.make false in
+  (* Workers never let an exception escape: [Domain.join] re-raises a
+     worker's exception, and raising out of an early join would orphan
+     the remaining domains (they would spin on [go] forever if the
+     exception propagated before the release, or leak unjoined
+     otherwise).  Every domain is always joined; failures are data. *)
   let worker i () =
-    while not (Atomic.get go) do
-      Domain.cpu_relax ()
-    done;
-    let steps = ref 0 in
-    for _ = 1 to ops_per_domain do
-      steps := !steps + op i
-    done;
-    { operations = ops_per_domain; steps = !steps }
+    try
+      while not (Atomic.get go) do
+        Domain.cpu_relax ()
+      done;
+      let steps = ref 0 in
+      for _ = 1 to ops_per_domain do
+        steps := !steps + op i
+      done;
+      Ok { operations = ops_per_domain; steps = !steps }
+    with e -> Error (Printexc.to_string e)
   in
   let handles = List.init domains (fun i -> Domain.spawn (worker i)) in
   Atomic.set go true;
-  let per_domain = Array.of_list (List.map Domain.join handles) in
+  let joined = List.map Domain.join handles in
+  let per_domain =
+    Array.of_list
+      (List.map
+         (function Ok d -> d | Error _ -> { operations = 0; steps = 0 })
+         joined)
+  in
+  let failures =
+    List.concat
+      (List.mapi
+         (fun i r -> match r with Ok _ -> [] | Error msg -> [ (i, msg) ])
+         joined)
+  in
   let total_operations = Array.fold_left (fun acc d -> acc + d.operations) 0 per_domain in
   let total_steps = Array.fold_left (fun acc d -> acc + d.steps) 0 per_domain in
   {
     domains;
     total_operations;
     total_steps;
-    completion_rate = float_of_int total_operations /. float_of_int total_steps;
+    completion_rate =
+      (if total_steps = 0 then 0.
+       else float_of_int total_operations /. float_of_int total_steps);
     per_domain;
+    failures;
   }
 
 let counter_completion_rate ~domains ~ops_per_domain =

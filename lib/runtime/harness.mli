@@ -17,8 +17,12 @@ type result = {
   domains : int;
   total_operations : int;
   total_steps : int;
-  completion_rate : float;  (** total_operations / total_steps. *)
+  completion_rate : float;
+      (** total_operations / total_steps (0 when no steps ran). *)
   per_domain : per_domain array;
+  failures : (int * string) list;
+      (** [(domain_index, exception)] for every domain whose [op]
+          raised; failed domains contribute zero operations and steps. *)
 }
 
 val run :
@@ -29,7 +33,11 @@ val run :
 (** [run ~domains ~ops_per_domain ~op] spawns [domains] domains; each
     calls [op domain_index] exactly [ops_per_domain] times.  [op] must
     return the number of shared steps the operation took (the
-    [Rt_counter] / [Rt_treiber] / [Rt_msqueue] operations do). *)
+    [Rt_counter] / [Rt_treiber] / [Rt_msqueue] operations do).
+
+    An exception in one domain's [op] cannot orphan the others: every
+    domain is joined unconditionally and per-domain failures are
+    surfaced in [failures] instead of re-raised. *)
 
 val counter_completion_rate : domains:int -> ops_per_domain:int -> result
 (** The exact Figure 5 workload: concurrent [Rt_counter.incr_cas] on a

@@ -17,6 +17,8 @@ let of_list events =
   (* After sorting, the first occurrence of each proc is its earliest. *)
   List.sort compare dedup
 
+let to_list t = t
+
 let crashes_at t ~time = List.filter_map (fun (tm, p) -> if tm = time then Some p else None) t
 let crashed_by t ~time = List.filter_map (fun (tm, p) -> if tm <= time then Some p else None) t
 let count t = List.length t

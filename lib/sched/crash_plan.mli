@@ -18,6 +18,10 @@ val of_list : (int * int) list -> t
     given time step (it takes no step at that time).  Duplicate
     processes keep the earliest crash. *)
 
+val to_list : t -> (int * int) list
+(** The normalized [(time, proc)] events, sorted by time — the bridge
+    into the chaos layer's {!Fault_plan.of_crash_events}. *)
+
 val crashes_at : t -> time:int -> int list
 (** Processes that crash exactly at [time]. *)
 

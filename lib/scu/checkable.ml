@@ -68,9 +68,23 @@ let queue_spec : (op, res, int list) Checker.spec =
 type recorder = {
   mutable completed : (op, res) Checker.event list;  (* newest first *)
   slots : (op * int) option array;
+  marks : res option array;
+      (* Set when an in-flight operation has already linearized (only
+         the MS-queue enqueue, between link CAS and tail swing). *)
+  done_count : int array;  (* completed ops per process — the plan cursor *)
+  started : bool array;
+  restarts : int array;
 }
 
-let make_recorder n = { completed = []; slots = Array.make n None }
+let make_recorder n =
+  {
+    completed = [];
+    slots = Array.make n None;
+    marks = Array.make n None;
+    done_count = Array.make n 0;
+    started = Array.make n false;
+    restarts = Array.make n 0;
+  }
 
 let recording rc ~proc ~op f =
   let invoked = (2 * Program.now ()) + 1 in
@@ -78,13 +92,52 @@ let recording rc ~proc ~op f =
   let result = f () in
   let returned = 2 * Program.now () in
   rc.slots.(proc) <- None;
+  rc.marks.(proc) <- None;
+  rc.done_count.(proc) <- rc.done_count.(proc) + 1;
   rc.completed <- { Checker.proc; op; result; invoked; returned } :: rc.completed;
   result
+
+(* Recovery-safe re-entry: every program body calls this first.  On
+   the initial start it only marks the process as started.  After a
+   crash–recovery restart it settles the interrupted operation, if any:
+
+   - *marked* in flight — the crashed attempt had already linearized
+     (MS-queue enqueue past its link CAS), so re-running it would apply
+     the operation twice.  Complete it now with the marked result.
+   - *unmarked* in flight — the suspended step was never applied and
+     every applied step of these structures before the linearization
+     point touches only private or unpublished nodes, so dropping the
+     attempt and re-running the operation from scratch is safe (the
+     half-built node is leaked, never published).
+
+   The plan cursor is [done_count], which only [recording] (and the
+   marked path here) advance — a restarted process resumes at exactly
+   the operation it crashed inside of. *)
+let enter rc ~proc =
+  if rc.started.(proc) then begin
+    rc.restarts.(proc) <- rc.restarts.(proc) + 1;
+    match rc.slots.(proc) with
+    | None -> ()
+    | Some (op, invoked) -> (
+        match rc.marks.(proc) with
+        | Some result ->
+            let returned = 2 * Program.now () in
+            rc.slots.(proc) <- None;
+            rc.marks.(proc) <- None;
+            rc.done_count.(proc) <- rc.done_count.(proc) + 1;
+            rc.completed <-
+              { Checker.proc; op; result; invoked; returned } :: rc.completed;
+            Program.complete ()
+        | None -> rc.slots.(proc) <- None)
+  end
+  else rc.started.(proc) <- true
 
 type instance = {
   spec : Sim.Executor.spec;
   events : unit -> (op, res) Checker.event list;
   in_flight : unit -> (int * op * int) list;
+  marked : int -> res option;
+  restarts : unit -> int array;
   check : (op, res) Checker.event list -> bool;
   invariant : Memory.t -> time:int -> unit;
 }
@@ -160,7 +213,8 @@ let counter_make ~variant ~n ~ops ?mix_seed:_ () =
         v
   in
   let program (ctx : Program.ctx) =
-    for _ = 1 to ops do
+    enter rc ~proc:ctx.id;
+    while rc.done_count.(ctx.id) < ops do
       ignore (recording rc ~proc:ctx.id ~op:Incr (fun () -> Got (fai ())));
       Program.complete ()
     done
@@ -175,6 +229,8 @@ let counter_make ~variant ~n ~ops ?mix_seed:_ () =
     spec = { Sim.Executor.name; memory; program };
     events = events_of rc;
     in_flight = in_flight_of rc;
+    marked = (fun proc -> rc.marks.(proc));
+    restarts = (fun () -> Array.copy rc.restarts);
     check = (fun evs -> Checker.check counter_spec evs);
     invariant = counter_invariant r;
   }
@@ -200,23 +256,23 @@ let treiber_make ~broken ~n ~ops ?mix_seed () =
     else Treiber.pop_op ~top
   in
   let program (ctx : Program.ctx) =
-    Array.iter
-      (fun o ->
-        (match o with
-        | Add v ->
-            ignore
-              (recording rc ~proc:ctx.id ~op:o (fun () ->
-                   Treiber.push_op ~memory ~top v;
-                   Done))
-        | Take ->
-            ignore
-              (recording rc ~proc:ctx.id ~op:o (fun () ->
-                   match pop () with
-                   | Treiber.Empty -> Took_empty
-                   | Popped v -> Took v))
-        | Incr -> assert false);
-        Program.complete ())
-      plans.(ctx.id)
+    enter rc ~proc:ctx.id;
+    while rc.done_count.(ctx.id) < ops do
+      (match plans.(ctx.id).(rc.done_count.(ctx.id)) with
+      | Add v as o ->
+          ignore
+            (recording rc ~proc:ctx.id ~op:o (fun () ->
+                 Treiber.push_op ~memory ~top v;
+                 Done))
+      | Take as o ->
+          ignore
+            (recording rc ~proc:ctx.id ~op:o (fun () ->
+                 match pop () with
+                 | Treiber.Empty -> Took_empty
+                 | Popped v -> Took v))
+      | Incr -> assert false);
+      Program.complete ()
+    done
   in
   {
     spec =
@@ -227,6 +283,8 @@ let treiber_make ~broken ~n ~ops ?mix_seed () =
       };
     events = events_of rc;
     in_flight = in_flight_of rc;
+    marked = (fun proc -> rc.marks.(proc));
+    restarts = (fun () -> Array.copy rc.restarts);
     check = (fun evs -> Checker.check stack_spec evs);
     invariant =
       chain_invariant ~what:"treiber"
@@ -266,23 +324,28 @@ let msqueue_make ~broken ~n ~ops ?mix_seed () =
     else Msqueue.dequeue_op ~head ~tail
   in
   let program (ctx : Program.ctx) =
-    Array.iter
-      (fun o ->
-        (match o with
-        | Add v ->
-            ignore
-              (recording rc ~proc:ctx.id ~op:o (fun () ->
-                   Msqueue.enqueue_op ~memory ~tail v;
-                   Done))
-        | Take ->
-            ignore
-              (recording rc ~proc:ctx.id ~op:o (fun () ->
-                   match deq () with
-                   | Msqueue.Empty -> Took_empty
-                   | Dequeued v -> Took v))
-        | Incr -> assert false);
-        Program.complete ())
-      plans.(ctx.id)
+    enter rc ~proc:ctx.id;
+    while rc.done_count.(ctx.id) < ops do
+      (match plans.(ctx.id).(rc.done_count.(ctx.id)) with
+      | Add v as o ->
+          ignore
+            (recording rc ~proc:ctx.id ~op:o (fun () ->
+                 (* The link CAS linearizes but the tail swing is still
+                    ahead: mark so a crash in the gap completes instead
+                    of re-running on recovery. *)
+                 Msqueue.enqueue_op
+                   ~on_linearize:(fun () -> rc.marks.(ctx.id) <- Some Done)
+                   ~memory ~tail v;
+                 Done))
+      | Take as o ->
+          ignore
+            (recording rc ~proc:ctx.id ~op:o (fun () ->
+                 match deq () with
+                 | Msqueue.Empty -> Took_empty
+                 | Dequeued v -> Took v))
+      | Incr -> assert false);
+      Program.complete ()
+    done
   in
   {
     spec =
@@ -293,6 +356,8 @@ let msqueue_make ~broken ~n ~ops ?mix_seed () =
       };
     events = events_of rc;
     in_flight = in_flight_of rc;
+    marked = (fun proc -> rc.marks.(proc));
+    restarts = (fun () -> Array.copy rc.restarts);
     check = (fun evs -> Checker.check queue_spec evs);
     invariant =
       chain_invariant ~what:"msqueue"

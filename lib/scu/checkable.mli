@@ -41,6 +41,18 @@ type instance = {
       (** [(proc, op, invoked)] for each operation a suspended process
           is currently inside of — what a run stopped at a frontier or
           step budget leaves unfinished. *)
+  marked : int -> res option;
+      (** [marked proc] is [Some r] when [proc]'s in-flight operation
+          has already *linearized* with result [r] even though it has
+          not returned (the MS-queue enqueue between its link CAS and
+          tail swing).  A mark makes the in-flight operation's effect
+          certain: the history builder may include it, and on
+          crash–recovery the re-entry preamble completes it instead of
+          re-running it. *)
+  restarts : unit -> int array;
+      (** Crash–recovery restarts each process's body has observed
+          (all zeros unless the run used a fault plan with [Restart]
+          events). *)
   check : (op, res) Linearize.Checker.event list -> bool;
       (** Linearizability against this structure's sequential spec. *)
   invariant : Sim.Memory.t -> time:int -> unit;

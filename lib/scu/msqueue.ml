@@ -16,7 +16,7 @@ type deq_result = Empty | Dequeued of int
 let enqueue_method = 0
 let dequeue_method = 1
 
-let enqueue_op ~memory ~tail value =
+let enqueue_op ?on_linearize ~memory ~tail value =
   let node = Memory.alloc memory ~size:2 in
   Program.write node value;
   let rec attempt () =
@@ -27,9 +27,15 @@ let enqueue_op ~memory ~tail value =
       ignore (Program.cas tail ~expected:t ~value:next);
       attempt ()
     end
-    else if Program.cas (t + 1) ~expected:0 ~value:node then
-      (* Linked; swing the tail (failure is fine — someone helped). *)
+    else if Program.cas (t + 1) ~expected:0 ~value:node then begin
+      (* Linked — the enqueue just linearized.  The callback runs in
+         the same atomic stretch as the successful CAS, before the
+         process can next be suspended (and so before any crash can
+         separate the two). *)
+      Option.iter (fun f -> f ()) on_linearize;
+      (* Swing the tail (failure is fine — someone helped). *)
       ignore (Program.cas tail ~expected:t ~value:node)
+    end
     else attempt ()
   in
   attempt ()

@@ -37,10 +37,18 @@ type deq_result = Empty | Dequeued of int
 
 val dequeues : t -> Sim.Memory.t -> int -> deq_result list
 
-val enqueue_op : memory:Sim.Memory.t -> tail:int -> int -> unit
+val enqueue_op :
+  ?on_linearize:(unit -> unit) -> memory:Sim.Memory.t -> tail:int -> int -> unit
 (** One enqueue (alloc, link CAS, tail swing with helping), exposed for
     the conformance-check harness ({!Checkable}).  Must run inside a
-    simulated process (performs {!Sim.Program} effects). *)
+    simulated process (performs {!Sim.Program} effects).
+
+    [on_linearize] fires immediately after the link CAS succeeds —
+    atomically with it, before the tail-swing step.  The enqueue is
+    the one checkable operation whose linearization point is not its
+    final shared-memory step, so a crash between link and swing leaves
+    an operation that took effect but never returned; the recovery
+    harness uses this callback to mark it. *)
 
 val dequeue_op : head:int -> tail:int -> deq_result
 (** One dequeue, same caveats as {!enqueue_op}. *)

@@ -12,6 +12,8 @@ type result = {
   terminated : bool array;
   stopped_early : bool;
   pending : Memory.op option array;
+  restarts : int array;
+  spurious_cas : int;
 }
 
 (* A process is either suspended at a shared-memory operation, waiting
@@ -45,34 +47,51 @@ let handler ~on_complete ~(now : unit -> int) : (unit, proc_state) Effect.Deep.h
         | _ -> None);
   }
 
+let discard_state = function
+  | Suspended (_, k) -> (
+      try ignore (Effect.Deep.discontinue k Exit) with Exit | _ -> ())
+  | Terminated -> ()
+
 let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
-    ?(crash_plan = Sched.Crash_plan.none) ?(max_steps = 200_000_000) ?invariant
-    ?(invariant_interval = 1000) ?choose ~(scheduler : Sched.Scheduler.t) ~n
-    ~stop spec =
+    ?(crash_plan = Sched.Crash_plan.none) ?(fault_plan = Sched.Fault_plan.none)
+    ?(max_steps = 200_000_000) ?invariant ?(invariant_interval = 1000) ?choose
+    ~(scheduler : Sched.Scheduler.t) ~n ~stop spec =
   if invariant_interval < 1 then
     invalid_arg "Executor.run: invariant_interval must be >= 1";
   if n <= 0 then invalid_arg "Executor.run: n must be positive";
   (match Sched.Crash_plan.validate ~n crash_plan with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Executor.run: " ^ msg));
+  (match Sched.Fault_plan.validate ~n fault_plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Executor.run: " ^ msg));
+  let plan =
+    if Sched.Fault_plan.is_none fault_plan then
+      Sched.Fault_plan.of_crash_plan crash_plan
+    else
+      Sched.Fault_plan.merge
+        (Sched.Fault_plan.of_crash_plan crash_plan)
+        fault_plan
+  in
   let rng = Stats.Rng.create ~seed in
   let metrics = Metrics.create ~record_samples ~n () in
   let tr = if trace then Some (Sched.Trace.create ~n) else None in
   let alive = Array.make n true in
   let crashed = Array.make n false in
   let terminated = Array.make n false in
-  let states =
-    Array.init n (fun id ->
-        let ctx =
-          { Program.id; n; rng = Stats.Rng.split rng }
-        in
-        Effect.Deep.match_with spec.program ctx
-          (handler
-             ~on_complete:(function
-               | None -> Metrics.on_complete metrics id
-               | Some m -> Metrics.on_complete_method metrics id m)
-             ~now:(fun () -> Metrics.time metrics)))
+  let stalled_until = Array.make n 0 in
+  let restarts = Array.make n 0 in
+  let spurious_cas = ref 0 in
+  let make_state id =
+    let ctx = { Program.id; n; rng = Stats.Rng.split rng } in
+    Effect.Deep.match_with spec.program ctx
+      (handler
+         ~on_complete:(function
+           | None -> Metrics.on_complete metrics id
+           | Some m -> Metrics.on_complete_method metrics id m)
+         ~now:(fun () -> Metrics.time metrics))
   in
+  let states = Array.init n make_state in
   Array.iteri
     (fun i s ->
       match s with
@@ -81,6 +100,69 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
           alive.(i) <- false
       | Suspended _ -> ())
     states;
+  (* Spurious-CAS hook: consulted by [Memory.apply_faulty] only on a
+     would-succeed CAS, drawing from a dedicated RNG stream split off
+     *after* the per-process streams so a plan without spurious rates
+     leaves every other stream — and hence the whole run — untouched. *)
+  let rates = Sched.Fault_plan.spurious_rates ~n plan in
+  let has_spurious = Sched.Fault_plan.has_spurious plan in
+  let current_proc = ref (-1) in
+  if has_spurious then begin
+    let srng = Stats.Rng.split rng in
+    Memory.set_fault_hook spec.memory
+      (Some
+         (fun op ->
+           match op with
+           | Memory.Cas _ | Memory.Cas_get _ ->
+               let r = rates.(!current_proc) in
+               if r > 0. && Stats.Rng.float srng 1.0 < r then begin
+                 incr spurious_cas;
+                 true
+               end
+               else false
+           | Memory.Read _ | Memory.Write _ | Memory.Faa _ -> false))
+  end;
+  let events = Sched.Fault_plan.events plan in
+  let cursor = ref 0 in
+  (* Fault events fire at the start of their time step, in plan order. *)
+  let process_events now =
+    while !cursor < Array.length events && fst events.(!cursor) <= now do
+      (match snd events.(!cursor) with
+      | Sched.Fault_plan.Crash p ->
+          if not terminated.(p) then begin
+            crashed.(p) <- true;
+            alive.(p) <- false
+          end
+      | Sched.Fault_plan.Restart p ->
+          (* Only a crashed, still-suspended process restarts: its old
+             fiber is discarded and a fresh body re-enters over the
+             shared memory as the crash left it. *)
+          if crashed.(p) && not terminated.(p) then begin
+            discard_state states.(p);
+            crashed.(p) <- false;
+            restarts.(p) <- restarts.(p) + 1;
+            states.(p) <- make_state p;
+            match states.(p) with
+            | Terminated ->
+                terminated.(p) <- true;
+                alive.(p) <- false
+            | Suspended _ -> alive.(p) <- true
+          end
+      | Sched.Fault_plan.Stall (p, d) ->
+          if d > 0 then stalled_until.(p) <- max stalled_until.(p) (now + d));
+      incr cursor
+    done
+  in
+  let refresh_stalls now =
+    for i = 0 to n - 1 do
+      if stalled_until.(i) > 0 then
+        alive.(i) <-
+          stalled_until.(i) <= now
+          && (not crashed.(i))
+          && (not terminated.(i))
+          && (match states.(i) with Suspended _ -> true | Terminated -> false)
+    done
+  in
   let completions_target_met () =
     match stop with
     | Steps s -> Metrics.time metrics >= s
@@ -93,9 +175,36 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
         !ok
   in
   let alive_count () = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive in
+  (* With every process crashed or stalled the run can still make
+     progress later: a stall window expires, or a scheduled restart
+     revives a crashed process.  [wakeable] decides whether to idle
+     (tick the clock without a step) or stop early for good. *)
+  let wakeable now =
+    let stall_pending = ref false in
+    for i = 0 to n - 1 do
+      if
+        stalled_until.(i) > now
+        && (not crashed.(i))
+        && (not terminated.(i))
+        && (match states.(i) with Suspended _ -> true | Terminated -> false)
+      then stall_pending := true
+    done;
+    let restart_pending = ref false in
+    for j = !cursor to Array.length events - 1 do
+      match snd events.(j) with
+      | Sched.Fault_plan.Restart p ->
+          if crashed.(p) && not terminated.(p) then restart_pending := true
+      | _ -> ()
+    done;
+    !stall_pending || !restart_pending
+  in
   let stopped_early = ref false in
   let step_budget = match stop with Steps s -> min s max_steps | _ -> max_steps in
   let continue_run = ref true in
+  let finalize () =
+    if has_spurious then Memory.set_fault_hook spec.memory None
+  in
+  Fun.protect ~finally:finalize @@ fun () ->
   while !continue_run do
     if completions_target_met () then continue_run := false
     else if Metrics.time metrics >= step_budget then begin
@@ -103,18 +212,15 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
       continue_run := false
     end
     else begin
-      (* Crash events fire at the start of their time step. *)
       let now = Metrics.time metrics in
-      List.iter
-        (fun p ->
-          if not terminated.(p) then begin
-            crashed.(p) <- true;
-            alive.(p) <- false
-          end)
-        (Sched.Crash_plan.crashes_at crash_plan ~time:now);
+      process_events now;
+      refresh_stalls now;
       if alive_count () = 0 then begin
-        stopped_early := true;
-        continue_run := false
+        if wakeable now then Metrics.tick metrics
+        else begin
+          stopped_early := true;
+          continue_run := false
+        end
       end
       else begin
         let picked =
@@ -139,17 +245,24 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
         | Suspended (op, k) ->
             Metrics.on_step metrics i;
             Option.iter (fun t -> Sched.Trace.record t i) tr;
-            let value = Memory.apply spec.memory op in
-            states.(i) <- Effect.Deep.continue k value;
-            (match states.(i) with
-            | Terminated ->
-                terminated.(i) <- true;
-                alive.(i) <- false
-            | Suspended _ -> ());
-            (match invariant with
-            | Some check when Metrics.time metrics mod invariant_interval = 0 ->
-                check spec.memory ~time:(Metrics.time metrics)
-            | _ -> ()))
+            current_proc := i;
+            (match Memory.apply_faulty spec.memory op with
+            | Memory.Denied ->
+                (* Spurious [Cas_get] failure: the step is consumed but
+                   the process stays suspended at the same operation —
+                   the transparent LL/SC retry. *)
+                ()
+            | Memory.Applied value ->
+                states.(i) <- Effect.Deep.continue k value;
+                (match states.(i) with
+                | Terminated ->
+                    terminated.(i) <- true;
+                    alive.(i) <- false
+                | Suspended _ -> ());
+                (match invariant with
+                | Some check when Metrics.time metrics mod invariant_interval = 0 ->
+                    check spec.memory ~time:(Metrics.time metrics)
+                | _ -> ())))
       end
     end
   done;
@@ -162,10 +275,16 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
   (* Discard suspended continuations cleanly so fibers are not leaked. *)
   Array.iteri
     (fun i s ->
-      match s with
-      | Suspended (_, k) -> (
-          try ignore (Effect.Deep.discontinue k Exit) with Exit | _ -> ());
-          states.(i) <- Terminated
-      | Terminated -> ())
+      discard_state s;
+      match s with Suspended _ -> states.(i) <- Terminated | Terminated -> ())
     states;
-  { metrics; trace = tr; crashed; terminated; stopped_early = !stopped_early; pending }
+  {
+    metrics;
+    trace = tr;
+    crashed;
+    terminated;
+    stopped_early = !stopped_early;
+    pending;
+    restarts;
+    spurious_cas = !spurious_cas;
+  }

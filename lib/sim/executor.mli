@@ -6,13 +6,21 @@
       process;
     - the picked process executes any amount of local computation plus
       exactly one shared-memory operation, then suspends;
-    - crashed processes stop taking steps forever (crash containment
-      holds because the alive set only shrinks);
+    - crashed processes stop taking steps (Definition 1's crash);
     - a process whose body returns is *terminated*: it is removed from
       the alive set without counting as a crash.
 
+    Beyond Definition 1, a {!Sched.Fault_plan.t} can additionally
+    schedule *recoveries* (a crashed process restarts with a fresh
+    program body over the shared memory exactly as the crash left it),
+    bounded *stall* windows (the process stays alive but is not
+    schedulable for [d] steps), and per-process *spurious CAS failure*
+    rates (LL/SC-style: a would-succeed CAS fails with probability r).
+    A plan with none of these degenerates to the paper's model and the
+    run is byte-identical to one without a fault plan.
+
     Determinism: a run is a pure function of (spec, scheduler state,
-    seed), which the tests rely on. *)
+    seed, plans), which the tests rely on. *)
 
 type spec = {
   name : string;
@@ -43,6 +51,12 @@ type result = {
           processes keep the operation they were suspended at.  The
           schedule explorer uses this to compute enabled transitions
           and operation independence at a frontier. *)
+  restarts : int array;
+      (** How many times each process was crash-restarted by the fault
+          plan (all zeros without [Restart] events). *)
+  spurious_cas : int;
+      (** Total would-succeed CAS steps spuriously failed by the fault
+          plan's rates (0 without spurious rates). *)
 }
 
 val run :
@@ -50,6 +64,7 @@ val run :
   ?trace:bool ->
   ?record_samples:bool ->
   ?crash_plan:Sched.Crash_plan.t ->
+  ?fault_plan:Sched.Fault_plan.t ->
   ?max_steps:int ->
   ?invariant:(Memory.t -> time:int -> unit) ->
   ?invariant_interval:int ->
@@ -62,6 +77,15 @@ val run :
 (** [max_steps] (default 200_000_000) is a safety net for
     [Completions]-type stop conditions that might not be reached under
     an adversarial scheduler; hitting it sets [stopped_early].
+
+    [fault_plan] (default {!Sched.Fault_plan.none}) is merged with
+    [crash_plan]; both are validated up front ([Invalid_argument] on a
+    plan that names out-of-range processes or permanently crashes all
+    [n]).  When every process is crashed or stalled but a stall expiry
+    or a pending restart can make one schedulable again, the executor
+    idles — time advances one tick per step with no process charged —
+    rather than stopping early.  Fault events at time [t] fire before
+    the step at time [t] is scheduled.
 
     [invariant], when given, is called on the shared memory every
     [invariant_interval] steps (default 1000) and once after the run —

@@ -1,6 +1,10 @@
-type t = { mutable cells : int array; mutable used : int }
+type t = {
+  mutable cells : int array;
+  mutable used : int;
+  mutable fault_hook : (op -> bool) option;
+}
 
-type op =
+and op =
   | Read of int
   | Write of int * int
   | Cas of int * int * int
@@ -12,7 +16,7 @@ let scratch = 1
 let create ?(capacity = 64) () =
   (* Cell 0 is the (invalid) null pointer; cell 1 is the scratch cell
      read by no-op steps. *)
-  { cells = Array.make (max capacity 2) 0; used = 2 }
+  { cells = Array.make (max capacity 2) 0; used = 2; fault_hook = None }
 
 let ensure t needed =
   if needed > Array.length t.cells then begin
@@ -67,6 +71,34 @@ let apply t op =
       let old = t.cells.(a) in
       t.cells.(a) <- old + d;
       old
+
+type outcome = Applied of int | Denied
+
+let set_fault_hook t hook = t.fault_hook <- hook
+
+(* Spurious CAS failure (LL/SC-style): the hook is consulted only on a
+   [Cas]/[Cas_get] that *would* succeed; returning true denies it.  A
+   denied [Cas] simply reports failure (0) — indistinguishable in-band
+   from a real mismatch, exactly like a weak CAS.  A denied [Cas_get]
+   cannot signal failure in-band (success is "returned value equals
+   expected", and fabricating another value could be misread as a live
+   pointer), so it returns [Denied]: the executor consumes the step
+   without resuming the process, which transparently retries the same
+   operation — the LL/SC retry loop, one step per attempt. *)
+let apply_faulty t op =
+  match t.fault_hook with
+  | None -> Applied (apply t op)
+  | Some hook -> (
+      match op with
+      | Cas (a, expected, _) ->
+          check t a;
+          if t.cells.(a) = expected && hook op then Applied 0
+          else Applied (apply t op)
+      | Cas_get (a, expected, _) ->
+          check t a;
+          if t.cells.(a) = expected && hook op then Denied
+          else Applied (apply t op)
+      | Read _ | Write _ | Faa _ -> Applied (apply t op))
 
 let get t a =
   check t a;

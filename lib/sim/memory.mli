@@ -41,6 +41,22 @@ val apply : t -> op -> int
 (** Execute one shared-memory operation atomically (the simulator is
     sequential, so plain execution is atomic) and return its result. *)
 
+type outcome = Applied of int | Denied
+
+val set_fault_hook : t -> (op -> bool) option -> unit
+(** Install (or clear) the spurious-CAS fault hook consulted by
+    {!apply_faulty}.  The executor installs one per run when the fault
+    plan carries spurious rates and clears it on exit. *)
+
+val apply_faulty : t -> op -> outcome
+(** Like {!apply}, but consults the fault hook on any [Cas]/[Cas_get]
+    that would succeed; [true] denies it.  A denied [Cas] is
+    [Applied 0] without writing (a weak CAS's spurious failure); a
+    denied [Cas_get] is [Denied] — no write, and the caller must not
+    deliver a result (the augmented CAS of §7 cannot express spurious
+    failure in-band), leaving the process to retry the same operation.
+    With no hook installed this is exactly [Applied (apply t op)]. *)
+
 val get : t -> int -> int
 (** Direct inspection for tests and metrics; not a simulated step. *)
 

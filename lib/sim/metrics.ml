@@ -45,6 +45,8 @@ let on_step t i =
   t.time <- t.time + 1;
   t.steps_by.(i) <- t.steps_by.(i) + 1
 
+let tick t = t.time <- t.time + 1
+
 let on_complete t i =
   t.completions.(i) <- t.completions.(i) + 1;
   (* Gaps are measured between *consecutive* completions, so the warmup

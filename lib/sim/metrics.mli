@@ -22,6 +22,12 @@ val n : t -> int
 val on_step : t -> int -> unit
 (** Called by the executor once per scheduled step. *)
 
+val tick : t -> unit
+(** Advance the clock one step without attributing it to any process —
+    the executor idles like this when every process is crashed or
+    stalled but a stall expiry or a scheduled restart will make one
+    schedulable again. *)
+
 val on_complete : t -> int -> unit
 (** Called when a process finishes a method call. *)
 

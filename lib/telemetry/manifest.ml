@@ -35,6 +35,7 @@ type t = {
   mutable cache_misses : int;
   mutable cache_stores : int;
   mutable total_elapsed : float;
+  mutable faults : string option;
   mutable journal : string option;
 }
 
@@ -70,6 +71,7 @@ let create ?now ?version ?(ids = []) ~command ~quick ~seed ~jobs ~cache_enabled
     cache_misses = 0;
     cache_stores = 0;
     total_elapsed = 0.;
+    faults = None;
     journal = None;
   }
 
@@ -158,9 +160,9 @@ let to_json_locked t =
       ]
   in
   Json.Obj
-    [
-      ("schema", Json.Str schema);
-      ("run_id", Json.Str (run_id_locked t));
+    ([
+       ("schema", Json.Str schema);
+       ("run_id", Json.Str (run_id_locked t));
       ("started_unix", Json.Float t.started);
       ("command", Json.List (List.map (fun a -> Json.Str a) t.command));
       ("version", Json.Str t.version);
@@ -187,6 +189,12 @@ let to_json_locked t =
       ("cells", Json.List (List.rev_map cell t.cells_rev));
       ("total_elapsed_s", Json.Float t.total_elapsed);
     ]
+    (* Optional key: only chaos runs carry a fault spec; omitting it
+       otherwise keeps existing manifests identical without a schema
+       bump. *)
+    @ match t.faults with
+      | None -> []
+      | Some spec -> [ ("faults", Json.Str spec) ])
 
 let to_json t = locked t (fun () -> to_json_locked t)
 
@@ -253,6 +261,11 @@ let set_cache_counters t ~hits ~misses ~stores =
 let set_elapsed t dt =
   locked t (fun () ->
       t.total_elapsed <- duration dt;
+      flush_locked t)
+
+let set_faults t spec =
+  locked t (fun () ->
+      t.faults <- (if spec = "" then None else Some spec);
       flush_locked t)
 
 let cells t = locked t (fun () -> List.rev t.cells_rev)

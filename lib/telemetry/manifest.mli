@@ -98,6 +98,12 @@ val set_cache_counters : t -> hits:int -> misses:int -> stores:int -> unit
 val set_elapsed : t -> float -> unit
 (** Total wall-clock of the whole run. *)
 
+val set_faults : t -> string -> unit
+(** Record the fault spec (the [--faults] grammar string) a chaos run
+    used.  Serialized as an optional top-level ["faults"] key — absent
+    for fault-free runs ([""] clears it), so non-chaos manifests are
+    unchanged and the schema needs no bump. *)
+
 val cells : t -> cell list
 (** Recorded cells, in recording order. *)
 

@@ -162,6 +162,73 @@ let test_fuzz_stock_clean () =
         (List.length r.Check.Fuzz.failures))
     [ "cas-counter"; "faa-counter"; "treiber"; "msqueue" ]
 
+(* -- Chaos fuzzing (fault plans) ------------------------------------ *)
+
+let chaos_config = { Check.Chaos.default with trials = 40; seed = Test_util.seed }
+
+let test_chaos_catches_seeded_bug () =
+  let r =
+    Check.Chaos.run ~config:chaos_config ~spec:Check.Chaos.default_spec
+      ~structure:(find "counter-nocas") ~n:3 ~ops:2 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "failures found (REPRO_TEST_SEED=%d)" Test_util.seed)
+    true
+    (r.Check.Chaos.failures <> []);
+  (* Every shrunk failure replays byte-for-byte from its
+     (schedule, fault plan, mix seed) triple. *)
+  List.iter
+    (fun (f : Check.Chaos.failure) ->
+      let out =
+        Check.Schedule.run ~fault_plan:f.faults ~mix_seed:f.mix_seed
+          ~structure:(find "counter-nocas") ~n:3 ~ops:2 ~tail:Round_robin
+          f.schedule
+      in
+      Alcotest.(check bool)
+        ("minimal failure replays: " ^ f.replay)
+        true
+        (Check.Schedule.is_bad out.Check.Schedule.verdict);
+      Alcotest.(check (array int))
+        "effective schedule is a fixed point" f.schedule
+        out.Check.Schedule.executed)
+    r.Check.Chaos.failures
+
+let test_chaos_stock_clean () =
+  (* Crash–recovery, stalls, and spurious CAS failure must not produce
+     false alarms on the correct structures — recovery-safe re-entry
+     plus the mark-aware partial-history rule. *)
+  List.iter
+    (fun name ->
+      let r =
+        Check.Chaos.run ~config:chaos_config ~spec:Check.Chaos.default_spec
+          ~structure:(find name) ~n:3 ~ops:2 ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s clean under chaos (REPRO_TEST_SEED=%d)" name
+           Test_util.seed)
+        0
+        (List.length r.Check.Chaos.failures))
+    [ "cas-counter"; "faa-counter"; "treiber"; "msqueue" ]
+
+let test_chaos_deterministic () =
+  let run () =
+    let r =
+      Check.Chaos.run ~config:chaos_config ~spec:Check.Chaos.default_spec
+        ~structure:(find "msqueue-nocas") ~n:3 ~ops:2 ()
+    in
+    List.map
+      (fun (f : Check.Chaos.failure) -> (f.replay, f.fault_spec, f.mix_seed))
+      r.Check.Chaos.failures
+  in
+  Alcotest.(check bool) "same failures both runs" true (run () = run ())
+
+let test_fuzz_faults_flag_adds_chaos_source () =
+  let config = { fuzz_config with Check.Fuzz.trials = 30; faults = true } in
+  let r = fuzz ~config "counter-nocas" ~n:3 ~ops:2 in
+  Alcotest.(check bool)
+    "chaos source contributes failures" true
+    (List.exists (fun (f : Check.Fuzz.failure) -> f.source = "chaos") r.failures)
+
 (* -- Conformance gates ---------------------------------------------- *)
 
 let test_conform_smoke () =
@@ -206,6 +273,15 @@ let () =
         [
           Alcotest.test_case "seeded bug caught" `Quick test_fuzz_catches_seeded_bug;
           Alcotest.test_case "stock clean" `Quick test_fuzz_stock_clean;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "seeded bug caught under faults" `Quick
+            test_chaos_catches_seeded_bug;
+          Alcotest.test_case "stock clean under faults" `Quick test_chaos_stock_clean;
+          Alcotest.test_case "deterministic" `Quick test_chaos_deterministic;
+          Alcotest.test_case "fuzz --faults adds chaos source" `Quick
+            test_fuzz_faults_flag_adds_chaos_source;
         ] );
       ("conform", [ Alcotest.test_case "smoke gates" `Quick test_conform_smoke ]);
     ]

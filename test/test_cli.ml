@@ -230,6 +230,107 @@ let test_bad_fault_spec_rejected () =
       Alcotest.(check bool) "nonzero exit" true (code <> 0);
       Alcotest.(check string) "no experiment ran" "" out)
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* -- repro chaos ----------------------------------------------------- *)
+
+let test_chaos_deterministic_stdout () =
+  (* Two identical chaos invocations must produce byte-identical
+     stdout (reports and tables are deterministic; timings go to
+     stderr).  --no-sweep keeps the test fast; the fuzz phase is the
+     randomized part anyway. *)
+  with_scratch_dir (fun dir ->
+      let code1, out1, err1 =
+        run dir "chaos --quick --seed 5 --no-sweep --no-manifest"
+      in
+      let code2, out2, _ =
+        run dir "chaos --quick --seed 5 --no-sweep --no-manifest"
+      in
+      Alcotest.(check int) ("first run exits 0; stderr: " ^ err1) 0 code1;
+      Alcotest.(check int) "second run exits 0" 0 code2;
+      Alcotest.(check string) "stdout byte-identical" out1 out2)
+
+let test_chaos_violation_drill () =
+  (* Seeded-bug structures under chaos: violations found, artifacts
+     written and replayable, exit status inverted by --expect-bug. *)
+  with_scratch_dir (fun dir ->
+      let code, out, err =
+        run dir
+          "chaos --quick --structures counter-nocas --expect-bug --no-sweep \
+           --no-manifest --out artifacts"
+      in
+      Alcotest.(check int) ("drill exits 0 under --expect-bug; stderr: " ^ err)
+        0 code;
+      Alcotest.(check bool) "violations reported" true (contains out "VIOLATION");
+      let artifacts = Sys.readdir (Filename.concat dir "artifacts") in
+      Alcotest.(check bool) "artifact files written" true
+        (Array.length artifacts > 0);
+      let body =
+        read_file
+          (Filename.concat (Filename.concat dir "artifacts") artifacts.(0))
+      in
+      Alcotest.(check bool) "artifact records the fault plan" true
+        (contains body "faults:");
+      (* Without --expect-bug the same run must exit 1. *)
+      let code, _, _ =
+        run dir
+          "chaos --quick --structures counter-nocas --no-sweep --no-manifest"
+      in
+      Alcotest.(check int) "violations exit 1" 1 code)
+
+let test_chaos_manifest_records_faults () =
+  with_scratch_dir (fun dir ->
+      let code, _, err =
+        run dir "chaos --quick --no-sweep --faults crash@5:0,casfail:*=0.2"
+      in
+      Alcotest.(check int) ("exits 0; stderr: " ^ err) 0 code;
+      let body = read_file (manifest_path dir) in
+      Alcotest.(check bool) "manifest has the faults key" true
+        (contains body "\"faults\": \"crash@5:0,casfail:*=0.2\""))
+
+let test_chaos_validation_errors () =
+  with_scratch_dir (fun dir ->
+      (* Out-of-range process id: one-line error, not a raw exception. *)
+      let code, out, err = run dir "chaos -n 3 --faults crash@0:7 --no-sweep" in
+      Alcotest.(check bool) "bad proc id: nonzero exit" true (code <> 0);
+      Alcotest.(check string) "bad proc id: nothing ran" "" out;
+      Alcotest.(check bool) "bad proc id: one-line error" true
+        (contains err "out of range" && not (contains err "Raised at"));
+      (* Crashing every process permanently is rejected up front. *)
+      let code, _, err =
+        run dir "chaos -n 2 --faults crash@0:0,crash@0:1 --no-sweep"
+      in
+      Alcotest.(check bool) "all-crash: nonzero exit" true (code <> 0);
+      Alcotest.(check bool) "all-crash: named" true
+        (contains err "all processes would crash");
+      (* Unknown token names itself. *)
+      let code, _, err = run dir "chaos --faults wibble --no-sweep" in
+      Alcotest.(check bool) "bad token: nonzero exit" true (code <> 0);
+      Alcotest.(check bool) "bad token: named" true (contains err "wibble"))
+
+let test_check_crash_validation () =
+  with_scratch_dir (fun dir ->
+      let code, out, err =
+        run dir
+          "check --structures cas-counter -n 3 --ops 2 --replay 0,1,2 --crash \
+           0:9"
+      in
+      Alcotest.(check bool) "out-of-range crash: nonzero exit" true (code <> 0);
+      Alcotest.(check string) "nothing ran" "" out;
+      Alcotest.(check bool) "one-line error" true
+        (contains err "out of range" && not (contains err "Raised at"));
+      let code, _, err =
+        run dir
+          "check --structures cas-counter -n 2 --ops 2 --replay 0,1 --crash \
+           0:0,0:1"
+      in
+      Alcotest.(check bool) "all-crash: nonzero exit" true (code <> 0);
+      Alcotest.(check bool) "all-crash named" true
+        (contains err "all processes would crash"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -252,5 +353,18 @@ let () =
             test_out_under_file_fails_fast;
           Alcotest.test_case "bad fault spec rejected" `Quick
             test_bad_fault_spec_rejected;
+          Alcotest.test_case "chaos --faults validated" `Quick
+            test_chaos_validation_errors;
+          Alcotest.test_case "check --crash validated" `Quick
+            test_check_crash_validation;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "stdout deterministic" `Quick
+            test_chaos_deterministic_stdout;
+          Alcotest.test_case "violation drill + artifacts" `Quick
+            test_chaos_violation_drill;
+          Alcotest.test_case "manifest records faults" `Quick
+            test_chaos_manifest_records_faults;
         ] );
     ]

@@ -216,6 +216,35 @@ let test_recorder_both_methods_agree () =
     (Printf.sprintf "orders mostly agree (%.3f)" c.agreement)
     true (c.agreement > 0.9)
 
+let test_harness_surfaces_domain_failure () =
+  (* One domain raising must not orphan the others' joins: the run
+     returns with the failure surfaced and the survivors counted. *)
+  let r =
+    Runtime.Harness.run ~domains:4 ~ops_per_domain:50 ~op:(fun d ->
+        if d = 2 then failwith "injected";
+        3)
+  in
+  Alcotest.(check int) "one failure" 1 (List.length r.failures);
+  (match r.failures with
+  | [ (d, msg) ] ->
+      Alcotest.(check int) "failing domain identified" 2 d;
+      Alcotest.(check bool) "reason captured" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected exactly one failure");
+  Alcotest.(check int) "failed domain contributes nothing" 0
+    r.per_domain.(2).Runtime.Harness.operations;
+  Alcotest.(check int) "survivors all counted" 150 r.total_operations;
+  Alcotest.(check int) "survivor steps accumulated" 450 r.total_steps
+
+let test_harness_all_fail_zero_rate () =
+  (* completion_rate must not divide by zero when every domain fails. *)
+  let r =
+    Runtime.Harness.run ~domains:2 ~ops_per_domain:10 ~op:(fun _ ->
+        failwith "all down")
+  in
+  Alcotest.(check int) "both failed" 2 (List.length r.failures);
+  Alcotest.(check (float 0.)) "rate is zero, not NaN" 0. r.completion_rate
+
 let test_arg_validation () =
   Alcotest.check_raises "backoff"
     (Invalid_argument "Backoff.create: need 1 <= min_spins <= max_spins") (fun () ->
@@ -260,6 +289,9 @@ let () =
         [
           Alcotest.test_case "counter rate" `Quick test_harness_counts;
           Alcotest.test_case "custom op" `Quick test_harness_custom_op;
+          Alcotest.test_case "domain failure surfaced" `Quick
+            test_harness_surfaces_domain_failure;
+          Alcotest.test_case "all-fail rate zero" `Quick test_harness_all_fail_zero_rate;
         ] );
       ("validation", [ Alcotest.test_case "argument guards" `Quick test_arg_validation ]);
     ]

@@ -253,6 +253,100 @@ let test_crash_plan_validation () =
   | Ok () -> Alcotest.fail "out-of-range process"
   | Error _ -> ()
 
+(* -- Fault plans (chaos layer) -------------------------------------- *)
+
+module FP = Sched.Fault_plan
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_fault_plan_parse_roundtrip () =
+  let spec =
+    match FP.parse_spec "crash@5:1,restart@9:1,stall@3:0+7,casfail:*=0.25" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  Alcotest.(check bool) "no rates in an explicit spec" true
+    (spec.FP.rates = FP.zero_rates);
+  Alcotest.(check string) "serializes time-sorted"
+    "stall@3:0+7,crash@5:1,restart@9:1,casfail:*=0.25"
+    (FP.to_string spec.FP.base);
+  (match FP.parse_spec (FP.spec_to_string spec) with
+  | Ok again ->
+      Alcotest.(check string) "round-trip is stable" (FP.spec_to_string spec)
+        (FP.spec_to_string again)
+  | Error e -> Alcotest.failf "re-parse failed: %s" e);
+  (match FP.parse_spec "crash~0.1,recover~0.2,stall~0.05:9,casfail~0.3" with
+  | Ok s ->
+      Alcotest.(check bool) "rates parsed" true
+        (s.FP.rates
+        = { FP.crash = 0.1; recover = 0.2; stall = 0.05; stall_len = 9; casfail = 0.3 });
+      Alcotest.(check bool) "no explicit events" true (FP.is_none s.FP.base)
+  | Error e -> Alcotest.failf "rate parse failed: %s" e);
+  (match FP.parse_spec "none" with
+  | Ok s -> Alcotest.(check bool) "none is empty" true (FP.spec_is_none s)
+  | Error e -> Alcotest.failf "none: %s" e);
+  match FP.parse_spec "crash@oops" with
+  | Ok _ -> Alcotest.fail "bad token accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names the token" true (contains msg "crash@oops")
+
+let test_fault_plan_validation () =
+  let ok = function Ok () -> true | Error _ -> false in
+  Alcotest.(check bool) "all-crash healed by a restart is fine" true
+    (ok
+       (FP.validate ~n:2
+          (FP.make [ (0, FP.Crash 0); (0, FP.Crash 1); (5, FP.Restart 1) ])));
+  Alcotest.(check bool) "permanent all-crash rejected" false
+    (ok (FP.validate ~n:2 (FP.make [ (0, FP.Crash 0); (0, FP.Crash 1) ])));
+  Alcotest.(check bool) "process out of range rejected" false
+    (ok (FP.validate ~n:2 (FP.make [ (0, FP.Crash 7) ])));
+  Alcotest.(check bool) "negative stall rejected" false
+    (ok (FP.validate ~n:2 (FP.make [ (0, FP.Stall (0, -1)) ])));
+  Alcotest.(check bool) "spurious rate >= 1 rejected" false
+    (ok (FP.validate ~n:2 (FP.make ~spurious:[ (None, 1.5) ] [])));
+  Alcotest.(check bool) "per-process rate in range ok" true
+    (ok (FP.validate ~n:2 (FP.make ~spurious:[ (Some 1, 0.5) ] [])))
+
+let test_fault_plan_instantiate () =
+  let spec =
+    {
+      FP.base = FP.none;
+      rates =
+        { FP.crash = 0.2; recover = 0.1; stall = 0.05; stall_len = 4; casfail = 0.2 };
+    }
+  in
+  let p1 = FP.instantiate spec ~seed:7 ~n:4 ~horizon:200 in
+  let p2 = FP.instantiate spec ~seed:7 ~n:4 ~horizon:200 in
+  Alcotest.(check string) "deterministic by seed" (FP.to_string p1) (FP.to_string p2);
+  Alcotest.(check bool) "always leaves a survivor" true
+    (match FP.validate ~n:4 p1 with Ok () -> true | Error _ -> false);
+  Alcotest.(check bool) "casfail rate becomes a spurious entry" true
+    (FP.has_spurious p1);
+  let base = FP.make [ (3, FP.Crash 1) ] in
+  Alcotest.(check string) "all-zero rates return the base untouched"
+    (FP.to_string base)
+    (FP.to_string
+       (FP.instantiate { FP.base; rates = FP.zero_rates } ~seed:9 ~n:4 ~horizon:100))
+
+let test_fault_plan_merge_and_rates () =
+  let a = FP.make ~spurious:[ (Some 0, 0.2) ] [ (1, FP.Crash 0) ] in
+  let b =
+    FP.make ~spurious:[ (None, 0.1) ] [ (0, FP.Stall (1, 5)); (2, FP.Restart 0) ]
+  in
+  let m = FP.merge a b in
+  Alcotest.(check int) "events unioned" 3 (Array.length (FP.events m));
+  let rates = FP.spurious_rates ~n:2 m in
+  Alcotest.(check (float 1e-9)) "max rate wins for p0" 0.2 rates.(0);
+  Alcotest.(check (float 1e-9)) "global rate applies to p1" 0.1 rates.(1);
+  Alcotest.(check int) "restart count" 1 (FP.restart_count m);
+  Alcotest.(check int) "stall total" 5 (FP.stall_total m);
+  Alcotest.(check string) "crash-plan bridge" "crash@1:0,crash@4:2"
+    (FP.to_string
+       (FP.of_crash_plan (Sched.Crash_plan.of_list [ (4, 2); (1, 0) ])))
+
 (* -- Distribution probes vs stateful schedulers --------------------- *)
 
 let test_pick_distribution_refuses_stateful () =
@@ -351,6 +445,14 @@ let () =
         [
           Alcotest.test_case "dedup earliest" `Quick test_crash_plan_dedup;
           Alcotest.test_case "validation" `Quick test_crash_plan_validation;
+        ] );
+      ( "fault plans",
+        [
+          Alcotest.test_case "parse round-trip" `Quick test_fault_plan_parse_roundtrip;
+          Alcotest.test_case "validation" `Quick test_fault_plan_validation;
+          Alcotest.test_case "instantiate deterministic" `Quick
+            test_fault_plan_instantiate;
+          Alcotest.test_case "merge and rates" `Quick test_fault_plan_merge_and_rates;
         ] );
       ( "distribution probes",
         [

@@ -161,6 +161,220 @@ let test_all_crash_rejected () =
            ~crash_plan:(Sched.Crash_plan.of_list [ (10, 0); (20, 1) ])
            ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 100) spec))
 
+(* -- Fault plans (chaos layer) ------------------------------------- *)
+
+let test_fault_crash_only_equiv () =
+  (* A crash-only fault plan must be byte-identical to the crash-plan
+     path: same schedule, same metrics, same flags. *)
+  let events = [ (500, 0); (1_500, 2) ] in
+  let run ~use_fault_plan =
+    let c = Scu.Counter.make ~n:4 in
+    let r =
+      if use_fault_plan then
+        Sim.Executor.run ~seed:7 ~trace:true
+          ~fault_plan:(Sched.Fault_plan.of_crash_events events)
+          ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 20_000) c.spec
+      else
+        Sim.Executor.run ~seed:7 ~trace:true
+          ~crash_plan:(Sched.Crash_plan.of_list events)
+          ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 20_000) c.spec
+    in
+    ( Sim.Metrics.total_completions r.metrics,
+      Sim.Metrics.mean_system_latency r.metrics,
+      Sched.Trace.to_array (Option.get r.trace),
+      r.crashed )
+  in
+  let c1, w1, t1, k1 = run ~use_fault_plan:false in
+  let c2, w2, t2, k2 = run ~use_fault_plan:true in
+  Alcotest.(check int) "same completions" c1 c2;
+  Alcotest.(check (float 0.)) "same latency" w1 w2;
+  Alcotest.(check bool) "same schedule" true (t1 = t2);
+  Alcotest.(check bool) "same crash flags" true (k1 = k2)
+
+let test_restart_revives_process () =
+  let n = 3 in
+  let _, spec = private_counter_spec ~n ~q:1 in
+  let plan =
+    Sched.Fault_plan.make
+      [ (500, Sched.Fault_plan.Crash 0); (1_500, Sched.Fault_plan.Restart 0) ]
+  in
+  let r =
+    Sim.Executor.run ~trace:true ~fault_plan:plan
+      ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 5_000) spec
+  in
+  Alcotest.(check (array int)) "one restart of p0" [| 1; 0; 0 |] r.restarts;
+  Alcotest.(check bool) "p0 not crashed at the end" false r.crashed.(0);
+  (* No idle ticks happen here (p1/p2 stay alive), so trace index =
+     time: p0 is silent during its crash window and active after. *)
+  let trace = Sched.Trace.to_array (Option.get r.trace) in
+  let p0_steps lo hi =
+    let c = ref 0 in
+    Array.iteri (fun tau p -> if p = 0 && tau >= lo && tau < hi then incr c) trace;
+    !c
+  in
+  Alcotest.(check int) "silent while crashed" 0 (p0_steps 500 1_500);
+  Alcotest.(check bool) "steps again after restart" true (p0_steps 1_500 5_000 > 0)
+
+let test_stall_window_is_temporary () =
+  let n = 3 in
+  let _, spec = private_counter_spec ~n ~q:1 in
+  let plan = Sched.Fault_plan.make [ (100, Sched.Fault_plan.Stall (0, 400)) ] in
+  let r =
+    Sim.Executor.run ~trace:true ~fault_plan:plan
+      ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 2_000) spec
+  in
+  Alcotest.(check bool) "never crashed" true (Array.for_all not r.crashed);
+  Alcotest.(check (array int)) "no restarts" [| 0; 0; 0 |] r.restarts;
+  let trace = Sched.Trace.to_array (Option.get r.trace) in
+  let p0_steps lo hi =
+    let c = ref 0 in
+    Array.iteri (fun tau p -> if p = 0 && tau >= lo && tau < hi then incr c) trace;
+    !c
+  in
+  Alcotest.(check int) "silent during [100,500)" 0 (p0_steps 100 500);
+  Alcotest.(check bool) "steps again after the window" true (p0_steps 500 2_000 > 0)
+
+let test_all_stalled_idles_then_resumes () =
+  (* Every process stalled: the clock ticks without attributing steps,
+     then work resumes when the window expires. *)
+  let n = 2 in
+  let _, spec = private_counter_spec ~n ~q:1 in
+  let plan =
+    Sched.Fault_plan.make
+      [ (0, Sched.Fault_plan.Stall (0, 100)); (0, Sched.Fault_plan.Stall (1, 100)) ]
+  in
+  let r =
+    Sim.Executor.run ~fault_plan:plan ~scheduler:Sched.Scheduler.uniform ~n
+      ~stop:(Steps 1_000) spec
+  in
+  Alcotest.(check bool) "not stopped early" false r.stopped_early;
+  Alcotest.(check int) "clock ran to the target" 1_000 (Sim.Metrics.time r.metrics);
+  let attributed =
+    Sim.Metrics.steps_of r.metrics 0 + Sim.Metrics.steps_of r.metrics 1
+  in
+  Alcotest.(check int) "idle ticks burned the window" 900 attributed;
+  Alcotest.(check bool) "work resumed after the window" true
+    (Sim.Metrics.total_completions r.metrics > 0)
+
+let test_all_dead_stops_early_with_partial_metrics () =
+  (* p0 crashes mid-operation, p1 finishes its bounded body: with no
+     process left and no restart pending, the run stops early and the
+     metrics cover exactly the work that completed. *)
+  let memory = Sim.Memory.create () in
+  let cell = Sim.Memory.alloc memory ~size:1 in
+  let program (_ : Sim.Program.ctx) =
+    for _ = 1 to 5 do
+      ignore (Sim.Program.faa cell 1);
+      Sim.Program.complete ()
+    done
+  in
+  let spec = { Sim.Executor.name = "bounded"; memory; program } in
+  let r =
+    Sim.Executor.run
+      ~fault_plan:(Sched.Fault_plan.make [ (3, Sched.Fault_plan.Crash 0) ])
+      ~scheduler:(Sched.Scheduler.round_robin ())
+      ~n:2 ~stop:(Steps 100_000) spec
+  in
+  Alcotest.(check bool) "stopped early" true r.stopped_early;
+  Alcotest.(check bool) "p0 crashed" true r.crashed.(0);
+  Alcotest.(check bool) "p1 terminated" true r.terminated.(1);
+  (* Round-robin: p0 stepped at times 0 and 2, so 2 completed ops. *)
+  Alcotest.(check int) "p0 partial ops" 2 (Sim.Metrics.completions_of r.metrics 0);
+  Alcotest.(check int) "p1 all ops" 5 (Sim.Metrics.completions_of r.metrics 1);
+  Alcotest.(check int) "cell shows completed work only" 7 (Sim.Memory.get memory cell);
+  Alcotest.(check bool) "p0 pending op preserved" true (r.pending.(0) <> None)
+
+let test_choose_none_stops_at_frontier () =
+  (* The explorer's choice callback declining under an active crash
+     plan: the run stops where the callback said, with the crash
+     already applied. *)
+  let _, spec = private_counter_spec ~n:2 ~q:1 in
+  let crash_plan = Sched.Crash_plan.of_list [ (5, 1) ] in
+  let r =
+    Sim.Executor.run ~crash_plan
+      ~choose:(fun ~alive ~time ->
+        if time >= 10 then None else Some (if alive.(1) then time mod 2 else 0))
+      ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 1_000) spec
+  in
+  Alcotest.(check bool) "stopped early" true r.stopped_early;
+  Alcotest.(check int) "stopped at the frontier" 10 (Sim.Metrics.time r.metrics);
+  Alcotest.(check bool) "crash applied before the stop" true r.crashed.(1)
+
+let test_pending_preserved_for_crashed_casget () =
+  (* A process crashed while suspended at an augmented CAS: its
+     pending operation is preserved for post-mortem analysis. *)
+  let memory = Sim.Memory.create () in
+  let cell = Sim.Memory.alloc memory ~size:1 in
+  let program (ctx : Sim.Program.ctx) =
+    if ctx.id = 0 then begin
+      let rec loop v =
+        let got = Sim.Program.cas_get cell ~expected:v ~value:(v + 1) in
+        Sim.Program.complete ();
+        loop got
+      in
+      loop (Sim.Program.read cell)
+    end
+    else
+      let rec spin () =
+        ignore (Sim.Program.read cell);
+        spin ()
+      in
+      spin ()
+  in
+  let spec = { Sim.Executor.name = "casget"; memory; program } in
+  let r =
+    Sim.Executor.run
+      ~fault_plan:(Sched.Fault_plan.make [ (2, Sched.Fault_plan.Crash 0) ])
+      ~scheduler:(Sched.Scheduler.round_robin ())
+      ~n:2 ~stop:(Steps 100) spec
+  in
+  Alcotest.(check bool) "p0 crashed" true r.crashed.(0);
+  match r.pending.(0) with
+  | Some (Sim.Memory.Cas_get _) -> ()
+  | _ -> Alcotest.fail "expected p0 pending at a Cas_get"
+
+let test_spurious_cas_slows_but_stays_correct () =
+  let run rate =
+    let c = Scu.Counter.make ~n:4 in
+    let plan =
+      if rate > 0. then Sched.Fault_plan.make ~spurious:[ (None, rate) ] []
+      else Sched.Fault_plan.none
+    in
+    let r =
+      Sim.Executor.run ~seed:11 ~fault_plan:plan
+        ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 30_000) c.spec
+    in
+    (r, Scu.Counter.value c c.spec.memory)
+  in
+  let r0, v0 = run 0. in
+  let r5, v5 = run 0.5 in
+  Alcotest.(check int) "fault-free run has no denials" 0 r0.spurious_cas;
+  Alcotest.(check bool) "denials counted" true (r5.spurious_cas > 0);
+  Alcotest.(check bool) "throughput drops under denial" true
+    (Sim.Metrics.total_completions r5.metrics
+    < Sim.Metrics.total_completions r0.metrics);
+  (* Denied CASes are transparent retries: the register still counts
+     exactly the completed operations. *)
+  Alcotest.(check int) "register = completions (fault-free)"
+    (Sim.Metrics.total_completions r0.metrics)
+    v0;
+  Alcotest.(check int) "register = completions (faulty)"
+    (Sim.Metrics.total_completions r5.metrics)
+    v5
+
+let test_fault_plan_all_crash_rejected () =
+  let _, spec = private_counter_spec ~n:2 ~q:1 in
+  Alcotest.check_raises "permanent all-crash rejected"
+    (Invalid_argument
+       "Executor.run: fault plan: all processes would crash permanently")
+    (fun () ->
+      ignore
+        (Sim.Executor.run
+           ~fault_plan:
+             (Sched.Fault_plan.make
+                [ (10, Sched.Fault_plan.Crash 0); (20, Sched.Fault_plan.Crash 1) ])
+           ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 100) spec))
+
 (* -- Termination -------------------------------------------------- *)
 
 let test_terminated_processes_leave () =
@@ -391,6 +605,25 @@ let () =
         [
           Alcotest.test_case "crash removes process" `Quick test_crash_removes_process;
           Alcotest.test_case "all-crash rejected" `Quick test_all_crash_rejected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash-only plan = crash plan" `Quick
+            test_fault_crash_only_equiv;
+          Alcotest.test_case "restart revives" `Quick test_restart_revives_process;
+          Alcotest.test_case "stall is temporary" `Quick test_stall_window_is_temporary;
+          Alcotest.test_case "all-stalled idles then resumes" `Quick
+            test_all_stalled_idles_then_resumes;
+          Alcotest.test_case "all-dead stops early, sound partial metrics" `Quick
+            test_all_dead_stops_early_with_partial_metrics;
+          Alcotest.test_case "choose None under crash plan" `Quick
+            test_choose_none_stops_at_frontier;
+          Alcotest.test_case "pending preserved mid-Cas_get" `Quick
+            test_pending_preserved_for_crashed_casget;
+          Alcotest.test_case "spurious CAS slows, stays correct" `Quick
+            test_spurious_cas_slows_but_stays_correct;
+          Alcotest.test_case "permanent all-crash rejected" `Quick
+            test_fault_plan_all_crash_rejected;
         ] );
       ( "metrics",
         [
