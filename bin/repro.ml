@@ -30,14 +30,44 @@ let quick =
 
 let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a text table.")
 
-let seed_arg =
-  Arg.(
-    value
-    & opt int Experiments.Exp.default_seed
-    & info [ "seed" ] ~docv:"N"
-        ~doc:
-          "Base RNG seed threaded into every experiment; the default (0) \
-           reproduces the repository's historical tables.")
+(* Argument specs shared across `run`, `check`, `chaos` and `bench`:
+   one definition per flag so help text and validation cannot drift
+   between subcommands. *)
+module Flags = struct
+  let seed =
+    Arg.(
+      value
+      & opt int Experiments.Exp.default_seed
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Base RNG seed threaded into every experiment; the default (0) \
+             reproduces the repository's historical tables.")
+
+  let no_progress =
+    Arg.(
+      value & flag
+      & info [ "no-progress" ]
+          ~doc:"Suppress the per-cell progress lines on stderr.")
+
+  let long =
+    Arg.(
+      value & flag
+      & info [ "long" ]
+          ~doc:
+            "Long budgets: more explorer nodes, more fuzz trials, tighter \
+             conformance tolerances (the scheduled-CI configuration).")
+
+  let out ~docv ~doc =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv ~doc)
+
+  let artifact_dir =
+    out ~docv:"DIR"
+      ~doc:
+        "Write each violation as a replayable report file into $(docv) \
+         (created if missing) — the CI artifact directory."
+end
+
+let seed_arg = Flags.seed
 
 let jobs_arg =
   Arg.(
@@ -57,10 +87,7 @@ let cache_flag =
           "Serve cell results from results/cache/ when present and persist \
            fresh ones (keyed by experiment, cell, budget and seed).")
 
-let progress_flag =
-  Arg.(
-    value & flag
-    & info [ "no-progress" ] ~doc:"Suppress the per-cell progress lines on stderr.")
+let progress_flag = Flags.no_progress
 
 let no_manifest_flag =
   Arg.(
@@ -263,13 +290,10 @@ let run_experiment ~runner ~manifest ~budget ~jobs ~csv ~out
       false
 
 let out_dir =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "out" ] ~docv:"DIR"
-        ~doc:
-          "Also write one CSV file per experiment into $(docv) (created, with \
-           parents, if missing).")
+  Flags.out ~docv:"DIR"
+    ~doc:
+      "Also write one CSV file per experiment into $(docv) (created, with \
+       parents, if missing)."
 
 let run_cmd =
   let doc = "Run experiments by id ('all' for the full catalogue)." in
@@ -471,17 +495,16 @@ let bench_cmd =
       & info [] ~docv:"ID" ~doc:"Experiment ids to bench (default: all).")
   in
   let out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "out" ] ~docv:"FILE"
-          ~doc:"Output path (default: BENCH_<date>.json in the current directory).")
+    Flags.out ~docv:"FILE"
+      ~doc:"Output path (default: BENCH_<date>.json in the current directory)."
   in
   let repeat_arg =
     Arg.(
       value & opt int 1
       & info [ "repeat" ] ~docv:"N"
-          ~doc:"Run every cell $(docv) times and record the minimum (default 1).")
+          ~doc:
+            "Run every cell $(docv) times (plus one discarded warmup run when \
+             N > 1) and record the median (default 1).")
   in
   let full_flag =
     Arg.(
@@ -489,22 +512,59 @@ let bench_cmd =
       & info [ "full" ]
           ~doc:"Bench the full budgets instead of the quick ones (slow).")
   in
-  let run ids seed repeat full out =
+  let gate_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "gate" ] ~docv:"BASELINE"
+          ~doc:
+            "Compare this run's interp/compiled microbench speedup against \
+             $(docv) (a committed BENCH json, e.g. bench/BASELINE.json) and \
+             fail if it fell below 0.8x the baseline's — the CI throughput \
+             gate.  Requires the $(b,microbench) experiment to be benched.")
+  in
+  (* The speedup the gate watches: wall-clock of the microbench's
+     interp cell over its compiled cell.  A ratio of two timings from
+     the same run, so it transfers across machines — the committed
+     baseline doesn't go stale when CI hardware changes. *)
+  let micro_speedup what (t : Telemetry.Bench.t) =
+    match
+      List.find_opt
+        (fun (e : Telemetry.Bench.experiment) -> e.id = "microbench")
+        t.experiments
+    with
+    | None -> Error (what ^ " has no microbench experiment")
+    | Some e -> (
+        let sec prefix =
+          List.find_opt
+            (fun (c : Telemetry.Bench.cell) ->
+              String.starts_with ~prefix c.label)
+            e.cells
+          |> Option.map (fun (c : Telemetry.Bench.cell) -> c.seconds)
+        in
+        match (sec "interp:", sec "compiled:") with
+        | Some i, Some c when c > 0. -> Ok (i /. c)
+        | _ -> Error (what ^ " is missing the microbench interp/compiled cells"))
+  in
+  let run ids seed repeat full no_progress out gate =
     if repeat < 1 then `Error (false, "--repeat must be at least 1")
     else
       match Experiments.Exp.select ids with
       | Error msg -> `Error (false, msg ^ "; try `repro list`")
       | Ok exps ->
           let budget = Experiments.Exp.budget ~quick:(not full) ~seed () in
+          let protocol =
+            { Experiments.Stepbench.warmup = (if repeat > 1 then 1 else 0);
+              repeat }
+          in
           let time_cell work =
-            let best = ref infinity in
-            for _ = 1 to repeat do
-              let t0 = now () in
-              work ();
-              let dt = now () -. t0 in
-              if dt < !best then best := dt
-            done;
-            !best
+            (Experiments.Stepbench.measure ~clock:now ~protocol work)
+              .Experiments.Stepbench.median
+          in
+          let progress fmt =
+            Printf.ksprintf
+              (fun s -> if not no_progress then Printf.eprintf "%s%!" s)
+              fmt
           in
           let experiments =
             List.map
@@ -513,7 +573,7 @@ let bench_cmd =
                   List.map
                     (fun (label, work) ->
                       let seconds = time_cell work in
-                      Printf.eprintf "  [%s] %s: %.3fs\n%!" e.id label seconds;
+                      progress "  [%s] %s: %.3fs\n" e.id label seconds;
                       { Telemetry.Bench.label; seconds })
                     (Experiments.Plan.thunks (e.plan budget))
                 in
@@ -522,8 +582,8 @@ let bench_cmd =
                     (fun acc (c : Telemetry.Bench.cell) -> acc +. c.seconds)
                     0. cells
                 in
-                Printf.eprintf "[%s] %d cell(s), %.2fs\n%!" e.id
-                  (List.length cells) total;
+                progress "[%s] %d cell(s), %.2fs\n" e.id (List.length cells)
+                  total;
                 { Telemetry.Bench.id = e.id; title = e.title; cells; total })
               exps
           in
@@ -536,16 +596,39 @@ let bench_cmd =
             | None -> Telemetry.Bench.default_filename doc
           in
           (match Telemetry.Bench.write ~file doc with
-          | () ->
+          | exception Sys_error msg ->
+              `Error (false, "cannot write bench JSON: " ^ msg)
+          | () -> (
               Printf.eprintf "bench: %d experiment(s), %.2fs total -> %s\n%!"
                 (List.length experiments)
                 (Telemetry.Bench.total doc)
                 file;
-              `Ok ()
-          | exception Sys_error msg -> `Error (false, "cannot write bench JSON: " ^ msg))
+              match gate with
+              | None -> `Ok ()
+              | Some baseline_file -> (
+                  match
+                    ( Telemetry.Bench.load ~file:baseline_file,
+                      micro_speedup "this run" doc )
+                  with
+                  | Error msg, _ -> `Error (false, "--gate: " ^ msg)
+                  | _, Error msg -> `Error (false, "--gate: " ^ msg)
+                  | Ok baseline, Ok current -> (
+                      match micro_speedup "baseline" baseline with
+                      | Error msg -> `Error (false, "--gate: " ^ msg)
+                      | Ok base ->
+                          let floor = 0.8 *. base in
+                          Printf.printf
+                            "gate: microbench speedup %.2fx vs baseline %.2fx \
+                             (floor %.2fx): %s\n"
+                            current base floor
+                            (if current >= floor then "OK" else "FAIL");
+                          if current >= floor then `Ok () else exit 1))))
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(ret (const run $ ids_arg $ seed_arg $ repeat_arg $ full_flag $ out_arg))
+    Term.(
+      ret
+        (const run $ ids_arg $ seed_arg $ repeat_arg $ full_flag
+       $ progress_flag $ out_arg $ gate_arg))
 
 (* Arguments shared by `repro check` and `repro chaos`. *)
 
@@ -630,14 +713,7 @@ let check_cmd =
             "Comma-separated subset of $(b,explore), $(b,fuzz), $(b,conform) \
              (default: all three).")
   in
-  let long_flag =
-    Arg.(
-      value & flag
-      & info [ "long" ]
-          ~doc:
-            "Long budgets: more explorer nodes, more fuzz trials, tighter \
-             conformance tolerances (the scheduled-CI configuration).")
-  in
+  let long_flag = Flags.long in
   let crash_arg =
     Arg.(
       value & opt string ""
@@ -653,15 +729,7 @@ let check_cmd =
              explorer's frontier semantics, default) or $(b,round-robin) \
              (run to completion, the fuzzer's semantics).")
   in
-  let check_out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "out" ] ~docv:"DIR"
-          ~doc:
-            "Write each violation as a replayable report file into $(docv) \
-             (created if missing) — the scheduled-CI artifact directory.")
-  in
+  let check_out_arg = Flags.artifact_dir in
   let parse_crash s =
     if s = "" then Ok []
     else
@@ -759,7 +827,9 @@ let check_cmd =
                 in
                 let outcome =
                   Check.Schedule.run
-                    ~crash_plan:(Sched.Crash_plan.of_list crash_events)
+                    ~fault_plan:
+                      (Sched.Fault_plan.of_crash_plan
+                         (Sched.Crash_plan.of_list crash_events))
                     ?mix_seed:mix ~structure ~n ~ops ~tail:tail_mode schedule
                 in
                 Printf.printf "%s: %s\n  effective schedule: %s\n"
@@ -905,15 +975,7 @@ let chaos_cmd =
             "Skip the graceful-degradation sweep (experiment `chaos`) after \
              the fuzz phase.")
   in
-  let chaos_out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "out" ] ~docv:"DIR"
-          ~doc:
-            "Write each violation as a replayable report file into $(docv) \
-             (created if missing) — the CI artifact directory.")
-  in
+  let chaos_out_arg = Flags.artifact_dir in
   let run faults structures n ops seed trials quick expect_bug no_sweep
       no_manifest replay mix out =
     let spec_result =

@@ -28,8 +28,10 @@ let () =
   let n = 8 in
   let bank = Scu.Universal.make ~n ~init:initial ~apply in
   let r =
-    Sim.Executor.run ~seed:11 ~scheduler:Sched.Scheduler.uniform ~n
-      ~stop:(Completions 10_000) bank.spec
+    Sim.Executor.exec
+      ~config:Sim.Executor.Config.(default |> with_seed 11)
+      ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Completions 10_000)
+      bank.spec
   in
   let m = r.metrics in
   let final = Scu.Universal.state bank bank.spec.memory in

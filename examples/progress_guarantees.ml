@@ -18,7 +18,11 @@ let steps = 400_000
 
 let run name scheduler =
   let stack = Scu.Treiber.make ~n () in
-  let r = Sim.Executor.run ~seed:7 ~scheduler ~n ~stop:(Steps steps) stack.spec in
+  let r =
+    Sim.Executor.exec
+      ~config:Sim.Executor.Config.(default |> with_seed 7)
+      ~scheduler ~n ~stop:(Steps steps) stack.spec
+  in
   let m = r.metrics in
   Printf.printf "%-28s" name;
   for i = 0 to n - 1 do

@@ -23,8 +23,10 @@ let () =
   (* 2. Run it for a million scheduler steps under the uniform
      stochastic scheduler.  The seed makes the run reproducible. *)
   let result =
-    Sim.Executor.run ~seed:42 ~scheduler:Sched.Scheduler.uniform ~n
-      ~stop:(Steps 1_000_000) counter.spec
+    Sim.Executor.exec
+      ~config:Sim.Executor.Config.(default |> with_seed 42)
+      ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 1_000_000)
+      counter.spec
   in
   let m = result.metrics in
 

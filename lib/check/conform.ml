@@ -50,8 +50,11 @@ let rel_gate name ~got ~want ~tol =
 
 let metrics ?(record_samples = false) ?(scheduler = Sched.Scheduler.uniform)
     ~seed ~n ~steps spec =
-  (Sim.Executor.run ~seed ~record_samples ~scheduler ~n ~stop:(Steps steps)
-     spec)
+  (Sim.Executor.exec
+     ~config:
+       Sim.Executor.Config.(
+         default |> with_seed seed |> with_samples record_samples)
+     ~scheduler ~n ~stop:(Steps steps) spec)
     .metrics
 
 (* Appendix B / Figure 5: simulated counter system latency vs the
@@ -107,8 +110,10 @@ let chi2_gates ~budget ~seed =
   let trace_counts scheduler seed =
     let c = Scu.Counter.make ~n in
     let r =
-      Sim.Executor.run ~seed ~trace:true ~scheduler ~n
-        ~stop:(Steps budget.steps) c.spec
+      Sim.Executor.exec
+        ~config:
+          Sim.Executor.Config.(default |> with_seed seed |> with_trace true)
+        ~scheduler ~n ~stop:(Steps budget.steps) c.spec
     in
     Sched.Trace.step_counts (Option.get r.trace)
   in

@@ -1,0 +1,283 @@
+(* Interpreter-vs-compiled differential harness.
+
+   The compiled executor ([Sim.Executor.exec_compiled]) exists purely
+   for speed: its contract is that for any program, scheduler,
+   configuration and fault plan it produces results *byte-identical*
+   to the effect interpreter running [Sim.Compile.to_program] of the
+   same code.  This module generates randomized cases — structured
+   register-machine programs, seeds, schedules, trace/sample flags,
+   fault plans (crash, restart, stall, spurious CAS), invariant
+   cadences, choice hooks, step- and completion-style stops — runs
+   both paths on fresh memories, and compares [Executor.fingerprint],
+   the invariant observation streams, and the final memory snapshots.
+
+   Program generation is structured so every case terminates: a
+   program is a ring of segments, each starting with a shared-memory
+   instruction (a suspension point), with local instructions that only
+   branch *forward* (to a later segment or the tail).  The only
+   backward edge is the tail's jump to the first segment, which lands
+   on a shared op — so [run_local] always parks after a bounded number
+   of local instructions.  Shared-op address registers are loaded in
+   the prologue and never overwritten, keeping every access in
+   bounds. *)
+
+type case = {
+  id : int;  (** Trial index, for reporting. *)
+  n : int;
+  cells : int;
+  instrs : Sim.Compile.instr list;
+  seed : int;
+  trace : bool;
+  record_samples : bool;
+  fault_events : (int * Sched.Fault_plan.event) list;
+  spurious : (int option * float) list;
+  max_steps : int;
+  invariant_interval : int option;
+  choose_rr : bool;
+  stop : [ `Steps of int | `Completions of int ];
+}
+
+type outcome = { equal : bool; detail : string }
+
+(* Registers 3 and 4 hold block addresses for the whole run; locals
+   may only write 1, 2, 5, 6, 7 (0 is the shared-result register,
+   written by the executor itself). *)
+let addr_regs = [| 3; 4 |]
+let scratch_regs = [| 1; 2; 5; 6; 7 |]
+
+let gen_case ~id ~rng =
+  let open Sim.Compile in
+  let int b = Stats.Rng.int rng b in
+  let pick a = a.(int (Array.length a)) in
+  let n = 1 + int 4 in
+  let cells = 2 + int 4 in
+  let addr () = 1 + int cells in
+  let segments = 1 + int 4 in
+  let seg_label k = Printf.sprintf "seg%d" k in
+  let shared_op () =
+    let a = pick addr_regs in
+    match int 5 with
+    | 0 -> Read a
+    | 1 -> Write (a, pick scratch_regs)
+    | 2 -> Cas (a, pick scratch_regs, pick scratch_regs)
+    | 3 -> Cas_get (a, pick scratch_regs, pick scratch_regs)
+    | _ -> Faa (a, pick scratch_regs)
+  in
+  (* Local instructions between suspension points.  Branches go only
+     forward: to a strictly later segment, or to the tail. *)
+  let local ~seg () =
+    let d = pick scratch_regs in
+    let s () = int Sim.Compile.nregs in
+    let fwd () =
+      let later = segments - seg - 1 in
+      if later = 0 then "tail" else
+        let j = 1 + int (later + 1) in
+        if seg + j >= segments then "tail" else seg_label (seg + j)
+    in
+    match int 12 with
+    | 0 -> Mov (d, s ())
+    | 1 -> Addi (d, s (), int 7 - 3)
+    | 2 -> Add (d, s (), s ())
+    | 3 -> Sub (d, s (), s ())
+    | 4 -> Loadi (d, int 16)
+    | 5 -> Rand (d, 1 + int 8)
+    | 6 -> Now d
+    | 7 -> Pid d
+    | 8 -> Nproc d
+    | 9 -> Complete
+    | 10 -> Complete_method (int 3)
+    | _ -> (
+        match int 3 with
+        | 0 -> Beq (s (), s (), fwd ())
+        | 1 -> Bne (s (), s (), fwd ())
+        | _ -> Blt (s (), s (), fwd ()))
+  in
+  let body =
+    List.concat
+      (List.init segments (fun k ->
+           (Label (seg_label k) :: shared_op ()
+           :: List.init (int 4) (fun _ -> local ~seg:k ()))))
+  in
+  let tail =
+    Label "tail"
+    ::
+    (match int 5 with
+    | 0 -> [ Complete; Halt ]
+    | 1 -> [ Halt ]
+    | _ -> [ Complete; Jmp (seg_label 0) ])
+  in
+  let prologue =
+    [ Loadi (addr_regs.(0), addr ()); Loadi (addr_regs.(1), addr ()) ]
+  in
+  let instrs = prologue @ body @ tail in
+  (* Fault plan: process 0 is never crashed, so the plan always
+     validates; everyone is fair game for stalls and spurious CAS. *)
+  let fault_events =
+    List.concat
+      (List.init n (fun p ->
+           let crashes =
+             if p > 0 && int 4 = 0 then
+               let t = int 200 in
+               (t, Sched.Fault_plan.Crash p)
+               ::
+               (if int 2 = 0 then
+                  [ (t + 1 + int 100, Sched.Fault_plan.Restart p) ]
+                else [])
+             else []
+           in
+           let stalls =
+             if int 5 = 0 then [ (int 200, Sched.Fault_plan.Stall (p, int 12)) ]
+             else []
+           in
+           crashes @ stalls))
+  in
+  let spurious =
+    match int 4 with
+    | 0 -> [ (None, float_of_int (1 + int 4) /. 10.) ]
+    | 1 -> [ (Some (int n), float_of_int (1 + int 8) /. 10.) ]
+    | _ -> []
+  in
+  {
+    id;
+    n;
+    cells;
+    instrs;
+    seed = int 1_000_000;
+    trace = int 2 = 0;
+    record_samples = int 3 = 0;
+    fault_events;
+    spurious;
+    max_steps = 200 + int 2_000;
+    invariant_interval = (if int 3 = 0 then Some (1 + int 30) else None);
+    choose_rr = fault_events = [] && spurious = [] && int 5 = 0;
+    stop = (if int 4 = 0 then `Completions (1 + int 20) else `Steps (int 1_500));
+  }
+
+(* Deterministic round-robin choice hook: smallest alive index after
+   the previously chosen one.  Stateful per run, so each executor
+   path gets its own instance. *)
+let round_robin () =
+  let last = ref (-1) in
+  fun ~alive ~time:_ ->
+    let n = Array.length alive in
+    let rec find k tries =
+      if tries >= n then None
+      else if alive.(k mod n) then begin
+        last := k mod n;
+        Some (k mod n)
+      end
+      else find (k + 1) (tries + 1)
+    in
+    find (!last + 1) 0
+
+let build_spec case =
+  let memory = Sim.Memory.create () in
+  ignore (Sim.Memory.alloc memory ~size:case.cells);
+  {
+    Sim.Compile.name = Printf.sprintf "diff-%d" case.id;
+    memory;
+    code = Sim.Compile.assemble case.instrs;
+  }
+
+let config_of case ~observations =
+  let open Sim.Executor.Config in
+  let fault_plan = Sched.Fault_plan.make ~spurious:case.spurious case.fault_events in
+  default
+  |> with_seed case.seed
+  |> with_trace case.trace
+  |> with_samples case.record_samples
+  |> with_faults fault_plan
+  |> with_max_steps case.max_steps
+  |> (match case.invariant_interval with
+     | None -> Fun.id
+     | Some interval ->
+         with_invariant ~interval (fun mem ~time ->
+             Buffer.add_string observations
+               (Printf.sprintf "%d:%s;" time
+                  (String.concat ","
+                     (Array.to_list
+                        (Array.map string_of_int (Sim.Memory.snapshot mem)))))))
+  |> if case.choose_rr then with_choose (round_robin ()) else Fun.id
+
+let stop_of case =
+  match case.stop with
+  | `Steps s -> Sim.Executor.Steps s
+  | `Completions c -> Sim.Executor.Completions c
+
+let run_case case =
+  let scheduler = Sched.Scheduler.uniform in
+  let stop = stop_of case in
+  (* Each path gets its own memory, invariant buffer and choice hook —
+     the two runs must not share mutable state. *)
+  let interp_spec = build_spec case in
+  let interp_obs = Buffer.create 64 in
+  let interp =
+    Sim.Executor.exec
+      ~config:(config_of case ~observations:interp_obs)
+      ~scheduler ~n:case.n ~stop
+      {
+        Sim.Executor.name = interp_spec.Sim.Compile.name;
+        memory = interp_spec.Sim.Compile.memory;
+        program =
+          Sim.Compile.to_program ~memory:interp_spec.Sim.Compile.memory
+            interp_spec.Sim.Compile.code;
+      }
+  in
+  let compiled_spec = build_spec case in
+  let compiled_obs = Buffer.create 64 in
+  let compiled =
+    Sim.Executor.exec_compiled
+      ~config:(config_of case ~observations:compiled_obs)
+      ~scheduler ~n:case.n ~stop compiled_spec
+  in
+  let fp_i = Sim.Executor.fingerprint interp in
+  let fp_c = Sim.Executor.fingerprint compiled in
+  let mem_i = Sim.Memory.snapshot interp_spec.Sim.Compile.memory in
+  let mem_c = Sim.Memory.snapshot compiled_spec.Sim.Compile.memory in
+  let obs_i = Buffer.contents interp_obs in
+  let obs_c = Buffer.contents compiled_obs in
+  if fp_i <> fp_c then
+    { equal = false; detail = Printf.sprintf "fingerprints differ:\n  interp:   %s\n  compiled: %s" fp_i fp_c }
+  else if mem_i <> mem_c then
+    { equal = false; detail = "final memory snapshots differ" }
+  else if obs_i <> obs_c then
+    {
+      equal = false;
+      detail =
+        Printf.sprintf "invariant observations differ:\n  interp:   %s\n  compiled: %s"
+          obs_i obs_c;
+    }
+  else { equal = true; detail = "" }
+
+let case_to_string case =
+  Printf.sprintf
+    "case %d: n=%d cells=%d seed=%d trace=%b samples=%b max_steps=%d \
+     interval=%s choose_rr=%b stop=%s faults=%s spurious=%d\n%s"
+    case.id case.n case.cells case.seed case.trace case.record_samples
+    case.max_steps
+    (match case.invariant_interval with
+    | None -> "-"
+    | Some k -> string_of_int k)
+    case.choose_rr
+    (match case.stop with
+    | `Steps s -> Printf.sprintf "steps:%d" s
+    | `Completions c -> Printf.sprintf "completions:%d" c)
+    (Sched.Fault_plan.to_string
+       (Sched.Fault_plan.make ~spurious:case.spurious case.fault_events))
+    (List.length case.spurious)
+    (Sim.Compile.disassemble (Sim.Compile.assemble case.instrs))
+
+let run_trials ~seed ~trials =
+  let rng = Stats.Rng.create ~seed in
+  let failure = ref None in
+  (try
+     for id = 0 to trials - 1 do
+       let case = gen_case ~id ~rng in
+       let outcome = run_case case in
+       if not outcome.equal then begin
+         failure := Some (case, outcome);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !failure

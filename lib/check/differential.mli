@@ -1,0 +1,42 @@
+(** Interpreter-vs-compiled differential harness.
+
+    Generates randomized register-machine programs, schedules,
+    configurations and fault plans, runs each case through both
+    {!Sim.Executor.exec} (on {!Sim.Compile.to_program}) and
+    {!Sim.Executor.exec_compiled}, and compares result fingerprints,
+    invariant observation streams and final memory snapshots.  The
+    compiled executor's byte-identity contract is exactly "no case
+    ever differs"; the QCheck2 suite in test_compile.ml drives this
+    module with seeded generators. *)
+
+type case = {
+  id : int;
+  n : int;
+  cells : int;
+  instrs : Sim.Compile.instr list;
+  seed : int;
+  trace : bool;
+  record_samples : bool;
+  fault_events : (int * Sched.Fault_plan.event) list;
+  spurious : (int option * float) list;
+  max_steps : int;
+  invariant_interval : int option;
+  choose_rr : bool;
+  stop : [ `Steps of int | `Completions of int ];
+}
+
+type outcome = { equal : bool; detail : string }
+
+val gen_case : id:int -> rng:Stats.Rng.t -> case
+(** One random case.  Generated programs always terminate between
+    suspension points (local branches only go forward) and keep every
+    shared-memory access in bounds. *)
+
+val run_case : case -> outcome
+(** Run both paths on fresh memories and compare. *)
+
+val case_to_string : case -> string
+(** Reproduction-oriented rendering (settings + disassembly). *)
+
+val run_trials : seed:int -> trials:int -> (case * outcome) option
+(** First failing case, if any. *)

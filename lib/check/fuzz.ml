@@ -93,8 +93,11 @@ let qcheck_source ~structure ~n ~ops ~config =
     triple sched crash (int_range 0 1_000_000)
   in
   let outcome_of (sched, crash, mix) =
-    let crash_plan = Sched.Crash_plan.of_list (sanitize_crashes ~n crash) in
-    Schedule.run ~crash_plan ~mix_seed:mix ~structure ~n ~ops
+    let fault_plan =
+      Sched.Fault_plan.of_crash_plan
+        (Sched.Crash_plan.of_list (sanitize_crashes ~n crash))
+    in
+    Schedule.run ~fault_plan ~mix_seed:mix ~structure ~n ~ops
       ~tail:Round_robin (Array.of_list sched)
   in
   let prop case = not (Schedule.is_bad (outcome_of case).verdict) in
@@ -112,14 +115,16 @@ let qcheck_source ~structure ~n ~ops ~config =
       (* QCheck already shrank the triple; ddmin the effective
          schedule for a tighter witness. *)
       let crash_events = sanitize_crashes ~n crash in
-      let crash_plan = Sched.Crash_plan.of_list crash_events in
+      let fault_plan =
+        Sched.Fault_plan.of_crash_plan (Sched.Crash_plan.of_list crash_events)
+      in
       let out = outcome_of (sched, crash, mix) in
       let minimal =
-        Schedule.shrink ~crash_plan ~mix_seed:mix ~structure ~n ~ops
+        Schedule.shrink ~fault_plan ~mix_seed:mix ~structure ~n ~ops
           ~tail:Round_robin out.executed
       in
       let final =
-        Schedule.run ~crash_plan ~mix_seed:mix ~structure ~n ~ops
+        Schedule.run ~fault_plan ~mix_seed:mix ~structure ~n ~ops
           ~tail:Round_robin minimal
       in
       [
@@ -155,11 +160,13 @@ let scheduler_source ~structure ~n ~ops ~config =
         let mix = (config.seed * 31) + t in
         let inst = structure.Checkable.make ~n ~ops ~mix_seed:mix () in
         let r =
-          Sim.Executor.run
-            ~seed:(config.seed + (t * 7919))
-            ~trace:true
-            ~scheduler:(make_sched ())
-            ~n
+          Sim.Executor.exec
+            ~config:
+              Sim.Executor.Config.(
+                default
+                |> with_seed (config.seed + (t * 7919))
+                |> with_trace true)
+            ~scheduler:(make_sched ()) ~n
             ~stop:(Steps config.sched_steps)
             inst.spec
         in

@@ -86,9 +86,8 @@ let verdict_to_string = function
       Printf.sprintf "non-linearizable history:\n  %s"
         (String.concat "\n  " (List.map Checkable.event_to_string evs))
 
-let run ?(crash_plan = Sched.Crash_plan.none)
-    ?(fault_plan = Sched.Fault_plan.none) ?mix_seed ~structure ~n ~ops ~tail
-    schedule =
+let run ?(fault_plan = Sched.Fault_plan.none) ?mix_seed ~structure ~n ~ops
+    ~tail schedule =
   if n <= 0 then invalid_arg "Schedule.run: n must be positive";
   if n * ops > 62 then
     invalid_arg
@@ -138,10 +137,15 @@ let run ?(crash_plan = Sched.Crash_plan.none)
   let failure = ref None in
   let result =
     try
+      let config =
+        Sim.Executor.Config.(
+          default |> with_seed 0 |> with_faults fault_plan
+          |> with_max_steps (budget + 1)
+          |> with_invariant ~interval:1 inst.invariant
+          |> with_choose choose)
+      in
       Some
-        (Sim.Executor.run ~seed:0 ~crash_plan ~fault_plan
-           ~max_steps:(budget + 1) ~invariant:inst.invariant
-           ~invariant_interval:1 ~choose ~scheduler:Sched.Scheduler.uniform ~n
+        (Sim.Executor.exec ~config ~scheduler:Sched.Scheduler.uniform ~n
            ~stop:(Steps budget) inst.spec)
     with Failure msg ->
       failure := Some msg;
@@ -207,9 +211,8 @@ let ddmin ~fails schedule =
   done;
   !cur
 
-let shrink ?crash_plan ?fault_plan ?mix_seed ~structure ~n ~ops ~tail schedule =
+let shrink ?fault_plan ?mix_seed ~structure ~n ~ops ~tail schedule =
   let fails s =
-    is_bad
-      (run ?crash_plan ?fault_plan ?mix_seed ~structure ~n ~ops ~tail s).verdict
+    is_bad (run ?fault_plan ?mix_seed ~structure ~n ~ops ~tail s).verdict
   in
   if not (fails schedule) then schedule else ddmin ~fails schedule

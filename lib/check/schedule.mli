@@ -44,7 +44,6 @@ type outcome = {
 }
 
 val run :
-  ?crash_plan:Sched.Crash_plan.t ->
   ?fault_plan:Sched.Fault_plan.t ->
   ?mix_seed:int ->
   structure:Scu.Checkable.t ->
@@ -57,11 +56,14 @@ val run :
     structure's invariant hook every step.  Raises [Invalid_argument]
     when [n * ops > 62] (the linearizability checker's limit).
 
-    [fault_plan] adds crash–recovery, stalls, and spurious CAS
-    failures on top of [crash_plan]; the step budget is stretched to
-    cover restart re-runs, stall windows, and bounded retry chains, so
-    fault runs with a [Round_robin] tail still drive every surviving
-    process to completion. *)
+    [fault_plan] adds crashes, crash–recovery, stalls, and spurious
+    CAS failures; crash-only schedules use
+    {!Sched.Fault_plan.of_crash_plan} (the legacy [crash_plan]
+    argument is gone — a crash-only fault plan is byte-identical to
+    the old path).  The step budget is stretched to cover restart
+    re-runs, stall windows, and bounded retry chains, so fault runs
+    with a [Round_robin] tail still drive every surviving process to
+    completion. *)
 
 val verdict_of : Scu.Checkable.instance -> verdict
 (** Judge an instance in whatever state its run left it: the completed
@@ -84,7 +86,6 @@ val ddmin : fails:('a array -> bool) -> 'a array -> 'a array
     [int array]s, the chaos harness also shrinks fault-event arrays. *)
 
 val shrink :
-  ?crash_plan:Sched.Crash_plan.t ->
   ?fault_plan:Sched.Fault_plan.t ->
   ?mix_seed:int ->
   structure:Scu.Checkable.t ->

@@ -44,6 +44,7 @@ let all =
     make (module Exp_ext_replay);
     make (module Exp_chaos);
     make (module Exp_hw);
+    make (module Exp_microbench);
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

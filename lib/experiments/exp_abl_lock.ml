@@ -22,13 +22,18 @@ let plan { Plan.quick; seed } =
   let steps = if quick then 200_000 else 800_000 in
   let crash_at = steps / 2 in
   let completions_upto budget ~crashed make_spec =
-    let crash_plan =
-      if crashed then Sched.Crash_plan.of_list [ (crash_at, 0) ]
-      else Sched.Crash_plan.none
+    let fault_plan =
+      if crashed then
+        Sched.Fault_plan.of_crash_plan (Sched.Crash_plan.of_list [ (crash_at, 0) ])
+      else Sched.Fault_plan.none
+    in
+    let config =
+      Sim.Executor.Config.(
+        default |> with_seed (seed + 61) |> with_faults fault_plan)
     in
     let r =
-      Sim.Executor.run ~seed:(seed + 61) ~crash_plan
-        ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps budget) (make_spec ())
+      Sim.Executor.exec ~config ~scheduler:Sched.Scheduler.uniform ~n
+        ~stop:(Steps budget) (make_spec ())
     in
     Sim.Metrics.total_completions r.metrics
   in

@@ -22,14 +22,15 @@ let plan { Plan.quick; seed } =
   let steps = if quick then 100_000 else 500_000 in
   let cell name make_sched =
     Plan.cell name (fun () ->
+        let config = Sim.Executor.Config.(default |> with_seed (seed + 67)) in
         let ofc = Scu.Obstruction_free.make ~n in
         let r1 =
-          Sim.Executor.run ~seed:(seed + 67) ~scheduler:(make_sched ()) ~n
+          Sim.Executor.exec ~config ~scheduler:(make_sched ()) ~n
             ~stop:(Steps steps) ofc.spec
         in
         let lf = Scu.Counter.make ~n in
         let r2 =
-          Sim.Executor.run ~seed:(seed + 67) ~scheduler:(make_sched ()) ~n
+          Sim.Executor.exec ~config ~scheduler:(make_sched ()) ~n
             ~stop:(Steps steps) lf.spec
         in
         [

@@ -28,6 +28,7 @@ let lock_aware_adversary (t : Scu.Tas_lock.t) ~victim =
     Sched.Scheduler.name = "lock-aware";
     theta = 0.;
     stateful = true;
+    fill = None;
     pick =
       (fun ~rng ~alive ~time ->
         match Scu.Tas_lock.holder t t.spec.memory with
@@ -53,8 +54,9 @@ let plan { Plan.quick; seed } =
     Plan.cell name (fun () ->
         let t = Scu.Tas_lock.make ~n in
         let r =
-          Sim.Executor.run ~seed:(seed + 29) ~scheduler:(make_sched t) ~n
-            ~stop:(Steps steps) t.spec
+          Sim.Executor.exec
+            ~config:Sim.Executor.Config.(default |> with_seed (seed + 29))
+            ~scheduler:(make_sched t) ~n ~stop:(Steps steps) t.spec
         in
         let others =
           float_of_int

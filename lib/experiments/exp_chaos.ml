@@ -47,8 +47,9 @@ let row ~faults ~n ~(r : Sim.Executor.result) ~exact =
 
 let counter_run ~seed ~n ~steps plan =
   let c = Scu.Counter.make ~n in
-  Sim.Executor.run ~seed ~fault_plan:plan ~scheduler:Sched.Scheduler.uniform ~n
-    ~stop:(Steps steps) c.spec
+  Sim.Executor.exec
+    ~config:Sim.Executor.Config.(default |> with_seed seed |> with_faults plan)
+    ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps steps) c.spec
 
 (* (time, proc) pairs crashing processes k..n-1 at time 0 — the exact
    shape exp_cor2 builds its crash plan from. *)
@@ -66,10 +67,12 @@ let plan { Plan.quick; seed } =
           let p = Scu.Scu_pattern.make ~n ~q:0 ~s:1 in
           (* thm4's per-cell seed formula at (q=0, s=1, n). *)
           let r =
-            Sim.Executor.run
-              ~seed:(seed + (0 * 100) + (1 * 10) + n)
-              ~fault_plan:Fault_plan.none ~scheduler:Sched.Scheduler.uniform ~n
-              ~stop:(Steps thm4_steps) p.spec
+            Sim.Executor.exec
+              ~config:
+                Sim.Executor.Config.(
+                  default |> with_seed (seed + (0 * 100) + (1 * 10) + n))
+              ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps thm4_steps)
+              p.spec
           in
           [ row ~faults:"none (= thm4 n=16)" ~n ~r ~exact:(scu_exact ~n) ]);
       (* Anchor 2: cor2's (n=16, k=8) crashed run, crash plan expressed

@@ -14,11 +14,12 @@ let plan { Plan.quick; seed } =
   let steps = if quick then 300_000 else 1_200_000 in
   let cell_of (n, k) =
     Plan.cell (Printf.sprintf "n=%d,k=%d" n k) (fun () ->
-        let crash_plan =
-          Sched.Crash_plan.of_list (List.init (n - k) (fun i -> (0, k + i)))
+        let fault_plan =
+          Sched.Fault_plan.of_crash_plan
+            (Sched.Crash_plan.of_list (List.init (n - k) (fun i -> (0, k + i))))
         in
         let c1 = Scu.Counter.make ~n in
-        let m1 = Runs.spec_metrics ~seed:(seed + 91) ~crash_plan ~n ~steps c1.spec in
+        let m1 = Runs.spec_metrics ~seed:(seed + 91) ~fault_plan ~n ~steps c1.spec in
         let c2 = Scu.Counter.make ~n:k in
         let m2 = Runs.spec_metrics ~seed:(seed + 92) ~n:k ~steps c2.spec in
         [

@@ -31,8 +31,9 @@ let plan { Plan.quick; seed } =
   let rate scheduler stop =
     let c = Scu.Counter.make ~n:domains in
     let r =
-      Sim.Executor.run ~seed:(seed + 73) ~scheduler ~n:domains ~stop:(Steps stop)
-        c.spec
+      Sim.Executor.exec
+        ~config:Sim.Executor.Config.(default |> with_seed (seed + 73))
+        ~scheduler ~n:domains ~stop:(Steps stop) c.spec
     in
     Sim.Metrics.completion_rate r.metrics
   in

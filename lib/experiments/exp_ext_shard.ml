@@ -20,8 +20,9 @@ let plan { Plan.quick; seed } =
     Plan.cell (Printf.sprintf "k=%d" k) (fun () ->
         let c = Scu.Sharded_counter.make ~n ~shards:k in
         let r =
-          Sim.Executor.run ~seed:(seed + 500 + k) ~scheduler:Sched.Scheduler.uniform
-            ~n ~stop:(Steps steps) c.spec
+          Sim.Executor.exec
+            ~config:Sim.Executor.Config.(default |> with_seed (seed + 500 + k))
+            ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps steps) c.spec
         in
         let w = Sim.Metrics.mean_system_latency r.metrics in
         let contenders = (n + k - 1) / k in

@@ -30,8 +30,8 @@ let plan { Plan.quick; seed = base } =
           | Some cap -> Scu.Unbounded.make ~penalty_cap:cap ~n ()
         in
         let r =
-          Sim.Executor.run ~seed ~scheduler:Sched.Scheduler.uniform ~n
-            ~stop:(Steps steps) u.spec
+          Sim.Executor.exec ~config:Sim.Executor.Config.(default |> with_seed seed)
+            ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps steps) u.spec
         in
         let per = List.init n (fun i -> Sim.Metrics.completions_of r.metrics i) in
         let winners = List.length (List.filter (fun c -> c > 0) per) in

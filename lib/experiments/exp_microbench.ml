@@ -1,0 +1,60 @@
+(* Steps/sec microbenchmark: the fig5-style CAS fetch-and-increment
+   counter at n=64 through the effect interpreter and through the
+   compiled executor.
+
+   The table itself is deterministic — step counts, completions,
+   latency, and a parity row asserting the two paths' metrics are
+   byte-identical — so `repro run` output stays reproducible.  The
+   wall-clock side lives in `repro bench microbench`, which times
+   exactly these two cells with the Stepbench protocol; the committed
+   bench/BASELINE.json and the CI gate (`repro bench --gate`) watch
+   the interp/compiled ratio from those timings. *)
+
+let id = "microbench"
+let title = "Microbench: interpreter vs compiled executor, fig5 kernel"
+
+let notes =
+  "Both rows must be identical (the parity row says so): the compiled \
+   executor replays the interpreter's semantics bit-for-bit, only \
+   faster.  Throughput is timed by `repro bench microbench` and gated \
+   in CI against bench/BASELINE.json (>= 0.8x the committed \
+   interp/compiled speedup)."
+
+let n = 64
+
+let plan { Plan.quick; seed } =
+  let steps = if quick then 500_000 else 5_000_000 in
+  let seed = seed + 64 in
+  let cells =
+    [
+      Plan.cell
+        (Printf.sprintf "interp:n=%d" n)
+        (fun () -> ("interp", Stepbench.counter_interp ~seed ~n ~steps ()));
+      Plan.cell
+        (Printf.sprintf "compiled:n=%d" n)
+        (fun () -> ("compiled", Stepbench.counter_compiled ~seed ~n ~steps ()));
+    ]
+  in
+  Plan.make
+    ~headers:[ "path"; "n"; "steps"; "completions"; "W (sys latency)"; "rate" ]
+    ~cells
+    ~assemble:(fun payloads ->
+      let row (path, m) =
+        [
+          path;
+          string_of_int n;
+          string_of_int (Sim.Metrics.time m);
+          string_of_int (Sim.Metrics.total_completions m);
+          Runs.fmt (Sim.Metrics.mean_system_latency m);
+          Runs.fmt (Sim.Metrics.completion_rate m);
+        ]
+      in
+      let parity =
+        match payloads with
+        | [ (_, a); (_, b) ] ->
+            if Sim.Metrics.fingerprint a = Sim.Metrics.fingerprint b then
+              "identical"
+            else "MISMATCH"
+        | _ -> "?"
+      in
+      List.map row payloads @ [ [ "parity"; ""; ""; ""; ""; parity ] ])

@@ -1,0 +1,12 @@
+(** Experiment module; see {!Exp} for the uniform interface and
+    DESIGN.md for the experiment index.  Steps/sec microbenchmark:
+    the fig5 counter kernel through the effect interpreter vs the
+    compiled executor, with a parity row pinning byte-identical
+    metrics.  Wall-clock throughput comes from `repro bench
+    microbench`; the deterministic table here only carries the counts
+    the two paths must agree on. *)
+
+val id : string
+val title : string
+val notes : string
+val plan : Plan.budget -> Plan.t

@@ -1,18 +1,33 @@
+let config ~seed ?record_samples ?fault_plan () =
+  let open Sim.Executor.Config in
+  default |> with_seed seed
+  |> with_samples (Option.value record_samples ~default:false)
+  |> with_faults (Option.value fault_plan ~default:Sched.Fault_plan.none)
+
 let spec_metrics ?(seed = 0xFEED) ?(scheduler = Sched.Scheduler.uniform)
-    ?record_samples ?crash_plan ?fault_plan ~n ~steps spec =
+    ?record_samples ?fault_plan ~n ~steps spec =
+  let config = config ~seed ?record_samples ?fault_plan () in
+  let r = Sim.Executor.exec ~config ~scheduler ~n ~stop:(Steps steps) spec in
+  r.metrics
+
+(* The Figure 5 hot path: the counter runs through the compiled
+   executor (same shared-op sequence as the closure counter, so the
+   numbers are byte-identical — the differential suite pins that). *)
+let counter_metrics ?(seed = 0xFEED) ?(scheduler = Sched.Scheduler.uniform)
+    ?record_samples ~n ~steps () =
+  let c = Scu.Counter.make_compiled ~n in
+  let config = config ~seed ?record_samples () in
   let r =
-    Sim.Executor.run ~seed ?record_samples ?crash_plan ?fault_plan ~scheduler
-      ~n ~stop:(Steps steps) spec
+    Sim.Executor.exec_compiled ~config ~scheduler ~n ~stop:(Steps steps) c.cspec
   in
   r.metrics
 
-let counter_metrics ?seed ?scheduler ?record_samples ~n ~steps () =
-  let c = Scu.Counter.make ~n in
-  spec_metrics ?seed ?scheduler ?record_samples ~n ~steps c.spec
-
 let sim_trace ?(seed = 0xABBA) ?(scheduler = Sched.Scheduler.uniform) ~n ~steps () =
-  let c = Scu.Counter.make ~n in
-  let r = Sim.Executor.run ~seed ~trace:true ~scheduler ~n ~stop:(Steps steps) c.spec in
+  let c = Scu.Counter.make_compiled ~n in
+  let config = Sim.Executor.Config.(default |> with_seed seed |> with_trace true) in
+  let r =
+    Sim.Executor.exec_compiled ~config ~scheduler ~n ~stop:(Steps steps) c.cspec
+  in
   Option.get r.trace
 
 let fmt v = Printf.sprintf "%.4g" v

@@ -1,0 +1,61 @@
+(* Steps/sec measurement protocol and the kernels it times.
+
+   Every wall-clock number the repository publishes (the `repro bench`
+   trajectory, the microbench experiment, the CI throughput gate) goes
+   through [measure]: optional warmup runs that are discarded, then
+   [repeat] timed runs, reported as the lower median — the most robust
+   single sample against the one-sided noise (GC pauses, scheduler
+   preemption) that contaminates minimum- or mean-based reporting.
+   The clock is injectable so the protocol itself is unit-testable
+   with a deterministic fake. *)
+
+type protocol = { warmup : int; repeat : int }
+
+let default = { warmup = 1; repeat = 3 }
+
+type measurement = { samples : float array; median : float }
+
+(* Lower median: with an even sample count the smaller of the two
+   middle elements, so the result is always an actual observation
+   (never an average of two) and the protocol stays exactly
+   reproducible given the samples. *)
+let median_of samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stepbench.median_of: empty samples";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  sorted.((n - 1) / 2)
+
+let measure ?(clock = Pool.monotonic_now) ?(protocol = default) work =
+  if protocol.warmup < 0 then
+    invalid_arg "Stepbench.measure: warmup must be >= 0";
+  if protocol.repeat < 1 then
+    invalid_arg "Stepbench.measure: repeat must be >= 1";
+  for _ = 1 to protocol.warmup do
+    work ()
+  done;
+  let samples = Array.make protocol.repeat 0. in
+  for k = 0 to protocol.repeat - 1 do
+    let t0 = clock () in
+    work ();
+    samples.(k) <- clock () -. t0
+  done;
+  { samples; median = median_of samples }
+
+let steps_per_sec ~steps ~seconds =
+  if seconds <= 0. then infinity else float_of_int steps /. seconds
+
+(* The two sides of the fig5-style kernel: the same CAS
+   fetch-and-increment counter, once as a closure body through the
+   effect interpreter and once as compiled code through the tight
+   loop.  Same seed, same scheduler, same step budget — the metrics
+   must be byte-identical (the microbench experiment and the
+   differential suite both pin that), so any throughput difference is
+   pure executor overhead. *)
+
+let counter_interp ?(seed = 0xFEED) ~n ~steps () =
+  let c = Scu.Counter.make ~n in
+  Runs.spec_metrics ~seed ~n ~steps c.spec
+
+let counter_compiled ?(seed = 0xFEED) ~n ~steps () =
+  Runs.counter_metrics ~seed ~n ~steps ()

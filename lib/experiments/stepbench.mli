@@ -1,0 +1,35 @@
+(** Steps/sec measurement protocol (warmup, repeat, median) and the
+    interpreter-vs-compiled counter kernels it times.
+
+    All published wall-clock numbers (`repro bench`, the microbench
+    experiment, the CI throughput gate) use this one protocol so they
+    are comparable with each other; the clock is injectable so the
+    protocol itself is tested with a deterministic fake. *)
+
+type protocol = { warmup : int; repeat : int }
+
+val default : protocol
+(** One discarded warmup run, three timed runs. *)
+
+type measurement = { samples : float array; median : float }
+(** [samples] in run order; [median] is the lower median of them. *)
+
+val median_of : float array -> float
+(** Lower median: sorted middle element, the smaller one when the
+    count is even — always an actual observation.  Raises
+    [Invalid_argument] on an empty array. *)
+
+val measure :
+  ?clock:(unit -> float) -> ?protocol:protocol -> (unit -> unit) -> measurement
+(** Run [work] [protocol.warmup] times untimed, then [protocol.repeat]
+    times timed with [clock] (default: the monotonic clock).  Raises
+    [Invalid_argument] on a negative warmup or a repeat below 1. *)
+
+val steps_per_sec : steps:int -> seconds:float -> float
+
+val counter_interp : ?seed:int -> n:int -> steps:int -> unit -> Sim.Metrics.t
+(** The fig5 CAS-counter kernel through the effect interpreter. *)
+
+val counter_compiled : ?seed:int -> n:int -> steps:int -> unit -> Sim.Metrics.t
+(** The same kernel, same seed and scheduler, through the compiled
+    executor — metrics byte-identical to {!counter_interp}'s. *)

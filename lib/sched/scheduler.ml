@@ -3,6 +3,9 @@ type t = {
   theta : float;
   stateful : bool;
   pick : rng:Stats.Rng.t -> alive:bool array -> time:int -> int;
+  fill :
+    (rng:Stats.Rng.t -> alive:bool array -> dst:int array -> len:int -> unit)
+    option;
 }
 
 let alive_count alive =
@@ -21,12 +24,38 @@ let pick_uniform rng alive =
   if k = 0 then invalid_arg "Scheduler: no alive process";
   nth_alive alive (Stats.Rng.int rng k)
 
+(* Batched uniform picks: bit-for-bit the stream [len] successive
+   [pick] calls would consume ([alive_count] draws nothing; [Rng.int]
+   is mirrored by [Rng.fill_int]), then the same [nth_alive] mapping
+   applied through a precomputed table.  Only valid while the alive
+   set does not change — the executor guarantees that by sizing its
+   batches to the next alive-set transition. *)
+let fill_uniform ~rng ~alive ~dst ~len =
+  let k = alive_count alive in
+  if k = 0 then invalid_arg "Scheduler: no alive process";
+  Stats.Rng.fill_int rng k dst ~len;
+  if k <> Array.length alive then begin
+    let nth = Array.make k 0 in
+    let j = ref 0 in
+    Array.iteri
+      (fun i a ->
+        if a then begin
+          nth.(!j) <- i;
+          incr j
+        end)
+      alive;
+    for i = 0 to len - 1 do
+      dst.(i) <- nth.(dst.(i))
+    done
+  end
+
 let uniform =
   {
     name = "uniform";
     theta = nan (* 1/|A|, depends on alive count; executor treats nan as uniform *);
     stateful = false;
     pick = (fun ~rng ~alive ~time:_ -> pick_uniform rng alive);
+    fill = Some fill_uniform;
   }
 
 let round_robin () =
@@ -35,6 +64,7 @@ let round_robin () =
     name = "round-robin";
     theta = 0.;
     stateful = true;
+    fill = None;
     pick =
       (fun ~rng:_ ~alive ~time:_ ->
         let n = Array.length alive in
@@ -55,6 +85,7 @@ let weighted w =
     name = "weighted";
     theta = 0.;
     stateful = false;
+    fill = None;
     pick =
       (fun ~rng ~alive ~time:_ ->
         let masked =
@@ -79,6 +110,7 @@ let starver ~victim =
     name = Printf.sprintf "starver(p%d)" victim;
     theta = 0.;
     stateful = true;
+    fill = None;
     pick =
       (fun ~rng ~alive ~time ->
         let others = Array.mapi (fun i a -> a && i <> victim) alive in
@@ -94,6 +126,7 @@ let quantum ~length =
     name = Printf.sprintf "quantum(%d)" length;
     theta = 0. (* locally adversarial within a quantum *);
     stateful = true;
+    fill = None;
     pick =
       (fun ~rng ~alive ~time:_ ->
         if !remaining > 0 && !current >= 0 && alive.(!current) then begin
@@ -113,6 +146,7 @@ let with_weak_fairness ~theta adv =
     name = Printf.sprintf "%s+theta(%.4g)" adv.name theta;
     theta;
     stateful = adv.stateful;
+    fill = None;
     pick =
       (fun ~rng ~alive ~time ->
         let k = alive_count alive in
@@ -129,6 +163,7 @@ let replay order =
     name = "replay";
     theta = 0.;
     stateful = false (* time-indexed, not self-advancing *);
+    fill = None;
     pick =
       (fun ~rng ~alive ~time ->
         (* Past the recording's end, wrap around; skip dead processes

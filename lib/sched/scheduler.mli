@@ -33,6 +33,17 @@ type t = {
   pick : rng:Stats.Rng.t -> alive:bool array -> time:int -> int;
       (** Chooses an index with [alive.(i) = true].  Behaviour is
           unspecified if no process is alive. *)
+  fill :
+    (rng:Stats.Rng.t -> alive:bool array -> dst:int array -> len:int -> unit)
+    option;
+      (** Batched picks, when the scheduler supports them: write [len]
+          picks into [dst], consuming the RNG bit-for-bit as [len]
+          successive [pick] calls would over an {e unchanged} alive
+          set and with [time] irrelevant to the choice.  The compiled
+          executor uses this to amortize per-step draw dispatch; it
+          only calls [fill] over step windows in which the alive set
+          provably cannot change.  [None] (every stateful or
+          time-indexed scheduler) falls back to per-step [pick]. *)
 }
 
 val uniform : t

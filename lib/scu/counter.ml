@@ -35,6 +35,34 @@ let make ~n =
     n;
   }
 
+type compiled = { cspec : Sim.Compile.spec; register : int; n : int }
+
+(* Instruction-level mirror of [make]'s body, for the compiled
+   executor: same shared-operation sequence (read, cas, read, cas, …)
+   and the completion in the same local suffix after a successful CAS,
+   so interpreted and compiled runs of the counter are byte-identical
+   for the same configuration.  r3 holds the register address, r1 the
+   read value, r2 the increment; r4 is never written and stays 0. *)
+let make_compiled ~n =
+  let memory = Memory.create () in
+  let r = Memory.alloc memory ~size:1 in
+  let open Sim.Compile in
+  let code =
+    assemble
+      [
+        Loadi (3, r);
+        Label "loop";
+        Read 3;
+        Mov (1, 0);
+        Addi (2, 1, 1);
+        Cas (3, 1, 2);
+        Beq (0, 4, "loop");
+        Complete;
+        Jmp "loop";
+      ]
+  in
+  { cspec = { name = "cas-counter"; memory; code }; register = r; n }
+
 let make_instrumented ~n =
   let memory = Memory.create () in
   let r = Memory.alloc memory ~size:1 in
@@ -95,4 +123,4 @@ let logged_values t mem i =
       done;
       !out
 
-let value t mem = Memory.get mem t.register
+let value (t : t) mem = Memory.get mem t.register

@@ -22,6 +22,20 @@ val make : n:int -> t
 (** Pure latency-measurement variant: each operation costs exactly its
     shared reads and CASes. *)
 
+type compiled = {
+  cspec : Sim.Compile.spec;
+  register : int;  (** Address of the counter register R. *)
+  n : int;
+}
+
+val make_compiled : n:int -> compiled
+(** Instruction-level mirror of {!make} for
+    {!Sim.Executor.exec_compiled}: the same shared-operation sequence
+    and completion points, so for identical configurations the
+    compiled run is byte-identical to the interpreted one — this is
+    the kernel behind the `microbench` experiment and the experiments'
+    hot Figure 5 cells. *)
+
 val make_instrumented : n:int -> t * Stats.Vec.Int.t
 (** Like [make], additionally recording each completed operation's CAS
     attempt count (1 = first try) in the returned vector.  Recording

@@ -1,0 +1,328 @@
+(* Program compilation: a flat int-coded instruction set executed by
+   the executor's tight loop (Executor.exec_compiled) with no per-step
+   closure dispatch, effect continuations, or allocation.
+
+   A compiled program is an [int array] of 4-slot instruction words
+   [| opcode; a; b; c |].  Each process owns a small register file
+   ([nregs] ints); register 0 receives the result of every
+   shared-memory operation.  Shared-memory opcodes are the suspension
+   points: a process parks with its pc at a shared opcode, the
+   scheduler picks it, the operation applies, and the executor then
+   runs the following *local* opcodes (arithmetic, branches,
+   completions) inline until the next shared opcode or [halt] — exactly
+   the paper's "any number of local computations plus one shared
+   memory operation" step model, and exactly what the effect-handler
+   interpreter does with closures.
+
+   [to_program] interprets the same code through the classic
+   effect-based [Program.t] path, so any compiled kernel can also run
+   on the legacy interpreter — that pairing is what the differential
+   harness (Check.Differential) exercises for byte-equality. *)
+
+let nregs = 8
+
+(* Opcodes.  Shared-memory ones come first so [is_shared] is a single
+   compare. *)
+let op_read = 0
+let op_write = 1
+let op_cas = 2
+let op_cas_get = 3
+let op_faa = 4
+let last_shared = op_faa
+let op_halt = 5
+let op_complete = 6 (* a = method id, -1 for a plain completion *)
+let op_loadi = 7
+let op_mov = 8
+let op_addi = 9
+let op_add = 10
+let op_sub = 11
+let op_jmp = 12
+let op_beq = 13
+let op_bne = 14
+let op_blt = 15
+let op_rand = 16
+let op_now = 17
+let op_pid = 18
+let op_nproc = 19
+let op_alloc = 20
+let op_count = 21
+
+let is_shared opcode = opcode <= last_shared
+
+module Op = struct
+  let read = op_read
+  let write = op_write
+  let cas = op_cas
+  let cas_get = op_cas_get
+  let faa = op_faa
+  let last_shared = last_shared
+  let halt = op_halt
+  let complete = op_complete
+  let loadi = op_loadi
+  let mov = op_mov
+  let addi = op_addi
+  let add = op_add
+  let sub = op_sub
+  let jmp = op_jmp
+  let beq = op_beq
+  let bne = op_bne
+  let blt = op_blt
+  let rand = op_rand
+  let now = op_now
+  let pid = op_pid
+  let nproc = op_nproc
+  let alloc = op_alloc
+  let count = op_count
+end
+
+type reg = int
+
+type instr =
+  | Label of string
+  | Read of reg
+  | Write of reg * reg
+  | Cas of reg * reg * reg
+  | Cas_get of reg * reg * reg
+  | Faa of reg * reg
+  | Halt
+  | Complete
+  | Complete_method of int
+  | Loadi of reg * int
+  | Mov of reg * reg
+  | Addi of reg * reg * int
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Jmp of string
+  | Beq of reg * reg * string
+  | Bne of reg * reg * string
+  | Blt of reg * reg * string
+  | Rand of reg * int
+  | Now of reg
+  | Pid of reg
+  | Nproc of reg
+  | Alloc of reg * int
+
+type code = {
+  code : int array;  (** 4 slots per instruction word. *)
+  has_halt : bool;
+      (** Whether any reachable-by-encoding [halt] exists (including
+          the implicit trailing one only if a body can fall through to
+          it).  Conservative: used to decide when batched scheduler
+          draws are safe, so [true] only disables an optimization. *)
+  shared_ops : int;  (** Number of shared-memory instruction words. *)
+}
+
+let word_count c = Array.length c.code / 4
+
+let check_reg ctx r =
+  if r < 0 || r >= nregs then
+    invalid_arg
+      (Printf.sprintf "Compile.assemble: %s: register %d out of range (0..%d)"
+         ctx r (nregs - 1))
+
+let assemble instrs =
+  if instrs = [] then invalid_arg "Compile.assemble: empty program";
+  (* Pass 1: label addresses (in instruction words). *)
+  let labels = Hashtbl.create 16 in
+  let words = ref 0 in
+  List.iter
+    (fun i ->
+      match i with
+      | Label l ->
+          if Hashtbl.mem labels l then
+            invalid_arg ("Compile.assemble: duplicate label " ^ l)
+          else Hashtbl.add labels l !words
+      | _ -> incr words)
+    instrs;
+  let resolve ctx l =
+    match Hashtbl.find_opt labels l with
+    | Some w -> w
+    | None -> invalid_arg (Printf.sprintf "Compile.assemble: %s: unknown label %s" ctx l)
+  in
+  (* Pass 2: emit, with an implicit trailing halt so a body may fall
+     off the end. *)
+  let out = Array.make ((!words + 1) * 4) 0 in
+  let cursor = ref 0 in
+  let explicit_halt = ref false in
+  let falls_through = ref true in
+  let shared = ref 0 in
+  let emit opcode a b c =
+    let base = !cursor * 4 in
+    out.(base) <- opcode;
+    out.(base + 1) <- a;
+    out.(base + 2) <- b;
+    out.(base + 3) <- c;
+    if is_shared opcode then incr shared;
+    falls_through := opcode <> op_halt && opcode <> op_jmp;
+    incr cursor
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Label _ -> ()
+      | Read a ->
+          check_reg "read" a;
+          emit op_read a 0 0
+      | Write (a, v) ->
+          check_reg "write" a;
+          check_reg "write" v;
+          emit op_write a v 0
+      | Cas (a, e, v) ->
+          check_reg "cas" a;
+          check_reg "cas" e;
+          check_reg "cas" v;
+          emit op_cas a e v
+      | Cas_get (a, e, v) ->
+          check_reg "cas_get" a;
+          check_reg "cas_get" e;
+          check_reg "cas_get" v;
+          emit op_cas_get a e v
+      | Faa (a, d) ->
+          check_reg "faa" a;
+          check_reg "faa" d;
+          emit op_faa a d 0
+      | Halt ->
+          explicit_halt := true;
+          emit op_halt 0 0 0
+      | Complete -> emit op_complete (-1) 0 0
+      | Complete_method m ->
+          if m < 0 then invalid_arg "Compile.assemble: negative method id";
+          emit op_complete m 0 0
+      | Loadi (d, imm) ->
+          check_reg "loadi" d;
+          emit op_loadi d imm 0
+      | Mov (d, s) ->
+          check_reg "mov" d;
+          check_reg "mov" s;
+          emit op_mov d s 0
+      | Addi (d, s, imm) ->
+          check_reg "addi" d;
+          check_reg "addi" s;
+          emit op_addi d s imm
+      | Add (d, s, t) ->
+          check_reg "add" d;
+          check_reg "add" s;
+          check_reg "add" t;
+          emit op_add d s t
+      | Sub (d, s, t) ->
+          check_reg "sub" d;
+          check_reg "sub" s;
+          check_reg "sub" t;
+          emit op_sub d s t
+      | Jmp l -> emit op_jmp (resolve "jmp" l) 0 0
+      | Beq (s, t, l) ->
+          check_reg "beq" s;
+          check_reg "beq" t;
+          emit op_beq s t (resolve "beq" l)
+      | Bne (s, t, l) ->
+          check_reg "bne" s;
+          check_reg "bne" t;
+          emit op_bne s t (resolve "bne" l)
+      | Blt (s, t, l) ->
+          check_reg "blt" s;
+          check_reg "blt" t;
+          emit op_blt s t (resolve "blt" l)
+      | Rand (d, bound) ->
+          check_reg "rand" d;
+          if bound <= 0 then
+            invalid_arg "Compile.assemble: rand bound must be positive";
+          emit op_rand d bound 0
+      | Now d ->
+          check_reg "now" d;
+          emit op_now d 0 0
+      | Pid d ->
+          check_reg "pid" d;
+          emit op_pid d 0 0
+      | Nproc d ->
+          check_reg "nproc" d;
+          emit op_nproc d 0 0
+      | Alloc (d, size) ->
+          check_reg "alloc" d;
+          if size <= 0 then
+            invalid_arg "Compile.assemble: alloc size must be positive";
+          emit op_alloc d size 0)
+    instrs;
+  (* Branch targets can point one past the last explicit word (a label
+     at the very end) — that is the implicit halt, which is valid. *)
+  let reaches_implicit = !falls_through || Hashtbl.fold (fun _ w acc -> acc || w = !words) labels false in
+  emit op_halt 0 0 0;
+  {
+    code = out;
+    has_halt = !explicit_halt || reaches_implicit;
+    shared_ops = !shared;
+  }
+
+type spec = { name : string; memory : Memory.t; code : code }
+
+(* Reference semantics: the same code run through the effect-based
+   [Program.t] path.  Kept deliberately naive — it IS the old
+   interpreter's view of the program, and the differential harness
+   asserts the tight loop never diverges from it. *)
+let to_program ~memory (c : code) : Program.t =
+ fun (ctx : Program.ctx) ->
+  let code = c.code in
+  let len = Array.length code in
+  let regs = Array.make nregs 0 in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    let base = !pc * 4 in
+    if base >= len then running := false
+    else begin
+      let opcode = code.(base) in
+      let a = code.(base + 1) in
+      let b = code.(base + 2) in
+      let cc = code.(base + 3) in
+      incr pc;
+      if opcode = op_read then regs.(0) <- Program.step (Memory.Read regs.(a))
+      else if opcode = op_write then
+        regs.(0) <- Program.step (Memory.Write (regs.(a), regs.(b)))
+      else if opcode = op_cas then
+        regs.(0) <- Program.step (Memory.Cas (regs.(a), regs.(b), regs.(cc)))
+      else if opcode = op_cas_get then
+        regs.(0) <- Program.step (Memory.Cas_get (regs.(a), regs.(b), regs.(cc)))
+      else if opcode = op_faa then
+        regs.(0) <- Program.step (Memory.Faa (regs.(a), regs.(b)))
+      else if opcode = op_halt then running := false
+      else if opcode = op_complete then
+        if a < 0 then Program.complete () else Program.complete_method a
+      else if opcode = op_loadi then regs.(a) <- b
+      else if opcode = op_mov then regs.(a) <- regs.(b)
+      else if opcode = op_addi then regs.(a) <- regs.(b) + cc
+      else if opcode = op_add then regs.(a) <- regs.(b) + regs.(cc)
+      else if opcode = op_sub then regs.(a) <- regs.(b) - regs.(cc)
+      else if opcode = op_jmp then pc := a
+      else if opcode = op_beq then (if regs.(a) = regs.(b) then pc := cc)
+      else if opcode = op_bne then (if regs.(a) <> regs.(b) then pc := cc)
+      else if opcode = op_blt then (if regs.(a) < regs.(b) then pc := cc)
+      else if opcode = op_rand then regs.(a) <- Stats.Rng.int ctx.rng b
+      else if opcode = op_now then regs.(a) <- Program.now ()
+      else if opcode = op_pid then regs.(a) <- ctx.id
+      else if opcode = op_nproc then regs.(a) <- ctx.n
+      else if opcode = op_alloc then regs.(a) <- Memory.alloc memory ~size:b
+      else invalid_arg (Printf.sprintf "Compile.to_program: bad opcode %d" opcode)
+    end
+  done
+
+let op_names =
+  [|
+    "read"; "write"; "cas"; "cas_get"; "faa"; "halt"; "complete"; "loadi";
+    "mov"; "addi"; "add"; "sub"; "jmp"; "beq"; "bne"; "blt"; "rand"; "now";
+    "pid"; "nproc"; "alloc";
+  |]
+
+let disassemble c =
+  let buf = Buffer.create 256 in
+  for w = 0 to word_count c - 1 do
+    let base = w * 4 in
+    let opcode = c.code.(base) in
+    let a = c.code.(base + 1) in
+    let b = c.code.(base + 2) in
+    let cc = c.code.(base + 3) in
+    let name =
+      if opcode >= 0 && opcode < op_count then op_names.(opcode)
+      else Printf.sprintf "op%d" opcode
+    in
+    Buffer.add_string buf (Printf.sprintf "%3d: %-8s %d %d %d\n" w name a b cc)
+  done;
+  Buffer.contents buf

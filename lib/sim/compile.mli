@@ -1,0 +1,141 @@
+(** Flat int-coded instruction programs for the executor's tight loop.
+
+    The effect-based {!Program.t} representation is maximally flexible
+    — a process body is an arbitrary OCaml closure suspended at each
+    shared-memory step — but it pays for that flexibility on every
+    simulated step: an effect performance, a heap-allocated one-shot
+    continuation, and closure dispatch.  For the long stochastic runs
+    the paper's figures need (10^6–10^8 steps per cell), that dispatch
+    dominates.
+
+    This module defines a tiny register machine that captures the
+    paper's step model exactly — a step is one shared-memory operation
+    plus any number of local computations — as data rather than
+    closures.  A program is assembled from a list of {!instr} into a
+    flat [int array] of 4-slot words; the executor
+    ({!Executor.exec_compiled}) runs it in a loop with no per-step
+    allocation.  {!to_program} interprets the same code through the
+    effect path, so every compiled kernel also runs on the legacy
+    interpreter; the differential harness asserts the two never
+    diverge, which is how the 10x rewrite keeps its byte-identity
+    guarantee.
+
+    Register machine: {!nregs} int registers per process, all zero at
+    start (and after a crash restart).  Register 0 additionally
+    receives the result of every shared-memory operation.  Branch
+    targets are string labels resolved at assembly. *)
+
+val nregs : int
+(** Registers per process (8).  Register 0 is the shared-op result
+    register. *)
+
+module Op : sig
+  val read : int
+  val write : int
+  val cas : int
+  val cas_get : int
+  val faa : int
+
+  val last_shared : int
+  (** Opcodes [<= last_shared] are the shared-memory (suspension-point)
+      instructions; everything above is local. *)
+
+  val halt : int
+  val complete : int
+  val loadi : int
+  val mov : int
+  val addi : int
+  val add : int
+  val sub : int
+  val jmp : int
+  val beq : int
+  val bne : int
+  val blt : int
+  val rand : int
+  val now : int
+  val pid : int
+  val nproc : int
+  val alloc : int
+
+  val count : int
+  (** Number of opcodes (valid opcodes are [0, count)). *)
+end
+(** The opcode numbering.  Stable by construction: the executor's
+    dispatch loop and the encoding-pinning tests both assert it. *)
+
+type reg = int
+(** Register index in [0, nregs). *)
+
+type instr =
+  | Label of string  (** Branch target; emits no code. *)
+  | Read of reg  (** r0 <- mem\[r_a\] (one shared step). *)
+  | Write of reg * reg  (** mem\[r_a\] <- r_v; r0 <- r_v (shared). *)
+  | Cas of reg * reg * reg
+      (** CAS mem\[r_a\]: r_e -> r_v; r0 <- 1 on success else 0
+          (shared). *)
+  | Cas_get of reg * reg * reg
+      (** CAS returning the witnessed value in r0 (shared). *)
+  | Faa of reg * reg  (** Fetch-and-add r_d to mem\[r_a\]; r0 <- old (shared). *)
+  | Halt  (** Stop this process for good (it leaves the alive set). *)
+  | Complete  (** Record an operation completion ({!Program.complete}). *)
+  | Complete_method of int
+      (** Completion attributed to a method id ({!Program.complete_method}). *)
+  | Loadi of reg * int  (** r_d <- imm. *)
+  | Mov of reg * reg  (** r_d <- r_s. *)
+  | Addi of reg * reg * int  (** r_d <- r_s + imm. *)
+  | Add of reg * reg * reg  (** r_d <- r_s + r_t. *)
+  | Sub of reg * reg * reg  (** r_d <- r_s - r_t. *)
+  | Jmp of string
+  | Beq of reg * reg * string  (** Branch if r_s = r_t. *)
+  | Bne of reg * reg * string
+  | Blt of reg * reg * string  (** Branch if r_s < r_t. *)
+  | Rand of reg * int
+      (** r_d <- uniform draw in [0, bound) from the process's own RNG
+          — the same per-process stream the effect path's
+          [ctx.rng] exposes, so compiled and interpreted runs consume
+          identical randomness. *)
+  | Now of reg  (** r_d <- current simulated time. *)
+  | Pid of reg  (** r_d <- this process's id. *)
+  | Nproc of reg  (** r_d <- number of processes. *)
+  | Alloc of reg * int
+      (** r_d <- address of a fresh [size]-cell block (local step:
+          allocation is simulation bookkeeping, not a shared-memory
+          operation, matching [Memory.alloc] use in closure bodies). *)
+
+type code = private {
+  code : int array;  (** 4 slots per instruction word: opcode, a, b, c. *)
+  has_halt : bool;
+      (** Whether the program can stop (reach an explicit or the
+          implicit trailing [Halt]).  When false the alive set can
+          only shrink through faults, which is what licenses batched
+          scheduler draws in the compiled executor. *)
+  shared_ops : int;  (** Count of shared-memory instruction words. *)
+}
+
+val assemble : instr list -> code
+(** Resolve labels and encode.  An implicit [Halt] is appended so a
+    body may fall off the end.  Raises [Invalid_argument] on an empty
+    program, a register out of range, a duplicate or unknown label, a
+    non-positive [Rand] bound or [Alloc] size, or a negative method
+    id. *)
+
+val word_count : code -> int
+(** Number of encoded instruction words (including the implicit
+    trailing halt). *)
+
+type spec = { name : string; memory : Memory.t; code : code }
+(** A compiled counterpart of {!Spec.t}: every process runs [code]
+    against [memory].  (Per-process behaviour differentiates via
+    [Pid]/[Rand], exactly as closure bodies differentiate via
+    [ctx].) *)
+
+val to_program : memory:Memory.t -> code -> Program.t
+(** Reference semantics: interpret the code through the effect-based
+    {!Program.t} path.  [Executor.exec] on [to_program ~memory code]
+    and [Executor.exec_compiled] on [code] must produce byte-identical
+    results for identical configurations — the differential test suite
+    enforces this. *)
+
+val disassemble : code -> string
+(** Human-readable listing, one instruction word per line (for tests
+    and debugging). *)

@@ -16,6 +16,46 @@ type result = {
   spurious_cas : int;
 }
 
+module Config = struct
+  type t = {
+    seed : int;
+    trace : bool;
+    record_samples : bool;
+    fault_plan : Sched.Fault_plan.t;
+    max_steps : int;
+    invariant : (Memory.t -> time:int -> unit) option;
+    invariant_interval : int;
+    choose : (alive:bool array -> time:int -> int option) option;
+  }
+
+  let default =
+    {
+      seed = 0xC0FFEE;
+      trace = false;
+      record_samples = false;
+      fault_plan = Sched.Fault_plan.none;
+      max_steps = 200_000_000;
+      invariant = None;
+      invariant_interval = 1000;
+      choose = None;
+    }
+
+  let with_seed seed t = { t with seed }
+  let with_trace trace t = { t with trace }
+  let with_samples record_samples t = { t with record_samples }
+  let with_faults fault_plan t = { t with fault_plan }
+  let with_max_steps max_steps t = { t with max_steps }
+
+  let with_invariant ?interval invariant t =
+    {
+      t with
+      invariant = Some invariant;
+      invariant_interval = Option.value interval ~default:t.invariant_interval;
+    }
+
+  let with_choose choose t = { t with choose = Some choose }
+end
+
 (* A process is either suspended at a shared-memory operation, waiting
    to be scheduled, or its body returned. *)
 type proc_state =
@@ -52,26 +92,31 @@ let discard_state = function
       try ignore (Effect.Deep.discontinue k Exit) with Exit | _ -> ())
   | Terminated -> ()
 
-let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
-    ?(crash_plan = Sched.Crash_plan.none) ?(fault_plan = Sched.Fault_plan.none)
-    ?(max_steps = 200_000_000) ?invariant ?(invariant_interval = 1000) ?choose
-    ~(scheduler : Sched.Scheduler.t) ~n ~stop spec =
-  if invariant_interval < 1 then
+(* Validation shared by both entry points.  The messages keep the
+   historical "Executor.run" prefix: tests and replay transcripts pin
+   them, and [run] still fronts both paths. *)
+let validate_config ~n (config : Config.t) =
+  if config.invariant_interval < 1 then
     invalid_arg "Executor.run: invariant_interval must be >= 1";
   if n <= 0 then invalid_arg "Executor.run: n must be positive";
-  (match Sched.Crash_plan.validate ~n crash_plan with
+  match Sched.Fault_plan.validate ~n config.fault_plan with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Executor.run: " ^ msg));
-  (match Sched.Fault_plan.validate ~n fault_plan with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Executor.run: " ^ msg));
-  let plan =
-    if Sched.Fault_plan.is_none fault_plan then
-      Sched.Fault_plan.of_crash_plan crash_plan
-    else
-      Sched.Fault_plan.merge
-        (Sched.Fault_plan.of_crash_plan crash_plan)
-        fault_plan
+  | Error msg -> invalid_arg ("Executor.run: " ^ msg)
+
+let exec ?(config = Config.default) ~(scheduler : Sched.Scheduler.t) ~n ~stop
+    spec =
+  validate_config ~n config;
+  let {
+    Config.seed;
+    trace;
+    record_samples;
+    fault_plan = plan;
+    max_steps;
+    invariant;
+    invariant_interval;
+    choose;
+  } =
+    config
   in
   let rng = Stats.Rng.create ~seed in
   let metrics = Metrics.create ~record_samples ~n () in
@@ -288,3 +333,641 @@ let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
     restarts;
     spurious_cas = !spurious_cas;
   }
+
+(* The dispatch loops below match on literal opcode values (a literal
+   match compiles to a jump table, a match on module constants does
+   not); pin the literals to the Compile encoding once at module
+   initialization so drift is impossible to miss. *)
+let () =
+  if
+    not
+      Compile.Op.(
+        read = 0 && write = 1 && cas = 2 && cas_get = 3 && faa = 4
+        && last_shared = 4 && halt = 5 && complete = 6 && loadi = 7 && mov = 8
+        && addi = 9 && add = 10 && sub = 11 && jmp = 12 && beq = 13 && bne = 14
+        && blt = 15 && rand = 16 && now = 17 && pid = 18 && nproc = 19
+        && alloc = 20 && count = 21)
+  then failwith "Executor: opcode encoding drifted from Compile.Op"
+
+(* How many scheduler picks to draw per batch on the compiled fast
+   path.  Large enough to amortize dispatch, small enough that the
+   over-draw wasted at the end of a run is negligible. *)
+let batch_len = 8192
+
+let exec_compiled ?(config = Config.default) ~(scheduler : Sched.Scheduler.t)
+    ~n ~stop (cspec : Compile.spec) =
+  validate_config ~n config;
+  let {
+    Config.seed;
+    trace;
+    record_samples;
+    fault_plan = plan;
+    max_steps;
+    invariant;
+    invariant_interval;
+    choose;
+  } =
+    config
+  in
+  let memory = cspec.Compile.memory in
+  let prog = cspec.Compile.code in
+  let code = prog.Compile.code in
+  let nregs = Compile.nregs in
+  let rng = Stats.Rng.create ~seed in
+  let metrics = Metrics.create ~record_samples ~n () in
+  let tr = if trace then Some (Sched.Trace.create ~n) else None in
+  let alive = Array.make n true in
+  let crashed = Array.make n false in
+  let terminated = Array.make n false in
+  let stalled_until = Array.make n 0 in
+  let restarts = Array.make n 0 in
+  let spurious_cas = ref 0 in
+  let regs = Array.make (n * nregs) 0 in
+  let pc = Array.make n 0 in
+  let rngs = Array.make n rng in
+  (* Cached view of the memory's backing store; refetched after every
+     allocation (which may reallocate it).  All shared-memory opcodes
+     go straight at this array, with [Memory.check]'s exact bounds
+     test and message inlined. *)
+  let cells = ref (Memory.cells memory) in
+  let used = ref (Memory.used memory) in
+  let oob a =
+    invalid_arg
+      (Printf.sprintf "Memory: address %d out of bounds (used=%d)" a !used)
+  in
+  (* Run process [i] from its current pc through local instructions
+     until it parks at a shared-memory instruction (pc left on it;
+     returns true) or halts (pc set to -1; returns false).  This is
+     the "any amount of local computation" half of a step, and also
+     the process prologue at start and crash-restart.  Register
+     indices were validated by [Compile.assemble] and [code] is
+     private, so the register file accesses are in bounds. *)
+  let run_local i =
+    let rb = i * nregs in
+    let p = ref pc.(i) in
+    let parked = ref true in
+    let running = ref true in
+    while !running do
+      let base = !p * 4 in
+      let opcode = Array.unsafe_get code base in
+      if opcode <= 4 (* shared: park here *) then running := false
+      else begin
+        let a = Array.unsafe_get code (base + 1) in
+        let b = Array.unsafe_get code (base + 2) in
+        let c = Array.unsafe_get code (base + 3) in
+        incr p;
+        match opcode with
+        | 5 (* halt *) ->
+            running := false;
+            parked := false;
+            p := -1
+        | 6 (* complete *) ->
+            if a < 0 then Metrics.on_complete metrics i
+            else Metrics.on_complete_method metrics i a
+        | 7 (* loadi *) -> Array.unsafe_set regs (rb + a) b
+        | 8 (* mov *) ->
+            Array.unsafe_set regs (rb + a) (Array.unsafe_get regs (rb + b))
+        | 9 (* addi *) ->
+            Array.unsafe_set regs (rb + a) (Array.unsafe_get regs (rb + b) + c)
+        | 10 (* add *) ->
+            Array.unsafe_set regs (rb + a)
+              (Array.unsafe_get regs (rb + b) + Array.unsafe_get regs (rb + c))
+        | 11 (* sub *) ->
+            Array.unsafe_set regs (rb + a)
+              (Array.unsafe_get regs (rb + b) - Array.unsafe_get regs (rb + c))
+        | 12 (* jmp *) -> p := a
+        | 13 (* beq *) ->
+            if Array.unsafe_get regs (rb + a) = Array.unsafe_get regs (rb + b)
+            then p := c
+        | 14 (* bne *) ->
+            if Array.unsafe_get regs (rb + a) <> Array.unsafe_get regs (rb + b)
+            then p := c
+        | 15 (* blt *) ->
+            if Array.unsafe_get regs (rb + a) < Array.unsafe_get regs (rb + b)
+            then p := c
+        | 16 (* rand *) -> regs.(rb + a) <- Stats.Rng.int rngs.(i) b
+        | 17 (* now *) -> regs.(rb + a) <- Metrics.time metrics
+        | 18 (* pid *) -> regs.(rb + a) <- i
+        | 19 (* nproc *) -> regs.(rb + a) <- n
+        | 20 (* alloc *) ->
+            regs.(rb + a) <- Memory.alloc memory ~size:b;
+            cells := Memory.cells memory;
+            used := Memory.used memory
+        | _ ->
+            invalid_arg (Printf.sprintf "Executor.exec_compiled: bad opcode %d" opcode)
+      end
+    done;
+    pc.(i) <- !p;
+    !parked
+  in
+  (* Mirror of the interpreter's startup: per-process RNG split then
+     prologue, in process order (the prologue may draw from the
+     process's own stream or allocate, never from the main stream). *)
+  for i = 0 to n - 1 do
+    rngs.(i) <- Stats.Rng.split rng;
+    if not (run_local i) then begin
+      terminated.(i) <- true;
+      alive.(i) <- false
+    end
+  done;
+  let rates = Sched.Fault_plan.spurious_rates ~n plan in
+  let has_spurious = Sched.Fault_plan.has_spurious plan in
+  (* Split in the same stream position as the interpreter's hook rng:
+     after the n per-process splits, only when the plan needs it. *)
+  let srng = if has_spurious then Stats.Rng.split rng else rng in
+  let denied = ref false in
+  (* One shared-memory operation for process [i] (parked at one).
+     Replicates [Memory.apply]/[Memory.apply_faulty] inline, including
+     the spurious-CAS deny logic: the rate is consulted only on a
+     would-succeed CAS and the srng is drawn only when the rate is
+     positive — the exact draw order of the interpreter's hook. *)
+  let step_shared i =
+    let rb = i * nregs in
+    let base = pc.(i) * 4 in
+    let opcode = Array.unsafe_get code base in
+    let addr = Array.unsafe_get regs (rb + Array.unsafe_get code (base + 1)) in
+    if addr < 1 || addr >= !used then oob addr;
+    let mem = !cells in
+    match opcode with
+    | 0 (* read *) -> Array.unsafe_get mem addr
+    | 1 (* write *) ->
+        let v = Array.unsafe_get regs (rb + Array.unsafe_get code (base + 2)) in
+        Array.unsafe_set mem addr v;
+        v
+    | 2 (* cas *) ->
+        let e = Array.unsafe_get regs (rb + Array.unsafe_get code (base + 2)) in
+        if Array.unsafe_get mem addr = e then begin
+          if
+            has_spurious
+            && (let r = Array.unsafe_get rates i in
+                r > 0. && Stats.Rng.float srng 1.0 < r)
+          then begin
+            incr spurious_cas;
+            0
+          end
+          else begin
+            Array.unsafe_set mem addr
+              (Array.unsafe_get regs (rb + Array.unsafe_get code (base + 3)));
+            1
+          end
+        end
+        else 0
+    | 3 (* cas_get *) ->
+        let e = Array.unsafe_get regs (rb + Array.unsafe_get code (base + 2)) in
+        let old = Array.unsafe_get mem addr in
+        if old = e then begin
+          if
+            has_spurious
+            && (let r = Array.unsafe_get rates i in
+                r > 0. && Stats.Rng.float srng 1.0 < r)
+          then begin
+            incr spurious_cas;
+            denied := true;
+            0
+          end
+          else begin
+            Array.unsafe_set mem addr
+              (Array.unsafe_get regs (rb + Array.unsafe_get code (base + 3)));
+            old
+          end
+        end
+        else old
+    | 4 (* faa *) ->
+        let d = Array.unsafe_get regs (rb + Array.unsafe_get code (base + 2)) in
+        let old = Array.unsafe_get mem addr in
+        Array.unsafe_set mem addr (old + d);
+        old
+    | _ -> assert false
+  in
+  (* One scheduled step of alive process [i]: charge the step, apply
+     the shared op, then (unless spuriously denied, the LL/SC retry)
+     deliver the result to r0 and run the local suffix to the next
+     park point, then the invariant hook — the same order as the
+     interpreter around [Effect.Deep.continue]. *)
+  let step_process i =
+    Metrics.on_step metrics i;
+    (match tr with Some t -> Sched.Trace.record t i | None -> ());
+    denied := false;
+    let v = step_shared i in
+    if not !denied then begin
+      Array.unsafe_set regs (i * nregs) v;
+      pc.(i) <- pc.(i) + 1;
+      if not (run_local i) then begin
+        terminated.(i) <- true;
+        alive.(i) <- false
+      end;
+      match invariant with
+      | Some check when Metrics.time metrics mod invariant_interval = 0 ->
+          check memory ~time:(Metrics.time metrics)
+      | _ -> ()
+    end
+  in
+  let events = Sched.Fault_plan.events plan in
+  let cursor = ref 0 in
+  let process_events now =
+    while !cursor < Array.length events && fst events.(!cursor) <= now do
+      (match snd events.(!cursor) with
+      | Sched.Fault_plan.Crash p ->
+          if not terminated.(p) then begin
+            crashed.(p) <- true;
+            alive.(p) <- false
+          end
+      | Sched.Fault_plan.Restart p ->
+          (* Fresh body over the memory as the crash left it: new RNG
+             split from the main stream (as the interpreter's
+             [make_state] does), zeroed registers, prologue re-run. *)
+          if crashed.(p) && not terminated.(p) then begin
+            crashed.(p) <- false;
+            restarts.(p) <- restarts.(p) + 1;
+            rngs.(p) <- Stats.Rng.split rng;
+            Array.fill regs (p * nregs) nregs 0;
+            pc.(p) <- 0;
+            if run_local p then alive.(p) <- true
+            else begin
+              terminated.(p) <- true;
+              alive.(p) <- false
+            end
+          end
+      | Sched.Fault_plan.Stall (p, d) ->
+          if d > 0 then stalled_until.(p) <- max stalled_until.(p) (now + d));
+      incr cursor
+    done
+  in
+  let refresh_stalls now =
+    for i = 0 to n - 1 do
+      if stalled_until.(i) > 0 then
+        alive.(i) <-
+          stalled_until.(i) <= now
+          && (not crashed.(i))
+          && (not terminated.(i))
+          && pc.(i) >= 0
+    done
+  in
+  let completions_target_met () =
+    match stop with
+    | Steps s -> Metrics.time metrics >= s
+    | Completions c -> Metrics.total_completions metrics >= c
+    | Per_process_completions c ->
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if (not crashed.(i)) && Metrics.completions_of metrics i < c then ok := false
+        done;
+        !ok
+  in
+  let alive_count () = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive in
+  let wakeable now =
+    let stall_pending = ref false in
+    for i = 0 to n - 1 do
+      if
+        stalled_until.(i) > now
+        && (not crashed.(i))
+        && (not terminated.(i))
+        && pc.(i) >= 0
+      then stall_pending := true
+    done;
+    let restart_pending = ref false in
+    for j = !cursor to Array.length events - 1 do
+      match snd events.(j) with
+      | Sched.Fault_plan.Restart p ->
+          if crashed.(p) && not terminated.(p) then restart_pending := true
+      | _ -> ()
+    done;
+    !stall_pending || !restart_pending
+  in
+  let stopped_early = ref false in
+  let step_budget = match stop with Steps s -> min s max_steps | _ -> max_steps in
+  let continue_run = ref true in
+  (* Fast path: with no choice hook, no faults and a program that
+     cannot halt, the alive set provably never changes, so scheduler
+     picks can be drawn in batches ([Scheduler.fill] consumes the RNG
+     bit-for-bit as per-step picks would).  Picks over-drawn when a
+     completion target lands mid-batch are discarded with the run's
+     private RNG — nothing observes the main stream afterwards, so
+     results stay byte-identical to the per-step path. *)
+  let can_batch =
+    Option.is_none choose
+    && Option.is_some scheduler.fill
+    && Sched.Fault_plan.is_none plan
+    && (not prog.Compile.has_halt)
+    && not (Array.exists Fun.id terminated)
+  in
+  if can_batch && Option.is_none tr && Option.is_none invariant then begin
+    (* Fastest path: batching applies *and* nothing per-step is
+       observable from outside (no trace, no invariant), so the whole
+       step — charge, shared op, local suffix — is inlined with the
+       clock in a local, synced back to the metrics before anything
+       that reads it (a completion, the stop check, the caller).
+       [can_batch] implies a fault-free plan, so the spurious-CAS
+       branches of [step_shared] are dead and omitted; it also implies
+       [has_halt = false], so the halt opcode is unreachable and the
+       alive set never changes. *)
+    let fill = Option.get scheduler.fill in
+    let batch = Array.make batch_len 0 in
+    let check_target = match stop with Steps _ -> false | _ -> true in
+    let steps_by = Metrics.steps_array metrics in
+    let time = ref (Metrics.time metrics) in
+    while !continue_run do
+      if completions_target_met () then continue_run := false
+      else if !time >= step_budget then begin
+        (match stop with Steps _ -> () | _ -> stopped_early := true);
+        continue_run := false
+      end
+      else begin
+        let len = min batch_len (step_budget - !time) in
+        fill ~rng ~alive ~dst:batch ~len;
+        let j = ref 0 in
+        while !j < len && !continue_run do
+          if check_target && completions_target_met () then
+            continue_run := false
+          else begin
+            let i = Array.unsafe_get batch !j in
+            if i < 0 || i >= n || not (Array.unsafe_get alive i) then begin
+              Metrics.set_time metrics !time;
+              invalid_arg
+                (Printf.sprintf
+                   "Executor.run: scheduler %s picked dead process %d"
+                   scheduler.name i)
+            end;
+            time := !time + 1;
+            Array.unsafe_set steps_by i (Array.unsafe_get steps_by i + 1);
+            let rb = i * nregs in
+            let base = Array.unsafe_get pc i * 4 in
+            let opcode = Array.unsafe_get code base in
+            let addr =
+              Array.unsafe_get regs (rb + Array.unsafe_get code (base + 1))
+            in
+            if addr < 1 || addr >= !used then begin
+              Metrics.set_time metrics !time;
+              oob addr
+            end;
+            let mem = !cells in
+            let v =
+              match opcode with
+              | 0 (* read *) -> Array.unsafe_get mem addr
+              | 1 (* write *) ->
+                  let v =
+                    Array.unsafe_get regs (rb + Array.unsafe_get code (base + 2))
+                  in
+                  Array.unsafe_set mem addr v;
+                  v
+              | 2 (* cas *) ->
+                  if
+                    Array.unsafe_get mem addr
+                    = Array.unsafe_get regs
+                        (rb + Array.unsafe_get code (base + 2))
+                  then begin
+                    Array.unsafe_set mem addr
+                      (Array.unsafe_get regs
+                         (rb + Array.unsafe_get code (base + 3)));
+                    1
+                  end
+                  else 0
+              | 3 (* cas_get *) ->
+                  let old = Array.unsafe_get mem addr in
+                  if
+                    old
+                    = Array.unsafe_get regs
+                        (rb + Array.unsafe_get code (base + 2))
+                  then
+                    Array.unsafe_set mem addr
+                      (Array.unsafe_get regs
+                         (rb + Array.unsafe_get code (base + 3)));
+                  old
+              | 4 (* faa *) ->
+                  let d =
+                    Array.unsafe_get regs (rb + Array.unsafe_get code (base + 2))
+                  in
+                  let old = Array.unsafe_get mem addr in
+                  Array.unsafe_set mem addr (old + d);
+                  old
+              | _ -> assert false
+            in
+            Array.unsafe_set regs rb v;
+            (* Local suffix to the next park point, mirroring
+               [run_local] minus the unreachable halt case. *)
+            let p = ref (Array.unsafe_get pc i + 1) in
+            let running = ref true in
+            while !running do
+              let base = !p * 4 in
+              let opcode = Array.unsafe_get code base in
+              if opcode <= 4 (* shared: park here *) then running := false
+              else begin
+                let a = Array.unsafe_get code (base + 1) in
+                let b = Array.unsafe_get code (base + 2) in
+                let c = Array.unsafe_get code (base + 3) in
+                incr p;
+                match opcode with
+                | 6 (* complete *) ->
+                    Metrics.set_time metrics !time;
+                    if a < 0 then Metrics.on_complete metrics i
+                    else Metrics.on_complete_method metrics i a
+                | 7 (* loadi *) -> Array.unsafe_set regs (rb + a) b
+                | 8 (* mov *) ->
+                    Array.unsafe_set regs (rb + a)
+                      (Array.unsafe_get regs (rb + b))
+                | 9 (* addi *) ->
+                    Array.unsafe_set regs (rb + a)
+                      (Array.unsafe_get regs (rb + b) + c)
+                | 10 (* add *) ->
+                    Array.unsafe_set regs (rb + a)
+                      (Array.unsafe_get regs (rb + b)
+                      + Array.unsafe_get regs (rb + c))
+                | 11 (* sub *) ->
+                    Array.unsafe_set regs (rb + a)
+                      (Array.unsafe_get regs (rb + b)
+                      - Array.unsafe_get regs (rb + c))
+                | 12 (* jmp *) -> p := a
+                | 13 (* beq *) ->
+                    if
+                      Array.unsafe_get regs (rb + a)
+                      = Array.unsafe_get regs (rb + b)
+                    then p := c
+                | 14 (* bne *) ->
+                    if
+                      Array.unsafe_get regs (rb + a)
+                      <> Array.unsafe_get regs (rb + b)
+                    then p := c
+                | 15 (* blt *) ->
+                    if
+                      Array.unsafe_get regs (rb + a)
+                      < Array.unsafe_get regs (rb + b)
+                    then p := c
+                | 16 (* rand *) -> regs.(rb + a) <- Stats.Rng.int rngs.(i) b
+                | 17 (* now *) -> regs.(rb + a) <- !time
+                | 18 (* pid *) -> regs.(rb + a) <- i
+                | 19 (* nproc *) -> regs.(rb + a) <- n
+                | 20 (* alloc *) ->
+                    regs.(rb + a) <- Memory.alloc memory ~size:b;
+                    cells := Memory.cells memory;
+                    used := Memory.used memory
+                | _ ->
+                    (* 5 (halt) is unreachable: [can_batch] requires
+                       [has_halt = false]. *)
+                    assert false
+              end
+            done;
+            Array.unsafe_set pc i !p;
+            incr j
+          end
+        done;
+        Metrics.set_time metrics !time
+      end
+    done
+  end
+  else if can_batch then begin
+    let fill = Option.get scheduler.fill in
+    let batch = Array.make batch_len 0 in
+    (* For step-count stops the batch length already respects the
+       budget; only completion-style stops need the per-step check. *)
+    let check_target = match stop with Steps _ -> false | _ -> true in
+    while !continue_run do
+      if completions_target_met () then continue_run := false
+      else begin
+        let now = Metrics.time metrics in
+        if now >= step_budget then begin
+          (match stop with Steps _ -> () | _ -> stopped_early := true);
+          continue_run := false
+        end
+        else begin
+          let len = min batch_len (step_budget - now) in
+          fill ~rng ~alive ~dst:batch ~len;
+          let j = ref 0 in
+          while !j < len && !continue_run do
+            if check_target && completions_target_met () then
+              continue_run := false
+            else begin
+              let i = Array.unsafe_get batch !j in
+              if i < 0 || i >= n || not alive.(i) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Executor.run: scheduler %s picked dead process %d"
+                     scheduler.name i);
+              step_process i;
+              incr j
+            end
+          done
+        end
+      end
+    done
+  end
+  else
+    while !continue_run do
+      if completions_target_met () then continue_run := false
+      else if Metrics.time metrics >= step_budget then begin
+        (match stop with Steps _ -> () | _ -> stopped_early := true);
+        continue_run := false
+      end
+      else begin
+        let now = Metrics.time metrics in
+        process_events now;
+        refresh_stalls now;
+        if alive_count () = 0 then begin
+          if wakeable now then Metrics.tick metrics
+          else begin
+            stopped_early := true;
+            continue_run := false
+          end
+        end
+        else begin
+          let picked =
+            match choose with
+            | Some f -> f ~alive ~time:now
+            | None -> Some (scheduler.pick ~rng ~alive ~time:now)
+          in
+          match picked with
+          | None ->
+              stopped_early := true;
+              continue_run := false
+          | Some i ->
+              if i < 0 || i >= n || not alive.(i) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Executor.run: scheduler %s picked dead process %d"
+                     scheduler.name i);
+              step_process i
+        end
+      end
+    done;
+  Option.iter (fun check -> check memory ~time:(Metrics.time metrics)) invariant;
+  (* A parked process's pending operation is decodable from its pc
+     (always on a shared opcode) and registers — the registers cannot
+     have changed since it parked. *)
+  let pending =
+    Array.init n (fun i ->
+        if pc.(i) < 0 then None
+        else
+          let rb = i * Compile.nregs in
+          let base = pc.(i) * 4 in
+          let r k = regs.(rb + code.(base + k)) in
+          match code.(base) with
+          | 0 -> Some (Memory.Read (r 1))
+          | 1 -> Some (Memory.Write (r 1, r 2))
+          | 2 -> Some (Memory.Cas (r 1, r 2, r 3))
+          | 3 -> Some (Memory.Cas_get (r 1, r 2, r 3))
+          | 4 -> Some (Memory.Faa (r 1, r 2))
+          | _ -> assert false)
+  in
+  {
+    metrics;
+    trace = tr;
+    crashed;
+    terminated;
+    stopped_early = !stopped_early;
+    pending;
+    restarts;
+    spurious_cas = !spurious_cas;
+  }
+
+let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
+    ?(crash_plan = Sched.Crash_plan.none) ?(fault_plan = Sched.Fault_plan.none)
+    ?(max_steps = 200_000_000) ?invariant ?(invariant_interval = 1000) ?choose
+    ~(scheduler : Sched.Scheduler.t) ~n ~stop spec =
+  if n <= 0 then invalid_arg "Executor.run: n must be positive";
+  (match Sched.Crash_plan.validate ~n crash_plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Executor.run: " ^ msg));
+  let plan =
+    if Sched.Fault_plan.is_none fault_plan then
+      Sched.Fault_plan.of_crash_plan crash_plan
+    else
+      Sched.Fault_plan.merge
+        (Sched.Fault_plan.of_crash_plan crash_plan)
+        fault_plan
+  in
+  let config =
+    {
+      Config.seed;
+      trace;
+      record_samples;
+      fault_plan = plan;
+      max_steps;
+      invariant;
+      invariant_interval;
+      choose;
+    }
+  in
+  exec ~config ~scheduler ~n ~stop spec
+
+let fingerprint r =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Buffer.add_string buf (Metrics.fingerprint r.metrics);
+  add ";crashed=";
+  Array.iter (fun b -> add "%c" (if b then '1' else '0')) r.crashed;
+  add ";term=";
+  Array.iter (fun b -> add "%c" (if b then '1' else '0')) r.terminated;
+  add ";early=%b" r.stopped_early;
+  add ";pending=";
+  Array.iter
+    (fun p ->
+      add "%s," (match p with None -> "-" | Some op -> Memory.op_to_string op))
+    r.pending;
+  add ";restarts=";
+  Array.iter (fun v -> add "%d," v) r.restarts;
+  add ";spurious=%d" r.spurious_cas;
+  (match r.trace with
+  | None -> ()
+  | Some t ->
+      add ";trace=";
+      Array.iter (fun v -> add "%d," v) (Sched.Trace.to_array t));
+  Buffer.contents buf

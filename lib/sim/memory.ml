@@ -109,6 +109,7 @@ let set t a v =
   t.cells.(a) <- v
 
 let used t = t.used
+let cells t = t.cells
 
 let snapshot t = Array.sub t.cells 0 t.used
 

@@ -66,6 +66,14 @@ val set : t -> int -> int -> unit
 val used : t -> int
 (** Number of allocated cells (high-water mark). *)
 
+val cells : t -> int array
+(** The live backing array, exposed so the compiled executor can apply
+    shared-memory operations without per-step dispatch.  Only indices
+    in [1, used t) are allocated; the reference is invalidated by any
+    {!alloc} (which may reallocate the backing store), so callers must
+    refetch it — together with {!used} — after every allocation.
+    Everything else should go through {!apply}/{!get}/{!set}. *)
+
 val snapshot : t -> int array
 (** Copy of all allocated cells (indices 0 to [used t - 1]) — the
     complete shared state, used by the schedule explorer to hash and

@@ -106,6 +106,8 @@ let method_system_latency t ~method_ =
   | None -> Stats.Summary.create ()
 
 let time t = t.time
+let set_time t time = t.time <- time
+let steps_array t = t.steps_by
 let steps_of t i = t.steps_by.(i)
 let completions_of t i = t.completions.(i)
 let total_completions t = Array.fold_left ( + ) 0 t.completions
@@ -132,6 +134,61 @@ let fairness_ratio t =
   else
     let avg_individual = !acc /. float_of_int !count in
     avg_individual /. (float_of_int t.n *. mean_system_latency t)
+
+(* Exact (hex-float) rendering of every observable statistic, for the
+   interpreter-vs-compiled differential harness: two runs agree iff
+   their fingerprints are equal strings. *)
+let summary_fp s =
+  Printf.sprintf "%d:%h:%h:%h"
+    (Stats.Summary.count s) (Stats.Summary.total s) (Stats.Summary.min s)
+    (Stats.Summary.max s)
+
+let fingerprint t =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "time=%d" t.time;
+  let ints label a =
+    add ";%s=" label;
+    Array.iter (fun v -> add "%d," v) a
+  in
+  ints "steps" t.steps_by;
+  ints "comp" t.completions;
+  ints "lct" t.last_completion_time;
+  ints "lco" t.last_completion_ownsteps;
+  add ";lac=%d" t.last_any_completion;
+  add ";sys=%s" (summary_fp t.system_gap);
+  add ";ind=";
+  Array.iter (fun s -> add "%s|" (summary_fp s)) t.individual_gap;
+  add ";own=";
+  Array.iter (fun s -> add "%s|" (summary_fp s)) t.own_step_gap;
+  List.iter
+    (fun m ->
+      add ";m%d=" m;
+      (match Hashtbl.find_opt t.method_completions m with
+      | Some a -> Array.iter (fun v -> add "%d," v) a
+      | None -> ());
+      (match Hashtbl.find_opt t.method_gap m with
+      | Some s -> add "g%s" (summary_fp s)
+      | None -> ());
+      match Hashtbl.find_opt t.method_last m with
+      | Some l -> add "l%d" l
+      | None -> ())
+    (methods t);
+  (match t.system_samples with
+  | None -> ()
+  | Some v ->
+      add ";ssamp=";
+      Array.iter (fun x -> add "%h," x) (Stats.Vec.Float.to_array v));
+  (match t.individual_samples with
+  | None -> ()
+  | Some a ->
+      add ";isamp=";
+      Array.iter
+        (fun v ->
+          Array.iter (fun x -> add "%h," x) (Stats.Vec.Float.to_array v);
+          add "|")
+        a);
+  Buffer.contents buf
 
 let system_samples t =
   match t.system_samples with None -> [||] | Some v -> Stats.Vec.Float.to_array v

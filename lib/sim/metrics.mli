@@ -49,6 +49,17 @@ val method_system_latency : t -> method_:int -> Stats.Summary.t
 val time : t -> int
 (** System steps elapsed. *)
 
+val set_time : t -> int -> unit
+(** Fast-path hook for the compiled executor's batched loop, which
+    keeps the clock in a local and syncs it back before anything else
+    (a completion, an invariant, the caller) can observe the metrics.
+    Not for general use: the clock must only ever move forward. *)
+
+val steps_array : t -> int array
+(** The live per-process step counters, for the same fast path (the
+    batched loop bumps them in place instead of calling {!on_step}).
+    Callers other than the executor must treat it as read-only. *)
+
 val steps_of : t -> int -> int
 (** Steps taken by one process. *)
 
@@ -70,6 +81,13 @@ val mean_individual_latency : t -> int -> float
 val fairness_ratio : t -> float
 (** mean individual latency averaged over processes, divided by
     (n × mean system latency) — Lemma 7 predicts 1.0. *)
+
+val fingerprint : t -> string
+(** Exact textual rendering of every observable statistic (counts,
+    times, summaries in hex-float, per-method tables, recorded
+    samples).  Two metrics objects that fingerprint equally are
+    observationally identical — the contract the differential
+    interpreter-vs-compiled tests check. *)
 
 val system_samples : t -> float array
 (** Recorded system gaps ([] unless [record_samples]). *)

@@ -33,6 +33,26 @@ let int g bound =
   in
   draw ()
 
+(* Batched draws for hot loops: one call amortizes the per-draw
+   cross-module dispatch.  Bit-for-bit the same stream as [len]
+   successive [int] calls — same rejection rule, same order — which
+   the compiled executor's determinism proof relies on. *)
+let fill_int g bound dst ~len =
+  if bound <= 0 then invalid_arg "Rng.fill_int: bound must be positive";
+  if len < 0 || len > Array.length dst then
+    invalid_arg "Rng.fill_int: bad length";
+  let cutoff = max_int - (max_int mod bound) in
+  let state = ref g.state in
+  for i = 0 to len - 1 do
+    let rec draw () =
+      state := Int64.add !state golden_gamma;
+      let v = Int64.to_int (Int64.shift_right_logical (mix !state) 2) in
+      if v >= cutoff then draw () else v mod bound
+    in
+    Array.unsafe_set dst i (draw ())
+  done;
+  g.state <- !state
+
 let float g bound =
   if not (bound > 0.) || Float.is_nan bound then
     invalid_arg "Rng.float: bound must be positive";

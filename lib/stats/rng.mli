@@ -27,6 +27,14 @@ val int : t -> int -> int
 (** [int g bound] is uniform on [0, bound).  Raises [Invalid_argument]
     if [bound <= 0].  Uses rejection sampling, so it is unbiased. *)
 
+val fill_int : t -> int -> int array -> len:int -> unit
+(** [fill_int g bound dst ~len] writes [len] draws into [dst.(0)] …
+    [dst.(len-1)], consuming the stream exactly as [len] successive
+    {!int} calls would (same rejection sampling, same order) but in one
+    tight loop — the batched-draw primitive behind the compiled
+    executor's scheduler fast path.  Raises [Invalid_argument] if
+    [bound <= 0] or [len] exceeds the array. *)
+
 val float : t -> float -> float
 (** [float g bound] is uniform on [0, bound).  [bound] must be positive
     and finite. *)

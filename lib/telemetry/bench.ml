@@ -57,6 +57,89 @@ let to_json t =
       ("experiments", Json.List (List.map experiment t.experiments));
     ]
 
+(* Inverse of [to_json], for the CI throughput gate: a committed
+   baseline document is read back and its cell timings compared
+   against a fresh run.  Unknown keys are ignored (forward
+   compatibility within the same major schema). *)
+let of_json j =
+  let ( let* ) r f = Result.bind r f in
+  let require what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bench JSON: missing or ill-typed %s" what)
+  in
+  let* s = require "schema" Json.(Option.bind (member "schema" j) to_str) in
+  if s <> schema then
+    Error (Printf.sprintf "bench JSON: schema %S, want %S" s schema)
+  else
+    let* date = require "date" Json.(Option.bind (member "date" j) to_str) in
+    let* version =
+      require "version" Json.(Option.bind (member "version" j) to_str)
+    in
+    let* budget = require "budget" (Json.member "budget" j) in
+    let* quick =
+      require "budget.quick" Json.(Option.bind (member "quick" budget) to_bool)
+    in
+    let* seed =
+      require "budget.seed" Json.(Option.bind (member "seed" budget) to_int)
+    in
+    let* repeat = require "repeat" Json.(Option.bind (member "repeat" j) to_int) in
+    let* exps =
+      require "experiments" Json.(Option.bind (member "experiments" j) to_list)
+    in
+    let cell_of c =
+      let* label = require "cell label" Json.(Option.bind (member "label" c) to_str) in
+      let* seconds =
+        require "cell seconds" Json.(Option.bind (member "seconds" c) to_float)
+      in
+      Ok { label; seconds }
+    in
+    let exp_of e =
+      let* id = require "experiment id" Json.(Option.bind (member "id" e) to_str) in
+      let* title =
+        require "experiment title" Json.(Option.bind (member "title" e) to_str)
+      in
+      let* total =
+        require "experiment total_s" Json.(Option.bind (member "total_s" e) to_float)
+      in
+      let* cells = require "cells" Json.(Option.bind (member "cells" e) to_list) in
+      let* cells =
+        List.fold_left
+          (fun acc c ->
+            let* acc = acc in
+            let* c = cell_of c in
+            Ok (c :: acc))
+          (Ok []) cells
+      in
+      Ok { id; title; cells = List.rev cells; total }
+    in
+    let* experiments =
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* e = exp_of e in
+          Ok (e :: acc))
+        (Ok []) exps
+    in
+    Ok { date; version; quick; seed; repeat; experiments = List.rev experiments }
+
+let load ~file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Json.parse text with
+      | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+      | Ok j -> (
+          match of_json j with
+          | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+          | Ok t -> Ok t))
+
+let cell_seconds t ~id ~label =
+  List.find_opt (fun e -> e.id = id) t.experiments
+  |> Option.map (fun e -> e.cells)
+  |> Option.value ~default:[]
+  |> List.find_opt (fun c -> c.label = label)
+  |> Option.map (fun c -> c.seconds)
+
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);

@@ -49,6 +49,17 @@ val total : t -> float
 
 val to_json : t -> Json.t
 
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}.  Rejects a different {!schema}; ignores
+    unknown keys. *)
+
+val load : file:string -> (t, string) result
+(** Read and parse one bench document (the CI gate's committed
+    baseline). *)
+
+val cell_seconds : t -> id:string -> label:string -> float option
+(** Timing of one cell of one experiment, when present. *)
+
 val write : file:string -> t -> unit
 (** Pretty-printed JSON, trailing newline; parent directories are
     created if missing. *)

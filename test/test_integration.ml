@@ -16,6 +16,16 @@ open Core
 
 let uniform = Sched.Scheduler.uniform
 
+(* Every run in this file is a plain seeded run; faults are expressed
+   as fault plans where needed. *)
+let run ~seed ?fault_plan ~scheduler ~n ~stop spec =
+  let config =
+    Sim.Executor.Config.(
+      default |> with_seed seed
+      |> with_faults (Option.value fault_plan ~default:Sched.Fault_plan.none))
+  in
+  Sim.Executor.exec ~config ~scheduler ~n ~stop spec
+
 let within ?(tol = 0.05) name expected actual =
   Alcotest.(check bool)
     (Printf.sprintf "%s: expected %.4f, measured %.4f" name expected actual)
@@ -30,7 +40,7 @@ let test_counter_sim_matches_chain () =
       let exact = Chains.Scu_chain.System.system_latency ~n in
       let c = Scu.Counter.make ~n in
       let r =
-        Sim.Executor.run ~seed:(1000 + n) ~scheduler:uniform ~n ~stop:(Steps 600_000)
+        run ~seed:(1000 + n) ~scheduler:uniform ~n ~stop:(Steps 600_000)
           c.spec
       in
       within ~tol:0.03
@@ -43,7 +53,7 @@ let test_fairness_lemma7_in_simulation () =
   let n = 6 in
   let c = Scu.Counter.make ~n in
   let r =
-    Sim.Executor.run ~seed:7 ~scheduler:uniform ~n ~stop:(Steps 1_200_000) c.spec
+    run ~seed:7 ~scheduler:uniform ~n ~stop:(Steps 1_200_000) c.spec
   in
   within ~tol:0.05 "individual/system ratio = 1" 1. (Sim.Metrics.fairness_ratio r.metrics);
   (* And every process's latency is individually close to n*W. *)
@@ -60,7 +70,7 @@ let test_parallel_code_lemma11_in_simulation () =
     (fun (n, q) ->
       let p = Scu.Parallel_code.make ~n ~q in
       let r =
-        Sim.Executor.run ~seed:(n * q) ~scheduler:uniform ~n ~stop:(Steps 400_000) p.spec
+        run ~seed:(n * q) ~scheduler:uniform ~n ~stop:(Steps 400_000) p.spec
       in
       within ~tol:0.02
         (Printf.sprintf "W = q (n=%d q=%d)" n q)
@@ -78,7 +88,7 @@ let test_aug_counter_matches_z_recurrence () =
       let exact = (Chains.Counter_chain.z_recurrence ~n).(n - 1) in
       let c = Scu.Counter_aug.make ~n in
       let r =
-        Sim.Executor.run ~seed:(77 + n) ~scheduler:uniform ~n ~stop:(Steps 600_000) c.spec
+        run ~seed:(77 + n) ~scheduler:uniform ~n ~stop:(Steps 600_000) c.spec
       in
       within ~tol:0.03
         (Printf.sprintf "aug counter W = Z(n-1) at n=%d" n)
@@ -94,7 +104,7 @@ let test_scan_steps_scale_theorem4 () =
   let latency s =
     let p = Scu.Scu_pattern.make ~n ~q:0 ~s in
     let r =
-      Sim.Executor.run ~seed:(90 + s) ~scheduler:uniform ~n ~stop:(Steps 800_000) p.spec
+      run ~seed:(90 + s) ~scheduler:uniform ~n ~stop:(Steps 800_000) p.spec
     in
     Sim.Metrics.mean_system_latency r.metrics
   in
@@ -113,7 +123,7 @@ let test_preamble_shifts_latency_theorem4 () =
   let latency q =
     let p = Scu.Scu_pattern.make ~n ~q ~s:1 in
     let r =
-      Sim.Executor.run ~seed:(900 + q) ~scheduler:uniform ~n ~stop:(Steps 800_000) p.spec
+      run ~seed:(900 + q) ~scheduler:uniform ~n ~stop:(Steps 800_000) p.spec
     in
     Sim.Metrics.mean_system_latency r.metrics
   in
@@ -130,7 +140,7 @@ let test_theorem3_maximal_progress_under_theta () =
     let sched =
       Sched.Scheduler.with_weak_fairness ~theta (Sched.Scheduler.starver ~victim:0)
     in
-    let r = Sim.Executor.run ~seed:5 ~scheduler:sched ~n ~stop:(Steps 300_000) c.spec in
+    let r = run ~seed:5 ~scheduler:sched ~n ~stop:(Steps 300_000) c.spec in
     Sim.Metrics.completions_of r.metrics 0
   in
   let slow = victim_done 0.01 and fast = victim_done 0.2 in
@@ -147,16 +157,16 @@ let test_crash_latency_tracks_survivors_corollary2 () =
      against an honest k-process run. *)
   let n = 16 and k = 8 in
   let c1 = Scu.Counter.make ~n in
-  let crash_plan =
-    Sched.Crash_plan.of_list (List.init (n - k) (fun i -> (0, k + i)))
+  let fault_plan =
+    Sched.Fault_plan.of_crash_plan
+      (Sched.Crash_plan.of_list (List.init (n - k) (fun i -> (0, k + i))))
   in
   let r1 =
-    Sim.Executor.run ~seed:3 ~crash_plan ~scheduler:uniform ~n ~stop:(Steps 600_000)
-      c1.spec
+    run ~seed:3 ~fault_plan ~scheduler:uniform ~n ~stop:(Steps 600_000) c1.spec
   in
   let c2 = Scu.Counter.make ~n:k in
   let r2 =
-    Sim.Executor.run ~seed:4 ~scheduler:uniform ~n:k ~stop:(Steps 600_000) c2.spec
+    run ~seed:4 ~scheduler:uniform ~n:k ~stop:(Steps 600_000) c2.spec
   in
   within ~tol:0.05 "crashed-n run behaves like k-process run"
     (Sim.Metrics.mean_system_latency r2.metrics)
@@ -169,7 +179,7 @@ let test_quantum_scheduler_keeps_long_run_shape () =
   let n = 8 in
   let rate sched =
     let c = Scu.Counter.make ~n in
-    let r = Sim.Executor.run ~seed:8 ~scheduler:sched ~n ~stop:(Steps 400_000) c.spec in
+    let r = run ~seed:8 ~scheduler:sched ~n ~stop:(Steps 400_000) c.spec in
     Sim.Metrics.completion_rate r.metrics
   in
   let uni = rate uniform in
@@ -187,7 +197,7 @@ let test_zipf_breaks_fairness () =
   let n = 6 in
   let c = Scu.Counter.make ~n in
   let r =
-    Sim.Executor.run ~seed:9
+    run ~seed:9
       ~scheduler:(Sched.Scheduler.zipf ~n ~alpha:1.5)
       ~n ~stop:(Steps 600_000) c.spec
   in
@@ -205,7 +215,7 @@ let test_seed_robustness () =
     List.map
       (fun seed ->
         let c = Scu.Counter.make ~n:8 in
-        let r = Sim.Executor.run ~seed ~scheduler:uniform ~n:8 ~stop:(Steps 400_000) c.spec in
+        let r = run ~seed ~scheduler:uniform ~n:8 ~stop:(Steps 400_000) c.spec in
         Sim.Metrics.mean_system_latency r.metrics)
       [ 1; 2; 3; 4; 5 ]
   in
@@ -227,7 +237,7 @@ let test_game_chain_sim_triangle () =
   in
   let sim =
     let c = Scu.Counter.make ~n in
-    let r = Sim.Executor.run ~seed:13 ~scheduler:uniform ~n ~stop:(Steps 800_000) c.spec in
+    let r = run ~seed:13 ~scheduler:uniform ~n ~stop:(Steps 800_000) c.spec in
     Sim.Metrics.mean_system_latency r.metrics
   in
   within ~tol:0.03 "game vs chain" exact game;

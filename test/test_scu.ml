@@ -10,7 +10,17 @@ open Core
 let uniform = Sched.Scheduler.uniform
 
 let run ?seed ?crash_plan ?max_steps ~n ~stop spec =
-  Sim.Executor.run ?seed ?crash_plan ?max_steps ~scheduler:uniform ~n ~stop spec
+  let open Sim.Executor.Config in
+  let config =
+    default
+    |> with_seed (Option.value seed ~default:default.seed)
+    |> with_faults
+         (match crash_plan with
+         | None -> Sched.Fault_plan.none
+         | Some p -> Sched.Fault_plan.of_crash_plan p)
+    |> with_max_steps (Option.value max_steps ~default:default.max_steps)
+  in
+  Sim.Executor.exec ~config ~scheduler:uniform ~n ~stop spec
 
 (* -- CAS counter ---------------------------------------------------- *)
 
@@ -56,7 +66,7 @@ let test_counter_lockfree_under_starver () =
   let n = 4 in
   let c = Scu.Counter.make ~n in
   let r =
-    Sim.Executor.run
+    Sim.Executor.exec
       ~scheduler:(Sched.Scheduler.starver ~victim:0)
       ~n ~stop:(Steps 10_000) c.spec
   in
@@ -332,7 +342,7 @@ let test_rcu_readers_wait_free () =
      (readers never contend). *)
   let r = Scu.Rcu.make ~n:3 ~readers:2 ~block_size:4 in
   let res =
-    Sim.Executor.run
+    Sim.Executor.exec
       ~scheduler:(Sched.Scheduler.starver ~victim:2)
       ~n:3 ~stop:(Steps 20_000) r.spec
   in
@@ -379,7 +389,7 @@ let test_of_livelocks_under_round_robin () =
   let n = 2 in
   let c = Scu.Obstruction_free.make ~n in
   let r =
-    Sim.Executor.run
+    Sim.Executor.exec
       ~scheduler:(Sched.Scheduler.round_robin ())
       ~n ~stop:(Steps 50_000) c.spec
   in
@@ -389,7 +399,7 @@ let test_of_progresses_with_isolation () =
   let n = 4 in
   let c = Scu.Obstruction_free.make ~n in
   let r =
-    Sim.Executor.run
+    Sim.Executor.exec
       ~scheduler:(Sched.Scheduler.quantum ~length:((2 * n) + 2))
       ~n ~stop:(Steps 100_000) c.spec
   in
@@ -410,8 +420,9 @@ let test_of_progresses_under_uniform () =
   let n = 3 in
   let c = Scu.Obstruction_free.make ~n in
   let r =
-    Sim.Executor.run ~seed:3 ~scheduler:Sched.Scheduler.uniform ~n
-      ~stop:(Steps 300_000) c.spec
+    Sim.Executor.exec
+      ~config:Sim.Executor.Config.(default |> with_seed 3)
+      ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 300_000) c.spec
   in
   Alcotest.(check bool) "stochastic progress" true
     (Sim.Metrics.total_completions r.metrics > 100)
@@ -464,7 +475,11 @@ let test_wf_universal_helps_starved_victim () =
   let sched =
     Sched.Scheduler.with_weak_fairness ~theta:0.02 (Sched.Scheduler.starver ~victim:0)
   in
-  let r = Sim.Executor.run ~seed:5 ~scheduler:sched ~n:4 ~stop:(Steps 300_000) u.spec in
+  let r =
+    Sim.Executor.exec
+      ~config:Sim.Executor.Config.(default |> with_seed 5)
+      ~scheduler:sched ~n:4 ~stop:(Steps 300_000) u.spec
+  in
   Alcotest.(check bool) "victim helped" true
     (Sim.Metrics.completions_of r.metrics 0 > 100)
 
@@ -531,7 +546,7 @@ let test_waitfree_counter_bounded_individual_progress () =
   let n = 4 in
   let w = Scu.Waitfree_counter.make ~n in
   let r =
-    Sim.Executor.run
+    Sim.Executor.exec
       ~scheduler:(Sched.Scheduler.with_weak_fairness ~theta:0.02
                     (Sched.Scheduler.starver ~victim:0))
       ~n ~stop:(Steps 400_000) w.spec
@@ -551,10 +566,10 @@ let test_lockfree_starved_process_stalls_in_contrast () =
     Sched.Scheduler.with_weak_fairness ~theta:0.02 (Sched.Scheduler.starver ~victim:0)
   in
   let rc =
-    Sim.Executor.run ~scheduler:(sched ()) ~n ~stop:(Steps 400_000) c.spec
+    Sim.Executor.exec ~scheduler:(sched ()) ~n ~stop:(Steps 400_000) c.spec
   in
   let rw =
-    Sim.Executor.run ~scheduler:(sched ()) ~n ~stop:(Steps 400_000) w.spec
+    Sim.Executor.exec ~scheduler:(sched ()) ~n ~stop:(Steps 400_000) w.spec
   in
   let lf = Sim.Metrics.completions_of rc.metrics 0 in
   let wf = Sim.Metrics.completions_of rw.metrics 0 in

@@ -5,6 +5,15 @@ open Core
 
 let rng () = Stats.Rng.create ~seed:42
 
+(* The deprecated [Executor.run] wrapper keeps explicit coverage: the
+   legacy [?crash_plan] argument and the wrapper's validation messages
+   must stay byte-identical until the wrapper is deleted. *)
+module Legacy = struct
+  [@@@ocaml.alert "-deprecated"]
+
+  let run = Sim.Executor.run
+end
+
 (* -- Memory ------------------------------------------------------- *)
 
 let test_memory_ops () =
@@ -67,7 +76,8 @@ let test_steps_accounting () =
   let n = 4 in
   let _, spec = private_counter_spec ~n ~q:1 in
   let r =
-    Sim.Executor.run ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 10_000) spec
+    Sim.Executor.exec ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 10_000)
+      spec
   in
   Alcotest.(check int) "time = requested steps" 10_000 (Sim.Metrics.time r.metrics);
   let total_proc_steps =
@@ -79,7 +89,8 @@ let test_completions_counted () =
   let n = 3 in
   let cells, spec = private_counter_spec ~n ~q:2 in
   let r =
-    Sim.Executor.run ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Completions 300) spec
+    Sim.Executor.exec ~scheduler:Sched.Scheduler.uniform ~n
+      ~stop:(Completions 300) spec
   in
   Alcotest.(check bool) "reached target" true
     (Sim.Metrics.total_completions r.metrics >= 300);
@@ -98,8 +109,10 @@ let test_determinism () =
   let run () =
     let _, spec = private_counter_spec ~n:5 ~q:3 in
     let r =
-      Sim.Executor.run ~seed:123 ~trace:true ~scheduler:Sched.Scheduler.uniform ~n:5
-        ~stop:(Steps 5_000) spec
+      Sim.Executor.exec
+        ~config:
+          Sim.Executor.Config.(default |> with_seed 123 |> with_trace true)
+        ~scheduler:Sched.Scheduler.uniform ~n:5 ~stop:(Steps 5_000) spec
     in
     ( Sim.Metrics.total_completions r.metrics,
       Sched.Trace.to_array (Option.get r.trace) )
@@ -115,7 +128,7 @@ let test_round_robin_exact () =
   let n = 4 in
   let _, spec = private_counter_spec ~n ~q:1 in
   let r =
-    Sim.Executor.run
+    Sim.Executor.exec
       ~scheduler:(Sched.Scheduler.round_robin ())
       ~n ~stop:(Steps 8_000) spec
   in
@@ -132,10 +145,14 @@ let test_round_robin_exact () =
 let test_crash_removes_process () =
   let n = 4 in
   let _, spec = private_counter_spec ~n ~q:1 in
-  let crash_plan = Sched.Crash_plan.of_list [ (1_000, 0); (2_000, 1) ] in
   let r =
-    Sim.Executor.run ~trace:true ~crash_plan ~scheduler:Sched.Scheduler.uniform ~n
-      ~stop:(Steps 50_000) spec
+    Sim.Executor.exec
+      ~config:
+        Sim.Executor.Config.(
+          default |> with_trace true
+          |> with_faults
+               (Sched.Fault_plan.of_crash_events [ (1_000, 0); (2_000, 1) ]))
+      ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 50_000) spec
   in
   Alcotest.(check bool) "p0 crashed" true r.crashed.(0);
   Alcotest.(check bool) "p1 crashed" true r.crashed.(1);
@@ -157,7 +174,7 @@ let test_all_crash_rejected () =
   Alcotest.check_raises "crash plan killing everyone rejected"
     (Invalid_argument "Executor.run: crash plan: all processes would crash") (fun () ->
       ignore
-        (Sim.Executor.run
+        (Legacy.run
            ~crash_plan:(Sched.Crash_plan.of_list [ (10, 0); (20, 1) ])
            ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 100) spec))
 
@@ -171,11 +188,14 @@ let test_fault_crash_only_equiv () =
     let c = Scu.Counter.make ~n:4 in
     let r =
       if use_fault_plan then
-        Sim.Executor.run ~seed:7 ~trace:true
-          ~fault_plan:(Sched.Fault_plan.of_crash_events events)
+        Sim.Executor.exec
+          ~config:
+            Sim.Executor.Config.(
+              default |> with_seed 7 |> with_trace true
+              |> with_faults (Sched.Fault_plan.of_crash_events events))
           ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 20_000) c.spec
       else
-        Sim.Executor.run ~seed:7 ~trace:true
+        Legacy.run ~seed:7 ~trace:true
           ~crash_plan:(Sched.Crash_plan.of_list events)
           ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 20_000) c.spec
     in
@@ -199,7 +219,9 @@ let test_restart_revives_process () =
       [ (500, Sched.Fault_plan.Crash 0); (1_500, Sched.Fault_plan.Restart 0) ]
   in
   let r =
-    Sim.Executor.run ~trace:true ~fault_plan:plan
+    Sim.Executor.exec
+      ~config:
+        Sim.Executor.Config.(default |> with_trace true |> with_faults plan)
       ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 5_000) spec
   in
   Alcotest.(check (array int)) "one restart of p0" [| 1; 0; 0 |] r.restarts;
@@ -220,7 +242,9 @@ let test_stall_window_is_temporary () =
   let _, spec = private_counter_spec ~n ~q:1 in
   let plan = Sched.Fault_plan.make [ (100, Sched.Fault_plan.Stall (0, 400)) ] in
   let r =
-    Sim.Executor.run ~trace:true ~fault_plan:plan
+    Sim.Executor.exec
+      ~config:
+        Sim.Executor.Config.(default |> with_trace true |> with_faults plan)
       ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 2_000) spec
   in
   Alcotest.(check bool) "never crashed" true (Array.for_all not r.crashed);
@@ -244,8 +268,9 @@ let test_all_stalled_idles_then_resumes () =
       [ (0, Sched.Fault_plan.Stall (0, 100)); (0, Sched.Fault_plan.Stall (1, 100)) ]
   in
   let r =
-    Sim.Executor.run ~fault_plan:plan ~scheduler:Sched.Scheduler.uniform ~n
-      ~stop:(Steps 1_000) spec
+    Sim.Executor.exec
+      ~config:Sim.Executor.Config.(default |> with_faults plan)
+      ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps 1_000) spec
   in
   Alcotest.(check bool) "not stopped early" false r.stopped_early;
   Alcotest.(check int) "clock ran to the target" 1_000 (Sim.Metrics.time r.metrics);
@@ -270,8 +295,12 @@ let test_all_dead_stops_early_with_partial_metrics () =
   in
   let spec = { Sim.Executor.name = "bounded"; memory; program } in
   let r =
-    Sim.Executor.run
-      ~fault_plan:(Sched.Fault_plan.make [ (3, Sched.Fault_plan.Crash 0) ])
+    Sim.Executor.exec
+      ~config:
+        Sim.Executor.Config.(
+          default
+          |> with_faults
+               (Sched.Fault_plan.make [ (3, Sched.Fault_plan.Crash 0) ]))
       ~scheduler:(Sched.Scheduler.round_robin ())
       ~n:2 ~stop:(Steps 100_000) spec
   in
@@ -289,11 +318,17 @@ let test_choose_none_stops_at_frontier () =
      plan: the run stops where the callback said, with the crash
      already applied. *)
   let _, spec = private_counter_spec ~n:2 ~q:1 in
-  let crash_plan = Sched.Crash_plan.of_list [ (5, 1) ] in
   let r =
-    Sim.Executor.run ~crash_plan
-      ~choose:(fun ~alive ~time ->
-        if time >= 10 then None else Some (if alive.(1) then time mod 2 else 0))
+    Sim.Executor.exec
+      ~config:
+        Sim.Executor.Config.(
+          default
+          |> with_faults
+               (Sched.Fault_plan.of_crash_plan
+                  (Sched.Crash_plan.of_list [ (5, 1) ]))
+          |> with_choose (fun ~alive ~time ->
+                 if time >= 10 then None
+                 else Some (if alive.(1) then time mod 2 else 0)))
       ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 1_000) spec
   in
   Alcotest.(check bool) "stopped early" true r.stopped_early;
@@ -323,8 +358,12 @@ let test_pending_preserved_for_crashed_casget () =
   in
   let spec = { Sim.Executor.name = "casget"; memory; program } in
   let r =
-    Sim.Executor.run
-      ~fault_plan:(Sched.Fault_plan.make [ (2, Sched.Fault_plan.Crash 0) ])
+    Sim.Executor.exec
+      ~config:
+        Sim.Executor.Config.(
+          default
+          |> with_faults
+               (Sched.Fault_plan.make [ (2, Sched.Fault_plan.Crash 0) ]))
       ~scheduler:(Sched.Scheduler.round_robin ())
       ~n:2 ~stop:(Steps 100) spec
   in
@@ -341,7 +380,9 @@ let test_spurious_cas_slows_but_stays_correct () =
       else Sched.Fault_plan.none
     in
     let r =
-      Sim.Executor.run ~seed:11 ~fault_plan:plan
+      Sim.Executor.exec
+        ~config:
+          Sim.Executor.Config.(default |> with_seed 11 |> with_faults plan)
         ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 30_000) c.spec
     in
     (r, Scu.Counter.value c c.spec.memory)
@@ -369,10 +410,16 @@ let test_fault_plan_all_crash_rejected () =
        "Executor.run: fault plan: all processes would crash permanently")
     (fun () ->
       ignore
-        (Sim.Executor.run
-           ~fault_plan:
-             (Sched.Fault_plan.make
-                [ (10, Sched.Fault_plan.Crash 0); (20, Sched.Fault_plan.Crash 1) ])
+        (Sim.Executor.exec
+           ~config:
+             Sim.Executor.Config.(
+               default
+               |> with_faults
+                    (Sched.Fault_plan.make
+                       [
+                         (10, Sched.Fault_plan.Crash 0);
+                         (20, Sched.Fault_plan.Crash 1);
+                       ]))
            ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 100) spec))
 
 (* -- Termination -------------------------------------------------- *)
@@ -390,7 +437,8 @@ let test_terminated_processes_leave () =
   in
   let spec = { Sim.Executor.name = "bounded"; memory; program } in
   let r =
-    Sim.Executor.run ~scheduler:Sched.Scheduler.uniform ~n:3 ~stop:(Steps 100_000) spec
+    Sim.Executor.exec ~scheduler:Sched.Scheduler.uniform ~n:3
+      ~stop:(Steps 100_000) spec
   in
   Alcotest.(check bool) "stopped early" true r.stopped_early;
   Alcotest.(check int) "exactly 30 ops" 30 (Sim.Metrics.total_completions r.metrics);
@@ -430,12 +478,17 @@ let test_scheduler_cannot_pick_dead () =
       theta = 0.;
       stateful = false;
       pick = (fun ~rng:_ ~alive:_ ~time:_ -> 1);
+      fill = None;
     }
   in
-  let crash_plan = Sched.Crash_plan.of_list [ (5, 1) ] in
+  let fault_plan =
+    Sched.Fault_plan.of_crash_plan (Sched.Crash_plan.of_list [ (5, 1) ])
+  in
   (try
      ignore
-       (Sim.Executor.run ~crash_plan ~scheduler:evil ~n:2 ~stop:(Steps 100) spec);
+       (Sim.Executor.exec
+          ~config:Sim.Executor.Config.(default |> with_faults fault_plan)
+          ~scheduler:evil ~n:2 ~stop:(Steps 100) spec);
      Alcotest.fail "expected executor to reject dead pick"
    with Invalid_argument msg ->
      Alcotest.(check bool) "error mentions dead process" true
@@ -446,14 +499,16 @@ let test_invariant_hook_runs () =
   let calls = ref 0 in
   let _, spec = private_counter_spec ~n:2 ~q:1 in
   ignore
-    (Sim.Executor.run
-       ~invariant:(fun mem ~time ->
-         incr calls;
-         (* The monitored cell count never shrinks. *)
-         if Sim.Memory.used mem < 2 then failwith "memory shrank";
-         ignore time)
-       ~invariant_interval:100 ~scheduler:Sched.Scheduler.uniform ~n:2
-       ~stop:(Steps 1_000) spec);
+    (Sim.Executor.exec
+       ~config:
+         Sim.Executor.Config.(
+           default
+           |> with_invariant ~interval:100 (fun mem ~time ->
+                  incr calls;
+                  (* The monitored cell count never shrinks. *)
+                  if Sim.Memory.used mem < 2 then failwith "memory shrank";
+                  ignore time))
+       ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 1_000) spec);
   (* Every 100 steps plus the final call. *)
   Alcotest.(check int) "invariant called" 11 !calls
 
@@ -461,10 +516,13 @@ let test_invariant_failure_surfaces () =
   let _, spec = private_counter_spec ~n:2 ~q:1 in
   Alcotest.check_raises "raises from the hook" (Failure "broken") (fun () ->
       ignore
-        (Sim.Executor.run
-           ~invariant:(fun _ ~time -> if time >= 300 then failwith "broken")
-           ~invariant_interval:100 ~scheduler:Sched.Scheduler.uniform ~n:2
-           ~stop:(Steps 1_000) spec))
+        (Sim.Executor.exec
+           ~config:
+             Sim.Executor.Config.(
+               default
+               |> with_invariant ~interval:100 (fun _ ~time ->
+                      if time >= 300 then failwith "broken"))
+           ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 1_000) spec))
 
 let test_invariant_treiber_wellformed_throughout () =
   (* The stack's top chain must be a valid, acyclic, null-terminated
@@ -482,7 +540,9 @@ let test_invariant_treiber_wellformed_throughout () =
     walk (Sim.Memory.get mem s.top)
   in
   ignore
-    (Sim.Executor.run ~invariant:check ~invariant_interval:97
+    (Sim.Executor.exec
+       ~config:
+         Sim.Executor.Config.(default |> with_invariant ~interval:97 check)
        ~scheduler:Sched.Scheduler.uniform ~n:6 ~stop:(Steps 100_000) s.spec)
 
 let test_program_exception_propagates () =
@@ -494,11 +554,16 @@ let test_program_exception_propagates () =
   in
   let spec = { Sim.Executor.name = "raiser"; memory; program } in
   Alcotest.check_raises "program failure surfaces" (Failure "boom") (fun () ->
-      ignore (Sim.Executor.run ~scheduler:Sched.Scheduler.uniform ~n:1 ~stop:(Steps 10) spec))
+      ignore
+        (Sim.Executor.exec ~scheduler:Sched.Scheduler.uniform ~n:1
+           ~stop:(Steps 10) spec))
 
 let test_zero_steps () =
   let _, spec = private_counter_spec ~n:2 ~q:1 in
-  let r = Sim.Executor.run ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 0) spec in
+  let r =
+    Sim.Executor.exec ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 0)
+      spec
+  in
   Alcotest.(check int) "no time passes" 0 (Sim.Metrics.time r.metrics);
   Alcotest.(check int) "no completions" 0 (Sim.Metrics.total_completions r.metrics)
 
@@ -506,7 +571,10 @@ let test_single_process_counter_exact () =
   (* One process, no contention: the CAS counter completes exactly one
      operation per 2 steps. *)
   let c = Scu.Counter.make ~n:1 in
-  let r = Sim.Executor.run ~scheduler:Sched.Scheduler.uniform ~n:1 ~stop:(Steps 1_000) c.spec in
+  let r =
+    Sim.Executor.exec ~scheduler:Sched.Scheduler.uniform ~n:1
+      ~stop:(Steps 1_000) c.spec
+  in
   Alcotest.(check int) "steps/2 completions" 500 (Sim.Metrics.total_completions r.metrics)
 
 (* -- Model-based memory property ------------------------------------ *)

@@ -482,6 +482,46 @@ let test_bench_json () =
            (fun c -> Option.bind (Json.member "label" c) Json.to_str |> Option.get)
            cells)
 
+let test_bench_load_roundtrip () =
+  let doc =
+    Bench.make ~now:1754400000. ~version:"test-version" ~quick:false ~seed:3
+      ~repeat:5
+      [
+        {
+          Bench.id = "microbench";
+          title = "Microbench";
+          cells =
+            [
+              { Bench.label = "interp:n=64"; seconds = 1.2 };
+              { Bench.label = "compiled:n=64"; seconds = 0.1 };
+            ];
+          total = 1.3;
+        };
+      ]
+  in
+  (match Bench.of_json (Bench.to_json doc) with
+  | Error msg -> Alcotest.fail msg
+  | Ok back -> Alcotest.(check bool) "of_json inverts to_json" true (back = doc));
+  let file = Filename.temp_file "bench-load" ".json" in
+  Bench.write ~file doc;
+  (match Bench.load ~file with
+  | Error msg -> Alcotest.fail msg
+  | Ok back ->
+      Alcotest.(check bool) "load inverts write" true (back = doc);
+      Alcotest.(check (option (float 1e-9)))
+        "cell_seconds finds a cell" (Some 0.1)
+        (Bench.cell_seconds back ~id:"microbench" ~label:"compiled:n=64");
+      Alcotest.(check (option (float 1e-9)))
+        "cell_seconds misses cleanly" None
+        (Bench.cell_seconds back ~id:"microbench" ~label:"nope"));
+  Sys.remove file;
+  (match Bench.of_json (Json.Obj [ ("schema", Json.Str "other/9") ]) with
+  | Ok _ -> Alcotest.fail "accepted a foreign schema"
+  | Error _ -> ());
+  match Bench.load ~file:"/nonexistent/bench.json" with
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+  | Error _ -> ()
+
 (* ---------------------------------------------------------------- *)
 (* Cache counters and corruption                                    *)
 (* ---------------------------------------------------------------- *)
@@ -613,7 +653,11 @@ let () =
           Alcotest.test_case "mkdir_p fails fast" `Quick test_mkdir_p_fails_fast;
           Alcotest.test_case "write_atomic" `Quick test_write_atomic;
         ] );
-      ("bench", [ Alcotest.test_case "bench json" `Quick test_bench_json ]);
+      ( "bench",
+        [
+          Alcotest.test_case "bench json" `Quick test_bench_json;
+          Alcotest.test_case "load roundtrip" `Quick test_bench_load_roundtrip;
+        ] );
       ( "cache",
         [
           Alcotest.test_case "counters + corruption" `Quick
