@@ -1124,6 +1124,369 @@ let chaos_cmd =
        $ trials_arg $ quick $ expect_bug_flag $ no_sweep_flag
        $ no_manifest_flag $ replay_arg $ mix_arg $ chaos_out_arg))
 
+(* `repro load` / `repro serve`: the live SCU service and its load
+   generator.  Millions of simulated client sessions are multiplexed
+   over sharded server simulations (one executor run per shard, fanned
+   over the domain pool); latency is measured in simulated steps, so
+   stdout and the --out manifest depend only on the configuration and
+   seed — never on the pool size or wall clock.  `load` is one batch
+   run (optionally with the SLO n-sweep gates); `serve` is a windowed
+   soak emitting one JSONL manifest line per window. *)
+module Load_cli = struct
+  let structures_arg =
+    Arg.(
+      value & opt string "counter"
+      & info [ "structure"; "structures" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated structure zoo: $(b,counter), $(b,treiber), \
+             $(b,msqueue), $(b,elimination-stack), $(b,waitfree-counter), or \
+             $(b,all).  Clients round-robin over the zoo.")
+
+  let clients_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Total simulated client sessions (default 100000).")
+
+  let ops_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "ops" ] ~docv:"K" ~doc:"Requests per client session (default 1).")
+
+  let workers_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Server processes per shard (default 8).")
+
+  let shards_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Independent server shards; client c belongs to shard c mod N \
+             (default 8).  The result does not depend on how shards are \
+             scheduled over the pool.")
+
+  let mode_arg =
+    Arg.(
+      value & opt string "closed"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,closed) (think-time loop, at most one outstanding request \
+             per client; default) or $(b,open) (arrivals at the sampled rate \
+             regardless of service — the queue may build without bound).")
+
+  let think_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "think" ] ~docv:"STEPS"
+          ~doc:
+            "Closed loop: mean think time in steps between a completion and \
+             the client's next request (exponential; default 0).")
+
+  let arrival_arg =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrival" ] ~docv:"KIND"
+          ~doc:
+            "Open loop arrival process: $(b,poisson) (default) or $(b,bursty) \
+             (on/off bursts).")
+
+  let rate_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Open loop: per-client arrival rate in requests per step \
+             (default 0.02).")
+
+  let burst_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "burst" ] ~docv:"N"
+          ~doc:"Bursty arrivals: requests per burst (default 8).")
+
+  let idle_arg =
+    Arg.(
+      value & opt float 200.
+      & info [ "idle" ] ~docv:"STEPS"
+          ~doc:"Bursty arrivals: mean idle gap between bursts (default 200).")
+
+  let alpha_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:
+            "Zipf popularity exponent over the objects (0 = uniform; default \
+             1.1).")
+
+  let objects_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "objects" ] ~docv:"N"
+          ~doc:"Object instances per structure kind per shard (default 64).")
+
+  let out_arg =
+    Flags.out ~docv:"FILE"
+      ~doc:
+        "Write the JSON manifest to $(docv) (atomic; `serve` appends one \
+         compact JSONL line per window instead)."
+
+  let parse_kinds s =
+    if s = "all" then Ok Load.Engine.all_kinds
+    else
+      let names = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
+      if names = [] then Error "need at least one structure"
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | n :: rest -> (
+              match Load.Engine.kind_of_name n with
+              | Ok k -> go (k :: acc) rest
+              | Error msg -> Error msg)
+        in
+        go [] names
+
+  let parse_mode ~mode ~think ~arrival ~rate ~burst ~idle =
+    match mode with
+    | "closed" -> Ok (Load.Workload.Closed { think })
+    | "open" -> (
+        match arrival with
+        | "poisson" -> Ok (Load.Workload.Open (Poisson { rate }))
+        | "bursty" -> Ok (Load.Workload.Open (Bursty { rate; burst; idle }))
+        | a -> Error ("unknown --arrival: " ^ a))
+    | m -> Error ("unknown --mode: " ^ m)
+
+  let config ~structures ~clients ~ops ~workers ~shards ~mode ~think ~arrival
+      ~rate ~burst ~idle ~alpha ~objects ~seed =
+    match (parse_kinds structures, parse_mode ~mode ~think ~arrival ~rate ~burst ~idle) with
+    | Error msg, _ | _, Error msg -> Error msg
+    | Ok kinds, Ok mode -> (
+        let cfg =
+          {
+            Load.Engine.default with
+            kinds;
+            objects;
+            clients;
+            ops_per_client = ops;
+            workers;
+            shards;
+            mode;
+            alpha;
+            seed;
+          }
+        in
+        match Load.Engine.validate cfg with
+        | Ok () -> Ok cfg
+        | Error msg -> Error msg)
+end
+
+let load_cmd =
+  let doc =
+    "Hammer the simulated SCU service with a seeded load-generator batch and \
+     report tail latencies (optionally gated against the O(n(q+s sqrt n)) \
+     prediction)."
+  in
+  let slo_flag =
+    Arg.(
+      value & flag
+      & info [ "slo" ]
+          ~doc:
+            "Also run the tail-latency SLO n-sweep for every SCU-classified \
+             structure in the zoo and attach the gates to the report.")
+  in
+  let ns_arg =
+    Arg.(
+      value & opt string "2,4,8"
+      & info [ "ns" ] ~docv:"N,N,..."
+          ~doc:"Worker counts for the SLO sweep (ascending; default 2,4,8).")
+  in
+  let slo_requests_arg =
+    Arg.(
+      value & opt int 40_000
+      & info [ "slo-requests" ] ~docv:"N"
+          ~doc:"Approximate requests per SLO sweep cell (default 40000).")
+  in
+  let expect_pass_flag =
+    Arg.(
+      value & flag
+      & info [ "expect-pass" ]
+          ~doc:
+            "Exit non-zero unless every SLO gate passed (requires --slo) — \
+             the CI mode.")
+  in
+  let run structures clients ops workers shards mode think arrival rate burst
+      idle alpha objects seed jobs no_progress out slo ns slo_requests
+      expect_pass =
+    match
+      Load_cli.config ~structures ~clients ~ops ~workers ~shards ~mode ~think
+        ~arrival ~rate ~burst ~idle ~alpha ~objects ~seed
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok _ when expect_pass && not slo ->
+        `Error (false, "--expect-pass requires --slo")
+    | Ok cfg -> (
+        let ns =
+          try
+            List.map int_of_string
+              (List.filter
+                 (fun x -> x <> "")
+                 (String.split_on_char ',' ns))
+          with Failure _ -> []
+        in
+        if slo && List.length ns < 2 then
+          `Error (false, "--ns needs at least two worker counts")
+        else if jobs < 1 then `Error (false, "-j must be at least 1")
+        else if slo_requests < 1 then
+          `Error (false, "--slo-requests must be positive")
+        else begin
+          let t0 = now () in
+          let result =
+            Pool.with_pool ~size:jobs (fun pool ->
+                Load.Engine.run ~pool cfg)
+          in
+          if not no_progress then
+            Printf.eprintf "[load] %d request(s) in %.2fs (j=%d)\n%!"
+              result.requests (now () -. t0) jobs;
+          let gates =
+            if not slo then None
+            else
+              Some
+                (List.concat_map
+                   (fun kind ->
+                     match Load.Slo.params_of_kind kind with
+                     | None ->
+                         [
+                           Check.Conform.gate
+                             ("slo-" ^ Load.Engine.kind_name kind
+                            ^ "-unclassified")
+                             true
+                             "no SCU(q, s) classification (helping scan is \
+                              Theta(n) per attempt); not gated";
+                         ]
+                     | Some _ ->
+                         let t1 = now () in
+                         let s =
+                           Load.Slo.run ~ns
+                             ~requests_per_point:slo_requests ~kind ~seed ()
+                         in
+                         if not no_progress then
+                           Printf.eprintf "[slo] %s sweep in %.2fs\n%!"
+                             (Load.Engine.kind_name kind)
+                             (now () -. t1);
+                         s.gates)
+                   cfg.kinds)
+          in
+          let report = Load.Report.of_result ?slo:gates result in
+          print_string (Load.Report.render report);
+          Option.iter
+            (fun file ->
+              Telemetry.Load_report.write ~file report;
+              Printf.eprintf "manifest: %s\n%!" file)
+            out;
+          let gates_failed =
+            match gates with
+            | None -> 0
+            | Some gs ->
+                List.length
+                  (List.filter
+                     (fun (g : Check.Conform.gate) -> not g.passed)
+                     gs)
+          in
+          (match gates with
+          | Some gs ->
+              Printf.printf "load: %d SLO gate(s), %d failed\n"
+                (List.length gs) gates_failed
+          | None -> ());
+          if result.stopped_early then
+            Printf.eprintf
+              "load: WARNING: a shard hit its step budget before finishing\n%!";
+          if expect_pass && (gates_failed > 0 || result.stopped_early) then
+            exit 1;
+          `Ok ()
+        end)
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      ret
+        (const run $ Load_cli.structures_arg $ Load_cli.clients_arg
+       $ Load_cli.ops_arg $ Load_cli.workers_arg $ Load_cli.shards_arg
+       $ Load_cli.mode_arg $ Load_cli.think_arg $ Load_cli.arrival_arg
+       $ Load_cli.rate_arg $ Load_cli.burst_arg $ Load_cli.idle_arg
+       $ Load_cli.alpha_arg $ Load_cli.objects_arg $ seed_arg $ jobs_arg
+       $ progress_flag $ Load_cli.out_arg $ slo_flag $ ns_arg
+       $ slo_requests_arg $ expect_pass_flag))
+
+let serve_cmd =
+  let doc =
+    "Run the SCU service as a windowed soak: consecutive seeded load windows \
+     with one summary block and one JSONL manifest line per window."
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "windows" ] ~docv:"N"
+          ~doc:"Load windows to serve (default 5); window w derives its seed \
+                from the base seed and w.")
+  in
+  let run structures clients ops workers shards mode think arrival rate burst
+      idle alpha objects seed jobs no_progress out windows =
+    match
+      Load_cli.config ~structures ~clients ~ops ~workers ~shards ~mode ~think
+        ~arrival ~rate ~burst ~idle ~alpha ~objects ~seed
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok cfg ->
+        if windows < 1 then `Error (false, "--windows must be at least 1")
+        else if jobs < 1 then `Error (false, "-j must be at least 1")
+        else begin
+          let oc =
+            Option.map
+              (fun file ->
+                (match Filename.dirname file with
+                | "" | "." -> ()
+                | dir -> Telemetry.Fsutil.mkdir_p dir);
+                open_out file)
+              out
+          in
+          Pool.with_pool ~size:jobs (fun pool ->
+              for w = 0 to windows - 1 do
+                let t0 = now () in
+                let cfg_w =
+                  { cfg with Load.Engine.seed = Load.Workload.mix seed w }
+                in
+                let result = Load.Engine.run ~pool cfg_w in
+                if not no_progress then
+                  Printf.eprintf "[serve] window %d: %d request(s) in %.2fs\n%!"
+                    w result.requests (now () -. t0);
+                let report = Load.Report.of_result ~window:w result in
+                print_string (Load.Report.render report);
+                Option.iter
+                  (fun oc ->
+                    output_string oc
+                      (Telemetry.Load_report.to_string ~compact:true report);
+                    output_char oc '\n';
+                    flush oc)
+                  oc
+              done);
+          Option.iter close_out oc;
+          Option.iter
+            (fun file -> Printf.eprintf "manifest stream: %s\n%!" file)
+            out;
+          `Ok ()
+        end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ Load_cli.structures_arg $ Load_cli.clients_arg
+       $ Load_cli.ops_arg $ Load_cli.workers_arg $ Load_cli.shards_arg
+       $ Load_cli.mode_arg $ Load_cli.think_arg $ Load_cli.arrival_arg
+       $ Load_cli.rate_arg $ Load_cli.burst_arg $ Load_cli.idle_arg
+       $ Load_cli.alpha_arg $ Load_cli.objects_arg $ seed_arg $ jobs_arg
+       $ progress_flag $ Load_cli.out_arg $ windows_arg))
+
 let main =
   let doc =
     "Reproduction harness for 'Are Lock-Free Concurrent Algorithms Practically \
@@ -1131,6 +1494,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; bench_cmd; check_cmd; chaos_cmd ]
+    [ list_cmd; run_cmd; bench_cmd; check_cmd; chaos_cmd; load_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -209,6 +209,8 @@ let linearizability_gates ~budget ~seed =
         ("faa-counter", 3, 3);
         ("treiber", 3, 3);
         ("msqueue", 4, 2);
+        ("elimination-stack", 3, 3);
+        ("waitfree-counter", 3, 2);
       ]
   in
   let power =

@@ -25,6 +25,17 @@
 type gate = { name : string; passed : bool; detail : string }
 type report = { gates : gate list; passed : bool }
 
+val gate : string -> bool -> string -> gate
+(** [gate name passed detail] — bare constructor for gates whose
+    verdict is computed elsewhere (the load generator's SLO sweep
+    builds its gates in this format so every pass/fail surface in the
+    repository renders the same way). *)
+
+val rel_gate : string -> got:float -> want:float -> tol:float -> gate
+(** Relative-error gate: passes when
+    [|got - want| / |want| <= tol], with the standard
+    got/predicted/rel-err detail string. *)
+
 type budget = {
   steps : int;
   phases : int;

@@ -1,0 +1,400 @@
+module Memory = Sim.Memory
+module Program = Sim.Program
+module Hdr = Stats.Hdr
+
+type kind = Counter | Treiber | Msqueue | Elimination | Waitfree
+
+let all_kinds = [ Counter; Treiber; Msqueue; Elimination; Waitfree ]
+
+let kind_name = function
+  | Counter -> "counter"
+  | Treiber -> "treiber"
+  | Msqueue -> "msqueue"
+  | Elimination -> "elimination-stack"
+  | Waitfree -> "waitfree-counter"
+
+let kind_of_name s =
+  match List.find_opt (fun k -> kind_name k = s) all_kinds with
+  | Some k -> Ok k
+  | None ->
+      Error
+        (Printf.sprintf "unknown structure %S (known: %s)" s
+           (String.concat ", " (List.map kind_name all_kinds)))
+
+type config = {
+  kinds : kind list;
+  objects : int;
+  clients : int;
+  ops_per_client : int;
+  workers : int;
+  shards : int;
+  mode : Workload.mode;
+  alpha : float;
+  seed : int;
+  max_steps : int;
+}
+
+let default =
+  {
+    kinds = [ Counter ];
+    objects = 64;
+    clients = 10_000;
+    ops_per_client = 1;
+    workers = 8;
+    shards = 8;
+    mode = Workload.Closed { think = 0. };
+    alpha = 1.1;
+    seed = 0;
+    max_steps = 200_000_000;
+  }
+
+let validate cfg =
+  if cfg.kinds = [] then Error "need at least one structure"
+  else if cfg.objects < 1 then Error "need at least one object per structure"
+  else if cfg.clients < 0 then Error "clients must be non-negative"
+  else if cfg.ops_per_client < 1 then Error "need at least one op per client"
+  else if cfg.workers < 1 then Error "need at least one worker per shard"
+  else if cfg.shards < 1 then Error "need at least one shard"
+  else if cfg.alpha < 0. then Error "alpha must be non-negative"
+  else if cfg.max_steps < 1 then Error "max-steps must be positive"
+  else Workload.validate cfg.mode
+
+type shard_result = {
+  shard : int;
+  requests : int;
+  steps : int;
+  max_queue_depth : int;
+  stopped_early : bool;
+  latency : Hdr.t;
+  service : Hdr.t;
+  queue_wait : Hdr.t;
+  per_kind : (kind * Hdr.t) list;
+}
+
+type result = {
+  config : config;
+  shards : shard_result list;
+  requests : int;
+  steps_total : int;
+  steps_max : int;
+  stopped_early : bool;
+  latency : Hdr.t;
+  service : Hdr.t;
+  queue_wait : Hdr.t;
+  per_kind : (kind * Hdr.t) list;
+}
+
+(* One queued request.  [kind] indexes the config's kind list; every
+   random draw it embodies came from its own (seed, client, k) RNG, so
+   the record is the same whichever simulation path built it. *)
+type req = {
+  client : int;
+  k : int;
+  kind : int;
+  key : int;
+  push : bool;
+  arrival : int;
+}
+
+(* Host-level min-heap of future arrivals, keyed (arrival, client, k)
+   so ties break deterministically.  Bounded by one entry per client:
+   a session's next request is scheduled only when its predecessor is
+   dispatched (open loop) or completes (closed loop). *)
+module Rheap = struct
+  type t = { mutable a : req array; mutable len : int; dummy : req }
+
+  let create dummy = { a = Array.make 64 dummy; len = 0; dummy }
+
+  let less x y =
+    x.arrival < y.arrival
+    || (x.arrival = y.arrival
+       && (x.client < y.client || (x.client = y.client && x.k < y.k)))
+
+  let push t r =
+    if t.len = Array.length t.a then begin
+      let bigger = Array.make (2 * t.len) t.dummy in
+      Array.blit t.a 0 bigger 0 t.len;
+      t.a <- bigger
+    end;
+    t.a.(t.len) <- r;
+    t.len <- t.len + 1;
+    let i = ref (t.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      less t.a.(!i) t.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = t.a.(p) in
+      t.a.(p) <- t.a.(!i);
+      t.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek t = if t.len = 0 then None else Some t.a.(0)
+
+  let pop t =
+    let top = t.a.(0) in
+    t.len <- t.len - 1;
+    t.a.(0) <- t.a.(t.len);
+    t.a.(t.len) <- t.dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && less t.a.(l) t.a.(!smallest) then smallest := l;
+      if r < t.len && less t.a.(r) t.a.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = t.a.(!smallest) in
+        t.a.(!smallest) <- t.a.(!i);
+        t.a.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+(* Per-shard structure instances: [objects] of each configured kind,
+   all over the shard's one memory. *)
+type objset =
+  | OCounter of int array  (* register *)
+  | OTreiber of int array  (* top *)
+  | OMsqueue of (int * int) array  (* head, tail *)
+  | OElim of { tops : int array; slotss : int array array; elims : int array }
+  | OWf of { ptrs : int array; anns : int array; seqs : int array array }
+
+let build_objset memory ~workers ~objects = function
+  | Counter ->
+      OCounter (Array.init objects (fun _ -> Memory.alloc_init memory [| 0 |]))
+  | Treiber ->
+      OTreiber (Array.init objects (fun _ -> Memory.alloc_init memory [| 0 |]))
+  | Msqueue ->
+      OMsqueue
+        (Array.init objects (fun _ ->
+             let sentinel = Memory.alloc memory ~size:2 in
+             let head = Memory.alloc_init memory [| sentinel |] in
+             let tail = Memory.alloc_init memory [| sentinel |] in
+             (head, tail)))
+  | Elimination ->
+      let nslots = max 1 (workers / 4) in
+      OElim
+        {
+          tops = Array.init objects (fun _ -> Memory.alloc_init memory [| 0 |]);
+          slotss =
+            Array.init objects (fun _ ->
+                Array.init nslots (fun _ -> Memory.alloc_init memory [| 0 |]));
+          elims =
+            Array.init objects (fun _ -> Memory.alloc_init memory [| 0 |]);
+        }
+  | Waitfree ->
+      OWf
+        {
+          ptrs =
+            Array.init objects (fun _ ->
+                let first = Memory.alloc memory ~size:(workers + 1) in
+                Memory.alloc_init memory [| first |]);
+          anns = Array.init objects (fun _ -> Memory.alloc memory ~size:workers);
+          seqs = Array.init objects (fun _ -> Array.make workers 0);
+        }
+
+let run_shard cfg ~shard =
+  let kinds = Array.of_list cfg.kinds in
+  let nkinds = Array.length kinds in
+  let latency = Hdr.create () in
+  let service = Hdr.create () in
+  let queue_wait = Hdr.create () in
+  let per_kind = Array.init nkinds (fun _ -> Hdr.create ()) in
+  (* Clients with [c mod shards = shard]. *)
+  let nclients =
+    (cfg.clients / cfg.shards)
+    + (if shard < cfg.clients mod cfg.shards then 1 else 0)
+  in
+  let total = nclients * cfg.ops_per_client in
+  let empty_result ~steps ~stopped_early =
+    {
+      shard;
+      requests = Hdr.count latency;
+      steps;
+      max_queue_depth = 0;
+      stopped_early;
+      latency;
+      service;
+      queue_wait;
+      per_kind = List.mapi (fun i k -> (k, per_kind.(i))) cfg.kinds;
+    }
+  in
+  if total = 0 then empty_result ~steps:0 ~stopped_early:false
+  else begin
+    let memory = Memory.create ~capacity:4096 () in
+    let objsets =
+      Array.map (build_objset memory ~workers:cfg.workers ~objects:cfg.objects)
+        kinds
+    in
+    let cdf = Workload.zipf_cdf ~alpha:cfg.alpha ~n:cfg.objects in
+    let make_req ~client ~k ~base =
+      let rng = Workload.request_rng ~seed:cfg.seed ~client ~k in
+      let g = Workload.gap cfg.mode rng ~k in
+      let u = Stats.Rng.float rng 1.0 in
+      let push = Stats.Rng.bool rng in
+      {
+        client;
+        k;
+        kind = client / cfg.shards mod nkinds;
+        key = Workload.pick cdf u;
+        push;
+        arrival = base + g;
+      }
+    in
+    let dummy =
+      { client = -1; k = -1; kind = 0; key = 0; push = false; arrival = 0 }
+    in
+    let pending = Rheap.create dummy in
+    for i = 0 to nclients - 1 do
+      let client = shard + (i * cfg.shards) in
+      Rheap.push pending (make_req ~client ~k:0 ~base:0)
+    done;
+    let ready : req Queue.t = Queue.create () in
+    let max_depth = ref 0 in
+    let served = ref 0 in
+    let vref = ref 0 in
+    let next_value () =
+      incr vref;
+      !vref
+    in
+    let is_open = match cfg.mode with Workload.Open _ -> true | _ -> false in
+    let schedule_next ~base r =
+      if r.k + 1 < cfg.ops_per_client then
+        Rheap.push pending (make_req ~client:r.client ~k:(r.k + 1) ~base)
+    in
+    let drain now =
+      let continue = ref true in
+      while !continue do
+        match Rheap.peek pending with
+        | Some r when r.arrival <= now ->
+            ignore (Rheap.pop pending);
+            (* Open loop: the successor's arrival is independent of
+               service, so it is scheduled as soon as this request
+               reaches the queue. *)
+            if is_open then schedule_next ~base:r.arrival r;
+            Queue.add r ready;
+            if Queue.length ready > !max_depth then
+              max_depth := Queue.length ready
+        | _ -> continue := false
+      done
+    in
+    let exec_request (ctx : Program.ctx) r =
+      match objsets.(r.kind) with
+      | OCounter regs -> ignore (Scu.Counter.fetch_and_increment regs.(r.key))
+      | OTreiber tops ->
+          if r.push then
+            Scu.Treiber.push_op ~memory ~top:tops.(r.key) (next_value ())
+          else ignore (Scu.Treiber.pop_op ~top:tops.(r.key))
+      | OMsqueue hts ->
+          let head, tail = hts.(r.key) in
+          if r.push then Scu.Msqueue.enqueue_op ~memory ~tail (next_value ())
+          else ignore (Scu.Msqueue.dequeue_op ~head ~tail)
+      | OElim e ->
+          if r.push then
+            Scu.Elimination_stack.push_op ~memory ~top:e.tops.(r.key)
+              ~slots:e.slotss.(r.key) ~poll:2 ctx (next_value ())
+          else
+            ignore
+              (Scu.Elimination_stack.pop_op ~top:e.tops.(r.key)
+                 ~slots:e.slotss.(r.key) ~eliminated:e.elims.(r.key) ctx)
+      | OWf w ->
+          let sq = w.seqs.(r.key) in
+          sq.(ctx.id) <- sq.(ctx.id) + 1;
+          Scu.Waitfree_counter.incr_op ~memory ~pointer:w.ptrs.(r.key)
+            ~announce:w.anns.(r.key) ~n:ctx.n ~id:ctx.id ~seq:sq.(ctx.id)
+    in
+    let program (ctx : Program.ctx) =
+      let rec loop () =
+        if !served < total then begin
+          let now = Program.now () in
+          drain now;
+          match Queue.take_opt ready with
+          | None ->
+              (* Nothing dispatchable: burn one step polling so time
+                 advances towards the next arrival. *)
+              Program.yield_noop ();
+              loop ()
+          | Some r ->
+              let dispatch = now in
+              exec_request ctx r;
+              let fin = Program.now () in
+              Hdr.add latency (fin - r.arrival);
+              Hdr.add service (fin - dispatch);
+              Hdr.add queue_wait (dispatch - r.arrival);
+              Hdr.add per_kind.(r.kind) (fin - r.arrival);
+              incr served;
+              if not is_open then schedule_next ~base:fin r;
+              Program.complete ();
+              loop ()
+        end
+      in
+      loop ()
+    in
+    let spec = { Sim.Executor.name = "load-shard"; memory; program } in
+    let r =
+      Sim.Executor.exec
+        ~config:
+          Sim.Executor.Config.(
+            default
+            |> with_seed (Workload.mix cfg.seed (shard + 0x10AD))
+            |> with_max_steps cfg.max_steps)
+        ~scheduler:Sched.Scheduler.uniform ~n:cfg.workers
+        ~stop:(Completions total) spec
+    in
+    {
+      (empty_result ~steps:(Sim.Metrics.time r.metrics)
+         ~stopped_early:r.stopped_early)
+      with
+      max_queue_depth = !max_depth;
+    }
+  end
+
+let merge_shards cfg (shards : shard_result list) =
+  let latency = Hdr.create () in
+  let service = Hdr.create () in
+  let queue_wait = Hdr.create () in
+  let per_kind = List.map (fun k -> (k, Hdr.create ())) cfg.kinds in
+  List.iter
+    (fun (s : shard_result) ->
+      Hdr.merge_into ~into:latency s.latency;
+      Hdr.merge_into ~into:service s.service;
+      Hdr.merge_into ~into:queue_wait s.queue_wait;
+      List.iter2
+        (fun (_, into) (_, src) -> Hdr.merge_into ~into src)
+        per_kind s.per_kind)
+    shards;
+  {
+    config = cfg;
+    shards;
+    requests =
+      List.fold_left (fun acc (s : shard_result) -> acc + s.requests) 0 shards;
+    steps_total =
+      List.fold_left (fun acc (s : shard_result) -> acc + s.steps) 0 shards;
+    steps_max =
+      List.fold_left (fun acc (s : shard_result) -> max acc s.steps) 0 shards;
+    stopped_early =
+      List.exists (fun (s : shard_result) -> s.stopped_early) shards;
+    latency;
+    service;
+    queue_wait;
+    per_kind;
+  }
+
+let run ?pool cfg =
+  (match validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.run: " ^ msg));
+  let shards =
+    match pool with
+    | Some p when cfg.shards > 1 ->
+        Pool.run_init p cfg.shards (fun s -> run_shard cfg ~shard:s)
+    | _ -> List.init cfg.shards (fun s -> run_shard cfg ~shard:s)
+  in
+  merge_shards cfg shards

@@ -1,0 +1,76 @@
+(** The SCU service and its load generator.
+
+    A run simulates a server of [workers] processes per shard serving
+    the checkable structure zoo behind a request queue, hammered by
+    [clients] independent client sessions multiplexed over the shards.
+    Everything lives inside the discrete-step simulator: a request's
+    latency is measured in *simulated steps* (arrival to completion),
+    so the numbers are scheduler-model quantities — directly
+    comparable to the Markov-chain predictions — and every run is a
+    pure function of its configuration.
+
+    Sharding: client [c] belongs to shard [c mod shards]; each shard
+    is one independent executor run over its own memory and structure
+    instances, so shards can fan out over a {!Pool.t} of domains and
+    the merged result is byte-identical to the sequential one. *)
+
+type kind = Counter | Treiber | Msqueue | Elimination | Waitfree
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+(** [counter], [treiber], [msqueue], [elimination-stack],
+    [waitfree-counter] — the {!Scu.Checkable} names. *)
+
+val kind_of_name : string -> (kind, string) result
+
+type config = {
+  kinds : kind list;  (** Structure zoo; clients round-robin over it. *)
+  objects : int;  (** Instances per kind per shard (Zipf keyspace). *)
+  clients : int;  (** Total client sessions across all shards. *)
+  ops_per_client : int;  (** Requests per session. *)
+  workers : int;  (** Server processes per shard. *)
+  shards : int;
+  mode : Workload.mode;
+  alpha : float;  (** Zipf popularity exponent over the objects. *)
+  seed : int;
+  max_steps : int;  (** Per-shard safety net (sets [stopped_early]). *)
+}
+
+val default : config
+(** counter only, 64 objects, 10_000 clients x 1 op, 8 workers x 8
+    shards, closed loop with zero think time, alpha 1.1, seed 0. *)
+
+val validate : config -> (unit, string) result
+
+type shard_result = {
+  shard : int;
+  requests : int;  (** Requests completed by this shard. *)
+  steps : int;  (** Simulated steps the shard ran. *)
+  max_queue_depth : int;  (** High-water mark of the ready queue. *)
+  stopped_early : bool;  (** Hit [max_steps] before finishing. *)
+  latency : Stats.Hdr.t;  (** Arrival to completion, steps. *)
+  service : Stats.Hdr.t;  (** Dispatch to completion, steps. *)
+  queue_wait : Stats.Hdr.t;  (** Arrival to dispatch, steps. *)
+  per_kind : (kind * Stats.Hdr.t) list;  (** Latency by structure. *)
+}
+
+type result = {
+  config : config;
+  shards : shard_result list;  (** In shard order. *)
+  requests : int;
+  steps_total : int;  (** Sum over shards (serial step budget). *)
+  steps_max : int;  (** Slowest shard (parallel completion time). *)
+  stopped_early : bool;
+  latency : Stats.Hdr.t;
+  service : Stats.Hdr.t;
+  queue_wait : Stats.Hdr.t;
+  per_kind : (kind * Stats.Hdr.t) list;
+}
+
+val run_shard : config -> shard:int -> shard_result
+(** One shard's simulation — a pure function of [(config, shard)]. *)
+
+val run : ?pool:Pool.t -> config -> result
+(** All shards, fanned over [pool] when given (the result does not
+    depend on the pool's size), merged in shard order. *)

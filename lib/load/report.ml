@@ -1,0 +1,104 @@
+module Hdr = Stats.Hdr
+module LR = Telemetry.Load_report
+
+let quantiles h =
+  if Hdr.count h = 0 then
+    {
+      LR.count = 0;
+      min_value = 0;
+      max_value = 0;
+      mean = 0.;
+      p50 = 0;
+      p99 = 0;
+      p999 = 0;
+    }
+  else
+    {
+      LR.count = Hdr.count h;
+      min_value = Hdr.min_value h;
+      max_value = Hdr.max_value h;
+      mean = Hdr.mean h;
+      p50 = Hdr.p50 h;
+      p99 = Hdr.p99 h;
+      p999 = Hdr.p999 h;
+    }
+
+let of_result ?window ?slo (r : Engine.result) =
+  let cfg = r.config in
+  {
+    LR.structures = List.map Engine.kind_name cfg.kinds;
+    clients = cfg.clients;
+    ops_per_client = cfg.ops_per_client;
+    workers = cfg.workers;
+    shards = cfg.shards;
+    mode = Workload.mode_label cfg.mode;
+    arrival = Workload.arrival_label cfg.mode;
+    alpha = cfg.alpha;
+    seed = cfg.seed;
+    window;
+    requests = r.requests;
+    steps_total = r.steps_total;
+    steps_max = r.steps_max;
+    stopped_early = r.stopped_early;
+    throughput_per_kstep =
+      (if r.steps_max = 0 then 0.
+       else 1000. *. float_of_int r.requests /. float_of_int r.steps_max);
+    latency = quantiles r.latency;
+    service = quantiles r.service;
+    queue_wait = quantiles r.queue_wait;
+    per_kind =
+      List.map
+        (fun (k, h) -> { LR.kind = Engine.kind_name k; latency = quantiles h })
+        r.per_kind;
+    per_shard =
+      List.map
+        (fun (s : Engine.shard_result) ->
+          {
+            LR.shard = s.shard;
+            shard_requests = s.requests;
+            shard_steps = s.steps;
+            max_queue_depth = s.max_queue_depth;
+          })
+        r.shards;
+    slo =
+      Option.map
+        (List.map (fun (g : Check.Conform.gate) ->
+             { LR.gate = g.name; gate_passed = g.passed; detail = g.detail }))
+        slo;
+  }
+
+let render (t : LR.t) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "[load] %s: %d client(s) x %d op(s), %d worker(s) x %d shard(s), %s/%s\n"
+    (String.concat "," t.structures)
+    t.clients t.ops_per_client t.workers t.shards t.mode t.arrival;
+  (match t.window with Some w -> add "  window: %d\n" w | None -> ());
+  add "  requests: %d  steps: %d (max shard %d)%s\n" t.requests t.steps_total
+    t.steps_max
+    (if t.stopped_early then "  STOPPED EARLY (step budget)" else "");
+  add "  throughput: %.2f req/kstep\n" t.throughput_per_kstep;
+  let q label (q : LR.quantiles) =
+    if q.count > 0 then
+      add "  %-10s mean=%.1f p50=%d p99=%d p999=%d max=%d\n" label q.mean q.p50
+        q.p99 q.p999 q.max_value
+  in
+  q "latency" t.latency;
+  q "service" t.service;
+  q "queue-wait" t.queue_wait;
+  List.iter
+    (fun (r : LR.kind_row) ->
+      if r.latency.count > 0 then
+        add "  %-18s n=%d p50=%d p99=%d p999=%d\n" r.kind r.latency.count
+          r.latency.p50 r.latency.p99 r.latency.p999)
+    t.per_kind;
+  (match t.slo with
+  | None -> ()
+  | Some gates ->
+      List.iter
+        (fun (g : LR.gate_row) ->
+          add "  [slo] %s %-28s %s\n"
+            (if g.gate_passed then "PASS" else "FAIL")
+            g.gate g.detail)
+        gates);
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** Bridge from {!Engine} results to the telemetry manifest, plus the
+    deterministic stdout rendering the CLI prints.  Both are pure
+    functions of the result, so `repro load` output and manifests are
+    byte-identical across repeats and pool sizes. *)
+
+val quantiles : Stats.Hdr.t -> Telemetry.Load_report.quantiles
+(** All zeros (mean 0.) for an empty histogram. *)
+
+val of_result :
+  ?window:int ->
+  ?slo:Check.Conform.gate list ->
+  Engine.result ->
+  Telemetry.Load_report.t
+
+val render : Telemetry.Load_report.t -> string
+(** Multi-line human summary (throughput, tail quantiles,
+    per-structure breakdown, SLO gate verdicts when present). *)

@@ -1,0 +1,124 @@
+module Hdr = Stats.Hdr
+
+type params = { q : int; s : int }
+
+let params_of_kind = function
+  | Engine.Counter -> Some { q = 0; s = 1 }
+  | Engine.Treiber -> Some { q = 1; s = 1 }
+  | Engine.Msqueue -> Some { q = 1; s = 2 }
+  | Engine.Elimination -> Some { q = 1; s = 1 }
+  | Engine.Waitfree -> None
+
+type point = {
+  n : int;
+  requests : int;
+  steps : int;
+  mean : float;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+}
+
+type t = {
+  kind : Engine.kind;
+  points : point list;
+  gates : Check.Conform.gate list;
+  passed : bool;
+}
+
+(* Gate tolerances, tuned against measured sweeps (seeds 0-4 agree to
+   under 5%).  The mean is gated two-sided: the in-repo structures
+   carry constant per-op step costs above their idealized (q, s)
+   classification, so the growth *ratio* is checked, not the absolute
+   law, and the band covers the residual constant-factor mismatch
+   (Treiber sits at rel err ~0.30).  Tail quantiles are gated
+   one-sided — the O-bound direction: helping-based structures (the
+   MS queue's tail-swing help most visibly) inflate their worst
+   percentiles up to ~1.9x faster than the mean law as n grows, and
+   "practically wait-free" asks that this inflation stay a bounded
+   constant factor, not that tails collapse onto the mean. *)
+let tol_mean = 0.35
+let headroom_p99 = 2.0
+let headroom_p999 = 2.2
+
+let sweep_point ~kind ~seed ~requests_per_point n =
+  let clients = 4 * n in
+  let ops_per_client = max 1 (requests_per_point / clients) in
+  let cfg =
+    {
+      Engine.default with
+      kinds = [ kind ];
+      objects = 1;
+      clients;
+      ops_per_client;
+      workers = n;
+      shards = 1;
+      mode = Workload.Closed { think = 0. };
+      alpha = 0.;
+      seed = Workload.mix seed n;
+    }
+  in
+  let r = Engine.run cfg in
+  {
+    n;
+    requests = r.requests;
+    steps = r.steps_total;
+    mean = Hdr.mean r.service;
+    p50 = Hdr.p50 r.service;
+    p99 = Hdr.p99 r.service;
+    p999 = Hdr.p999 r.service;
+  }
+
+let run ?(ns = [ 2; 4; 8 ]) ?(requests_per_point = 40_000) ~kind ~seed () =
+  let { q; s } =
+    match params_of_kind kind with
+    | Some p -> p
+    | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Slo.run: %s has no SCU(q, s) classification (its helping scan \
+              is Theta(n) per attempt)"
+             (Engine.kind_name kind))
+  in
+  if List.length ns < 2 then invalid_arg "Slo.run: need at least two n values";
+  if List.exists (fun n -> n < 1) ns then
+    invalid_arg "Slo.run: n values must be positive";
+  if not (List.sort_uniq compare ns = ns) then
+    invalid_arg "Slo.run: n values must be ascending and distinct";
+  let points = List.map (sweep_point ~kind ~seed ~requests_per_point) ns in
+  let alpha = Chains.Predict.fitted_alpha ~ns in
+  let predict n =
+    Chains.Predict.scu_individual_latency ~q ~s ~alpha (float_of_int n)
+  in
+  let base = List.hd points in
+  let name = Engine.kind_name kind in
+  let gates =
+    List.concat_map
+      (fun p ->
+        let want = predict p.n /. predict base.n in
+        let gate_name what = Printf.sprintf "slo-%s-%s-n%d" name what p.n in
+        let tail what got0 base0 headroom =
+          let got = got0 /. base0 in
+          let limit = headroom *. want in
+          Check.Conform.gate (gate_name what)
+            (got <= limit)
+            (Printf.sprintf
+               "grew %.4gx vs predicted %.4gx (one-sided limit %.4gx = %.2g \
+                headroom)"
+               got want limit headroom)
+        in
+        [
+          Check.Conform.rel_gate (gate_name "mean")
+            ~got:(p.mean /. base.mean) ~want ~tol:tol_mean;
+          tail "p99" (float_of_int p.p99) (float_of_int base.p99) headroom_p99;
+          tail "p999" (float_of_int p.p999) (float_of_int base.p999)
+            headroom_p999;
+        ])
+      (List.tl points)
+  in
+  {
+    kind;
+    points;
+    gates;
+    passed = List.for_all (fun (g : Check.Conform.gate) -> g.passed) gates;
+  }

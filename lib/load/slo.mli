@@ -1,0 +1,58 @@
+(** The tail-latency SLO gate: is the service *practically wait-free*?
+
+    The paper's Theorem 4 bounds an individual operation's expected
+    latency in an SCU(q, s) system by O(n(q + s sqrt n)) under any
+    valid stochastic scheduler.  This module turns that into a
+    conform-style gate: run the service saturated (closed loop, zero
+    think time, one object, more clients than workers) across an
+    n-sweep, measure the *service* latency distribution (dispatch to
+    completion — the individual-latency quantity, with queueing
+    excluded), and check that the mean, p99 and p999 all grow like
+    [f(n) = n(q + alpha s sqrt n)] relative to the smallest n.
+
+    The scale constant is eliminated by gating on ratios
+    [measured(n) / measured(n0)] against [f(n) / f(n0)], so the gates
+    transfer across structures with different per-op constant factors.
+    The mean is gated two-sided (the distribution's location must
+    actually follow the law); p99 and p999 are gated one-sided with a
+    constant headroom factor — the O-bound direction — because
+    helping-based structures inflate their worst percentiles a
+    bounded constant factor faster than the mean law as contention
+    grows. *)
+
+type params = { q : int; s : int }
+
+val params_of_kind : Engine.kind -> params option
+(** The SCU(q, s) classification used for the prediction: counter
+    (0, 1); Treiber and elimination stack (1, 1); MS queue (1, 2).
+    [None] for the wait-free counter — its helping scan is Theta(n)
+    per attempt, outside the SCU(q, s) shape, so it has no gate. *)
+
+type point = {
+  n : int;  (** Workers in this sweep cell. *)
+  requests : int;
+  steps : int;
+  mean : float;  (** Mean service latency (steps). *)
+  p50 : int;
+  p99 : int;
+  p999 : int;
+}
+
+type t = {
+  kind : Engine.kind;
+  points : point list;  (** In ascending n. *)
+  gates : Check.Conform.gate list;
+  passed : bool;
+}
+
+val run :
+  ?ns:int list ->
+  ?requests_per_point:int ->
+  kind:Engine.kind ->
+  seed:int ->
+  unit ->
+  t
+(** Sweep [ns] (default [2; 4; 8], ascending, at least two entries)
+    with about [requests_per_point] (default 40_000) requests each.
+    Raises [Invalid_argument] for the wait-free counter (see
+    {!params_of_kind}) or a malformed sweep. *)

@@ -1,0 +1,75 @@
+type arrival =
+  | Poisson of { rate : float }
+  | Bursty of { rate : float; burst : int; idle : float }
+
+type mode = Open of arrival | Closed of { think : float }
+
+let validate = function
+  | Open (Poisson { rate }) ->
+      if rate > 0. then Ok () else Error "arrival rate must be positive"
+  | Open (Bursty { rate; burst; idle }) ->
+      if not (rate > 0.) then Error "arrival rate must be positive"
+      else if burst < 1 then Error "burst length must be at least 1"
+      else if idle < 0. then Error "idle mean must be non-negative"
+      else Ok ()
+  | Closed { think } ->
+      if think >= 0. then Ok () else Error "think time must be non-negative"
+
+let mode_label = function Open _ -> "open" | Closed _ -> "closed"
+
+let arrival_label = function
+  | Open (Poisson _) -> "poisson"
+  | Open (Bursty _) -> "bursty"
+  | Closed _ -> "think"
+
+(* Splitmix-style avalanche; the constants fit OCaml's 63-bit int and
+   native multiplication wraps, which is all a seed derivation
+   needs. *)
+let mix a b =
+  let h = ref (a lxor (b + 0x9E3779B97F4A7C1 + (a lsl 6) + (a lsr 2))) in
+  h := (!h lxor (!h lsr 33)) * 0x2545F4914F6CDD1D;
+  h := !h lxor (!h lsr 29);
+  h := !h * 0x1D8E4E27C47D124F;
+  (!h lxor (!h lsr 32)) land max_int
+
+let request_rng ~seed ~client ~k =
+  Stats.Rng.create ~seed:(mix (mix seed client) k)
+
+(* Exponential gap rounded to whole steps; a zero mean is a zero gap
+   (Rng.exponential rejects it). *)
+let expo_steps rng ~mean =
+  if mean <= 0. then 0
+  else
+    let x = Stats.Rng.exponential rng ~mean in
+    int_of_float (Float.round (Float.min x 1e15))
+
+let gap mode rng ~k =
+  match mode with
+  | Closed { think } -> expo_steps rng ~mean:think
+  | Open (Poisson { rate }) -> expo_steps rng ~mean:(1. /. rate)
+  | Open (Bursty { rate; burst; idle }) ->
+      if k mod burst = 0 then expo_steps rng ~mean:idle
+      else expo_steps rng ~mean:(1. /. rate)
+
+let zipf_cdf ~alpha ~n =
+  if n < 1 then invalid_arg "Workload.zipf_cdf: need at least one key";
+  let w = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) (-.alpha)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let acc = ref 0. in
+  let cdf =
+    Array.map
+      (fun x ->
+        acc := !acc +. x;
+        !acc /. total)
+      w
+  in
+  cdf.(n - 1) <- 1.0;
+  cdf
+
+let pick cdf u =
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,62 @@
+(** Client workload models for the load generator: arrival processes,
+    loop modes and key popularity, all seeded and deterministic *per
+    request* — every random draw a request needs comes from a fresh
+    RNG derived from [(seed, client, k)], so the draw is independent
+    of the order in which the simulation happens to reach it.  Two
+    runs with the same configuration produce the same request stream
+    no matter how service interleaves with arrivals.
+
+    Time is the simulator's discrete step clock: rates are requests
+    per step, means are steps. *)
+
+type arrival =
+  | Poisson of { rate : float }
+      (** Memoryless arrivals: exponential interarrival gaps with mean
+          [1/rate] steps. *)
+  | Bursty of { rate : float; burst : int; idle : float }
+      (** On/off arrivals: bursts of [burst] back-to-back requests at
+          [rate], separated by idle gaps with mean [idle] steps. *)
+
+type mode =
+  | Open of arrival
+      (** Open loop: a client's k-th request arrives a sampled gap
+          after its (k-1)-th *arrival*, regardless of service — under
+          overload the queue builds without bound. *)
+  | Closed of { think : float }
+      (** Closed loop: the next request arrives a think-time gap
+          (exponential, mean [think] steps; 0 means immediately) after
+          the previous one *completes* — at most one outstanding
+          request per client. *)
+
+val validate : mode -> (unit, string) result
+(** Reject non-positive rates, bursts or negative means with a
+    human-readable reason (the CLI's argument check). *)
+
+val mode_label : mode -> string
+(** Stable one-word label for manifests: ["open"] or ["closed"]. *)
+
+val arrival_label : mode -> string
+(** ["poisson"], ["bursty"] or ["think"] (closed loop). *)
+
+val mix : int -> int -> int
+(** Deterministic 62-bit hash combine, used to derive per-client,
+    per-shard and per-window seeds from the base seed. *)
+
+val request_rng : seed:int -> client:int -> k:int -> Stats.Rng.t
+(** The RNG owning every draw request [k] of [client] needs.  Draw
+    order is fixed: gap first, then key, then the operation coin. *)
+
+val gap : mode -> Stats.Rng.t -> k:int -> int
+(** Sampled arrival gap (steps, >= 0) before request [k]: the
+    interarrival gap for open loop, the think gap for closed loop.
+    For [k = 0] the gap is taken from time 0 (open) or used as a
+    staggered session start (closed). *)
+
+val zipf_cdf : alpha:float -> n:int -> float array
+(** Cumulative Zipf([alpha]) distribution over [n] keys — weight of
+    key [i] (0-based) proportional to [(i+1)^-alpha]; [alpha = 0] is
+    uniform.  The last entry is exactly [1.0]. *)
+
+val pick : float array -> float -> int
+(** [pick cdf u] for [u] in [0, 1): the least index with
+    [cdf.(i) > u] (binary search). *)

@@ -200,6 +200,10 @@ let run ?on_done t fs =
 
 let map ?on_done t f xs = run ?on_done t (List.map (fun x () -> f x) xs)
 
+let run_init ?on_done t k f =
+  if k < 0 then invalid_arg "Pool.run_init: negative count";
+  run ?on_done t (List.init k (fun i () -> f i))
+
 let with_pool ?size f =
   let t = create ?size () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

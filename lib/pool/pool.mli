@@ -99,6 +99,17 @@ val map :
   'b list
 (** [map t f xs = run t (List.map (fun x () -> f x) xs)]. *)
 
+val run_init :
+  ?on_done:(index:int -> worker:int -> waited:float -> elapsed:float -> unit) ->
+  t ->
+  int ->
+  (int -> 'a) ->
+  'a list
+(** [run_init t k f] is [run t [fun () -> f 0; …; fun () -> f (k-1)]]
+    — the indexed fan-out idiom (one job per shard or cell index),
+    with the same deterministic result ordering.  Raises
+    [Invalid_argument] on a negative count. *)
+
 val shutdown : t -> unit
 (** Drains nothing: pending batches must have completed ([run] blocks
     until its batch is done, so this only matters for misuse).  Joins

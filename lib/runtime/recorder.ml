@@ -18,9 +18,12 @@ let record_both ~domains ~steps_per_domain =
     done;
     for k = 0 to steps_per_domain - 1 do
       (* One "algorithm step" = one FAA; both recording methods see
-         the same step. *)
+         the same step.  The stamp clock is CLOCK_MONOTONIC: the wall
+         clock steps under NTP adjustments, which would let a later
+         step carry an earlier timestamp and silently corrupt the
+         recovered total order (negative "latencies" between steps). *)
       tickets.(k) <- Atomic.fetch_and_add ticket 1;
-      stamps.(k) <- Unix.gettimeofday ()
+      stamps.(k) <- Pool.monotonic_now ()
     done;
     (tickets, stamps)
   in

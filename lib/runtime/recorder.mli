@@ -33,5 +33,7 @@ type comparison = {
 
 val record_both : domains:int -> steps_per_domain:int -> comparison
 (** Both of §A.2's recording methods over the *same* run: each step
-    takes a ticket (fetch-and-add) and a wall-clock timestamp; the two
-    recovered total orders are compared. *)
+    takes a ticket (fetch-and-add) and a monotonic-clock timestamp
+    ({!Pool.monotonic_now} — the wall clock steps under NTP and can
+    reorder or negate inter-step gaps); the two recovered total orders
+    are compared. *)

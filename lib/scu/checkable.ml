@@ -60,6 +60,22 @@ let queue_spec : (op, res, int list) Checker.spec =
         | Incr -> invalid_arg "Checkable: counter op on queue");
   }
 
+(* The helping counter's increments return no value — a helper may
+   apply a whole batch of announced requests in one CAS, so individual
+   pre-values are not defined by the construction.  Every history of
+   [Done]s is trivially linearizable; the real checking power for this
+   structure is in its invariant (published state blocks must satisfy
+   value = Σ applied and never regress). *)
+let wf_counter_spec : (op, res, int) Checker.spec =
+  {
+    initial = 0;
+    apply =
+      (fun o s ->
+        match o with
+        | Incr -> (Done, s + 1)
+        | Add _ | Take -> invalid_arg "Checkable: stack/queue op on wf-counter");
+  }
+
 (* History recording: instrumentation outside the simulated memory, so
    it costs no steps.  Timestamps use the doubled-clock convention of
    [Checker.record_with]; the per-process slot tracks the operation a
@@ -102,33 +118,51 @@ let recording rc ~proc ~op f =
    crash–recovery restart it settles the interrupted operation, if any:
 
    - *marked* in flight — the crashed attempt had already linearized
-     (MS-queue enqueue past its link CAS), so re-running it would apply
-     the operation twice.  Complete it now with the marked result.
-   - *unmarked* in flight — the suspended step was never applied and
-     every applied step of these structures before the linearization
-     point touches only private or unpublished nodes, so dropping the
-     attempt and re-running the operation from scratch is safe (the
-     half-built node is leaked, never published).
+     (MS-queue enqueue past its link CAS, elimination pop past its
+     grab CAS), so re-running it would apply the operation twice.
+     Complete it now with the marked result.
+   - *unmarked* in flight with a [recover] callback — whether the
+     attempt linearized cannot be decided from recorder state alone
+     (an elimination push crashed while its value sat published in an
+     exchange slot: a pop may or may not have grabbed it).  [recover]
+     interrogates — and settles — the shared memory: [Some r] means
+     the operation did linearize and is completed with [r]; [None]
+     means it provably did not, and is re-run.  The callback may
+     perform shared-memory steps and must itself be crash-idempotent
+     (a crash during recovery triggers recovery again).
+   - *unmarked* in flight otherwise — the suspended step was never
+     applied and every applied step of these structures before the
+     linearization point touches only private or unpublished state, so
+     dropping the attempt and re-running the operation from scratch is
+     safe (the half-built node is leaked, never published).
 
    The plan cursor is [done_count], which only [recording] (and the
-   marked path here) advance — a restarted process resumes at exactly
-   the operation it crashed inside of. *)
-let enter rc ~proc =
+   settlement paths here) advance — a restarted process resumes at
+   exactly the operation it crashed inside of. *)
+let enter ?recover rc ~proc =
   if rc.started.(proc) then begin
     rc.restarts.(proc) <- rc.restarts.(proc) + 1;
     match rc.slots.(proc) with
     | None -> ()
     | Some (op, invoked) -> (
+        let complete result =
+          let returned = 2 * Program.now () in
+          rc.slots.(proc) <- None;
+          rc.marks.(proc) <- None;
+          rc.done_count.(proc) <- rc.done_count.(proc) + 1;
+          rc.completed <-
+            { Checker.proc; op; result; invoked; returned } :: rc.completed;
+          Program.complete ()
+        in
         match rc.marks.(proc) with
-        | Some result ->
-            let returned = 2 * Program.now () in
-            rc.slots.(proc) <- None;
-            rc.marks.(proc) <- None;
-            rc.done_count.(proc) <- rc.done_count.(proc) + 1;
-            rc.completed <-
-              { Checker.proc; op; result; invoked; returned } :: rc.completed;
-            Program.complete ()
-        | None -> rc.slots.(proc) <- None)
+        | Some result -> complete result
+        | None -> (
+            match recover with
+            | None -> rc.slots.(proc) <- None
+            | Some f -> (
+                match f op with
+                | Some result -> complete result
+                | None -> rc.slots.(proc) <- None)))
   end
   else rc.started.(proc) <- true
 
@@ -365,6 +399,137 @@ let msqueue_make ~broken ~n ~ops ?mix_seed () =
         ~bound:((n * ops) + 1);
   }
 
+let elimination_make ~n ~ops ?mix_seed () =
+  let memory = Memory.create () in
+  let top = Memory.alloc memory ~size:1 in
+  let eliminated = Memory.alloc memory ~size:1 in
+  let slots = Array.init (max 1 (n / 4)) (fun _ -> Memory.alloc memory ~size:1) in
+  (* A short poll keeps bounded explorations deep enough to reach the
+     elimination paths. *)
+  let poll = 2 in
+  let rc = make_recorder n in
+  let plans = plan ~n ~ops ~mix_seed in
+  (* Where each process's push currently has its value parked, if
+     anywhere: the recovery protocol's evidence.  Updated by the
+     park/unpark hooks, so always atomic with the slot's actual
+     state. *)
+  let parked = Array.make n None in
+  let recover proc op =
+    match parked.(proc) with
+    | None -> None (* nothing published: safe to re-run from scratch *)
+    | Some (slot, v) ->
+        (* Settle first, clear the evidence after: a crash landing
+           inside [recover_push] restarts recovery with the parked
+           record still in place. *)
+        if Elimination_stack.recover_push ~slot v then begin
+          parked.(proc) <- None;
+          None
+        end
+        else begin
+          parked.(proc) <- None;
+          (match op with Add _ -> () | Take | Incr -> assert false);
+          Some Done
+        end
+  in
+  let program (ctx : Program.ctx) =
+    enter ~recover:(recover ctx.id) rc ~proc:ctx.id;
+    while rc.done_count.(ctx.id) < ops do
+      (match plans.(ctx.id).(rc.done_count.(ctx.id)) with
+      | Add v as o ->
+          ignore
+            (recording rc ~proc:ctx.id ~op:o (fun () ->
+                 Elimination_stack.push_op
+                   ~on_park:(fun ~slot -> parked.(ctx.id) <- Some (slot, v))
+                   ~on_unpark:(fun () -> parked.(ctx.id) <- None)
+                   ~memory ~top ~slots ~poll ctx v;
+                 parked.(ctx.id) <- None;
+                 Done))
+      | Take as o ->
+          ignore
+            (recording rc ~proc:ctx.id ~op:o (fun () ->
+                 match
+                   Elimination_stack.pop_op
+                     ~on_grab:(fun v ->
+                       (* The grab is the linearization point of both
+                          halves of the elimination; past it the pop
+                          must complete, never re-run. *)
+                       rc.marks.(ctx.id) <- Some (Took v))
+                     ~top ~slots ~eliminated ctx
+                 with
+                 | Treiber.Empty -> Took_empty
+                 | Popped v -> Took v))
+      | Incr -> assert false);
+      Program.complete ()
+    done
+  in
+  {
+    spec = { Sim.Executor.name = "elimination-stack"; memory; program };
+    events = events_of rc;
+    in_flight = in_flight_of rc;
+    marked = (fun proc -> rc.marks.(proc));
+    restarts = (fun () -> Array.copy rc.restarts);
+    check = (fun evs -> Checker.check stack_spec evs);
+    invariant =
+      chain_invariant ~what:"elimination-stack"
+        ~start:(fun mem -> Memory.get mem top)
+        ~bound:(n * ops);
+  }
+
+let wf_counter_make ~n ~ops ?mix_seed:_ () =
+  let memory = Memory.create () in
+  let pointer = Memory.alloc memory ~size:1 in
+  let announce = Memory.alloc memory ~size:n in
+  let first = Memory.alloc memory ~size:(n + 1) in
+  Memory.set memory pointer first;
+  let rc = make_recorder n in
+  let program (ctx : Program.ctx) =
+    (* No recover callback: [incr_op] is idempotent per (id, seq) —
+       re-announcing the same sequence number after a crash returns as
+       soon as a scan shows it applied, whether by this process's CAS
+       or a helper's.  [seq] is derived from the plan cursor, so a
+       restarted process re-runs exactly the request it crashed in. *)
+    enter rc ~proc:ctx.id;
+    while rc.done_count.(ctx.id) < ops do
+      ignore
+        (recording rc ~proc:ctx.id ~op:Incr (fun () ->
+             Waitfree_counter.incr_op ~memory ~pointer ~announce ~n ~id:ctx.id
+               ~seq:(rc.done_count.(ctx.id) + 1);
+             Done));
+      Program.complete ()
+    done
+  in
+  let invariant =
+    let last = ref 0 in
+    fun mem ~time:_ ->
+      (* Published state blocks are immutable, so the live pointer
+         always names a fully-built block: its value must equal the
+         sum of per-process applied counts and never regress. *)
+      let p = Memory.get mem pointer in
+      let value = Memory.get mem p in
+      let sum = ref 0 in
+      for k = 0 to n - 1 do
+        sum := !sum + Memory.get mem (p + 1 + k)
+      done;
+      if value <> !sum then
+        failwith
+          (Printf.sprintf "waitfree-counter: value %d <> sum of applied %d"
+             value !sum);
+      if value < !last then
+        failwith
+          (Printf.sprintf "waitfree-counter went backwards: %d after %d" value
+             !last);
+      last := value
+  in
+  {
+    spec = { Sim.Executor.name = "waitfree-counter"; memory; program };
+    events = events_of rc;
+    in_flight = in_flight_of rc;
+    marked = (fun proc -> rc.marks.(proc));
+    restarts = (fun () -> Array.copy rc.restarts);
+    check = (fun evs -> Checker.check wf_counter_spec evs);
+    invariant;
+  }
+
 type t = {
   name : string;
   buggy : bool;
@@ -377,6 +542,8 @@ let all =
     { name = "faa-counter"; buggy = false; make = counter_make ~variant:`Faa };
     { name = "treiber"; buggy = false; make = treiber_make ~broken:false };
     { name = "msqueue"; buggy = false; make = msqueue_make ~broken:false };
+    { name = "elimination-stack"; buggy = false; make = elimination_make };
+    { name = "waitfree-counter"; buggy = false; make = wf_counter_make };
     {
       name = "counter-nocas";
       buggy = true;

@@ -11,7 +11,14 @@
     whose scan-validate CAS is replaced by a blind write — the
     canonical lost-update bugs the checker is expected to catch:
     duplicate counter values, lost pushes / double pops, double
-    dequeues. *)
+    dequeues.
+
+    The non-trivial stock entries are the elimination stack (a push
+    crashed while parked in an exchange slot is settled on recovery by
+    a CAS-withdraw-or-complete protocol; a pop is marked linearized at
+    its grab CAS) and the wait-free helping counter (recovery-safe by
+    idempotence: sequence numbers derive from the plan cursor, so a
+    re-run re-announces the same request). *)
 
 type op = Add of int | Take | Incr
 (** [Add]/[Take] are push/pop (stack) or enqueue/dequeue (queue);
@@ -30,6 +37,14 @@ val stack_spec : (op, res, int list) Linearize.Checker.spec
 val queue_spec : (op, res, int list) Linearize.Checker.spec
 (** Sequential specifications, exposed so tests can cross-validate the
     check closures below against {!Linearize.Checker.check_brute}. *)
+
+val wf_counter_spec : (op, res, int) Linearize.Checker.spec
+(** The helping counter's spec: [Incr] returns [Done] (a helper may
+    apply a batch of requests in one CAS, so per-request return values
+    are undefined by the construction).  Histories of [Done]s are
+    trivially linearizable — the wait-free counter's checking power is
+    its invariant (published blocks satisfy value = Σ applied, never
+    regressing), not this spec. *)
 
 type instance = {
   spec : Sim.Executor.spec;

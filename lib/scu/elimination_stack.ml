@@ -14,6 +14,98 @@ let taken = 1
 let parked v = v + 2
 let unpark c = c - 2
 
+let push_op ?(on_park = fun ~slot:_ -> ()) ?(on_unpark = fun () -> ()) ~memory
+    ~top ~slots ~poll (ctx : Program.ctx) v =
+  let slot_count = Array.length slots in
+  let node = Memory.alloc memory ~size:2 in
+  Program.write node v;
+  let push_stack () =
+    let t = Program.read top in
+    Program.write (node + 1) t;
+    Program.cas top ~expected:t ~value:node
+  in
+  let try_park () =
+    (* Returns true when the value was handed to a pop. *)
+    let slot = slots.(Stats.Rng.int ctx.rng slot_count) in
+    if not (Program.cas slot ~expected:empty ~value:(parked v)) then false
+    else begin
+      on_park ~slot;
+      (* Reclaim the slot after the poll budget.  A failed reclaim CAS
+         does not by itself prove a pop grabbed the value: under an
+         LL/SC-style memory (the chaos layer's spurious-CAS fault
+         mode) a CAS can fail with the slot untouched, so re-read and
+         decide on the observed state — only [taken] means grabbed. *)
+      let rec reclaim () =
+        if Program.cas slot ~expected:(parked v) ~value:empty then begin
+          on_unpark ();
+          false
+        end
+        else if Program.read slot = taken then begin
+          Program.write slot empty;
+          true
+        end
+        else reclaim ()
+      in
+      let rec wait k =
+        let c = Program.read slot in
+        if c = taken then begin
+          (* A pop grabbed it; release the slot. *)
+          Program.write slot empty;
+          true
+        end
+        else if k >= poll then reclaim ()
+        else wait (k + 1)
+      in
+      wait 0
+    end
+  in
+  let rec loop () =
+    if push_stack () then ()
+    else if try_park () then ()
+    else loop ()
+  in
+  loop ()
+
+let pop_op ?(on_grab = fun _ -> ()) ~top ~slots ~eliminated (ctx : Program.ctx)
+    =
+  let slot_count = Array.length slots in
+  let try_grab () =
+    let slot = slots.(Stats.Rng.int ctx.rng slot_count) in
+    let c = Program.read slot in
+    if c >= 2 && Program.cas slot ~expected:c ~value:taken then begin
+      on_grab (unpark c);
+      ignore (Program.faa eliminated 1);
+      Some (unpark c)
+    end
+    else None
+  in
+  let rec attempt () =
+    let t = Program.read top in
+    if t = 0 then Treiber.Empty
+    else
+      let v = Program.read t in
+      let next = Program.read (t + 1) in
+      if Program.cas top ~expected:t ~value:next then Treiber.Popped v
+      else
+        match try_grab () with
+        | Some v -> Treiber.Popped v
+        | None -> attempt ()
+  in
+  attempt ()
+
+let recover_push ~slot v =
+  let rec settle () =
+    if Program.cas slot ~expected:(parked v) ~value:empty then true
+    else if Program.read slot = taken then begin
+      (* Grabbed before the crash: the push linearized at the grab.
+         Release the taken marker (only the parking pusher may). *)
+      Program.write slot empty;
+      false
+    end
+    else settle () (* spurious CAS failure; the value is still parked *)
+  in
+  settle ()
+
 let make ?slots:(slot_count = 0) ?(poll = 4) ?(push_ratio = 0.5) ~n () =
   if not (push_ratio >= 0. && push_ratio <= 1.) then
     invalid_arg "Elimination_stack.make: push_ratio out of [0,1]";
@@ -23,71 +115,13 @@ let make ?slots:(slot_count = 0) ?(poll = 4) ?(push_ratio = 0.5) ~n () =
   let top = Memory.alloc memory ~size:1 in
   let eliminated = Memory.alloc memory ~size:1 in
   let slots = Array.init slot_count (fun _ -> Memory.alloc memory ~size:1) in
-  let push_stack node =
-    let t = Program.read top in
-    Program.write (node + 1) t;
-    Program.cas top ~expected:t ~value:node
-  in
-  let try_park_push (ctx : Program.ctx) v =
-    (* Returns true when the value was handed to a pop. *)
-    let slot = slots.(Stats.Rng.int ctx.rng slot_count) in
-    if not (Program.cas slot ~expected:empty ~value:(parked v)) then false
-    else begin
-      let rec wait k =
-        let c = Program.read slot in
-        if c = taken then begin
-          (* A pop grabbed it; release the slot. *)
-          Program.write slot empty;
-          true
-        end
-        else if k >= poll then
-          (* Reclaim, unless a pop slips in at the last instant. *)
-          if Program.cas slot ~expected:(parked v) ~value:empty then false
-          else begin
-            (* The CAS can only fail because the slot became taken. *)
-            Program.write slot empty;
-            true
-          end
-        else wait (k + 1)
-      in
-      wait 0
-    end
-  in
-  let try_grab_pop (ctx : Program.ctx) =
-    let slot = slots.(Stats.Rng.int ctx.rng slot_count) in
-    let c = Program.read slot in
-    if c >= 2 && Program.cas slot ~expected:c ~value:taken then begin
-      ignore (Program.faa eliminated 1);
-      Some (unpark c)
-    end
-    else None
-  in
   let program (ctx : Program.ctx) =
     let ops = ref 0 in
-    let rec push_loop node v =
-      if push_stack node then ()
-      else if try_park_push ctx v then ()
-      else push_loop node v
-    and pop_loop () =
-      let t = Program.read top in
-      if t = 0 then ()
-      else
-        let _v = Program.read t in
-        let next = Program.read (t + 1) in
-        if Program.cas top ~expected:t ~value:next then ()
-        else
-          match try_grab_pop ctx with
-          | Some _ -> ()
-          | None -> pop_loop ()
-    in
     let rec loop () =
-      (if Stats.Rng.float ctx.rng 1.0 < push_ratio then begin
+      (if Stats.Rng.float ctx.rng 1.0 < push_ratio then
          let v = (!ops * n) + ctx.id + 1 in
-         let node = Memory.alloc memory ~size:2 in
-         Program.write node v;
-         push_loop node v
-       end
-       else pop_loop ());
+         push_op ~memory ~top ~slots ~poll ctx v
+       else ignore (pop_op ~top ~slots ~eliminated ctx));
       incr ops;
       Program.complete ();
       loop ()

@@ -29,6 +29,54 @@ val make : ?slots:int -> ?poll:int -> ?push_ratio:float -> n:int -> unit -> t
     a parked push waits (default 4), mixed workload as in
     {!Treiber.make}. *)
 
+val push_op :
+  ?on_park:(slot:int -> unit) ->
+  ?on_unpark:(unit -> unit) ->
+  memory:Sim.Memory.t ->
+  top:int ->
+  slots:int array ->
+  poll:int ->
+  Sim.Program.ctx ->
+  int ->
+  unit
+(** One push as a standalone operation (the building block of {!make}
+    and of the check-harness adapter).  The hooks are instrumentation
+    for crash-recovery tracking and run as local code, atomic with the
+    shared-memory step they annotate: [on_park ~slot] right after the
+    successful park CAS publishes the value in [slot]; [on_unpark]
+    right after a successful reclaim CAS withdraws it.  A push that
+    returns has either pushed onto the stack or been eliminated
+    (its parked value grabbed by a pop).
+
+    The reclaim path re-reads the slot after a failed reclaim CAS
+    instead of assuming a grab: under the fault plans' spurious-CAS
+    (LL/SC) mode a CAS can fail with the slot untouched, and
+    concluding "grabbed" there would silently discard the value. *)
+
+val pop_op :
+  ?on_grab:(int -> unit) ->
+  top:int ->
+  slots:int array ->
+  eliminated:int ->
+  Sim.Program.ctx ->
+  Treiber.pop_result
+(** One pop: try the stack; on a lost CAS, try to grab a parked value
+    from a random slot before retrying.  [on_grab v] runs atomic with
+    the successful grab CAS — the elimination's linearization point
+    (push immediately followed by this pop) — before the eliminated
+    counter is bumped. *)
+
+val recover_push :
+  slot:int -> int -> bool
+(** Crash-recovery settlement for a push that crashed while its value
+    [v] was parked in [slot].  Returns [true] when the value was
+    reclaimed — the push never linearized and is safe to re-run from
+    scratch — and [false] when a pop had already grabbed it: the push
+    linearized before the crash, so the caller must complete it rather
+    than re-run it (the slot's taken marker is released here, the one
+    cleanup only the parking process may perform).  Robust to spurious
+    CAS failure by the same re-read discipline as {!push_op}. *)
+
 val eliminated_pairs : t -> Sim.Memory.t -> int
 (** Number of push/pop pairs that met in a slot instead of the stack. *)
 

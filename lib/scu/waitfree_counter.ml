@@ -10,6 +10,38 @@ type t = {
 
 (* State block layout: [value; applied_0; ...; applied_{n-1}]. *)
 
+let incr_op ~memory ~pointer ~announce ~n ~id ~seq =
+  Program.write (announce + id) seq;
+  let rec attempt () =
+    let p = Program.read pointer in
+    let mine = Program.read (p + 1 + id) in
+    if mine >= seq then () (* someone helped us *)
+    else begin
+      let value = Program.read p in
+      let applied = Array.init n (fun k -> Program.read (p + 1 + k)) in
+      let announced = Array.init n (fun k -> Program.read (announce + k)) in
+      (* We already know our own request even if the announce read
+         raced with the write. *)
+      announced.(id) <- max announced.(id) seq;
+      let extra = ref 0 in
+      let applied' =
+        Array.init n (fun k ->
+            if announced.(k) > applied.(k) then begin
+              extra := !extra + (announced.(k) - applied.(k));
+              announced.(k)
+            end
+            else applied.(k))
+      in
+      let fresh = Memory.alloc memory ~size:(n + 1) in
+      Program.write fresh (value + !extra);
+      for k = 0 to n - 1 do
+        Program.write (fresh + 1 + k) applied'.(k)
+      done;
+      if not (Program.cas pointer ~expected:p ~value:fresh) then attempt ()
+    end
+  in
+  attempt ()
+
 let make ~n =
   let memory = Memory.create () in
   let pointer = Memory.alloc memory ~size:1 in
@@ -20,36 +52,7 @@ let make ~n =
     let seq = ref 0 in
     let rec operation () =
       incr seq;
-      Program.write (announce + ctx.id) !seq;
-      let rec attempt () =
-        let p = Program.read pointer in
-        let mine = Program.read (p + 1 + ctx.id) in
-        if mine >= !seq then () (* someone helped us *)
-        else begin
-          let value = Program.read p in
-          let applied = Array.init n (fun k -> Program.read (p + 1 + k)) in
-          let announced = Array.init n (fun k -> Program.read (announce + k)) in
-          (* We already know our own request even if the announce read
-             raced with the write. *)
-          announced.(ctx.id) <- max announced.(ctx.id) !seq;
-          let extra = ref 0 in
-          let applied' =
-            Array.init n (fun k ->
-                if announced.(k) > applied.(k) then begin
-                  extra := !extra + (announced.(k) - applied.(k));
-                  announced.(k)
-                end
-                else applied.(k))
-          in
-          let fresh = Memory.alloc memory ~size:(n + 1) in
-          Program.write fresh (value + !extra);
-          for k = 0 to n - 1 do
-            Program.write (fresh + 1 + k) applied'.(k)
-          done;
-          if not (Program.cas pointer ~expected:p ~value:fresh) then attempt ()
-        end
-      in
-      attempt ();
+      incr_op ~memory ~pointer ~announce ~n ~id:ctx.id ~seq:!seq;
       Program.complete ();
       operation ()
     in

@@ -30,6 +30,22 @@ type t = {
 
 val make : n:int -> t
 
+val incr_op :
+  memory:Sim.Memory.t ->
+  pointer:int ->
+  announce:int ->
+  n:int ->
+  id:int ->
+  seq:int ->
+  unit
+(** One increment by process [id] with request sequence number [seq]
+    (the caller numbers its requests 1, 2, …).  Announce, then scan
+    until the request is applied — by this process's own CAS or by a
+    helper.  Idempotent per [(id, seq)]: re-running after a crash
+    re-announces the same number and returns immediately when a scan
+    shows it already applied, which is what makes the check-harness
+    adapter recovery-safe without any settlement protocol. *)
+
 val value : t -> Sim.Memory.t -> int
 (** Current counter value: total increments applied. *)
 

@@ -918,36 +918,6 @@ let exec_compiled ?(config = Config.default) ~(scheduler : Sched.Scheduler.t)
     spurious_cas = !spurious_cas;
   }
 
-let run ?(seed = 0xC0FFEE) ?(trace = false) ?(record_samples = false)
-    ?(crash_plan = Sched.Crash_plan.none) ?(fault_plan = Sched.Fault_plan.none)
-    ?(max_steps = 200_000_000) ?invariant ?(invariant_interval = 1000) ?choose
-    ~(scheduler : Sched.Scheduler.t) ~n ~stop spec =
-  if n <= 0 then invalid_arg "Executor.run: n must be positive";
-  (match Sched.Crash_plan.validate ~n crash_plan with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Executor.run: " ^ msg));
-  let plan =
-    if Sched.Fault_plan.is_none fault_plan then
-      Sched.Fault_plan.of_crash_plan crash_plan
-    else
-      Sched.Fault_plan.merge
-        (Sched.Fault_plan.of_crash_plan crash_plan)
-        fault_plan
-  in
-  let config =
-    {
-      Config.seed;
-      trace;
-      record_samples;
-      fault_plan = plan;
-      max_steps;
-      invariant;
-      invariant_interval;
-      choose;
-    }
-  in
-  exec ~config ~scheduler ~n ~stop spec
-
 let fingerprint r =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

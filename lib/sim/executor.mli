@@ -161,32 +161,6 @@ val exec_compiled :
     semantics (fault events, stalls, spurious CAS, idle ticks,
     invariant cadence, choice hook) are exactly {!exec}'s. *)
 
-val run :
-  ?seed:int ->
-  ?trace:bool ->
-  ?record_samples:bool ->
-  ?crash_plan:Sched.Crash_plan.t ->
-  ?fault_plan:Sched.Fault_plan.t ->
-  ?max_steps:int ->
-  ?invariant:(Memory.t -> time:int -> unit) ->
-  ?invariant_interval:int ->
-  ?choose:(alive:bool array -> time:int -> int option) ->
-  scheduler:Sched.Scheduler.t ->
-  n:int ->
-  stop:stop ->
-  spec ->
-  result
-[@@ocaml.deprecated
-  "Use Executor.exec with Executor.Config (Config.default |> with_seed … \
-   |> with_faults …).  run remains as a thin compatibility wrapper; its \
-   crash_plan argument is folded into the fault plan via \
-   Fault_plan.of_crash_plan."]
-(** Legacy entry point: the pre-[Config] signature.  Equivalent to
-    building a {!Config.t} from the optional arguments (with
-    [crash_plan] converted by {!Sched.Fault_plan.of_crash_plan} and
-    merged into [fault_plan]) and calling {!exec}.  Defaults are
-    {!Config.default}'s. *)
-
 val fingerprint : result -> string
 (** Exact textual rendering of everything observable in a result —
     {!Metrics.fingerprint} plus crash/termination flags, pending

@@ -1,0 +1,184 @@
+type t = {
+  sub_bits : int;
+  sub : int;  (* 2^sub_bits: sub-buckets per octave *)
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+(* Highest set bit position of [v > 0]; branchy binary reduction — no
+   clz in the stdlib, and this is off the per-step hot path (one call
+   per completed operation). *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then (
+    r := !r + 32;
+    v := !v lsr 32);
+  if !v lsr 16 <> 0 then (
+    r := !r + 16;
+    v := !v lsr 16);
+  if !v lsr 8 <> 0 then (
+    r := !r + 8;
+    v := !v lsr 8);
+  if !v lsr 4 <> 0 then (
+    r := !r + 4;
+    v := !v lsr 4);
+  if !v lsr 2 <> 0 then (
+    r := !r + 2;
+    v := !v lsr 2);
+  if !v lsr 1 <> 0 then incr r;
+  !r
+
+(* Bucket index of [v >= 0].  Values below [sub = 2^sub_bits] index
+   directly (unit-width buckets, exact).  Above, octave [o] (values
+   with msb = sub_bits + o - 1) contributes [sub] buckets of width
+   [2^(o-1)]: the top [sub_bits + 1] bits of [v] determine the bucket,
+   so the relative width is < 2^-sub_bits.  Indices are contiguous:
+   v = sub - 1 maps to sub - 1, v = sub to sub. *)
+let index_of ~sub_bits ~sub v =
+  if v < sub then v
+  else
+    let m = msb v in
+    let octave = m - sub_bits + 1 in
+    let offset = (v lsr (m - sub_bits)) - sub in
+    (octave * sub) + offset
+
+(* Smallest value mapping to bucket [i] — the inverse of [index_of] on
+   bucket lower bounds. *)
+let lo_of_index ~sub_bits:_ ~sub i =
+  if i < sub then i
+  else
+    let octave = i / sub and offset = i mod sub in
+    (sub + offset) lsl (octave - 1)
+
+(* Exclusive upper bound of bucket [i].  The shift for the very top
+   octave can wrap past max_int; clamp (the bound is only reported,
+   never indexed). *)
+let hi_of_index ~sub_bits ~sub i =
+  if i < sub then i + 1
+  else
+    let hi = lo_of_index ~sub_bits ~sub (i + 1) in
+    if hi <= 0 then max_int else hi
+
+(* OCaml ints are 63-bit: msb <= 62, so the largest octave is
+   62 - sub_bits + 1 and the largest index is that octave's last
+   sub-bucket. *)
+let n_buckets ~sub_bits ~sub = (((62 - sub_bits + 1) + 1) * sub) + 0
+
+let create ?(sub_bits = 5) () =
+  if sub_bits < 0 || sub_bits > 14 then
+    invalid_arg "Hdr.create: sub_bits must be in [0, 14]";
+  let sub = 1 lsl sub_bits in
+  {
+    sub_bits;
+    sub;
+    buckets = Array.make (n_buckets ~sub_bits ~sub) 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = min_int;
+  }
+
+let sub_bits h = h.sub_bits
+
+let add_n h v ~count =
+  if v < 0 then invalid_arg "Hdr.add: negative value";
+  if count < 0 then invalid_arg "Hdr.add_n: negative count";
+  if count > 0 then begin
+    let i = index_of ~sub_bits:h.sub_bits ~sub:h.sub v in
+    h.buckets.(i) <- h.buckets.(i) + count;
+    h.count <- h.count + count;
+    h.sum <- h.sum + (v * count);
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end
+
+let add h v = add_n h v ~count:1
+let count h = h.count
+let sum h = h.sum
+let min_value h = if h.count = 0 then 0 else h.min_v
+let max_value h = if h.count = 0 then 0 else h.max_v
+let mean h = if h.count = 0 then nan else float_of_int h.sum /. float_of_int h.count
+
+let bucket_lo h v =
+  if v < 0 then invalid_arg "Hdr.bucket_lo: negative value";
+  lo_of_index ~sub_bits:h.sub_bits ~sub:h.sub
+    (index_of ~sub_bits:h.sub_bits ~sub:h.sub v)
+
+let quantile h q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Hdr.quantile: q must be in [0, 1]";
+  if h.count = 0 then invalid_arg "Hdr.quantile: empty histogram";
+  let rank =
+    let r = int_of_float (ceil (q *. float_of_int h.count)) in
+    if r < 1 then 1 else if r > h.count then h.count else r
+  in
+  if rank = h.count then h.max_v
+  else begin
+  let acc = ref 0 and found = ref (-1) and i = ref 0 in
+  let nb = Array.length h.buckets in
+  while !found < 0 && !i < nb do
+    acc := !acc + h.buckets.(!i);
+    if !acc >= rank then found := !i;
+    incr i
+  done;
+  (* [rank <= count] guarantees a hit; clamp into the exact observed
+     range so q=0 names the true min and q=1 never exceeds the max. *)
+  let lo = lo_of_index ~sub_bits:h.sub_bits ~sub:h.sub !found in
+  let lo = if lo < h.min_v then h.min_v else lo in
+  if lo > h.max_v then h.max_v else lo
+  end
+
+let p50 h = quantile h 0.5
+let p99 h = quantile h 0.99
+let p999 h = quantile h 0.999
+
+let merge_into ~into src =
+  if into.sub_bits <> src.sub_bits then
+    invalid_arg "Hdr.merge_into: sub_bits mismatch";
+  Array.iteri
+    (fun i c -> if c <> 0 then into.buckets.(i) <- into.buckets.(i) + c)
+    src.buckets;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
+
+let copy h =
+  {
+    sub_bits = h.sub_bits;
+    sub = h.sub;
+    buckets = Array.copy h.buckets;
+    count = h.count;
+    sum = h.sum;
+    min_v = h.min_v;
+    max_v = h.max_v;
+  }
+
+let merge a b =
+  let r = copy a in
+  merge_into ~into:r b;
+  r
+
+let fold_buckets h ~init ~f =
+  let acc = ref init in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then
+        acc :=
+          f !acc
+            ~lo:(lo_of_index ~sub_bits:h.sub_bits ~sub:h.sub i)
+            ~hi:(hi_of_index ~sub_bits:h.sub_bits ~sub:h.sub i)
+            ~count:c)
+    h.buckets;
+  !acc
+
+let pp ppf h =
+  if h.count = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%d p99=%d p999=%d max=%d" h.count
+      (mean h) (p50 h) (p99 h) (p999 h) (max_value h)

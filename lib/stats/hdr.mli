@@ -1,0 +1,107 @@
+(** Log-linear ("HDR"-style) integer histogram with bounded relative
+    error and exact merging.
+
+    Latencies in the load harness are counts of simulated system steps
+    — non-negative integers spanning several orders of magnitude (a
+    fast-path counter increment completes in a handful of steps; a
+    queued operation under saturation can wait millions).  A
+    fixed-width histogram cannot cover that range without either
+    losing the small values or exploding in size, and storing raw
+    samples for millions of client sessions is out of the question.
+
+    This accumulator keeps one counter per *log-linear bucket*: each
+    power-of-two octave is split into [2^sub_bits] equal sub-buckets,
+    so every recorded value is resolved to a bucket whose width is at
+    most [2^-sub_bits] of its magnitude (3.125% relative error at the
+    default [sub_bits = 5]).  Values below [2^sub_bits] get their own
+    unit-width bucket and are exact.  Count, sum, min and max are
+    tracked exactly on the side.
+
+    Two histograms with the same [sub_bits] merge by adding bucket
+    counts — the merge is exact (no re-bucketing error), commutative
+    and associative, which lets each load-generator shard record
+    privately and the coordinator combine shard histograms in any
+    grouping with a deterministic result. *)
+
+type t
+(** Mutable accumulator.  Never shared across domains — record into a
+    per-domain histogram and {!merge_into} afterwards. *)
+
+val create : ?sub_bits:int -> unit -> t
+(** [sub_bits] (default 5) sets the resolution: [2^sub_bits]
+    sub-buckets per octave, giving worst-case relative bucket width
+    [2^-sub_bits].  Requires [0 <= sub_bits <= 14].  Memory is
+    [O(63 * 2^sub_bits)] words regardless of how many values are
+    recorded. *)
+
+val sub_bits : t -> int
+
+val add : t -> int -> unit
+(** Record one observation.  Raises [Invalid_argument] on a negative
+    value — simulated-step latencies cannot be negative (and a
+    negative latency is exactly the wall-clock bug class the monotonic
+    recorder clock exists to prevent). *)
+
+val add_n : t -> int -> count:int -> unit
+(** [add_n h v ~count] records [v] [count] times in O(1).
+    Requires [count >= 0]. *)
+
+val count : t -> int
+(** Number of recorded observations. *)
+
+val sum : t -> int
+(** Exact sum of all observations (not bucket-approximated). *)
+
+val min_value : t -> int
+(** Exact smallest recorded value; 0 when empty. *)
+
+val max_value : t -> int
+(** Exact largest recorded value; 0 when empty. *)
+
+val mean : t -> float
+(** Exact mean ([sum/count]); [nan] when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile h q] for [0 <= q <= 1]: the lower bound of the bucket
+    containing the observation of rank [ceil (q * count)] (rank
+    clamped to [\[1, count\]]), further clamped into
+    [\[min_value, max_value\]] so [quantile h 0. = min_value]; a rank
+    equal to [count] reports the exact [max_value], so
+    [quantile h 1. = max_value].  Values below [2^sub_bits] are
+    returned exactly; above, the result understates the true rank
+    value by at most its bucket width ([< 2^-sub_bits]
+    relative).  Raises [Invalid_argument] if [q] is outside [0, 1] or
+    the histogram is empty. *)
+
+val p50 : t -> int
+val p99 : t -> int
+
+val p999 : t -> int
+(** {!quantile} at 0.5 / 0.99 / 0.999 — the tail points the SLO gates
+    check against the O(n(q + s√n)) individual-latency bound. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds every observation of [src] into
+    [into], exactly, in O(buckets).  [src] is unchanged.  Raises
+    [Invalid_argument] if the two histograms have different
+    [sub_bits]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram equivalent to having seen both streams.
+    Commutative and associative up to observational equality. *)
+
+val copy : t -> t
+
+val fold_buckets : t -> init:'a -> f:('a -> lo:int -> hi:int -> count:int -> 'a) -> 'a
+(** Folds over the non-empty buckets in increasing value order.
+    [lo] is the bucket's smallest value, [hi] its exclusive upper
+    bound ([hi - lo] = bucket width; 1 below [2^sub_bits]). *)
+
+val bucket_lo : t -> int -> int
+(** [bucket_lo h v]: the smallest value sharing [v]'s bucket — the
+    value {!quantile} reports for ranks landing in that bucket.
+    Exposed so tests can state quantile expectations without
+    duplicating the bucket arithmetic. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [n=… mean=… p50=… p99=… p999=… max=…]. *)

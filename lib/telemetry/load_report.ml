@@ -1,0 +1,136 @@
+type quantiles = {
+  count : int;
+  min_value : int;
+  max_value : int;
+  mean : float;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+}
+
+type kind_row = { kind : string; latency : quantiles }
+
+type shard_row = {
+  shard : int;
+  shard_requests : int;
+  shard_steps : int;
+  max_queue_depth : int;
+}
+
+type gate_row = { gate : string; gate_passed : bool; detail : string }
+
+type t = {
+  structures : string list;
+  clients : int;
+  ops_per_client : int;
+  workers : int;
+  shards : int;
+  mode : string;
+  arrival : string;
+  alpha : float;
+  seed : int;
+  window : int option;
+  requests : int;
+  steps_total : int;
+  steps_max : int;
+  stopped_early : bool;
+  throughput_per_kstep : float;
+  latency : quantiles;
+  service : quantiles;
+  queue_wait : quantiles;
+  per_kind : kind_row list;
+  per_shard : shard_row list;
+  slo : gate_row list option;
+}
+
+let schema = "repro-load-manifest/1"
+
+let quantiles_json q =
+  Json.Obj
+    [
+      ("count", Json.Int q.count);
+      ("min", Json.Int q.min_value);
+      ("max", Json.Int q.max_value);
+      ("mean", Json.Float q.mean);
+      ("p50", Json.Int q.p50);
+      ("p99", Json.Int q.p99);
+      ("p999", Json.Int q.p999);
+    ]
+
+let to_json t =
+  Json.Obj
+    (List.concat
+       [
+         [
+           ("schema", Json.Str schema);
+           ( "structures",
+             Json.List (List.map (fun s -> Json.Str s) t.structures) );
+           ("clients", Json.Int t.clients);
+           ("ops_per_client", Json.Int t.ops_per_client);
+           ("workers", Json.Int t.workers);
+           ("shards", Json.Int t.shards);
+           ("mode", Json.Str t.mode);
+           ("arrival", Json.Str t.arrival);
+           ("alpha", Json.Float t.alpha);
+           ("seed", Json.Int t.seed);
+         ];
+         (match t.window with
+         | None -> []
+         | Some w -> [ ("window", Json.Int w) ]);
+         [
+           ("requests", Json.Int t.requests);
+           ("steps_total", Json.Int t.steps_total);
+           ("steps_max", Json.Int t.steps_max);
+           ("stopped_early", Json.Bool t.stopped_early);
+           ("throughput_per_kstep", Json.Float t.throughput_per_kstep);
+           ("latency", quantiles_json t.latency);
+           ("service", quantiles_json t.service);
+           ("queue_wait", quantiles_json t.queue_wait);
+           ( "per_kind",
+             Json.List
+               (List.map
+                  (fun r ->
+                    Json.Obj
+                      [
+                        ("kind", Json.Str r.kind);
+                        ("latency", quantiles_json r.latency);
+                      ])
+                  t.per_kind) );
+           ( "per_shard",
+             Json.List
+               (List.map
+                  (fun r ->
+                    Json.Obj
+                      [
+                        ("shard", Json.Int r.shard);
+                        ("requests", Json.Int r.shard_requests);
+                        ("steps", Json.Int r.shard_steps);
+                        ("max_queue_depth", Json.Int r.max_queue_depth);
+                      ])
+                  t.per_shard) );
+         ];
+         (match t.slo with
+         | None -> []
+         | Some gates ->
+             [
+               ( "slo",
+                 Json.List
+                   (List.map
+                      (fun g ->
+                        Json.Obj
+                          [
+                            ("gate", Json.Str g.gate);
+                            ("passed", Json.Bool g.gate_passed);
+                            ("detail", Json.Str g.detail);
+                          ])
+                      gates) );
+             ]);
+       ])
+
+let to_string ?compact t = Json.to_string ?compact (to_json t)
+
+let write ~file t =
+  (match Filename.dirname file with
+  | "" | "." -> ()
+  | dir -> Fsutil.mkdir_p dir);
+  Fsutil.write_atomic file (to_string t ^ "\n")

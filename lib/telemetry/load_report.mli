@@ -1,0 +1,70 @@
+(** The load generator's telemetry manifest: a deterministic JSON
+    document carrying a run's configuration, throughput, tail
+    quantiles and per-structure breakdown.
+
+    Everything in the document is a simulation-model quantity
+    (requests, steps, step-valued quantiles) or configuration — no
+    wall-clock timestamps or hostnames — so two runs with the same
+    configuration and seed serialize to byte-identical files, which
+    the CI load-smoke job diffs.  This module is plain data in, JSON
+    out: the [lib/load] engine fills the records, keeping [telemetry]
+    free of simulator dependencies. *)
+
+type quantiles = {
+  count : int;
+  min_value : int;  (** 0 when [count = 0], like the quantiles. *)
+  max_value : int;
+  mean : float;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+}
+
+type kind_row = { kind : string; latency : quantiles }
+
+type shard_row = {
+  shard : int;
+  shard_requests : int;
+  shard_steps : int;
+  max_queue_depth : int;
+}
+
+type gate_row = { gate : string; gate_passed : bool; detail : string }
+
+type t = {
+  structures : string list;
+  clients : int;
+  ops_per_client : int;
+  workers : int;
+  shards : int;
+  mode : string;  (** ["open"] or ["closed"]. *)
+  arrival : string;  (** ["poisson"], ["bursty"] or ["think"]. *)
+  alpha : float;
+  seed : int;
+  window : int option;  (** Window index for `repro serve` JSONL rows. *)
+  requests : int;
+  steps_total : int;
+  steps_max : int;
+  stopped_early : bool;
+  throughput_per_kstep : float;
+      (** Completed requests per 1000 steps of the slowest shard —
+          the parallel-completion throughput. *)
+  latency : quantiles;
+  service : quantiles;
+  queue_wait : quantiles;
+  per_kind : kind_row list;
+  per_shard : shard_row list;
+  slo : gate_row list option;  (** Present for SLO sweep runs. *)
+}
+
+val schema : string
+(** ["repro-load-manifest/1"], embedded in every document. *)
+
+val to_json : t -> Json.t
+
+val to_string : ?compact:bool -> t -> string
+(** [to_string t] is [Json.to_string (to_json t)]; [compact] gives
+    the one-line form used for `repro serve`'s JSONL stream. *)
+
+val write : file:string -> t -> unit
+(** Atomic write (parent directories created). *)

@@ -162,7 +162,14 @@ let test_fuzz_stock_clean () =
         (Printf.sprintf "%s clean (REPRO_TEST_SEED=%d)" name Test_util.seed)
         0
         (List.length r.Check.Fuzz.failures))
-    [ "cas-counter"; "faa-counter"; "treiber"; "msqueue" ]
+    [
+      "cas-counter";
+      "faa-counter";
+      "treiber";
+      "msqueue";
+      "elimination-stack";
+      "waitfree-counter";
+    ]
 
 (* -- Chaos fuzzing (fault plans) ------------------------------------ *)
 
@@ -210,7 +217,44 @@ let test_chaos_stock_clean () =
            Test_util.seed)
         0
         (List.length r.Check.Chaos.failures))
-    [ "cas-counter"; "faa-counter"; "treiber"; "msqueue" ]
+    [
+      "cas-counter";
+      "faa-counter";
+      "treiber";
+      "msqueue";
+      "elimination-stack";
+      "waitfree-counter";
+    ]
+
+let test_chaos_elimination_recovery_heavy () =
+  (* The elimination stack's crash-recovery settlement (a parked push
+     withdrawn or completed by [recover_push]) and its spurious-CAS
+     robust reclaim only fire under faults; drive them hard with rates
+     well above the default drill.  Any double-push, lost value, or
+     phantom pop would surface as a linearizability failure. *)
+  let spec =
+    {
+      Sched.Fault_plan.base = Sched.Fault_plan.none;
+      rates =
+        {
+          Sched.Fault_plan.crash = 0.08;
+          recover = 0.3;
+          stall = 0.02;
+          stall_len = 4;
+          casfail = 0.25;
+        };
+    }
+  in
+  let r =
+    Check.Chaos.run
+      ~config:{ chaos_config with trials = 120 }
+      ~spec ~structure:(find "elimination-stack") ~n:3 ~ops:2 ()
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "clean under heavy faults (REPRO_TEST_SEED=%d)"
+       Test_util.seed)
+    0
+    (List.length r.Check.Chaos.failures)
 
 let test_chaos_deterministic () =
   let run () =
@@ -269,6 +313,10 @@ let () =
             (check_stock_clean "treiber" ~n:2 ~ops:2);
           Alcotest.test_case "msqueue certified" `Quick
             (check_stock_clean "msqueue" ~n:4 ~ops:1);
+          Alcotest.test_case "elimination-stack certified" `Quick
+            (check_stock_clean "elimination-stack" ~n:2 ~ops:2);
+          Alcotest.test_case "waitfree-counter certified" `Quick
+            (check_stock_clean "waitfree-counter" ~n:2 ~ops:2);
           Alcotest.test_case "pruning soundness" `Quick test_pruning_is_sound;
         ] );
       ( "fuzz",
@@ -281,6 +329,8 @@ let () =
           Alcotest.test_case "seeded bug caught under faults" `Quick
             test_chaos_catches_seeded_bug;
           Alcotest.test_case "stock clean under faults" `Quick test_chaos_stock_clean;
+          Alcotest.test_case "elimination recovery under heavy faults" `Quick
+            test_chaos_elimination_recovery_heavy;
           Alcotest.test_case "deterministic" `Quick test_chaos_deterministic;
           Alcotest.test_case "fuzz --faults adds chaos source" `Quick
             test_fuzz_faults_flag_adds_chaos_source;

@@ -159,35 +159,6 @@ let test_exec_validation () =
            ~config:Sim.Executor.Config.(default |> with_faults all_crash)
            ~scheduler ~n:2 ~stop (counter_spec ())))
 
-(* The deprecated wrapper must stay a pure re-spelling of [exec] +
-   [Config]: same defaults, crash_plan folded through
-   Fault_plan.of_crash_plan. *)
-module Legacy = struct
-  [@@@ocaml.alert "-deprecated"]
-
-  let run = Sim.Executor.run
-end
-
-let test_deprecated_run_wrapper () =
-  let scheduler = Sched.Scheduler.uniform in
-  let stop = Sim.Executor.Completions 60 in
-  let crash = Sched.Crash_plan.of_list [ (40, 1) ] in
-  let old_style =
-    Legacy.run ~seed:9 ~trace:true ~crash_plan:crash ~scheduler ~n:4 ~stop
-      (counter_spec ())
-  in
-  let config =
-    Sim.Executor.Config.(
-      default |> with_seed 9 |> with_trace true
-      |> with_faults (Sched.Fault_plan.of_crash_plan crash))
-  in
-  let new_style =
-    Sim.Executor.exec ~config ~scheduler ~n:4 ~stop (counter_spec ())
-  in
-  Alcotest.(check string) "legacy run == exec with Config"
-    (Sim.Executor.fingerprint old_style)
-    (Sim.Executor.fingerprint new_style)
-
 (* -- Batched scheduler draws ---------------------------------------- *)
 
 let compiled_counter_result ?(config = Sim.Executor.Config.default) ~scheduler
@@ -328,8 +299,6 @@ let () =
           Alcotest.test_case "defaults" `Quick test_config_defaults;
           Alcotest.test_case "builders" `Quick test_config_builders;
           Alcotest.test_case "validation" `Quick test_exec_validation;
-          Alcotest.test_case "deprecated run wrapper" `Quick
-            test_deprecated_run_wrapper;
         ] );
       ( "executor paths",
         [

@@ -216,6 +216,26 @@ let test_recorder_both_methods_agree () =
     (Printf.sprintf "orders mostly agree (%.3f)" c.agreement)
     true (c.agreement > 0.9)
 
+let test_recorder_stamp_clock_monotone () =
+  (* Regression for the stamp clock: recorder timestamps come from
+     CLOCK_MONOTONIC ([Pool.monotonic_now]), not the wall clock.  The
+     wall clock can step backwards under NTP adjustment, which would
+     reorder the recovered timestamp trace and make inter-step gaps
+     negative.  With a single domain both §A.2 methods must recover
+     the identical program order — agreement exactly 1.0 — which only
+     holds when the stamp stream never decreases. *)
+  let c = Runtime.Recorder.record_both ~domains:1 ~steps_per_domain:5_000 in
+  Alcotest.(check (float 0.)) "single-domain orders identical" 1.0 c.agreement;
+  (* And the clock itself never steps backwards across rapid calls. *)
+  let prev = ref (Pool.monotonic_now ()) in
+  let ok = ref true in
+  for _ = 1 to 100_000 do
+    let t = Pool.monotonic_now () in
+    if t < !prev then ok := false;
+    prev := t
+  done;
+  Alcotest.(check bool) "monotonic_now never decreases" true !ok
+
 let test_harness_surfaces_domain_failure () =
   (* One domain raising must not orphan the others' joins: the run
      returns with the failure surfaced and the survivors counted. *)
@@ -284,6 +304,8 @@ let () =
           Alcotest.test_case "long-run shares" `Quick test_recorder_long_run_shares_fair;
           Alcotest.test_case "both §A.2 methods agree" `Quick
             test_recorder_both_methods_agree;
+          Alcotest.test_case "stamp clock monotone" `Quick
+            test_recorder_stamp_clock_monotone;
         ] );
       ( "harness",
         [

@@ -5,15 +5,6 @@ open Core
 
 let rng () = Stats.Rng.create ~seed:42
 
-(* The deprecated [Executor.run] wrapper keeps explicit coverage: the
-   legacy [?crash_plan] argument and the wrapper's validation messages
-   must stay byte-identical until the wrapper is deleted. *)
-module Legacy = struct
-  [@@@ocaml.alert "-deprecated"]
-
-  let run = Sim.Executor.run
-end
-
 (* -- Memory ------------------------------------------------------- *)
 
 let test_memory_ops () =
@@ -170,34 +161,43 @@ let test_crash_removes_process () =
     (Sim.Metrics.completions_of r.metrics 2 > 1_000)
 
 let test_all_crash_rejected () =
+  (* Crash plans reach the executor through Fault_plan.of_crash_plan
+     (the deprecated [run ?crash_plan] wrapper is gone); a plan that
+     permanently kills every process must still be rejected. *)
   let _, spec = private_counter_spec ~n:2 ~q:1 in
   Alcotest.check_raises "crash plan killing everyone rejected"
-    (Invalid_argument "Executor.run: crash plan: all processes would crash") (fun () ->
+    (Invalid_argument
+       "Executor.run: fault plan: all processes would crash permanently")
+    (fun () ->
       ignore
-        (Legacy.run
-           ~crash_plan:(Sched.Crash_plan.of_list [ (10, 0); (20, 1) ])
+        (Sim.Executor.exec
+           ~config:
+             Sim.Executor.Config.(
+               default
+               |> with_faults
+                    (Sched.Fault_plan.of_crash_plan
+                       (Sched.Crash_plan.of_list [ (10, 0); (20, 1) ])))
            ~scheduler:Sched.Scheduler.uniform ~n:2 ~stop:(Steps 100) spec))
 
 (* -- Fault plans (chaos layer) ------------------------------------- *)
 
 let test_fault_crash_only_equiv () =
-  (* A crash-only fault plan must be byte-identical to the crash-plan
-     path: same schedule, same metrics, same flags. *)
+  (* A crash-only fault plan must be byte-identical to the same events
+     routed through the Crash_plan bridge: same schedule, same
+     metrics, same flags. *)
   let events = [ (500, 0); (1_500, 2) ] in
   let run ~use_fault_plan =
     let c = Scu.Counter.make ~n:4 in
+    let plan =
+      if use_fault_plan then Sched.Fault_plan.of_crash_events events
+      else Sched.Fault_plan.of_crash_plan (Sched.Crash_plan.of_list events)
+    in
     let r =
-      if use_fault_plan then
-        Sim.Executor.exec
-          ~config:
-            Sim.Executor.Config.(
-              default |> with_seed 7 |> with_trace true
-              |> with_faults (Sched.Fault_plan.of_crash_events events))
-          ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 20_000) c.spec
-      else
-        Legacy.run ~seed:7 ~trace:true
-          ~crash_plan:(Sched.Crash_plan.of_list events)
-          ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 20_000) c.spec
+      Sim.Executor.exec
+        ~config:
+          Sim.Executor.Config.(
+            default |> with_seed 7 |> with_trace true |> with_faults plan)
+        ~scheduler:Sched.Scheduler.uniform ~n:4 ~stop:(Steps 20_000) c.spec
     in
     ( Sim.Metrics.total_completions r.metrics,
       Sim.Metrics.mean_system_latency r.metrics,

@@ -279,6 +279,166 @@ let test_histogram_edges () =
   Alcotest.(check (option int)) "midpoint in bin 1" (Some 1) (Stats.Histogram.bin_of h 0.5);
   Alcotest.(check (option int)) "upper edge excluded" None (Stats.Histogram.bin_of h 1.)
 
+(* -- Hdr ----------------------------------------------------------- *)
+
+(* Everything observable about an Hdr histogram, for whole-value
+   equality checks: non-empty buckets plus the exact side-channel. *)
+let hdr_obs h =
+  let buckets =
+    Stats.Hdr.fold_buckets h ~init:[] ~f:(fun acc ~lo ~hi ~count ->
+        (lo, hi, count) :: acc)
+  in
+  ( buckets,
+    Stats.Hdr.count h,
+    Stats.Hdr.sum h,
+    Stats.Hdr.min_value h,
+    Stats.Hdr.max_value h )
+
+let test_hdr_exact_small_values () =
+  (* Below 2^sub_bits every value has its own unit bucket, so
+     quantiles on a known small-value distribution are exact: rank
+     ceil(q*n) of the sorted stream. *)
+  let h = Stats.Hdr.create () in
+  (* 10 ones, 60 fives, 29 thirties, 1 thirty-one: n = 100. *)
+  Stats.Hdr.add_n h 1 ~count:10;
+  Stats.Hdr.add_n h 5 ~count:60;
+  Stats.Hdr.add_n h 30 ~count:29;
+  Stats.Hdr.add h 31;
+  Alcotest.(check int) "count" 100 (Stats.Hdr.count h);
+  Alcotest.(check int) "sum" (10 + 300 + 870 + 31) (Stats.Hdr.sum h);
+  Alcotest.(check int) "p50 exact" 5 (Stats.Hdr.p50 h);
+  Alcotest.(check int) "p99 exact" 30 (Stats.Hdr.p99 h);
+  Alcotest.(check int) "p999 = rank-100 value" 31 (Stats.Hdr.p999 h);
+  Alcotest.(check int) "q=0 is min" 1 (Stats.Hdr.quantile h 0.);
+  Alcotest.(check int) "q=1 is max" 31 (Stats.Hdr.quantile h 1.);
+  Alcotest.(check int) "min" 1 (Stats.Hdr.min_value h);
+  Alcotest.(check int) "max" 31 (Stats.Hdr.max_value h)
+
+let test_hdr_bucketed_quantiles () =
+  (* Uniform 0..100_000: each quantile lands in a log-linear bucket
+     whose lower bound the test states independently via bucket_lo. *)
+  let h = Stats.Hdr.create () in
+  for v = 0 to 100_000 do
+    Stats.Hdr.add h v
+  done;
+  (* n = 100_001; rank of q is ceil(q*n), value = rank - 1. *)
+  let expect q =
+    let rank = int_of_float (ceil (q *. 100_001.)) in
+    Stats.Hdr.bucket_lo h (rank - 1)
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "q=%.3f" q)
+        (expect q) (Stats.Hdr.quantile h q))
+    [ 0.5; 0.9; 0.99; 0.999; 0.9999 ];
+  (* The bucket understates the true rank value by < 2^-sub_bits. *)
+  for v = 1 to 3_000 do
+    let lo = Stats.Hdr.bucket_lo h v in
+    Alcotest.(check bool) "relative error < 1/32" true
+      (lo <= v && (v < 32 || 32 * (v - lo) < v))
+  done
+
+let test_hdr_merge_equals_whole () =
+  let whole = Stats.Hdr.create () in
+  let parts = Array.init 4 (fun _ -> Stats.Hdr.create ()) in
+  let g = Stats.Rng.create ~seed:99 in
+  for k = 0 to 9_999 do
+    let v = Stats.Rng.int g 1_000_000 in
+    Stats.Hdr.add whole v;
+    Stats.Hdr.add parts.(k mod 4) v
+  done;
+  let merged = Array.fold_left Stats.Hdr.merge (Stats.Hdr.create ()) parts in
+  Alcotest.(check bool) "merge of shards == single stream" true
+    (hdr_obs merged = hdr_obs whole);
+  Alcotest.(check int) "same p999" (Stats.Hdr.p999 whole) (Stats.Hdr.p999 merged)
+
+let test_hdr_boundary_values () =
+  (* Power-of-two boundaries are where octaves change; p999 must stay
+     stable when the mass sits exactly on a bucket edge. *)
+  List.iter
+    (fun v ->
+      (* Single-value stream: the [min, max] clamp makes every
+         quantile exact, whatever the bucket resolution. *)
+      let h = Stats.Hdr.create () in
+      Stats.Hdr.add_n h v ~count:1_000;
+      Alcotest.(check int) "single-value p50 exact" v (Stats.Hdr.p50 h);
+      Alcotest.(check int) "single-value p999 exact" v (Stats.Hdr.p999 h);
+      (* With a low outlier the clamp no longer applies and p999 is
+         the bucket lower bound of v — never a neighbouring bucket,
+         even right at the octave edge. *)
+      let h' = Stats.Hdr.create () in
+      Stats.Hdr.add h' 0;
+      Stats.Hdr.add_n h' v ~count:10_000;
+      Alcotest.(check int) "p999 lands in v's bucket" (Stats.Hdr.bucket_lo h' v)
+        (Stats.Hdr.p999 h');
+      Alcotest.(check int) "q=1 clamps to max" v (Stats.Hdr.quantile h' 1.))
+    [ 31; 32; 33; 63; 64; 65; 1023; 1024; 1025; (1 lsl 40) - 1; 1 lsl 40 ]
+
+let test_hdr_validation () =
+  let h = Stats.Hdr.create () in
+  Alcotest.check_raises "negative value" (Invalid_argument "Hdr.add: negative value")
+    (fun () -> Stats.Hdr.add h (-1));
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Hdr.quantile: empty histogram")
+    (fun () -> ignore (Stats.Hdr.quantile h 0.5));
+  Alcotest.check_raises "sub_bits range"
+    (Invalid_argument "Hdr.create: sub_bits must be in [0, 14]") (fun () ->
+      ignore (Stats.Hdr.create ~sub_bits:15 ()));
+  Alcotest.check_raises "merge sub_bits mismatch"
+    (Invalid_argument "Hdr.merge_into: sub_bits mismatch") (fun () ->
+      Stats.Hdr.merge_into ~into:(Stats.Hdr.create ~sub_bits:3 ()) (Stats.Hdr.create ()))
+
+let hdr_of_list vs =
+  let h = Stats.Hdr.create () in
+  List.iter (Stats.Hdr.add h) vs;
+  h
+
+let hdr_gen = QCheck2.Gen.(list_size (int_bound 200) (int_bound 2_000_000))
+
+let prop_hdr_merge_commutative =
+  prop "hdr: merge commutative" QCheck2.Gen.(pair hdr_gen hdr_gen)
+    (fun (xs, ys) ->
+      let a = hdr_of_list xs and b = hdr_of_list ys in
+      hdr_obs (Stats.Hdr.merge a b) = hdr_obs (Stats.Hdr.merge b a))
+
+let prop_hdr_merge_associative =
+  prop "hdr: merge associative" QCheck2.Gen.(triple hdr_gen hdr_gen hdr_gen)
+    (fun (xs, ys, zs) ->
+      let a = hdr_of_list xs and b = hdr_of_list ys and c = hdr_of_list zs in
+      hdr_obs Stats.Hdr.(merge (merge a b) c)
+      = hdr_obs Stats.Hdr.(merge a (merge b c)))
+
+let prop_hdr_quantile_monotone_and_bounded =
+  prop "hdr: quantiles monotone and within [min, max]"
+    QCheck2.Gen.(list_size (int_range 1 200) (int_bound 2_000_000))
+    (fun vs ->
+      let h = hdr_of_list vs in
+      let qs = [ 0.; 0.25; 0.5; 0.9; 0.99; 0.999; 1. ] in
+      let values = List.map (Stats.Hdr.quantile h) qs in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      sorted values
+      && List.for_all
+           (fun v -> v >= Stats.Hdr.min_value h && v <= Stats.Hdr.max_value h)
+           values)
+
+let prop_hdr_p999_boundary_stable =
+  (* Mass at an octave boundary (plus a low outlier so the [min, max]
+     clamp cannot hide bucketing): p999 must name v's own bucket and
+     stay within one bucket width (< 2^-5 relative) of the true
+     value. *)
+  prop "hdr: p999 stable at bucket boundaries"
+    QCheck2.Gen.(pair (int_range 5 40) (int_range 0 2))
+    (fun (bit, jitter) ->
+      let v = (1 lsl bit) + jitter - 1 in
+      let h = Stats.Hdr.create () in
+      Stats.Hdr.add h 0;
+      Stats.Hdr.add_n h v ~count:10_000;
+      let p = Stats.Hdr.p999 h in
+      p = Stats.Hdr.bucket_lo h v && 32 * (v - p) < v + 32)
+
 (* -- Vec ----------------------------------------------------------- *)
 
 let test_vec_growth () =
@@ -345,6 +505,18 @@ let () =
           Alcotest.test_case "rejects wide row" `Quick test_table_rejects_wide_row;
           Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
           Alcotest.test_case "csv quoting" `Quick test_table_csv_quoting;
+        ] );
+      ( "hdr",
+        [
+          Alcotest.test_case "exact small values" `Quick test_hdr_exact_small_values;
+          Alcotest.test_case "bucketed quantiles" `Quick test_hdr_bucketed_quantiles;
+          Alcotest.test_case "merge == whole stream" `Quick test_hdr_merge_equals_whole;
+          Alcotest.test_case "octave boundaries" `Quick test_hdr_boundary_values;
+          Alcotest.test_case "validation" `Quick test_hdr_validation;
+          prop_hdr_merge_commutative;
+          prop_hdr_merge_associative;
+          prop_hdr_quantile_monotone_and_bounded;
+          prop_hdr_p999_boundary_stable;
         ] );
       ("vec", [ Alcotest.test_case "growth" `Quick test_vec_growth ]);
     ]
