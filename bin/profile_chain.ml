@@ -1,24 +1,69 @@
 (* Quick profiling helper: stationary-solve timing for the system
-   chain at various n (dense solve vs power iteration). *)
+   chain at various n (dense solve vs power iteration vs sparse
+   Gauss–Seidel), plus the large-n sparse/mean-field comparison that
+   sized the conformance gates. *)
 let time name f =
   let t0 = Pool.monotonic_now () in
   let v = f () in
-  Printf.printf "%-24s %8.2fs  -> %.6f\n%!" name (Pool.monotonic_now () -. t0) v
+  Printf.printf "%-28s %8.2fs  -> %.6f\n%!" name (Pool.monotonic_now () -. t0) v;
+  v
 
 let () =
   List.iter
     (fun n ->
       let t = Chains.Scu_chain.System.make ~n in
-      time
-        (Printf.sprintf "solve n=%d (%d states)" n t.chain.size)
-        (fun () ->
-          let pi = Markov.Stationary.solve t.chain in
-          1. /. Markov.Stationary.success_rate t.chain ~pi
-                  ~weight:(Chains.Scu_chain.System.any_success_weight t));
-      time
-        (Printf.sprintf "power n=%d" n)
-        (fun () ->
-          let pi = Markov.Stationary.power_iteration ~tol:1e-12 t.chain in
-          1. /. Markov.Stationary.success_rate t.chain ~pi
-                  ~weight:(Chains.Scu_chain.System.any_success_weight t)))
-    [ 16; 32; 48; 64 ]
+      ignore
+        (time
+           (Printf.sprintf "solve n=%d (%d states)" n t.chain.size)
+           (fun () ->
+             let pi = Markov.Stationary.solve t.chain in
+             1. /. Markov.Stationary.success_rate t.chain ~pi
+                     ~weight:(Chains.Scu_chain.System.any_success_weight t)));
+      ignore
+        (time
+           (Printf.sprintf "power n=%d" n)
+           (fun () ->
+             let pi = Markov.Stationary.power_iteration ~tol:1e-12 t.chain in
+             1. /. Markov.Stationary.success_rate t.chain ~pi
+                     ~weight:(Chains.Scu_chain.System.any_success_weight t))))
+    [ 16; 32; 48; 64 ];
+  Printf.printf "\n-- sparse Gauss-Seidel --\n%!";
+  List.iter
+    (fun n ->
+      let sp = Chains.Scu_chain.System.sparse ~n in
+      let stats = ref { Markov.Sparse.sweeps = 0; residual = 0. } in
+      let w =
+        time
+          (Printf.sprintf "gs n=%d (%d states)" n sp.Markov.Sparse.size)
+          (fun () ->
+            let pi, st = Markov.Sparse.stationary_stats sp in
+            stats := st;
+            let nf = float_of_int n in
+            let rate = ref 0. in
+            Array.iteri
+              (fun i p ->
+                let a, b = Chains.Scu_chain.System.decode_index ~n i in
+                rate := !rate +. (p *. (float_of_int (n - a - b) /. nf)))
+              pi;
+            1. /. !rate)
+      in
+      Printf.printf
+        "    sweeps=%d residual=%.3g  W/sqrt(n)=%.4f  W/mf=%.4f (sqrt(pi/2)=%.4f)\n%!"
+        !stats.Markov.Sparse.sweeps !stats.Markov.Sparse.residual
+        (w /. sqrt (float_of_int n))
+        (w /. Chains.Meanfield.latency_closed_form ~n)
+        (sqrt (Float.pi /. 2.)))
+    [ 16; 64; 128; 256; 450; 1000 ];
+  Printf.printf "\n-- mean-field RK4 --\n%!";
+  List.iter
+    (fun n ->
+      let w =
+        time
+          (Printf.sprintf "rk4 n=%d" n)
+          (fun () -> Chains.Meanfield.latency ~n ())
+      in
+      Printf.printf "    closed form sqrt(2n)=%.6f  rel err=%.3g\n%!"
+        (Chains.Meanfield.latency_closed_form ~n)
+        (Float.abs (w -. Chains.Meanfield.latency_closed_form ~n)
+        /. Chains.Meanfield.latency_closed_form ~n))
+    [ 64; 1000; 10_000; 100_000; 1_000_000 ]

@@ -733,15 +733,34 @@ let check_cmd =
   let parse_crash s =
     if s = "" then Ok []
     else
+      (* Catch only the parse failures ([int_of_string] raises
+         [Failure]); a catch-all here once swallowed unrelated
+         exceptions into the same "bad spec" message.  Name the
+         offending T:P component, not just the whole spec. *)
       try
         Ok
           (List.map
              (fun part ->
                match String.split_on_char ':' part with
                | [ t; p ] -> (int_of_string t, int_of_string p)
-               | _ -> failwith part)
+               | _ -> failwith "not of the form T:P")
              (String.split_on_char ',' s))
-      with _ -> Error ("bad --crash spec: " ^ s)
+      with Failure _ | Invalid_argument _ ->
+        let bad =
+          List.find_opt
+            (fun part ->
+              match String.split_on_char ':' part with
+              | [ t; p ] -> (
+                  match (int_of_string_opt t, int_of_string_opt p) with
+                  | Some _, Some _ -> false
+                  | _ -> true)
+              | _ -> true)
+            (String.split_on_char ',' s)
+        in
+        Error
+          (Printf.sprintf "bad --crash spec %S: component %S is not T:P (two integers)"
+             s
+             (Option.value bad ~default:s))
   in
   let run mode structures n ops seed long expect_bug replay mix crash tail out
       =
@@ -1327,14 +1346,25 @@ let load_cmd =
     | Ok _ when expect_pass && not slo ->
         `Error (false, "--expect-pass requires --slo")
     | Ok cfg -> (
-        let ns =
-          try
-            List.map int_of_string
-              (List.filter
-                 (fun x -> x <> "")
-                 (String.split_on_char ',' ns))
-          with Failure _ -> []
+        (* Parse --ns eagerly and reject bad tokens by name.  The old
+           code mapped any [Failure] to the empty list, so a typo like
+           --ns 2,4,x was silently ignored without --slo and produced
+           the misleading "needs at least two worker counts" with it. *)
+        let ns_tokens =
+          List.filter (fun x -> x <> "") (String.split_on_char ',' ns)
         in
+        let bad_ns =
+          List.find_opt
+            (fun x -> Option.is_none (int_of_string_opt x))
+            ns_tokens
+        in
+        match bad_ns with
+        | Some tok ->
+            `Error
+              ( false,
+                Printf.sprintf "--ns: %S is not an integer worker count" tok )
+        | None ->
+        let ns = List.map int_of_string ns_tokens in
         if slo && List.length ns < 2 then
           `Error (false, "--ns needs at least two worker counts")
         else if jobs < 1 then `Error (false, "-j must be at least 1")

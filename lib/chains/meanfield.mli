@@ -1,0 +1,42 @@
+(** Mean-field (fluid-limit) approximation of the lumped (a, b) system
+    chain.
+
+    Track the expected counts a = E[#Read], b = E[#OldCAS] and close
+    the hierarchy by replacing E[c²] with (E[c])² (c = n − a − b).
+    Per system step, E[Δa] = (n − 2a)/n and E[Δb] = (c(c−1) − b)/n, so
+    in rescaled time τ = steps/n the fluid ODE is
+
+      da/dτ = n − 2a,      db/dτ = c(c−1) − b.
+
+    Its unique fixed point is exactly a* = n/2, c* = √(n/2), so the
+    stationary success rate per step is c*/n = 1/√(2n) and the
+    mean-field latency is W_mf = √(2n) — the Θ(√n) scaling of
+    Theorem 5 with an explicit constant.  The fluctuation correction
+    the fluid limit drops is the multiplicative factor √(π/2): the
+    exact chain's W(n) → √(πn) (see [Predict]); the conformance gates
+    pin this ratio.
+
+    Evaluation cost is O(√n) RK4 steps, so n = 10⁶ (and far beyond) is
+    direct — no state space is ever materialized. *)
+
+type state = { a : float; b : float }
+
+val drift : n:float -> state -> state
+(** (da/dτ, db/dτ) at the given point. *)
+
+val fixed_point : n:int -> state
+(** The analytic fixed point: a* = n/2, b* = n/2 − √(n/2). *)
+
+val latency_closed_form : n:int -> float
+(** W_mf = n / c* = √(2n). *)
+
+val steady_state :
+  ?dt:float -> ?horizon:float -> ?tol:float -> n:int -> unit -> state
+(** Integrates the ODE from the all-Read corner (a = n, b = 0) with
+    RK4 until the drift's L1 norm falls below [tol]·n (default 1e-12)
+    or τ reaches [horizon] (default 20).  [dt] defaults to 0.25/√n —
+    inside the stability interval of the stiff b mode (λ ≈ −√(2n)).
+    The tests check this lands on {!fixed_point} to ~1e-9·n. *)
+
+val latency : ?dt:float -> ?horizon:float -> ?tol:float -> n:int -> unit -> float
+(** n / c at the integrated steady state; ≈ {!latency_closed_form}. *)

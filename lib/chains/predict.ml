@@ -8,6 +8,10 @@ let scu_individual_latency ~q ~s ~alpha n = n *. scu_system_latency ~q ~s ~alpha
 
 let exact_scan_validate_latency ~n = Scu_chain.System.system_latency ~n
 
+let asymptotic_scan_validate_latency ~n = sqrt (Float.pi *. float_of_int n)
+let meanfield_scan_validate_latency ~n = sqrt (2. *. float_of_int n)
+let fluctuation_correction = sqrt (Float.pi /. 2.)
+
 let fitted_alpha ~ns =
   let pts =
     List.map

@@ -25,6 +25,24 @@ val exact_scan_validate_latency : n:int -> float
     SCU(0, 1), from the system chain — usable wherever the O(√n)
     bound's hidden constant would be a fudge factor. *)
 
+val asymptotic_scan_validate_latency : n:int -> float
+(** √(πn): the large-n closed form of the exact system latency.  The
+    counter chain's Ramanujan asymptote is √(πn/2); scan-validate's
+    period-2 structure doubles the variance, giving √2·√(πn/2).  The
+    exact W(n)/√n sequence converges to √π ≈ 1.7725 from above
+    (≈ 1.85 at n = 64, Richardson-extrapolating to ≈ 1.78); the
+    conformance gates pin the agreement at the largest n the sparse
+    solver reaches. *)
+
+val meanfield_scan_validate_latency : n:int -> float
+(** √(2n): the fluid-limit latency ([Meanfield.latency_closed_form]),
+    i.e. √(πn) with the fluctuation factor dropped. *)
+
+val fluctuation_correction : float
+(** √(π/2) ≈ 1.2533 — the exact-to-mean-field latency ratio
+    (√(πn)/√(2n)); what closing the moment hierarchy at first order
+    loses. *)
+
 val fitted_alpha : ns:int list -> float
 (** Least-squares fit of [exact_scan_validate_latency n ≈ alpha·√n]
     over the given n values (the empirical constant is ≈ 1.1). *)

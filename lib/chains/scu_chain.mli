@@ -72,9 +72,29 @@ module System : sig
 
   val any_success_weight : t -> int -> float
 
+  val index : n:int -> a:int -> b:int -> int
+  (** Arithmetic state index for population [n]: a-major, b ascending,
+      (0, n) excluded.  Matches [make]'s enumeration, so dense and
+      sparse stationary vectors are comparable index for index. *)
+
+  val decode_index : n:int -> int -> int * int
+  (** Inverse of [index]. *)
+
+  val sparse : n:int -> Markov.Sparse.t
+  (** The same (a, b) chain built directly in CSR form — ≤ 3 nonzeros
+      per row, no hash table — solvable by {!Markov.Sparse.stationary}
+      at 10⁵–10⁶ states, far beyond the dense solver's ceiling. *)
+
   val system_latency : n:int -> float
   (** W: expected system steps between successes in the stationary
-      distribution — the exact value Theorem 5 bounds by O(√n). *)
+      distribution — the exact value Theorem 5 bounds by O(√n).
+      Dense path ([make] + [Markov.Stationary.compute]); memoized. *)
+
+  val sparse_latency : ?tol:float -> n:int -> unit -> float
+  (** W computed from {!sparse} via Gauss–Seidel ({!Markov.Sparse.stationary});
+      memoized separately from [system_latency] so the conformance
+      gates can compare the two paths.  [tol] is the L1 residual bound
+      on ‖πP − π‖₁ (default 1e-12). *)
 end
 
 val lift : Individual.t -> System.t -> int -> int

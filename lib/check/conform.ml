@@ -16,6 +16,10 @@ type budget = {
   fuzz_trials : int;  (** Linearizability smoke trials per structure. *)
   rel_tol : float;  (** Relative error allowed on chain predictions. *)
   ks_tol : float;  (** Two-sample KS distance allowed between halves. *)
+  sparse_ns : int * int;
+      (** Populations (n₁, n₂) for the sparse lumped-chain legs; n₂'s
+          chain has (n₂+1)(n₂+2)/2 − 1 states and the pair feeds the
+          Richardson extrapolation of W/√n. *)
 }
 
 let smoke =
@@ -25,6 +29,9 @@ let smoke =
     fuzz_trials = 60;
     rel_tol = 0.10;
     ks_tol = 0.05;
+    (* n = 450 → 101,925 states: past the 10⁵ mark, ~5 s of
+       Gauss–Seidel. *)
+    sparse_ns = (256, 450);
   }
 
 let long =
@@ -34,6 +41,8 @@ let long =
     fuzz_trials = 600;
     rel_tol = 0.05;
     ks_tol = 0.02;
+    (* n = 1000 → 501,500 states (~80 s); nightly only. *)
+    sparse_ns = (450, 1000);
   }
 
 let gate name passed detail = { name; passed; detail }
@@ -224,6 +233,65 @@ let linearizability_gates ~budget ~seed =
   in
   stock_gates @ [ power ]
 
+(* Tentpole cross-validation: three independent legs of the Θ(√n)
+   completion-law, each reaching a scale the others cannot.
+
+   Leg 1 (exact, sparse): the lumped (a, b) chain in CSR form, solved
+   by Gauss–Seidel at 10⁵ states (smoke) / 5·10⁵ (long) — far past the
+   dense solver's ~4000-state ceiling — and pinned three ways: against
+   the dense path where both exist, against the √(πn) asymptote
+   directly, and via Richardson extrapolation (the W(n) ≈ √(πn) + c
+   tail makes the slope of W against √n converge to √π like 1/n, so
+   the extrapolated constant lands within ~1e-3 already at n ≈ 450).
+
+   Leg 2 (simulation): the compiled-executor counter at n = 32,
+   against the exact chain latency — the measured leg of Figure 5.
+
+   Leg 3 (mean field): the RK4 fluid limit, evaluated directly at
+   n = 10⁶ (cost O(√n), no state space), against its closed form
+   √(2n); and the exact/mean-field ratio against the √(π/2)
+   fluctuation correction, which ties legs 1 and 3 together. *)
+let scaling_gates ~budget ~seed =
+  let n1, n2 = budget.sparse_ns in
+  let w1 = Chains.Scu_chain.System.sparse_latency ~n:n1 () in
+  let w2 = Chains.Scu_chain.System.sparse_latency ~n:n2 () in
+  let sqrtn n = sqrt (float_of_int n) in
+  let sim_latency =
+    let n = 32 in
+    let c = Scu.Counter.make_compiled ~n in
+    let config = Sim.Executor.Config.(default |> with_seed (seed + 7)) in
+    let r =
+      Sim.Executor.exec_compiled ~config ~scheduler:Sched.Scheduler.uniform ~n
+        ~stop:(Steps budget.steps) c.cspec
+    in
+    Sim.Metrics.mean_system_latency r.metrics
+  in
+  [
+    rel_gate "sparse-vs-dense-latency"
+      ~got:(Chains.Scu_chain.System.sparse_latency ~n:64 ())
+      ~want:(Chains.Predict.exact_scan_validate_latency ~n:64)
+      ~tol:1e-9;
+    rel_gate
+      (Printf.sprintf "sparse-at-scale (n=%d, %d states)" n2
+         (((n2 + 1) * (n2 + 2) / 2) - 1))
+      ~got:w2
+      ~want:(Chains.Predict.asymptotic_scan_validate_latency ~n:n2)
+      ~tol:0.025;
+    rel_gate "sqrt-pi-asymptote (Richardson)"
+      ~got:((w2 -. w1) /. (sqrtn n2 -. sqrtn n1))
+      ~want:(sqrt Float.pi) ~tol:5e-3;
+    rel_gate "sim-leg-sqrtn (n=32 compiled)" ~got:sim_latency
+      ~want:(Chains.Predict.exact_scan_validate_latency ~n:32)
+      ~tol:budget.rel_tol;
+    rel_gate "meanfield-rk4 (n=1e6)"
+      ~got:(Chains.Meanfield.latency ~n:1_000_000 ())
+      ~want:(Chains.Predict.meanfield_scan_validate_latency ~n:1_000_000)
+      ~tol:1e-6;
+    rel_gate "fluctuation-correction sqrt(pi/2)"
+      ~got:(w2 /. Chains.Predict.meanfield_scan_validate_latency ~n:n2)
+      ~want:Chains.Predict.fluctuation_correction ~tol:0.025;
+  ]
+
 let run ?(long_budget = false) ~seed () =
   let budget = if long_budget then long else smoke in
   let gates =
@@ -233,5 +301,6 @@ let run ?(long_budget = false) ~seed () =
     @ [ ks_gate ~budget ~seed ]
     @ validity_gates ~seed
     @ linearizability_gates ~budget ~seed
+    @ scaling_gates ~budget ~seed
   in
   { gates; passed = List.for_all (fun (g : gate) -> g.passed) gates }

@@ -17,7 +17,15 @@
       exact 1/k time-averaged round-robin verdict;
     - [linearizable-*] — fuzz smoke over every stock structure;
     - [detector-power] — the same fuzz budget must catch the seeded
-      [treiber-nocas] bug.
+      [treiber-nocas] bug;
+    - [sparse-vs-dense-latency] / [sparse-at-scale] /
+      [sqrt-pi-asymptote] / [sim-leg-sqrtn] / [meanfield-rk4] /
+      [fluctuation-correction] — the three-leg cross-validation of the
+      Θ(√n) latency law: the lumped (a, b) chain solved sparse at
+      ≥ 10⁵ states against the √(πn) asymptote (with Richardson
+      extrapolation of the 1/√n tail), the compiled simulator against
+      the exact chain, and the mean-field RK4 fluid limit at n = 10⁶
+      against √(2n) plus the √(π/2) fluctuation correction.
 
     Thresholds sit several standard errors out so the smoke budgets
     are deterministic-in-practice for CI. *)
@@ -42,6 +50,9 @@ type budget = {
   fuzz_trials : int;
   rel_tol : float;
   ks_tol : float;
+  sparse_ns : int * int;
+      (** Populations (n₁, n₂) for the sparse lumped-chain legs —
+          (256, 450) smoke (10⁵ states), (450, 1000) long (5·10⁵). *)
 }
 
 val smoke : budget

@@ -29,6 +29,7 @@ let all =
     make (module Exp_lem11);
     make (module Exp_lem12);
     make (module Exp_lift);
+    make (module Exp_meanfield);
     make (module Exp_cor2);
     make (module Exp_abl_sched);
     make (module Exp_abl_wf);

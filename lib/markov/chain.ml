@@ -4,9 +4,39 @@ type t = {
   label : int -> string;
 }
 
-let create ?(label = string_of_int) ~size ~row () =
+(* Eager stochasticity check for create: every solver in this library
+   silently returns garbage on a non-stochastic row, so malformed
+   chains must be rejected at the constructor, naming the offending
+   state.  Duplicate targets are allowed here (their probabilities
+   add, which every consumer handles); [validate] stays stricter. *)
+let check_rows ~eps t =
+  for i = 0 to t.size - 1 do
+    let total =
+      List.fold_left
+        (fun acc (j, p) ->
+          if j < 0 || j >= t.size then
+            invalid_arg
+              (Printf.sprintf "Chain.create: state %d: target %d out of range"
+                 i j);
+          if p < 0. then
+            invalid_arg
+              (Printf.sprintf
+                 "Chain.create: state %d: negative probability %.12g to %d" i p
+                 j);
+          acc +. p)
+        0. (t.row i)
+    in
+    if Float.abs (total -. 1.) > eps then
+      invalid_arg
+        (Printf.sprintf "Chain.create: state %d: row sums to %.12g (want 1)" i
+           total)
+  done
+
+let create ?(check = true) ?(label = string_of_int) ~size ~row () =
   if size <= 0 then invalid_arg "Chain.create: size must be positive";
-  { size; row; label }
+  let t = { size; row; label } in
+  if check then check_rows ~eps:1e-9 t;
+  t
 
 let validate ?(eps = 1e-9) t =
   let exception Bad of string in

@@ -13,11 +13,26 @@ type t = {
 }
 
 val create :
-  ?label:(int -> string) -> size:int -> row:(int -> (int * float) list) -> unit -> t
+  ?check:bool ->
+  ?label:(int -> string) ->
+  size:int ->
+  row:(int -> (int * float) list) ->
+  unit ->
+  t
+(** With [check] (the default) every row is evaluated once at
+    construction and must be stochastic — entries non-negative, targets
+    in range, sum 1 within 1e-9 — else [Invalid_argument] names the
+    offending state.  The solvers return garbage on non-stochastic
+    input, so the eager check is the contract; pass [~check:false]
+    only for chains too large to enumerate (e.g. sampled-only implicit
+    chains), in which case the materializing solvers re-validate the
+    rows they touch ({!Sparse.of_chain}). *)
 
 val validate : ?eps:float -> t -> (unit, string) result
 (** Checks that every row has non-negative entries summing to 1 within
-    [eps] (default 1e-9), with in-range targets and no duplicates. *)
+    [eps] (default 1e-9), with in-range targets and no duplicates
+    (stricter than [create]'s eager check, which permits duplicate
+    targets since their probabilities add). *)
 
 val transition_prob : t -> int -> int -> float
 (** [transition_prob t i j] is [p_ij] (0 when absent). *)

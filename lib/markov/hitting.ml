@@ -1,68 +1,16 @@
-let hitting_times ?(tol = 1e-11) ?(max_iters = 2_000_000) t ~targets =
-  if targets = [] then invalid_arg "Hitting.hitting_times: empty target set";
-  let n = t.Chain.size in
-  let is_target = Array.make n false in
-  List.iter
-    (fun i ->
-      if i < 0 || i >= n then invalid_arg "Hitting.hitting_times: target out of range";
-      is_target.(i) <- true)
-    targets;
-  (* Guard: every state must reach the target set, otherwise some
-     hitting times are infinite and the sweep would run forever. *)
-  let preds = Array.make n [] in
-  for i = 0 to n - 1 do
-    List.iter
-      (fun (j, p) -> if p > 0. then preds.(j) <- i :: preds.(j))
-      (t.Chain.row i)
-  done;
-  let reaches = Array.copy is_target in
-  let queue = Queue.create () in
-  List.iter (fun i -> Queue.push i queue) targets;
-  while not (Queue.is_empty queue) do
-    let j = Queue.pop queue in
-    List.iter
-      (fun i ->
-        if not reaches.(i) then begin
-          reaches.(i) <- true;
-          Queue.push i queue
-        end)
-      preds.(j)
-  done;
-  if Array.exists not reaches then
-    invalid_arg "Hitting.hitting_times: target set unreachable from some state";
-  let h = Array.make n 0. in
-  (* Materialize rows once, then Gauss-Seidel sweeps over non-target
-     states. *)
-  let targets_arr = Array.make n [||] and probs = Array.make n [||] in
-  for i = 0 to n - 1 do
-    if not is_target.(i) then begin
-      let row = t.Chain.row i in
-      targets_arr.(i) <- Array.of_list (List.map fst row);
-      probs.(i) <- Array.of_list (List.map snd row)
-    end
-  done;
-  let rec sweep k =
-    let delta = ref 0. in
-    for i = 0 to n - 1 do
-      if not is_target.(i) then begin
-        let self = ref 0. and rest = ref 0. in
-        let tg = targets_arr.(i) and pr = probs.(i) in
-        for e = 0 to Array.length tg - 1 do
-          let j = tg.(e) and p = pr.(e) in
-          if j = i then self := !self +. p
-          else if not is_target.(j) then rest := !rest +. (p *. h.(j))
-        done;
-        if !self >= 1. -. 1e-15 then
-          invalid_arg "Hitting.hitting_times: absorbing non-target state";
-        let v = (1. +. !rest) /. (1. -. !self) in
-        delta := Float.max !delta (Float.abs (v -. h.(i)));
-        h.(i) <- v
-      end
-    done;
-    if !delta > tol && k < max_iters then sweep (k + 1)
-  in
-  sweep 0;
-  h
+(* The Gauss-Seidel sweep lives in {!Sparse.hitting_times} over CSR
+   arrays (rows materialized once), in exactly the historical sweep
+   order so existing values stay byte-identical; the error messages
+   are re-prefixed to keep this module's documented contract. *)
+let hitting_times ?tol ?max_iters t ~targets =
+  try Sparse.hitting_times ?tol ?max_iters (Sparse.of_chain t) ~targets
+  with Invalid_argument msg ->
+    let prefix = "Sparse.hitting_times: " in
+    let plen = String.length prefix in
+    if String.length msg > plen && String.sub msg 0 plen = prefix then
+      invalid_arg
+        ("Hitting.hitting_times: " ^ String.sub msg plen (String.length msg - plen))
+    else raise (Invalid_argument msg)
 
 let expected_return_time ?tol t i =
   let h = hitting_times ?tol t ~targets:[ i ] in

@@ -10,7 +10,9 @@
 val hitting_times : ?tol:float -> ?max_iters:int -> Chain.t -> targets:int list -> float array
 (** Expected steps to reach [targets] from each state (0 on targets).
     Raises [Invalid_argument] if [targets] is empty or unreachable
-    from some state (the corresponding hitting time would be ∞). *)
+    from some state (the corresponding hitting time would be ∞).
+    Delegates to {!Sparse.hitting_times} over a one-shot CSR
+    materialization; CSR-native callers can use that directly. *)
 
 val expected_return_time : ?tol:float -> Chain.t -> int -> float
 (** h_ii computed from hitting times: 1 + Σ_j p_ij h_j{i}.  Agrees with

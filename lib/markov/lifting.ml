@@ -61,6 +61,63 @@ let is_lifting ?(tol = 1e-8) ~base ~lifted ~f () =
   let r = verify ~base ~lifted ~f () in
   r.max_flow_error <= tol && r.max_pi_error <= tol
 
+(* Strong lumpability: the lumped chain exists as a Markov chain in
+   its own right iff, for every base state v, all lifted states in
+   f⁻¹(v) have identical collapsed rows.  That is exactly the paper's
+   situation (Lemmas 4-6): the (a, b) system chain is the lump of the
+   3ⁿ−1-state individual chain, and building it this way — rather than
+   hand-deriving its transitions — turns the lumping argument into an
+   executable construction. *)
+let lump ?(tol = 1e-9) ~lifted ~f ~base_size () =
+  if base_size <= 0 then invalid_arg "Lifting.lump: base_size must be positive";
+  let rows = Array.make base_size None in
+  let witness = Array.make base_size (-1) in
+  for x = 0 to lifted.Chain.size - 1 do
+    let v = f x in
+    if v < 0 || v >= base_size then
+      invalid_arg (Printf.sprintf "Lifting.lump: f maps state %d out of range" x);
+    let collapsed = Hashtbl.create 8 in
+    List.iter
+      (fun (y, p) ->
+        let w = f y in
+        let prev = Option.value (Hashtbl.find_opt collapsed w) ~default:0. in
+        Hashtbl.replace collapsed w (prev +. p))
+      (lifted.Chain.row x);
+    match rows.(v) with
+    | None ->
+        rows.(v) <- Some collapsed;
+        witness.(v) <- x
+    | Some expect ->
+        let agree key p =
+          Float.abs (Option.value (Hashtbl.find_opt expect key) ~default:0. -. p)
+          <= tol
+        in
+        let ok =
+          Hashtbl.length collapsed = Hashtbl.length expect
+          && Hashtbl.fold (fun key p acc -> acc && agree key p) collapsed true
+        in
+        if not ok then
+          invalid_arg
+            (Printf.sprintf
+               "Lifting.lump: not strongly lumpable: states %d and %d (both in \
+                fiber %d) collapse to different rows"
+               witness.(v) x v)
+  done;
+  let materialized =
+    Array.map
+      (function
+        | None -> invalid_arg "Lifting.lump: some base state has an empty fiber"
+        | Some collapsed ->
+            List.sort compare
+              (Hashtbl.fold (fun j p acc -> (j, p) :: acc) collapsed []))
+      rows
+  in
+  Chain.create
+    ~label:(fun v -> lifted.Chain.label witness.(v))
+    ~size:base_size
+    ~row:(fun v -> materialized.(v))
+    ()
+
 let fiber_symmetric ?(tol = 1e-9) ~lifted ~f ~pi () =
   let seen = Hashtbl.create 64 in
   let ok = ref true in

@@ -37,3 +37,15 @@ val fiber_symmetric :
   ?tol:float -> lifted:Chain.t -> f:(int -> int) -> pi:float array -> unit -> bool
 (** Lemma 6: all lifted states in the same fiber carry equal stationary
     probability. *)
+
+val lump :
+  ?tol:float -> lifted:Chain.t -> f:(int -> int) -> base_size:int -> unit -> Chain.t
+(** Constructs the lumped (base) chain from a lifted chain and a state
+    map [f], checking *strong lumpability*: every state of a fiber
+    must collapse to the same base row within [tol] (default 1e-9) —
+    [Invalid_argument] names the disagreeing pair otherwise.  This is
+    the executable form of the paper's Lemmas 4–6: lumping the
+    3ⁿ−1-state individual chain through the (a, b) count map yields
+    the O(n²) system chain, which the sparse solvers then handle at
+    populations the individual chain could never reach.  Rows are
+    materialized once; fibers must be non-empty. *)

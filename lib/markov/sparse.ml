@@ -1,0 +1,254 @@
+(* CSR (compressed sparse row) chains and the sparse solvers that make
+   the lumped O(n²)-state system chains tractable far beyond the dense
+   4000-state ceiling.  Everything here touches nonzeros only: one
+   float per transition, no row lists re-evaluated per iteration, no
+   n×n matrix ever materialized. *)
+
+type t = {
+  size : int;
+  row_start : int array;  (* length size + 1; row i spans
+                             [row_start.(i), row_start.(i+1)) *)
+  cols : int array;  (* length nnz: target states *)
+  probs : float array;  (* length nnz: transition probabilities *)
+  label : int -> string;
+}
+
+let nnz t = t.row_start.(t.size)
+
+let check_row ~eps ~size i start stop cols probs =
+  let total = ref 0. in
+  for e = start to stop - 1 do
+    let j = cols.(e) and p = probs.(e) in
+    if j < 0 || j >= size then
+      invalid_arg
+        (Printf.sprintf "Sparse: state %d: target %d out of range" i j);
+    if p < 0. then
+      invalid_arg
+        (Printf.sprintf "Sparse: state %d: negative probability to %d" i j);
+    total := !total +. p
+  done;
+  if Float.abs (!total -. 1.) > eps then
+    invalid_arg
+      (Printf.sprintf "Sparse: state %d: row sums to %.12g (want 1)" i !total)
+
+let validate ?(eps = 1e-9) t =
+  for i = 0 to t.size - 1 do
+    check_row ~eps ~size:t.size i t.row_start.(i) t.row_start.(i + 1) t.cols
+      t.probs
+  done
+
+let of_rows ?(check = true) ?(label = string_of_int) ~size rows =
+  if size <= 0 then invalid_arg "Sparse.of_rows: size must be positive";
+  if Array.length rows <> size then
+    invalid_arg "Sparse.of_rows: need one row per state";
+  let row_start = Array.make (size + 1) 0 in
+  for i = 0 to size - 1 do
+    row_start.(i + 1) <- row_start.(i) + List.length rows.(i)
+  done;
+  let n = row_start.(size) in
+  let cols = Array.make n 0 and probs = Array.make n 0. in
+  for i = 0 to size - 1 do
+    List.iteri
+      (fun k (j, p) ->
+        cols.(row_start.(i) + k) <- j;
+        probs.(row_start.(i) + k) <- p)
+      rows.(i)
+  done;
+  let t = { size; row_start; cols; probs; label } in
+  if check then validate t;
+  t
+
+let of_chain ?check (c : Chain.t) =
+  of_rows ?check ~label:c.Chain.label ~size:c.Chain.size
+    (Array.init c.Chain.size c.Chain.row)
+
+let row t i =
+  if i < 0 || i >= t.size then invalid_arg "Sparse.row: state out of range";
+  List.init
+    (t.row_start.(i + 1) - t.row_start.(i))
+    (fun k ->
+      let e = t.row_start.(i) + k in
+      (t.cols.(e), t.probs.(e)))
+
+let to_chain t = Chain.create ~check:false ~label:t.label ~size:t.size ~row:(row t) ()
+
+(* Standard CSR transpose by counting sort on target columns: the
+   result's row j lists the incoming transitions (i, p_ij). *)
+let transpose t =
+  let n = t.size and m = nnz t in
+  let counts = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    counts.(t.cols.(e) + 1) <- counts.(t.cols.(e) + 1) + 1
+  done;
+  for j = 0 to n - 1 do
+    counts.(j + 1) <- counts.(j + 1) + counts.(j)
+  done;
+  let row_start = Array.copy counts in
+  let cols = Array.make m 0 and probs = Array.make m 0. in
+  for i = 0 to n - 1 do
+    for e = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+      let j = t.cols.(e) in
+      cols.(counts.(j)) <- i;
+      probs.(counts.(j)) <- t.probs.(e);
+      counts.(j) <- counts.(j) + 1
+    done
+  done;
+  { size = n; row_start; cols; probs; label = t.label }
+
+let step t v =
+  if Array.length v <> t.size then invalid_arg "Sparse.step: size mismatch";
+  let out = Array.make t.size 0. in
+  for i = 0 to t.size - 1 do
+    let vi = v.(i) in
+    if vi <> 0. then
+      for e = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+        out.(t.cols.(e)) <- out.(t.cols.(e)) +. (vi *. t.probs.(e))
+      done
+  done;
+  out
+
+(* L1 residual ||piP - pi||_1: the solver-independent convergence
+   certificate every stationary routine reports. *)
+let residual t pi =
+  let out = step t pi in
+  let acc = ref 0. in
+  for i = 0 to t.size - 1 do
+    acc := !acc +. Float.abs (out.(i) -. pi.(i))
+  done;
+  !acc
+
+type stats = { sweeps : int; residual : float }
+
+(* Gauss-Seidel for pi P = pi, swept over the *transpose* so each
+   update reads a state's incoming transitions:
+
+     pi_j <- (sum_{i != j} pi_i p_ij) / (1 - p_jj),
+
+   in ascending state order with in-place (already-updated) values,
+   then renormalized to sum 1.  For an irreducible chain this is the
+   classic Gauss-Seidel splitting of the singular M-matrix system
+   (I - P^T) pi = 0 (Stewart, "Introduction to the Numerical Solution
+   of Markov Chains", ch. 3); unlike power iteration it needs no
+   laziness trick for the paper's period-2 chains, and on the lumped
+   (a, b) system chain it converges orders of magnitude faster. *)
+let stationary_stats ?(tol = 1e-12) ?(max_iters = 100_000) t =
+  let n = t.size in
+  let tr = transpose t in
+  let pi = Array.make n (1. /. float_of_int n) in
+  let res = ref infinity in
+  let sweeps = ref 0 in
+  (* Check the residual on a doubling schedule: computing it every
+     sweep would double the work for no information. *)
+  let next_check = ref 1 in
+  while !res > tol && !sweeps < max_iters do
+    for j = 0 to n - 1 do
+      let inflow = ref 0. and self = ref 0. in
+      for e = tr.row_start.(j) to tr.row_start.(j + 1) - 1 do
+        let i = tr.cols.(e) in
+        if i = j then self := !self +. tr.probs.(e)
+        else inflow := !inflow +. (pi.(i) *. tr.probs.(e))
+      done;
+      if !self >= 1. -. 1e-15 then
+        invalid_arg "Sparse.stationary: absorbing state (chain not irreducible)";
+      pi.(j) <- !inflow /. (1. -. !self)
+    done;
+    let total = Array.fold_left ( +. ) 0. pi in
+    if not (total > 0.) then
+      invalid_arg "Sparse.stationary: mass vanished (chain not irreducible?)";
+    for j = 0 to n - 1 do
+      pi.(j) <- pi.(j) /. total
+    done;
+    incr sweeps;
+    if !sweeps >= !next_check then begin
+      res := residual t pi;
+      next_check := !sweeps + Int.max 1 (!sweeps / 2)
+    end
+  done;
+  if !res > tol then res := residual t pi;
+  (pi, { sweeps = !sweeps; residual = !res })
+
+let stationary ?tol ?max_iters t = fst (stationary_stats ?tol ?max_iters t)
+
+(* Damped (lazy) power iteration over the CSR arrays.  Kept
+   operation-for-operation identical to the historical
+   Stationary.power_iteration inner loop so that callers migrating to
+   the CSR kernel reproduce their tables byte for byte. *)
+let power_iteration ?(max_iters = 1_000_000) ?(tol = 1e-12) t =
+  let n = t.size in
+  let v = ref (Array.make n (1. /. float_of_int n)) in
+  let next = ref (Array.make n 0.) in
+  let rec iterate k =
+    let cur = !v and out = !next in
+    Array.fill out 0 n 0.;
+    for i = 0 to n - 1 do
+      let vi = cur.(i) in
+      if vi <> 0. then
+        for e = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+          out.(t.cols.(e)) <- out.(t.cols.(e)) +. (vi *. t.probs.(e))
+        done
+    done;
+    for i = 0 to n - 1 do
+      out.(i) <- 0.5 *. (out.(i) +. cur.(i))
+    done;
+    let delta = ref 0. in
+    for i = 0 to n - 1 do
+      delta := !delta +. Float.abs (out.(i) -. cur.(i))
+    done;
+    v := out;
+    next := cur;
+    if !delta > tol && k < max_iters then iterate (k + 1)
+  in
+  iterate 0;
+  !v
+
+(* Sparse hitting times: the same Gauss-Seidel sweep as Hitting but
+   over CSR arrays, with the reachability guard run on the transpose
+   (BFS from the target set over incoming edges). *)
+let hitting_times ?(tol = 1e-11) ?(max_iters = 2_000_000) t ~targets =
+  if targets = [] then invalid_arg "Sparse.hitting_times: empty target set";
+  let n = t.size in
+  let is_target = Array.make n false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        invalid_arg "Sparse.hitting_times: target out of range";
+      is_target.(i) <- true)
+    targets;
+  let tr = transpose t in
+  let reaches = Array.copy is_target in
+  let queue = Queue.create () in
+  List.iter (fun i -> Queue.push i queue) targets;
+  while not (Queue.is_empty queue) do
+    let j = Queue.pop queue in
+    for e = tr.row_start.(j) to tr.row_start.(j + 1) - 1 do
+      let i = tr.cols.(e) in
+      if tr.probs.(e) > 0. && not reaches.(i) then begin
+        reaches.(i) <- true;
+        Queue.push i queue
+      end
+    done
+  done;
+  if Array.exists not reaches then
+    invalid_arg "Sparse.hitting_times: target set unreachable from some state";
+  let h = Array.make n 0. in
+  let rec sweep k =
+    let delta = ref 0. in
+    for i = 0 to n - 1 do
+      if not is_target.(i) then begin
+        let self = ref 0. and rest = ref 0. in
+        for e = t.row_start.(i) to t.row_start.(i + 1) - 1 do
+          let j = t.cols.(e) and p = t.probs.(e) in
+          if j = i then self := !self +. p
+          else if not is_target.(j) then rest := !rest +. (p *. h.(j))
+        done;
+        if !self >= 1. -. 1e-15 then
+          invalid_arg "Sparse.hitting_times: absorbing non-target state";
+        let v = (1. +. !rest) /. (1. -. !self) in
+        delta := Float.max !delta (Float.abs (v -. h.(i)));
+        h.(i) <- v
+      end
+    done;
+    if !delta > tol && k < max_iters then sweep (k + 1)
+  in
+  sweep 0;
+  h

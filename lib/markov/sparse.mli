@@ -1,0 +1,72 @@
+(** CSR (compressed sparse row) chains and sparse solvers.
+
+    The paper's lumped (a, b) system chain has O(n²) states with ≤ 3
+    transitions each; dense Gaussian elimination tops out near 4000
+    states, while these routines touch nonzeros only and solve the
+    lumped chain at 10⁵–10⁶ states.  Stationary distributions use
+    Gauss–Seidel sweeps over the transposed structure (no laziness
+    trick needed for period-2 chains); hitting times reuse the
+    Gauss–Seidel sweep of {!Hitting} over the CSR arrays. *)
+
+type t = {
+  size : int;
+  row_start : int array;
+      (** Length [size + 1]; row [i]'s nonzeros span
+          [row_start.(i) .. row_start.(i+1) - 1]. *)
+  cols : int array;  (** Target state per nonzero. *)
+  probs : float array;  (** Transition probability per nonzero. *)
+  label : int -> string;
+}
+
+val of_rows :
+  ?check:bool -> ?label:(int -> string) -> size:int -> (int * float) list array -> t
+(** Builds the CSR arrays from per-state transition lists.  With
+    [check] (the default) every row is validated: targets in range,
+    probabilities non-negative, sum 1 within 1e-9 — [Invalid_argument]
+    names the offending state otherwise. *)
+
+val of_chain : ?check:bool -> Chain.t -> t
+(** Materializes a row-function chain into CSR form (each row
+    evaluated exactly once), validating as [of_rows]. *)
+
+val to_chain : t -> Chain.t
+(** Row-function view over the CSR arrays (no copying per call beyond
+    the returned list). *)
+
+val row : t -> int -> (int * float) list
+val nnz : t -> int
+
+val validate : ?eps:float -> t -> unit
+(** Re-checks stochasticity; [Invalid_argument] on violation. *)
+
+val transpose : t -> t
+(** Incoming-edge view: row [j] of the result lists [(i, p_ij)]. *)
+
+val step : t -> float array -> float array
+(** One application [v ↦ vP] over nonzeros. *)
+
+val residual : t -> float array -> float
+(** [‖πP − π‖₁] — the solver-independent convergence certificate. *)
+
+type stats = { sweeps : int; residual : float }
+
+val stationary_stats : ?tol:float -> ?max_iters:int -> t -> float array * stats
+(** Gauss–Seidel for πP = π over the transpose, renormalized each
+    sweep, until the L1 residual drops below [tol] (default 1e-12).
+    Returns the distribution plus the sweep count and final residual.
+    Raises [Invalid_argument] on absorbing states or vanishing mass
+    (both symptoms of reducibility). *)
+
+val stationary : ?tol:float -> ?max_iters:int -> t -> float array
+(** [fst (stationary_stats ...)]. *)
+
+val power_iteration : ?max_iters:int -> ?tol:float -> t -> float array
+(** Damped (lazy) power iteration over the CSR arrays —
+    operation-for-operation identical to the historical
+    {!Stationary.power_iteration} loop, so migrating callers reproduce
+    their tables byte for byte. *)
+
+val hitting_times : ?tol:float -> ?max_iters:int -> t -> targets:int list -> float array
+(** Expected steps to reach [targets] from each state (0 on targets);
+    Gauss–Seidel over nonzeros with the unreachability guard run by
+    BFS on the transpose.  Same contract as {!Hitting.hitting_times}. *)

@@ -1,47 +1,13 @@
-let l1_diff a b =
-  let acc = ref 0. in
-  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. b.(i))) a;
-  !acc
-
-let power_iteration ?(max_iters = 1_000_000) ?(tol = 1e-12) t =
-  let n = t.Chain.size in
-  (* Materialize the sparse rows once: re-evaluating [t.row] per
-     iteration would allocate fresh lists millions of times. *)
-  let targets = Array.make n [||] and probs = Array.make n [||] in
-  for i = 0 to n - 1 do
-    let row = t.Chain.row i in
-    targets.(i) <- Array.of_list (List.map fst row);
-    probs.(i) <- Array.of_list (List.map snd row)
-  done;
-  let v = ref (Array.make n (1. /. float_of_int n)) in
-  let next = ref (Array.make n 0.) in
-  let rec iterate k =
-    let cur = !v and out = !next in
-    Array.fill out 0 n 0.;
-    for i = 0 to n - 1 do
-      let vi = cur.(i) in
-      if vi <> 0. then begin
-        let tg = targets.(i) and pr = probs.(i) in
-        for e = 0 to Array.length tg - 1 do
-          out.(tg.(e)) <- out.(tg.(e)) +. (vi *. pr.(e))
-        done
-      end
-    done;
-    (* Lazy damping: iterate (I + P)/2, which has the same stationary
-       distribution but converges even for periodic chains — and the
-       paper's scan-validate chains ARE periodic (period 2): every
-       step changes exactly one process's phase, flipping a parity
-       invariant. *)
-    for i = 0 to n - 1 do
-      out.(i) <- 0.5 *. (out.(i) +. cur.(i))
-    done;
-    let delta = l1_diff out cur in
-    v := out;
-    next := cur;
-    if delta > tol && k < max_iters then iterate (k + 1)
-  in
-  iterate 0;
-  !v
+(* Lazy damping: iterate (I + P)/2, which has the same stationary
+   distribution but converges even for periodic chains — and the
+   paper's scan-validate chains ARE periodic (period 2): every step
+   changes exactly one process's phase, flipping a parity invariant.
+   The loop itself lives in {!Sparse.power_iteration} over CSR arrays
+   (materialized once; re-evaluating [t.row] per iteration would
+   allocate fresh lists millions of times), in exactly the historical
+   operation order so existing tables stay byte-identical. *)
+let power_iteration ?max_iters ?tol t =
+  Sparse.power_iteration ?max_iters ?tol (Sparse.of_chain t)
 
 (* Solve pi P = pi with sum(pi) = 1: transpose to (P^T - I) pi^T = 0 and
    replace the last equation by the normalization constraint. *)

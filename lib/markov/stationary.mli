@@ -12,7 +12,10 @@ val power_iteration :
     change drops below [tol] (default 1e-12) or [max_iters] (default
     1_000_000).  The damping matters: the paper's scan-validate chains
     are irreducible but *periodic* (period 2), so plain iteration of P
-    would oscillate forever. *)
+    would oscillate forever.  Runs over a one-shot CSR materialization
+    ({!Sparse.power_iteration}); for chains beyond ~10⁴ states prefer
+    {!Sparse.stationary}, whose Gauss–Seidel sweeps converge orders of
+    magnitude faster on the paper's slowly-mixing chains. *)
 
 val solve : Chain.t -> float array
 (** Solves πP = π, Σπ = 1 by dense Gaussian elimination with partial

@@ -330,6 +330,115 @@ let test_ramanujan_matches_z () =
         z)
     [ 2; 3; 10; 100 ]
 
+(* -- Sparse system chain + mean field (scaling layer) ---------------- *)
+
+let test_scu_sparse_matches_dense () =
+  (* The CSR construction must be the same chain as [make], state for
+     state: identical size, identical rows under the arithmetic index,
+     identical stationary vector. *)
+  List.iter
+    (fun n ->
+      let sys = Chains.Scu_chain.System.make ~n in
+      let sp = Chains.Scu_chain.System.sparse ~n in
+      Alcotest.(check int) "size" sys.chain.size sp.Markov.Sparse.size;
+      for i = 0 to sys.chain.size - 1 do
+        let dense_row = List.sort compare (sys.chain.row i) in
+        let sparse_row = List.sort compare (Markov.Sparse.row sp i) in
+        Alcotest.(check bool)
+          (Printf.sprintf "row %d identical (n=%d)" i n)
+          true
+          (dense_row = sparse_row)
+      done;
+      let pi_dense = Markov.Stationary.compute sys.chain in
+      let pi_sparse = Markov.Sparse.stationary sp in
+      Array.iteri
+        (fun i p -> check_close ~tol:1e-8 (Printf.sprintf "pi(%d)" i) p pi_sparse.(i))
+        pi_dense)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_scu_index_roundtrip () =
+  let n = 7 in
+  let size = ((n + 1) * (n + 2) / 2) - 1 in
+  for i = 0 to size - 1 do
+    let a, b = Chains.Scu_chain.System.decode_index ~n i in
+    Alcotest.(check int) "roundtrip" i (Chains.Scu_chain.System.index ~n ~a ~b);
+    Alcotest.(check bool) "in simplex" true
+      (a >= 0 && b >= 0 && a + b <= n && not (a = 0 && b = n))
+  done
+
+let test_scu_sparse_latency_agrees () =
+  List.iter
+    (fun n ->
+      check_close ~tol:1e-9
+        (Printf.sprintf "sparse W = dense W at n=%d" n)
+        (Chains.Scu_chain.System.system_latency ~n)
+        (Chains.Scu_chain.System.sparse_latency ~n ()))
+    [ 1; 2; 4; 8; 16 ]
+
+let test_scu_lump_reproduces_system () =
+  (* Lemmas 4-6 executed: lumping the 3ⁿ−1-state individual chain
+     through the (a, b) count map yields exactly the system chain. *)
+  List.iter
+    (fun n ->
+      let ind = Chains.Scu_chain.Individual.make ~n in
+      let sys = Chains.Scu_chain.System.make ~n in
+      let lumped =
+        Markov.Lifting.lump ~lifted:ind.chain
+          ~f:(Chains.Scu_chain.lift ind sys)
+          ~base_size:sys.chain.size ()
+      in
+      for v = 0 to sys.chain.size - 1 do
+        List.iter2
+          (fun (j, p) (j', p') ->
+            Alcotest.(check int) "target" j j';
+            check_close ~tol:1e-9 "prob" p p')
+          (List.sort compare (sys.chain.row v))
+          (List.sort compare (lumped.Markov.Chain.row v))
+      done)
+    [ 2; 3; 4 ]
+
+let test_meanfield_fixed_point () =
+  (* The RK4 steady state must land on the analytic fixed point
+     a* = n/2, c* = sqrt(n/2), and the drift must vanish there. *)
+  List.iter
+    (fun n ->
+      let fp = Chains.Meanfield.fixed_point ~n in
+      let d = Chains.Meanfield.drift ~n:(float_of_int n) fp in
+      check_close ~tol:1e-9 "zero drift a" 0. d.Chains.Meanfield.a;
+      check_close ~tol:1e-9 "zero drift b" 0. d.Chains.Meanfield.b;
+      let s = Chains.Meanfield.steady_state ~n () in
+      check_close ~tol:1e-9
+        (Printf.sprintf "a* at n=%d" n)
+        fp.Chains.Meanfield.a s.Chains.Meanfield.a;
+      check_close ~tol:1e-9
+        (Printf.sprintf "b* at n=%d" n)
+        fp.Chains.Meanfield.b s.Chains.Meanfield.b)
+    [ 4; 64; 1024; 100_000 ]
+
+let test_meanfield_latency_closed_form () =
+  List.iter
+    (fun n ->
+      check_close ~tol:1e-9
+        (Printf.sprintf "W_mf = sqrt(2n) at n=%d" n)
+        (Chains.Meanfield.latency_closed_form ~n)
+        (Chains.Meanfield.latency ~n ());
+      check_close ~tol:1e-12 "predict agrees"
+        (Chains.Meanfield.latency_closed_form ~n)
+        (Chains.Predict.meanfield_scan_validate_latency ~n))
+    [ 16; 1000; 1_000_000 ]
+
+let test_fluctuation_correction_ratio () =
+  (* W_exact / W_mf decreases toward sqrt(pi/2) ~ 1.2533 from above. *)
+  let ratio n =
+    Chains.Scu_chain.System.system_latency ~n
+    /. Chains.Meanfield.latency_closed_form ~n
+  in
+  let r16 = ratio 16 and r64 = ratio 64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone toward sqrt(pi/2) (%.4f > %.4f)" r16 r64)
+    true
+    (r16 > r64 && r64 > Chains.Predict.fluctuation_correction)
+
 (* -- Predictions ----------------------------------------------------- *)
 
 let test_predict_shapes () =
@@ -428,6 +537,23 @@ let () =
             test_counter_ramanujan_corollary3;
           Alcotest.test_case "Q small values" `Quick test_ramanujan_q_small_values;
           Alcotest.test_case "Q+1 = Z(n-1)" `Quick test_ramanujan_matches_z;
+        ] );
+      ( "scaling (sparse + mean field)",
+        [
+          Alcotest.test_case "sparse = dense chain" `Quick
+            test_scu_sparse_matches_dense;
+          Alcotest.test_case "arithmetic index roundtrip" `Quick
+            test_scu_index_roundtrip;
+          Alcotest.test_case "sparse latency = dense latency" `Quick
+            test_scu_sparse_latency_agrees;
+          Alcotest.test_case "lump individual -> system (Lemmas 4-6)" `Quick
+            test_scu_lump_reproduces_system;
+          Alcotest.test_case "mean-field fixed point" `Quick
+            test_meanfield_fixed_point;
+          Alcotest.test_case "mean-field latency closed form" `Quick
+            test_meanfield_latency_closed_form;
+          Alcotest.test_case "fluctuation correction sqrt(pi/2)" `Quick
+            test_fluctuation_correction_ratio;
         ] );
       ( "predictions",
         [

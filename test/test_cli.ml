@@ -331,6 +331,51 @@ let test_check_crash_validation () =
       Alcotest.(check bool) "all-crash named" true
         (contains err "all processes would crash"))
 
+let test_load_bad_ns_rejected () =
+  (* Regression: a typo in --ns used to be parsed to the empty list,
+     silently ignored without --slo and reported as "--ns needs at
+     least two worker counts" with it.  It must name the bad token and
+     exit with a usage error in both cases. *)
+  with_scratch_dir (fun dir ->
+      let check_rejected label args =
+        let code, out, err = run dir args in
+        Alcotest.(check bool) (label ^ ": nonzero exit") true (code <> 0);
+        Alcotest.(check string) (label ^ ": nothing ran") "" out;
+        Alcotest.(check bool)
+          (label ^ ": names the bad token (stderr: " ^ err ^ ")")
+          true
+          (contains err "\"x\" is not an integer worker count"
+          && not (contains err "Raised at"))
+      in
+      check_rejected "without --slo" "load --clients 2 --ops 1 --ns 2,4,x";
+      check_rejected "with --slo"
+        "load --clients 2 --ops 1 --slo --slo-requests 1 --ns 2,4,x")
+
+let test_check_bad_crash_spec_rejected () =
+  (* Regression: the T:P parser's catch-all turned every malformed
+     --crash into the same message.  It must name the bad component. *)
+  with_scratch_dir (fun dir ->
+      let code, out, err =
+        run dir
+          "check --structures cas-counter -n 2 --ops 2 --replay 0,1 --crash \
+           5:1,bogus"
+      in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0);
+      Alcotest.(check string) "nothing ran" "" out;
+      Alcotest.(check bool)
+        ("names the bad component (stderr: " ^ err ^ ")")
+        true
+        (contains err "component \"bogus\" is not T:P"
+        && not (contains err "Raised at"));
+      (* A spec with the right shape but a non-integer field. *)
+      let code, _, err =
+        run dir
+          "check --structures cas-counter -n 2 --ops 2 --replay 0,1 --crash 5:p"
+      in
+      Alcotest.(check bool) "5:p rejected" true (code <> 0);
+      Alcotest.(check bool) "5:p named" true
+        (contains err "component \"5:p\" is not T:P"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -357,6 +402,10 @@ let () =
             test_chaos_validation_errors;
           Alcotest.test_case "check --crash validated" `Quick
             test_check_crash_validation;
+          Alcotest.test_case "load --ns typo named" `Quick
+            test_load_bad_ns_rejected;
+          Alcotest.test_case "check --crash bad component named" `Quick
+            test_check_bad_crash_spec_rejected;
         ] );
       ( "chaos",
         [

@@ -21,9 +21,9 @@ let test_expected_catalogue () =
       Alcotest.(check bool) (Printf.sprintf "%s present" id) true (List.mem id ids))
     [
       "fig1"; "fig3"; "fig4"; "fig5"; "thm3"; "lem2"; "thm4"; "lem7"; "thm5";
-      "lem11"; "lem12"; "lift"; "cor2"; "abl-sched"; "abl-wf"; "abl-lock";
-      "abl-of"; "abl-tas"; "structs"; "ext-shard"; "ext-mix"; "ext-methods";
-      "ext-tail"; "ext-backup"; "ext-replay"; "hw";
+      "lem11"; "lem12"; "lift"; "meanfield"; "cor2"; "abl-sched"; "abl-wf";
+      "abl-lock"; "abl-of"; "abl-tas"; "structs"; "ext-shard"; "ext-mix";
+      "ext-methods"; "ext-tail"; "ext-backup"; "ext-replay"; "hw";
     ]
 
 let test_select () =

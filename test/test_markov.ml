@@ -26,10 +26,36 @@ let test_validate_good () =
   | Error e -> Alcotest.failf "expected valid chain: %s" e
 
 let test_validate_bad_sum () =
-  let bad = Markov.Chain.create ~size:1 ~row:(fun _ -> [ (0, 0.9) ]) () in
+  (* With the eager check disabled, [validate] still reports. *)
+  let bad =
+    Markov.Chain.create ~check:false ~size:1 ~row:(fun _ -> [ (0, 0.9) ]) ()
+  in
   match Markov.Chain.validate bad with
   | Ok () -> Alcotest.fail "should reject row not summing to 1"
   | Error _ -> ()
+
+(* Regression: constructors used to accept non-stochastic rows
+   silently; [create] now validates eagerly unless [~check:false]. *)
+let test_create_rejects_bad_sum () =
+  Alcotest.check_raises "bad sum"
+    (Invalid_argument "Chain.create: state 0: row sums to 0.9 (want 1)")
+    (fun () ->
+      ignore (Markov.Chain.create ~size:1 ~row:(fun _ -> [ (0, 0.9) ]) ()))
+
+let test_create_rejects_negative () =
+  Alcotest.check_raises "negative probability"
+    (Invalid_argument "Chain.create: state 0: negative probability -0.5 to 0")
+    (fun () ->
+      ignore
+        (Markov.Chain.create ~size:2
+           ~row:(fun _ -> [ (0, -0.5); (1, 1.5) ])
+           ()))
+
+let test_create_rejects_out_of_range () =
+  Alcotest.check_raises "target out of range"
+    (Invalid_argument "Chain.create: state 0: target 5 out of range")
+    (fun () ->
+      ignore (Markov.Chain.create ~size:2 ~row:(fun _ -> [ (5, 1.) ]) ()))
 
 let test_validate_duplicate () =
   let bad = Markov.Chain.create ~size:2 ~row:(fun _ -> [ (0, 0.5); (0, 0.5) ]) () in
@@ -255,6 +281,134 @@ let test_spectral_gap_bounds_mixing () =
     true
     (float_of_int tmix >= 0.3 /. gap && float_of_int tmix <= 20. /. gap)
 
+(* -- Sparse / CSR --------------------------------------------------- *)
+
+let test_sparse_roundtrip () =
+  let chain = lazy_cycle 7 in
+  let sp = Markov.Sparse.of_chain chain in
+  Alcotest.(check int) "nnz" 21 (Markov.Sparse.nnz sp);
+  for i = 0 to 6 do
+    Alcotest.(check bool) "row preserved" true
+      (Markov.Sparse.row sp i = chain.Markov.Chain.row i)
+  done;
+  let back = Markov.Sparse.to_chain sp in
+  Alcotest.(check bool) "to_chain row" true
+    (back.Markov.Chain.row 3 = chain.Markov.Chain.row 3)
+
+let test_sparse_transpose () =
+  let chain = two_state 0.3 0.6 in
+  let tr = Markov.Sparse.transpose (Markov.Sparse.of_chain chain) in
+  (* Incoming edges of state 1: 0 →(0.3) and 1 →(0.4). *)
+  Alcotest.(check bool) "incoming of 1" true
+    (List.sort compare (Markov.Sparse.row tr 1) = [ (0, 0.3); (1, 0.4) ])
+
+let test_sparse_stationary_agrees_dense () =
+  let chain = two_state 0.3 0.6 in
+  let dense = Markov.Stationary.solve chain in
+  let pi, stats =
+    Markov.Sparse.stationary_stats (Markov.Sparse.of_chain chain)
+  in
+  Alcotest.(check (float 1e-10)) "pi0" dense.(0) pi.(0);
+  Alcotest.(check (float 1e-10)) "pi1" dense.(1) pi.(1);
+  Alcotest.(check bool)
+    (Printf.sprintf "residual certified (%.3g)" stats.Markov.Sparse.residual)
+    true
+    (stats.Markov.Sparse.residual <= 1e-12)
+
+let test_sparse_stationary_periodic () =
+  (* The period-2 flip chain defeats undamped power iteration;
+     Gauss-Seidel needs no laziness trick. *)
+  let flip = Markov.Chain.create ~size:2 ~row:(fun i -> [ (1 - i, 1.) ]) () in
+  let pi = Markov.Sparse.stationary (Markov.Sparse.of_chain flip) in
+  Alcotest.(check (float 1e-12)) "uniform" 0.5 pi.(0)
+
+let test_sparse_power_agrees_stationary () =
+  let chain = lazy_cycle 9 in
+  let sp = Markov.Sparse.of_chain chain in
+  let gs = Markov.Sparse.stationary sp in
+  let pw = Markov.Sparse.power_iteration sp in
+  for i = 0 to 8 do
+    Alcotest.(check (float 1e-9)) "gs = power" gs.(i) pw.(i)
+  done
+
+let test_sparse_hitting_agrees_dense () =
+  let chain = lazy_cycle 6 in
+  let dense = Markov.Hitting.hitting_times chain ~targets:[ 0 ] in
+  let sp =
+    Markov.Sparse.hitting_times (Markov.Sparse.of_chain chain) ~targets:[ 0 ]
+  in
+  for i = 0 to 5 do
+    Alcotest.(check (float 1e-6)) (Printf.sprintf "h%d" i) dense.(i) sp.(i)
+  done
+
+let test_sparse_hitting_unreachable () =
+  let chain =
+    Markov.Chain.create ~size:2 ~row:(fun _ -> [ (1, 1.) ]) ()
+  in
+  Alcotest.check_raises "unreachable"
+    (Invalid_argument "Sparse.hitting_times: target set unreachable from some state")
+    (fun () ->
+      ignore
+        (Markov.Sparse.hitting_times (Markov.Sparse.of_chain chain)
+           ~targets:[ 0 ]))
+
+let test_sparse_of_rows_rejects_bad_sum () =
+  Alcotest.check_raises "bad sum"
+    (Invalid_argument "Sparse: state 0: row sums to 0.9 (want 1)")
+    (fun () ->
+      ignore (Markov.Sparse.of_rows ~size:1 [| [ (0, 0.9) ] |]))
+
+let test_sparse_stationary_rejects_absorbing () =
+  let rows = [| [ (0, 1.) ]; [ (0, 1.) ] |] in
+  Alcotest.check_raises "absorbing"
+    (Invalid_argument "Sparse.stationary: absorbing state (chain not irreducible)")
+    (fun () ->
+      ignore (Markov.Sparse.stationary (Markov.Sparse.of_rows ~size:2 rows)))
+
+(* -- Lumping -------------------------------------------------------- *)
+
+let test_lump_duplicate () =
+  (* Lumping the duplicated chain back through x/2 must reproduce the
+     base chain's rows exactly. *)
+  let base = two_state 0.3 0.6 in
+  let lifted =
+    Markov.Chain.create ~size:4
+      ~row:(fun x ->
+        let i = x / 2 in
+        List.concat_map
+          (fun (j, p) -> [ ((2 * j), p /. 2.); ((2 * j) + 1, p /. 2.) ])
+          (base.Markov.Chain.row i))
+      ()
+  in
+  let lumped = Markov.Lifting.lump ~lifted ~f:(fun x -> x / 2) ~base_size:2 () in
+  for i = 0 to 1 do
+    List.iter2
+      (fun (j, p) (j', p') ->
+        Alcotest.(check int) "target" j j';
+        Alcotest.(check (float 1e-12)) "prob" p p')
+      (List.sort compare (base.Markov.Chain.row i))
+      (List.sort compare (lumped.Markov.Chain.row i))
+  done
+
+let test_lump_rejects_non_lumpable () =
+  (* States 0 and 1 share a fiber but collapse to different rows:
+     0 sends all mass to fiber 1, 1 only half. *)
+  let lifted =
+    Markov.Chain.create ~size:3
+      ~row:(fun i ->
+        match i with
+        | 0 -> [ (2, 1.) ]
+        | 1 -> [ (1, 0.5); (2, 0.5) ]
+        | _ -> [ (0, 1.) ])
+      ()
+  in
+  let f = function 0 | 1 -> 0 | _ -> 1 in
+  Alcotest.check_raises "not strongly lumpable"
+    (Invalid_argument
+       "Lifting.lump: not strongly lumpable: states 0 and 1 (both in fiber 0) \
+        collapse to different rows")
+    (fun () -> ignore (Markov.Lifting.lump ~lifted ~f ~base_size:2 ()))
+
 let test_mixing_handles_periodic_chain () =
   (* A pure 2-cycle never mixes without laziness; the lazy walk does. *)
   let flip = Markov.Chain.create ~size:2 ~row:(fun i -> [ (1 - i, 1.) ]) () in
@@ -269,6 +423,12 @@ let () =
           Alcotest.test_case "validate good" `Quick test_validate_good;
           Alcotest.test_case "validate bad sum" `Quick test_validate_bad_sum;
           Alcotest.test_case "validate duplicate" `Quick test_validate_duplicate;
+          Alcotest.test_case "create rejects bad sum" `Quick
+            test_create_rejects_bad_sum;
+          Alcotest.test_case "create rejects negative" `Quick
+            test_create_rejects_negative;
+          Alcotest.test_case "create rejects out of range" `Quick
+            test_create_rejects_out_of_range;
           Alcotest.test_case "step distribution" `Quick test_step_distribution;
           Alcotest.test_case "sampled occupancy" `Quick test_sample_path_occupancy;
         ] );
@@ -295,6 +455,28 @@ let () =
         [
           Alcotest.test_case "duplicate lifting verified" `Quick test_lifting_duplicate;
           Alcotest.test_case "wrong map rejected" `Quick test_lifting_rejects_wrong_map;
+          Alcotest.test_case "lump reproduces base" `Quick test_lump_duplicate;
+          Alcotest.test_case "lump rejects non-lumpable" `Quick
+            test_lump_rejects_non_lumpable;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "csr roundtrip" `Quick test_sparse_roundtrip;
+          Alcotest.test_case "transpose" `Quick test_sparse_transpose;
+          Alcotest.test_case "stationary agrees with dense" `Quick
+            test_sparse_stationary_agrees_dense;
+          Alcotest.test_case "stationary on periodic chain" `Quick
+            test_sparse_stationary_periodic;
+          Alcotest.test_case "power agrees with gauss-seidel" `Quick
+            test_sparse_power_agrees_stationary;
+          Alcotest.test_case "hitting agrees with dense" `Quick
+            test_sparse_hitting_agrees_dense;
+          Alcotest.test_case "hitting unreachable rejected" `Quick
+            test_sparse_hitting_unreachable;
+          Alcotest.test_case "of_rows rejects bad sum" `Quick
+            test_sparse_of_rows_rejects_bad_sum;
+          Alcotest.test_case "stationary rejects absorbing" `Quick
+            test_sparse_stationary_rejects_absorbing;
         ] );
       ( "mixing",
         [
