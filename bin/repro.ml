@@ -69,6 +69,48 @@ end
 
 let seed_arg = Flags.seed
 
+(* Shared by `run` and `bench`: an optional scenario gate in front of
+   the numbers — tables and benchmarks are only worth reading if the
+   structures they exercise are correct under the current build. *)
+let preflight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "preflight" ] ~docv:"SCENARIO"
+        ~doc:
+          "Run this scenario (a preset name like $(b,quick), or a `repro \
+           scenario --spec` grammar value) before the sweep and abort with \
+           exit 1 if it finds any violation or failed gate.")
+
+let run_preflight = function
+  | None -> Ok ()
+  | Some s -> (
+      let scn =
+        match Scenario.preset s with
+        | Some p -> Ok p
+        | None -> Scenario.parse s
+      in
+      match Result.bind scn (fun scn -> Result.map (fun () -> scn) (Scenario.validate scn)) with
+      | Error msg -> Error ("--preflight: " ^ msg)
+      | Ok scn ->
+          let t0 = now () in
+          let outcome = Scenario.run scn in
+          Printf.eprintf
+            "preflight: %d violation(s), %d failed gate(s) across %d \
+             trial(s) in %.2fs\n\
+             %!"
+            (List.length outcome.failures)
+            outcome.gates_failed outcome.trials (now () -. t0);
+          if outcome.passed then Ok ()
+          else begin
+            List.iter
+              (fun (f : Scenario.failure) ->
+                Printf.eprintf "  preflight violation [%s/%s]: %s\n%!"
+                  f.structure f.source f.verdict)
+              outcome.failures;
+            Error "--preflight scenario failed; not running the sweep"
+          end)
+
 let jobs_arg =
   Arg.(
     value
@@ -306,7 +348,10 @@ let run_cmd =
              when --resume supplies them.")
   in
   let run ids quick seed jobs cache no_progress no_manifest retries timeout
-      no_backoff faults resume csv out =
+      no_backoff faults resume csv out preflight =
+    match run_preflight preflight with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
     let resumed =
       match resume with
       | None -> Ok None
@@ -479,7 +524,8 @@ let run_cmd =
       ret
         (const run $ ids_arg $ quick $ seed_arg $ jobs_arg $ cache_flag
        $ progress_flag $ no_manifest_flag $ retries_arg $ timeout_arg
-       $ no_backoff_flag $ fault_arg $ resume_arg $ csv $ out_dir))
+       $ no_backoff_flag $ fault_arg $ resume_arg $ csv $ out_dir
+       $ preflight_arg))
 
 (* `repro bench`: time every cell of the selected experiments'
    plans sequentially (parallel timing would measure contention, not
@@ -546,9 +592,12 @@ let bench_cmd =
         | Some i, Some c when c > 0. -> Ok (i /. c)
         | _ -> Error (what ^ " is missing the microbench interp/compiled cells"))
   in
-  let run ids seed repeat full no_progress out gate =
+  let run ids seed repeat full no_progress out gate preflight =
     if repeat < 1 then `Error (false, "--repeat must be at least 1")
     else
+      match run_preflight preflight with
+      | Error msg -> `Error (false, msg)
+      | Ok () -> (
       match Experiments.Exp.select ids with
       | Error msg -> `Error (false, msg ^ "; try `repro list`")
       | Ok exps ->
@@ -622,13 +671,13 @@ let bench_cmd =
                              (floor %.2fx): %s\n"
                             current base floor
                             (if current >= floor then "OK" else "FAIL");
-                          if current >= floor then `Ok () else exit 1))))
+                          if current >= floor then `Ok () else exit 1)))))
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       ret
         (const run $ ids_arg $ seed_arg $ repeat_arg $ full_flag
-       $ progress_flag $ out_arg $ gate_arg))
+       $ progress_flag $ out_arg $ gate_arg $ preflight_arg))
 
 (* Arguments shared by `repro check` and `repro chaos`. *)
 
@@ -833,6 +882,13 @@ let check_cmd =
           write_artifact ~structure ~source ~mix_seed ~tail ~crash_plan
             ~verdict schedule
         in
+        (* Both paths below construct a Scenario.t and route through
+           Scenario.run; all printing happens in the event callback so
+           the stdout of historical invocations stays byte-identical
+           (pinned by the golden CLI tests). *)
+        let names =
+          List.map (fun (s : Scu.Checkable.t) -> s.name) structs
+        in
         match replay with
         | Some sched_string -> (
             match structs with
@@ -844,69 +900,87 @@ let check_cmd =
                   if tail = "round-robin" then Check.Schedule.Round_robin
                   else Check.Schedule.Stop
                 in
-                let outcome =
-                  Check.Schedule.run
-                    ~fault_plan:
-                      (Sched.Fault_plan.of_crash_plan
-                         (Sched.Crash_plan.of_list crash_events))
-                    ?mix_seed:mix ~structure ~n ~ops ~tail:tail_mode schedule
+                let scn =
+                  Scenario.make ~n ~ops ~seed ?mix_seed:mix
+                    ~faults:
+                      {
+                        Sched.Fault_plan.base =
+                          Sched.Fault_plan.of_crash_plan
+                            (Sched.Crash_plan.of_list crash_events);
+                        rates = Sched.Fault_plan.zero_rates;
+                      }
+                    ~sources:
+                      [ Scenario.Replay { schedule; tail = tail_mode } ]
+                    ~gates:[ Scenario.Lin ]
+                    ~structures:[ structure.Scu.Checkable.name ]
+                    ()
                 in
-                Printf.printf "%s: %s\n  effective schedule: %s\n"
-                  structure.Scu.Checkable.name
-                  (Check.Schedule.verdict_to_string outcome.verdict)
-                  (Sched.Scheduler.replay_to_string outcome.executed);
-                let bad = Check.Schedule.is_bad outcome.verdict in
-                if bad = expect_bug then `Ok ()
+                let bad = ref false in
+                let on_event = function
+                  | Scenario.Replay_done { structure; outcome } ->
+                      Printf.printf "%s: %s\n  effective schedule: %s\n"
+                        structure
+                        (Check.Schedule.verdict_to_string outcome.verdict)
+                        (Sched.Scheduler.replay_to_string outcome.executed);
+                      bad := Check.Schedule.is_bad outcome.verdict
+                  | _ -> ()
+                in
+                ignore (Scenario.run ~on_event ~now scn : Scenario.outcome);
+                if !bad = expect_bug then `Ok ()
                 else exit 1
             | _ -> `Error (false, "--replay needs exactly one --structures name"))
         | None ->
-            if List.mem "explore" modes then begin
-              let config =
-                if long then
+            let sources =
+              (if List.mem "explore" modes then [ Scenario.Explore ] else [])
+              @ if List.mem "fuzz" modes then [ Scenario.Fuzz ] else []
+            in
+            let gates =
+              Scenario.Lin
+              :: (if List.mem "conform" modes then [ Scenario.Conform ]
+                  else [])
+            in
+            let budget =
+              {
+                Scenario.explore_nodes = (if long then 500_000 else 20_000);
+                explore_depth = (if long then 128 else 64);
+                fuzz_trials = (if long then 3_000 else 300);
+                sched_trials = (if long then 16 else 4);
+                chaos_trials = Check.Chaos.default.trials;
+                long_conform = long;
+              }
+            in
+            let scn =
+              Scenario.make ~n ~ops ~seed
+                ~faults:
                   {
-                    Check.Explore.default with
-                    max_nodes = 500_000;
-                    max_depth = 128;
+                    Sched.Fault_plan.base = Sched.Fault_plan.none;
+                    rates = Sched.Fault_plan.zero_rates;
                   }
-                else Check.Explore.default
-              in
-              List.iter
-                (fun (s : Scu.Checkable.t) ->
-                  let t0 = now () in
-                  let r = Check.Explore.explore ~config ~structure:s ~n ~ops () in
+                ~sources ~gates ~budget ~structures:names ()
+            in
+            let on_event = function
+              | Scenario.Explore_done { structure; report = r; elapsed } ->
                   Printf.printf
                     "[explore] %-14s nodes=%d terminals=%d pruned=%d+%d \
                      violations=%d exhausted=%b (%.2fs)\n"
-                    s.name r.nodes r.terminals r.pruned_by_state
+                    structure r.nodes r.terminals r.pruned_by_state
                     r.pruned_by_sleep
                     (List.length r.violations)
-                    r.exhausted (now () -. t0);
+                    r.exhausted elapsed;
                   List.iteri
                     (fun i (v : Check.Explore.violation) ->
                       if i < 3 then
-                        report_violation ~structure:s.name ~source:"explore"
+                        report_violation ~structure ~source:"explore"
                           ~mix_seed:None ~tail:"stop" ~crash_plan:[]
                           ~verdict:(Check.Schedule.verdict_to_string v.verdict)
                           v.schedule
                       else incr violations)
-                    r.violations)
-                structs
-            end;
-            if List.mem "fuzz" modes then begin
-              let config =
-                let d = Check.Fuzz.default in
-                if long then
-                  { d with trials = 3_000; sched_trials = 16; seed }
-                else { d with seed }
-              in
-              List.iter
-                (fun (s : Scu.Checkable.t) ->
-                  let t0 = now () in
-                  let r = Check.Fuzz.fuzz ~config ~structure:s ~n ~ops () in
+                    r.violations
+              | Scenario.Fuzz_done { structure; report = r; elapsed } ->
                   Printf.printf "[fuzz]    %-14s trials=%d failures=%d (%.2fs)\n"
-                    s.name r.trials
+                    structure r.trials
                     (List.length r.failures)
-                    (now () -. t0);
+                    elapsed;
                   if r.failures <> [] then
                     Printf.printf "  seed: %d (re-run with --seed %d)\n" seed
                       seed;
@@ -918,23 +992,21 @@ let check_cmd =
                           (if f.source = "qcheck" then "round-robin"
                            else "stop")
                         ~crash_plan:f.crash_plan ~verdict:f.verdict f.schedule)
-                    r.failures)
-                structs
-            end;
-            if List.mem "conform" modes then begin
-              let t0 = now () in
-              let r = Check.Conform.run ~long_budget:long ~seed () in
-              List.iter
-                (fun (g : Check.Conform.gate) ->
-                  if not g.passed then incr gates_failed;
-                  Printf.printf "[conform] %s %-24s %s\n"
-                    (if g.passed then "PASS" else "FAIL")
-                    g.name g.detail)
-                r.gates;
-              Printf.printf "[conform] %s in %.1fs (seed %d)\n"
-                (if r.passed then "all gates passed" else "GATES FAILED")
-                (now () -. t0) seed
-            end;
+                    r.failures
+              | Scenario.Conform_done { report = r; elapsed } ->
+                  List.iter
+                    (fun (g : Check.Conform.gate) ->
+                      if not g.passed then incr gates_failed;
+                      Printf.printf "[conform] %s %-24s %s\n"
+                        (if g.passed then "PASS" else "FAIL")
+                        g.name g.detail)
+                    r.gates;
+                  Printf.printf "[conform] %s in %.1fs (seed %d)\n"
+                    (if r.passed then "all gates passed" else "GATES FAILED")
+                    elapsed seed
+              | _ -> ()
+            in
+            ignore (Scenario.run ~on_event ~now scn : Scenario.outcome);
             let ok =
               if expect_bug then !violations > 0
               else !violations = 0 && !gates_failed = 0
@@ -1031,19 +1103,34 @@ let chaos_cmd =
                       let schedule =
                         Sched.Scheduler.replay_of_string sched_string
                       in
-                      let outcome =
-                        Check.Schedule.run
-                          ~fault_plan:spec.Sched.Fault_plan.base ?mix_seed:mix
-                          ~structure ~n ~ops ~tail:Check.Schedule.Round_robin
-                          schedule
+                      let scn =
+                        Scenario.make ~n ~ops ~seed ?mix_seed:mix ~faults:spec
+                          ~sources:
+                            [
+                              Scenario.Replay
+                                {
+                                  schedule;
+                                  tail = Check.Schedule.Round_robin;
+                                };
+                            ]
+                          ~gates:[ Scenario.Lin ]
+                          ~structures:[ structure.Scu.Checkable.name ]
+                          ()
                       in
-                      Printf.printf "%s: %s\n  effective schedule: %s\n"
-                        structure.Scu.Checkable.name
-                        (Check.Schedule.verdict_to_string outcome.verdict)
-                        (Sched.Scheduler.replay_to_string outcome.executed);
-                      if Check.Schedule.is_bad outcome.verdict = expect_bug then
-                        `Ok ()
-                      else exit 1
+                      let bad = ref false in
+                      let on_event = function
+                        | Scenario.Replay_done { structure; outcome } ->
+                            Printf.printf "%s: %s\n  effective schedule: %s\n"
+                              structure
+                              (Check.Schedule.verdict_to_string outcome.verdict)
+                              (Sched.Scheduler.replay_to_string
+                                 outcome.executed);
+                            bad := Check.Schedule.is_bad outcome.verdict
+                        | _ -> ()
+                      in
+                      ignore
+                        (Scenario.run ~on_event ~now scn : Scenario.outcome);
+                      if !bad = expect_bug then `Ok () else exit 1
                     end
                 | _ ->
                     `Error (false, "--replay needs exactly one --structures name"))
@@ -1084,31 +1171,44 @@ let chaos_cmd =
                     out
                 in
                 let t0 = now () in
-                List.iter
-                  (fun (s : Scu.Checkable.t) ->
-                    let t1 = now () in
-                    let r =
-                      Check.Chaos.run ~config ~spec ~structure:s ~n ~ops ()
-                    in
-                    Printf.printf "[chaos]   %-14s trials=%d failures=%d\n"
-                      s.name r.trials
-                      (List.length r.failures);
-                    Printf.eprintf "  [chaos] %s: %.2fs\n%!" s.name
-                      (now () -. t1);
-                    List.iter
-                      (fun (f : Check.Chaos.failure) ->
-                        incr violations;
-                        Printf.printf
-                          "VIOLATION [%s/chaos]\n  schedule: %s\n  faults: %s\n\
-                          \  %s\n"
-                          f.structure f.replay (spec_of f) f.verdict;
-                        Printf.printf
-                          "  replay: repro chaos --structures %s -n %d --ops \
-                           %d --replay %s --faults %s --mix-seed %d --no-sweep\n"
-                          f.structure n ops f.replay (spec_of f) f.mix_seed;
-                        write_artifact f)
-                      r.failures)
-                  structs;
+                let scn =
+                  Scenario.make ~n ~ops ~seed ~faults:spec
+                    ~sources:[ Scenario.Chaos ]
+                    ~gates:[ Scenario.Lin ]
+                    ~budget:
+                      {
+                        Scenario.standard.budget with
+                        chaos_trials = config.trials;
+                      }
+                    ~structures:
+                      (List.map (fun (s : Scu.Checkable.t) -> s.name) structs)
+                    ()
+                in
+                let on_event = function
+                  | Scenario.Chaos_done { structure; report = r; elapsed } ->
+                      Printf.printf "[chaos]   %-14s trials=%d failures=%d\n"
+                        structure r.trials
+                        (List.length r.failures);
+                      Printf.eprintf "  [chaos] %s: %.2fs\n%!" structure
+                        elapsed;
+                      List.iter
+                        (fun (f : Check.Chaos.failure) ->
+                          incr violations;
+                          Printf.printf
+                            "VIOLATION [%s/chaos]\n  schedule: %s\n  faults: \
+                             %s\n\
+                            \  %s\n"
+                            f.structure f.replay (spec_of f) f.verdict;
+                          Printf.printf
+                            "  replay: repro chaos --structures %s -n %d \
+                             --ops %d --replay %s --faults %s --mix-seed %d \
+                             --no-sweep\n"
+                            f.structure n ops f.replay (spec_of f) f.mix_seed;
+                          write_artifact f)
+                        r.failures
+                  | _ -> ()
+                in
+                ignore (Scenario.run ~on_event ~now scn : Scenario.outcome);
                 if not no_sweep then begin
                   match Experiments.Exp.find "chaos" with
                   | None -> ()
@@ -1142,6 +1242,279 @@ let chaos_cmd =
         (const run $ faults_arg $ structures_arg $ n_arg $ ops_arg $ seed_arg
        $ trials_arg $ quick $ expect_bug_flag $ no_sweep_flag
        $ no_manifest_flag $ replay_arg $ mix_arg $ chaos_out_arg))
+
+(* `repro scenario`: the scenario DSL's own CLI — named presets
+   (quick/standard/century/chaos), the --spec grammar, and flag
+   overrides on top of either.  Unlike `check`/`chaos` (whose stdout
+   is frozen for compatibility), this command owns its format:
+   progress lines per (source, structure), VIOLATION blocks with a
+   self-contained `repro scenario --spec` reproduction command, and
+   --out artifacts that embed the failing scenario spec. *)
+let scenario_cmd =
+  let doc =
+    "Run a declarative scenario: a named preset (quick, standard, century, \
+     chaos) or a --spec grammar value, over any of the checkable structures, \
+     with the shadow-state gate on by default."
+  in
+  let preset_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Named scenario preset: $(b,quick) (explore+fuzz, fault-free), \
+             $(b,standard) (adds the chaos source at mild fault rates), \
+             $(b,century) (large budgets, rare-event rates, conform gate) or \
+             $(b,chaos) (heavy mixed fault drill).  Default: standard.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:
+            "Full scenario spec in the `;`-separated key=value grammar (see \
+             repro scenario --list for each preset's canonical form); \
+             $(b,preset=NAME) as the first field selects the base the \
+             remaining fields override.  Mutually exclusive with --preset.")
+  in
+  let structures_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "structures" ] ~docv:"NAMES"
+          ~doc:
+            "Override the scenario's structures: comma-separated names, \
+             $(b,stock) or $(b,all).")
+  in
+  let n_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "procs" ] ~docv:"N" ~doc:"Override processes per run.")
+  in
+  let ops_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ops" ] ~docv:"K" ~doc:"Override operations per process.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N" ~doc:"Override the scenario seed.")
+  in
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the named presets as canonical --spec values and exit.")
+  in
+  let print_flag =
+    Arg.(
+      value & flag
+      & info [ "print" ]
+          ~doc:
+            "Print the resolved scenario's canonical --spec value and exit \
+             without running it.")
+  in
+  let out_arg = Flags.artifact_dir in
+  (* A failure's one-shot reproduction scenario: same workload, the
+     failure's own mix seed, its shrunk fault plan (explicit events
+     only) plus any crash plan, a fixed replay source, and both
+     history gates. *)
+  let replay_scenario (scn : Scenario.t) (f : Scenario.failure) =
+    let faults =
+      let of_events =
+        match Sched.Fault_plan.parse_spec f.fault_spec with
+        | Ok s -> s
+        | Error _ ->
+            {
+              Sched.Fault_plan.base = Sched.Fault_plan.none;
+              rates = Sched.Fault_plan.zero_rates;
+            }
+      in
+      {
+        of_events with
+        Sched.Fault_plan.base =
+          Sched.Fault_plan.merge
+            (Sched.Fault_plan.of_crash_events f.crash_plan)
+            of_events.Sched.Fault_plan.base;
+      }
+    in
+    Scenario.make ~n:scn.Scenario.n ~ops:scn.Scenario.ops
+      ~seed:scn.Scenario.seed ?mix_seed:f.mix_seed ~faults
+      ~sources:
+        [
+          Scenario.Replay
+            {
+              schedule = f.schedule;
+              tail =
+                (if f.tail = "round-robin" then Check.Schedule.Round_robin
+                 else Check.Schedule.Stop);
+            };
+        ]
+      ~gates:[ Scenario.Lin; Scenario.Shadow ]
+      ~structures:[ f.structure ] ()
+  in
+  let run preset spec structures n ops seed list print expect_bug out =
+    if list then begin
+      List.iter
+        (fun (name, p) ->
+          Printf.printf "%-10s %s\n" name (Scenario.to_string p))
+        Scenario.presets;
+      `Ok ()
+    end
+    else
+      let base =
+        match (preset, spec) with
+        | Some _, Some _ -> Error "--preset and --spec are mutually exclusive"
+        | Some name, None -> (
+            match Scenario.preset name with
+            | Some p -> Ok p
+            | None ->
+                Error
+                  (Printf.sprintf "unknown --preset %S (known: %s)" name
+                     (String.concat ", " (List.map fst Scenario.presets))))
+        | None, Some s -> Scenario.parse s
+        | None, None -> Ok Scenario.standard
+      in
+      let base =
+        Result.bind base (fun b ->
+            match structures with
+            | None -> Ok b
+            | Some s -> (
+                match parse_structures s with
+                | Ok structs ->
+                    Ok
+                      (Scenario.with_structures
+                         (List.map
+                            (fun (t : Scu.Checkable.t) -> t.name)
+                            structs)
+                         b)
+                | Error msg -> Error msg))
+      in
+      match base with
+      | Error msg -> `Error (false, msg)
+      | Ok scn -> (
+          let scn =
+            scn
+            |> Scenario.with_workload
+                 ~n:(Option.value n ~default:scn.Scenario.n)
+                 ~ops:(Option.value ops ~default:scn.Scenario.ops)
+          in
+          let scn =
+            match seed with
+            | None -> scn
+            | Some s -> Scenario.with_seed s scn
+          in
+          match Scenario.validate scn with
+          | Error msg -> `Error (false, msg)
+          | Ok () ->
+              if print then begin
+                print_endline (Scenario.to_string scn);
+                `Ok ()
+              end
+              else begin
+                Printf.printf "scenario: %s\n" (Scenario.to_string scn);
+                let gates_failed = ref 0 in
+                let on_event = function
+                  | Scenario.Explore_done { structure; report = r; elapsed }
+                    ->
+                      Printf.printf
+                        "[explore] %-18s nodes=%d terminals=%d \
+                         violations=%d exhausted=%b (%.2fs)\n"
+                        structure r.nodes r.terminals
+                        (List.length r.violations)
+                        r.exhausted elapsed
+                  | Scenario.Fuzz_done { structure; report = r; elapsed } ->
+                      Printf.printf
+                        "[fuzz]    %-18s trials=%d failures=%d (%.2fs)\n"
+                        structure r.trials
+                        (List.length r.failures)
+                        elapsed
+                  | Scenario.Chaos_done { structure; report = r; elapsed } ->
+                      Printf.printf
+                        "[chaos]   %-18s trials=%d failures=%d (%.2fs)\n"
+                        structure r.trials
+                        (List.length r.failures)
+                        elapsed
+                  | Scenario.Replay_done { structure; outcome } ->
+                      Printf.printf "[replay]  %-18s %s\n" structure
+                        (Check.Schedule.verdict_to_string outcome.verdict)
+                  | Scenario.Load_done
+                      { structure; completed; verdict; elapsed } ->
+                      Printf.printf
+                        "[load]    %-18s completed=%d %s (%.2fs)\n" structure
+                        completed
+                        (Check.Schedule.verdict_to_string verdict)
+                        elapsed
+                  | Scenario.Conform_done { report = r; elapsed } ->
+                      List.iter
+                        (fun (g : Check.Conform.gate) ->
+                          if not g.passed then incr gates_failed;
+                          Printf.printf "[conform] %s %-24s %s\n"
+                            (if g.passed then "PASS" else "FAIL")
+                            g.name g.detail)
+                        r.gates;
+                      Printf.printf "[conform] %s in %.1fs\n"
+                        (if r.passed then "all gates passed"
+                         else "GATES FAILED")
+                        elapsed
+                in
+                let outcome = Scenario.run ~on_event ~now scn in
+                let artifact_id = ref 0 in
+                List.iter
+                  (fun (f : Scenario.failure) ->
+                    let repro_spec = Scenario.to_string (replay_scenario scn f) in
+                    Printf.printf "VIOLATION [%s/%s]\n  schedule: %s\n  %s\n"
+                      f.structure f.source f.replay f.verdict;
+                    Printf.printf "  replay: repro scenario --spec '%s'\n"
+                      repro_spec;
+                    Option.iter
+                      (fun dir ->
+                        Telemetry.Fsutil.mkdir_p dir;
+                        incr artifact_id;
+                        let path =
+                          Filename.concat dir
+                            (Printf.sprintf "%s-%s-%d.scenario" f.structure
+                               f.source !artifact_id)
+                        in
+                        let oc = open_out path in
+                        Printf.fprintf oc
+                          "spec: %s\nreplay-spec: %s\nstructure: %s\n\
+                           source: %s\nschedule: %s\nfaults: %s\nmix-seed: \
+                           %s\ntail: %s\n\n%s\n"
+                          (Scenario.to_string scn)
+                          repro_spec f.structure f.source f.replay
+                          (if f.fault_spec = "" then "none" else f.fault_spec)
+                          (match f.mix_seed with
+                          | None -> "-"
+                          | Some m -> string_of_int m)
+                          f.tail f.verdict;
+                        close_out oc;
+                        Printf.eprintf "wrote %s\n%!" path)
+                      out)
+                  outcome.failures;
+                let violations = List.length outcome.failures in
+                let ok =
+                  if expect_bug then violations > 0
+                  else violations = 0 && !gates_failed = 0
+                in
+                Printf.printf
+                  "scenario: %d violation(s), %d failed gate(s) across %d \
+                   trial(s)%s\n"
+                  violations !gates_failed outcome.trials
+                  (if expect_bug then " (expecting a bug)" else "");
+                if ok then `Ok () else exit 1
+              end)
+  in
+  Cmd.v (Cmd.info "scenario" ~doc)
+    Term.(
+      ret
+        (const run $ preset_arg $ spec_arg $ structures_arg $ n_arg $ ops_arg
+       $ seed_arg $ list_flag $ print_flag $ expect_bug_flag $ out_arg))
 
 (* `repro load` / `repro serve`: the live SCU service and its load
    generator.  Millions of simulated client sessions are multiplexed
@@ -1524,6 +1897,15 @@ let main =
   in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; bench_cmd; check_cmd; chaos_cmd; load_cmd; serve_cmd ]
+    [
+      list_cmd;
+      run_cmd;
+      bench_cmd;
+      check_cmd;
+      chaos_cmd;
+      scenario_cmd;
+      load_cmd;
+      serve_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -9,22 +9,18 @@
 module Checkable = Scu.Checkable
 module Fault_plan = Sched.Fault_plan
 
-type config = { trials : int; max_len : int; seed : int }
+type config = {
+  trials : int;
+  max_len : int;
+  seed : int;
+  gates : Schedule.gates;
+}
 
-let default = { trials = 60; max_len = 48; seed = 0xC0FFEE }
+let default =
+  { trials = 60; max_len = 48; seed = 0xC0FFEE; gates = Schedule.default_gates }
 
 let default_spec =
-  {
-    Fault_plan.base = Fault_plan.none;
-    rates =
-      {
-        Fault_plan.crash = 0.01;
-        recover = 0.05;
-        stall = 0.01;
-        stall_len = 5;
-        casfail = 0.1;
-      };
-  }
+  { Fault_plan.base = Fault_plan.none; rates = Fault_plan.chaos_rates }
 
 type failure = {
   structure : string;
@@ -38,15 +34,16 @@ type failure = {
 
 type report = { structure : string; trials : int; failures : failure list }
 
-let run_one ~structure ~n ~ops ~plan ~mix_seed schedule =
-  Schedule.run ~fault_plan:plan ~mix_seed ~structure ~n ~ops ~tail:Round_robin
-    schedule
+let run_one ?gates ~structure ~n ~ops ~plan ~mix_seed schedule =
+  Schedule.run ~fault_plan:plan ?gates ~mix_seed ~structure ~n ~ops
+    ~tail:Round_robin schedule
 
 let valid ~n plan =
   match Fault_plan.validate ~n plan with Ok () -> true | Error _ -> false
 
-let shrink_failure ~structure ~n ~ops ~plan ~mix_seed schedule =
+let shrink_failure ?gates ~structure ~n ~ops ~plan ~mix_seed schedule =
   (* Axis 1: the schedule, fault plan fixed. *)
+  let run_one = run_one ?gates in
   let fails_sched s =
     Schedule.is_bad (run_one ~structure ~n ~ops ~plan ~mix_seed s).verdict
   in
@@ -102,12 +99,13 @@ let run ?(config = default) ~spec ~structure ~n ~ops () =
        but merged with an explicit base plan the union can still crash
        everyone — skip such draws rather than fail. *)
     if valid ~n plan then begin
-      let out = run_one ~structure ~n ~ops ~plan ~mix_seed schedule in
+      let gates = config.gates in
+      let out = run_one ~gates ~structure ~n ~ops ~plan ~mix_seed schedule in
       if Schedule.is_bad out.verdict then begin
         let schedule, plan =
-          shrink_failure ~structure ~n ~ops ~plan ~mix_seed out.executed
+          shrink_failure ~gates ~structure ~n ~ops ~plan ~mix_seed out.executed
         in
-        let final = run_one ~structure ~n ~ops ~plan ~mix_seed schedule in
+        let final = run_one ~gates ~structure ~n ~ops ~plan ~mix_seed schedule in
         failures :=
           {
             structure = structure.Checkable.name;

@@ -16,6 +16,7 @@ type config = {
   trials : int;  (** Trials per structure. *)
   max_len : int;  (** Longest generated schedule prefix. *)
   seed : int;  (** Master seed; all randomness derives from it. *)
+  gates : Schedule.gates;  (** Judges applied per trial. *)
 }
 
 val default : config

@@ -31,9 +31,17 @@ type config = {
   max_depth : int;
   prune_states : bool;
   sleep_sets : bool;
+  gates : Schedule.gates;
 }
 
-let default = { max_nodes = 20_000; max_depth = 64; prune_states = true; sleep_sets = true }
+let default =
+  {
+    max_nodes = 20_000;
+    max_depth = 64;
+    prune_states = true;
+    sleep_sets = true;
+    gates = Schedule.default_gates;
+  }
 
 type violation = { schedule : int array; verdict : Schedule.verdict }
 
@@ -70,7 +78,8 @@ let explore ?(config = default) ?mix_seed ~structure ~n ~ops () =
     else begin
       incr nodes;
       let out =
-        Schedule.run ?mix_seed ~structure ~n ~ops ~tail:Stop
+        Schedule.run ~gates:config.gates ?mix_seed ~structure ~n ~ops
+          ~tail:Stop
           (Array.of_list (List.rev prefix))
       in
       if Schedule.is_bad out.verdict then

@@ -17,10 +17,12 @@ type config = {
   sleep_sets : bool;
       (** DPOR-lite: skip sibling orderings of independent pending
           operations (different cells, or both reads). *)
+  gates : Schedule.gates;
+      (** Judges applied at every frontier (see {!Schedule.gates}). *)
 }
 
 val default : config
-(** 20k nodes, depth 64, both prunings on. *)
+(** 20k nodes, depth 64, both prunings on, default gates. *)
 
 type violation = { schedule : int array; verdict : Schedule.verdict }
 

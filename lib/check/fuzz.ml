@@ -21,6 +21,8 @@ type config = {
   seed : int;
   crashes : bool;
   faults : bool;
+  fault_spec : Sched.Fault_plan.spec option;
+  gates : Schedule.gates;
 }
 
 let default =
@@ -32,6 +34,8 @@ let default =
     seed = 0xC0FFEE;
     crashes = true;
     faults = false;
+    fault_spec = None;
+    gates = Schedule.default_gates;
   }
 
 type failure = {
@@ -97,8 +101,8 @@ let qcheck_source ~structure ~n ~ops ~config =
       Sched.Fault_plan.of_crash_plan
         (Sched.Crash_plan.of_list (sanitize_crashes ~n crash))
     in
-    Schedule.run ~fault_plan ~mix_seed:mix ~structure ~n ~ops
-      ~tail:Round_robin (Array.of_list sched)
+    Schedule.run ~fault_plan ~gates:config.gates ~mix_seed:mix ~structure ~n
+      ~ops ~tail:Round_robin (Array.of_list sched)
   in
   let prop case = not (Schedule.is_bad (outcome_of case).verdict) in
   let cell =
@@ -120,12 +124,12 @@ let qcheck_source ~structure ~n ~ops ~config =
       in
       let out = outcome_of (sched, crash, mix) in
       let minimal =
-        Schedule.shrink ~fault_plan ~mix_seed:mix ~structure ~n ~ops
-          ~tail:Round_robin out.executed
+        Schedule.shrink ~fault_plan ~gates:config.gates ~mix_seed:mix
+          ~structure ~n ~ops ~tail:Round_robin out.executed
       in
       let final =
-        Schedule.run ~fault_plan ~mix_seed:mix ~structure ~n ~ops
-          ~tail:Round_robin minimal
+        Schedule.run ~fault_plan ~gates:config.gates ~mix_seed:mix ~structure
+          ~n ~ops ~tail:Round_robin minimal
       in
       [
         mk_failure ~structure ~source:"qcheck" ~crash_events
@@ -170,14 +174,16 @@ let scheduler_source ~structure ~n ~ops ~config =
             ~stop:(Steps config.sched_steps)
             inst.spec
         in
-        let verdict = Schedule.verdict_of inst in
+        let verdict = Schedule.verdict_of ~gates:config.gates inst in
         if Schedule.is_bad verdict then begin
           let trace = Sched.Trace.to_array (Option.get r.trace) in
           let minimal =
-            Schedule.shrink ~mix_seed:mix ~structure ~n ~ops ~tail:Stop trace
+            Schedule.shrink ~gates:config.gates ~mix_seed:mix ~structure ~n
+              ~ops ~tail:Stop trace
           in
           let final =
-            Schedule.run ~mix_seed:mix ~structure ~n ~ops ~tail:Stop minimal
+            Schedule.run ~gates:config.gates ~mix_seed:mix ~structure ~n ~ops
+              ~tail:Stop minimal
           in
           failures :=
             mk_failure ~structure ~source:sched_name ~crash_events:[]
@@ -190,16 +196,19 @@ let scheduler_source ~structure ~n ~ops ~config =
     (adversaries ~n);
   List.rev !failures
 
-(* Chaos pass: delegate to {!Chaos} with its default mixed fault spec
-   and adapt its failures to this module's report shape. *)
+(* Chaos pass: delegate to {!Chaos} — default mixed fault spec unless
+   the config carries its own — and adapt its failures to this
+   module's report shape. *)
 let chaos_source ~structure ~n ~ops ~config =
   if not config.faults then ([], 0)
   else begin
-    let chaos_config = { Chaos.default with seed = config.seed } in
-    let report =
-      Chaos.run ~config:chaos_config ~spec:Chaos.default_spec ~structure ~n
-        ~ops ()
+    let chaos_config =
+      { Chaos.default with seed = config.seed; gates = config.gates }
     in
+    let spec =
+      Option.value config.fault_spec ~default:Chaos.default_spec
+    in
+    let report = Chaos.run ~config:chaos_config ~spec ~structure ~n ~ops () in
     ( List.map
         (fun (f : Chaos.failure) ->
           {

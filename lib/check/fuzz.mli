@@ -18,8 +18,14 @@ type config = {
   crashes : bool;  (** Also generate crash plans (n >= 2). *)
   faults : bool;
       (** Also run a {!Chaos} pass (random fault plans with
-          crash–recovery, stalls, spurious CAS) under
-          {!Chaos.default_spec}.  Off by default. *)
+          crash–recovery, stalls, spurious CAS) under [fault_spec] (or
+          {!Chaos.default_spec}).  Off by default. *)
+  fault_spec : Sched.Fault_plan.spec option;
+      (** Fault-rate spec for the chaos pass; [None] means
+          {!Chaos.default_spec}.  Lets scenario presets carry their own
+          rate tiers through the fuzzer unchanged. *)
+  gates : Schedule.gates;
+      (** Judges applied to every trial (see {!Schedule.gates}). *)
 }
 
 val default : config

@@ -10,10 +10,15 @@ module Checker = Linearize.Checker
 
 type tail = Stop | Round_robin
 
+type gates = { lin : bool; shadow : bool }
+
+let default_gates = { lin = true; shadow = false }
+
 type verdict =
   | Linearizable
   | Unchecked
   | Nonlinearizable of (Checkable.op, Checkable.res) Checker.event list
+  | Shadow_divergence of (Checkable.op, Checkable.res) Checker.event list
   | Invariant_violation of string
 
 type outcome = {
@@ -68,14 +73,23 @@ let history inst =
             { Checker.proc; op; result; invoked; returned = open_window })
           flight)
 
-let verdict_of inst =
+(* Gate order: the memoized checker first (its counterexamples are the
+   ones the rest of the tooling prints and shrinks), then the shadow
+   replay — so a Shadow_divergence verdict always means the two
+   implementations *disagreed*, which is the interesting differential
+   signal, not a duplicate of Nonlinearizable. *)
+let verdict_of ?(gates = default_gates) inst =
   match history inst with
   | None -> Unchecked
   | Some evs ->
-      if inst.Checkable.check evs then Linearizable else Nonlinearizable evs
+      if gates.lin && not (inst.Checkable.check evs) then Nonlinearizable evs
+      else
+        match (if gates.shadow then inst.Checkable.shadow evs else None) with
+        | Some window -> Shadow_divergence window
+        | None -> Linearizable
 
 let is_bad = function
-  | Nonlinearizable _ | Invariant_violation _ -> true
+  | Nonlinearizable _ | Shadow_divergence _ | Invariant_violation _ -> true
   | Linearizable | Unchecked -> false
 
 let verdict_to_string = function
@@ -85,9 +99,12 @@ let verdict_to_string = function
   | Nonlinearizable evs ->
       Printf.sprintf "non-linearizable history:\n  %s"
         (String.concat "\n  " (List.map Checkable.event_to_string evs))
+  | Shadow_divergence window ->
+      Printf.sprintf "shadow-state divergence in window:\n  %s"
+        (String.concat "\n  " (List.map Checkable.event_to_string window))
 
-let run ?(fault_plan = Sched.Fault_plan.none) ?mix_seed ~structure ~n ~ops
-    ~tail schedule =
+let run ?(fault_plan = Sched.Fault_plan.none) ?(gates = default_gates)
+    ?mix_seed ~structure ~n ~ops ~tail schedule =
   if n <= 0 then invalid_arg "Schedule.run: n must be positive";
   if n * ops > 62 then
     invalid_arg
@@ -173,7 +190,7 @@ let run ?(fault_plan = Sched.Fault_plan.none) ?mix_seed ~structure ~n ~ops
         Array.init n (fun i -> r.pending.(i) <> None && not r.crashed.(i))
       in
       {
-        verdict = verdict_of inst;
+        verdict = verdict_of ~gates inst;
         executed;
         enabled;
         pending = r.pending;
@@ -211,8 +228,9 @@ let ddmin ~fails schedule =
   done;
   !cur
 
-let shrink ?fault_plan ?mix_seed ~structure ~n ~ops ~tail schedule =
+let shrink ?fault_plan ?gates ?mix_seed ~structure ~n ~ops ~tail schedule =
   let fails s =
-    is_bad (run ?fault_plan ?mix_seed ~structure ~n ~ops ~tail s).verdict
+    is_bad
+      (run ?fault_plan ?gates ?mix_seed ~structure ~n ~ops ~tail s).verdict
   in
   if not (fails schedule) then schedule else ddmin ~fails schedule

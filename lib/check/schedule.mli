@@ -16,6 +16,17 @@ type tail =
           that turns a fuzzed prefix into a complete, fully checkable
           history. *)
 
+type gates = { lin : bool; shadow : bool }
+(** Which judges run on a completed (or soundly partial) history:
+    [lin] is the memoized Wing–Gong checker, [shadow] the independent
+    window-replay implementation ({!Linearize.Shadow}).  The checker
+    runs first, so a {!verdict.Shadow_divergence} always means the two
+    implementations disagreed. *)
+
+val default_gates : gates
+(** [{ lin = true; shadow = false }] — the historical behaviour; the
+    scenario layer turns [shadow] on by default. *)
+
 type verdict =
   | Linearizable
   | Unchecked
@@ -26,6 +37,12 @@ type verdict =
       (Scu.Checkable.op, Scu.Checkable.res) Linearize.Checker.event list
       (** The offending history (completed operations plus open-window
           in-flight adds). *)
+  | Shadow_divergence of
+      (Scu.Checkable.op, Scu.Checkable.res) Linearize.Checker.event list
+      (** The shadow replay found no spec-consistent order for this
+          quiescent window even though the primary checker (if
+          enabled) accepted the history — a differential failure of
+          one of the two judges. *)
   | Invariant_violation of string
       (** The structure's invariant hook raised mid-run. *)
 
@@ -45,6 +62,7 @@ type outcome = {
 
 val run :
   ?fault_plan:Sched.Fault_plan.t ->
+  ?gates:gates ->
   ?mix_seed:int ->
   structure:Scu.Checkable.t ->
   n:int ->
@@ -65,7 +83,7 @@ val run :
     with a [Round_robin] tail still drive every surviving process to
     completion. *)
 
-val verdict_of : Scu.Checkable.instance -> verdict
+val verdict_of : ?gates:gates -> Scu.Checkable.instance -> verdict
 (** Judge an instance in whatever state its run left it: the completed
     history plus the sound partial-history rule (in-flight adds get an
     open response window — placeable last, never a false alarm;
@@ -75,7 +93,8 @@ val verdict_of : Scu.Checkable.instance -> verdict
     — is included with that result instead, whatever its kind. *)
 
 val is_bad : verdict -> bool
-(** True for [Nonlinearizable] and [Invariant_violation]. *)
+(** True for [Nonlinearizable], [Shadow_divergence], and
+    [Invariant_violation]. *)
 
 val verdict_to_string : verdict -> string
 
@@ -87,6 +106,7 @@ val ddmin : fails:('a array -> bool) -> 'a array -> 'a array
 
 val shrink :
   ?fault_plan:Sched.Fault_plan.t ->
+  ?gates:gates ->
   ?mix_seed:int ->
   structure:Scu.Checkable.t ->
   n:int ->

@@ -1,0 +1,87 @@
+(* Shadow-state replay: window-incremental linearizability against the
+   sequential spec, implemented independently of Checker's memoized
+   search (see the .mli for the differential rationale).
+
+   The window decomposition is exact: if a.returned < b.invoked then a
+   precedes b in every linearization, so an order never interleaves
+   operations from different quiescent windows, and the only
+   information a window needs from its past is the set of shadow
+   states the previous windows can end in. *)
+
+let by_invocation (a : ('op, 'res) Checker.event) (b : ('op, 'res) Checker.event)
+    =
+  match compare a.Checker.invoked b.Checker.invoked with
+  | 0 -> (
+      match compare a.returned b.returned with
+      | 0 -> compare a.proc b.proc
+      | c -> c)
+  | c -> c
+
+let windows history =
+  let sorted = List.stable_sort by_invocation history in
+  let flush window acc =
+    match window with [] -> acc | w -> List.rev w :: acc
+  in
+  let rec go acc window hi = function
+    | [] -> List.rev (flush window acc)
+    | (e : ('op, 'res) Checker.event) :: rest ->
+        if window <> [] && e.invoked > hi then
+          go (flush window acc) [ e ] e.returned rest
+        else go acc (e :: window) (max hi e.returned) rest
+  in
+  go [] [] min_int sorted
+
+(* All spec states a window can end in, starting from [state]: DFS over
+   the real-time-consistent orders, visited-set keyed on (applied mask,
+   state) — re-reaching a visited pair cannot add new end states. *)
+let end_states spec ~state window =
+  let ops = Array.of_list window in
+  let m = Array.length ops in
+  if m > 62 then
+    invalid_arg "Shadow.replay: window exceeds 62 operations (mask width)";
+  (* For m = 62, [1 lsl 62] wraps to [min_int] and the subtraction
+     lands on [max_int] — exactly the 62 low bits set. *)
+  let full = (1 lsl m) - 1 in
+  let visited = Hashtbl.create 64 in
+  let ends = ref [] in
+  let rec go mask state =
+    if mask = full then begin
+      if not (List.mem state !ends) then ends := state :: !ends
+    end
+    else if not (Hashtbl.mem visited (mask, state)) then begin
+      Hashtbl.add visited (mask, state) ();
+      for i = 0 to m - 1 do
+        if mask land (1 lsl i) = 0 then begin
+          let e = ops.(i) in
+          (* Real-time order: anything that returned before e was
+             invoked must already be applied. *)
+          let blocked = ref false in
+          for j = 0 to m - 1 do
+            if
+              mask land (1 lsl j) = 0
+              && j <> i
+              && ops.(j).Checker.returned < e.Checker.invoked
+            then blocked := true
+          done;
+          if not !blocked then begin
+            let r, state' = spec.Checker.apply e.op state in
+            if r = e.result then go (mask lor (1 lsl i)) state'
+          end
+        end
+      done
+    end
+  in
+  go 0 state;
+  !ends
+
+let replay spec history =
+  let rec thread states = function
+    | [] -> None
+    | window :: rest ->
+        let nexts =
+          List.concat_map (fun state -> end_states spec ~state window) states
+        in
+        let nexts = List.sort_uniq compare nexts in
+        if nexts = [] then Some window else thread nexts rest
+  in
+  thread [ spec.Checker.initial ] (windows history)

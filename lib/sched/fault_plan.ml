@@ -19,6 +19,36 @@ type rates = {
 
 let zero_rates = { crash = 0.; recover = 0.; stall = 0.; stall_len = 0; casfail = 0. }
 
+(* Named rate tiers, shared by the chaos harness's default spec and the
+   scenario presets.  [quick] is fault-free; [standard] is the mild
+   always-on drill; [century] is the rare-event tier (rates chosen so a
+   fault is an exceptional excursion within one run, not the norm —
+   the regime of the paper's century-scale stall tail); [chaos] is the
+   heavy mixed drill (the historical Chaos.default_spec values). *)
+let quick_rates = zero_rates
+
+let standard_rates =
+  { crash = 0.002; recover = 0.05; stall = 0.002; stall_len = 3; casfail = 0.02 }
+
+let century_rates =
+  {
+    crash = 1e-4;
+    recover = 0.02;
+    stall = 1e-4;
+    stall_len = 3;
+    casfail = 5e-4;
+  }
+
+let chaos_rates =
+  { crash = 0.01; recover = 0.05; stall = 0.01; stall_len = 5; casfail = 0.1 }
+
+let tier_rates = function
+  | "quick" -> Some quick_rates
+  | "standard" -> Some standard_rates
+  | "century" -> Some century_rates
+  | "chaos" -> Some chaos_rates
+  | _ -> None
+
 type t = {
   events : (int * event) array; (* sorted by time, stable *)
   spurious : (int option * float) list; (* (Some proc | None = all, rate) *)

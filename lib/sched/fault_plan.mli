@@ -43,6 +43,25 @@ type rates = {
 
 val zero_rates : rates
 
+val quick_rates : rates
+(** Fault-free (all zero). *)
+
+val standard_rates : rates
+(** Mild always-on drill: 0.2% crash and stall (3-step windows), 5%
+    recovery, 2% spurious CAS. *)
+
+val century_rates : rates
+(** Rare-event tier: 1e-4 crash and stall rates, 5e-4 spurious CAS —
+    faults as exceptional excursions within long runs. *)
+
+val chaos_rates : rates
+(** Heavy mixed drill: 1% crash and stall (5-step windows), 5%
+    recovery, 10% spurious CAS ({!val:Check.Chaos.default_spec}'s
+    historical values). *)
+
+val tier_rates : string -> rates option
+(** Look up a named tier ([quick]/[standard]/[century]/[chaos]). *)
+
 type spec = { base : t; rates : rates }
 (** What [--faults] parses to: explicit events plus rates. *)
 

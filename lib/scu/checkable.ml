@@ -173,6 +173,7 @@ type instance = {
   marked : int -> res option;
   restarts : unit -> int array;
   check : (op, res) Checker.event list -> bool;
+  shadow : (op, res) Checker.event list -> (op, res) Checker.event list option;
   invariant : Memory.t -> time:int -> unit;
 }
 
@@ -266,6 +267,7 @@ let counter_make ~variant ~n ~ops ?mix_seed:_ () =
     marked = (fun proc -> rc.marks.(proc));
     restarts = (fun () -> Array.copy rc.restarts);
     check = (fun evs -> Checker.check counter_spec evs);
+    shadow = (fun evs -> Linearize.Shadow.replay counter_spec evs);
     invariant = counter_invariant r;
   }
 
@@ -320,6 +322,7 @@ let treiber_make ~broken ~n ~ops ?mix_seed () =
     marked = (fun proc -> rc.marks.(proc));
     restarts = (fun () -> Array.copy rc.restarts);
     check = (fun evs -> Checker.check stack_spec evs);
+    shadow = (fun evs -> Linearize.Shadow.replay stack_spec evs);
     invariant =
       chain_invariant ~what:"treiber"
         ~start:(fun mem -> Memory.get mem top)
@@ -393,6 +396,7 @@ let msqueue_make ~broken ~n ~ops ?mix_seed () =
     marked = (fun proc -> rc.marks.(proc));
     restarts = (fun () -> Array.copy rc.restarts);
     check = (fun evs -> Checker.check queue_spec evs);
+    shadow = (fun evs -> Linearize.Shadow.replay queue_spec evs);
     invariant =
       chain_invariant ~what:"msqueue"
         ~start:(fun mem -> Memory.get mem head)
@@ -469,6 +473,7 @@ let elimination_make ~n ~ops ?mix_seed () =
     marked = (fun proc -> rc.marks.(proc));
     restarts = (fun () -> Array.copy rc.restarts);
     check = (fun evs -> Checker.check stack_spec evs);
+    shadow = (fun evs -> Linearize.Shadow.replay stack_spec evs);
     invariant =
       chain_invariant ~what:"elimination-stack"
         ~start:(fun mem -> Memory.get mem top)
@@ -527,7 +532,37 @@ let wf_counter_make ~n ~ops ?mix_seed:_ () =
     marked = (fun proc -> rc.marks.(proc));
     restarts = (fun () -> Array.copy rc.restarts);
     check = (fun evs -> Checker.check wf_counter_spec evs);
+    shadow = (fun evs -> Linearize.Shadow.replay wf_counter_spec evs);
     invariant;
+  }
+
+(* Shadow-gate drill: the increment is a genuinely atomic FAA — no
+   lost updates, so the structural invariant (monotone, one bump per
+   step) holds on every run — but the *reported* pre-value is off by
+   one.  Exactly the class of bug a state-machine replay against the
+   sequential spec catches and a structural invariant cannot. *)
+let counter_misreport_make ~n ~ops ?mix_seed:_ () =
+  let memory = Memory.create () in
+  let r = Memory.alloc memory ~size:1 in
+  let rc = make_recorder n in
+  let program (ctx : Program.ctx) =
+    enter rc ~proc:ctx.id;
+    while rc.done_count.(ctx.id) < ops do
+      ignore
+        (recording rc ~proc:ctx.id ~op:Incr (fun () ->
+             Got (Program.faa r 1 + 1)));
+      Program.complete ()
+    done
+  in
+  {
+    spec = { Sim.Executor.name = "counter-misreport"; memory; program };
+    events = events_of rc;
+    in_flight = in_flight_of rc;
+    marked = (fun proc -> rc.marks.(proc));
+    restarts = (fun () -> Array.copy rc.restarts);
+    check = (fun evs -> Checker.check counter_spec evs);
+    shadow = (fun evs -> Linearize.Shadow.replay counter_spec evs);
+    invariant = counter_invariant r;
   }
 
 type t = {
@@ -555,10 +590,22 @@ let all =
 
 let stock = List.filter (fun t -> not t.buggy) all
 
+(* Kept out of [all] so `--structures all` sweeps (and their pinned CLI
+   outputs) are unchanged; reachable by name for shadow-gate drills. *)
+let mutants =
+  [
+    {
+      name = "counter-misreport";
+      buggy = true;
+      make = counter_misreport_make;
+    };
+  ]
+
 let find name =
-  match List.find_opt (fun t -> t.name = name) all with
+  match List.find_opt (fun t -> t.name = name) (all @ mutants) with
   | Some t -> t
   | None ->
       invalid_arg
         (Printf.sprintf "Checkable.find: unknown structure %S (known: %s)" name
-           (String.concat ", " (List.map (fun t -> t.name) all)))
+           (String.concat ", "
+              (List.map (fun t -> t.name) (all @ mutants))))

@@ -70,6 +70,15 @@ type instance = {
           events). *)
   check : (op, res) Linearize.Checker.event list -> bool;
       (** Linearizability against this structure's sequential spec. *)
+  shadow :
+    (op, res) Linearize.Checker.event list ->
+    (op, res) Linearize.Checker.event list option;
+      (** Shadow-state replay of the same history against the same
+          sequential spec via {!Linearize.Shadow.replay} — an
+          independent implementation of the linearizability judgement,
+          used as the scenario runner's standard gate.  [None] means
+          consistent; [Some window] is the diverging quiescent
+          window. *)
   invariant : Sim.Memory.t -> time:int -> unit;
       (** Structural invariant for the executor's [invariant] hook
           (counter monotonicity, node-chain boundedness); raises on
@@ -91,5 +100,13 @@ val all : t list
 val stock : t list
 (** The non-buggy structures. *)
 
+val mutants : t list
+(** Drill variants kept out of {!all} so `--structures all` sweeps are
+    unchanged.  Currently [counter-misreport]: an atomic counter whose
+    increments are real (the structural invariant holds) but whose
+    reported pre-values are off by one — invisible to the invariant
+    hook, caught by the spec-replay gates. *)
+
 val find : string -> t
-(** Raises [Invalid_argument] with the known names on a miss. *)
+(** Searches {!all} and {!mutants}; raises [Invalid_argument] with the
+    known names on a miss. *)

@@ -376,6 +376,191 @@ let test_check_bad_crash_spec_rejected () =
       Alcotest.(check bool) "5:p named" true
         (contains err "component \"5:p\" is not T:P"))
 
+(* -- Legacy stdout pinned against golden files ------------------------ *)
+
+(* `repro check` and `repro chaos` now route through Scenario.t; the
+   goldens under test/golden/ were captured from the pre-scenario
+   binary, so these diffs are the proof that the legacy flags really
+   are thin translations.  Wall-clock substrings ("(0.03s)", "in
+   1.2s") are normalized to "(Ts)"/"Ts"; chaos stdout is time-free. *)
+
+let normalize_times s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n && is_digit s.[!j] do
+      incr j
+    done;
+    if
+      !j > !i && !j + 1 < n
+      && s.[!j] = '.'
+      && is_digit s.[!j + 1]
+    then begin
+      let k = ref (!j + 1) in
+      while !k < n && is_digit s.[!k] do
+        incr k
+      done;
+      if !k < n && s.[!k] = 's' then begin
+        Buffer.add_string buf "Ts";
+        i := !k + 1
+      end
+      else begin
+        Buffer.add_substring buf s !i (!k - !i);
+        i := !k
+      end
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let golden name = normalize_times (read_file (Filename.concat "golden" name))
+
+let golden_case name args expected_code =
+  Alcotest.test_case name `Quick (fun () ->
+      with_scratch_dir (fun dir ->
+          let code, out, err = run dir args in
+          Alcotest.(check int) (name ^ " exit code; stderr: " ^ err)
+            expected_code code;
+          Alcotest.(check string)
+            (name ^ " stdout byte-identical (mod timings)")
+            (golden (name ^ ".txt"))
+            (normalize_times out)))
+
+let golden_cases =
+  [
+    golden_case "check-explore-fuzz" "check --mode explore,fuzz --seed 0" 0;
+    golden_case "check-conform" "check --mode conform --seed 0" 0;
+    golden_case "check-drill-nocas"
+      "check --mode explore --structures counter-nocas,treiber-nocas -n 2 \
+       --ops 2 --expect-bug"
+      0;
+    golden_case "check-drill-msq"
+      "check --mode explore --structures msqueue-nocas -n 4 --ops 1 \
+       --expect-bug"
+      0;
+    golden_case "chaos-quick-seed0" "chaos --quick --no-manifest" 0;
+    golden_case "chaos-quick-seed42" "chaos --quick --seed 42 --no-manifest" 0;
+    golden_case "chaos-drill"
+      "chaos --quick --structures counter-nocas --no-sweep --no-manifest \
+       --seed 0"
+      1;
+  ]
+
+(* -- repro scenario --------------------------------------------------- *)
+
+let test_scenario_list () =
+  with_scratch_dir (fun dir ->
+      let code, out, err = run dir "scenario --list" in
+      Alcotest.(check int) ("exits 0; stderr: " ^ err) 0 code;
+      List.iter
+        (fun preset ->
+          Alcotest.(check bool) (preset ^ " listed") true (contains out preset))
+        [ "quick"; "standard"; "century"; "chaos" ])
+
+let test_scenario_print_roundtrip () =
+  (* --print emits the canonical spec; feeding it back through --spec
+     must print the same spec — the CLI-level roundtrip. *)
+  with_scratch_dir (fun dir ->
+      let code, spec, err = run dir "scenario --preset quick --print" in
+      Alcotest.(check int) ("print exits 0; stderr: " ^ err) 0 code;
+      let code, spec', _ =
+        run dir (Printf.sprintf "scenario --spec '%s' --print" (String.trim spec))
+      in
+      Alcotest.(check int) "re-print exits 0" 0 code;
+      Alcotest.(check string) "canonical spec is a fixed point" spec spec')
+
+let test_scenario_preset_run () =
+  with_scratch_dir (fun dir ->
+      let code, out, err =
+        run dir "scenario --preset quick --structures cas-counter"
+      in
+      Alcotest.(check int) ("clean run exits 0; stderr: " ^ err) 0 code;
+      Alcotest.(check bool) "prints the resolved spec" true
+        (contains out "scenario: structures=cas-counter");
+      Alcotest.(check bool) "explore progress line" true
+        (contains out "[explore]");
+      Alcotest.(check bool) "no violations" true
+        (contains out "0 violation(s)"))
+
+let test_scenario_shadow_drill () =
+  (* The misreport mutant under a shadow-only gate: violations found,
+     the verdict names the shadow divergence, --expect-bug inverts the
+     exit status, and --out writes artifacts embedding the spec and a
+     replay spec. *)
+  with_scratch_dir (fun dir ->
+      let code, out, err =
+        run dir
+          "scenario --spec \
+           'structures=counter-misreport;n=2;ops=2;sources=explore;gates=shadow;budget=explore:1500x32,fuzz:30x2,chaos:8,conform:smoke' \
+           --expect-bug --out artifacts"
+      in
+      Alcotest.(check int)
+        ("drill exits 0 under --expect-bug; stderr: " ^ err)
+        0 code;
+      Alcotest.(check bool) "violations reported" true
+        (contains out "VIOLATION [counter-misreport/explore]");
+      Alcotest.(check bool) "verdict names the shadow divergence" true
+        (contains out "shadow-state divergence");
+      Alcotest.(check bool) "replay command printed" true
+        (contains out "replay: repro scenario --spec");
+      let artifacts = Sys.readdir (Filename.concat dir "artifacts") in
+      Alcotest.(check bool) "artifacts written" true (Array.length artifacts > 0);
+      let body =
+        read_file
+          (Filename.concat (Filename.concat dir "artifacts") artifacts.(0))
+      in
+      Alcotest.(check bool) "artifact embeds the scenario spec" true
+        (contains body "spec: structures=counter-misreport");
+      Alcotest.(check bool) "artifact embeds a replay spec" true
+        (contains body "replay-spec: ");
+      (* Without --expect-bug the same drill must exit 1. *)
+      let code, _, _ =
+        run dir
+          "scenario --spec \
+           'structures=counter-misreport;n=2;ops=2;sources=explore;gates=shadow;budget=explore:1500x32,fuzz:30x2,chaos:8,conform:smoke'"
+      in
+      Alcotest.(check int) "violations exit 1" 1 code)
+
+let test_scenario_bad_spec_rejected () =
+  with_scratch_dir (fun dir ->
+      let code, out, err = run dir "scenario --spec 'n=two'" in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0);
+      Alcotest.(check string) "nothing ran" "" out;
+      Alcotest.(check bool)
+        ("names the bad token (stderr: " ^ err ^ ")")
+        true
+        (contains err "bad --spec token" && not (contains err "Raised at"));
+      let code, _, err = run dir "scenario --preset quick --spec 'n=2'" in
+      Alcotest.(check bool) "--preset+--spec rejected" true (code <> 0);
+      Alcotest.(check bool) "mutual exclusion named" true
+        (contains err "mutually exclusive"))
+
+let test_run_preflight_gate () =
+  (* --preflight on the sweep drivers: a clean scenario lets the sweep
+     run; a failing one aborts before any experiment. *)
+  with_scratch_dir (fun dir ->
+      let code, _, err =
+        run dir
+          "run fig1 --quick --no-progress --preflight \
+           'structures=cas-counter;n=2;ops=2;sources=explore;gates=lin,shadow;budget=explore:500x16,fuzz:30x2,chaos:8,conform:smoke'"
+      in
+      Alcotest.(check int) ("clean preflight passes; stderr: " ^ err) 0 code;
+      let code, out, err =
+        run dir
+          "run fig1 --quick --no-progress --preflight \
+           'structures=counter-nocas;n=2;ops=2;sources=explore;gates=lin;budget=explore:1500x32,fuzz:30x2,chaos:8,conform:smoke'"
+      in
+      Alcotest.(check bool) "failing preflight aborts" true (code <> 0);
+      Alcotest.(check bool) "abort names the preflight" true
+        (contains err "preflight");
+      Alcotest.(check string) "no experiment ran" "" out)
+
 let () =
   Alcotest.run "cli"
     [
@@ -415,5 +600,21 @@ let () =
             test_chaos_violation_drill;
           Alcotest.test_case "manifest records faults" `Quick
             test_chaos_manifest_records_faults;
+        ] );
+      ("golden", golden_cases);
+      ( "scenario",
+        [
+          Alcotest.test_case "--list names the presets" `Quick
+            test_scenario_list;
+          Alcotest.test_case "--print spec is a fixed point" `Quick
+            test_scenario_print_roundtrip;
+          Alcotest.test_case "--preset quick clean run" `Quick
+            test_scenario_preset_run;
+          Alcotest.test_case "shadow drill + artifacts" `Quick
+            test_scenario_shadow_drill;
+          Alcotest.test_case "bad --spec rejected" `Quick
+            test_scenario_bad_spec_rejected;
+          Alcotest.test_case "run --preflight gates the sweep" `Quick
+            test_run_preflight_gate;
         ] );
     ]
