@@ -1625,6 +1625,66 @@ module Load_cli = struct
         "Write the JSON manifest to $(docv) (atomic; `serve` appends one \
          compact JSONL line per window instead)."
 
+  let faults_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Per-shard fault injection: a named tier ($(b,quick), \
+             $(b,standard), $(b,century), $(b,chaos)) or a fault-plan spec \
+             ($(b,crash@T:P), $(b,restart@T:P), $(b,stall@T:P+D), \
+             $(b,casfail:P=R), $(b,crash~R), $(b,recover~R), $(b,stall~R:D), \
+             $(b,casfail~R)).  Rates are instantiated per shard from the \
+             seed; same seed, same faults, same bytes.")
+
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline" ] ~docv:"STEPS"
+          ~doc:
+            "Per-request deadline in steps from each dispatch attempt's \
+             arrival; an expired attempt retries (with budget) or resolves \
+             timed-out.  0 (default) = no deadline.")
+
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry budget per request after deadline expiry (default 0; \
+             requires --deadline).")
+
+  let backoff_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "backoff" ] ~docv:"STEPS"
+          ~doc:
+            "Retry backoff base: attempt a redispatches after base*2^(a-1) \
+             steps plus deterministic seeded jitter (default 16).")
+
+  let hedge_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "hedge" ] ~docv:"STEPS"
+          ~doc:
+            "Hedge a request still in flight after $(docv) steps with one \
+             duplicate dispatch; first finisher wins.  0 (default) = never.")
+
+  let max_steps_arg =
+    Arg.(
+      value & opt int Load.Engine.default.max_steps
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Per-shard step budget; a shard that hits it stops early and \
+             drops its unresolved requests (default 200000000).")
+
+  let parse_faults s =
+    if s = "" || s = "none" then Ok Load.Engine.no_faults
+    else
+      match Sched.Fault_plan.tier_rates s with
+      | Some rates -> Ok { Sched.Fault_plan.base = Sched.Fault_plan.none; rates }
+      | None -> Sched.Fault_plan.parse_spec s
+
   let parse_kinds s =
     if s = "all" then Ok Load.Engine.all_kinds
     else
@@ -1651,14 +1711,26 @@ module Load_cli = struct
     | m -> Error ("unknown --mode: " ^ m)
 
   let config ~structures ~clients ~ops ~workers ~shards ~mode ~think ~arrival
-      ~rate ~burst ~idle ~alpha ~objects ~seed =
-    match (parse_kinds structures, parse_mode ~mode ~think ~arrival ~rate ~burst ~idle) with
-    | Error msg, _ | _, Error msg -> Error msg
-    | Ok kinds, Ok mode -> (
+      ~rate ~burst ~idle ~alpha ~objects ~seed ~faults ~deadline ~retries
+      ~backoff ~hedge ~max_steps =
+    match
+      ( parse_kinds structures,
+        parse_mode ~mode ~think ~arrival ~rate ~burst ~idle,
+        parse_faults faults )
+    with
+    | Error msg, _, _ | _, Error msg, _ | _, _, Error msg -> Error msg
+    | Ok kinds, Ok mode, Ok faults -> (
+        let policy =
+          {
+            Load.Policy.deadline = (if deadline > 0 then Some deadline else None);
+            max_retries = retries;
+            backoff_base = backoff;
+            hedge_after = (if hedge > 0 then Some hedge else None);
+          }
+        in
         let cfg =
           {
-            Load.Engine.default with
-            kinds;
+            Load.Engine.kinds;
             objects;
             clients;
             ops_per_client = ops;
@@ -1667,6 +1739,9 @@ module Load_cli = struct
             mode;
             alpha;
             seed;
+            max_steps;
+            faults;
+            policy;
           }
         in
         match Load.Engine.validate cfg with
@@ -1708,16 +1783,34 @@ let load_cmd =
             "Exit non-zero unless every SLO gate passed (requires --slo) — \
              the CI mode.")
   in
+  let expect_degraded_flag =
+    Arg.(
+      value & flag
+      & info [ "expect-degraded" ]
+          ~doc:
+            "Run the matched fault-free baseline alongside the faulted run \
+             and gate throughput loss, p99/p999 inflation and drop rate \
+             against the tier's degradation budgets (plus the Corollary 2 \
+             crash cross-check); exit non-zero on any gate failure.  \
+             Requires --faults with a named tier.")
+  in
   let run structures clients ops workers shards mode think arrival rate burst
-      idle alpha objects seed jobs no_progress out slo ns slo_requests
-      expect_pass =
+      idle alpha objects seed jobs no_progress out faults deadline retries
+      backoff hedge max_steps slo ns slo_requests expect_pass expect_degraded =
     match
       Load_cli.config ~structures ~clients ~ops ~workers ~shards ~mode ~think
-        ~arrival ~rate ~burst ~idle ~alpha ~objects ~seed
+        ~arrival ~rate ~burst ~idle ~alpha ~objects ~seed ~faults ~deadline
+        ~retries ~backoff ~hedge ~max_steps
     with
     | Error msg -> `Error (false, msg)
     | Ok _ when expect_pass && not slo ->
         `Error (false, "--expect-pass requires --slo")
+    | Ok _ when expect_degraded && Load.Degrade.budgets_for_tier faults = None
+      ->
+        `Error
+          ( false,
+            "--expect-degraded requires --faults with a named tier (quick, \
+             standard, century, chaos)" )
     | Ok cfg -> (
         (* Parse --ns eagerly and reject bad tokens by name.  The old
            code mapped any [Failure] to the empty list, so a typo like
@@ -1745,9 +1838,21 @@ let load_cmd =
           `Error (false, "--slo-requests must be positive")
         else begin
           let t0 = now () in
-          let result =
+          let result, degrade_gates =
             Pool.with_pool ~size:jobs (fun pool ->
-                Load.Engine.run ~pool cfg)
+                if not expect_degraded then (Load.Engine.run ~pool cfg, None)
+                else
+                  match Load.Degrade.run ~pool ~tier:faults cfg with
+                  | Error msg -> failwith msg
+                  | Ok d ->
+                      let crash =
+                        if cfg.workers >= 2 then
+                          Load.Degrade.crash_check ~pool
+                            ~k:(max 1 (cfg.workers / 2))
+                            cfg
+                        else []
+                      in
+                      (d.faulted, Some (d.gates @ crash)))
           in
           if not no_progress then
             Printf.eprintf "[load] %d request(s) in %.2fs (j=%d)\n%!"
@@ -1781,7 +1886,15 @@ let load_cmd =
                          s.gates)
                    cfg.kinds)
           in
-          let report = Load.Report.of_result ?slo:gates result in
+          let error_budget =
+            if Load.Engine.is_robust cfg then
+              Some (Load.Report.error_budget result)
+            else None
+          in
+          let report =
+            Load.Report.of_result ?slo:gates ?degrade:degrade_gates
+              ?error_budget result
+          in
           print_string (Load.Report.render report);
           Option.iter
             (fun file ->
@@ -1802,11 +1915,33 @@ let load_cmd =
               Printf.printf "load: %d SLO gate(s), %d failed\n"
                 (List.length gs) gates_failed
           | None -> ());
-          if result.stopped_early then
-            Printf.eprintf
-              "load: WARNING: a shard hit its step budget before finishing\n%!";
-          if expect_pass && (gates_failed > 0 || result.stopped_early) then
-            exit 1;
+          let degrade_failed =
+            match degrade_gates with
+            | None -> 0
+            | Some gs ->
+                List.length
+                  (List.filter
+                     (fun (g : Check.Conform.gate) -> not g.passed)
+                     gs)
+          in
+          (match degrade_gates with
+          | Some gs ->
+              Printf.printf "load: %d degradation gate(s), %d failed\n"
+                (List.length gs) degrade_failed
+          | None -> ());
+          (match Load.Engine.stopped_shards result with
+          | [] -> ()
+          | ids ->
+              Printf.eprintf
+                "load: shard%s %s stopped early at the step budget \
+                 (--max-steps %d)\n\
+                 %!"
+                (if List.length ids = 1 then "" else "s")
+                (String.concat "," (List.map string_of_int ids))
+                cfg.max_steps;
+              exit 1);
+          if degrade_failed > 0 then exit 1;
+          if expect_pass && gates_failed > 0 then exit 1;
           `Ok ()
         end)
   in
@@ -1818,8 +1953,10 @@ let load_cmd =
        $ Load_cli.mode_arg $ Load_cli.think_arg $ Load_cli.arrival_arg
        $ Load_cli.rate_arg $ Load_cli.burst_arg $ Load_cli.idle_arg
        $ Load_cli.alpha_arg $ Load_cli.objects_arg $ seed_arg $ jobs_arg
-       $ progress_flag $ Load_cli.out_arg $ slo_flag $ ns_arg
-       $ slo_requests_arg $ expect_pass_flag))
+       $ progress_flag $ Load_cli.out_arg $ Load_cli.faults_arg
+       $ Load_cli.deadline_arg $ Load_cli.retries_arg $ Load_cli.backoff_arg
+       $ Load_cli.hedge_arg $ Load_cli.max_steps_arg $ slo_flag $ ns_arg
+       $ slo_requests_arg $ expect_pass_flag $ expect_degraded_flag))
 
 let serve_cmd =
   let doc =
@@ -1833,16 +1970,30 @@ let serve_cmd =
           ~doc:"Load windows to serve (default 5); window w derives its seed \
                 from the base seed and w.")
   in
+  let slo_target_arg =
+    Arg.(
+      value & opt float 0.999
+      & info [ "slo-target" ] ~docv:"A"
+          ~doc:
+            "Availability objective for the per-window error budget \
+             (default 0.999).  A window burning more than 1x its budget is \
+             degraded, more than 10x is breached; only reported for faulted \
+             or policy-bearing runs.")
+  in
   let run structures clients ops workers shards mode think arrival rate burst
-      idle alpha objects seed jobs no_progress out windows =
+      idle alpha objects seed jobs no_progress out faults deadline retries
+      backoff hedge max_steps windows slo_target =
     match
       Load_cli.config ~structures ~clients ~ops ~workers ~shards ~mode ~think
-        ~arrival ~rate ~burst ~idle ~alpha ~objects ~seed
+        ~arrival ~rate ~burst ~idle ~alpha ~objects ~seed ~faults ~deadline
+        ~retries ~backoff ~hedge ~max_steps
     with
     | Error msg -> `Error (false, msg)
     | Ok cfg ->
         if windows < 1 then `Error (false, "--windows must be at least 1")
         else if jobs < 1 then `Error (false, "-j must be at least 1")
+        else if not (slo_target > 0. && slo_target < 1.) then
+          `Error (false, "--slo-target must be strictly between 0 and 1")
         else begin
           let oc =
             Option.map
@@ -1853,6 +2004,9 @@ let serve_cmd =
                 open_out file)
               out
           in
+          let robust = Load.Engine.is_robust cfg in
+          let ok_w = ref 0 and degraded_w = ref 0 and breached_w = ref 0 in
+          let worst_burn = ref 0. in
           Pool.with_pool ~size:jobs (fun pool ->
               for w = 0 to windows - 1 do
                 let t0 = now () in
@@ -1863,7 +2017,23 @@ let serve_cmd =
                 if not no_progress then
                   Printf.eprintf "[serve] window %d: %d request(s) in %.2fs\n%!"
                     w result.requests (now () -. t0);
-                let report = Load.Report.of_result ~window:w result in
+                let error_budget =
+                  if robust then begin
+                    let eb =
+                      Load.Report.error_budget ~target:slo_target result
+                    in
+                    (match eb.verdict with
+                    | "ok" -> incr ok_w
+                    | "degraded" -> incr degraded_w
+                    | _ -> incr breached_w);
+                    if eb.burn > !worst_burn then worst_burn := eb.burn;
+                    Some eb
+                  end
+                  else None
+                in
+                let report =
+                  Load.Report.of_result ~window:w ?error_budget result
+                in
                 print_string (Load.Report.render report);
                 Option.iter
                   (fun oc ->
@@ -1877,6 +2047,13 @@ let serve_cmd =
           Option.iter
             (fun file -> Printf.eprintf "manifest stream: %s\n%!" file)
             out;
+          (* Soak verdict, only for runs that can burn budget: window
+             counts by health plus the worst burn rate seen. *)
+          if robust then
+            Printf.printf
+              "serve: %d window(s): ok=%d degraded=%d breached=%d \
+               worst-burn=%.2f\n"
+              windows !ok_w !degraded_w !breached_w !worst_burn;
           `Ok ()
         end
   in
@@ -1888,7 +2065,10 @@ let serve_cmd =
        $ Load_cli.mode_arg $ Load_cli.think_arg $ Load_cli.arrival_arg
        $ Load_cli.rate_arg $ Load_cli.burst_arg $ Load_cli.idle_arg
        $ Load_cli.alpha_arg $ Load_cli.objects_arg $ seed_arg $ jobs_arg
-       $ progress_flag $ Load_cli.out_arg $ windows_arg))
+       $ progress_flag $ Load_cli.out_arg $ Load_cli.faults_arg
+       $ Load_cli.deadline_arg $ Load_cli.retries_arg $ Load_cli.backoff_arg
+       $ Load_cli.hedge_arg $ Load_cli.max_steps_arg $ windows_arg
+       $ slo_target_arg))
 
 let main =
   let doc =

@@ -1,0 +1,202 @@
+(* Degraded-mode SLO gates: matched fault-free vs faulted pairs per
+   fault tier, with per-tier budgets for how much throughput, tail
+   latency and completeness the tier may cost, and a crash-only
+   cross-check against the Corollary 2 chain prediction. *)
+
+module Fault_plan = Sched.Fault_plan
+module Conform = Check.Conform
+
+type budgets = {
+  max_throughput_loss : float;
+  max_p99_inflation : float;
+  max_p999_inflation : float;
+  max_drop_rate : float;
+}
+
+(* Budgets sized from measured seed-0 runs of the standard config
+   (see EXPERIMENTS.md, "Degradation by tier"): each bound sits ~2x
+   above the observed cost so the gate catches regressions in the
+   fault path, not seed noise.  [quick] is fault-free and must be
+   near-lossless. *)
+let budgets_for_tier = function
+  | "quick" ->
+      Some
+        {
+          max_throughput_loss = 0.01;
+          max_p99_inflation = 1.05;
+          max_p999_inflation = 1.05;
+          max_drop_rate = 0.;
+        }
+  | "standard" ->
+      Some
+        {
+          max_throughput_loss = 0.35;
+          max_p99_inflation = 3.0;
+          max_p999_inflation = 3.5;
+          max_drop_rate = 0.02;
+        }
+  | "century" ->
+      Some
+        {
+          max_throughput_loss = 0.10;
+          max_p99_inflation = 1.5;
+          max_p999_inflation = 1.75;
+          max_drop_rate = 0.001;
+        }
+  | "chaos" ->
+      Some
+        {
+          max_throughput_loss = 0.60;
+          max_p99_inflation = 5.0;
+          max_p999_inflation = 6.0;
+          max_drop_rate = 0.10;
+        }
+  | _ -> None
+
+type t = {
+  tier : string;
+  baseline : Engine.result;
+  faulted : Engine.result;
+  gates : Conform.gate list;
+  passed : bool;
+}
+
+let throughput (r : Engine.result) =
+  if r.steps_max = 0 then 0.
+  else 1000. *. float_of_int r.requests /. float_of_int r.steps_max
+
+let gates_of_pair ~tier ~budgets (baseline : Engine.result)
+    (faulted : Engine.result) =
+  let b_tput = throughput baseline and f_tput = throughput faulted in
+  let floor = (1. -. budgets.max_throughput_loss) *. b_tput in
+  let p99_b = Stats.Hdr.p99 baseline.latency
+  and p99_f = Stats.Hdr.p99 faulted.latency in
+  let p999_b = Stats.Hdr.p999 baseline.latency
+  and p999_f = Stats.Hdr.p999 faulted.latency in
+  let drop_rate =
+    if faulted.offered = 0 then 0.
+    else float_of_int (Policy.failed faulted.outcomes) /. float_of_int faulted.offered
+  in
+  let g name passed fmt = Printf.ksprintf (Conform.gate name passed) fmt in
+  [
+    g
+      (tier ^ "-throughput-floor")
+      (f_tput >= floor)
+      "faulted %.2f req/kstep vs floor %.2f (baseline %.2f, loss budget %g)"
+      f_tput floor b_tput budgets.max_throughput_loss;
+    g
+      (tier ^ "-p99-inflation")
+      (float_of_int p99_f <= budgets.max_p99_inflation *. float_of_int (max 1 p99_b))
+      "faulted p99=%d vs budget %.2fx baseline p99=%d" p99_f
+      budgets.max_p99_inflation p99_b;
+    g
+      (tier ^ "-p999-inflation")
+      (float_of_int p999_f
+      <= budgets.max_p999_inflation *. float_of_int (max 1 p999_b))
+      "faulted p999=%d vs budget %.2fx baseline p999=%d" p999_f
+      budgets.max_p999_inflation p999_b;
+    g
+      (tier ^ "-drop-rate")
+      (drop_rate <= budgets.max_drop_rate)
+      "timed_out+dropped %d of %d offered (%.4f vs budget %g)"
+      (Policy.failed faulted.outcomes)
+      faulted.offered drop_rate budgets.max_drop_rate;
+    g
+      (tier ^ "-outcomes-partition")
+      (Policy.total faulted.outcomes = faulted.offered)
+      "outcome counts sum to %d, offered %d"
+      (Policy.total faulted.outcomes)
+      faulted.offered;
+  ]
+
+let run ?pool ~tier cfg =
+  match (budgets_for_tier tier, Fault_plan.tier_rates tier) with
+  | None, _ | _, None ->
+      Error
+        (Printf.sprintf "unknown fault tier %S (known: quick, standard, century, chaos)"
+           tier)
+  | Some budgets, Some rates ->
+      let baseline =
+        Engine.run ?pool
+          { cfg with faults = Engine.no_faults; policy = Policy.default }
+      in
+      let faulted =
+        Engine.run ?pool
+          { cfg with faults = { cfg.faults with Fault_plan.rates } }
+      in
+      let gates = gates_of_pair ~tier ~budgets baseline faulted in
+      Ok
+        {
+          tier;
+          baseline;
+          faulted;
+          gates;
+          passed = List.for_all (fun (g : Conform.gate) -> g.passed) gates;
+        }
+
+(* The Corollary 2 anchor.  Two halves:
+
+   1. The *same crash plan* the engine injects (workers k..n-1 crashed
+      at time 0), applied to the raw saturated SCU counter exactly as
+      exp_chaos's cor2 rows do: the measured inter-completion gap must
+      match the chain's W(k) for the surviving k.  This pins the fault
+      machinery the service rides on to the Theorem 4 / Corollary 2
+      degradation rows.
+
+   2. Engine equivalence: a shard with k of [workers] alive from time
+      0 is behaviourally a shard of k workers, so its mean service
+      time must match a fault-free run configured with k workers.
+      (The load engine is queue-bound, not contention-bound, so its
+      degradation axis is capacity — this is the service-level reading
+      of "crashes only shrink the active set".) *)
+let cor2_chain_tol = 0.15
+let equiv_service_tol = 0.15
+let cor2_chain_steps = 300_000
+
+let crash_check ?pool ~k cfg =
+  if k < 1 || k >= cfg.Engine.workers then
+    invalid_arg "Degrade.crash_check: need 0 < k < workers";
+  let n = cfg.Engine.workers in
+  let crash_base =
+    Fault_plan.of_crash_events (List.init (n - k) (fun i -> (0, k + i)))
+  in
+  (* Half 1: raw SCU counter under the crash plan, as in exp_chaos. *)
+  let chain_run =
+    let c = Scu.Counter.make ~n in
+    Sim.Executor.exec
+      ~config:
+        Sim.Executor.Config.(
+          default |> with_seed (Workload.mix cfg.seed 0xC0B2)
+          |> with_faults crash_base)
+      ~scheduler:Sched.Scheduler.uniform ~n ~stop:(Steps cor2_chain_steps)
+      c.spec
+  in
+  let chain_gate =
+    Conform.rel_gate
+      (Printf.sprintf "cor2-chain-W-k%d" k)
+      ~got:(Sim.Metrics.mean_system_latency chain_run.metrics)
+      ~want:(Chains.Scu_chain.System.system_latency ~n:k)
+      ~tol:cor2_chain_tol
+  in
+  (* Half 2: the engine's matched pair. *)
+  let crash = { Fault_plan.base = crash_base; rates = Fault_plan.zero_rates } in
+  let faulted =
+    Engine.run ?pool { cfg with faults = crash; policy = Policy.default }
+  in
+  let shrunk =
+    Engine.run ?pool
+      { cfg with workers = k; faults = Engine.no_faults; policy = Policy.default }
+  in
+  [
+    chain_gate;
+    Conform.rel_gate
+      (Printf.sprintf "cor2-shard-equiv-k%d" k)
+      ~got:(Stats.Hdr.mean faulted.service)
+      ~want:(Stats.Hdr.mean shrunk.service)
+      ~tol:equiv_service_tol;
+    Conform.gate
+      (Printf.sprintf "cor2-no-loss-k%d" k)
+      (Policy.failed faulted.outcomes = 0)
+      (Printf.sprintf "timed_out+dropped = %d (crash-at-0 loses nothing)"
+         (Policy.failed faulted.outcomes));
+  ]

@@ -1,6 +1,7 @@
 module Memory = Sim.Memory
 module Program = Sim.Program
 module Hdr = Stats.Hdr
+module Fault_plan = Sched.Fault_plan
 
 type kind = Counter | Treiber | Msqueue | Elimination | Waitfree
 
@@ -21,6 +22,8 @@ let kind_of_name s =
         (Printf.sprintf "unknown structure %S (known: %s)" s
            (String.concat ", " (List.map kind_name all_kinds)))
 
+let no_faults = { Fault_plan.base = Fault_plan.none; rates = Fault_plan.zero_rates }
+
 type config = {
   kinds : kind list;
   objects : int;
@@ -32,6 +35,8 @@ type config = {
   alpha : float;
   seed : int;
   max_steps : int;
+  faults : Fault_plan.spec;
+  policy : Policy.t;
 }
 
 let default =
@@ -46,7 +51,21 @@ let default =
     alpha = 1.1;
     seed = 0;
     max_steps = 200_000_000;
+    faults = no_faults;
+    policy = Policy.default;
   }
+
+let is_robust cfg =
+  not (Fault_plan.spec_is_none cfg.faults && Policy.is_none cfg.policy)
+
+(* A base plan that permanently crashes every worker is a *total
+   outage*: {!Fault_plan.validate} rejects it, but the service layer
+   accepts it deliberately — each shard detects it and degrades to an
+   all-dropped, stopped-early result instead of running, so the outage
+   drill surfaces as exit 1 with a manifest rather than an exception.
+   (Rate-generated plans always keep a survivor, so only explicit
+   events can cause this.) *)
+let outage_plan ~workers plan = Fault_plan.survivors ~n:workers plan = 0
 
 let validate cfg =
   if cfg.kinds = [] then Error "need at least one structure"
@@ -57,11 +76,32 @@ let validate cfg =
   else if cfg.shards < 1 then Error "need at least one shard"
   else if cfg.alpha < 0. then Error "alpha must be non-negative"
   else if cfg.max_steps < 1 then Error "max-steps must be positive"
-  else Workload.validate cfg.mode
+  else
+    match Workload.validate cfg.mode with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Policy.validate cfg.policy with
+        | Error msg -> Error ("policy: " ^ msg)
+        | Ok () -> (
+            let base = cfg.faults.Fault_plan.base in
+            match Fault_plan.validate ~n:cfg.workers base with
+            | Ok () -> Ok ()
+            | Error _ when outage_plan ~workers:cfg.workers base ->
+                (* Heal one process with a far-future restart and
+                   re-validate: an outage is accepted, but only if the
+                   plan has no *other* defect (bad ids, times, rates). *)
+                Result.map_error
+                  (fun msg -> "faults: " ^ msg)
+                  (Fault_plan.validate ~n:cfg.workers
+                     (Fault_plan.merge base
+                        (Fault_plan.make
+                           [ (max_int, Fault_plan.Restart 0) ])))
+            | Error msg -> Error ("faults: " ^ msg)))
 
 type shard_result = {
   shard : int;
   requests : int;
+  offered : int;
   steps : int;
   max_queue_depth : int;
   stopped_early : bool;
@@ -69,12 +109,16 @@ type shard_result = {
   service : Hdr.t;
   queue_wait : Hdr.t;
   per_kind : (kind * Hdr.t) list;
+  outcomes : Policy.counts;
+  restarts : int;
+  spurious_cas : int;
 }
 
 type result = {
   config : config;
   shards : shard_result list;
   requests : int;
+  offered : int;
   steps_total : int;
   steps_max : int;
   stopped_early : bool;
@@ -82,11 +126,22 @@ type result = {
   service : Hdr.t;
   queue_wait : Hdr.t;
   per_kind : (kind * Hdr.t) list;
+  outcomes : Policy.counts;
+  restarts : int;
+  spurious_cas : int;
 }
+
+let stopped_shards r =
+  List.filter_map
+    (fun (s : shard_result) -> if s.stopped_early then Some s.shard else None)
+    r.shards
 
 (* One queued request.  [kind] indexes the config's kind list; every
    random draw it embodies came from its own (seed, client, k) RNG, so
-   the record is the same whichever simulation path built it. *)
+   the record is the same whichever simulation path built it.  [rid]
+   is the shard-local request id; [attempt] and [dup] only matter to
+   the fault-tolerant path (dup 0 = original arrival, 1 = retry or
+   crash redelivery, 2 = hedged duplicate). *)
 type req = {
   client : int;
   k : int;
@@ -94,12 +149,16 @@ type req = {
   key : int;
   push : bool;
   arrival : int;
+  rid : int;
+  attempt : int;
+  dup : int;
 }
 
 (* Host-level min-heap of future arrivals, keyed (arrival, client, k)
-   so ties break deterministically.  Bounded by one entry per client:
-   a session's next request is scheduled only when its predecessor is
-   dispatched (open loop) or completes (closed loop). *)
+   so ties break deterministically.  Bounded by one entry per client
+   plus outstanding retries/hedges: a session's next request is
+   scheduled only when its predecessor is dispatched (open loop) or
+   resolves (closed loop). *)
 module Rheap = struct
   type t = { mutable a : req array; mutable len : int; dummy : req }
 
@@ -108,7 +167,9 @@ module Rheap = struct
   let less x y =
     x.arrival < y.arrival
     || (x.arrival = y.arrival
-       && (x.client < y.client || (x.client = y.client && x.k < y.k)))
+       && (x.client < y.client
+          || (x.client = y.client && (x.k < y.k || (x.k = y.k && x.dup < y.dup)))
+          ))
 
   let push t r =
     if t.len = Array.length t.a then begin
@@ -200,6 +261,19 @@ let build_objset memory ~workers ~objects = function
           seqs = Array.init objects (fun _ -> Array.make workers 0);
         }
 
+(* How far into (step) time the rate part of the fault plan is
+   expanded.  Any pure function of (config, shard) keeps determinism;
+   64 steps per offered request covers every structure's service cost
+   with generous slack, while keeping instantiation linear in the
+   shard's real workload rather than in the 2e8-step safety net. *)
+let fault_horizon cfg ~total = min cfg.max_steps ((64 * total) + 4096)
+
+let shard_plan cfg ~shard ~total =
+  Fault_plan.instantiate cfg.faults
+    ~seed:(Workload.mix (Workload.mix cfg.seed 0xFA171) shard)
+    ~n:cfg.workers
+    ~horizon:(fault_horizon cfg ~total)
+
 let run_shard cfg ~shard =
   let kinds = Array.of_list cfg.kinds in
   let nkinds = Array.length kinds in
@@ -214,9 +288,11 @@ let run_shard cfg ~shard =
   in
   let total = nclients * cfg.ops_per_client in
   let empty_result ~steps ~stopped_early =
+    let requests = Hdr.count latency in
     {
       shard;
-      requests = Hdr.count latency;
+      requests;
+      offered = total;
       steps;
       max_queue_depth = 0;
       stopped_early;
@@ -224,32 +300,83 @@ let run_shard cfg ~shard =
       service;
       queue_wait;
       per_kind = List.mapi (fun i k -> (k, per_kind.(i))) cfg.kinds;
+      outcomes =
+        { Policy.zero_counts with ok = requests; dropped = total - requests };
+      restarts = 0;
+      spurious_cas = 0;
     }
   in
   if total = 0 then empty_result ~steps:0 ~stopped_early:false
   else begin
+    let robust = is_robust cfg in
+    let plan = if robust then shard_plan cfg ~shard ~total else Fault_plan.none in
+    if robust && outage_plan ~workers:cfg.workers plan then
+      (* Total outage: nothing can ever serve.  Degrade without
+         simulating — every offered request is dropped. *)
+      {
+        (empty_result ~steps:0 ~stopped_early:true) with
+        outcomes = { Policy.zero_counts with dropped = total };
+      }
+    else begin
     let memory = Memory.create ~capacity:4096 () in
     let objsets =
       Array.map (build_objset memory ~workers:cfg.workers ~objects:cfg.objects)
         kinds
     in
     let cdf = Workload.zipf_cdf ~alpha:cfg.alpha ~n:cfg.objects in
+    let pol = cfg.policy in
+    (* Fault-tolerant bookkeeping, allocated only when active. *)
+    let status = if robust then Bytes.make total '\000' else Bytes.empty in
+    let attempt_cur = if robust then Array.make total 0 else [||] in
+    let first_arrival = if robust then Array.make total 0 else [||] in
+    let hedged =
+      if robust && pol.hedge_after <> None then Array.make total false else [||]
+    in
+    let resolved = ref 0 in
+    let ok_c = ref 0 in
+    let retried_c = ref 0 in
+    let retries_c = ref 0 in
+    let redelivered_c = ref 0 in
+    let hedges_c = ref 0 in
+    let timedout_c = ref 0 in
+    let dummy =
+      {
+        client = -1;
+        k = -1;
+        kind = 0;
+        key = 0;
+        push = false;
+        arrival = 0;
+        rid = -1;
+        attempt = 0;
+        dup = 0;
+      }
+    in
+    let req_store = if robust then Array.make total dummy else [||] in
     let make_req ~client ~k ~base =
       let rng = Workload.request_rng ~seed:cfg.seed ~client ~k in
       let g = Workload.gap cfg.mode rng ~k in
       let u = Stats.Rng.float rng 1.0 in
       let push = Stats.Rng.bool rng in
-      {
-        client;
-        k;
-        kind = client / cfg.shards mod nkinds;
-        key = Workload.pick cdf u;
-        push;
-        arrival = base + g;
-      }
-    in
-    let dummy =
-      { client = -1; k = -1; kind = 0; key = 0; push = false; arrival = 0 }
+      let rid = ((client / cfg.shards) * cfg.ops_per_client) + k in
+      let r =
+        {
+          client;
+          k;
+          kind = client / cfg.shards mod nkinds;
+          key = Workload.pick cdf u;
+          push;
+          arrival = base + g;
+          rid;
+          attempt = 0;
+          dup = 0;
+        }
+      in
+      if robust then begin
+        req_store.(rid) <- r;
+        first_arrival.(rid) <- r.arrival
+      end;
+      r
     in
     let pending = Rheap.create dummy in
     for i = 0 to nclients - 1 do
@@ -269,6 +396,11 @@ let run_shard cfg ~shard =
       if r.k + 1 < cfg.ops_per_client then
         Rheap.push pending (make_req ~client:r.client ~k:(r.k + 1) ~base)
     in
+    (* Deadline watch: FIFO of (rid, attempt, absolute deadline).
+       Entries are appended in drain order — non-decreasing arrival
+       times plus a constant deadline — so the queue is sorted and the
+       scan only ever inspects its head. *)
+    let watch : (int * int * int) Queue.t = Queue.create () in
     let drain now =
       let continue = ref true in
       while !continue do
@@ -277,12 +409,125 @@ let run_shard cfg ~shard =
             ignore (Rheap.pop pending);
             (* Open loop: the successor's arrival is independent of
                service, so it is scheduled as soon as this request
-               reaches the queue. *)
-            if is_open then schedule_next ~base:r.arrival r;
+               reaches the queue (originals only — retries, hedges and
+               redeliveries have no successor of their own). *)
+            if is_open && r.dup = 0 && r.attempt = 0 then
+              schedule_next ~base:r.arrival r;
+            (match pol.deadline with
+            | Some d when r.dup < 2 ->
+                Queue.add (r.rid, r.attempt, r.arrival + d) watch
+            | _ -> ());
             Queue.add r ready;
             if Queue.length ready > !max_depth then
               max_depth := Queue.length ready
         | _ -> continue := false
+      done
+    in
+    let resolve_failure ~now rid =
+      Bytes.set status rid '\002';
+      incr timedout_c;
+      incr resolved;
+      if not is_open then schedule_next ~base:now req_store.(rid);
+      Program.complete ()
+    in
+    (* Expired deadlines: retry with seeded backoff while budget
+       remains, else resolve the request as timed out.  Runs inside
+       whichever worker is scheduled, costs no simulated step. *)
+    let rec scan now =
+      match Queue.peek_opt watch with
+      | Some (rid, att, dl) when dl <= now ->
+          ignore (Queue.pop watch);
+          if Bytes.get status rid = '\000' && attempt_cur.(rid) = att then begin
+            if att < pol.max_retries then begin
+              attempt_cur.(rid) <- att + 1;
+              incr retries_c;
+              let b = Policy.backoff pol ~seed:cfg.seed ~rid ~attempt:(att + 1) in
+              Rheap.push pending
+                {
+                  req_store.(rid) with
+                  arrival = now + b;
+                  attempt = att + 1;
+                  dup = 1;
+                }
+            end
+            else resolve_failure ~now rid
+          end;
+          scan now
+      | _ -> ()
+    in
+    (* Per-worker dispatch slots: which request (and attempt) each
+       worker currently holds, and since when.  Host-level state — a
+       crash drops the worker's continuation but not this record, which
+       is exactly what redelivery needs. *)
+    let inflight_rid = Array.make cfg.workers (-1) in
+    let inflight_attempt = Array.make cfg.workers 0 in
+    let inflight_since = Array.make cfg.workers 0 in
+    (* Hedging: a request in flight for [h] steps without completing
+       gets one duplicate dispatch — including around a crashed or
+       stalled worker, which is the production use case. *)
+    let hedge_scan h now =
+      for w = 0 to cfg.workers - 1 do
+        let rid = inflight_rid.(w) in
+        if
+          rid >= 0
+          && Bytes.get status rid = '\000'
+          && inflight_attempt.(w) = attempt_cur.(rid)
+          && (not hedged.(rid))
+          && now - inflight_since.(w) >= h
+        then begin
+          hedged.(rid) <- true;
+          incr hedges_c;
+          Rheap.push pending
+            {
+              req_store.(rid) with
+              arrival = now;
+              attempt = attempt_cur.(rid);
+              dup = 2;
+            }
+        end
+      done
+    in
+    (* The step after which each worker is crashed for good under
+       [plan] (max_int if it always restarts or never crashes).  The
+       plan is engine-side data, so the load generator gets a perfect
+       failure detector: requests held by a permanently dead worker are
+       redelivered instead of waiting on a restart that never comes —
+       this is what keeps the [Completions] stop reachable for
+       faults-only runs with no deadline policy. *)
+    let dead_after =
+      let d = Array.make cfg.workers max_int in
+      Array.iter
+        (fun (time, e) ->
+          match e with
+          | Fault_plan.Crash p -> if p >= 0 && p < cfg.workers then d.(p) <- time
+          | Fault_plan.Restart p ->
+              if p >= 0 && p < cfg.workers then d.(p) <- max_int
+          | Fault_plan.Stall _ -> ())
+        (Fault_plan.events plan);
+      d
+    in
+    let redeliver ~now ~w =
+      let rid = inflight_rid.(w) in
+      inflight_rid.(w) <- -1;
+      if
+        rid >= 0
+        && Bytes.get status rid = '\000'
+        && attempt_cur.(rid) = inflight_attempt.(w)
+      then begin
+        incr redelivered_c;
+        Rheap.push pending
+          {
+            req_store.(rid) with
+            arrival = now;
+            attempt = inflight_attempt.(w);
+            dup = 1;
+          }
+      end
+    in
+    let rescue now =
+      for w = 0 to cfg.workers - 1 do
+        if inflight_rid.(w) >= 0 && now >= dead_after.(w) then
+          redeliver ~now ~w
       done
     in
     let exec_request (ctx : Program.ctx) r =
@@ -310,7 +555,9 @@ let run_shard cfg ~shard =
           Scu.Waitfree_counter.incr_op ~memory ~pointer:w.ptrs.(r.key)
             ~announce:w.anns.(r.key) ~n:ctx.n ~id:ctx.id ~seq:sq.(ctx.id)
     in
-    let program (ctx : Program.ctx) =
+    (* The historical fault-free program: byte-identical step sequence
+       to every release since the service landed. *)
+    let program_plain (ctx : Program.ctx) =
       let rec loop () =
         if !served < total then begin
           let now = Program.now () in
@@ -337,23 +584,106 @@ let run_shard cfg ~shard =
       in
       loop ()
     in
-    let spec = { Sim.Executor.name = "load-shard"; memory; program } in
-    let r =
-      Sim.Executor.exec
-        ~config:
-          Sim.Executor.Config.(
-            default
-            |> with_seed (Workload.mix cfg.seed (shard + 0x10AD))
-            |> with_max_steps cfg.max_steps)
-        ~scheduler:Sched.Scheduler.uniform ~n:cfg.workers
-        ~stop:(Completions total) spec
+    (* The fault-tolerant program.  Same dispatch loop, plus: crash
+       redelivery on re-entry, the deadline and hedge scans, stale
+       ready entries discarded without burning a step, and duplicate
+       completions (hedge losers, late redelivered copies) resolved
+       at-least-once — the first finisher wins.  [Program.complete]
+       fires exactly once per resolution (success or final timeout),
+       so [Completions total] still means "every request resolved". *)
+    let program_robust (ctx : Program.ctx) =
+      (* A restarted worker re-enters here with a fresh body; whatever
+         request it held when it crashed is redelivered (same attempt —
+         a crash consumes no retry budget). *)
+      if inflight_rid.(ctx.id) >= 0 then
+        redeliver ~now:(Program.now ()) ~w:ctx.id;
+      let rec take_ready () =
+        match Queue.take_opt ready with
+        | None -> None
+        | Some r ->
+            if Bytes.get status r.rid <> '\000' || attempt_cur.(r.rid) <> r.attempt
+            then take_ready () (* stale: superseded or already resolved *)
+            else Some r
+      in
+      let rec loop () =
+        if !resolved < total then begin
+          let now = Program.now () in
+          if pol.deadline <> None then scan now;
+          (match pol.hedge_after with
+          | Some h -> hedge_scan h now
+          | None -> ());
+          drain now;
+          match take_ready () with
+          | None ->
+              rescue now;
+              Program.yield_noop ();
+              loop ()
+          | Some r ->
+              let dispatch = now in
+              inflight_rid.(ctx.id) <- r.rid;
+              inflight_attempt.(ctx.id) <- r.attempt;
+              inflight_since.(ctx.id) <- dispatch;
+              exec_request ctx r;
+              let fin = Program.now () in
+              inflight_rid.(ctx.id) <- -1;
+              if Bytes.get status r.rid = '\000' then begin
+                Bytes.set status r.rid '\001';
+                incr resolved;
+                if attempt_cur.(r.rid) > 0 then incr retried_c else incr ok_c;
+                let born = first_arrival.(r.rid) in
+                Hdr.add latency (fin - born);
+                Hdr.add service (fin - dispatch);
+                Hdr.add queue_wait (dispatch - r.arrival);
+                Hdr.add per_kind.(r.kind) (fin - born);
+                if not is_open then schedule_next ~base:fin req_store.(r.rid);
+                Program.complete ()
+              end;
+              loop ()
+        end
+      in
+      loop ()
     in
-    {
-      (empty_result ~steps:(Sim.Metrics.time r.metrics)
-         ~stopped_early:r.stopped_early)
-      with
-      max_queue_depth = !max_depth;
-    }
+    let program = if robust then program_robust else program_plain in
+    let spec = { Sim.Executor.name = "load-shard"; memory; program } in
+    let exec_config =
+      let base =
+        Sim.Executor.Config.(
+          default
+          |> with_seed (Workload.mix cfg.seed (shard + 0x10AD))
+          |> with_max_steps cfg.max_steps)
+      in
+      if robust then Sim.Executor.Config.with_faults plan base else base
+    in
+    let r =
+      Sim.Executor.exec ~config:exec_config ~scheduler:Sched.Scheduler.uniform
+        ~n:cfg.workers ~stop:(Completions total) spec
+    in
+    let base_res =
+      {
+        (empty_result ~steps:(Sim.Metrics.time r.metrics)
+           ~stopped_early:r.stopped_early)
+        with
+        max_queue_depth = !max_depth;
+      }
+    in
+    if not robust then base_res
+    else
+      {
+        base_res with
+        outcomes =
+          {
+            Policy.ok = !ok_c;
+            retried = !retried_c;
+            retries = !retries_c;
+            redelivered = !redelivered_c;
+            hedges = !hedges_c;
+            timed_out = !timedout_c;
+            dropped = total - !resolved;
+          };
+        restarts = Array.fold_left ( + ) 0 r.restarts;
+        spurious_cas = r.spurious_cas;
+      }
+    end
   end
 
 let merge_shards cfg (shards : shard_result list) =
@@ -375,6 +705,8 @@ let merge_shards cfg (shards : shard_result list) =
     shards;
     requests =
       List.fold_left (fun acc (s : shard_result) -> acc + s.requests) 0 shards;
+    offered =
+      List.fold_left (fun acc (s : shard_result) -> acc + s.offered) 0 shards;
     steps_total =
       List.fold_left (fun acc (s : shard_result) -> acc + s.steps) 0 shards;
     steps_max =
@@ -385,6 +717,16 @@ let merge_shards cfg (shards : shard_result list) =
     service;
     queue_wait;
     per_kind;
+    outcomes =
+      List.fold_left
+        (fun acc (s : shard_result) -> Policy.add_counts acc s.outcomes)
+        Policy.zero_counts shards;
+    restarts =
+      List.fold_left (fun acc (s : shard_result) -> acc + s.restarts) 0 shards;
+    spurious_cas =
+      List.fold_left
+        (fun acc (s : shard_result) -> acc + s.spurious_cas)
+        0 shards;
   }
 
 let run ?pool cfg =

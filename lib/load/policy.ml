@@ -1,0 +1,86 @@
+(* Request deadline/retry/hedge policies for the load engine.  Pure
+   data plus a deterministic backoff: everything the engine needs to
+   react to faults without ever consulting wall clock or shared RNG
+   state (the jitter stream is keyed by (seed, rid, attempt), so a
+   retry's delay does not depend on when the expiry was noticed). *)
+
+type t = {
+  deadline : int option;
+  max_retries : int;
+  backoff_base : int;
+  hedge_after : int option;
+}
+
+let default =
+  { deadline = None; max_retries = 0; backoff_base = 16; hedge_after = None }
+
+let is_none t = t.deadline = None && t.hedge_after = None
+
+let validate t =
+  if (match t.deadline with Some d -> d < 1 | None -> false) then
+    Error "deadline must be at least 1 step"
+  else if t.max_retries < 0 then Error "retries must be non-negative"
+  else if t.backoff_base < 1 then Error "backoff base must be positive"
+  else if (match t.hedge_after with Some h -> h < 1 | None -> false) then
+    Error "hedge delay must be at least 1 step"
+  else if t.max_retries > 0 && t.deadline = None then
+    Error "retries need a deadline (nothing else triggers them)"
+  else Stdlib.Ok ()
+
+let backoff t ~seed ~rid ~attempt =
+  let a = max 1 attempt in
+  let exp = t.backoff_base * (1 lsl min 16 (a - 1)) in
+  let rng =
+    Stats.Rng.create ~seed:(Workload.mix (Workload.mix seed 0xBACC0FF) ((rid * 64) + a))
+  in
+  exp + Stats.Rng.int rng t.backoff_base
+
+let to_string t =
+  Printf.sprintf "deadline=%s retries=%d backoff=%d hedge=%s"
+    (match t.deadline with None -> "none" | Some d -> string_of_int d)
+    t.max_retries t.backoff_base
+    (match t.hedge_after with None -> "none" | Some h -> string_of_int h)
+
+type outcome = Ok | Retried of int | Timed_out | Dropped
+
+type counts = {
+  ok : int;
+  retried : int;
+  retries : int;
+  redelivered : int;
+  hedges : int;
+  timed_out : int;
+  dropped : int;
+}
+
+let zero_counts =
+  {
+    ok = 0;
+    retried = 0;
+    retries = 0;
+    redelivered = 0;
+    hedges = 0;
+    timed_out = 0;
+    dropped = 0;
+  }
+
+let add_counts a b =
+  {
+    ok = a.ok + b.ok;
+    retried = a.retried + b.retried;
+    retries = a.retries + b.retries;
+    redelivered = a.redelivered + b.redelivered;
+    hedges = a.hedges + b.hedges;
+    timed_out = a.timed_out + b.timed_out;
+    dropped = a.dropped + b.dropped;
+  }
+
+let completed c = c.ok + c.retried
+let failed c = c.timed_out + c.dropped
+let total c = completed c + failed c
+
+let counts_to_string c =
+  Printf.sprintf
+    "ok=%d retried=%d (retries=%d redelivered=%d hedges=%d) timed_out=%d \
+     dropped=%d"
+    c.ok c.retried c.retries c.redelivered c.hedges c.timed_out c.dropped

@@ -1,0 +1,89 @@
+(** Request policies for the SCU service: per-request deadlines,
+    bounded retry with deterministic seeded backoff, and optional
+    hedged re-dispatch.
+
+    All times are simulated steps.  A policy only changes how the
+    host-level load generator reacts to a request that has not
+    completed; it never touches the simulated structures, so the
+    default (no deadline, no retries, no hedge) leaves the engine's
+    fault-free step sequence byte-identical to a policy-free run.
+
+    Semantics, per request:
+    - every dispatch attempt carries a deadline of [deadline] steps
+      from the attempt's arrival in the ready queue.  When it expires
+      the attempt is abandoned: if the request still has retry budget
+      a fresh attempt is scheduled after a {!backoff} delay, otherwise
+      the request resolves as [Timed_out];
+    - a crashed worker's in-flight request is *redelivered* (same
+      attempt, no budget consumed) when the worker restarts, or
+      recovered by the deadline scan if it never does;
+    - with [hedge_after = Some h], a request in flight for [h] steps
+      without completing gets one duplicate dispatch; the first
+      finisher wins (the loser's completion is discarded, so the
+      operation may execute twice — at-least-once semantics, exactly
+      like a production hedge);
+    - a request still unresolved when the run stops is [Dropped].
+
+    Determinism: the backoff jitter for (request, attempt) is a pure
+    function of the config seed, so retry schedules are independent of
+    the order in which the simulation discovers the expiries. *)
+
+type t = {
+  deadline : int option;  (** Steps from attempt arrival; [None] = never. *)
+  max_retries : int;  (** Extra dispatch attempts after the first. *)
+  backoff_base : int;  (** Base delay (steps) for retry backoff. *)
+  hedge_after : int option;
+      (** Steps in flight before the single hedged duplicate. *)
+}
+
+val default : t
+(** No deadline, no retries, backoff base 16, no hedge — the inert
+    policy; {!is_none} holds. *)
+
+val is_none : t -> bool
+(** True iff the policy can never reschedule anything (no deadline and
+    no hedge). *)
+
+val validate : t -> (unit, string) result
+
+val backoff : t -> seed:int -> rid:int -> attempt:int -> int
+(** Delay before retry [attempt] (1-based) of request [rid]:
+    exponential [backoff_base * 2^(attempt-1)] plus a deterministic
+    jitter in [0, backoff_base) drawn from a stream keyed by
+    [(seed, rid, attempt)]. *)
+
+val to_string : t -> string
+(** ["deadline=500 retries=2 backoff=16 hedge=none"] — the manifest
+    and render form. *)
+
+(** Resolution taxonomy, surfaced per run in {!counts}. *)
+type outcome =
+  | Ok  (** Completed on the first dispatch attempt. *)
+  | Retried of int  (** Completed after this many retries. *)
+  | Timed_out  (** Deadline expired with no retry budget left. *)
+  | Dropped  (** Still unresolved when the run stopped. *)
+
+type counts = {
+  ok : int;
+  retried : int;  (** Requests that completed after >= 1 retry. *)
+  retries : int;  (** Total retry dispatches. *)
+  redelivered : int;  (** Crash-recovery redeliveries (no budget). *)
+  hedges : int;  (** Hedged duplicate dispatches. *)
+  timed_out : int;
+  dropped : int;
+}
+
+val zero_counts : counts
+val add_counts : counts -> counts -> counts
+
+val completed : counts -> int
+(** [ok + retried] — successfully resolved requests. *)
+
+val failed : counts -> int
+(** [timed_out + dropped]. *)
+
+val total : counts -> int
+(** Every offered request resolves to exactly one outcome;
+    [completed + failed] is the offered count. *)
+
+val counts_to_string : counts -> string

@@ -77,8 +77,15 @@ let run ?(ns = [ 2; 4; 8 ]) ?(requests_per_point = 40_000) ~kind ~seed () =
         invalid_arg
           (Printf.sprintf
              "Slo.run: %s has no SCU(q, s) classification (its helping scan \
-              is Theta(n) per attempt)"
-             (Engine.kind_name kind))
+              is Theta(n) per attempt); classified structures: %s"
+             (Engine.kind_name kind)
+             (String.concat ", "
+                (List.filter_map
+                   (fun k ->
+                     Option.map
+                       (fun (_ : params) -> Engine.kind_name k)
+                       (params_of_kind k))
+                   Engine.all_kinds)))
   in
   if List.length ns < 2 then invalid_arg "Slo.run: need at least two n values";
   if List.exists (fun n -> n < 1) ns then

@@ -526,11 +526,18 @@ let gates_record t =
    to completion under the uniform stochastic scheduler with the
    invariant hook on every step; the history is Unchecked by
    construction (too many ops to judge), an invariant raise is the
-   failure signal. *)
-let run_load ~structure ~gates ~seed ~mix_seed ~clients ~ops_per_client =
+   failure signal.  The scenario's fault spec rides along on both
+   branches — rates are instantiated over the run's step budget with
+   the scenario seed, so a `load@` source under a chaos preset drives
+   the structure through crash/stall/casfail weather too. *)
+let run_load ~structure ~gates ~faults ~seed ~mix_seed ~clients ~ops_per_client =
+  let budget = (200 * clients * (ops_per_client + 1)) + 64 in
+  let fault_plan =
+    Fault_plan.instantiate faults ~seed ~n:clients ~horizon:budget
+  in
   if clients * ops_per_client <= 62 then begin
     let out =
-      Schedule.run ~gates ?mix_seed ~structure ~n:clients
+      Schedule.run ~fault_plan ~gates ?mix_seed ~structure ~n:clients
         ~ops:ops_per_client ~tail:Check.Schedule.Round_robin [||]
     in
     (Array.fold_left ( + ) 0 out.completed, out.verdict)
@@ -539,12 +546,12 @@ let run_load ~structure ~gates ~seed ~mix_seed ~clients ~ops_per_client =
     let inst =
       structure.Checkable.make ~n:clients ~ops:ops_per_client ?mix_seed ()
     in
-    let budget = (200 * clients * (ops_per_client + 1)) + 64 in
     let verdict =
       try
         let config =
           Sim.Executor.Config.(
             default |> with_seed seed
+            |> with_faults fault_plan
             |> with_max_steps (budget + 1)
             |> with_invariant ~interval:1 inst.invariant)
         in
@@ -701,7 +708,7 @@ let run ?(on_event = fun _ -> ()) ?(now = fun () -> 0.) t =
           | Load { clients; ops_per_client } ->
               let t0 = now () in
               let completed, verdict =
-                run_load ~structure:s ~gates ~seed:t.seed
+                run_load ~structure:s ~gates ~faults:t.faults ~seed:t.seed
                   ~mix_seed:t.mix_seed ~clients ~ops_per_client
               in
               on_event

@@ -107,6 +107,17 @@ let stall_total t =
     (fun acc (_, e) -> match e with Stall (_, d) -> acc + max 0 d | _ -> acc)
     0 t.events
 
+let survivors ~n t =
+  let crashed = Array.make n false in
+  Array.iter
+    (fun (_, e) ->
+      match e with
+      | Crash p -> if p >= 0 && p < n then crashed.(p) <- true
+      | Restart p -> if p >= 0 && p < n then crashed.(p) <- false
+      | Stall _ -> ())
+    t.events;
+  Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 crashed
+
 let validate ~n t =
   let bad_proc =
     Array.exists

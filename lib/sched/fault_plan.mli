@@ -96,6 +96,12 @@ val stall_total : t -> int
     (idle time the executor may burn waiting out an all-stalled
     window). *)
 
+val survivors : n:int -> t -> int
+(** Processes left un-crashed once every restart is accounted for
+    (out-of-range event targets are ignored).  [0] means the plan is a
+    total outage — {!validate} rejects it, but the load engine's
+    outage drill detects and degrades it instead. *)
+
 val validate : n:int -> t -> (unit, string) result
 (** Process ids in range, times and stall durations non-negative,
     rates in [0,1), and at least one process left un-crashed once every

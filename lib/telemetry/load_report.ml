@@ -15,9 +15,31 @@ type shard_row = {
   shard_requests : int;
   shard_steps : int;
   max_queue_depth : int;
+  shard_stopped : bool;
+  shard_dropped : int;
+  shard_restarts : int;
 }
 
 type gate_row = { gate : string; gate_passed : bool; detail : string }
+
+type outcome_row = {
+  ok : int;
+  retried : int;
+  retries : int;
+  redelivered : int;
+  hedges : int;
+  timed_out : int;
+  dropped : int;
+}
+
+type budget_row = {
+  budget_offered : int;
+  budget_completed : int;
+  availability : float;
+  target : float;
+  burn : float;
+  verdict : string;
+}
 
 type t = {
   structures : string list;
@@ -29,8 +51,11 @@ type t = {
   arrival : string;
   alpha : float;
   seed : int;
+  faults : string option;
+  policy : string option;
   window : int option;
   requests : int;
+  offered : int option;
   steps_total : int;
   steps_max : int;
   stopped_early : bool;
@@ -38,12 +63,26 @@ type t = {
   latency : quantiles;
   service : quantiles;
   queue_wait : quantiles;
+  outcomes : outcome_row option;
+  restarts : int option;
+  spurious_cas : int option;
   per_kind : kind_row list;
   per_shard : shard_row list;
+  error_budget : budget_row option;
   slo : gate_row list option;
+  degrade : gate_row list option;
 }
 
 let schema = "repro-load-manifest/1"
+let schema_v2 = "repro-load-manifest/2"
+
+(* A document is schema 2 exactly when it carries any of the
+   fault/policy extensions; a fault-free, policy-free run serializes
+   byte-identically to the historical schema-1 form. *)
+let is_v2 t =
+  t.faults <> None || t.policy <> None || t.offered <> None
+  || t.outcomes <> None || t.restarts <> None || t.spurious_cas <> None
+  || t.error_budget <> None || t.degrade <> None
 
 let quantiles_json q =
   Json.Obj
@@ -57,12 +96,26 @@ let quantiles_json q =
       ("p999", Json.Int q.p999);
     ]
 
+let gates_json gates =
+  Json.List
+    (List.map
+       (fun g ->
+         Json.Obj
+           [
+             ("gate", Json.Str g.gate);
+             ("passed", Json.Bool g.gate_passed);
+             ("detail", Json.Str g.detail);
+           ])
+       gates)
+
 let to_json t =
+  let v2 = is_v2 t in
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
   Json.Obj
     (List.concat
        [
          [
-           ("schema", Json.Str schema);
+           ("schema", Json.Str (if v2 then schema_v2 else schema));
            ( "structures",
              Json.List (List.map (fun s -> Json.Str s) t.structures) );
            ("clients", Json.Int t.clients);
@@ -74,11 +127,14 @@ let to_json t =
            ("alpha", Json.Float t.alpha);
            ("seed", Json.Int t.seed);
          ];
+         opt "faults" (fun s -> Json.Str s) t.faults;
+         opt "policy" (fun s -> Json.Str s) t.policy;
          (match t.window with
          | None -> []
          | Some w -> [ ("window", Json.Int w) ]);
+         [ ("requests", Json.Int t.requests) ];
+         opt "offered" (fun n -> Json.Int n) t.offered;
          [
-           ("requests", Json.Int t.requests);
            ("steps_total", Json.Int t.steps_total);
            ("steps_max", Json.Int t.steps_max);
            ("stopped_early", Json.Bool t.stopped_early);
@@ -86,6 +142,23 @@ let to_json t =
            ("latency", quantiles_json t.latency);
            ("service", quantiles_json t.service);
            ("queue_wait", quantiles_json t.queue_wait);
+         ];
+         opt "outcomes"
+           (fun o ->
+             Json.Obj
+               [
+                 ("ok", Json.Int o.ok);
+                 ("retried", Json.Int o.retried);
+                 ("retries", Json.Int o.retries);
+                 ("redelivered", Json.Int o.redelivered);
+                 ("hedges", Json.Int o.hedges);
+                 ("timed_out", Json.Int o.timed_out);
+                 ("dropped", Json.Int o.dropped);
+               ])
+           t.outcomes;
+         opt "restarts" (fun n -> Json.Int n) t.restarts;
+         opt "spurious_cas" (fun n -> Json.Int n) t.spurious_cas;
+         [
            ( "per_kind",
              Json.List
                (List.map
@@ -101,30 +174,47 @@ let to_json t =
                (List.map
                   (fun r ->
                     Json.Obj
-                      [
-                        ("shard", Json.Int r.shard);
-                        ("requests", Json.Int r.shard_requests);
-                        ("steps", Json.Int r.shard_steps);
-                        ("max_queue_depth", Json.Int r.max_queue_depth);
-                      ])
+                      (List.concat
+                         [
+                           [
+                             ("shard", Json.Int r.shard);
+                             ("requests", Json.Int r.shard_requests);
+                             ("steps", Json.Int r.shard_steps);
+                             ("max_queue_depth", Json.Int r.max_queue_depth);
+                           ];
+                           (* Emitted only on failure, so healthy
+                              schema-1 rows keep their historical
+                              bytes. *)
+                           (if r.shard_stopped then
+                              [ ("stopped_early", Json.Bool true) ]
+                            else []);
+                           (if v2 then
+                              [
+                                ("dropped", Json.Int r.shard_dropped);
+                                ("restarts", Json.Int r.shard_restarts);
+                              ]
+                            else []);
+                         ]))
                   t.per_shard) );
          ];
+         opt "error_budget"
+           (fun b ->
+             Json.Obj
+               [
+                 ("offered", Json.Int b.budget_offered);
+                 ("completed", Json.Int b.budget_completed);
+                 ("availability", Json.Float b.availability);
+                 ("target", Json.Float b.target);
+                 ("burn", Json.Float b.burn);
+                 ("verdict", Json.Str b.verdict);
+               ])
+           t.error_budget;
          (match t.slo with
          | None -> []
-         | Some gates ->
-             [
-               ( "slo",
-                 Json.List
-                   (List.map
-                      (fun g ->
-                        Json.Obj
-                          [
-                            ("gate", Json.Str g.gate);
-                            ("passed", Json.Bool g.gate_passed);
-                            ("detail", Json.Str g.detail);
-                          ])
-                      gates) );
-             ]);
+         | Some gates -> [ ("slo", gates_json gates) ]);
+         (match t.degrade with
+         | None -> []
+         | Some gates -> [ ("degrade", gates_json gates) ]);
        ])
 
 let to_string ?compact t = Json.to_string ?compact (to_json t)

@@ -450,7 +450,113 @@ let golden_cases =
       "chaos --quick --structures counter-nocas --no-sweep --no-manifest \
        --seed 0"
       1;
+    (* Captured from the build predating the fault layer: a run without
+       --faults/--deadline/... must take the historical byte-identical
+       path, so any drift here means the robust dispatch path leaked
+       into fault-free runs. *)
+    golden_case "load-seed0"
+      "load --structures all --clients 20000 --seed 0 --no-progress" 0;
+    golden_case "serve-seed0"
+      "serve --structures counter --clients 5000 --windows 3 --seed 0 \
+       --no-progress"
+      0;
   ]
+
+(* -- repro load: faults and policies ---------------------------------- *)
+
+let faulted_load_args =
+  "load --structures counter --clients 4000 --workers 4 --shards 4 --objects \
+   8 --seed 0 --no-progress --faults standard --deadline 400 --retries 2"
+
+let test_load_faulted_deterministic () =
+  (* Same seed, same faults, same bytes: across repeats and across -j,
+     for both stdout and the manifest. *)
+  with_scratch_dir (fun dir ->
+      let go extra out =
+        run dir (Printf.sprintf "%s %s --out %s" faulted_load_args extra out)
+      in
+      let code1, out1, err1 = go "-j1" "m1.json" in
+      let code2, out2, _ = go "-j1" "m2.json" in
+      let code4, out4, _ = go "-j4" "m4.json" in
+      Alcotest.(check int) ("first run exits 0; stderr: " ^ err1) 0 code1;
+      Alcotest.(check int) "repeat exits 0" 0 code2;
+      Alcotest.(check int) "-j4 exits 0" 0 code4;
+      Alcotest.(check string) "stdout identical across repeats" out1 out2;
+      Alcotest.(check string) "stdout identical across -j" out1 out4;
+      let m s = read_file (Filename.concat dir s) in
+      Alcotest.(check string) "manifest identical across repeats" (m "m1.json")
+        (m "m2.json");
+      Alcotest.(check string) "manifest identical across -j" (m "m1.json")
+        (m "m4.json");
+      Alcotest.(check bool) "manifest carries the fault schema" true
+        (contains (m "m1.json") "repro-load-manifest/2");
+      Alcotest.(check bool) "stdout reports the outcome taxonomy" true
+        (contains out1 "outcomes: ok=");
+      Alcotest.(check bool) "stdout reports the error budget" true
+        (contains out1 "error-budget: availability="))
+
+let test_load_outage_drill () =
+  (* Permanently crash both workers of both shards: the service must
+     degrade (all requests dropped), name the stopped shards on stderr,
+     exit 1 and still write the manifest artifact. *)
+  with_scratch_dir (fun dir ->
+      let code, out, err =
+        run dir
+          "load --structures counter --clients 200 --workers 2 --shards 2 \
+           --seed 0 --no-progress --faults crash@0:0,crash@0:1 --out \
+           outage.json"
+      in
+      Alcotest.(check int) "outage exits 1" 1 code;
+      Alcotest.(check bool) ("stderr names the shards: " ^ err) true
+        (contains err "shards 0,1 stopped early");
+      Alcotest.(check bool) "stdout reports the drops" true
+        (contains out "dropped=200");
+      let manifest = read_file (Filename.concat dir "outage.json") in
+      Alcotest.(check bool) "manifest still written" true
+        (contains manifest "\"stopped_early\": true"))
+
+let test_load_policy_flags_validated () =
+  with_scratch_dir (fun dir ->
+      let rejected label args needle =
+        let code, out, err = run dir args in
+        Alcotest.(check bool) (label ^ ": nonzero exit") true (code <> 0);
+        Alcotest.(check string) (label ^ ": nothing ran") "" out;
+        Alcotest.(check bool)
+          (label ^ ": names the defect (stderr: " ^ err ^ ")")
+          true
+          (contains err needle && not (contains err "Raised at"))
+      in
+      rejected "retries without deadline"
+        "load --clients 10 --retries 2 --no-progress" "retries need a deadline";
+      rejected "bad fault token"
+        "load --clients 10 --faults wibble --no-progress" "wibble";
+      rejected "--expect-degraded without a tier"
+        "load --clients 10 --expect-degraded --faults crash@5:0 --no-progress"
+        "named tier")
+
+let test_serve_error_budget () =
+  (* A faulted soak must report one error-budget line per window, the
+     final soak verdict, and stream deterministic JSONL manifests. *)
+  with_scratch_dir (fun dir ->
+      let args out =
+        Printf.sprintf
+          "serve --structures counter --clients 2000 --workers 4 --shards 2 \
+           --objects 8 --windows 2 --seed 0 --no-progress --faults standard \
+           --deadline 400 --retries 2 --out %s"
+          out
+      in
+      let code1, out1, err1 = run dir (args "s1.jsonl") in
+      let code2, out2, _ = run dir (args "s2.jsonl") in
+      Alcotest.(check int) ("first soak exits 0; stderr: " ^ err1) 0 code1;
+      Alcotest.(check int) "second soak exits 0" 0 code2;
+      Alcotest.(check string) "stdout identical across repeats" out1 out2;
+      Alcotest.(check string) "JSONL stream identical across repeats"
+        (read_file (Filename.concat dir "s1.jsonl"))
+        (read_file (Filename.concat dir "s2.jsonl"));
+      Alcotest.(check bool) "per-window error budget rendered" true
+        (contains out1 "error-budget: availability=");
+      Alcotest.(check bool) "soak verdict printed" true
+        (contains out1 "serve: 2 window(s): ok="))
 
 (* -- repro scenario --------------------------------------------------- *)
 
@@ -602,6 +708,17 @@ let () =
             test_chaos_manifest_records_faults;
         ] );
       ("golden", golden_cases);
+      ( "load-robust",
+        [
+          Alcotest.test_case "faulted run deterministic" `Quick
+            test_load_faulted_deterministic;
+          Alcotest.test_case "outage drill exits 1" `Quick
+            test_load_outage_drill;
+          Alcotest.test_case "policy flags validated" `Quick
+            test_load_policy_flags_validated;
+          Alcotest.test_case "serve error budget" `Quick
+            test_serve_error_budget;
+        ] );
       ( "scenario",
         [
           Alcotest.test_case "--list names the presets" `Quick

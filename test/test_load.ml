@@ -202,7 +202,8 @@ let test_slo_waitfree_unclassified () =
   Alcotest.check_raises "no (q,s) classification"
     (Invalid_argument
        "Slo.run: waitfree-counter has no SCU(q, s) classification (its \
-        helping scan is Theta(n) per attempt)")
+        helping scan is Theta(n) per attempt); classified structures: \
+        counter, treiber, msqueue, elimination-stack")
     (fun () ->
       ignore (Load.Slo.run ~kind:Load.Engine.Waitfree ~seed:0 ()))
 
@@ -212,6 +213,263 @@ let test_slo_params () =
   Alcotest.(check bool) "treiber" true (p Load.Engine.Treiber = Some { Load.Slo.q = 1; s = 1 });
   Alcotest.(check bool) "msqueue" true (p Load.Engine.Msqueue = Some { Load.Slo.q = 1; s = 2 });
   Alcotest.(check bool) "waitfree" true (p Load.Engine.Waitfree = None)
+
+(* -- Policy -------------------------------------------------------- *)
+
+let test_policy_validate () =
+  let ok p = Alcotest.(check bool) "ok" true (Result.is_ok (Load.Policy.validate p)) in
+  let err p =
+    Alcotest.(check bool) "err" true (Result.is_error (Load.Policy.validate p))
+  in
+  ok Load.Policy.default;
+  ok { Load.Policy.default with deadline = Some 100; max_retries = 3 };
+  ok { Load.Policy.default with hedge_after = Some 8 };
+  err { Load.Policy.default with deadline = Some 0 };
+  err { Load.Policy.default with max_retries = -1 };
+  err { Load.Policy.default with backoff_base = 0 };
+  err { Load.Policy.default with hedge_after = Some 0 };
+  (* Retries without a deadline can never trigger. *)
+  err { Load.Policy.default with max_retries = 2 }
+
+let test_policy_backoff () =
+  let p = { Load.Policy.default with backoff_base = 16 } in
+  let b = Load.Policy.backoff p ~seed:0 ~rid:7 ~attempt:1 in
+  Alcotest.(check int) "pure function of (seed, rid, attempt)" b
+    (Load.Policy.backoff p ~seed:0 ~rid:7 ~attempt:1);
+  Alcotest.(check bool) "exponential floor, bounded jitter" true
+    (b >= 16 && b < 32);
+  let b2 = Load.Policy.backoff p ~seed:0 ~rid:7 ~attempt:2 in
+  Alcotest.(check bool) "attempt 2 doubles" true (b2 >= 32 && b2 < 48);
+  Alcotest.(check bool) "seed matters" true
+    (Load.Policy.backoff p ~seed:1 ~rid:7 ~attempt:1 <> b
+    || Load.Policy.backoff p ~seed:1 ~rid:8 ~attempt:1
+       <> Load.Policy.backoff p ~seed:0 ~rid:8 ~attempt:1)
+
+let test_policy_counts_algebra () =
+  let a =
+    { Load.Policy.zero_counts with ok = 3; retried = 2; timed_out = 1 }
+  in
+  let b = { Load.Policy.zero_counts with dropped = 4; retries = 9 } in
+  let s = Load.Policy.add_counts a b in
+  Alcotest.(check int) "completed" 5 (Load.Policy.completed s);
+  Alcotest.(check int) "failed" 5 (Load.Policy.failed s);
+  Alcotest.(check int) "total partitions" 10 (Load.Policy.total s);
+  Alcotest.(check int) "retries carried" 9 s.retries
+
+(* -- Fault-tolerant engine ----------------------------------------- *)
+
+(* Pinned-outcome drills: the engine is a pure function of its config,
+   so the full outcome taxonomy of each drill is a regression
+   constant.  A change here means the robust dispatch path changed
+   behaviour, not just refactored. *)
+
+let counts =
+  Alcotest.testable
+    (fun fmt c -> Format.pp_print_string fmt (Load.Policy.counts_to_string c))
+    ( = )
+
+let tight_cfg =
+  { small_cfg with clients = 2_000; workers = 2; shards = 2 }
+
+let test_deadline_expiry_pinned () =
+  let cfg =
+    { tight_cfg with policy = { Load.Policy.default with deadline = Some 40 } }
+  in
+  let r = Load.Engine.run cfg in
+  Alcotest.check counts "deadline-expiry taxonomy"
+    {
+      Load.Policy.zero_counts with
+      ok = 37;
+      timed_out = 1_963;
+    }
+    r.outcomes;
+  Alcotest.(check int) "requests = completed" 37 r.requests;
+  Alcotest.(check int) "offered is the full load" 2_000 r.offered;
+  Alcotest.(check bool) "resolved, not stopped" false r.stopped_early
+
+let test_retry_exhaustion_pinned () =
+  let cfg =
+    {
+      tight_cfg with
+      policy = { Load.Policy.default with deadline = Some 40; max_retries = 2 };
+    }
+  in
+  let r = Load.Engine.run cfg in
+  Alcotest.check counts "retry-exhaustion taxonomy"
+    {
+      Load.Policy.zero_counts with
+      ok = 37;
+      retried = 103;
+      retries = 3_881;
+      timed_out = 1_860;
+    }
+    r.outcomes;
+  Alcotest.(check int) "every request resolves" 2_000
+    (Load.Policy.total r.outcomes)
+
+let test_hedge_pinned () =
+  let cfg =
+    {
+      tight_cfg with
+      workers = 8;
+      policy = { Load.Policy.default with hedge_after = Some 4 };
+    }
+  in
+  let r = Load.Engine.run cfg in
+  Alcotest.check counts "hedging costs duplicates, loses nothing"
+    { Load.Policy.zero_counts with ok = 2_000; hedges = 1_657 }
+    r.outcomes
+
+let faulted_cfg =
+  {
+    Load.Engine.default with
+    clients = 4_000;
+    workers = 4;
+    shards = 4;
+    objects = 8;
+    faults =
+      {
+        Sched.Fault_plan.base = Sched.Fault_plan.none;
+        rates = Sched.Fault_plan.standard_rates;
+      };
+    policy = { Load.Policy.default with deadline = Some 400; max_retries = 2 };
+  }
+
+let test_faulted_standard_pinned () =
+  let r = Load.Engine.run faulted_cfg in
+  Alcotest.check counts "standard-tier taxonomy"
+    {
+      Load.Policy.ok = 624;
+      retried = 1_252;
+      retries = 6_147;
+      redelivered = 43;
+      hedges = 0;
+      timed_out = 2_124;
+      dropped = 0;
+    }
+    r.outcomes;
+  Alcotest.(check int) "injected restarts" 44 r.restarts;
+  Alcotest.(check int) "injected spurious CAS" 47 r.spurious_cas
+
+let test_faulted_deterministic () =
+  let manifest r =
+    Telemetry.Load_report.to_string (Load.Report.of_result r)
+  in
+  let seq = manifest (Load.Engine.run faulted_cfg) in
+  Alcotest.(check string) "same seed, same bytes" seq
+    (manifest (Load.Engine.run faulted_cfg));
+  let par =
+    Pool.with_pool ~size:4 (fun pool ->
+        manifest (Load.Engine.run ~pool faulted_cfg))
+  in
+  Alcotest.(check string) "pool does not change bytes" seq par
+
+let test_faulted_manifest_schema () =
+  let report cfg = Load.Report.of_result (Load.Engine.run cfg) in
+  let json cfg = Telemetry.Load_report.to_string (report cfg) in
+  let has s sub =
+    let ns = String.length s and nb = String.length sub in
+    let rec go i = i + nb <= ns && (String.sub s i nb = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "fault-free stays schema 1" true
+    (has (json small_cfg) Telemetry.Load_report.schema);
+  Alcotest.(check bool) "faulted upgrades to schema 2" true
+    (has (json faulted_cfg) Telemetry.Load_report.schema_v2)
+
+let test_outage_all_dropped () =
+  (* Permanently crash both workers: the shard must degrade to an
+     all-dropped stopped-early result instead of running (the executor
+     itself rejects total-outage plans). *)
+  let cfg =
+    {
+      tight_cfg with
+      shards = 2;
+      faults =
+        {
+          Load.Engine.no_faults with
+          Sched.Fault_plan.base =
+            Sched.Fault_plan.of_crash_events [ (0, 0); (0, 1) ];
+        };
+    }
+  in
+  let r = Load.Engine.run cfg in
+  Alcotest.(check int) "nothing served" 0 r.requests;
+  Alcotest.check counts "everything dropped"
+    { Load.Policy.zero_counts with dropped = 2_000 }
+    r.outcomes;
+  Alcotest.(check bool) "stopped early" true r.stopped_early;
+  Alcotest.(check (list int)) "both shards named" [ 0; 1 ]
+    (Load.Engine.stopped_shards r)
+
+let test_shard_plan_deterministic () =
+  let plan s = Load.Engine.shard_plan faulted_cfg ~shard:s ~total:1_000 in
+  Alcotest.(check bool) "same shard, same plan" true
+    (Sched.Fault_plan.events (plan 0) = Sched.Fault_plan.events (plan 0));
+  Alcotest.(check bool) "shards draw independent plans" true
+    (Sched.Fault_plan.events (plan 0) <> Sched.Fault_plan.events (plan 1))
+
+let test_error_budget_verdicts () =
+  let budget cfg = Load.Report.error_budget (Load.Engine.run cfg) in
+  let healthy = budget { small_cfg with clients = 500 } in
+  Alcotest.(check string) "fault-free meets the objective" "ok"
+    healthy.Telemetry.Load_report.verdict;
+  Alcotest.(check (float 1e-9)) "full availability" 1.0 healthy.availability;
+  let hurt =
+    budget
+      { tight_cfg with policy = { Load.Policy.default with deadline = Some 40 } }
+  in
+  Alcotest.(check string) "mass timeouts breach the budget" "breached"
+    hurt.Telemetry.Load_report.verdict;
+  Alcotest.(check bool) "burn is enormous" true (hurt.burn > 10.)
+
+(* -- Degradation gates --------------------------------------------- *)
+
+let test_degrade_budgets_table () =
+  List.iter
+    (fun tier ->
+      Alcotest.(check bool) tier true
+        (Load.Degrade.budgets_for_tier tier <> None))
+    [ "quick"; "standard"; "century"; "chaos" ];
+  Alcotest.(check bool) "unknown tier" true
+    (Load.Degrade.budgets_for_tier "hurricane" = None)
+
+(* A deadline comfortably above the queueing delay, so the standard
+   tier's budget is spent on injected faults rather than self-inflicted
+   timeouts (the CLI's --expect-degraded drills use the same shape). *)
+let degrade_cfg =
+  {
+    Load.Engine.default with
+    clients = 8_000;
+    workers = 8;
+    shards = 4;
+    objects = 16;
+    policy = { Load.Policy.default with deadline = Some 4_000; max_retries = 2 };
+  }
+
+let test_degrade_standard_passes () =
+  match Load.Degrade.run ~tier:"standard" degrade_cfg with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check bool) "within budget" true d.passed;
+      Alcotest.(check int) "five gates" 5 (List.length d.gates);
+      Alcotest.(check bool) "baseline leg is fault-free" false
+        (Load.Engine.is_robust d.baseline.config)
+
+let test_degrade_unknown_tier () =
+  Alcotest.(check bool) "unknown tier is an error" true
+    (Result.is_error (Load.Degrade.run ~tier:"hurricane" faulted_cfg))
+
+let test_crash_check_gates () =
+  let gates = Load.Degrade.crash_check ~k:2 faulted_cfg in
+  Alcotest.(check int) "three gates" 3 (List.length gates);
+  List.iter
+    (fun (g : Check.Conform.gate) ->
+      Alcotest.(check bool) (g.name ^ ": " ^ g.detail) true g.passed)
+    gates;
+  Alcotest.check_raises "k out of range"
+    (Invalid_argument "Degrade.crash_check: need 0 < k < workers")
+    (fun () -> ignore (Load.Degrade.crash_check ~k:4 faulted_cfg))
 
 (* -- Manifest ------------------------------------------------------ *)
 
@@ -292,6 +550,41 @@ let () =
           Alcotest.test_case "config validation" `Quick test_engine_validate;
           Alcotest.test_case "kind names round trip" `Quick
             test_kind_names_round_trip;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "validation" `Quick test_policy_validate;
+          Alcotest.test_case "deterministic backoff" `Quick test_policy_backoff;
+          Alcotest.test_case "counts algebra" `Quick test_policy_counts_algebra;
+        ] );
+      ( "robust",
+        [
+          Alcotest.test_case "deadline expiry pinned" `Quick
+            test_deadline_expiry_pinned;
+          Alcotest.test_case "retry exhaustion pinned" `Quick
+            test_retry_exhaustion_pinned;
+          Alcotest.test_case "hedging pinned" `Quick test_hedge_pinned;
+          Alcotest.test_case "faulted standard pinned" `Quick
+            test_faulted_standard_pinned;
+          Alcotest.test_case "faulted deterministic" `Quick
+            test_faulted_deterministic;
+          Alcotest.test_case "manifest schema split" `Quick
+            test_faulted_manifest_schema;
+          Alcotest.test_case "total outage degrades" `Quick
+            test_outage_all_dropped;
+          Alcotest.test_case "shard plans deterministic" `Quick
+            test_shard_plan_deterministic;
+          Alcotest.test_case "error budget verdicts" `Quick
+            test_error_budget_verdicts;
+        ] );
+      ( "degrade",
+        [
+          Alcotest.test_case "budgets table" `Quick test_degrade_budgets_table;
+          Alcotest.test_case "standard tier within budget" `Quick
+            test_degrade_standard_passes;
+          Alcotest.test_case "unknown tier" `Quick test_degrade_unknown_tier;
+          Alcotest.test_case "corollary-2 crash check" `Quick
+            test_crash_check_gates;
         ] );
       ( "slo",
         [
